@@ -1,0 +1,36 @@
+//! A1 — ablation: rule-level delta filtering on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_core::EngineConfig;
+use ruvo_workload::{
+    ancestors_program, enterprise_program, Enterprise, EnterpriseConfig, Family, FamilyConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_delta_filter");
+    group.sample_size(10);
+    let fam = Family::generate(FamilyConfig {
+        generations: 7,
+        per_generation: 25,
+        parents_per_person: 2,
+        seed: 3,
+    });
+    let ent = Enterprise::generate(EnterpriseConfig { employees: 3_000, ..Default::default() });
+    let naive = EngineConfig { delta_filtering: false, ..Default::default() };
+    group.bench_function(BenchmarkId::new("ancestors", "filtered"), |b| {
+        b.iter(|| ruvo_bench::run(ancestors_program(), &fam.ob));
+    });
+    group.bench_function(BenchmarkId::new("ancestors", "naive"), |b| {
+        b.iter(|| ruvo_bench::run_with(ancestors_program(), &fam.ob, naive.clone()));
+    });
+    group.bench_function(BenchmarkId::new("enterprise", "filtered"), |b| {
+        b.iter(|| ruvo_bench::run(enterprise_program(), &ent.ob));
+    });
+    group.bench_function(BenchmarkId::new("enterprise", "naive"), |b| {
+        b.iter(|| ruvo_bench::run_with(enterprise_program(), &ent.ob, naive.clone()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

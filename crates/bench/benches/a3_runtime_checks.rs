@@ -1,0 +1,51 @@
+//! A3 — ablation: runtime stability checking (§6 extension) overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_core::{CyclePolicy, EngineConfig};
+use ruvo_lang::Program;
+use ruvo_obase::{Args, ObjectBase};
+use ruvo_term::{int, oid, sym, Vid};
+use ruvo_workload::{enterprise_program, Enterprise, EnterpriseConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_runtime_checks");
+    group.sample_size(10);
+    let ent = Enterprise::generate(EnterpriseConfig { employees: 3_000, ..Default::default() });
+    let configs: [(&str, EngineConfig); 3] = [
+        ("static", EngineConfig::default()),
+        (
+            "dynamic-policy",
+            EngineConfig { cycles: CyclePolicy::RuntimeStability, ..Default::default() },
+        ),
+        (
+            "verify-stability",
+            EngineConfig { verify_stability: true, ..Default::default() },
+        ),
+    ];
+    for (name, cfg) in configs {
+        group.bench_function(BenchmarkId::new("enterprise", name), |b| {
+            b.iter(|| ruvo_bench::run_with(enterprise_program(), &ent.ob, cfg.clone()));
+        });
+    }
+
+    // The cyclic-but-stable program only the dynamic criterion accepts.
+    let cyclic = Program::parse(
+        "r1: del[ins(X)].m -> 1 <= ins(X).m -> 1 & ins(X).go -> 1.
+         r2: ins[X].go -> 1 <= X.trigger -> 1 & not del[ins(X)].m -> 9.",
+    )
+    .unwrap();
+    let mut ob = ObjectBase::new();
+    for i in 0..2_000 {
+        let v = Vid::object(oid(&format!("a{i}")));
+        ob.insert(v, sym("m"), Args::empty(), int(1));
+        ob.insert(v, sym("trigger"), Args::empty(), int(1));
+    }
+    let dynamic = EngineConfig { cycles: CyclePolicy::RuntimeStability, ..Default::default() };
+    group.bench_function(BenchmarkId::new("cyclic_stable", "dynamic-policy"), |b| {
+        b.iter(|| ruvo_bench::run_with(cyclic.clone(), &ob, dynamic.clone()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

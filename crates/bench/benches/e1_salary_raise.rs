@@ -1,0 +1,20 @@
+//! E1 — §2.1 salary raise, scaling in the number of employees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruvo_workload::{salary_raise_program, Enterprise, EnterpriseConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_salary_raise");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let e = Enterprise::generate(EnterpriseConfig { employees: n, ..Default::default() });
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &e, |b, e| {
+            b.iter(|| ruvo_bench::run(salary_raise_program(), &e.ob));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

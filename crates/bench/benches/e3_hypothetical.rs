@@ -1,0 +1,24 @@
+//! E3 — §2.3 hypothetical reasoning, scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruvo_workload::{hypothetical_program, Enterprise, EnterpriseConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_hypothetical");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 5_000] {
+        let e = Enterprise::generate(EnterpriseConfig {
+            employees: n,
+            with_factor: true,
+            ..Default::default()
+        });
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &e, |b, e| {
+            b.iter(|| ruvo_bench::run(hypothetical_program("e0"), &e.ob));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

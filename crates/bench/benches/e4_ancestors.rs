@@ -1,0 +1,42 @@
+//! E4 — §2.3 recursive ancestors: ruvo vs the semi-naive Datalog
+//! baseline on the same family databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_datalog::{evaluate, parse_program, Semantics};
+use ruvo_workload::{ancestors_program, Family, FamilyConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_ancestors");
+    group.sample_size(10);
+    for (g, w) in [(4usize, 10usize), (6, 20), (8, 30)] {
+        let f = Family::generate(FamilyConfig {
+            generations: g,
+            per_generation: w,
+            parents_per_person: 2,
+            seed: 7,
+        });
+        group.bench_with_input(BenchmarkId::new("ruvo", format!("{g}x{w}")), &f, |b, f| {
+            b.iter(|| ruvo_bench::run(ancestors_program(), &f.ob));
+        });
+        let baseline = parse_program(
+            "anc(X, P) <= parents(X, P).
+             anc(X, P) <= anc(X, A) & parents(A, P).",
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("datalog_semi_naive", format!("{g}x{w}")),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let mut db = f.as_datalog();
+                    evaluate(&mut db, &baseline, Semantics::Modules, 100_000);
+                    db
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

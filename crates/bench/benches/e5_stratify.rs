@@ -1,0 +1,27 @@
+//! E5 — stratification cost on the paper's programs and generated ones.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruvo_core::stratify::stratify;
+use ruvo_lang::Program;
+use ruvo_workload::{chain_program, enterprise_program, hypothetical_program};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_stratify");
+    let mut wide = String::new();
+    for i in 0..400 {
+        wide.push_str(&format!("w{i}: ins[X].m{i} -> 1 <= X.k{} -> 1.\n", i % 7));
+    }
+    let programs = vec![
+        ("enterprise", enterprise_program()),
+        ("hypothetical", hypothetical_program("peter")),
+        ("chain28", chain_program(28, false)),
+        ("wide400", Program::parse(&wide).unwrap()),
+    ];
+    for (name, program) in programs {
+        group.bench_function(name, |b| b.iter(|| stratify(&program).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

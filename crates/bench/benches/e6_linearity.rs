@@ -1,0 +1,29 @@
+//! E6/A2 — the §5 runtime linearity check: on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_core::EngineConfig;
+use ruvo_workload::{enterprise_program, Enterprise, EnterpriseConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_linearity");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let e = Enterprise::generate(EnterpriseConfig { employees: n, ..Default::default() });
+        group.bench_with_input(BenchmarkId::new("check_on", n), &e, |b, e| {
+            b.iter(|| ruvo_bench::run(enterprise_program(), &e.ob));
+        });
+        group.bench_with_input(BenchmarkId::new("check_off", n), &e, |b, e| {
+            b.iter(|| {
+                ruvo_bench::run_with(
+                    enterprise_program(),
+                    &e.ob,
+                    EngineConfig { check_linearity: false, ..Default::default() },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 — §3 frame-copy overhead: fixed update count, growing base.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_lang::Program;
+use ruvo_obase::{Args, ObjectBase};
+use ruvo_term::{int, oid, sym, Vid};
+
+fn make_base(n: usize, hot: usize) -> ObjectBase {
+    let mut ob = ObjectBase::new();
+    for i in 0..n {
+        let v = Vid::object(oid(&format!("x{i}")));
+        ob.insert(v, sym("v"), Args::empty(), int(i as i64));
+        for m in 0..3 {
+            ob.insert(v, sym(&format!("pad{m}")), Args::empty(), int((i * m) as i64));
+        }
+        let marker = if i < hot { "hot" } else { "cold" };
+        ob.insert(v, sym(marker), Args::empty(), int(1));
+    }
+    ob
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_copy_overhead");
+    group.sample_size(10);
+    let program = Program::parse(
+        "touch: mod[E].v -> (X, X2) <= E.hot -> 1 & E.v -> X & X2 = X + 1.",
+    )
+    .unwrap();
+    for n in [1_000usize, 10_000, 50_000] {
+        let ob = make_base(n, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ob, |b, ob| {
+            b.iter(|| ruvo_bench::run(program.clone(), ob));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E8 — §2.4: ruvo vs the Logres-style module baseline on the same
+//! enterprise update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_datalog::{evaluate, Semantics};
+use ruvo_workload::{enterprise_baseline_datalog, enterprise_program, Enterprise, EnterpriseConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_vs_datalog");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let e = Enterprise::generate(EnterpriseConfig { employees: n, ..Default::default() });
+        group.bench_with_input(BenchmarkId::new("ruvo", n), &e, |b, e| {
+            b.iter(|| ruvo_bench::run(enterprise_program(), &e.ob));
+        });
+        let baseline = enterprise_baseline_datalog();
+        group.bench_with_input(BenchmarkId::new("datalog_modules", n), &e, |b, e| {
+            b.iter(|| {
+                let mut db = e.as_datalog();
+                evaluate(&mut db, &baseline, Semantics::Modules, 1_000);
+                db
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

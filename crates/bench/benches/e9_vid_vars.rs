@@ -1,0 +1,39 @@
+//! E9 — §6 VID variables: wildcard version scan vs chain-indexed audit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_lang::Program;
+use ruvo_workload::{Enterprise, EnterpriseConfig};
+
+fn programs() -> (Program, Program) {
+    let wildcard = Program::parse(
+        "raise: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.
+         audit: ins[audit].flagged -> O <= $V.sal -> S & $V.exists -> O & S > 5000.",
+    )
+    .unwrap();
+    let indexed = Program::parse(
+        "raise: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.
+         audit0: ins[audit].flagged -> O <= O.sal -> S & S > 5000.
+         audit1: ins[audit].flagged -> O <= mod(O).sal -> S & S > 5000.",
+    )
+    .unwrap();
+    (wildcard, indexed)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_vid_vars");
+    group.sample_size(10);
+    let (wildcard, indexed) = programs();
+    for n in [500usize, 2_000] {
+        let ent = Enterprise::generate(EnterpriseConfig { employees: n, ..Default::default() });
+        group.bench_function(BenchmarkId::new("wildcard", n), |b| {
+            b.iter(|| ruvo_bench::run(wildcard.clone(), &ent.ob));
+        });
+        group.bench_function(BenchmarkId::new("indexed", n), |b| {
+            b.iter(|| ruvo_bench::run(indexed.clone(), &ent.ob));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! F1 — Figure 1: k consecutive update groups on one object.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_workload::{chain_object_base, chain_program};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_chain_depth");
+    for k in [1usize, 4, 8, 16, 28] {
+        let ob = chain_object_base();
+        let all_ins = chain_program(k, false);
+        group.bench_with_input(BenchmarkId::new("all_ins", k), &k, |b, _| {
+            b.iter(|| ruvo_bench::run(all_ins.clone(), &ob));
+        });
+        let mixed = chain_program(k, true);
+        group.bench_with_input(BenchmarkId::new("mixed", k), &k, |b, _| {
+            b.iter(|| ruvo_bench::run(mixed.clone(), &ob));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

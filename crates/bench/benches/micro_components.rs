@@ -1,0 +1,54 @@
+//! Component microbenchmarks: parser, pretty-printer, stratifier,
+//! object-base operations, binary snapshots.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ruvo_lang::Program;
+use ruvo_obase::{snapshot, ObjectBase};
+use ruvo_workload::{enterprise_program, Enterprise, EnterpriseConfig};
+
+const ENTERPRISE_SRC: &str = "
+rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.
+";
+
+fn bench_lang(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_lang");
+    group.throughput(Throughput::Bytes(ENTERPRISE_SRC.len() as u64));
+    group.bench_function("parse_enterprise", |b| {
+        b.iter(|| Program::parse(ENTERPRISE_SRC).unwrap())
+    });
+    let program = enterprise_program();
+    group.bench_function("pretty_print", |b| b.iter(|| program.to_string()));
+    group.bench_function("stratify_enterprise", |b| {
+        b.iter(|| ruvo_core::stratify::stratify(&program).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_obase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_obase");
+    let e = Enterprise::generate(EnterpriseConfig { employees: 5_000, ..Default::default() });
+    group.bench_function("clone_5k", |b| b.iter(|| e.ob.clone()));
+    group.bench_function("ensure_exists_5k", |b| {
+        b.iter_batched(|| e.ob.clone(), |mut ob| { ob.ensure_exists(); ob }, BatchSize::SmallInput)
+    });
+    let text = e.ob.to_string();
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("parse_text_5k", |b| b.iter(|| ObjectBase::parse(&text).unwrap()));
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_snapshot");
+    let e = Enterprise::generate(EnterpriseConfig { employees: 5_000, ..Default::default() });
+    let bytes = snapshot::write(&e.ob);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("write_5k", |b| b.iter(|| snapshot::write(&e.ob)));
+    group.bench_function("read_5k", |b| b.iter(|| snapshot::read(&bytes).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_lang, bench_obase, bench_snapshot);
+criterion_main!(benches);

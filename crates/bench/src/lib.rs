@@ -1,0 +1,76 @@
+//! # ruvo-bench — the experiment harness
+//!
+//! One module per experiment in EXPERIMENTS.md. Each experiment
+//! function returns a Markdown report fragment; the `experiments`
+//! binary concatenates them, and the Criterion benches (in `benches/`)
+//! time the same workloads statistically.
+//!
+//! The paper (VLDB'92) has no empirical tables — its "evaluation" is
+//! worked examples and two figures — so the experiment set reproduces
+//! every example/figure exactly and adds the scaling/ablation studies
+//! a systems reader expects (see DESIGN.md §5 and EXPERIMENTS.md).
+
+pub mod experiments;
+pub mod table;
+
+use std::time::{Duration, Instant};
+
+use ruvo_core::{EngineConfig, Outcome, UpdateEngine};
+use ruvo_lang::Program;
+use ruvo_obase::ObjectBase;
+
+/// Time a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Run a program with the default engine; panics on evaluation errors
+/// (experiment workloads are known-good).
+pub fn run(program: Program, ob: &ObjectBase) -> Outcome {
+    UpdateEngine::new(program).run(ob).expect("experiment workload evaluates")
+}
+
+/// Run with an explicit configuration.
+pub fn run_with(program: Program, ob: &ObjectBase, config: EngineConfig) -> Outcome {
+    UpdateEngine::with_config(program, config).run(ob).expect("experiment workload evaluates")
+}
+
+/// Format a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Median-of-`n` timing for the experiments binary (cheap alternative
+/// to Criterion for the printed tables).
+pub fn median_time(n: usize, mut f: impl FnMut()) -> Duration {
+    assert!(n >= 1);
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_is_positive() {
+        let d = median_time(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.500");
+    }
+}

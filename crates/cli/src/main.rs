@@ -1,0 +1,225 @@
+//! `ruvo` — command-line driver for update-programs.
+//!
+//! ```text
+//! ruvo check   <program.ruvo>                 validate + stratify
+//! ruvo explain <program.ruvo>                 stratification constraints
+//! ruvo fmt     <program.ruvo>                 pretty-print
+//! ruvo run     <program.ruvo> <base.ob>       evaluate and print ob′
+//!     --result        print result(P) (all versions) instead of ob′
+//!     --stats         print evaluation statistics
+//!     --trace         print per-stratum traces
+//!     --no-linearity  disable the §5 runtime check
+//!     --naive         disable rule-level delta filtering
+//!     --parallel      evaluate rules on multiple threads
+//!     --dynamic       accept statically non-stratifiable programs
+//!                     under the runtime stability check (§6 extension)
+//! ```
+
+mod repl;
+
+use std::process::ExitCode;
+
+use ruvo_core::{CyclePolicy, EngineConfig, TraceLevel, UpdateEngine};
+use ruvo_lang::Program;
+use ruvo_obase::ObjectBase;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ruvo check   <program.ruvo>\n  ruvo explain <program.ruvo>\n  \
+         ruvo fmt     <program.ruvo>\n  ruvo run     <program.ruvo> <base.ob> \
+         [--result] [--stats] [--trace] [--no-linearity] [--naive] [--parallel] [--dynamic]\n  \
+         ruvo repl    [base]\n  ruvo convert <in> <out>   (text ↔ .snap snapshot)"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn load_program(path: &str) -> Result<Program, ExitCode> {
+    let src = read(path)?;
+    Program::parse(&src).map_err(|e| {
+        eprintln!("error: {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { return usage() };
+    match command.as_str() {
+        "check" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let program = match load_program(path) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            match UpdateEngine::new(program.clone()).stratify() {
+                Ok(strat) => {
+                    println!("{} rules, {} strata", program.len(), strat.len());
+                    println!("stratification: {strat}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "explain" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let program = match load_program(path) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            match UpdateEngine::new(program).stratify() {
+                Ok(strat) => {
+                    println!("stratification: {strat}");
+                    println!("constraints:");
+                    for e in &strat.edges {
+                        println!(
+                            "  {} {} {}   via condition {}",
+                            strat.rule_names[e.from],
+                            if e.strict { "<" } else { "=<" },
+                            strat.rule_names[e.to],
+                            e.condition
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "fmt" => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load_program(path) {
+                Ok(p) => {
+                    print!("{p}");
+                    ExitCode::SUCCESS
+                }
+                Err(code) => code,
+            }
+        }
+        "run" => {
+            let (Some(ppath), Some(obpath)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let flags: Vec<&str> = args[3..].iter().map(String::as_str).collect();
+            if let Some(unknown) = flags.iter().find(|f| {
+                ![
+                    "--result",
+                    "--stats",
+                    "--trace",
+                    "--no-linearity",
+                    "--naive",
+                    "--parallel",
+                    "--dynamic",
+                ]
+                .contains(*f)
+            }) {
+                eprintln!("error: unknown flag {unknown}");
+                return usage();
+            }
+            let program = match load_program(ppath) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            let ob = match read(obpath) {
+                Ok(src) => match ObjectBase::parse(&src) {
+                    Ok(ob) => ob,
+                    Err(e) => {
+                        eprintln!("error: {obpath}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(code) => return code,
+            };
+            let config = EngineConfig {
+                check_linearity: !flags.contains(&"--no-linearity"),
+                delta_filtering: !flags.contains(&"--naive"),
+                parallel: flags.contains(&"--parallel"),
+                trace: if flags.contains(&"--trace") {
+                    TraceLevel::Rounds
+                } else {
+                    TraceLevel::Strata
+                },
+                cycles: if flags.contains(&"--dynamic") {
+                    CyclePolicy::RuntimeStability
+                } else {
+                    CyclePolicy::Reject
+                },
+                ..Default::default()
+            };
+            let engine = UpdateEngine::with_config(program, config);
+            let outcome = match engine.run(&ob) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if flags.contains(&"--trace") {
+                eprintln!("stratification: {}", outcome.stratification());
+                for st in outcome.stratum_traces() {
+                    eprintln!("  {st}");
+                }
+            }
+            if flags.contains(&"--result") {
+                print!("{}", outcome.result());
+            } else {
+                match outcome.try_new_object_base() {
+                    Ok(ob2) => print!("{ob2}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if flags.contains(&"--stats") {
+                eprintln!("stats: {}", outcome.stats());
+            }
+            ExitCode::SUCCESS
+        }
+        "repl" => {
+            let initial = match args.get(1) {
+                Some(path) => match repl::load_base(path) {
+                    Ok(ob) => Some(ob),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            match repl::run(stdin.lock(), &mut stdout, initial) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "convert" => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            match repl::load_base(input).and_then(|ob| repl::save_base(&ob, output)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

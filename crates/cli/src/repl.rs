@@ -1,0 +1,209 @@
+//! Interactive session mode: `ruvo repl [base-file]`.
+//!
+//! Update-rules typed at the prompt are collected until a line ends
+//! with `.`, then applied as one transactional update-program (see
+//! [`ruvo_core::Session`]). Meta-commands start with `:`.
+
+use std::io::{BufRead, Write};
+
+use ruvo_core::{history, Session};
+use ruvo_lang::Program;
+use ruvo_obase::{snapshot, ObjectBase};
+use ruvo_term::oid;
+
+const HELP: &str = "\
+commands:
+  :load <file>        load object base (text .ob or binary snapshot)
+  :save <file>        save object base (.snap/.ruvosnap → binary)
+  :show [object]      print the object base (or one object)
+  :history <object>   version history of <object> in the last transaction
+  :run <file>         apply a program file as a transaction
+  :strata <file>      show the stratification of a program file
+  :savepoint          create a savepoint
+  :rollback <n>       roll back to savepoint n
+  :log                list committed transactions
+  :stats              object base statistics
+  :help               this help
+  :quit               leave
+anything else: update-rules, applied as one transaction once a line
+ends with `.`";
+
+/// Run the REPL over arbitrary reader/writer (tests drive it with
+/// buffers; `main` passes stdin/stdout).
+pub fn run(
+    input: impl BufRead,
+    out: &mut impl Write,
+    initial: Option<ObjectBase>,
+) -> std::io::Result<()> {
+    let mut session = Session::new(initial.unwrap_or_default());
+    let mut savepoints: Vec<ruvo_core::SavepointId> = Vec::new();
+    let mut pending = String::new();
+
+    writeln!(out, "ruvo repl — :help for commands")?;
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = trimmed.strip_prefix(':') {
+            if !pending.is_empty() {
+                writeln!(out, "! discarded incomplete rule input")?;
+                pending.clear();
+            }
+            let mut parts = cmd.splitn(2, char::is_whitespace);
+            let verb = parts.next().unwrap_or("");
+            let arg = parts.next().map(str::trim).filter(|s| !s.is_empty());
+            match (verb, arg) {
+                ("quit" | "q" | "exit", _) => break,
+                ("help" | "h", _) => writeln!(out, "{HELP}")?,
+                ("show", None) => write!(out, "{}", session.current())?,
+                ("show", Some(name)) => {
+                    let base = oid(name);
+                    let mut any = false;
+                    for fact in session.current().facts_sorted() {
+                        if fact.vid.base() == base {
+                            writeln!(out, "{fact}")?;
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        writeln!(out, "! no facts for {name}")?;
+                    }
+                }
+                ("stats", _) => writeln!(out, "{}", session.current().stats())?,
+                ("log", _) => {
+                    if session.is_empty() {
+                        writeln!(out, "(no transactions)")?;
+                    }
+                    for txn in session.log() {
+                        writeln!(
+                            out,
+                            "#{}: {} — {} facts after",
+                            txn.seq,
+                            txn.outcome.stats(),
+                            txn.facts_after
+                        )?;
+                    }
+                }
+                ("history", Some(name)) => match session.log().last() {
+                    None => writeln!(out, "! no transactions yet")?,
+                    Some(txn) => match history(txn.outcome.result(), oid(name)) {
+                        None => writeln!(out, "! no history for {name} in the last transaction")?,
+                        Some(h) => {
+                            for step in &h.steps {
+                                let kind = step
+                                    .kind
+                                    .map_or("initial".to_string(), |k| k.keyword().to_string());
+                                writeln!(out, "{} [{kind}]", step.vid)?;
+                                for (m, args, r) in &step.added {
+                                    if args.is_empty() {
+                                        writeln!(out, "  + {m} -> {r}")?;
+                                    } else {
+                                        writeln!(out, "  + {m} @ {args} -> {r}")?;
+                                    }
+                                }
+                                for (m, args, r) in &step.removed {
+                                    if args.is_empty() {
+                                        writeln!(out, "  - {m} -> {r}")?;
+                                    } else {
+                                        writeln!(out, "  - {m} @ {args} -> {r}")?;
+                                    }
+                                }
+                            }
+                        }
+                    },
+                },
+                ("load", Some(path)) => match load_base(path) {
+                    Ok(ob) => {
+                        writeln!(out, "loaded {} ({})", path, ob.stats())?;
+                        session = Session::new(ob);
+                        savepoints.clear();
+                    }
+                    Err(e) => writeln!(out, "! {e}")?,
+                },
+                ("save", Some(path)) => match save_base(session.current(), path) {
+                    Ok(()) => writeln!(out, "saved {path}")?,
+                    Err(e) => writeln!(out, "! {e}")?,
+                },
+                ("run", Some(path)) => match std::fs::read_to_string(path) {
+                    Err(e) => writeln!(out, "! cannot read {path}: {e}")?,
+                    Ok(src) => apply(&mut session, &src, out)?,
+                },
+                ("strata", Some(path)) => match std::fs::read_to_string(path) {
+                    Err(e) => writeln!(out, "! cannot read {path}: {e}")?,
+                    Ok(src) => match Program::parse(&src) {
+                        Err(e) => writeln!(out, "! {e}")?,
+                        Ok(p) => match ruvo_core::stratify::stratify(&p) {
+                            Err(e) => writeln!(out, "! {e}")?,
+                            Ok(s) => writeln!(out, "{s}")?,
+                        },
+                    },
+                },
+                ("savepoint", _) => {
+                    let id = session.savepoint();
+                    savepoints.push(id);
+                    writeln!(out, "savepoint {}", savepoints.len() - 1)?;
+                }
+                ("rollback", arg) => {
+                    let idx = arg.and_then(|a| a.parse::<usize>().ok());
+                    let target = match idx {
+                        Some(i) => savepoints.get(i).copied(),
+                        None => savepoints.last().copied(),
+                    };
+                    match target {
+                        None => writeln!(out, "! no such savepoint")?,
+                        Some(sp) => match session.rollback_to(sp) {
+                            Ok(()) => writeln!(out, "rolled back")?,
+                            Err(e) => writeln!(out, "! {e}")?,
+                        },
+                    }
+                }
+                (other, _) => writeln!(out, "! unknown command :{other} (:help)")?,
+            }
+            continue;
+        }
+
+        // Rule input: accumulate until a line ends the statement.
+        pending.push_str(trimmed);
+        pending.push('\n');
+        if trimmed.ends_with('.') {
+            let src = std::mem::take(&mut pending);
+            apply(&mut session, &src, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn apply(session: &mut Session, src: &str, out: &mut impl Write) -> std::io::Result<()> {
+    match session.apply_src(src) {
+        Ok(txn) => writeln!(
+            out,
+            "ok: txn #{} — {} ({} facts now)",
+            txn.seq,
+            txn.outcome.stats(),
+            txn.facts_after
+        ),
+        Err(e) => writeln!(out, "! {e}"),
+    }
+}
+
+/// Load a base from text or snapshot, sniffing the magic bytes.
+pub fn load_base(path: &str) -> Result<ObjectBase, String> {
+    let data = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if data.starts_with(b"RUVO") {
+        return snapshot::read(&data).map_err(|e| e.to_string());
+    }
+    let text = String::from_utf8(data).map_err(|_| format!("{path}: not UTF-8"))?;
+    ObjectBase::parse(&text).map_err(|e| e.to_string())
+}
+
+/// Save as snapshot for `.snap`/`.ruvosnap` extensions, else text.
+pub fn save_base(ob: &ObjectBase, path: &str) -> Result<(), String> {
+    let is_snap = path.ends_with(".snap") || path.ends_with(".ruvosnap");
+    if is_snap {
+        snapshot::save_file(ob, path).map_err(|e| e.to_string())
+    } else {
+        std::fs::write(path, ob.to_string()).map_err(|e| e.to_string())
+    }
+}

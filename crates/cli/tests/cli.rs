@@ -1,0 +1,295 @@
+//! End-to-end tests of the `ruvo` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_file(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn ruvo(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ruvo")).args(args).output().expect("binary runs")
+}
+
+const ENTERPRISE: &str = "
+rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.
+";
+
+const BASE: &str = "
+phil.isa -> empl.  phil.pos -> mgr.    phil.sal -> 4000.
+bob.isa -> empl.   bob.boss -> phil.   bob.sal -> 4200.
+";
+
+#[test]
+fn check_reports_strata() {
+    let dir = std::env::temp_dir().join("ruvo-cli-check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(&dir, "p.ruvo", ENTERPRISE);
+    let out = ruvo(&["check", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("4 rules, 3 strata"), "got: {stdout}");
+    assert!(stdout.contains("{rule1, rule2} < {rule3} < {rule4}"), "got: {stdout}");
+}
+
+#[test]
+fn run_produces_new_object_base() {
+    let dir = std::env::temp_dir().join("ruvo-cli-run");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(&dir, "p.ruvo", ENTERPRISE);
+    let base = write_file(&dir, "b.ob", BASE);
+    let out = ruvo(&["run", prog.to_str().unwrap(), base.to_str().unwrap(), "--stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("phil.sal -> 4600"), "got: {stdout}");
+    assert!(stdout.contains("phil.isa -> hpe"), "got: {stdout}");
+    assert!(!stdout.contains("bob."), "bob must be gone, got: {stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fired updates"), "got: {stderr}");
+}
+
+#[test]
+fn run_result_shows_versions() {
+    let dir = std::env::temp_dir().join("ruvo-cli-result");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(&dir, "p.ruvo", ENTERPRISE);
+    let base = write_file(&dir, "b.ob", BASE);
+    let out = ruvo(&["run", prog.to_str().unwrap(), base.to_str().unwrap(), "--result"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("mod(phil).sal -> 4600"), "got: {stdout}");
+    assert!(stdout.contains("del(mod(bob)).exists -> bob"), "got: {stdout}");
+}
+
+#[test]
+fn explain_lists_conditions() {
+    let dir = std::env::temp_dir().join("ruvo-cli-explain");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(&dir, "p.ruvo", ENTERPRISE);
+    let out = ruvo(&["explain", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for cond in ["(a)", "(b)", "(c)", "(d)"] {
+        assert!(stdout.contains(cond), "missing condition {cond}: {stdout}");
+    }
+}
+
+#[test]
+fn fmt_roundtrips() {
+    let dir = std::env::temp_dir().join("ruvo-cli-fmt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(&dir, "p.ruvo", ENTERPRISE);
+    let out = ruvo(&["fmt", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let pretty = String::from_utf8(out.stdout).unwrap();
+    let prog2 = write_file(&dir, "p2.ruvo", &pretty);
+    let out2 = ruvo(&["fmt", prog2.to_str().unwrap()]);
+    assert_eq!(pretty, String::from_utf8(out2.stdout).unwrap());
+}
+
+#[test]
+fn parse_errors_are_reported() {
+    let dir = std::env::temp_dir().join("ruvo-cli-err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(&dir, "bad.ruvo", "ins[X].p -> ??? .");
+    let out = ruvo(&["check", prog.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("parse error"), "got: {stderr}");
+}
+
+#[test]
+fn non_stratifiable_is_rejected() {
+    let dir = std::env::temp_dir().join("ruvo-cli-strat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog =
+        write_file(&dir, "p.ruvo", "r: ins[X].p -> 1 <= X.q -> 1 & not ins(X).p -> 1.");
+    let out = ruvo(&["check", prog.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not stratifiable"), "got: {stderr}");
+}
+
+#[test]
+fn linearity_violation_is_reported() {
+    let dir = std::env::temp_dir().join("ruvo-cli-lin");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(
+        &dir,
+        "p.ruvo",
+        "mod[o].m -> (a, b) <= o.m -> a. del[o].m -> a <= o.m -> a.",
+    );
+    let base = write_file(&dir, "b.ob", "o.m -> a.");
+    let out = ruvo(&["run", prog.to_str().unwrap(), base.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("version-linearity"), "got: {stderr}");
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    assert!(!ruvo(&[]).status.success());
+    assert!(!ruvo(&["frobnicate"]).status.success());
+    assert!(!ruvo(&["run", "only-one-arg"]).status.success());
+    let out = ruvo(&["run", "a", "b", "--bogus"]);
+    assert!(!out.status.success());
+}
+
+// ----- repl ----------------------------------------------------------
+
+fn ruvo_stdin(args: &[&str], stdin_text: &str) -> std::process::Output {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ruvo"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child.stdin.as_mut().unwrap().write_all(stdin_text.as_bytes()).unwrap();
+    child.wait_with_output().expect("binary runs")
+}
+
+#[test]
+fn repl_applies_rules_transactionally() {
+    let dir = std::env::temp_dir().join("ruvo-cli-repl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write_file(&dir, "b.ob", "acct.balance -> 100.");
+    let script = "\
+:savepoint
+mod[acct].balance -> (100, 150) <= acct.balance -> 100.
+:show acct
+:rollback 0
+:show acct
+:stats
+:quit
+";
+    let out = ruvo_stdin(&["repl", base.to_str().unwrap()], script);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("ok: txn #0"), "got: {stdout}");
+    assert!(stdout.contains("acct.balance -> 150"), "got: {stdout}");
+    // After rollback the original balance is back.
+    let after_rollback = stdout.split("rolled back").nth(1).expect("rollback happened");
+    assert!(after_rollback.contains("acct.balance -> 100"), "got: {stdout}");
+}
+
+#[test]
+fn repl_reports_errors_without_dying() {
+    let script = "\
+not a rule at all .
+:bogus
+ins[x].p -> 1.
+:log
+:quit
+";
+    let out = ruvo_stdin(&["repl"], script);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("! parse error"), "got: {stdout}");
+    assert!(stdout.contains("! unknown command"), "got: {stdout}");
+    assert!(stdout.contains("ok: txn #0"), "got: {stdout}");
+}
+
+#[test]
+fn repl_history_command() {
+    let dir = std::env::temp_dir().join("ruvo-cli-repl-hist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write_file(&dir, "b.ob", "o.p -> 1.");
+    let script = "\
+mod[o].p -> (1, 2) <= o.p -> 1.
+:history o
+:quit
+";
+    let out = ruvo_stdin(&["repl", base.to_str().unwrap()], script);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("mod(o) [mod]"), "got: {stdout}");
+    assert!(stdout.contains("+ p -> 2"), "got: {stdout}");
+    assert!(stdout.contains("- p -> 1"), "got: {stdout}");
+}
+
+#[test]
+fn convert_roundtrips_through_snapshot() {
+    let dir = std::env::temp_dir().join("ruvo-cli-convert");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write_file(&dir, "b.ob", "a.p -> 1. b.q @ x -> 2.5.");
+    let snap = dir.join("b.snap");
+    let back = dir.join("b2.ob");
+    assert!(ruvo(&["convert", base.to_str().unwrap(), snap.to_str().unwrap()])
+        .status
+        .success());
+    // Snapshot starts with the magic.
+    let raw = std::fs::read(&snap).unwrap();
+    assert_eq!(&raw[..4], b"RUVO");
+    assert!(ruvo(&["convert", snap.to_str().unwrap(), back.to_str().unwrap()])
+        .status
+        .success());
+    let text = std::fs::read_to_string(&back).unwrap();
+    assert!(text.contains("a.p -> 1"), "got: {text}");
+    assert!(text.contains("b.q @ x -> 2.5"), "got: {text}");
+}
+
+#[test]
+fn repl_loads_and_saves_snapshots() {
+    let dir = std::env::temp_dir().join("ruvo-cli-repl-snap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("state.snap");
+    let script = format!(
+        "ins[a].p -> 7.\n:save {}\n:quit\n",
+        snap.display()
+    );
+    let out = ruvo_stdin(&["repl"], &script);
+    assert!(String::from_utf8(out.stdout).unwrap().contains("saved"), "save failed");
+    // Reload it in a second repl.
+    let script2 = format!(":load {}\n:show a\n:quit\n", snap.display());
+    let out2 = ruvo_stdin(&["repl"], &script2);
+    let stdout = String::from_utf8(out2.stdout).unwrap();
+    assert!(stdout.contains("a.p -> 7"), "got: {stdout}");
+}
+
+#[test]
+fn dynamic_flag_accepts_cyclic_stable_program() {
+    let dir = std::env::temp_dir().join("ruvo-cli-dynamic");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(
+        &dir,
+        "cyclic.ruvo",
+        "r1: del[ins(X)].m -> 1 <= ins(X).m -> 1 & ins(X).go -> 1.
+         r2: ins[X].go -> 1 <= X.trigger -> 1 & not del[ins(X)].m -> 9.",
+    );
+    let base = write_file(&dir, "b.ob", "a.m -> 1. a.trigger -> 1.");
+    // Without --dynamic: statically rejected.
+    let out = ruvo(&["run", prog.to_str().unwrap(), base.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not stratifiable"), "got: {stderr}");
+    // With --dynamic: runs stably and prints the updated base.
+    let out = ruvo(&["run", prog.to_str().unwrap(), base.to_str().unwrap(), "--dynamic"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("a.go -> 1"), "got: {stdout}");
+    assert!(!stdout.contains("a.m -> 1"), "m must be deleted; got: {stdout}");
+}
+
+#[test]
+fn dynamic_flag_reports_instability() {
+    let dir = std::env::temp_dir().join("ruvo-cli-unstable");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(
+        &dir,
+        "unstable.ruvo",
+        "r1: del[ins(X)].m -> 1 <= ins(X).m -> 1 & ins(X).go -> 1.
+         r2: ins[X].go -> 1 <= X.trigger -> 1 & not del[ins(X)].m -> 1.",
+    );
+    let base = write_file(&dir, "b.ob", "a.m -> 1. a.trigger -> 1.");
+    let out = ruvo(&["run", prog.to_str().unwrap(), base.to_str().unwrap(), "--dynamic"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unstable"), "got: {stderr}");
+}

@@ -1,0 +1,974 @@
+//! Stratum-by-stratum fixpoint evaluation (§4) and new-object-base
+//! construction (§5).
+//!
+//! ## The per-stratum loop
+//!
+//! Within a stratum, each round computes `T¹` for the stratum's rules
+//! against the current object base and applies steps 2+3 of `T_P` for
+//! every version the round's *newly fired* updates touch — re-applying
+//! that version's **full accumulated** update set, since step 3 is
+//! defined over the whole `T¹` (DESIGN.md D1/D7; chained modifies need
+//! the whole set, and re-application is idempotent). The stratification
+//! conditions guarantee that fired updates stay fired, so `T¹` grows
+//! monotonically and the loop terminates when a round fires nothing
+//! new.
+//!
+//! ## Rule-level delta filtering (ablation A1)
+//!
+//! A rule only needs re-evaluation in round *n+1* if round *n* changed
+//! a `(chain, method)` relation its positive body literals can read
+//! (negated literals and the head's `v*` reads are frozen within a
+//! stratum by conditions (a), (c) and (d)). With filtering off, every
+//! rule of the stratum is evaluated every round — the naive semantics,
+//! kept as a benchmark baseline.
+//!
+//! ## Version linearity (§5)
+//!
+//! Every version touched by an applied update is recorded in a
+//! [`LinearityTracker`]; the paper's runtime check rejects the program
+//! at the first pair of incomparable versions of one object.
+
+use std::time::Instant;
+
+use ruvo_lang::{Atom, Program, Rule, UpdateSpec};
+use ruvo_obase::{exists_sym, LinearityTracker, LinearityViolation, ObjectBase};
+use ruvo_term::{Chain, Const, FastHashMap, FastHashSet, Symbol, UpdateKind, Vid};
+
+use crate::error::EvalError;
+use crate::stratify::{stratify, stratify_relaxed, Stratification, StratifyError};
+use crate::tp::{self, Fired, FiredSet};
+use crate::trace::{EvalStats, RoundTrace, StratumTrace};
+
+/// How much trace detail [`UpdateEngine::run`] records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Counters only.
+    Off,
+    /// Per-stratum summaries (cheap; the default).
+    #[default]
+    Strata,
+    /// Per-round entries as well.
+    Rounds,
+}
+
+/// What to do with programs the static conditions (a)–(d) reject.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CyclePolicy {
+    /// Reject statically (the paper's §4 semantics; the default).
+    #[default]
+    Reject,
+    /// Accept via [`crate::stratify::stratify_relaxed`]: the offending
+    /// SCC evaluates as one stratum under a runtime *stability check* —
+    /// every fired ground update must keep firing in every later round
+    /// of its stratum; a violation rejects the run with
+    /// [`EvalError::Unstable`]. Statically stratifiable programs get
+    /// identical strata and identical results under either policy.
+    RuntimeStability,
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// §5 runtime version-linearity check (default on). Disabling it is
+    /// only meant for the A2 ablation benchmark; `new_object_base` then
+    /// validates lazily.
+    pub check_linearity: bool,
+    /// Rule-level delta filtering (default on; ablation A1).
+    pub delta_filtering: bool,
+    /// Safety valve for the per-stratum fixpoint loop.
+    pub max_rounds_per_stratum: usize,
+    /// Trace detail.
+    pub trace: TraceLevel,
+    /// Evaluate the rules of a round on multiple threads.
+    pub parallel: bool,
+    /// Handling of statically non-stratifiable programs (§6 extension).
+    pub cycles: CyclePolicy,
+    /// Run the stability check on *every* stratum, not just flagged
+    /// ones (default off). For statically stratified programs stability
+    /// is a theorem following from conditions (a)–(d); this knob lets
+    /// tests validate that theorem empirically. Forces full rule
+    /// re-evaluation per round (disables delta filtering benefits).
+    pub verify_stability: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            check_linearity: true,
+            delta_filtering: true,
+            max_rounds_per_stratum: 1_000_000,
+            trace: TraceLevel::Strata,
+            parallel: false,
+            cycles: CyclePolicy::Reject,
+            verify_stability: false,
+        }
+    }
+}
+
+/// The update-program interpreter.
+///
+/// ```
+/// use ruvo_core::UpdateEngine;
+/// use ruvo_lang::Program;
+/// use ruvo_obase::ObjectBase;
+/// use ruvo_term::{int, oid};
+///
+/// let ob = ObjectBase::parse("henry.isa -> empl. henry.sal -> 250.").unwrap();
+/// let program = Program::parse(
+///     "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
+/// ).unwrap();
+/// let outcome = UpdateEngine::new(program).run(&ob).unwrap();
+/// assert_eq!(outcome.new_object_base().lookup1(oid("henry"), "sal"), vec![int(275)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UpdateEngine {
+    program: Program,
+    config: EngineConfig,
+}
+
+impl UpdateEngine {
+    /// An engine with default configuration.
+    pub fn new(program: Program) -> UpdateEngine {
+        UpdateEngine { program, config: EngineConfig::default() }
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(program: Program, config: EngineConfig) -> UpdateEngine {
+        UpdateEngine { program, config }
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Compute the §4 stratification without running anything.
+    pub fn stratify(&self) -> Result<Stratification, StratifyError> {
+        stratify(&self.program)
+    }
+
+    /// Run the update-program on `ob`, producing `result(P)` (all
+    /// versions) and the machinery to extract the new object base.
+    ///
+    /// `ob` itself is not modified; evaluation works on a prepared copy
+    /// with `exists` facts added (§3).
+    pub fn run(&self, ob: &ObjectBase) -> Result<Outcome, EvalError> {
+        self.run_owned(ob.clone())
+    }
+
+    /// Like [`UpdateEngine::run`], but consumes the object base,
+    /// avoiding the defensive copy.
+    pub fn run_owned(&self, mut ob: ObjectBase) -> Result<Outcome, EvalError> {
+        ob.ensure_exists();
+        self.run_prepared(ob)
+    }
+
+    /// Run on an already *prepared* object base: every version must
+    /// carry its `exists` fact (see [`ObjectBase::ensure_exists`]).
+    /// This is the zero-copy entry point for benchmarks that account
+    /// for preparation separately.
+    pub fn run_prepared(&self, work: ObjectBase) -> Result<Outcome, EvalError> {
+        let started = Instant::now();
+        let (stratification, risky) = match self.config.cycles {
+            CyclePolicy::Reject => {
+                let s = stratify(&self.program)?;
+                let n = s.strata.len();
+                (s, vec![false; n])
+            }
+            CyclePolicy::RuntimeStability => {
+                let relaxed = stratify_relaxed(&self.program);
+                (relaxed.stratification, relaxed.needs_runtime_check)
+            }
+        };
+        let mut work = work;
+
+        let mut tracker = self.config.check_linearity.then(LinearityTracker::new);
+        let mut stats = EvalStats::default();
+        let mut stratum_traces = Vec::new();
+        let mut round_traces = Vec::new();
+        let triggers: Vec<Option<FastHashSet<(Chain, Symbol)>>> =
+            self.program.rules.iter().map(rule_triggers).collect();
+
+        for (si, stratum) in stratification.strata.iter().enumerate() {
+            // Flagged strata (and all strata under `verify_stability`)
+            // re-evaluate every rule each round and verify that fired
+            // updates keep firing.
+            let checked = self.config.verify_stability || risky[si];
+            let mut fired = FiredSet::new();
+            // Accumulated fired updates per created version: §3's step 3
+            // applies the *full* `T¹` to each relevant version's copy,
+            // so chained modifies on one version (`(a,b)` then `(b,c)`)
+            // keep every to-value regardless of firing round.
+            let mut by_version: FastHashMap<Vid, Vec<Fired>> = FastHashMap::default();
+            // `None` marks the first round: evaluate everything.
+            let mut changed: Option<FastHashSet<(Chain, Symbol)>> = None;
+            let mut round = 0usize;
+            loop {
+                round += 1;
+                if round > self.config.max_rounds_per_stratum {
+                    return Err(EvalError::RoundLimit {
+                        stratum: si,
+                        limit: self.config.max_rounds_per_stratum,
+                    });
+                }
+                let to_eval: Vec<usize> = stratum
+                    .iter()
+                    .copied()
+                    .filter(|&r| match &changed {
+                        None => true,
+                        Some(ch) => {
+                            checked
+                                || !self.config.delta_filtering
+                                || match &triggers[r] {
+                                    None => true,
+                                    Some(ts) => ts.iter().any(|t| ch.contains(t)),
+                                }
+                        }
+                    })
+                    .collect();
+                stats.rule_evaluations += to_eval.len();
+                stats.rule_evaluations_skipped += stratum.len() - to_eval.len();
+
+                let new_fired = self.collect_round(&work, &to_eval);
+                if checked && round > 1 {
+                    // Stability: T¹ w.r.t. the current interpretation
+                    // must still contain every previously fired update.
+                    let current: FastHashSet<&Fired> = new_fired.iter().collect();
+                    if let Some(lost) = fired.iter().find(|f| !current.contains(f)) {
+                        return Err(EvalError::Unstable {
+                            stratum: si,
+                            round,
+                            update: lost.to_string(),
+                        });
+                    }
+                }
+                let delta: Vec<Fired> =
+                    new_fired.into_iter().filter(|f| fired.insert(f.clone())).collect();
+
+                if self.config.trace >= TraceLevel::Rounds {
+                    round_traces.push(RoundTrace {
+                        stratum: si,
+                        round,
+                        evaluated: to_eval.clone(),
+                        new_fired: delta.len(),
+                        touched: 0, // patched below if updates applied
+                    });
+                }
+                stats.rounds += 1;
+                if delta.is_empty() {
+                    break;
+                }
+                // Re-apply the full accumulated update set of every
+                // version the delta touches (idempotent for ins/del,
+                // required for mod chains; see module docs).
+                let mut affected: FastHashSet<Vid> = FastHashSet::default();
+                for f in delta {
+                    let created = f.created();
+                    affected.insert(created);
+                    by_version.entry(created).or_default().push(f);
+                }
+                let apply_list: Vec<Fired> = affected
+                    .iter()
+                    .flat_map(|v| by_version[v].iter().cloned())
+                    .collect();
+                let report = tp::apply_updates(&mut work, &apply_list);
+                if let Some(rt) = round_traces.last_mut() {
+                    rt.touched = report.touched.len();
+                }
+                stats.versions_created += report.created.len();
+                stats.facts_copied += report.facts_copied;
+                if let Some(tr) = &mut tracker {
+                    for &v in &report.touched {
+                        tr.record(v)?;
+                    }
+                }
+                changed = Some(report.changed);
+            }
+            stats.fired_updates += fired.len();
+            if self.config.trace >= TraceLevel::Strata {
+                stratum_traces.push(StratumTrace {
+                    stratum: si,
+                    rules: stratum.clone(),
+                    rounds: round,
+                    fired: fired.len(),
+                });
+            }
+        }
+
+        stats.strata = stratification.strata.len();
+        stats.elapsed = started.elapsed();
+        Ok(Outcome {
+            result: work,
+            stratification,
+            stats,
+            stratum_traces,
+            round_traces,
+            finals: tracker,
+        })
+    }
+
+    /// Step 1 of `T_P` over a set of rules, optionally in parallel.
+    fn collect_round(&self, ob: &ObjectBase, to_eval: &[usize]) -> Vec<Fired> {
+        if !self.config.parallel || to_eval.len() < 2 {
+            let mut out = Vec::new();
+            for &r in to_eval {
+                tp::collect_rule(ob, &self.program.rules[r], &mut out);
+            }
+            return out;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(to_eval.len());
+        let chunks: Vec<&[usize]> = to_eval.chunks(to_eval.len().div_ceil(workers)).collect();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for &r in chunk {
+                            tp::collect_rule(ob, &self.program.rules[r], &mut local);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rule evaluation worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed")
+    }
+}
+
+/// The `(chain, method)` relations a rule's positive body literals can
+/// read — if none of them changed in a round, the rule's matches are
+/// unchanged (see the module docs for why negated literals and head
+/// reads need no triggers). `None` means the rule must be re-evaluated
+/// every round: a VID-variable atom (§6 extension) can read any
+/// version.
+fn rule_triggers(rule: &Rule) -> Option<FastHashSet<(Chain, Symbol)>> {
+    let mut out: FastHashSet<(Chain, Symbol)> = FastHashSet::default();
+    let exists = exists_sym();
+    for lit in &rule.body {
+        if !lit.positive {
+            continue;
+        }
+        match &lit.atom {
+            Atom::Version(va) => match va.vid.as_term() {
+                Some(t) => {
+                    out.insert((t.chain, va.method));
+                }
+                None => return None,
+            },
+            Atom::Update(ua) => {
+                let chain = ua.target.chain;
+                match &ua.spec {
+                    UpdateSpec::Ins { method, .. } => {
+                        if let Ok(c) = chain.push(UpdateKind::Ins) {
+                            out.insert((c, *method));
+                        }
+                    }
+                    UpdateSpec::Del { method, .. } => {
+                        if let Ok(c) = chain.push(UpdateKind::Del) {
+                            out.insert((c, exists));
+                            out.insert((c, *method));
+                        }
+                        // del-body truth reads v*.method on any prefix.
+                        for p in chain.prefixes() {
+                            out.insert((p, *method));
+                        }
+                    }
+                    UpdateSpec::Mod { method, .. } => {
+                        if let Ok(c) = chain.push(UpdateKind::Mod) {
+                            out.insert((c, *method));
+                        }
+                        for p in chain.prefixes() {
+                            out.insert((p, *method));
+                        }
+                    }
+                    UpdateSpec::DelAll => unreachable!("del-all in a body is rejected"),
+                }
+            }
+            Atom::Cmp(_) => {}
+        }
+    }
+    Some(out)
+}
+
+/// How to pick each object's contribution to `ob'` when `result(P)` is
+/// *not* version-linear — §6's "alternatives to version-linearity may
+/// be interesting", made concrete.
+///
+/// Only meaningful together with `check_linearity: false` (the default
+/// runtime check rejects non-linear results before extraction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FinalVersionPolicy {
+    /// The paper's §5 rule: reject non-linear version sets.
+    #[default]
+    RequireLinear,
+    /// Per object, the deepest *maximal* version wins; equal depths are
+    /// resolved by the total order on update chains (deterministic but
+    /// arbitrary — "the update branch that got furthest").
+    DeepestWins,
+    /// Union the states of all maximal versions. Branches are treated
+    /// as independent update threads whose effects combine — natural
+    /// under the language's set-valued method semantics, and the
+    /// analogue of version-merge in OODB versioning \[Kim91\].
+    MergeMaximal,
+}
+
+/// The result of a successful run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    result: ObjectBase,
+    stratification: Stratification,
+    stats: EvalStats,
+    stratum_traces: Vec<StratumTrace>,
+    round_traces: Vec<RoundTrace>,
+    finals: Option<LinearityTracker>,
+}
+
+impl Outcome {
+    /// `result(P)`: the full object base including every version
+    /// created during evaluation.
+    pub fn result(&self) -> &ObjectBase {
+        &self.result
+    }
+
+    /// The stratification that was used.
+    pub fn stratification(&self) -> &Stratification {
+        &self.stratification
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Per-stratum traces (if `TraceLevel::Strata` or higher).
+    pub fn stratum_traces(&self) -> &[StratumTrace] {
+        &self.stratum_traces
+    }
+
+    /// Per-round traces (if `TraceLevel::Rounds`).
+    pub fn round_traces(&self) -> &[RoundTrace] {
+        &self.round_traces
+    }
+
+    /// The final version of every object in `result(P)` (§5), validated
+    /// for version-linearity when the runtime check was disabled.
+    pub fn final_versions(&self) -> Result<FastHashMap<Const, Vid>, LinearityViolation> {
+        let mut out: FastHashMap<Const, Vid> = FastHashMap::default();
+        match &self.finals {
+            Some(tracker) => {
+                for base in self.result.objects() {
+                    out.insert(base, tracker.final_version(base));
+                }
+            }
+            None => {
+                for base in self.result.objects() {
+                    let mut deepest = Vid::object(base);
+                    for v in self.result.versions_of(base) {
+                        if deepest.is_subterm_of(v) {
+                            deepest = v;
+                        }
+                    }
+                    for v in self.result.versions_of(base) {
+                        if !v.is_subterm_of(deepest) {
+                            return Err(LinearityViolation {
+                                object: base,
+                                existing: deepest,
+                                conflicting: v,
+                            });
+                        }
+                    }
+                    out.insert(base, deepest);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// §5: derive the updated object base `ob'` by copying, for each
+    /// object, the method-applications of its final version (dropping
+    /// the system method `exists`; objects whose final state is empty
+    /// disappear).
+    pub fn try_new_object_base(&self) -> Result<ObjectBase, LinearityViolation> {
+        let finals = self.final_versions()?;
+        let exists = exists_sym();
+        let mut out = ObjectBase::new();
+        for (base, fv) in finals {
+            let Some(state) = self.result.version(fv) else { continue };
+            for (method, app) in state.iter() {
+                if method != exists {
+                    out.insert(Vid::object(base), method, app.args.clone(), app.result);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The *maximal* versions of an object in `result(P)`: those that
+    /// are not a proper subterm of another version. A version-linear
+    /// object has exactly one; branches have one per leaf.
+    pub fn maximal_versions(&self, base: Const) -> Vec<Vid> {
+        let versions: Vec<Vid> = self.result.versions_of(base).collect();
+        let mut out: Vec<Vid> = versions
+            .iter()
+            .copied()
+            .filter(|&v| !versions.iter().any(|&w| w != v && v.is_subterm_of(w)))
+            .collect();
+        out.sort_by_key(|v| (v.depth(), v.chain()));
+        out
+    }
+
+    /// §5 extraction under an explicit [`FinalVersionPolicy`].
+    ///
+    /// `RequireLinear` is [`Outcome::try_new_object_base`]; the other
+    /// policies never fail and resolve version branches as documented
+    /// on the enum. On version-linear results all three agree.
+    pub fn new_object_base_with(
+        &self,
+        policy: FinalVersionPolicy,
+    ) -> Result<ObjectBase, LinearityViolation> {
+        if policy == FinalVersionPolicy::RequireLinear {
+            return self.try_new_object_base();
+        }
+        let exists = exists_sym();
+        let mut out = ObjectBase::new();
+        for base in self.result.objects() {
+            let maximal = self.maximal_versions(base);
+            let chosen: &[Vid] = match policy {
+                FinalVersionPolicy::RequireLinear => unreachable!("handled above"),
+                // maximal_versions sorts ascending by (depth, chain);
+                // the last entry is the deepest (tie-broken) winner.
+                FinalVersionPolicy::DeepestWins => {
+                    maximal.last().map(std::slice::from_ref).unwrap_or(&[])
+                }
+                FinalVersionPolicy::MergeMaximal => &maximal,
+            };
+            for &v in chosen {
+                let Some(state) = self.result.version(v) else { continue };
+                for (method, app) in state.iter() {
+                    if method != exists {
+                        out.insert(Vid::object(base), method, app.args.clone(), app.result);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The version timeline of one object in `result(P)` (see
+    /// [`mod@crate::history`]); `None` for unknown objects or non-linear
+    /// version sets.
+    pub fn history(&self, base: Const) -> Option<crate::history::History> {
+        crate::history::history(&self.result, base)
+    }
+
+    /// Like [`Outcome::try_new_object_base`].
+    ///
+    /// # Panics
+    /// Panics on a version-linearity violation — only possible when the
+    /// engine ran with `check_linearity: false`.
+    pub fn new_object_base(&self) -> ObjectBase {
+        self.try_new_object_base()
+            .expect("result(P) is not version-linear; see EngineConfig::check_linearity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::{int, oid};
+
+    fn run(ob_src: &str, program_src: &str) -> Outcome {
+        let ob = ObjectBase::parse(ob_src).unwrap();
+        let program = Program::parse(program_src).unwrap();
+        UpdateEngine::new(program).run(&ob).unwrap()
+    }
+
+    #[test]
+    fn salary_raise_terminates_and_updates_once() {
+        // §2.1: "each employee gets his salary raised exactly once".
+        let outcome = run(
+            "henry.isa -> empl. henry.sal -> 250. mary.isa -> empl. mary.sal -> 300.",
+            "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
+        );
+        let ob2 = outcome.new_object_base();
+        assert_eq!(ob2.lookup1(oid("henry"), "sal"), vec![int(275)]);
+        assert_eq!(ob2.lookup1(oid("mary"), "sal"), vec![int(330)]);
+        // The isa methods were carried over by the copy.
+        assert_eq!(ob2.lookup1(oid("henry"), "isa"), vec![oid("empl")]);
+        // result(P) holds both the old and the new version.
+        let henry = Vid::object(oid("henry"));
+        assert!(outcome.result().contains(henry, ruvo_term::sym("sal"), &[], int(250)));
+        let mod_h = henry.apply(UpdateKind::Mod).unwrap();
+        assert!(outcome.result().contains(mod_h, ruvo_term::sym("sal"), &[], int(275)));
+    }
+
+    #[test]
+    fn update_facts_program() {
+        let outcome = run("", "ins[adam].isa -> person. ins[adam].age -> 30.");
+        let ob2 = outcome.new_object_base();
+        assert_eq!(ob2.lookup1(oid("adam"), "isa"), vec![oid("person")]);
+        assert_eq!(ob2.lookup1(oid("adam"), "age"), vec![int(30)]);
+    }
+
+    #[test]
+    fn empty_program_is_identity() {
+        let outcome = run("a.p -> 1. b.q -> x.", "");
+        let ob2 = outcome.new_object_base();
+        assert_eq!(ob2, ObjectBase::parse("a.p -> 1. b.q -> x.").unwrap());
+        assert_eq!(outcome.stats().strata, 0);
+    }
+
+    #[test]
+    fn recursive_ancestors() {
+        // §2.3's final example, with set-valued anc/parents.
+        let outcome = run(
+            "ann.isa -> person. bea.isa -> person / parents -> ann.
+             cid.isa -> person / parents -> bea.",
+            "ins[X].anc -> P <= X.isa -> person / parents -> P.
+             ins[X].anc -> P <= ins(X).isa -> person / anc -> A & A.isa -> person / parents -> P.",
+        );
+        let ob2 = outcome.new_object_base();
+        assert_eq!(ob2.lookup1(oid("cid"), "anc"), {
+            let mut v = vec![oid("ann"), oid("bea")];
+            v.sort();
+            v
+        });
+        assert_eq!(ob2.lookup1(oid("bea"), "anc"), vec![oid("ann")]);
+        assert_eq!(ob2.lookup1(oid("ann"), "anc"), vec![]);
+        // The recursion needed more than one round in its stratum.
+        assert!(outcome.stats().rounds > 2, "stats: {}", outcome.stats());
+    }
+
+    #[test]
+    fn late_delete_within_stratum_is_applied() {
+        // D1: the delete's body depends on an ins-fact derived in the
+        // same stratum, so it fires in round 2; overwrite semantics
+        // must still remove q -> 1 from del(b).
+        let outcome = run(
+            "a.p -> 1. b.q -> 1.",
+            "ins[a].flag -> 1 <= a.p -> 1.
+             del[b].q -> 1 <= ins(a).flag -> 1.",
+        );
+        let ob2 = outcome.new_object_base();
+        assert_eq!(ob2.lookup1(oid("b"), "q"), vec![]);
+        assert_eq!(ob2.lookup1(oid("a"), "flag"), vec![int(1)]);
+    }
+
+    #[test]
+    fn linearity_violation_detected() {
+        // §5's example shape: mod and del on the same initial version.
+        let ob = ObjectBase::parse("o.m -> a.").unwrap();
+        let program = Program::parse(
+            "mod[o].m -> (a, b) <= o.m -> a.
+             del[o].m -> a <= o.m -> a.",
+        )
+        .unwrap();
+        let err = UpdateEngine::new(program).run(&ob).unwrap_err();
+        match err {
+            EvalError::Linearity(v) => assert_eq!(v.object, oid("o")),
+            other => panic!("expected linearity violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linearity_check_disabled_defers_error() {
+        let ob = ObjectBase::parse("o.m -> a.").unwrap();
+        let program = Program::parse(
+            "mod[o].m -> (a, b) <= o.m -> a.
+             del[o].m -> a <= o.m -> a.",
+        )
+        .unwrap();
+        let config = EngineConfig { check_linearity: false, ..Default::default() };
+        let outcome = UpdateEngine::with_config(program, config).run(&ob).unwrap();
+        assert!(outcome.try_new_object_base().is_err());
+    }
+
+    #[test]
+    fn deleted_object_disappears_from_new_base() {
+        let outcome = run("victim.only -> 1. other.p -> 2.", "del[victim].* .");
+        let ob2 = outcome.new_object_base();
+        assert_eq!(ob2.lookup1(oid("victim"), "only"), vec![]);
+        assert!(!ob2.objects().any(|o| o == oid("victim")));
+        assert_eq!(ob2.lookup1(oid("other"), "p"), vec![int(2)]);
+        // result(P) still knows the deletion happened (the exists note).
+        let del_victim = Vid::object(oid("victim")).apply(UpdateKind::Del).unwrap();
+        assert!(outcome.result().exists_fact(del_victim));
+    }
+
+    #[test]
+    fn delta_filtering_matches_naive() {
+        let ob_src = "ann.isa -> person. bea.isa -> person / parents -> ann.
+                      cid.isa -> person / parents -> bea. dan.isa -> person / parents -> cid.";
+        let prog_src = "ins[X].anc -> P <= X.isa -> person / parents -> P.
+             ins[X].anc -> P <= ins(X).isa -> person / anc -> A & A.isa -> person / parents -> P.";
+        let ob = ObjectBase::parse(ob_src).unwrap();
+        let with = UpdateEngine::with_config(
+            Program::parse(prog_src).unwrap(),
+            EngineConfig { delta_filtering: true, ..Default::default() },
+        )
+        .run(&ob)
+        .unwrap();
+        let without = UpdateEngine::with_config(
+            Program::parse(prog_src).unwrap(),
+            EngineConfig { delta_filtering: false, ..Default::default() },
+        )
+        .run(&ob)
+        .unwrap();
+        assert_eq!(with.result(), without.result());
+        assert_eq!(with.new_object_base(), without.new_object_base());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ob_src = "phil.isa -> empl / pos -> mgr / sal -> 4000.
+                      bob.isa -> empl / boss -> phil / sal -> 4200.";
+        let prog = "
+            rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+            rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+        ";
+        let ob = ObjectBase::parse(ob_src).unwrap();
+        let seq = UpdateEngine::new(Program::parse(prog).unwrap()).run(&ob).unwrap();
+        let par = UpdateEngine::with_config(
+            Program::parse(prog).unwrap(),
+            EngineConfig { parallel: true, ..Default::default() },
+        )
+        .run(&ob)
+        .unwrap();
+        assert_eq!(seq.result(), par.result());
+    }
+
+    #[test]
+    fn round_limit_triggers() {
+        let ob = ObjectBase::parse("a.p -> 1. b.x -> 9. c.x -> 9.").unwrap();
+        // Needs 3+ rounds: chain of derivations.
+        let program = Program::parse(
+            "ins[b].p -> 1 <= ins(a).p -> 1.
+             ins[a].p -> 1 <= a.p -> 1.
+             ins[c].p -> 1 <= ins(b).p -> 1.",
+        )
+        .unwrap();
+        let config = EngineConfig { max_rounds_per_stratum: 2, ..Default::default() };
+        let err = UpdateEngine::with_config(program.clone(), config).run(&ob).unwrap_err();
+        assert!(matches!(err, EvalError::RoundLimit { .. }));
+        // With enough rounds it completes.
+        assert!(UpdateEngine::new(program).run(&ob).is_ok());
+    }
+
+    #[test]
+    fn trace_levels_record() {
+        let ob = ObjectBase::parse("a.p -> 1.").unwrap();
+        let program = Program::parse("ins[a].q -> 1 <= a.p -> 1.").unwrap();
+        let outcome = UpdateEngine::with_config(
+            program,
+            EngineConfig { trace: TraceLevel::Rounds, ..Default::default() },
+        )
+        .run(&ob)
+        .unwrap();
+        assert_eq!(outcome.stratum_traces().len(), 1);
+        assert_eq!(outcome.round_traces().len(), 2); // firing round + empty round
+        assert_eq!(outcome.round_traces()[0].new_fired, 1);
+    }
+
+    #[test]
+    fn chained_modify_across_rounds_reaches_paper_fixpoint() {
+        // m is set-valued with {a, b}. (a,b) fires in round 1; (b,c)
+        // fires in round 2 (its body needs the ins-fact from round 1).
+        // At the paper's fixpoint T¹ = {(a,b),(b,c)} and step 3 gives
+        // mod(o).m = {b, c}. Applying only the round-2 delta to the
+        // round-1 state would lose b (state {c}).
+        let outcome = run(
+            "o.m -> a. o.m -> b.",
+            "ins[trigger].go -> 1 <= o.m -> a.
+             mod[o].m -> (a, b) <= o.m -> a.
+             mod[o].m -> (b, c) <= ins(trigger).go -> 1 & o.m -> b.",
+        );
+        // All three rules share one stratum: the chain is a genuinely
+        // intra-stratum phenomenon.
+        assert_eq!(outcome.stratification().strata.len(), 1);
+        let ob2 = outcome.new_object_base();
+        let mut got = ob2.lookup1(oid("o"), "m");
+        got.sort();
+        assert_eq!(got, vec![oid("b"), oid("c")]);
+    }
+
+    #[test]
+    fn same_round_chained_modify_is_order_independent() {
+        // Both mods fire in round 1; the result must not depend on the
+        // order rules are listed in.
+        for prog in [
+            "mod[o].m -> (a, b) <= o.m -> a. mod[o].m -> (b, c) <= o.m -> b.",
+            "mod[o].m -> (b, c) <= o.m -> b. mod[o].m -> (a, b) <= o.m -> a.",
+        ] {
+            let outcome = run("o.m -> a. o.m -> b.", prog);
+            let mut got = outcome.new_object_base().lookup1(oid("o"), "m");
+            got.sort();
+            assert_eq!(got, vec![oid("b"), oid("c")], "program: {prog}");
+        }
+    }
+
+    #[test]
+    fn new_object_creation() {
+        let outcome = run("founder.isa -> person.", "ins[child].parents -> founder <= founder.isa -> person.");
+        let ob2 = outcome.new_object_base();
+        assert_eq!(ob2.lookup1(oid("child"), "parents"), vec![oid("founder")]);
+    }
+
+    // A 2-rule cycle through conditions (b) and (c): rule2 reads the
+    // negated delete on ins(X) (so the del-rule must be strictly lower)
+    // while rule1 reads ins(X) positively (so the ins-rule must be at
+    // most as high). Statically rejected; evaluation is stable when the
+    // negated atom never flips.
+    const CYCLIC_STABLE: &str = "
+        r1: del[ins(X)].m -> 1 <= ins(X).m -> 1 & ins(X).go -> 1.
+        r2: ins[X].go -> 1 <= X.trigger -> 1 & not del[ins(X)].m -> 9.
+    ";
+
+    #[test]
+    fn cyclic_program_rejected_statically() {
+        let ob = ObjectBase::parse("a.m -> 1. a.trigger -> 1.").unwrap();
+        let program = Program::parse(CYCLIC_STABLE).unwrap();
+        let err = UpdateEngine::new(program).run(&ob).unwrap_err();
+        assert!(matches!(err, EvalError::NotStratifiable(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn cyclic_but_stable_program_accepted_at_runtime() {
+        let ob = ObjectBase::parse("a.m -> 1. a.trigger -> 1.").unwrap();
+        let program = Program::parse(CYCLIC_STABLE).unwrap();
+        let config = EngineConfig { cycles: CyclePolicy::RuntimeStability, ..Default::default() };
+        let outcome = UpdateEngine::with_config(program, config).run(&ob).unwrap();
+        // a's final version is del(ins(a)): go was inserted, then m
+        // deleted from the ins-version.
+        let ob2 = outcome.new_object_base();
+        assert_eq!(ob2.lookup1(oid("a"), "go"), vec![int(1)]);
+        assert_eq!(ob2.lookup1(oid("a"), "m"), vec![]);
+        assert_eq!(ob2.lookup1(oid("a"), "trigger"), vec![int(1)]);
+    }
+
+    #[test]
+    fn cyclic_unstable_program_rejected_at_runtime() {
+        // Same shape, but the negated update-term is exactly the delete
+        // r1 performs: once it happens, r2's fired instance no longer
+        // fires — order-dependence detected and rejected.
+        let ob = ObjectBase::parse("a.m -> 1. a.trigger -> 1.").unwrap();
+        let program = Program::parse(
+            "r1: del[ins(X)].m -> 1 <= ins(X).m -> 1 & ins(X).go -> 1.
+             r2: ins[X].go -> 1 <= X.trigger -> 1 & not del[ins(X)].m -> 1.",
+        )
+        .unwrap();
+        let config = EngineConfig { cycles: CyclePolicy::RuntimeStability, ..Default::default() };
+        let err = UpdateEngine::with_config(program, config).run(&ob).unwrap_err();
+        match err {
+            EvalError::Unstable { update, .. } => {
+                assert!(update.contains("go"), "unexpected update: {update}");
+            }
+            other => panic!("expected Unstable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_policy_matches_static_on_stratifiable_programs() {
+        // The paper's enterprise example: identical strata, identical
+        // result under either policy, with or without paranoia.
+        let ob_src = "phil.isa -> empl / pos -> mgr / sal -> 4000.
+                      bob.isa -> empl / boss -> phil / sal -> 4200.";
+        let prog = "
+            rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+            rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+            rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+            rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.
+        ";
+        let ob = ObjectBase::parse(ob_src).unwrap();
+        let strict = UpdateEngine::new(Program::parse(prog).unwrap()).run(&ob).unwrap();
+        for verify in [false, true] {
+            let config = EngineConfig {
+                cycles: CyclePolicy::RuntimeStability,
+                verify_stability: verify,
+                ..Default::default()
+            };
+            let relaxed = UpdateEngine::with_config(Program::parse(prog).unwrap(), config)
+                .run(&ob)
+                .unwrap();
+            assert_eq!(strict.result(), relaxed.result(), "verify_stability = {verify}");
+            assert_eq!(
+                strict.stratification().strata,
+                relaxed.stratification().strata
+            );
+        }
+    }
+
+    #[test]
+    fn final_version_policies_on_branching_result() {
+        // ins(o) and mod(o) branch off the initial version: ins adds
+        // extra -> 1 (keeping m -> a), mod rewrites m to b.
+        let ob = ObjectBase::parse("o.m -> a.").unwrap();
+        let program = Program::parse(
+            "mod[o].m -> (a, b) <= o.m -> a.
+             ins[o].extra -> 1 <= o.m -> a.",
+        )
+        .unwrap();
+        let config = EngineConfig { check_linearity: false, ..Default::default() };
+        let outcome = UpdateEngine::with_config(program, config).run(&ob).unwrap();
+
+        // The paper's policy rejects.
+        assert!(outcome.new_object_base_with(FinalVersionPolicy::RequireLinear).is_err());
+
+        // Two maximal versions, sorted ins(o) < mod(o) (chain order).
+        let maximal = outcome.maximal_versions(oid("o"));
+        assert_eq!(maximal.len(), 2);
+        assert!(maximal[0].chain() < maximal[1].chain());
+
+        // DeepestWins: equal depth, mod(o) wins the chain tie-break.
+        let deep = outcome.new_object_base_with(FinalVersionPolicy::DeepestWins).unwrap();
+        assert_eq!(deep.lookup1(oid("o"), "m"), vec![oid("b")]);
+        assert_eq!(deep.lookup1(oid("o"), "extra"), vec![]);
+
+        // MergeMaximal: union of both branches.
+        let merged = outcome.new_object_base_with(FinalVersionPolicy::MergeMaximal).unwrap();
+        let mut m = merged.lookup1(oid("o"), "m");
+        m.sort();
+        assert_eq!(m, vec![oid("a"), oid("b")]);
+        assert_eq!(merged.lookup1(oid("o"), "extra"), vec![int(1)]);
+    }
+
+    #[test]
+    fn final_version_policies_agree_on_linear_results() {
+        let ob = ObjectBase::parse("henry.isa -> empl. henry.sal -> 250.").unwrap();
+        let program = Program::parse(
+            "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.
+             ins[mod(E)].isa -> hpe <= mod(E).sal -> S & S > 270.",
+        )
+        .unwrap();
+        let outcome = UpdateEngine::new(program).run(&ob).unwrap();
+        let linear = outcome.try_new_object_base().unwrap();
+        for policy in [FinalVersionPolicy::DeepestWins, FinalVersionPolicy::MergeMaximal] {
+            assert_eq!(outcome.new_object_base_with(policy).unwrap(), linear, "{policy:?}");
+        }
+        assert_eq!(outcome.maximal_versions(oid("henry")).len(), 1);
+    }
+
+    #[test]
+    fn relaxed_stratification_flags_cycle_strata() {
+        let program = Program::parse(CYCLIC_STABLE).unwrap();
+        let relaxed = crate::stratify::stratify_relaxed(&program);
+        assert_eq!(relaxed.stratification.strata, vec![vec![0, 1]]);
+        assert_eq!(relaxed.needs_runtime_check, vec![true]);
+        // A stratifiable program has no flagged strata.
+        let plain = Program::parse("ins[a].p -> 1.").unwrap();
+        let relaxed = crate::stratify::stratify_relaxed(&plain);
+        assert_eq!(relaxed.needs_runtime_check, vec![false]);
+    }
+}

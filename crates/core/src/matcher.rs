@@ -1,0 +1,588 @@
+//! Body evaluation: enumerating ground instances of a rule whose body
+//! literals are all true w.r.t. an object base (the inner loop of step 1
+//! of `T_P`).
+//!
+//! The matcher executes the rule's safety plan ([`ruvo_lang::RulePlan`])
+//! as a nested-loop join with backtracking over a single [`Bindings`]:
+//!
+//! * `Scan` steps enumerate candidate facts from the object base's
+//!   `(chain, method)` index and bind pattern variables;
+//! * `Check` steps evaluate fully-bound literals against the §3 truth
+//!   relation (including negation, which per the paper is "true w.r.t.
+//!   I if [the atom] is not true w.r.t. I");
+//! * `Assign` steps evaluate a bound arithmetic expression and bind its
+//!   target variable.
+//!
+//! Positive update-terms in bodies are scannable too: their §3 truth
+//! conditions dictate the candidate enumeration (e.g. a `del[V].m -> R`
+//! body literal with unbound `V`-base enumerates versions `del(v)` whose
+//! `exists` fact is present, then reads the deleted applications from
+//! `v*`).
+
+use ruvo_lang::{Atom, Literal, PlannedLiteral, Rule, UpdateSpec, VersionAtom};
+use ruvo_obase::{exists_sym, ObjectBase};
+use ruvo_term::{ArgTerm, Bindings, Const, UpdateKind, Vid, VidRef};
+
+use crate::truth;
+
+/// Enumerate every satisfying assignment of `rule`'s body over `ob`,
+/// invoking `sink` with the complete bindings for each.
+///
+/// `sink` must read what it needs from the bindings immediately; they
+/// are reused (backtracked) after it returns.
+pub fn for_each_match(ob: &ObjectBase, rule: &Rule, sink: &mut dyn FnMut(&Bindings)) {
+    let mut bindings = Bindings::with_vid_vars(rule.vars.len(), rule.vid_vars.len());
+    exec(ob, rule, 0, &mut bindings, sink);
+}
+
+fn exec(
+    ob: &ObjectBase,
+    rule: &Rule,
+    step: usize,
+    b: &mut Bindings,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    let Some(planned) = rule.plan.steps.get(step) else {
+        sink(b);
+        return;
+    };
+    match *planned {
+        PlannedLiteral::Check(li) => {
+            if check_literal(ob, &rule.body[li], b) {
+                exec(ob, rule, step + 1, b, sink);
+            }
+        }
+        PlannedLiteral::Assign { lit, var } => {
+            let Atom::Cmp(builtin) = &rule.body[lit].atom else {
+                unreachable!("Assign plan step on non-builtin literal");
+            };
+            // One side is the (unbound) variable, the other the value.
+            let value = if builtin.lhs.as_single_var() == Some(var) {
+                builtin.rhs.eval(b)
+            } else {
+                builtin.lhs.eval(b)
+            };
+            if let Some(value) = value {
+                let mark = b.mark();
+                if b.unify_var(var, value) {
+                    exec(ob, rule, step + 1, b, sink);
+                }
+                b.undo_to(mark);
+            }
+        }
+        PlannedLiteral::Scan(li) => {
+            let lit = &rule.body[li];
+            debug_assert!(lit.positive, "Scan plan step on negated literal");
+            match &lit.atom {
+                Atom::Version(va) => scan_version(ob, va, rule, step, b, sink),
+                Atom::Update(ua) => match &ua.spec {
+                    UpdateSpec::Ins { method, args, result } => {
+                        // ins[v].m -> r ⟺ ins(v).m -> r ∈ I: scan the
+                        // created version like a version-term.
+                        let Ok(created) = ua.target.apply(UpdateKind::Ins) else { return };
+                        let va = VersionAtom {
+                            vid: VidRef::Term(created),
+                            method: *method,
+                            args: args.clone(),
+                            result: *result,
+                        };
+                        scan_version(ob, &va, rule, step, b, sink);
+                    }
+                    UpdateSpec::Del { method, args, result } => {
+                        scan_del(ob, ua.target, *method, args, *result, rule, step, b, sink);
+                    }
+                    UpdateSpec::Mod { method, args, from, to } => {
+                        scan_mod(ob, ua.target, *method, args, *from, *to, rule, step, b, sink);
+                    }
+                    UpdateSpec::DelAll => {
+                        unreachable!("del-all in a body is rejected by validation")
+                    }
+                },
+                Atom::Cmp(_) => unreachable!("Scan plan step on builtin literal"),
+            }
+        }
+    }
+}
+
+/// Evaluate a fully-bound literal. Positive: §3 truth. Negated: "true
+/// w.r.t. I if [the atom] is not true w.r.t. I".
+fn check_literal(ob: &ObjectBase, lit: &Literal, b: &Bindings) -> bool {
+    let truth = match &lit.atom {
+        Atom::Version(va) => {
+            let vid = va.vid.ground(b).expect("plan guarantees boundness at Check steps");
+            let args = ground_args(&va.args, b);
+            let result = ground_arg(va.result, b);
+            truth::version_term(ob, vid, va.method, &args, result)
+        }
+        Atom::Update(ua) => {
+            let target = ground_vid(ua.target, b);
+            match &ua.spec {
+                UpdateSpec::Ins { method, args, result } => {
+                    truth::ins_body(ob, target, *method, &ground_args(args, b), ground_arg(*result, b))
+                }
+                UpdateSpec::Del { method, args, result } => {
+                    truth::del_body(ob, target, *method, &ground_args(args, b), ground_arg(*result, b))
+                }
+                UpdateSpec::Mod { method, args, from, to } => truth::mod_body(
+                    ob,
+                    target,
+                    *method,
+                    &ground_args(args, b),
+                    ground_arg(*from, b),
+                    ground_arg(*to, b),
+                ),
+                UpdateSpec::DelAll => unreachable!("del-all in a body is rejected by validation"),
+            }
+        }
+        Atom::Cmp(builtin) => match (builtin.lhs.eval(b), builtin.rhs.eval(b)) {
+            (Some(l), Some(r)) => builtin.op.test(l, r),
+            // Undefined arithmetic (symbol in an operator, division by
+            // zero): the atom is not true.
+            _ => false,
+        },
+    };
+    truth == lit.positive
+}
+
+fn ground_vid(term: ruvo_term::VidTerm, b: &Bindings) -> Vid {
+    term.ground(b).expect("plan guarantees boundness at Check steps")
+}
+
+fn ground_arg(term: ArgTerm, b: &Bindings) -> Const {
+    term.ground(b).expect("plan guarantees boundness at Check steps")
+}
+
+fn ground_args(args: &[ArgTerm], b: &Bindings) -> Vec<Const> {
+    args.iter().map(|&a| ground_arg(a, b)).collect()
+}
+
+/// Try to match pattern args+result against ground values under `b`,
+/// then continue with the next plan step; undoes bindings afterwards.
+#[allow(clippy::too_many_arguments)]
+fn match_app_and_continue(
+    ob: &ObjectBase,
+    pattern_args: &[ArgTerm],
+    pattern_result: ArgTerm,
+    ground_args: &[Const],
+    ground_result: Const,
+    rule: &Rule,
+    step: usize,
+    b: &mut Bindings,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    if pattern_args.len() != ground_args.len() {
+        return;
+    }
+    let mark = b.mark();
+    let mut ok = true;
+    for (&pat, &val) in pattern_args.iter().zip(ground_args) {
+        if !pat.matches(val, b) {
+            ok = false;
+            break;
+        }
+    }
+    if ok && pattern_result.matches(ground_result, b) {
+        exec(ob, rule, step + 1, b, sink);
+    }
+    b.undo_to(mark);
+}
+
+/// Scan a version-term: enumerate versions (by index if the base is
+/// unbound), then their applications of the method. An unbound VID
+/// variable (`$V`, the §6 extension) scans *every* version carrying the
+/// method, regardless of chain.
+fn scan_version(
+    ob: &ObjectBase,
+    va: &VersionAtom,
+    rule: &Rule,
+    step: usize,
+    b: &mut Bindings,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    match va.vid.ground(b) {
+        Some(vid) => {
+            for app in ob.apps(vid, va.method) {
+                match_app_and_continue(
+                    ob,
+                    &va.args,
+                    va.result,
+                    app.args.as_slice(),
+                    app.result,
+                    rule,
+                    step,
+                    b,
+                    sink,
+                );
+            }
+        }
+        None => match va.vid {
+            VidRef::Term(t) => {
+                for vid in ob.versions_with(t.chain, va.method) {
+                    let mark = b.mark();
+                    if t.base.matches(vid.base(), b) {
+                        for app in ob.apps(vid, va.method) {
+                            match_app_and_continue(
+                                ob,
+                                &va.args,
+                                va.result,
+                                app.args.as_slice(),
+                                app.result,
+                                rule,
+                                step,
+                                b,
+                                sink,
+                            );
+                        }
+                    }
+                    b.undo_to(mark);
+                }
+            }
+            VidRef::Var(vv) => {
+                let versions: Vec<Vid> = ob.versions().collect();
+                for vid in versions {
+                    let mark = b.mark();
+                    if b.unify_vid_var(vv, vid) {
+                        for app in ob.apps(vid, va.method) {
+                            match_app_and_continue(
+                                ob,
+                                &va.args,
+                                va.result,
+                                app.args.as_slice(),
+                                app.result,
+                                rule,
+                                step,
+                                b,
+                                sink,
+                            );
+                        }
+                    }
+                    b.undo_to(mark);
+                }
+            }
+        },
+    }
+}
+
+/// Candidate target versions for a del/mod body update-term scan:
+/// either the single ground target, or every base having the created
+/// version with `index_method` defined.
+fn target_candidates(
+    ob: &ObjectBase,
+    target: ruvo_term::VidTerm,
+    kind: UpdateKind,
+    index_method: ruvo_term::Symbol,
+    b: &Bindings,
+) -> Vec<Vid> {
+    match target.ground(b) {
+        Some(vid) => vec![vid],
+        None => {
+            let Ok(created) = target.chain.push(kind) else { return vec![] };
+            ob.versions_with(created, index_method)
+                .map(|v| Vid::new(v.base(), target.chain))
+                .collect()
+        }
+    }
+}
+
+/// Scan `del[V].m@args -> R` in a body: §3 requires
+/// `v*.m -> r ∈ I ∧ del(v).exists -> o ∈ I ∧ del(v).m -> r ∉ I`.
+#[allow(clippy::too_many_arguments)]
+fn scan_del(
+    ob: &ObjectBase,
+    target: ruvo_term::VidTerm,
+    method: ruvo_term::Symbol,
+    args: &[ArgTerm],
+    result: ArgTerm,
+    rule: &Rule,
+    step: usize,
+    b: &mut Bindings,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    // Candidates must have del(v).exists: enumerate via the exists index.
+    for tvid in target_candidates(ob, target, UpdateKind::Del, exists_sym(), b) {
+        let Ok(created) = tvid.apply(UpdateKind::Del) else { continue };
+        if !ob.exists_fact(created) {
+            continue;
+        }
+        let Some(v_star) = ob.v_star(tvid) else { continue };
+        let mark = b.mark();
+        if target.base.matches(tvid.base(), b) {
+            for app in ob.apps(v_star, method) {
+                if ob.contains(created, method, app.args.as_slice(), app.result) {
+                    continue; // still present: not deleted
+                }
+                match_app_and_continue(
+                    ob,
+                    args,
+                    result,
+                    app.args.as_slice(),
+                    app.result,
+                    rule,
+                    step,
+                    b,
+                    sink,
+                );
+            }
+        }
+        b.undo_to(mark);
+    }
+}
+
+/// Scan `mod[V].m@args -> (R, R2)` in a body, per the two §3 clauses
+/// (changed and unchanged result; DESIGN.md D5).
+#[allow(clippy::too_many_arguments)]
+fn scan_mod(
+    ob: &ObjectBase,
+    target: ruvo_term::VidTerm,
+    method: ruvo_term::Symbol,
+    args: &[ArgTerm],
+    from: ArgTerm,
+    to: ArgTerm,
+    rule: &Rule,
+    step: usize,
+    b: &mut Bindings,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    // Both clauses require mod(v).m defined; use it as candidate index.
+    for tvid in target_candidates(ob, target, UpdateKind::Mod, method, b) {
+        let Ok(created) = tvid.apply(UpdateKind::Mod) else { continue };
+        let Some(v_star) = ob.v_star(tvid) else { continue };
+        let mark = b.mark();
+        if target.base.matches(tvid.base(), b) {
+            for from_app in ob.apps(v_star, method) {
+                let in_created =
+                    ob.contains(created, method, from_app.args.as_slice(), from_app.result);
+                // Clause r = r': v*.m -> r ∈ I and mod(v).m -> r ∈ I.
+                if in_created {
+                    match_pair_and_continue(
+                        ob, args, from, to, from_app.args.as_slice(), from_app.result,
+                        from_app.result, rule, step, b, sink,
+                    );
+                    continue;
+                }
+                // Clause r ≠ r': v*.m -> r ∈ I, mod(v).m -> r ∉ I,
+                // mod(v).m -> r' ∈ I (same arguments).
+                for to_app in ob.apps(created, method) {
+                    if to_app.args != from_app.args || to_app.result == from_app.result {
+                        continue;
+                    }
+                    match_pair_and_continue(
+                        ob, args, from, to, from_app.args.as_slice(), from_app.result,
+                        to_app.result, rule, step, b, sink,
+                    );
+                }
+            }
+        }
+        b.undo_to(mark);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_pair_and_continue(
+    ob: &ObjectBase,
+    pattern_args: &[ArgTerm],
+    pattern_from: ArgTerm,
+    pattern_to: ArgTerm,
+    ground_args: &[Const],
+    ground_from: Const,
+    ground_to: Const,
+    rule: &Rule,
+    step: usize,
+    b: &mut Bindings,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    if pattern_args.len() != ground_args.len() {
+        return;
+    }
+    let mark = b.mark();
+    let mut ok = true;
+    for (&pat, &val) in pattern_args.iter().zip(ground_args) {
+        if !pat.matches(val, b) {
+            ok = false;
+            break;
+        }
+    }
+    if ok && pattern_from.matches(ground_from, b) && pattern_to.matches(ground_to, b) {
+        exec(ob, rule, step + 1, b, sink);
+    }
+    b.undo_to(mark);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_lang::Program;
+    use ruvo_obase::Args;
+    use ruvo_term::{int, oid, sym, VarId};
+
+    fn matches(ob: &ObjectBase, rule_src: &str) -> Vec<Vec<Option<Const>>> {
+        let program = Program::parse(rule_src).unwrap();
+        let mut out = Vec::new();
+        for_each_match(ob, &program.rules[0], &mut |b| out.push(b.snapshot()));
+        out.sort();
+        out
+    }
+
+    fn base() -> ObjectBase {
+        let mut ob = ObjectBase::parse(
+            "phil.isa -> empl / pos -> mgr / sal -> 4000.
+             bob.isa -> empl / boss -> phil / sal -> 4200.",
+        )
+        .unwrap();
+        ob.ensure_exists();
+        ob
+    }
+
+    #[test]
+    fn simple_scan_binds_all_employees() {
+        let ob = base();
+        let m = matches(&ob, "ins[E].seen -> yes <= E.isa -> empl.");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn join_through_bound_base() {
+        let ob = base();
+        // bob's boss phil earns less than bob.
+        let m = matches(
+            &ob,
+            "ins[E].flag -> 1 <= E.boss -> B & B.sal -> SB & E.sal -> SE & SE > SB.",
+        );
+        assert_eq!(m.len(), 1);
+        // E = bob.
+        let e_val = m[0][0];
+        assert_eq!(e_val, Some(oid("bob")));
+    }
+
+    #[test]
+    fn negation_filters() {
+        let ob = base();
+        let m = matches(&ob, "ins[E].nm -> 1 <= E.isa -> empl & not E.pos -> mgr.");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0], Some(oid("bob")));
+    }
+
+    #[test]
+    fn assignment_computes() {
+        let ob = base();
+        let m = matches(&ob, "mod[E].sal -> (S, S2) <= E.sal -> S & S2 = S * 2.");
+        assert_eq!(m.len(), 2);
+        // Each match binds S2 = 2*S.
+        for snapshot in &m {
+            let s = snapshot[1].unwrap().as_f64().unwrap();
+            let s2 = snapshot[2].unwrap().as_f64().unwrap();
+            assert_eq!(s2, 2.0 * s);
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_never_matches() {
+        let mut ob = ObjectBase::new();
+        ob.insert(Vid::object(oid("g")), sym("edge"), Args::new(vec![oid("a")]), int(1));
+        ob.ensure_exists();
+        let m = matches(&ob, "ins[X].d -> 1 <= X.edge @ A, B -> W.");
+        assert!(m.is_empty());
+        let m = matches(&ob, "ins[X].d -> W <= X.edge @ A -> W.");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_must_agree() {
+        let mut ob = ObjectBase::new();
+        ob.insert(Vid::object(oid("a")), sym("p"), Args::empty(), oid("a"));
+        ob.insert(Vid::object(oid("b")), sym("p"), Args::empty(), oid("c"));
+        ob.ensure_exists();
+        // X.p -> X: only a.p -> a matches.
+        let m = matches(&ob, "ins[X].fix -> 1 <= X.p -> X.");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0], Some(oid("a")));
+    }
+
+    #[test]
+    fn scan_ins_update_term_in_body() {
+        let mut ob = base();
+        let ins_bob = Vid::object(oid("bob")).apply(UpdateKind::Ins).unwrap();
+        ob.insert(ins_bob, sym("exists"), Args::empty(), oid("bob"));
+        ob.insert(ins_bob, sym("isa"), Args::empty(), oid("hpe"));
+        let m = matches(&ob, "ins[x].found -> E <= ins[E].isa -> hpe.");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0], Some(oid("bob")));
+    }
+
+    #[test]
+    fn scan_del_update_term_in_body() {
+        let mut ob = base();
+        // Simulate del(bob) having deleted isa -> empl (exists kept).
+        let del_bob = Vid::object(oid("bob")).apply(UpdateKind::Del).unwrap();
+        ob.insert(del_bob, sym("exists"), Args::empty(), oid("bob"));
+        ob.insert(del_bob, sym("sal"), Args::empty(), int(4200));
+        let m = matches(&ob, "ins[x].fired -> E <= del[E].isa -> W.");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0], Some(oid("bob")));
+        assert_eq!(m[0][1], Some(oid("empl"))); // W = empl, the deleted value
+        // sal survived, so del[bob].sal -> 4200 is not true.
+        let m2 = matches(&ob, "ins[x].fired -> E <= del[E].sal -> S.");
+        assert!(m2.is_empty());
+    }
+
+    #[test]
+    fn scan_mod_update_term_in_body() {
+        let mut ob = base();
+        let mod_phil = Vid::object(oid("phil")).apply(UpdateKind::Mod).unwrap();
+        ob.insert(mod_phil, sym("exists"), Args::empty(), oid("phil"));
+        ob.insert(mod_phil, sym("sal"), Args::empty(), int(4600));
+        ob.insert(mod_phil, sym("isa"), Args::empty(), oid("empl"));
+        ob.insert(mod_phil, sym("pos"), Args::empty(), oid("mgr"));
+        let m = matches(&ob, "ins[x].raised -> E <= mod[E].sal -> (S, S2).");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0], Some(oid("phil")));
+        assert_eq!(m[0][1], Some(int(4000)));
+        assert_eq!(m[0][2], Some(int(4600)));
+        // Unchanged-value clause: isa was copied over (same result), and
+        // the paper's r = r' case requires mod(v).m -> r ∈ I — true here.
+        let m2 = matches(&ob, "ins[x].kept -> E <= mod[E].isa -> (R, R).");
+        assert_eq!(m2.len(), 1);
+        assert_eq!(m2[0][1], Some(oid("empl")));
+    }
+
+    #[test]
+    fn builtin_on_symbols_uses_total_order() {
+        let ob = base();
+        // Equality on symbols works; ordering is total but unspecified.
+        let m = matches(&ob, "ins[E].m -> 1 <= E.pos -> P & P = mgr.");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn undefined_arithmetic_fails_soft() {
+        let ob = base();
+        // mgr * 2 is undefined: no matches, no panic.
+        let m = matches(&ob, "ins[E].m -> X <= E.pos -> P & X = P * 2.");
+        assert!(m.is_empty());
+        // Negated undefined comparison is TRUE per the paper's negation
+        // (the atom is not true).
+        let m2 = matches(&ob, "ins[E].m -> 1 <= E.pos -> P & not P + 1 > 0.");
+        assert_eq!(m2.len(), 1);
+    }
+
+    #[test]
+    fn ground_rule_body_checks() {
+        let ob = base();
+        let m = matches(&ob, "ins[phil].ok -> 1 <= phil.sal -> 4000.");
+        assert_eq!(m.len(), 1);
+        let m2 = matches(&ob, "ins[phil].ok -> 1 <= phil.sal -> 9999.");
+        assert!(m2.is_empty());
+    }
+
+    #[test]
+    fn result_variable_projection() {
+        let ob = base();
+        let program = Program::parse("ins[E].copy -> S <= E.sal -> S.").unwrap();
+        let mut seen = Vec::new();
+        for_each_match(&ob, &program.rules[0], &mut |b| {
+            seen.push((b.get(VarId(0)).unwrap(), b.get(VarId(1)).unwrap()));
+        });
+        seen.sort();
+        assert_eq!(seen, vec![(oid("phil"), int(4000)), (oid("bob"), int(4200))].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+    }
+}

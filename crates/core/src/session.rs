@@ -1,0 +1,288 @@
+//! A transactional session: a sequence of update-programs applied to
+//! an evolving object base.
+//!
+//! §2.2: "We conceive an update-program as a mapping from an (old)
+//! object-base into a (new) object-base." A [`Session`] chains such
+//! mappings with all-or-nothing semantics: a program that fails —
+//! not stratifiable, unsafe, non-version-linear, or over the round
+//! budget — leaves the object base exactly as it was. Savepoints give
+//! explicit rollback across transactions.
+//!
+//! Between transactions the object base is the *flat* `ob′` of §5
+//! (final versions only); version histories of the individual
+//! transactions remain inspectable through the kept [`Outcome`]s.
+
+use std::fmt;
+
+use ruvo_lang::{LangError, Program};
+use ruvo_obase::ObjectBase;
+
+use crate::engine::{EngineConfig, Outcome, UpdateEngine};
+use crate::error::EvalError;
+
+/// Why a session operation failed. The object base is unchanged in
+/// every failure case.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// Program text did not parse / validate / pass safety analysis.
+    Lang(LangError),
+    /// Evaluation failed (stratification, linearity, round budget).
+    Eval(EvalError),
+    /// Rollback target does not exist (or was invalidated).
+    UnknownSavepoint(SavepointId),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Lang(e) => e.fmt(f),
+            SessionError::Eval(e) => e.fmt(f),
+            SessionError::UnknownSavepoint(id) => {
+                write!(f, "unknown or invalidated savepoint {}", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<LangError> for SessionError {
+    fn from(e: LangError) -> Self {
+        SessionError::Lang(e)
+    }
+}
+
+impl From<EvalError> for SessionError {
+    fn from(e: EvalError) -> Self {
+        SessionError::Eval(e)
+    }
+}
+
+/// Handle to a rollback point; see [`Session::savepoint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SavepointId(u64);
+
+/// One committed transaction.
+#[derive(Clone, Debug)]
+pub struct Txn {
+    /// Sequence number (0-based).
+    pub seq: usize,
+    /// The evaluation outcome, including `result(P)` with all versions
+    /// and the run statistics.
+    pub outcome: Outcome,
+    /// Facts in the object base after this transaction.
+    pub facts_after: usize,
+}
+
+/// A sequence of update-program applications over one object base.
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    ob: ObjectBase,
+    log: Vec<Txn>,
+    config: EngineConfig,
+    savepoints: Vec<(SavepointId, usize, ObjectBase)>,
+    next_savepoint: u64,
+}
+
+impl Session {
+    /// Start a session on `ob`.
+    pub fn new(ob: ObjectBase) -> Session {
+        Session { ob, ..Default::default() }
+    }
+
+    /// Start from object-base text.
+    pub fn parse(src: &str) -> Result<Session, SessionError> {
+        let ob = ObjectBase::parse(src).map_err(LangError::Parse)?;
+        Ok(Session::new(ob))
+    }
+
+    /// Use `config` for subsequent transactions.
+    pub fn with_config(mut self, config: EngineConfig) -> Session {
+        self.config = config;
+        self
+    }
+
+    /// The current object base.
+    pub fn current(&self) -> &ObjectBase {
+        &self.ob
+    }
+
+    /// Committed transactions, oldest first.
+    pub fn log(&self) -> &[Txn] {
+        &self.log
+    }
+
+    /// Number of committed transactions.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True if no transaction has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Apply one update-program transactionally: on success the object
+    /// base becomes the program's `ob′` and the transaction is logged;
+    /// on any error the session is untouched.
+    pub fn apply(&mut self, program: Program) -> Result<&Txn, SessionError> {
+        let engine = UpdateEngine::with_config(program, self.config.clone());
+        let outcome = engine.run(&self.ob)?;
+        // try_new_object_base cannot fail here when the linearity check
+        // is on; with the check disabled this is the commit gate.
+        let new_ob = outcome.try_new_object_base().map_err(EvalError::Linearity)?;
+        self.ob = new_ob;
+        self.log.push(Txn {
+            seq: self.log.len(),
+            outcome,
+            facts_after: self.ob.len(),
+        });
+        Ok(self.log.last().expect("just pushed"))
+    }
+
+    /// Parse and [`Session::apply`] program text.
+    pub fn apply_src(&mut self, src: &str) -> Result<&Txn, SessionError> {
+        let program = Program::parse(src)?;
+        self.apply(program)
+    }
+
+    /// Record a rollback point capturing the current object base.
+    pub fn savepoint(&mut self) -> SavepointId {
+        let id = SavepointId(self.next_savepoint);
+        self.next_savepoint += 1;
+        self.savepoints.push((id, self.log.len(), self.ob.clone()));
+        id
+    }
+
+    /// Restore the object base and transaction log to `savepoint`.
+    /// Later savepoints are invalidated; the savepoint itself stays
+    /// valid and can be rolled back to again.
+    pub fn rollback_to(&mut self, savepoint: SavepointId) -> Result<(), SessionError> {
+        let idx = self
+            .savepoints
+            .iter()
+            .position(|(id, ..)| *id == savepoint)
+            .ok_or(SessionError::UnknownSavepoint(savepoint))?;
+        let (_, log_len, ob) = self.savepoints[idx].clone();
+        self.ob = ob;
+        self.log.truncate(log_len);
+        self.savepoints.truncate(idx + 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::{int, oid};
+
+    fn start() -> Session {
+        Session::parse("acct.balance -> 100. acct.status -> active.").unwrap()
+    }
+
+    #[test]
+    fn apply_commits_on_success() {
+        let mut s = start();
+        let txn = s
+            .apply_src("t: mod[acct].balance -> (100, 150) <= acct.balance -> 100.")
+            .unwrap();
+        assert_eq!(txn.seq, 0);
+        assert_eq!(s.current().lookup1(oid("acct"), "balance"), vec![int(150)]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn failed_parse_leaves_session_untouched() {
+        let mut s = start();
+        let before = s.current().clone();
+        assert!(s.apply_src("this is not a program").is_err());
+        assert_eq!(s.current(), &before);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn failed_linearity_rolls_back() {
+        let mut s = start();
+        let err = s
+            .apply_src(
+                "mod[acct].balance -> (100, 1) <= acct.balance -> 100.
+                 del[acct].balance -> 100 <= acct.balance -> 100.",
+            )
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Eval(EvalError::Linearity(_))));
+        assert_eq!(s.current().lookup1(oid("acct"), "balance"), vec![int(100)]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn chained_transactions_flatten_versions() {
+        let mut s = start();
+        s.apply_src("a: mod[acct].balance -> (100, 150) <= acct.balance -> 100.").unwrap();
+        // The committed base is flat: the next program's `acct` is the
+        // *initial* version again, as §5 prescribes.
+        s.apply_src("b: mod[acct].balance -> (150, 75) <= acct.balance -> 150.").unwrap();
+        assert_eq!(s.current().lookup1(oid("acct"), "balance"), vec![int(75)]);
+        assert_eq!(s.len(), 2);
+        // Each transaction's version history remains inspectable.
+        let first = &s.log()[0];
+        let mod_acct = ruvo_term::Vid::object(oid("acct"))
+            .apply(ruvo_term::UpdateKind::Mod)
+            .unwrap();
+        assert!(first.outcome.result().contains(
+            mod_acct,
+            ruvo_term::sym("balance"),
+            &[],
+            int(150)
+        ));
+    }
+
+    #[test]
+    fn savepoint_rollback() {
+        let mut s = start();
+        let sp = s.savepoint();
+        s.apply_src("a: del[acct].status -> active <= acct.balance -> 100.").unwrap();
+        assert!(s.current().lookup1(oid("acct"), "status").is_empty());
+        s.rollback_to(sp).unwrap();
+        assert_eq!(s.current().lookup1(oid("acct"), "status"), vec![oid("active")]);
+        assert!(s.is_empty());
+        // The savepoint survives a rollback and later commits.
+        s.apply_src("b: ins[acct].note -> 1 <= acct.balance -> 100.").unwrap();
+        s.rollback_to(sp).unwrap();
+        assert!(s.current().lookup1(oid("acct"), "note").is_empty());
+    }
+
+    #[test]
+    fn rollback_invalidates_later_savepoints() {
+        let mut s = start();
+        let sp1 = s.savepoint();
+        s.apply_src("a: ins[acct].x -> 1 <= acct.balance -> 100.").unwrap();
+        let sp2 = s.savepoint();
+        s.rollback_to(sp1).unwrap();
+        let err = s.rollback_to(sp2).unwrap_err();
+        assert!(matches!(err, SessionError::UnknownSavepoint(_)));
+    }
+
+    #[test]
+    fn config_is_respected() {
+        let mut s = start().with_config(EngineConfig {
+            max_rounds_per_stratum: 1,
+            ..Default::default()
+        });
+        // Needs 2+ rounds → round limit error, session untouched.
+        let err = s
+            .apply_src(
+                "r1: ins[acct].a -> 1 <= acct.balance -> 100.
+                 r2: ins[acct].b -> 1 <= ins(acct).a -> 1.",
+            )
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Eval(EvalError::RoundLimit { .. })));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn facts_after_tracks_size() {
+        let mut s = start();
+        let t = s.apply_src("a: ins[acct].extra -> 1 <= acct.balance -> 100.").unwrap();
+        assert_eq!(t.facts_after, 3);
+    }
+}

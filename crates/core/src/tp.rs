@@ -1,0 +1,589 @@
+//! The immediate consequence operator `T_P` (§3).
+//!
+//! `T_P(I)` is computed in three steps:
+//!
+//! 1. **Collect** (`T¹`): the set of fired ground update-terms — heads
+//!    of ground rule instances whose body literals and head are true
+//!    w.r.t. `I` ([`collect_rule`]; the truth of heads is
+//!    [`crate::truth::update_head`]).
+//! 2. **Copy** (`T²`): for each *relevant* VID `φ(v)` (one that some
+//!    fired update creates), prepare a state to update — the current
+//!    state of `φ(v)` if it is *active* (already exists), otherwise a
+//!    copy of the state of `v*` ("by copying old states only for the
+//!    objects being updated … we keep the unavoidable overhead low" —
+//!    the paper's frame-problem note).
+//! 3. **Apply**: inserts add method-applications, deletes remove them,
+//!    modifies replace old results with new ones ([`apply_updates`]).
+//!
+//! Each round the engine re-applies the *full accumulated* update set
+//! of every version the round's delta touches (not just the delta):
+//! step 3 is defined over the whole `T¹`, and for chained modifies on
+//! one version — `(a,b)` fired in round 1, `(b,c)` in round 2 — only
+//! whole-set application reaches the paper's fixpoint `{b,c}`.
+//! Re-application is idempotent: for removal set `R` and insertion set
+//! `A`, `((X \ R) ∪ A) \ R ∪ A = (X \ R) ∪ A`.
+
+use ruvo_lang::{Rule, UpdateSpec};
+use ruvo_obase::{exists_sym, Args, MethodApp, ObjectBase, VersionState};
+use ruvo_term::{
+    ArgTerm, Bindings, Chain, Const, FastHashMap, FastHashSet, Symbol, UpdateKind, Vid,
+};
+
+use crate::{matcher, truth};
+
+/// A fired ground update-term (an element of `T¹`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Fired {
+    /// `ins[target].method@args -> result`
+    Ins {
+        /// Bracketed target version `v`.
+        target: Vid,
+        /// Method updated.
+        method: Symbol,
+        /// Ground arguments.
+        args: Args,
+        /// Inserted result.
+        result: Const,
+    },
+    /// `del[target].method@args -> result`
+    Del {
+        /// Bracketed target version `v`.
+        target: Vid,
+        /// Method updated.
+        method: Symbol,
+        /// Ground arguments.
+        args: Args,
+        /// Deleted result.
+        result: Const,
+    },
+    /// `mod[target].method@args -> (from, to)`
+    Mod {
+        /// Bracketed target version `v`.
+        target: Vid,
+        /// Method updated.
+        method: Symbol,
+        /// Ground arguments.
+        args: Args,
+        /// Old result.
+        from: Const,
+        /// New result.
+        to: Const,
+    },
+}
+
+impl Fired {
+    /// The update kind.
+    pub fn kind(&self) -> UpdateKind {
+        match self {
+            Fired::Ins { .. } => UpdateKind::Ins,
+            Fired::Del { .. } => UpdateKind::Del,
+            Fired::Mod { .. } => UpdateKind::Mod,
+        }
+    }
+
+    /// The bracketed target version `v`.
+    pub fn target(&self) -> Vid {
+        match self {
+            Fired::Ins { target, .. } | Fired::Del { target, .. } | Fired::Mod { target, .. } => {
+                *target
+            }
+        }
+    }
+
+    /// The *relevant* VID this update creates: `φ(v)`.
+    ///
+    /// # Panics
+    /// Chain overflow is impossible for updates produced by parsed
+    /// rules (chain depth is checked statically), so this unwraps.
+    pub fn created(&self) -> Vid {
+        self.target().apply(self.kind()).expect("chain depth checked at parse time")
+    }
+
+    /// The method updated.
+    pub fn method(&self) -> Symbol {
+        match self {
+            Fired::Ins { method, .. } | Fired::Del { method, .. } | Fired::Mod { method, .. } => {
+                *method
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Fired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fired::Ins { target, method, args, result } => {
+                write!(f, "ins[{target}].{method}")?;
+                if !args.is_empty() {
+                    write!(f, " @ {args}")?;
+                }
+                write!(f, " -> {result}")
+            }
+            Fired::Del { target, method, args, result } => {
+                write!(f, "del[{target}].{method}")?;
+                if !args.is_empty() {
+                    write!(f, " @ {args}")?;
+                }
+                write!(f, " -> {result}")
+            }
+            Fired::Mod { target, method, args, from, to } => {
+                write!(f, "mod[{target}].{method}")?;
+                if !args.is_empty() {
+                    write!(f, " @ {args}")?;
+                }
+                write!(f, " -> ({from}, {to})")
+            }
+        }
+    }
+}
+
+/// The accumulated `T¹` of a stratum, with O(1) dedup.
+#[derive(Clone, Debug, Default)]
+pub struct FiredSet {
+    set: FastHashSet<Fired>,
+}
+
+impl FiredSet {
+    /// An empty set.
+    pub fn new() -> FiredSet {
+        FiredSet::default()
+    }
+
+    /// Insert; true if the update is new.
+    pub fn insert(&mut self, fired: Fired) -> bool {
+        self.set.insert(fired)
+    }
+
+    /// Membership.
+    pub fn contains(&self, fired: &Fired) -> bool {
+        self.set.contains(fired)
+    }
+
+    /// Number of distinct fired updates.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if nothing fired.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterate (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Fired> {
+        self.set.iter()
+    }
+}
+
+fn ground_arg(t: ArgTerm, b: &Bindings) -> Const {
+    t.ground(b).expect("safety analysis guarantees head variables are bound")
+}
+
+fn ground_args(args: &[ArgTerm], b: &Bindings) -> Args {
+    Args::new(args.iter().map(|&a| ground_arg(a, b)).collect())
+}
+
+/// Step 1 for one rule: enumerate body matches, ground the head, check
+/// head truth, and emit fired updates into `out`.
+///
+/// A `del[V].*` head expands into one `Del` per method-application of
+/// `v*` (excluding `exists`, which is not updatable) — "we write
+/// del[…]: to express the deletion of all method-applications of the
+/// respective version" (§2.3).
+pub fn collect_rule(ob: &ObjectBase, rule: &Rule, out: &mut Vec<Fired>) {
+    let exists = exists_sym();
+    matcher::for_each_match(ob, rule, &mut |b| {
+        let target = rule
+            .head
+            .target
+            .ground(b)
+            .expect("safety analysis guarantees head variables are bound");
+        match &rule.head.spec {
+            UpdateSpec::Ins { method, args, result } => {
+                // §3: an ins head is always true.
+                out.push(Fired::Ins {
+                    target,
+                    method: *method,
+                    args: ground_args(args, b),
+                    result: ground_arg(*result, b),
+                });
+            }
+            UpdateSpec::Del { method, args, result } => {
+                let args = ground_args(args, b);
+                let result = ground_arg(*result, b);
+                if truth::update_head(ob, UpdateKind::Del, target, *method, args.as_slice(), result)
+                {
+                    out.push(Fired::Del { target, method: *method, args, result });
+                }
+            }
+            UpdateSpec::DelAll => {
+                if let Some(v_star) = ob.v_star(target) {
+                    if let Some(state) = ob.version(v_star) {
+                        for (method, app) in state.iter() {
+                            if method == exists {
+                                continue;
+                            }
+                            out.push(Fired::Del {
+                                target,
+                                method,
+                                args: app.args.clone(),
+                                result: app.result,
+                            });
+                        }
+                    }
+                }
+            }
+            UpdateSpec::Mod { method, args, from, to } => {
+                let args = ground_args(args, b);
+                let from = ground_arg(*from, b);
+                let to = ground_arg(*to, b);
+                if truth::update_head(ob, UpdateKind::Mod, target, *method, args.as_slice(), from) {
+                    out.push(Fired::Mod { target, method: *method, args, from, to });
+                }
+            }
+        }
+    });
+}
+
+/// Bookkeeping produced by [`apply_updates`], consumed by the engine.
+#[derive(Debug, Default)]
+pub struct ApplyReport {
+    /// Versions whose state was (re)computed this round.
+    pub touched: Vec<Vid>,
+    /// Versions that did not exist before this round.
+    pub created: Vec<Vid>,
+    /// `(chain, method)` relations whose fact sets may have changed —
+    /// the trigger set for rule-level delta filtering.
+    pub changed: FastHashSet<(Chain, Symbol)>,
+    /// Method-applications copied in step 2 (frame-copy volume).
+    pub facts_copied: usize,
+}
+
+/// Steps 2 + 3 for the newly fired updates of one round: group by
+/// created version, copy states for relevant VIDs, apply the updates,
+/// and overwrite the version states in `ob`.
+pub fn apply_updates(ob: &mut ObjectBase, delta: &[Fired]) -> ApplyReport {
+    let exists = exists_sym();
+    let mut by_version: FastHashMap<Vid, Vec<&Fired>> = FastHashMap::default();
+    for fired in delta {
+        by_version.entry(fired.created()).or_default().push(fired);
+    }
+
+    let mut report = ApplyReport::default();
+    for (created, updates) in by_version {
+        let active = ob.exists_fact(created);
+        // Step 2: the copy.
+        let mut state: VersionState = if active {
+            ob.version(created).cloned().unwrap_or_default()
+        } else {
+            let target = updates[0].target();
+            let copied = match ob.v_star(target) {
+                Some(v_star) => ob.version(v_star).cloned().unwrap_or_default(),
+                // Brand-new object: empty copy (DESIGN.md D3).
+                None => VersionState::new(),
+            };
+            report.facts_copied += copied.len();
+            report.created.push(created);
+            copied
+        };
+        // Every version notes its own existence (survives deletion; §3).
+        state.insert(exists, MethodApp::new(Args::empty(), created.base()));
+
+        // Step 3: apply. The paper defines this as set algebra — the
+        // kept copies are those whose result is no del-result and no
+        // mod-from-value, and every ins-result and mod-to-value is
+        // unioned in. Hence two phases: all removals first, then all
+        // insertions. Interleaving per update would make chained mods
+        // like (a,b),(b,c) order-dependent ({c} or {a,c} instead of
+        // the paper's {b,c}).
+        for fired in &updates {
+            report.changed.insert((created.chain(), fired.method()));
+            match fired {
+                Fired::Del { method, args, result, .. } => {
+                    state.remove(*method, &MethodApp::new(args.clone(), *result));
+                }
+                Fired::Mod { method, args, from, .. } => {
+                    state.remove(*method, &MethodApp::new(args.clone(), *from));
+                }
+                Fired::Ins { .. } => {}
+            }
+        }
+        for fired in updates {
+            match fired {
+                Fired::Ins { method, args, result, .. } => {
+                    state.insert(*method, MethodApp::new(args.clone(), *result));
+                }
+                Fired::Mod { method, args, to, .. } => {
+                    state.insert(*method, MethodApp::new(args.clone(), *to));
+                }
+                Fired::Del { .. } => {}
+            }
+        }
+
+        // Freshly created versions make *every* method of their state
+        // newly visible under their chain.
+        if !active {
+            for method in state.methods() {
+                report.changed.insert((created.chain(), method));
+            }
+        }
+
+        ob.replace_version(created, state);
+        report.touched.push(created);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_lang::Program;
+    use ruvo_term::{int, oid, sym};
+
+    fn base() -> ObjectBase {
+        let mut ob = ObjectBase::parse(
+            "phil.isa -> empl / pos -> mgr / sal -> 4000.
+             bob.isa -> empl / boss -> phil / sal -> 4200.",
+        )
+        .unwrap();
+        ob.ensure_exists();
+        ob
+    }
+
+    fn collect(ob: &ObjectBase, src: &str) -> Vec<Fired> {
+        let p = Program::parse(src).unwrap();
+        let mut out = Vec::new();
+        for rule in &p.rules {
+            collect_rule(ob, rule, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn ins_head_fires_unconditionally() {
+        let ob = base();
+        let fired = collect(&ob, "ins[E].tag -> yes <= E.isa -> empl.");
+        assert_eq!(fired.len(), 2);
+        assert!(fired.iter().all(|f| f.kind() == UpdateKind::Ins));
+    }
+
+    #[test]
+    fn del_head_truth_filters() {
+        let ob = base();
+        // Deleting information that is not there does not fire.
+        let fired = collect(&ob, "del[E].pos -> mgr <= E.isa -> empl.");
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].target(), Vid::object(oid("phil")));
+    }
+
+    #[test]
+    fn mod_head_truth_filters() {
+        let ob = base();
+        let fired = collect(&ob, "mod[E].sal -> (S, S2) <= E.sal -> S & S2 = S + 1.");
+        assert_eq!(fired.len(), 2);
+        // A mod whose `from` is not the current value does not fire.
+        let fired = collect(&ob, "mod[phil].sal -> (1234, 1).");
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn del_all_expands_to_every_application() {
+        let ob = base();
+        let fired = collect(&ob, "del[bob].* .");
+        // bob has isa, boss, sal (exists excluded).
+        assert_eq!(fired.len(), 3);
+        assert!(fired.iter().all(|f| matches!(f, Fired::Del { .. })));
+        assert!(fired.iter().all(|f| f.method() != exists_sym()));
+    }
+
+    #[test]
+    fn apply_ins_copies_then_adds() {
+        let mut ob = base();
+        let fired = vec![Fired::Ins {
+            target: Vid::object(oid("phil")),
+            method: sym("isa"),
+            args: Args::empty(),
+            result: oid("hpe"),
+        }];
+        let report = apply_updates(&mut ob, &fired);
+        assert_eq!(report.created.len(), 1);
+        let created = fired[0].created();
+        // Copy carried the old state...
+        assert!(ob.contains(created, sym("sal"), &[], int(4000)));
+        assert!(ob.contains(created, sym("isa"), &[], oid("empl")));
+        // ...plus the insert and the exists note.
+        assert!(ob.contains(created, sym("isa"), &[], oid("hpe")));
+        assert!(ob.exists_fact(created));
+        // The original version is untouched (frame problem note).
+        assert!(!ob.contains(Vid::object(oid("phil")), sym("isa"), &[], oid("hpe")));
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn apply_del_removes_from_copy_only() {
+        let mut ob = base();
+        let fired = vec![Fired::Del {
+            target: Vid::object(oid("bob")),
+            method: sym("sal"),
+            args: Args::empty(),
+            result: int(4200),
+        }];
+        apply_updates(&mut ob, &fired);
+        let created = fired[0].created();
+        assert!(!ob.contains(created, sym("sal"), &[], int(4200)));
+        assert!(ob.contains(created, sym("isa"), &[], oid("empl")));
+        assert!(ob.contains(Vid::object(oid("bob")), sym("sal"), &[], int(4200)));
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn apply_mod_replaces_result() {
+        let mut ob = base();
+        let fired = vec![Fired::Mod {
+            target: Vid::object(oid("phil")),
+            method: sym("sal"),
+            args: Args::empty(),
+            from: int(4000),
+            to: int(4600),
+        }];
+        apply_updates(&mut ob, &fired);
+        let created = fired[0].created();
+        assert!(ob.contains(created, sym("sal"), &[], int(4600)));
+        assert!(!ob.contains(created, sym("sal"), &[], int(4000)));
+        assert!(ob.contains(created, sym("pos"), &[], oid("mgr")));
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn delete_everything_keeps_exists_note() {
+        let mut ob = base();
+        let fired: Vec<Fired> = collect(&ob, "del[bob].* .");
+        apply_updates(&mut ob, &fired);
+        let del_bob = Vid::object(oid("bob")).apply(UpdateKind::Del).unwrap();
+        let state = ob.version(del_bob).expect("version survives as exists note");
+        assert!(state.is_empty_except(exists_sym()));
+        assert!(ob.exists_fact(del_bob));
+    }
+
+    #[test]
+    fn apply_on_active_version_updates_in_place() {
+        let mut ob = base();
+        let target = Vid::object(oid("phil"));
+        let f1 = Fired::Ins {
+            target,
+            method: sym("isa"),
+            args: Args::empty(),
+            result: oid("hpe"),
+        };
+        let f2 = Fired::Ins {
+            target,
+            method: sym("isa"),
+            args: Args::empty(),
+            result: oid("vip"),
+        };
+        let r1 = apply_updates(&mut ob, std::slice::from_ref(&f1));
+        assert_eq!(r1.created.len(), 1);
+        // Second round: ins(phil) is now active; no copy, no creation.
+        let r2 = apply_updates(&mut ob, std::slice::from_ref(&f2));
+        assert!(r2.created.is_empty());
+        assert_eq!(r2.facts_copied, 0);
+        let created = f1.created();
+        assert!(ob.contains(created, sym("isa"), &[], oid("hpe")));
+        assert!(ob.contains(created, sym("isa"), &[], oid("vip")));
+    }
+
+    #[test]
+    fn mod_application_is_set_defined_not_sequential() {
+        // §3 step 3 is set-defined: every `from` is removed from the
+        // copy, every `to` is added. For set-valued m = {a, b} with
+        // fired mods (a,b) and (b,c) in ONE round, the new state is
+        // {b, c} regardless of the order the updates are applied in;
+        // interleaved remove/insert would give {c} or {a, c}.
+        let target = Vid::object(oid("o"));
+        let fired = |from: &str, to: &str| Fired::Mod {
+            target,
+            method: sym("m"),
+            args: Args::empty(),
+            from: oid(from),
+            to: oid(to),
+        };
+        for pair in [
+            vec![fired("a", "b"), fired("b", "c")],
+            vec![fired("b", "c"), fired("a", "b")],
+        ] {
+            let mut ob = ObjectBase::parse("o.m -> a. o.m -> b.").unwrap();
+            ob.ensure_exists();
+            apply_updates(&mut ob, &pair);
+            let created = pair[0].created();
+            assert!(!ob.contains(created, sym("m"), &[], oid("a")));
+            assert!(ob.contains(created, sym("m"), &[], oid("b")));
+            assert!(ob.contains(created, sym("m"), &[], oid("c")));
+        }
+    }
+
+    #[test]
+    fn mod_swap_preserves_both_values() {
+        // Swapping mods (a,b) and (b,a) on m = {a, b}: step 3 removes
+        // {a, b} and adds {b, a} — the state is unchanged.
+        let target = Vid::object(oid("o"));
+        let mut ob = ObjectBase::parse("o.m -> a. o.m -> b.").unwrap();
+        ob.ensure_exists();
+        let fired = vec![
+            Fired::Mod {
+                target,
+                method: sym("m"),
+                args: Args::empty(),
+                from: oid("a"),
+                to: oid("b"),
+            },
+            Fired::Mod {
+                target,
+                method: sym("m"),
+                args: Args::empty(),
+                from: oid("b"),
+                to: oid("a"),
+            },
+        ];
+        apply_updates(&mut ob, &fired);
+        let created = fired[0].created();
+        assert!(ob.contains(created, sym("m"), &[], oid("a")));
+        assert!(ob.contains(created, sym("m"), &[], oid("b")));
+    }
+
+    #[test]
+    fn new_object_creation_via_ins() {
+        let mut ob = base();
+        let fired = vec![Fired::Ins {
+            target: Vid::object(oid("ghost")),
+            method: sym("isa"),
+            args: Args::empty(),
+            result: oid("spirit"),
+        }];
+        let report = apply_updates(&mut ob, &fired);
+        assert_eq!(report.facts_copied, 0);
+        let created = fired[0].created();
+        assert!(ob.contains(created, sym("isa"), &[], oid("spirit")));
+        assert!(ob.exists_fact(created));
+    }
+
+    #[test]
+    fn changed_set_covers_new_versions() {
+        let mut ob = base();
+        let fired = vec![Fired::Mod {
+            target: Vid::object(oid("phil")),
+            method: sym("sal"),
+            args: Args::empty(),
+            from: int(4000),
+            to: int(4600),
+        }];
+        let report = apply_updates(&mut ob, &fired);
+        let mod_chain = fired[0].created().chain();
+        // All copied methods became visible under the mod(·) chain.
+        for m in ["sal", "isa", "pos", "exists"] {
+            assert!(
+                report.changed.contains(&(mod_chain, sym(m))),
+                "missing changed entry for {m}"
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Evaluation statistics and traces.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters for one evaluation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of strata evaluated.
+    pub strata: usize,
+    /// Total fixpoint rounds across all strata.
+    pub rounds: usize,
+    /// Distinct fired ground update-terms (|T¹| summed over strata).
+    pub fired_updates: usize,
+    /// Versions created (relevant VIDs that were not active).
+    pub versions_created: usize,
+    /// Method-applications copied in step 2 (frame-copy volume).
+    pub facts_copied: usize,
+    /// (rule, round) evaluations actually performed.
+    pub rule_evaluations: usize,
+    /// (rule, round) evaluations skipped by delta filtering.
+    pub rule_evaluations_skipped: usize,
+    /// Wall-clock time of the run (zero duration if not measured).
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} strata, {} rounds, {} fired updates, {} versions created, {} facts copied, \
+             {} rule evaluations ({} skipped), {:?}",
+            self.strata,
+            self.rounds,
+            self.fired_updates,
+            self.versions_created,
+            self.facts_copied,
+            self.rule_evaluations,
+            self.rule_evaluations_skipped,
+            self.elapsed
+        )
+    }
+}
+
+/// Per-round trace entry (collected at `TraceLevel::Rounds`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Stratum index.
+    pub stratum: usize,
+    /// Round number within the stratum (1-based).
+    pub round: usize,
+    /// Rules (indices) evaluated this round.
+    pub evaluated: Vec<usize>,
+    /// Newly fired updates this round.
+    pub new_fired: usize,
+    /// Versions touched this round.
+    pub touched: usize,
+}
+
+/// Per-stratum trace entry (collected at `TraceLevel::Strata` and up).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StratumTrace {
+    /// Stratum index.
+    pub stratum: usize,
+    /// Rules (indices) in the stratum.
+    pub rules: Vec<usize>,
+    /// Rounds until fixpoint (including the final empty round).
+    pub rounds: usize,
+    /// Fired updates accumulated by the stratum.
+    pub fired: usize,
+}
+
+impl fmt::Display for StratumTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stratum {}: {} rules, {} rounds, {} fired",
+            self.stratum,
+            self.rules.len(),
+            self.rounds,
+            self.fired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_display_mentions_all_counters() {
+        let s = EvalStats { strata: 3, rounds: 5, fired_updates: 7, ..Default::default() };
+        let text = s.to_string();
+        assert!(text.contains("3 strata"));
+        assert!(text.contains("5 rounds"));
+        assert!(text.contains("7 fired"));
+    }
+}

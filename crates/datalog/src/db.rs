@@ -1,0 +1,239 @@
+//! The baseline fact store, indexed by first column.
+//!
+//! Tuples of a predicate are stored once, bucketed by their first
+//! element, so bound-first-argument scans (the common case after the
+//! planner has bound a join variable) are O(bucket) instead of
+//! O(relation). Zero-arity predicates are a presence flag.
+
+use std::fmt;
+
+use ruvo_term::{Const, FastHashMap, FastHashSet, Symbol};
+
+/// The extension of one predicate.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    /// Arity-0 predicates: present or not.
+    zero: bool,
+    /// Tuples with arity ≥ 1, bucketed by first element.
+    by_first: FastHashMap<Const, FastHashSet<Vec<Const>>>,
+    len: usize,
+}
+
+impl Relation {
+    fn insert(&mut self, tuple: Vec<Const>) -> bool {
+        let added = match tuple.first() {
+            None => !std::mem::replace(&mut self.zero, true),
+            Some(&first) => self.by_first.entry(first).or_default().insert(tuple),
+        };
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    fn remove(&mut self, tuple: &[Const]) -> bool {
+        let removed = match tuple.first() {
+            None => std::mem::replace(&mut self.zero, false),
+            Some(first) => match self.by_first.get_mut(first) {
+                Some(bucket) => {
+                    let r = bucket.remove(tuple);
+                    if r && bucket.is_empty() {
+                        self.by_first.remove(first);
+                    }
+                    r
+                }
+                None => false,
+            },
+        };
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn contains(&self, tuple: &[Const]) -> bool {
+        match tuple.first() {
+            None => self.zero,
+            Some(first) => self.by_first.get(first).is_some_and(|b| b.contains(tuple)),
+        }
+    }
+
+    /// All tuples (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<Const>> {
+        static EMPTY: Vec<Const> = Vec::new();
+        self.zero
+            .then_some(&EMPTY)
+            .into_iter()
+            .chain(self.by_first.values().flatten())
+    }
+
+    /// Tuples whose first element is `first`.
+    pub fn iter_with_first(&self, first: Const) -> impl Iterator<Item = &Vec<Const>> {
+        self.by_first.get(&first).into_iter().flatten()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A Datalog database: predicate → relation.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    rels: FastHashMap<Symbol, Relation>,
+    fact_count: usize,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert a tuple; true if new.
+    pub fn insert(&mut self, pred: Symbol, tuple: Vec<Const>) -> bool {
+        let added = self.rels.entry(pred).or_default().insert(tuple);
+        if added {
+            self.fact_count += 1;
+        }
+        added
+    }
+
+    /// Remove a tuple; true if present.
+    pub fn remove(&mut self, pred: Symbol, tuple: &[Const]) -> bool {
+        let Some(rel) = self.rels.get_mut(&pred) else { return false };
+        let removed = rel.remove(tuple);
+        if removed {
+            self.fact_count -= 1;
+            if rel.is_empty() {
+                self.rels.remove(&pred);
+            }
+        }
+        removed
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: Symbol, tuple: &[Const]) -> bool {
+        self.rels.get(&pred).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// All tuples of a predicate.
+    pub fn tuples(&self, pred: Symbol) -> impl Iterator<Item = &Vec<Const>> {
+        self.rels.get(&pred).into_iter().flat_map(Relation::iter)
+    }
+
+    /// Tuples of `pred` whose first element is `first` (indexed).
+    pub fn tuples_with_first(
+        &self,
+        pred: Symbol,
+        first: Const,
+    ) -> impl Iterator<Item = &Vec<Const>> {
+        self.rels.get(&pred).into_iter().flat_map(move |r| r.iter_with_first(first))
+    }
+
+    /// Number of tuples of a predicate.
+    pub fn arity_count(&self, pred: Symbol) -> usize {
+        self.rels.get(&pred).map_or(0, Relation::len)
+    }
+
+    /// All predicates with at least one tuple.
+    pub fn predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.fact_count
+    }
+
+    /// True if there are no facts.
+    pub fn is_empty(&self) -> bool {
+        self.fact_count == 0
+    }
+
+    /// Sorted dump for deterministic display/tests.
+    pub fn sorted_facts(&self) -> Vec<(Symbol, Vec<Const>)> {
+        let mut out: Vec<(Symbol, Vec<Const>)> = self
+            .rels
+            .iter()
+            .flat_map(|(&p, rel)| rel.iter().map(move |t| (p, t.clone())))
+            .collect();
+        out.sort_by(|a, b| (a.0.as_str(), &a.1).cmp(&(b.0.as_str(), &b.1)));
+        out
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pred, tuple) in self.sorted_facts() {
+            let rendered: Vec<String> = tuple.iter().map(|c| c.to_string()).collect();
+            writeln!(f, "{pred}({}).", rendered.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Database({} facts)\n{self}", self.fact_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::{int, oid, sym};
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut db = Database::new();
+        assert!(db.insert(sym("p"), vec![int(1), oid("a")]));
+        assert!(!db.insert(sym("p"), vec![int(1), oid("a")]));
+        assert!(db.contains(sym("p"), &[int(1), oid("a")]));
+        assert_eq!(db.len(), 1);
+        assert!(db.remove(sym("p"), &[int(1), oid("a")]));
+        assert!(db.is_empty());
+        assert_eq!(db.predicates().count(), 0);
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let mut db = Database::new();
+        assert!(db.insert(sym("flag"), vec![]));
+        assert!(!db.insert(sym("flag"), vec![]));
+        assert!(db.contains(sym("flag"), &[]));
+        assert_eq!(db.tuples(sym("flag")).count(), 1);
+        assert!(db.remove(sym("flag"), &[]));
+        assert!(!db.contains(sym("flag"), &[]));
+    }
+
+    #[test]
+    fn first_column_index() {
+        let mut db = Database::new();
+        db.insert(sym("e"), vec![oid("a"), int(1)]);
+        db.insert(sym("e"), vec![oid("a"), int(2)]);
+        db.insert(sym("e"), vec![oid("b"), int(3)]);
+        let a_rows: Vec<&Vec<Const>> = db.tuples_with_first(sym("e"), oid("a")).collect();
+        assert_eq!(a_rows.len(), 2);
+        assert_eq!(db.tuples_with_first(sym("e"), oid("z")).count(), 0);
+        assert_eq!(db.tuples(sym("e")).count(), 3);
+        // Index stays consistent under removal.
+        db.remove(sym("e"), &[oid("a"), int(1)]);
+        assert_eq!(db.tuples_with_first(sym("e"), oid("a")).count(), 1);
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let mut db = Database::new();
+        db.insert(sym("q"), vec![int(2)]);
+        db.insert(sym("p"), vec![int(1)]);
+        db.insert(sym("p"), vec![int(0)]);
+        assert_eq!(db.to_string(), "p(0).\np(1).\nq(2).\n");
+    }
+}

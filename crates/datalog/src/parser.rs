@@ -1,0 +1,334 @@
+//! Concrete syntax for the baseline dialect, reusing the `ruvo-lang`
+//! lexer:
+//!
+//! ```text
+//! module raise:
+//!   sal2(E, S2) <= empl(E) & sal(E, S) & S2 = S * 1.1 .
+//! module fire:
+//!   del empl(E) <= boss(E, B) & sal2(E, SE) & sal2(B, SB) & SE > SB .
+//! ```
+//!
+//! Rules before any `module` header (or all rules, if no headers are
+//! used) form one leading anonymous module.
+
+use ruvo_lang::lexer::lex;
+use ruvo_lang::token::{Tok, Token};
+use ruvo_lang::{Builtin, CmpOp, Expr, ParseError, VarTable};
+use ruvo_term::{num, Const};
+
+use crate::ast::{DlAtom, DlHead, DlLiteral, DlProgram, DlRule, DlTerm, Module};
+
+struct P<'t> {
+    toks: &'t [Token],
+    i: usize,
+    vars: VarTable,
+}
+
+impl<'t> P<'t> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|t| &t.tok)
+    }
+
+    fn pos(&self) -> ruvo_lang::error::Pos {
+        self.toks
+            .get(self.i)
+            .map(|t| t.pos)
+            .unwrap_or(ruvo_lang::error::Pos { line: u32::MAX, col: 0 })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|t| t.tok.clone());
+        self.i += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { pos: self.pos(), message: msg.into() }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if *t == tok => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected `{tok}`, found `{t}`"))),
+            None => Err(self.err(format!("expected `{tok}`, found end of input"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<DlTerm, ParseError> {
+        match self.bump() {
+            Some(Tok::Var(name)) => Ok(DlTerm::Var(self.vars.var(&name))),
+            Some(Tok::Ident(s)) => Ok(DlTerm::Const(ruvo_term::oid(&s))),
+            Some(Tok::Int(v)) => Ok(DlTerm::Const(Const::Int(v))),
+            Some(Tok::Float(v)) => {
+                Ok(DlTerm::Const(Const::from_f64_normalized(v).unwrap_or(num(v))))
+            }
+            Some(Tok::Minus) => match self.bump() {
+                Some(Tok::Int(v)) => Ok(DlTerm::Const(Const::Int(-v))),
+                Some(Tok::Float(v)) => {
+                    Ok(DlTerm::Const(Const::from_f64_normalized(-v).unwrap_or(num(-v))))
+                }
+                _ => Err(self.err("expected number after `-`")),
+            },
+            other => Err(self.err(format!("expected term, found `{other:?}`"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<DlAtom, ParseError> {
+        let pred = match self.bump() {
+            Some(Tok::Ident(s)) => ruvo_term::sym(&s),
+            other => return Err(self.err(format!("expected predicate name, found `{other:?}`"))),
+        };
+        self.expect(Tok::LParen)?;
+        let mut terms = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            terms.push(self.term()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                terms.push(self.term()?);
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(DlAtom { pred, terms })
+    }
+
+    // Expression grammar mirrors ruvo-lang's.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.expr_term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ruvo_lang::BinOp::Add,
+                Some(Tok::Minus) => ruvo_lang::BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.expr_term()?;
+            lhs = Expr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.expr_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ruvo_lang::BinOp::Mul,
+                Some(Tok::Slash) => ruvo_lang::BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.expr_factor()?;
+            lhs = Expr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Minus) => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.expr_factor()?)))
+            }
+            Some(Tok::Var(name)) => {
+                self.bump();
+                Ok(Expr::Var(self.vars.var(&name)))
+            }
+            Some(Tok::Ident(s)) => {
+                self.bump();
+                Ok(Expr::Const(ruvo_term::oid(&s)))
+            }
+            Some(Tok::Int(v)) => {
+                self.bump();
+                Ok(Expr::Const(Const::Int(v)))
+            }
+            Some(Tok::Float(v)) => {
+                self.bump();
+                Ok(Expr::Const(Const::from_f64_normalized(v).unwrap_or(num(v))))
+            }
+            other => Err(self.err(format!("expected expression, found `{other:?}`"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<DlLiteral, ParseError> {
+        let positive = !matches!(self.peek(), Some(Tok::Not) | Some(Tok::Bang));
+        if !positive {
+            self.bump();
+        }
+        // Atom iff an identifier directly followed by `(`.
+        if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() == Some(&Tok::LParen) {
+            let atom = self.atom()?;
+            return Ok(DlLiteral::Atom { positive, atom });
+        }
+        if !positive {
+            return Err(self.err("only predicate atoms can be negated"));
+        }
+        let lhs = self.expr()?;
+        let op = match self.bump() {
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            other => return Err(self.err(format!("expected comparison, found `{other:?}`"))),
+        };
+        let rhs = self.expr()?;
+        Ok(DlLiteral::Builtin(Builtin { op, lhs, rhs }))
+    }
+
+    fn rule(&mut self) -> Result<DlRule, ParseError> {
+        self.vars = VarTable::new();
+        let head = if self.peek() == Some(&Tok::Del) {
+            self.bump();
+            DlHead::Delete(self.atom()?)
+        } else {
+            DlHead::Insert(self.atom()?)
+        };
+        let mut body = Vec::new();
+        match self.peek() {
+            Some(Tok::Implies) => {
+                self.bump();
+                body.push(self.literal()?);
+                while self.peek() == Some(&Tok::Amp) {
+                    self.bump();
+                    body.push(self.literal()?);
+                }
+                self.expect(Tok::Period)?;
+            }
+            Some(Tok::Period) => {
+                self.bump();
+            }
+            other => return Err(self.err(format!("expected `<=` or `.`, found `{other:?}`"))),
+        }
+        Ok(DlRule { head, body, num_vars: self.vars.len() })
+    }
+}
+
+/// Parse a baseline program. `module name:` headers sequence modules.
+pub fn parse_program(src: &str) -> Result<DlProgram, ParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks: &toks, i: 0, vars: VarTable::new() };
+    let mut modules: Vec<Module> = Vec::new();
+    let mut current = Module::default();
+    while p.peek().is_some() {
+        // `module name:` header.
+        if let (Some(Tok::Ident(kw)), Some(Tok::Ident(_) | Tok::Var(_))) = (p.peek(), p.peek2()) {
+            if kw == "module" {
+                if !current.rules.is_empty() || current.name.is_some() {
+                    modules.push(std::mem::take(&mut current));
+                }
+                p.bump();
+                let name = match p.bump() {
+                    Some(Tok::Ident(n)) | Some(Tok::Var(n)) => n,
+                    _ => unreachable!(),
+                };
+                p.expect(Tok::Colon)?;
+                current.name = Some(name);
+                continue;
+            }
+        }
+        current.rules.push(p.rule()?);
+    }
+    if !current.rules.is_empty() || current.name.is_some() {
+        modules.push(current);
+    }
+    Ok(DlProgram { modules })
+}
+
+/// Parse ground facts `p(a, 1). q(b).` into tuples.
+pub fn parse_db(src: &str) -> Result<crate::Database, ParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks: &toks, i: 0, vars: VarTable::new() };
+    let mut db = crate::Database::new();
+    while p.peek().is_some() {
+        let atom = p.atom()?;
+        p.expect(Tok::Period)?;
+        let mut tuple = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            match t {
+                DlTerm::Const(c) => tuple.push(*c),
+                DlTerm::Var(_) => {
+                    return Err(ParseError {
+                        pos: ruvo_lang::error::Pos { line: 0, col: 0 },
+                        message: "variables are not allowed in facts".into(),
+                    })
+                }
+            }
+        }
+        db.insert(atom.pred, tuple);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_and_facts() {
+        let p = parse_program(
+            "anc(X, P) <= parents(X, P).
+             anc(X, P) <= anc(X, A) & parents(A, P).",
+        )
+        .unwrap();
+        assert_eq!(p.modules.len(), 1);
+        assert_eq!(p.modules[0].rules.len(), 2);
+        assert_eq!(p.modules[0].rules[1].num_vars, 3);
+    }
+
+    #[test]
+    fn parses_modules_in_order() {
+        let p = parse_program(
+            "module raise:
+               sal2(E, S2) <= sal(E, S) & S2 = S * 1.1 .
+             module fire:
+               del empl(E) <= sal2(E, S) & S > 100 .",
+        )
+        .unwrap();
+        assert_eq!(p.modules.len(), 2);
+        assert_eq!(p.modules[0].name.as_deref(), Some("raise"));
+        assert_eq!(p.modules[1].name.as_deref(), Some("fire"));
+        assert!(p.modules[1].rules[0].head.is_delete());
+    }
+
+    #[test]
+    fn parses_negation_and_builtins() {
+        let p = parse_program("hpe(E) <= sal(E, S) & S > 4500 & not fired(E).").unwrap();
+        let r = &p.modules[0].rules[0];
+        assert_eq!(r.body.len(), 3);
+        assert!(matches!(r.body[2], DlLiteral::Atom { positive: false, .. }));
+    }
+
+    #[test]
+    fn negated_builtin_rejected() {
+        assert!(parse_program("p(X) <= q(X) & not X > 1.").is_err());
+    }
+
+    #[test]
+    fn parse_db_ground() {
+        let db = parse_db("empl(phil). sal(phil, 4000).").unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(db.contains(ruvo_term::sym("sal"), &[ruvo_term::oid("phil"), ruvo_term::int(4000)]));
+        assert!(parse_db("p(X).").is_err());
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let p = parse_program("done() <= p(1).").unwrap();
+        assert!(p.modules[0].rules[0].body.len() == 1);
+        let db = parse_db("flag().").unwrap();
+        assert!(db.contains(ruvo_term::sym("flag"), &[]));
+    }
+}

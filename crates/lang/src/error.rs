@@ -1,0 +1,119 @@
+//! Error types for lexing, parsing, validation and safety analysis.
+
+use std::fmt;
+
+/// Location in the source text (1-based line/column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexing or parsing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where it happened.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A violation of the structural restrictions of §2.1/§3 (e.g. `exists`
+/// in a rule head, `del[V].*` in a body).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Rule label or index description.
+    pub rule: String,
+    /// What was violated.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rule {}: {}", self.rule, self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// The rule is unsafe (not range-restricted): some variable cannot be
+/// bound by any admissible evaluation order (cf. \[Ull88\], required by
+/// §2.1: "We require that rules are safe").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SafetyError {
+    /// Rule label or index description.
+    pub rule: String,
+    /// Human-readable diagnosis, naming the offending variables.
+    pub message: String,
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsafe rule {}: {}", self.rule, self.message)
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Any front-end failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LangError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Structural validation failed.
+    Validate(ValidateError),
+    /// Safety analysis failed.
+    Safety(SafetyError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse(e) => e.fmt(f),
+            LangError::Validate(e) => e.fmt(f),
+            LangError::Safety(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+impl From<ValidateError> for LangError {
+    fn from(e: ValidateError) -> Self {
+        LangError::Validate(e)
+    }
+}
+
+impl From<SafetyError> for LangError {
+    fn from(e: SafetyError) -> Self {
+        LangError::Safety(e)
+    }
+}

@@ -1,0 +1,427 @@
+//! Hand-written lexer for the update language.
+//!
+//! The only delicate decision is the two readings of `.`:
+//! a dot *immediately* followed by an identifier character or `*` is a
+//! method accessor ([`Tok::DotSep`]); any other dot is a rule/fact
+//! terminator ([`Tok::Period`]). Numbers consume a dot only when a digit
+//! follows (`1.1` is a float, `250.` is `250` + terminator).
+
+use crate::error::{ParseError, Pos};
+use crate::token::{Tok, Token};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.i]).into_owned()
+    }
+
+    fn quoted(&mut self, pos: Pos) -> Result<String, ParseError> {
+        self.bump(); // opening quote
+        let start = self.i;
+        loop {
+            match self.peek() {
+                Some(b'\'') => {
+                    let s = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+                    self.bump();
+                    return Ok(s);
+                }
+                Some(b'\n') | None => {
+                    return Err(ParseError::new(pos, "unterminated quoted symbol"));
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Tok, ParseError> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump(); // '.'
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E'))
+            && self
+                .peek2()
+                .is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
+        {
+            is_float = true;
+            self.bump(); // e
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i])
+            .map_err(|_| ParseError::new(pos, "invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| ParseError::new(pos, format!("invalid float literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| ParseError::new(pos, format!("invalid integer literal: {e}")))
+        }
+    }
+}
+
+/// Tokenize `src`.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia();
+        let pos = lx.pos();
+        let Some(c) = lx.peek() else { break };
+        let tok = match c {
+            b'a'..=b'z' => {
+                let word = lx.ident();
+                match word.as_str() {
+                    "ins" => Tok::Ins,
+                    "del" => Tok::Del,
+                    "mod" => Tok::Mod,
+                    "not" => Tok::Not,
+                    _ => Tok::Ident(word),
+                }
+            }
+            b'A'..=b'Z' | b'_' => Tok::Var(lx.ident()),
+            b'$' => {
+                lx.bump();
+                if !lx.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                    return Err(ParseError::new(
+                        pos,
+                        "expected a VID variable name after `$`",
+                    ));
+                }
+                Tok::VidVar(lx.ident())
+            }
+            b'\'' => Tok::Ident(lx.quoted(pos)?),
+            b'0'..=b'9' => lx.number(pos)?,
+            b'.' => {
+                lx.bump();
+                // Tight dot = accessor; anything else = terminator.
+                match lx.peek() {
+                    Some(ch) if ch.is_ascii_alphabetic() || ch == b'_' || ch == b'*' || ch == b'\'' => {
+                        Tok::DotSep
+                    }
+                    _ => Tok::Period,
+                }
+            }
+            b'-' => {
+                lx.bump();
+                if lx.peek() == Some(b'>') {
+                    lx.bump();
+                    Tok::Arrow
+                } else {
+                    Tok::Minus
+                }
+            }
+            b'<' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::Implies
+                    }
+                    Some(b'>') => {
+                        lx.bump();
+                        Tok::Ne
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            b'=' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'<') => {
+                        lx.bump();
+                        Tok::Le
+                    }
+                    _ => Tok::Eq,
+                }
+            }
+            b'>' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'!' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    Tok::Ne
+                } else {
+                    Tok::Bang
+                }
+            }
+            b':' => {
+                lx.bump();
+                if lx.peek() == Some(b'-') {
+                    lx.bump();
+                    Tok::Implies
+                } else {
+                    Tok::Colon
+                }
+            }
+            b'&' => {
+                lx.bump();
+                Tok::Amp
+            }
+            b'@' => {
+                lx.bump();
+                Tok::At
+            }
+            b',' => {
+                lx.bump();
+                Tok::Comma
+            }
+            b'(' => {
+                lx.bump();
+                Tok::LParen
+            }
+            b')' => {
+                lx.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                lx.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                lx.bump();
+                Tok::RBracket
+            }
+            b'/' => {
+                lx.bump();
+                Tok::Slash
+            }
+            b'*' => {
+                lx.bump();
+                Tok::Star
+            }
+            b'+' => {
+                lx.bump();
+                Tok::Plus
+            }
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character {:?}", other as char),
+                ));
+            }
+        };
+        out.push(Token { tok, pos });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn method_access_vs_terminator() {
+        assert_eq!(
+            toks("henry.sal -> 250."),
+            vec![
+                Tok::Ident("henry".into()),
+                Tok::DotSep,
+                Tok::Ident("sal".into()),
+                Tok::Arrow,
+                Tok::Int(250),
+                Tok::Period,
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_terminators() {
+        assert_eq!(
+            toks("S2 = S * 1.1."),
+            vec![
+                Tok::Var("S2".into()),
+                Tok::Eq,
+                Tok::Var("S".into()),
+                Tok::Star,
+                Tok::Float(1.1),
+                Tok::Period,
+            ]
+        );
+        // `250.` is int + terminator, not a float.
+        assert_eq!(toks("250."), vec![Tok::Int(250), Tok::Period]);
+        assert_eq!(toks("2.5e3."), vec![Tok::Float(2500.0), Tok::Period]);
+    }
+
+    #[test]
+    fn keywords_and_update_terms() {
+        assert_eq!(
+            toks("mod[E].sal"),
+            vec![
+                Tok::Mod,
+                Tok::LBracket,
+                Tok::Var("E".into()),
+                Tok::RBracket,
+                Tok::DotSep,
+                Tok::Ident("sal".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn delete_all_star() {
+        assert_eq!(
+            toks("del[mod(E)].*"),
+            vec![
+                Tok::Del,
+                Tok::LBracket,
+                Tok::Mod,
+                Tok::LParen,
+                Tok::Var("E".into()),
+                Tok::RParen,
+                Tok::RBracket,
+                Tok::DotSep,
+                Tok::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_tokens() {
+        assert_eq!(
+            toks("< =< > >= = != <>"),
+            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne, Tok::Ne]
+        );
+    }
+
+    #[test]
+    fn implies_both_spellings() {
+        assert_eq!(toks("<= :-"), vec![Tok::Implies, Tok::Implies]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a % comment to end of line\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn quoted_symbols() {
+        assert_eq!(
+            toks("'Hello world'.m"),
+            vec![Tok::Ident("Hello world".into()), Tok::DotSep, Tok::Ident("m".into())]
+        );
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn negation_tokens() {
+        assert_eq!(toks("not !x !="), vec![
+            Tok::Not,
+            Tok::Bang,
+            Tok::Ident("x".into()),
+            Tok::Ne,
+        ]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn dot_before_quoted_is_accessor() {
+        assert_eq!(
+            toks("x.'weird method'"),
+            vec![Tok::Ident("x".into()), Tok::DotSep, Tok::Ident("weird method".into())]
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Pretty-printing of programs in re-parsable concrete syntax.
+//!
+//! `Program::parse(&program.to_string())` reproduces the same AST
+//! (verified by property tests in the workspace test suite).
+
+use std::fmt::{self, Write as _};
+
+use ruvo_term::{BaseTerm, Const, Symbol, VarId, VidRef, VidTerm};
+
+use crate::ast::{
+    Atom, Builtin, Expr, Literal, Program, Rule, UpdateAtom, UpdateSpec, VarTable, VersionAtom,
+};
+
+/// True if a symbol needs `'...'` quoting to re-lex as one identifier.
+pub fn needs_quotes(s: &str) -> bool {
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else { return true };
+    if !first.is_ascii_lowercase() {
+        return true;
+    }
+    if !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return true;
+    }
+    matches!(s, "ins" | "del" | "mod" | "not")
+}
+
+/// Render a symbol, quoting when necessary.
+pub fn symbol_str(s: Symbol) -> String {
+    let text = s.as_str();
+    if needs_quotes(text) {
+        format!("'{text}'")
+    } else {
+        text.to_owned()
+    }
+}
+
+/// Render a ground OID.
+pub fn const_str(c: Const) -> String {
+    match c {
+        Const::Sym(s) => symbol_str(s),
+        other => other.to_string(),
+    }
+}
+
+/// Render an object-id-term with variable names from `vars`.
+pub fn base_term_str(t: BaseTerm, vars: &VarTable) -> String {
+    match t {
+        BaseTerm::Const(c) => const_str(c),
+        BaseTerm::Var(v) => {
+            let name = vars.name(v);
+            // Anonymous variables got fresh internal names `_#k`;
+            // print them back as `_`.
+            if name.starts_with("_#") {
+                "_".to_owned()
+            } else {
+                name.to_owned()
+            }
+        }
+    }
+}
+
+/// Render a version-id-term.
+pub fn vid_term_str(t: VidTerm, vars: &VarTable) -> String {
+    let mut s = String::new();
+    let n = t.chain.len();
+    for i in (0..n).rev() {
+        let _ = write!(s, "{}(", t.chain.get(i));
+    }
+    s.push_str(&base_term_str(t.base, vars));
+    for _ in 0..n {
+        s.push(')');
+    }
+    s
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => 3,
+        Expr::Neg(_) => 2,
+        Expr::Binary(_, op, _) => match op {
+            crate::ast::BinOp::Mul | crate::ast::BinOp::Div => 2,
+            crate::ast::BinOp::Add | crate::ast::BinOp::Sub => 1,
+        },
+    }
+}
+
+/// Render an expression with minimal parentheses.
+pub fn expr_str(e: &Expr, vars: &VarTable) -> String {
+    fn go(e: &Expr, vars: &VarTable, out: &mut String) {
+        match e {
+            Expr::Const(c) => out.push_str(&const_str(*c)),
+            Expr::Var(v) => out.push_str(&base_term_str(BaseTerm::Var(*v), vars)),
+            Expr::Neg(inner) => {
+                out.push('-');
+                if expr_prec(inner) < 3 {
+                    out.push('(');
+                    go(inner, vars, out);
+                    out.push(')');
+                } else {
+                    go(inner, vars, out);
+                }
+            }
+            Expr::Binary(l, op, r) => {
+                let prec = expr_prec(e);
+                if expr_prec(l) < prec {
+                    out.push('(');
+                    go(l, vars, out);
+                    out.push(')');
+                } else {
+                    go(l, vars, out);
+                }
+                let _ = write!(out, " {} ", op.symbol());
+                // Right child needs parens at equal precedence to keep
+                // left associativity on re-parse (a - (b - c)).
+                if expr_prec(r) <= prec {
+                    out.push('(');
+                    go(r, vars, out);
+                    out.push(')');
+                } else {
+                    go(r, vars, out);
+                }
+            }
+        }
+    }
+    let mut s = String::new();
+    go(e, vars, &mut s);
+    s
+}
+
+fn method_app_str(
+    method: Symbol,
+    args: &[BaseTerm],
+    vars: &VarTable,
+) -> String {
+    let mut s = symbol_str(method);
+    if !args.is_empty() {
+        s.push_str(" @ ");
+        let rendered: Vec<String> = args.iter().map(|&a| base_term_str(a, vars)).collect();
+        s.push_str(&rendered.join(", "));
+    }
+    s
+}
+
+/// Render a version reference: a version-id-term or a VID variable.
+pub fn vid_ref_str(t: VidRef, vars: &VarTable, vid_vars: &VarTable) -> String {
+    match t {
+        VidRef::Term(t) => vid_term_str(t, vars),
+        VidRef::Var(v) => format!("${}", vid_vars.name(VarId(v.0))),
+    }
+}
+
+/// Render a version-term atom.
+pub fn version_atom_str(va: &VersionAtom, vars: &VarTable, vid_vars: &VarTable) -> String {
+    format!(
+        "{}.{} -> {}",
+        vid_ref_str(va.vid, vars, vid_vars),
+        method_app_str(va.method, &va.args, vars),
+        base_term_str(va.result, vars)
+    )
+}
+
+/// Render an update-term atom.
+pub fn update_atom_str(ua: &UpdateAtom, vars: &VarTable) -> String {
+    let kind = ua.spec.kind();
+    let target = vid_term_str(ua.target, vars);
+    match &ua.spec {
+        UpdateSpec::DelAll => format!("del[{target}].*"),
+        UpdateSpec::Ins { method, args, result } | UpdateSpec::Del { method, args, result } => {
+            format!(
+                "{}[{}].{} -> {}",
+                kind.keyword(),
+                target,
+                method_app_str(*method, args, vars),
+                base_term_str(*result, vars)
+            )
+        }
+        UpdateSpec::Mod { method, args, from, to } => format!(
+            "mod[{}].{} -> ({}, {})",
+            target,
+            method_app_str(*method, args, vars),
+            base_term_str(*from, vars),
+            base_term_str(*to, vars)
+        ),
+    }
+}
+
+/// Render a built-in atom.
+pub fn builtin_str(b: &Builtin, vars: &VarTable) -> String {
+    format!("{} {} {}", expr_str(&b.lhs, vars), b.op.symbol(), expr_str(&b.rhs, vars))
+}
+
+/// Render any body atom.
+pub fn atom_str(atom: &Atom, vars: &VarTable, vid_vars: &VarTable) -> String {
+    match atom {
+        Atom::Version(va) => version_atom_str(va, vars, vid_vars),
+        Atom::Update(ua) => update_atom_str(ua, vars),
+        Atom::Cmp(b) => builtin_str(b, vars),
+    }
+}
+
+/// Render a literal.
+pub fn literal_str(lit: &Literal, vars: &VarTable, vid_vars: &VarTable) -> String {
+    if lit.positive {
+        atom_str(&lit.atom, vars, vid_vars)
+    } else {
+        format!("not {}", atom_str(&lit.atom, vars, vid_vars))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(label) = &self.label {
+            write!(f, "{label}: ")?;
+        }
+        write!(f, "{}", update_atom_str(&self.head, &self.vars))?;
+        if !self.body.is_empty() {
+            write!(f, " <=")?;
+            for (i, lit) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " &")?;
+                }
+                write!(f, " {}", literal_str(lit, &self.vars, &self.vid_vars))?;
+            }
+        }
+        write!(f, " .")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Program;
+
+    fn roundtrip(src: &str) {
+        let p1 = Program::parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = Program::parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
+        assert_eq!(p1, p2, "printed: {printed}");
+    }
+
+    #[test]
+    fn roundtrip_salary_rule() {
+        roundtrip("mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.");
+    }
+
+    #[test]
+    fn roundtrip_enterprise_program() {
+        roundtrip(
+            "rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+             rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+             rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+             rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.",
+        );
+    }
+
+    #[test]
+    fn roundtrip_facts_and_args() {
+        roundtrip("ins[henry].likes @ mary, 3 -> much.");
+        roundtrip("ins[x].v -> -5.");
+    }
+
+    #[test]
+    fn roundtrip_nested_expressions() {
+        roundtrip("ins[e].v -> X <= X = (1 + 2) * 3 - 4 / 5.");
+        roundtrip("ins[e].v -> X <= X = 1 - (2 - 3).");
+    }
+
+    #[test]
+    fn roundtrip_quoted_symbols() {
+        roundtrip("ins[x].'weird name' -> 'Strange Value'.");
+        // Reserved word as a symbol must be quoted.
+        roundtrip("ins[x].kind -> 'mod'.");
+    }
+
+    #[test]
+    fn roundtrip_anonymous_vars() {
+        roundtrip("ins[E].seen -> yes <= E.p -> _ & E.q -> _.");
+    }
+
+    #[test]
+    fn precedence_left_associativity_preserved() {
+        let p = Program::parse("ins[e].v -> X <= X = 10 - 3 - 2.").unwrap();
+        let printed = p.to_string();
+        let p2 = Program::parse(&printed).unwrap();
+        assert_eq!(p, p2, "printed: {printed}");
+    }
+}

@@ -1,0 +1,439 @@
+//! Safety analysis (range restriction) and literal ordering.
+//!
+//! §2.1: "We require that rules are safe (cf. \[Ull88\])." Concretely:
+//!
+//! * every variable of the head must be bound by the body,
+//! * every variable of a negated literal must be bound by positive
+//!   literals (no floundering),
+//! * every variable of a comparison built-in must be bound, except that
+//!   `X = expr` may *bind* `X` when all of `expr`'s variables are bound
+//!   (the paper's `S' = S * 1.1`).
+//!
+//! The analysis doubles as a query planner: it emits the order in which
+//! the evaluator processes body literals ([`RulePlan`]), choosing
+//! positive atoms greedily by the number of already-bound positions
+//! (a classic bound-is-easier sideways-information-passing heuristic).
+
+use ruvo_term::{ArgTerm, BaseTerm, VarId, VidVarId};
+
+use crate::ast::{Atom, CmpOp, Rule, UpdateSpec};
+use crate::error::SafetyError;
+
+/// One step of the evaluation plan; indexes refer to `rule.body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlannedLiteral {
+    /// Iterate matches of a positive version-/update-term, binding its
+    /// unbound variables.
+    Scan(usize),
+    /// Evaluate a fully-bound literal (negated atom, or comparison with
+    /// every variable bound) as a boolean test.
+    Check(usize),
+    /// `var = expr` with `expr` fully bound: evaluate and bind.
+    Assign {
+        /// Body literal index.
+        lit: usize,
+        /// The variable being bound.
+        var: VarId,
+    },
+}
+
+/// The evaluation order for one rule's body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RulePlan {
+    /// Steps in execution order; every body literal appears exactly once.
+    pub steps: Vec<PlannedLiteral>,
+}
+
+fn term_vars(t: ArgTerm, out: &mut Vec<VarId>) {
+    if let BaseTerm::Var(v) = t {
+        out.push(v);
+    }
+}
+
+/// The VID variable of a body atom, if any (only version atoms can
+/// carry one).
+fn atom_vid_var(atom: &Atom) -> Option<VidVarId> {
+    match atom {
+        Atom::Version(va) => va.vid.as_vid_var(),
+        _ => None,
+    }
+}
+
+/// All variables of a body atom.
+fn atom_vars(atom: &Atom) -> Vec<VarId> {
+    let mut out = Vec::new();
+    match atom {
+        Atom::Version(va) => {
+            if let Some(t) = va.vid.as_term() {
+                term_vars(t.base, &mut out);
+            }
+            for &a in &va.args {
+                term_vars(a, &mut out);
+            }
+            term_vars(va.result, &mut out);
+        }
+        Atom::Update(ua) => {
+            term_vars(ua.target.base, &mut out);
+            match &ua.spec {
+                UpdateSpec::Ins { args, result, .. } | UpdateSpec::Del { args, result, .. } => {
+                    for &a in args {
+                        term_vars(a, &mut out);
+                    }
+                    term_vars(*result, &mut out);
+                }
+                UpdateSpec::Mod { args, from, to, .. } => {
+                    for &a in args {
+                        term_vars(a, &mut out);
+                    }
+                    term_vars(*from, &mut out);
+                    term_vars(*to, &mut out);
+                }
+                UpdateSpec::DelAll => {}
+            }
+        }
+        Atom::Cmp(b) => {
+            b.lhs.collect_vars(&mut out);
+            b.rhs.collect_vars(&mut out);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Variables of the rule head.
+pub fn head_vars(rule: &Rule) -> Vec<VarId> {
+    let mut out = Vec::new();
+    term_vars(rule.head.target.base, &mut out);
+    match &rule.head.spec {
+        UpdateSpec::Ins { args, result, .. } | UpdateSpec::Del { args, result, .. } => {
+            for &a in args {
+                term_vars(a, &mut out);
+            }
+            term_vars(*result, &mut out);
+        }
+        UpdateSpec::Mod { args, from, to, .. } => {
+            for &a in args {
+                term_vars(a, &mut out);
+            }
+            term_vars(*from, &mut out);
+            term_vars(*to, &mut out);
+        }
+        UpdateSpec::DelAll => {}
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn rule_name(rule: &Rule) -> String {
+    rule.label.clone().unwrap_or_else(|| format!("<{}>", rule.head.target))
+}
+
+/// How many positions of a positive atom are bound — the scan-selection
+/// heuristic (higher = more selective).
+fn bound_positions(atom: &Atom, bound: &[bool]) -> usize {
+    let is_bound = |t: ArgTerm| match t {
+        BaseTerm::Const(_) => true,
+        BaseTerm::Var(v) => bound[v.index()],
+    };
+    match atom {
+        Atom::Version(va) => {
+            // A bound base is worth more: it selects a single version.
+            // (A VID variable scores 0 when unbound — an open scan.)
+            let mut n = match va.vid.as_term() {
+                Some(t) => {
+                    if is_bound(t.base) {
+                        2
+                    } else {
+                        0
+                    }
+                }
+                None => 0,
+            };
+            n += va.args.iter().filter(|&&a| is_bound(a)).count();
+            n += usize::from(is_bound(va.result));
+            n
+        }
+        Atom::Update(ua) => {
+            let mut n = if is_bound(ua.target.base) { 2 } else { 0 };
+            match &ua.spec {
+                UpdateSpec::Ins { args, result, .. } | UpdateSpec::Del { args, result, .. } => {
+                    n += args.iter().filter(|&&a| is_bound(a)).count();
+                    n += usize::from(is_bound(*result));
+                }
+                UpdateSpec::Mod { args, from, to, .. } => {
+                    n += args.iter().filter(|&&a| is_bound(a)).count();
+                    n += usize::from(is_bound(*from)) + usize::from(is_bound(*to));
+                }
+                UpdateSpec::DelAll => {}
+            }
+            n
+        }
+        Atom::Cmp(_) => 0,
+    }
+}
+
+/// Compute the evaluation plan for a rule, or report why it is unsafe.
+pub fn analyze(rule: &Rule) -> Result<RulePlan, SafetyError> {
+    let nvars = rule.vars.len();
+    let mut bound = vec![false; nvars];
+    let mut vid_bound = vec![false; rule.vid_vars.len()];
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    let mut steps = Vec::with_capacity(rule.body.len());
+
+    let all_bound = |vars: &[VarId], bound: &[bool]| vars.iter().all(|v| bound[v.index()]);
+    let vid_ok = |atom: &Atom, vid_bound: &[bool]| {
+        atom_vid_var(atom).is_none_or(|v| vid_bound[v.index()])
+    };
+
+    while !remaining.is_empty() {
+        let mut chosen: Option<(usize, PlannedLiteral, Vec<VarId>, Option<VidVarId>)> = None;
+
+        // Pass 1: anything that is a pure test or an assignment now.
+        for (ri, &li) in remaining.iter().enumerate() {
+            let lit = &rule.body[li];
+            let vars = atom_vars(&lit.atom);
+            match &lit.atom {
+                Atom::Cmp(b) if lit.positive => {
+                    if all_bound(&vars, &bound) {
+                        chosen = Some((ri, PlannedLiteral::Check(li), vec![], None));
+                        break;
+                    }
+                    if b.op == CmpOp::Eq {
+                        // X = expr (or expr = X) with the other side bound.
+                        let lhs_var = b.lhs.as_single_var();
+                        let rhs_var = b.rhs.as_single_var();
+                        let mut rhs_vars = Vec::new();
+                        b.rhs.collect_vars(&mut rhs_vars);
+                        let mut lhs_vars = Vec::new();
+                        b.lhs.collect_vars(&mut lhs_vars);
+                        if let Some(x) = lhs_var {
+                            if !bound[x.index()] && all_bound(&rhs_vars, &bound) {
+                                chosen = Some((ri, PlannedLiteral::Assign { lit: li, var: x }, vec![x], None));
+                                break;
+                            }
+                        }
+                        if let Some(x) = rhs_var {
+                            if !bound[x.index()] && all_bound(&lhs_vars, &bound) {
+                                chosen = Some((ri, PlannedLiteral::Assign { lit: li, var: x }, vec![x], None));
+                                break;
+                            }
+                        }
+                    }
+                }
+                Atom::Cmp(_)
+                    // Negated built-in: needs everything bound.
+                    if all_bound(&vars, &bound) => {
+                        chosen = Some((ri, PlannedLiteral::Check(li), vec![], None));
+                        break;
+                    }
+                _ if !lit.positive
+                    && all_bound(&vars, &bound)
+                    && vid_ok(&lit.atom, &vid_bound) => {
+                        chosen = Some((ri, PlannedLiteral::Check(li), vec![], None));
+                        break;
+                    }
+                _ => {}
+            }
+        }
+
+        // Pass 2: otherwise scan the most-bound positive atom.
+        if chosen.is_none() {
+            let mut best: Option<(usize, usize)> = None; // (remaining-idx, score)
+            for (ri, &li) in remaining.iter().enumerate() {
+                let lit = &rule.body[li];
+                if !lit.positive || matches!(lit.atom, Atom::Cmp(_)) {
+                    continue;
+                }
+                let score = bound_positions(&lit.atom, &bound);
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((ri, score));
+                }
+            }
+            if let Some((ri, _)) = best {
+                let li = remaining[ri];
+                let vars = atom_vars(&rule.body[li].atom);
+                let vid_var = atom_vid_var(&rule.body[li].atom);
+                chosen = Some((ri, PlannedLiteral::Scan(li), vars, vid_var));
+            }
+        }
+
+        match chosen {
+            Some((ri, step, newly, newly_vid)) => {
+                remaining.swap_remove(ri);
+                for v in newly {
+                    bound[v.index()] = true;
+                }
+                if let Some(v) = newly_vid {
+                    vid_bound[v.index()] = true;
+                }
+                steps.push(step);
+            }
+            None => {
+                // Name the variables that can never be bound.
+                let mut stuck: Vec<String> = remaining
+                    .iter()
+                    .flat_map(|&li| atom_vars(&rule.body[li].atom))
+                    .filter(|v| !bound[v.index()])
+                    .map(|v| rule.vars.name(v).to_owned())
+                    .collect();
+                stuck.extend(
+                    remaining
+                        .iter()
+                        .filter_map(|&li| atom_vid_var(&rule.body[li].atom))
+                        .filter(|v| !vid_bound[v.index()])
+                        .map(|v| format!("${}", rule.vid_vars.name(VarId(v.0)))),
+                );
+                return Err(SafetyError {
+                    rule: rule_name(rule),
+                    message: format!(
+                        "cannot bind variable(s) {:?}: negated literals and built-ins require \
+                         their variables to be bound by positive version- or update-terms",
+                        stuck
+                    ),
+                });
+            }
+        }
+    }
+
+    // Head variables must now be bound.
+    let unbound_head: Vec<String> = head_vars(rule)
+        .into_iter()
+        .filter(|v| !bound[v.index()])
+        .map(|v| rule.vars.name(v).to_owned())
+        .collect();
+    if !unbound_head.is_empty() {
+        return Err(SafetyError {
+            rule: rule_name(rule),
+            message: format!("head variable(s) {unbound_head:?} are not bound by the body"),
+        });
+    }
+
+    Ok(RulePlan { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program;
+
+    fn plan_of(src: &str) -> RulePlan {
+        Program::parse(src).unwrap().rules.pop_if_single()
+    }
+
+    trait PopSingle {
+        fn pop_if_single(self) -> RulePlan;
+    }
+    impl PopSingle for Vec<crate::ast::Rule> {
+        fn pop_if_single(mut self) -> RulePlan {
+            assert_eq!(self.len(), 1);
+            self.pop().unwrap().plan
+        }
+    }
+
+    #[test]
+    fn salary_rule_plan_orders_assign_last() {
+        let plan = plan_of("mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.");
+        assert_eq!(plan.steps.len(), 3);
+        // The assignment must come after the scan that binds S.
+        let assign_pos = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, PlannedLiteral::Assign { .. }))
+            .unwrap();
+        let scan_sal = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, PlannedLiteral::Scan(1)))
+            .unwrap();
+        assert!(assign_pos > scan_sal);
+    }
+
+    #[test]
+    fn negation_is_scheduled_after_binding() {
+        let p = Program::parse(
+            "ins[mod(E)].isa -> hpe <= not del[mod(E)].isa -> empl & mod(E).isa -> empl / sal -> S & S > 4500.",
+        )
+        .unwrap();
+        let plan = &p.rules[0].plan;
+        // The negated literal (body index 0) must be evaluated after E is
+        // bound by a scan.
+        let neg_pos = plan.steps.iter().position(|s| *s == PlannedLiteral::Check(0)).unwrap();
+        let first_scan = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, PlannedLiteral::Scan(_)))
+            .unwrap();
+        assert!(neg_pos > first_scan);
+    }
+
+    #[test]
+    fn unbound_head_variable_is_unsafe() {
+        let err = Program::parse("ins[E].a -> R <= E.p -> 1.").unwrap_err();
+        assert!(err.to_string().contains("R"), "got: {err}");
+    }
+
+    #[test]
+    fn unbound_negated_variable_is_unsafe() {
+        let err = Program::parse("ins[e].a -> 1 <= not X.p -> 1.").unwrap_err();
+        assert!(err.to_string().contains("X"), "got: {err}");
+    }
+
+    #[test]
+    fn circular_assignments_are_unsafe() {
+        let err = Program::parse("ins[e].a -> 1 <= X = Y + 1 & Y = X + 1.").unwrap_err();
+        assert!(err.to_string().to_lowercase().contains("cannot bind"), "got: {err}");
+    }
+
+    #[test]
+    fn equality_scheduled_as_test_or_assign() {
+        // The planner may either bind Y := X (assignment) and scan
+        // E.b -> Y with Y bound, or scan both and test X = Y; both are
+        // correct. It must schedule literal 2 somehow.
+        let p = Program::parse("ins[E].eq -> yes <= E.a -> X & E.b -> Y & X = Y.").unwrap();
+        let plan = &p.rules[0].plan;
+        assert!(plan.steps.iter().any(|s| matches!(
+            s,
+            PlannedLiteral::Check(2) | PlannedLiteral::Assign { lit: 2, .. }
+        )));
+        assert_eq!(plan.steps.len(), 3);
+    }
+
+    #[test]
+    fn reversed_assignment_direction() {
+        // expr = X binds X too.
+        let p = Program::parse("ins[E].twice -> T <= E.v -> V & V * 2 = T.").unwrap();
+        let plan = &p.rules[0].plan;
+        assert!(plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlannedLiteral::Assign { lit: 1, .. })));
+    }
+
+    #[test]
+    fn update_facts_have_empty_plans() {
+        let p = Program::parse("ins[henry].isa -> empl.").unwrap();
+        assert!(p.rules[0].plan.steps.is_empty());
+    }
+
+    #[test]
+    fn ground_negated_literal_is_fine() {
+        let p = Program::parse("ins[e].a -> 1 <= not e.p -> 1.").unwrap();
+        assert_eq!(p.rules[0].plan.steps, vec![PlannedLiteral::Check(0)]);
+    }
+
+    #[test]
+    fn scan_prefers_bound_base() {
+        // After scanning E.boss -> B, the second atom should be scanned
+        // with its base bound (B), before the unrelated open scan.
+        let p = Program::parse(
+            "ins[E].flag -> 1 <= E.boss -> B & B.sal -> S & Other.unrelated -> U & S > 10 & U > 0.",
+        )
+        .unwrap();
+        let plan = &p.rules[0].plan;
+        let pos_b = plan.steps.iter().position(|s| *s == PlannedLiteral::Scan(1)).unwrap();
+        let pos_other = plan.steps.iter().position(|s| *s == PlannedLiteral::Scan(2)).unwrap();
+        assert!(pos_b < pos_other, "plan: {:?}", plan.steps);
+    }
+}

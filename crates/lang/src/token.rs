@@ -1,0 +1,124 @@
+//! Token stream produced by the lexer.
+
+use std::fmt;
+
+use crate::error::Pos;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Lower-case identifier or quoted symbol: method names, OIDs.
+    Ident(String),
+    /// Upper-case / underscore identifier: a rule variable.
+    Var(String),
+    /// `$`-prefixed identifier: a VID-quantified variable (§6
+    /// extension; body-only).
+    VidVar(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `ins` keyword.
+    Ins,
+    /// `del` keyword.
+    Del,
+    /// `mod` keyword.
+    Mod,
+    /// `not` keyword.
+    Not,
+    /// `.` used as method accessor (tight: `v.m`).
+    DotSep,
+    /// `.` used as rule/fact terminator (followed by whitespace/EOF).
+    Period,
+    /// `->`
+    Arrow,
+    /// `<=` (rule implication) — also written `:-`.
+    Implies,
+    /// `&`
+    Amp,
+    /// `@`
+    At,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `/` in a method path (shorthand for conjunction) or division —
+    /// disambiguated by the parser from context.
+    Slash,
+    /// `*` — multiplication, or delete-all after a DotSep.
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `!` (negation prefix)
+    Bang,
+    /// `<`
+    Lt,
+    /// `=<`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `:` (rule label separator)
+    Colon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Var(s) => write!(f, "{s}"),
+            Tok::VidVar(s) => write!(f, "${s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Ins => write!(f, "ins"),
+            Tok::Del => write!(f, "del"),
+            Tok::Mod => write!(f, "mod"),
+            Tok::Not => write!(f, "not"),
+            Tok::DotSep => write!(f, "."),
+            Tok::Period => write!(f, "."),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Implies => write!(f, "<="),
+            Tok::Amp => write!(f, "&"),
+            Tok::At => write!(f, "@"),
+            Tok::Comma => write!(f, ","),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Star => write!(f, "*"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "=<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Colon => write!(f, ":"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}

@@ -1,0 +1,113 @@
+//! Structural validation of programs (§2.1/§3 side conditions).
+
+use ruvo_term::sym;
+
+use crate::ast::{Atom, Program, Rule, UpdateSpec};
+use crate::error::ValidateError;
+
+fn rule_name(rule: &Rule, idx: Option<usize>) -> String {
+    match (&rule.label, idx) {
+        (Some(l), _) => l.clone(),
+        (None, Some(i)) => format!("rule{}", i + 1),
+        (None, None) => format!("<{}>", rule.head.target),
+    }
+}
+
+/// Validate a single rule.
+pub fn validate_rule(rule: &Rule) -> Result<(), ValidateError> {
+    validate_rule_at(rule, None)
+}
+
+fn validate_rule_at(rule: &Rule, idx: Option<usize>) -> Result<(), ValidateError> {
+    let exists = sym("exists");
+    // §3: "we require, that for all programs P, this 'system-method'
+    // exists does not occur in the head of any rule".
+    if rule.head.spec.method() == Some(exists) {
+        return Err(ValidateError {
+            rule: rule_name(rule, idx),
+            message: "the system method `exists` cannot be updated".into(),
+        });
+    }
+    for (i, lit) in rule.body.iter().enumerate() {
+        if let Atom::Update(ua) = &lit.atom {
+            if matches!(ua.spec, UpdateSpec::DelAll) {
+                return Err(ValidateError {
+                    rule: rule_name(rule, idx),
+                    message: format!(
+                        "body literal {}: `del[...].*` (delete all) is only meaningful in rule heads",
+                        i + 1
+                    ),
+                });
+            }
+            if ua.spec.method() == Some(exists) {
+                return Err(ValidateError {
+                    rule: rule_name(rule, idx),
+                    message: format!(
+                        "body literal {}: update-terms on the system method `exists` are not allowed",
+                        i + 1
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a whole program: every rule, plus label uniqueness.
+pub fn validate_program(program: &Program) -> Result<(), ValidateError> {
+    let mut seen = std::collections::HashSet::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        validate_rule_at(rule, Some(i))?;
+        if let Some(label) = &rule.label {
+            if !seen.insert(label.clone()) {
+                return Err(ValidateError {
+                    rule: label.clone(),
+                    message: "duplicate rule label".into(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Program;
+
+    #[test]
+    fn exists_in_head_rejected() {
+        let err = Program::parse("ins[E].exists -> E <= E.isa -> empl.").unwrap_err();
+        assert!(err.to_string().contains("exists"), "got: {err}");
+    }
+
+    #[test]
+    fn mod_exists_in_head_rejected() {
+        let err = Program::parse("mod[E].exists -> (E, E) <= E.isa -> empl.").unwrap_err();
+        assert!(err.to_string().contains("exists"), "got: {err}");
+    }
+
+    #[test]
+    fn del_all_in_body_rejected() {
+        // `del[mod(E)].*` cannot be asked as a body condition.
+        let err = Program::parse("ins[E].a -> 1 <= E.isa -> empl & del[mod(E)].* .").unwrap_err();
+        assert!(err.to_string().contains("delete all"), "got: {err}");
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err = Program::parse("r: ins[a].p -> 1. r: ins[b].p -> 2.").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "got: {err}");
+    }
+
+    #[test]
+    fn exists_in_body_version_term_allowed() {
+        // Asking about existence is fine; updating it is not.
+        assert!(Program::parse("ins[E].seen -> 1 <= E.exists -> E.").is_ok());
+    }
+
+    #[test]
+    fn exists_update_term_in_body_rejected() {
+        let err = Program::parse("ins[E].a -> 1 <= E.isa -> x & ins[E].exists -> E.").unwrap_err();
+        assert!(err.to_string().contains("exists"), "got: {err}");
+    }
+}

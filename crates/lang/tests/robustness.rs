@@ -1,0 +1,107 @@
+//! Robustness: the front end must return errors, never panic, on
+//! arbitrary garbage — byte soup, token soup, and truncations of valid
+//! programs.
+
+use proptest::prelude::*;
+use ruvo_lang::{parse_facts, Program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings: parse returns Ok or Err, never panics.
+    #[test]
+    fn program_parse_never_panics(src in "\\PC*") {
+        let _ = Program::parse(&src);
+    }
+
+    /// ASCII soup biased toward the language's own alphabet.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("ins".to_string()),
+                Just("del".to_string()),
+                Just("mod".to_string()),
+                Just("not".to_string()),
+                Just("<=".to_string()),
+                Just("->".to_string()),
+                Just(".".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("&".to_string()),
+                Just("/".to_string()),
+                Just("@".to_string()),
+                Just(",".to_string()),
+                Just("*".to_string()),
+                Just("=".to_string()),
+                Just("X".to_string()),
+                Just("foo".to_string()),
+                Just("4500".to_string()),
+                Just("1.1".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = Program::parse(&src);
+        let _ = parse_facts(&src);
+    }
+
+    /// Every prefix of a valid program parses or errors cleanly.
+    #[test]
+    fn truncations_never_panic(cut in 0usize..400) {
+        let src = "rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.";
+        let cut = cut.min(src.len());
+        if src.is_char_boundary(cut) {
+            let _ = Program::parse(&src[..cut]);
+        }
+    }
+}
+
+/// A grab bag of adversarial inputs with specific failure modes.
+#[test]
+fn adversarial_inputs_error_cleanly() {
+    let cases = [
+        "",
+        ".",
+        "..",
+        "ins",
+        "ins[",
+        "ins[x",
+        "ins[x]",
+        "ins[x].",
+        "ins[x].*",
+        "ins[x].m",
+        "ins[x].m ->",
+        "ins[x].m -> (",
+        "mod[x].m -> (1",
+        "mod[x].m -> (1,",
+        "mod[x].m -> (1, 2",
+        "ins[ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(ins(x)))))))))))))))))))))))))))))))))].m -> 1.",
+        "ins[x].m -> 1 <=",
+        "ins[x].m -> 1 <= &",
+        "ins[x].m -> 1 <= not",
+        "ins[x].m -> 1 <= 1 +",
+        "ins[x].m -> 1 <= (1 + 2",
+        "a.b -> c", // missing period in a program context (head must be update-term)
+        "'unterminated",
+        "ins[x].m -> 99999999999999999999999999999.",
+        "x : : ins[x].m -> 1.",
+    ];
+    for src in cases {
+        match Program::parse(src) {
+            // The empty program is the only legitimately parsing entry.
+            Ok(p) => assert!(
+                src.is_empty() && p.is_empty(),
+                "unexpectedly parsed {src:?} -> {p:?}"
+            ),
+            Err(e) => {
+                // Error messages must be non-empty and renderable.
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}

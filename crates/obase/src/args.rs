@@ -1,0 +1,165 @@
+//! Method argument tuples.
+//!
+//! Most methods in the paper take no arguments (`k = 0`), so the empty
+//! tuple is represented without allocation; non-empty tuples share an
+//! `Arc` so that the state copies of `T_P`'s step 2 (the frame-problem
+//! copy) never deep-clone argument vectors.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ruvo_term::Const;
+
+/// An immutable tuple of ground method arguments.
+#[derive(Clone, Default)]
+pub struct Args(Option<Arc<[Const]>>);
+
+impl Args {
+    /// The empty argument tuple (`k = 0`).
+    pub fn empty() -> Args {
+        Args(None)
+    }
+
+    /// Build from a vector; empty vectors normalize to [`Args::empty`].
+    pub fn new(args: Vec<Const>) -> Args {
+        if args.is_empty() {
+            Args(None)
+        } else {
+            Args(Some(args.into()))
+        }
+    }
+
+    /// The arguments as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Const] {
+        match &self.0 {
+            None => &[],
+            Some(a) => a,
+        }
+    }
+
+    /// Number of arguments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True for `k = 0`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Iterate the arguments.
+    pub fn iter(&self) -> std::slice::Iter<'_, Const> {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for Args {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Args {}
+
+impl std::hash::Hash for Args {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Args {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Args {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl fmt::Debug for Args {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({self})")
+    }
+}
+
+impl fmt::Display for Args {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<Const>> for Args {
+    fn from(v: Vec<Const>) -> Self {
+        Args::new(v)
+    }
+}
+
+impl From<&[Const]> for Args {
+    fn from(v: &[Const]) -> Self {
+        Args::new(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::{int, oid};
+
+    #[test]
+    fn empty_args_do_not_allocate() {
+        let a = Args::empty();
+        let b = Args::new(vec![]);
+        assert_eq!(a, b);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        use std::collections::HashSet;
+        let a = Args::new(vec![int(1), oid("x")]);
+        let b = Args::new(vec![int(1), oid("x")]);
+        let c = Args::new(vec![int(2)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Args::new(vec![int(1), int(2), int(3)]);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn display_comma_separated() {
+        assert_eq!(Args::new(vec![int(1), oid("x")]).to_string(), "1, x");
+        assert_eq!(Args::empty().to_string(), "");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Args::new(vec![int(1)]);
+        let b = Args::new(vec![int(1), int(2)]);
+        let c = Args::new(vec![int(2)]);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(Args::empty() < a);
+    }
+}

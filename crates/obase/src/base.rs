@@ -1,0 +1,535 @@
+//! The object base: a set of ground version-terms with join indexes.
+
+use std::fmt;
+
+use ruvo_lang::{parse_facts, ParseError};
+use ruvo_term::{Chain, Const, FastHashMap, FastHashSet, Symbol, Vid};
+
+use crate::{exists_sym, Args, MethodApp, ObStats, VersionState};
+
+/// One ground version-term `vid.m@args -> r`, as stored.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Fact {
+    /// The version carrying the method-application.
+    pub vid: Vid,
+    /// Method name.
+    pub method: Symbol,
+    /// Ground arguments.
+    pub args: Args,
+    /// Ground result.
+    pub result: Const,
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let method = ruvo_lang::pretty::symbol_str(self.method);
+        write!(f, "{}.{}", self.vid, method)?;
+        if !self.args.is_empty() {
+            write!(f, " @ {}", self.args)?;
+        }
+        write!(f, " -> {} .", ruvo_lang::pretty::const_str(self.result))
+    }
+}
+
+/// A set of ground version-terms, indexed for bottom-up evaluation.
+///
+/// See the crate docs for the index structure. All mutating operations
+/// keep the indexes consistent; `debug_assert`-level invariants are
+/// checked in the test suite via [`ObjectBase::check_invariants`].
+#[derive(Clone, Default)]
+pub struct ObjectBase {
+    versions: FastHashMap<Vid, VersionState>,
+    /// `(chain, method) → bases`: which objects have a version with this
+    /// chain defining this method.
+    by_chain_method: FastHashMap<(Chain, Symbol), FastHashSet<Const>>,
+    /// `base → chains`: every version of an object.
+    by_base: FastHashMap<Const, FastHashSet<Chain>>,
+    fact_count: usize,
+}
+
+impl ObjectBase {
+    /// An empty object base.
+    pub fn new() -> ObjectBase {
+        ObjectBase::default()
+    }
+
+    /// Parse the textual format (see [`ruvo_lang::parse_facts`]).
+    ///
+    /// Does *not* add `exists` facts; the engine does that when an
+    /// update-program is run (§3's preparation step).
+    pub fn parse(src: &str) -> Result<ObjectBase, ParseError> {
+        let mut ob = ObjectBase::new();
+        for f in parse_facts(src)? {
+            ob.insert(f.vid, f.method, Args::new(f.args), f.result);
+        }
+        Ok(ob)
+    }
+
+    // ----- mutation --------------------------------------------------
+
+    /// Insert one ground version-term. Returns true if it was new.
+    pub fn insert(
+        &mut self,
+        vid: Vid,
+        method: Symbol,
+        args: impl Into<Args>,
+        result: Const,
+    ) -> bool {
+        let app = MethodApp::new(args, result);
+        let state = self.versions.entry(vid).or_default();
+        let was_empty_method = !state.has_method(method);
+        let added = state.insert(method, app);
+        if added {
+            self.fact_count += 1;
+            if was_empty_method {
+                self.by_chain_method
+                    .entry((vid.chain(), method))
+                    .or_default()
+                    .insert(vid.base());
+            }
+            self.by_base.entry(vid.base()).or_default().insert(vid.chain());
+        }
+        added
+    }
+
+    /// Remove one ground version-term. Returns true if it was present.
+    pub fn remove(&mut self, vid: Vid, method: Symbol, args: &Args, result: Const) -> bool {
+        let (removed, method_gone, version_gone) = {
+            let Some(state) = self.versions.get_mut(&vid) else { return false };
+            let app = MethodApp { args: args.clone(), result };
+            let removed = state.remove(method, &app);
+            (removed, removed && !state.has_method(method), removed && state.is_empty())
+        };
+        if removed {
+            self.fact_count -= 1;
+            if method_gone {
+                self.unindex_method(vid, method);
+            }
+            if version_gone {
+                self.drop_version_entry(vid);
+            }
+        }
+        removed
+    }
+
+    /// Remove a whole version and all its facts; returns the old state.
+    pub fn remove_version(&mut self, vid: Vid) -> Option<VersionState> {
+        let state = self.versions.remove(&vid)?;
+        self.fact_count -= state.len();
+        for method in state.methods() {
+            self.unindex_method(vid, method);
+        }
+        self.unindex_version(vid);
+        Some(state)
+    }
+
+    /// Install `state` as the (complete) new state of `vid`, replacing
+    /// whatever was there — the engine's per-stratum *overwrite* step
+    /// (DESIGN.md D1). Empty states simply remove the version.
+    pub fn replace_version(&mut self, vid: Vid, state: VersionState) {
+        self.remove_version(vid);
+        if state.is_empty() {
+            return;
+        }
+        self.fact_count += state.len();
+        for method in state.methods() {
+            self.by_chain_method
+                .entry((vid.chain(), method))
+                .or_default()
+                .insert(vid.base());
+        }
+        self.by_base.entry(vid.base()).or_default().insert(vid.chain());
+        self.versions.insert(vid, state);
+    }
+
+    fn unindex_method(&mut self, vid: Vid, method: Symbol) {
+        if let Some(set) = self.by_chain_method.get_mut(&(vid.chain(), method)) {
+            set.remove(&vid.base());
+            if set.is_empty() {
+                self.by_chain_method.remove(&(vid.chain(), method));
+            }
+        }
+    }
+
+    fn drop_version_entry(&mut self, vid: Vid) {
+        self.versions.remove(&vid);
+        self.unindex_version(vid);
+    }
+
+    fn unindex_version(&mut self, vid: Vid) {
+        if let Some(chains) = self.by_base.get_mut(&vid.base()) {
+            chains.remove(&vid.chain());
+            if chains.is_empty() {
+                self.by_base.remove(&vid.base());
+            }
+        }
+    }
+
+    /// §3: define the system method for every version currently present
+    /// (`v.exists -> base`). For a freshly loaded object base this is
+    /// exactly the paper's "for each object o in the given object base
+    /// ob there is defined a method exists: o.exists -> o".
+    pub fn ensure_exists(&mut self) {
+        let exists = exists_sym();
+        let vids: Vec<Vid> = self.versions.keys().copied().collect();
+        for vid in vids {
+            self.insert(vid, exists, Args::empty(), vid.base());
+        }
+    }
+
+    // ----- queries ---------------------------------------------------
+
+    /// The state of a version, if it has any facts.
+    pub fn version(&self, vid: Vid) -> Option<&VersionState> {
+        self.versions.get(&vid)
+    }
+
+    /// Membership of one ground version-term.
+    pub fn contains(&self, vid: Vid, method: Symbol, args: &[Const], result: Const) -> bool {
+        self.versions.get(&vid).is_some_and(|s| {
+            s.contains(method, &MethodApp { args: Args::from(args), result })
+        })
+    }
+
+    /// True if `vid.exists -> base(vid)` holds — the paper's criterion
+    /// for "the version exists" used by `v*` and by step 2 of `T_P`.
+    pub fn exists_fact(&self, vid: Vid) -> bool {
+        self.contains(vid, exists_sym(), &[], vid.base())
+    }
+
+    /// §3's `v*`: "the largest subterm of `v`, such that
+    /// `v*.exists -> o ∈ I`" — the deepest existing version at or below
+    /// `v`. `None` when not even the bare object exists (a brand-new
+    /// object being created by an `ins`, DESIGN.md D3).
+    pub fn v_star(&self, vid: Vid) -> Option<Vid> {
+        let mut candidates: Vec<Vid> = vid.subterms().collect();
+        while let Some(v) = candidates.pop() {
+            if self.exists_fact(v) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Results of `method@args` on `vid`.
+    pub fn results<'a>(
+        &'a self,
+        vid: Vid,
+        method: Symbol,
+        args: &'a [Const],
+    ) -> impl Iterator<Item = Const> + 'a {
+        self.versions.get(&vid).into_iter().flat_map(move |s| s.results(method, args))
+    }
+
+    /// All applications of `method` on `vid`.
+    pub fn apps(&self, vid: Vid, method: Symbol) -> impl Iterator<Item = &MethodApp> {
+        self.versions.get(&vid).into_iter().flat_map(move |s| s.apps(method))
+    }
+
+    /// The versions with update-chain `chain` that define `method` —
+    /// the scan index for a body literal with an unbound base variable.
+    pub fn versions_with(&self, chain: Chain, method: Symbol) -> impl Iterator<Item = Vid> + '_ {
+        self.by_chain_method
+            .get(&(chain, method))
+            .into_iter()
+            .flatten()
+            .map(move |&base| Vid::new(base, chain))
+    }
+
+    /// Every version of an object, as VIDs.
+    pub fn versions_of(&self, base: Const) -> impl Iterator<Item = Vid> + '_ {
+        self.by_base
+            .get(&base)
+            .into_iter()
+            .flatten()
+            .map(move |&chain| Vid::new(base, chain))
+    }
+
+    /// Every object (base OID) with at least one version in the store.
+    pub fn objects(&self) -> impl Iterator<Item = Const> + '_ {
+        self.by_base.keys().copied()
+    }
+
+    /// Every version in the store.
+    pub fn versions(&self) -> impl Iterator<Item = Vid> + '_ {
+        self.versions.keys().copied()
+    }
+
+    /// All facts (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.versions.iter().flat_map(|(&vid, state)| {
+            state.iter().map(move |(method, app)| Fact {
+                vid,
+                method,
+                args: app.args.clone(),
+                result: app.result,
+            })
+        })
+    }
+
+    /// All facts, sorted for deterministic output.
+    pub fn facts_sorted(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.iter().collect();
+        v.sort_by(|a, b| {
+            (a.vid, a.method.as_str(), &a.args, a.result)
+                .cmp(&(b.vid, b.method.as_str(), &b.args, b.result))
+        });
+        v
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.fact_count
+    }
+
+    /// True if the store has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.fact_count == 0
+    }
+
+    /// Convenience for tests and examples: the sorted results of a
+    /// 0-ary method on the *initial* version of `base`.
+    pub fn lookup1(&self, base: Const, method: &str) -> Vec<Const> {
+        let mut v: Vec<Const> =
+            self.results(Vid::object(base), ruvo_term::sym(method), &[]).collect();
+        v.sort();
+        v
+    }
+
+    /// A copy without any `exists` facts (for comparing evaluation
+    /// results against hand-written expectations).
+    pub fn without_exists(&self) -> ObjectBase {
+        let exists = exists_sym();
+        let mut out = ObjectBase::new();
+        for f in self.iter() {
+            if f.method != exists {
+                out.insert(f.vid, f.method, f.args, f.result);
+            }
+        }
+        out
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> ObStats {
+        let mut methods: FastHashSet<Symbol> = FastHashSet::default();
+        let mut max_depth = 0;
+        for (vid, state) in &self.versions {
+            max_depth = max_depth.max(vid.depth());
+            methods.extend(state.methods());
+        }
+        ObStats {
+            objects: self.by_base.len(),
+            versions: self.versions.len(),
+            facts: self.fact_count,
+            distinct_methods: methods.len(),
+            max_version_depth: max_depth,
+        }
+    }
+
+    /// Exhaustive index consistency check (test helper; O(n)).
+    pub fn check_invariants(&self) {
+        let mut count = 0;
+        for (vid, state) in &self.versions {
+            assert!(!state.is_empty(), "empty version state for {vid}");
+            count += state.len();
+            for method in state.methods() {
+                assert!(
+                    self.by_chain_method
+                        .get(&(vid.chain(), method))
+                        .is_some_and(|s| s.contains(&vid.base())),
+                    "missing by_chain_method entry for {vid}.{method}"
+                );
+            }
+            assert!(
+                self.by_base.get(&vid.base()).is_some_and(|s| s.contains(&vid.chain())),
+                "missing by_base entry for {vid}"
+            );
+        }
+        assert_eq!(count, self.fact_count, "fact_count out of sync");
+        for (&(chain, method), bases) in &self.by_chain_method {
+            for base in bases {
+                let vid = Vid::new(*base, chain);
+                assert!(
+                    self.versions.get(&vid).is_some_and(|s| s.has_method(method)),
+                    "stale by_chain_method entry {vid}.{method}"
+                );
+            }
+        }
+        for (&base, chains) in &self.by_base {
+            for &chain in chains {
+                assert!(
+                    self.versions.contains_key(&Vid::new(base, chain)),
+                    "stale by_base entry {base} {chain}"
+                );
+            }
+        }
+    }
+}
+
+impl PartialEq for ObjectBase {
+    fn eq(&self, other: &Self) -> bool {
+        self.versions == other.versions
+    }
+}
+
+impl Eq for ObjectBase {}
+
+impl fmt::Display for ObjectBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for fact in self.facts_sorted() {
+            writeln!(f, "{fact}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ObjectBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectBase({} facts)\n{self}", self.fact_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::{int, oid, sym, UpdateKind};
+
+    fn mk() -> ObjectBase {
+        ObjectBase::parse(
+            "phil.isa -> empl / pos -> mgr / sal -> 4000.
+             bob.isa -> empl / boss -> phil / sal -> 4200.",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_lookup() {
+        let ob = mk();
+        assert_eq!(ob.len(), 6);
+        assert_eq!(ob.lookup1(oid("phil"), "sal"), vec![int(4000)]);
+        assert_eq!(ob.lookup1(oid("bob"), "boss"), vec![oid("phil")]);
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut ob = mk();
+        assert!(!ob.insert(Vid::object(oid("phil")), sym("sal"), Args::empty(), int(4000)));
+        assert_eq!(ob.len(), 6);
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn remove_updates_indexes() {
+        let mut ob = mk();
+        let phil = Vid::object(oid("phil"));
+        assert!(ob.remove(phil, sym("sal"), &Args::empty(), int(4000)));
+        assert_eq!(ob.lookup1(oid("phil"), "sal"), vec![]);
+        // sal chain-index no longer lists phil.
+        let sal_versions: Vec<Vid> = ob.versions_with(Chain::EMPTY, sym("sal")).collect();
+        assert_eq!(sal_versions, vec![Vid::object(oid("bob"))]);
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn removing_last_fact_drops_version() {
+        let mut ob = ObjectBase::new();
+        let v = Vid::object(oid("x"));
+        ob.insert(v, sym("p"), Args::empty(), int(1));
+        assert!(ob.version(v).is_some());
+        ob.remove(v, sym("p"), &Args::empty(), int(1));
+        assert!(ob.version(v).is_none());
+        assert_eq!(ob.objects().count(), 0);
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn versions_with_chain_index() {
+        let mut ob = mk();
+        let mod_phil = Vid::object(oid("phil")).apply(UpdateKind::Mod).unwrap();
+        ob.insert(mod_phil, sym("sal"), Args::empty(), int(4600));
+        let mod_chain = mod_phil.chain();
+        let found: Vec<Vid> = ob.versions_with(mod_chain, sym("sal")).collect();
+        assert_eq!(found, vec![mod_phil]);
+        // The initial versions are still found under the empty chain.
+        assert_eq!(ob.versions_with(Chain::EMPTY, sym("sal")).count(), 2);
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn ensure_exists_and_v_star() {
+        let mut ob = mk();
+        ob.ensure_exists();
+        let phil = Vid::object(oid("phil"));
+        assert!(ob.exists_fact(phil));
+        let mod_phil = phil.apply(UpdateKind::Mod).unwrap();
+        // mod(phil) does not exist yet: v* falls back to phil.
+        assert_eq!(ob.v_star(mod_phil), Some(phil));
+        // After creating it, v* is mod(phil) itself.
+        ob.insert(mod_phil, exists_sym(), Args::empty(), oid("phil"));
+        assert_eq!(ob.v_star(mod_phil), Some(mod_phil));
+        // A brand-new object has no v*.
+        assert_eq!(ob.v_star(Vid::object(oid("nobody"))), None);
+    }
+
+    #[test]
+    fn replace_version_overwrites() {
+        let mut ob = mk();
+        let phil = Vid::object(oid("phil"));
+        let mut st = VersionState::new();
+        st.insert(sym("sal"), MethodApp::new(Args::empty(), int(1)));
+        ob.replace_version(phil, st);
+        assert_eq!(ob.lookup1(oid("phil"), "sal"), vec![int(1)]);
+        assert_eq!(ob.lookup1(oid("phil"), "isa"), vec![]);
+        ob.check_invariants();
+        // Replacing with an empty state removes the version.
+        ob.replace_version(phil, VersionState::new());
+        assert!(ob.version(phil).is_none());
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn display_parses_back() {
+        let mut ob = mk();
+        ob.insert(
+            Vid::object(oid("phil")).apply(UpdateKind::Mod).unwrap(),
+            sym("sal"),
+            Args::empty(),
+            int(4600),
+        );
+        let text = ob.to_string();
+        let back = ObjectBase::parse(&text).unwrap();
+        assert_eq!(ob, back, "text was:\n{text}");
+    }
+
+    #[test]
+    fn without_exists_strips() {
+        let mut ob = mk();
+        ob.ensure_exists();
+        assert_eq!(ob.without_exists(), mk());
+    }
+
+    #[test]
+    fn stats_reflect_store() {
+        let mut ob = mk();
+        ob.insert(
+            Vid::object(oid("phil")).apply(UpdateKind::Mod).unwrap(),
+            sym("sal"),
+            Args::empty(),
+            int(4600),
+        );
+        let st = ob.stats();
+        assert_eq!(st.objects, 2);
+        assert_eq!(st.versions, 3);
+        assert_eq!(st.facts, 7);
+        assert_eq!(st.max_version_depth, 1);
+        assert_eq!(st.distinct_methods, 4); // isa, pos, sal, boss
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = ObjectBase::parse("x.p -> 1. x.q -> 2.").unwrap();
+        let b = ObjectBase::parse("x.q -> 2. x.p -> 1.").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ruvo-obase — versioned object-base storage
+//!
+//! §2.1 of the paper: "A set of ground version-terms is called an
+//! *object-base*." This crate stores such sets with the indexes the
+//! evaluator needs:
+//!
+//! * per-version states (`Vid → {method → {(args, result)}}`) — "The
+//!   state of a version w.r.t. a certain object-base is given by the set
+//!   of all ground method-applications, which can be derived from its
+//!   version-terms",
+//! * a `(chain, method) → bases` index, so a rule literal like
+//!   `mod(E).sal -> S` enumerates exactly the `mod(·)`-versions that
+//!   define `sal`,
+//! * a `base → chains` index enumerating every version of an object
+//!   (used for §5's final-version extraction),
+//! * the `exists` system method bookkeeping and the `v*` operator of §3,
+//! * the §5 *version-linearity* tracker ([`LinearityTracker`]).
+//!
+//! Methods are set-valued by construction (§2.1: "Whenever an
+//! object-base contains several method-applications for a certain
+//! object(-version) … we consider the method to be set-valued"), so
+//! inserting a second result for the same method and arguments simply
+//! grows the set; functional-dependency enforcement is deliberately out
+//! of scope, as in the paper.
+
+pub mod args;
+pub mod base;
+pub mod linearity;
+pub mod snapshot;
+pub mod stats;
+pub mod state;
+
+pub use args::Args;
+pub use base::{Fact, ObjectBase};
+pub use linearity::{check_all_linear, LinearityTracker, LinearityViolation};
+pub use snapshot::SnapshotError;
+pub use stats::ObStats;
+pub use state::{MethodApp, VersionState};
+
+/// The name of the paper's system method: `o.exists -> o`.
+pub const EXISTS_METHOD: &str = "exists";
+
+/// The interned `exists` symbol.
+pub fn exists_sym() -> ruvo_term::Symbol {
+    ruvo_term::sym(EXISTS_METHOD)
+}

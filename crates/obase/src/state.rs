@@ -1,0 +1,212 @@
+//! Per-version states.
+//!
+//! §2.1: "The state of a version w.r.t. a certain object-base is given
+//! by the set of all ground method-applications, which can be derived
+//! from its version-terms in the respective object-base."
+
+use std::fmt;
+
+use ruvo_term::{Const, FastHashMap, FastHashSet, Symbol};
+
+use crate::Args;
+
+/// One ground method-application `m@a1,...,ak -> r` (without the
+/// version, which is the map key in [`crate::ObjectBase`]).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodApp {
+    /// Ground arguments.
+    pub args: Args,
+    /// Ground result.
+    pub result: Const,
+}
+
+impl MethodApp {
+    /// Construct from parts.
+    pub fn new(args: impl Into<Args>, result: Const) -> MethodApp {
+        MethodApp { args: args.into(), result }
+    }
+}
+
+impl fmt::Debug for MethodApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.is_empty() {
+            write!(f, "-> {}", self.result)
+        } else {
+            write!(f, "@ {} -> {}", self.args, self.result)
+        }
+    }
+}
+
+/// The state of one version: its method-applications, grouped by method.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct VersionState {
+    methods: FastHashMap<Symbol, FastHashSet<MethodApp>>,
+    fact_count: usize,
+}
+
+impl VersionState {
+    /// An empty state.
+    pub fn new() -> VersionState {
+        VersionState::default()
+    }
+
+    /// Add a method-application. Returns true if it was new.
+    pub fn insert(&mut self, method: Symbol, app: MethodApp) -> bool {
+        let added = self.methods.entry(method).or_default().insert(app);
+        if added {
+            self.fact_count += 1;
+        }
+        added
+    }
+
+    /// Remove a method-application. Returns true if it was present.
+    pub fn remove(&mut self, method: Symbol, app: &MethodApp) -> bool {
+        let Some(set) = self.methods.get_mut(&method) else { return false };
+        let removed = set.remove(app);
+        if removed {
+            self.fact_count -= 1;
+            if set.is_empty() {
+                self.methods.remove(&method);
+            }
+        }
+        removed
+    }
+
+    /// Remove every application of `method`; returns how many were removed.
+    pub fn remove_method(&mut self, method: Symbol) -> usize {
+        match self.methods.remove(&method) {
+            Some(set) => {
+                self.fact_count -= set.len();
+                set.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, method: Symbol, app: &MethodApp) -> bool {
+        self.methods.get(&method).is_some_and(|s| s.contains(app))
+    }
+
+    /// True if the state defines `method` at all.
+    pub fn has_method(&self, method: Symbol) -> bool {
+        self.methods.contains_key(&method)
+    }
+
+    /// All applications of one method.
+    pub fn apps(&self, method: Symbol) -> impl Iterator<Item = &MethodApp> {
+        self.methods.get(&method).into_iter().flatten()
+    }
+
+    /// Results of `method` applied to exactly `args`.
+    pub fn results<'a>(
+        &'a self,
+        method: Symbol,
+        args: &'a [Const],
+    ) -> impl Iterator<Item = Const> + 'a {
+        self.apps(method).filter(move |a| a.args.as_slice() == args).map(|a| a.result)
+    }
+
+    /// The methods this state defines.
+    pub fn methods(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.methods.keys().copied()
+    }
+
+    /// All `(method, application)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &MethodApp)> {
+        self.methods.iter().flat_map(|(m, set)| set.iter().map(move |a| (*m, a)))
+    }
+
+    /// Number of method-applications in the state.
+    pub fn len(&self) -> usize {
+        self.fact_count
+    }
+
+    /// True if the state has no method-applications at all.
+    pub fn is_empty(&self) -> bool {
+        self.fact_count == 0
+    }
+
+    /// §5: "it may be the case that for an object all method-applications
+    /// are deleted in its final version, i.e. the only method defined for
+    /// this version is the method `exists`."
+    pub fn is_empty_except(&self, method: Symbol) -> bool {
+        self.methods.keys().all(|&m| m == method)
+    }
+}
+
+impl fmt::Debug for VersionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<String> = self
+            .iter()
+            .map(|(m, a)| format!("{m} {a:?}"))
+            .collect();
+        entries.sort();
+        write!(f, "{{{}}}", entries.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::{int, oid, sym};
+
+    fn app(result: Const) -> MethodApp {
+        MethodApp::new(Args::empty(), result)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = VersionState::new();
+        assert!(s.insert(sym("sal"), app(int(250))));
+        assert!(!s.insert(sym("sal"), app(int(250))), "duplicate insert");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(sym("sal"), &app(int(250))));
+        assert!(s.remove(sym("sal"), &app(int(250))));
+        assert!(!s.remove(sym("sal"), &app(int(250))));
+        assert!(s.is_empty());
+        assert!(!s.has_method(sym("sal")));
+    }
+
+    #[test]
+    fn set_valued_methods() {
+        // §2.3's `parents` example: several results for one method.
+        let mut s = VersionState::new();
+        s.insert(sym("parents"), app(oid("ann")));
+        s.insert(sym("parents"), app(oid("tom")));
+        assert_eq!(s.len(), 2);
+        let mut results: Vec<Const> = s.results(sym("parents"), &[]).collect();
+        results.sort();
+        assert_eq!(results, vec![oid("ann"), oid("tom")]);
+    }
+
+    #[test]
+    fn results_filter_by_args() {
+        let mut s = VersionState::new();
+        s.insert(sym("dist"), MethodApp::new(vec![oid("a")], int(1)));
+        s.insert(sym("dist"), MethodApp::new(vec![oid("b")], int(2)));
+        let r: Vec<Const> = s.results(sym("dist"), &[oid("a")]).collect();
+        assert_eq!(r, vec![int(1)]);
+    }
+
+    #[test]
+    fn remove_method_bulk() {
+        let mut s = VersionState::new();
+        s.insert(sym("p"), app(int(1)));
+        s.insert(sym("p"), app(int(2)));
+        s.insert(sym("q"), app(int(3)));
+        assert_eq!(s.remove_method(sym("p")), 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove_method(sym("p")), 0);
+    }
+
+    #[test]
+    fn is_empty_except_exists() {
+        let mut s = VersionState::new();
+        let exists = sym("exists");
+        s.insert(exists, app(oid("o")));
+        assert!(s.is_empty_except(exists));
+        s.insert(sym("p"), app(int(1)));
+        assert!(!s.is_empty_except(exists));
+    }
+}

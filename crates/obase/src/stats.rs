@@ -1,0 +1,47 @@
+//! Summary statistics over an object base.
+
+use std::fmt;
+
+/// Size/shape summary of an [`crate::ObjectBase`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObStats {
+    /// Distinct base OIDs with at least one version.
+    pub objects: usize,
+    /// Distinct versions (VIDs) with at least one fact.
+    pub versions: usize,
+    /// Total ground version-terms.
+    pub facts: usize,
+    /// Distinct method names in use.
+    pub distinct_methods: usize,
+    /// Deepest update chain among stored versions.
+    pub max_version_depth: usize,
+}
+
+impl fmt::Display for ObStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} objects, {} versions, {} facts, {} methods, max depth {}",
+            self.objects, self.versions, self.facts, self.distinct_methods, self.max_version_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let s = ObStats {
+            objects: 2,
+            versions: 3,
+            facts: 7,
+            distinct_methods: 4,
+            max_version_depth: 1,
+        };
+        let text = s.to_string();
+        assert!(text.contains("2 objects"));
+        assert!(text.contains("max depth 1"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # ruvo-schema — classes, conformance and schema evolution
+//!
+//! §2.4 of the paper: "There exists an interesting relationship between
+//! our update approach and schema evolution. The way we consider
+//! inserts and deletions would require changes of corresponding
+//! class-definitions in a strongly typed environment, because methods
+//! become undefined, respectively defined w.r.t. some objects according
+//! to the type of the update. The techniques proposed in \[SZ87\] seem to
+//! be a good starting point for an integration of our method into a
+//! more general environment."
+//!
+//! The paper itself deliberately introduces no classes ("we are … not
+//! interested in the interaction between updates and types"); this
+//! crate supplies that more general environment as an *optional layer*
+//! over the untyped object base:
+//!
+//! * [`Schema`] — class definitions with an isa-hierarchy (Skarra/
+//!   Zdonik-style type lattice) and inherited method signatures,
+//! * [`check`] — conformance of an object base against
+//!   a schema (class membership via the paper's `isa ->` convention),
+//! * [`diff`] — given the object bases before and after an
+//!   update-program, infer the *schema delta* the program implies:
+//!   which methods became defined/undefined for members of which
+//!   class, which classes appeared or emptied,
+//! * [`Schema::evolve`] — apply a delta, yielding the evolved schema.
+//!
+//! Nothing here feeds back into evaluation: the update semantics of
+//! §2–§5 stay untyped, exactly as published. The layer answers the
+//! DBA question the paper raises — *what did this update-program do to
+//! my schema?*
+
+mod check;
+mod evolve;
+mod types;
+
+pub use check::{check, Violation, ViolationKind};
+pub use evolve::{diff, SchemaDelta};
+pub use types::{ClassDef, MethodSig, Schema, SchemaError, TypeRef};
+
+/// The method that assigns class membership (`o.isa -> empl`),
+/// following the paper's examples.
+pub fn isa_sym() -> ruvo_term::Symbol {
+    ruvo_term::sym("isa")
+}

@@ -1,0 +1,444 @@
+//! Schema model: classes, method signatures, the isa-hierarchy.
+
+use std::fmt;
+
+use ruvo_term::{Const, FastHashMap, FastHashSet, Symbol};
+
+/// What a method's result (or argument) may be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeRef {
+    /// Anything (the untyped default).
+    Any,
+    /// A 64-bit integer value.
+    Int,
+    /// Any numeric value (integer or float).
+    Num,
+    /// Any symbolic OID.
+    Sym,
+    /// An instance of the named class (membership via `isa`).
+    Instance(Symbol),
+}
+
+impl TypeRef {
+    /// Does `value` inhabit this type w.r.t. `membership` (the map from
+    /// object to its transitive classes)?
+    pub fn admits(
+        self,
+        value: Const,
+        membership: &FastHashMap<Const, FastHashSet<Symbol>>,
+    ) -> bool {
+        match self {
+            TypeRef::Any => true,
+            TypeRef::Int => matches!(value, Const::Int(_)),
+            TypeRef::Num => matches!(value, Const::Int(_) | Const::Num(_)),
+            TypeRef::Sym => matches!(value, Const::Sym(_)),
+            TypeRef::Instance(class) => {
+                membership.get(&value).is_some_and(|cs| cs.contains(&class))
+            }
+        }
+    }
+}
+
+impl fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeRef::Any => write!(f, "any"),
+            TypeRef::Int => write!(f, "int"),
+            TypeRef::Num => write!(f, "num"),
+            TypeRef::Sym => write!(f, "sym"),
+            TypeRef::Instance(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One method signature of a class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodSig {
+    /// Method name.
+    pub name: Symbol,
+    /// Number of arguments.
+    pub arity: usize,
+    /// Argument types (length == arity; `Any` when unconstrained).
+    pub arg_types: Vec<TypeRef>,
+    /// Result type.
+    pub result: TypeRef,
+    /// Must every member define it?
+    pub required: bool,
+    /// May a member hold several results for the same arguments?
+    pub set_valued: bool,
+}
+
+impl MethodSig {
+    /// A no-argument, optional, single-valued signature.
+    pub fn new(name: &str, result: TypeRef) -> MethodSig {
+        MethodSig {
+            name: ruvo_term::sym(name),
+            arity: 0,
+            arg_types: Vec::new(),
+            result,
+            required: false,
+            set_valued: false,
+        }
+    }
+
+    /// Mark as required on every member.
+    pub fn required(mut self) -> MethodSig {
+        self.required = true;
+        self
+    }
+
+    /// Allow multiple results per argument tuple.
+    pub fn set_valued(mut self) -> MethodSig {
+        self.set_valued = true;
+        self
+    }
+
+    /// Set the argument types (fixes the arity).
+    pub fn with_args(mut self, args: Vec<TypeRef>) -> MethodSig {
+        self.arity = args.len();
+        self.arg_types = args;
+        self
+    }
+}
+
+/// One class: parents in the isa-hierarchy plus own method signatures.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Direct superclasses.
+    pub parents: Vec<Symbol>,
+    /// Methods declared on this class (inherited ones live on parents).
+    pub methods: Vec<MethodSig>,
+}
+
+/// Why a schema could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A parent class is not defined.
+    UnknownParent {
+        /// The class with the dangling parent.
+        class: Symbol,
+        /// The missing parent.
+        parent: Symbol,
+    },
+    /// The isa-hierarchy has a cycle through this class.
+    CyclicHierarchy(Symbol),
+    /// Two signatures for one method name conflict along the hierarchy.
+    ConflictingSignature {
+        /// The class where the conflict surfaces.
+        class: Symbol,
+        /// The method with two incompatible signatures.
+        method: Symbol,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownParent { class, parent } => {
+                write!(f, "class {class} names unknown parent {parent}")
+            }
+            SchemaError::CyclicHierarchy(c) => {
+                write!(f, "isa-hierarchy is cyclic through class {c}")
+            }
+            SchemaError::ConflictingSignature { class, method } => {
+                write!(f, "class {class} inherits conflicting signatures for method {method}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A validated schema: acyclic class hierarchy with per-class resolved
+/// (own + inherited) method signatures.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    classes: FastHashMap<Symbol, ClassDef>,
+    /// Memoized transitive superclasses (reflexive).
+    ancestors: FastHashMap<Symbol, FastHashSet<Symbol>>,
+}
+
+/// Incremental schema builder.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaBuilder {
+    classes: FastHashMap<Symbol, ClassDef>,
+}
+
+impl SchemaBuilder {
+    /// Start with no classes.
+    pub fn new() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Add (or replace) a class.
+    pub fn class(mut self, name: &str, def: ClassDef) -> SchemaBuilder {
+        self.classes.insert(ruvo_term::sym(name), def);
+        self
+    }
+
+    /// Validate and freeze.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        Schema::from_classes(self.classes)
+    }
+}
+
+impl Schema {
+    /// An empty schema (everything is untyped).
+    pub fn empty() -> Schema {
+        Schema { classes: FastHashMap::default(), ancestors: FastHashMap::default() }
+    }
+
+    /// Start building.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::new()
+    }
+
+    /// Validate a class map into a schema.
+    pub fn from_classes(classes: FastHashMap<Symbol, ClassDef>) -> Result<Schema, SchemaError> {
+        // Parents must exist.
+        for (&class, def) in &classes {
+            for &parent in &def.parents {
+                if !classes.contains_key(&parent) {
+                    return Err(SchemaError::UnknownParent { class, parent });
+                }
+            }
+        }
+        // Acyclicity + ancestor closure by DFS with colors.
+        let mut ancestors: FastHashMap<Symbol, FastHashSet<Symbol>> = FastHashMap::default();
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: FastHashMap<Symbol, Color> = FastHashMap::default();
+        fn visit(
+            class: Symbol,
+            classes: &FastHashMap<Symbol, ClassDef>,
+            color: &mut FastHashMap<Symbol, Color>,
+            ancestors: &mut FastHashMap<Symbol, FastHashSet<Symbol>>,
+        ) -> Result<(), SchemaError> {
+            match color.get(&class).copied().unwrap_or(Color::White) {
+                Color::Black => return Ok(()),
+                Color::Grey => return Err(SchemaError::CyclicHierarchy(class)),
+                Color::White => {}
+            }
+            color.insert(class, Color::Grey);
+            let mut anc: FastHashSet<Symbol> = FastHashSet::default();
+            anc.insert(class);
+            for &parent in &classes[&class].parents {
+                visit(parent, classes, color, ancestors)?;
+                anc.extend(ancestors[&parent].iter().copied());
+            }
+            ancestors.insert(class, anc);
+            color.insert(class, Color::Black);
+            Ok(())
+        }
+        for &class in classes.keys() {
+            visit(class, &classes, &mut color, &mut ancestors)?;
+        }
+        let schema = Schema { classes, ancestors };
+        // Resolved signatures must be coherent (no incomparable
+        // conflicting declarations along the hierarchy).
+        for &class in schema.classes.keys() {
+            schema.resolve(class)?;
+        }
+        Ok(schema)
+    }
+
+    /// Resolve the signatures visible on `class` with Skarra/Zdonik
+    /// shadowing: a declaration on a more specific class overrides an
+    /// ancestor's; two *incomparable* classes declaring different
+    /// signatures for one method conflict.
+    fn resolve(&self, class: Symbol) -> Result<Vec<MethodSig>, SchemaError> {
+        let mut by_name: FastHashMap<Symbol, (Symbol, MethodSig)> = FastHashMap::default();
+        let Some(anc) = self.ancestors.get(&class) else { return Ok(Vec::new()) };
+        let mut ordered: Vec<Symbol> = anc.iter().copied().collect();
+        ordered.sort_by_key(|s| s.as_str().to_owned());
+        for c in ordered {
+            let Some(def) = self.classes.get(&c) else { continue };
+            for sig in &def.methods {
+                match by_name.get(&sig.name) {
+                    None => {
+                        by_name.insert(sig.name, (c, sig.clone()));
+                    }
+                    Some((c0, s0)) => {
+                        let c0 = *c0;
+                        if c0 == c {
+                            continue;
+                        }
+                        let c0_below_c = self.ancestors[&c0].contains(&c);
+                        let c_below_c0 = self.ancestors[&c].contains(&c0);
+                        if c0_below_c {
+                            // existing declaration is more specific
+                        } else if c_below_c0 {
+                            by_name.insert(sig.name, (c, sig.clone()));
+                        } else if *s0 != *sig {
+                            return Err(SchemaError::ConflictingSignature {
+                                class,
+                                method: sig.name,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<MethodSig> = by_name.into_values().map(|(_, s)| s).collect();
+        out.sort_by_key(|s| s.name.as_str().to_owned());
+        Ok(out)
+    }
+
+    /// The classes, unordered.
+    pub fn classes(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.classes.keys().copied()
+    }
+
+    /// A class definition.
+    pub fn class(&self, name: Symbol) -> Option<&ClassDef> {
+        self.classes.get(&name)
+    }
+
+    /// True if the class is defined.
+    pub fn has_class(&self, name: Symbol) -> bool {
+        self.classes.contains_key(&name)
+    }
+
+    /// The transitive (reflexive) superclasses of `class`.
+    pub fn ancestors(&self, class: Symbol) -> impl Iterator<Item = Symbol> + '_ {
+        self.ancestors.get(&class).into_iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Own + inherited method signatures of `class`, with shadowing
+    /// resolved (coherence was checked at build time).
+    pub fn resolved_methods(&self, class: Symbol) -> Vec<MethodSig> {
+        self.resolve(class)
+            .expect("schema was validated at construction; evolution revalidates")
+    }
+
+    /// Mutable access used by evolution (crate-internal).
+    pub(crate) fn classes_mut(&mut self) -> &mut FastHashMap<Symbol, ClassDef> {
+        &mut self.classes
+    }
+
+    /// Re-validate after mutation (evolution).
+    pub(crate) fn revalidate(self) -> Result<Schema, SchemaError> {
+        Schema::from_classes(self.classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::sym;
+
+    fn person_empl() -> Schema {
+        Schema::builder()
+            .class(
+                "person",
+                ClassDef {
+                    parents: vec![],
+                    methods: vec![
+                        MethodSig::new("name", TypeRef::Sym).required(),
+                        MethodSig::new("parents", TypeRef::Instance(sym("person"))).set_valued(),
+                    ],
+                },
+            )
+            .class(
+                "empl",
+                ClassDef {
+                    parents: vec![sym("person")],
+                    methods: vec![
+                        MethodSig::new("sal", TypeRef::Num).required(),
+                        MethodSig::new("boss", TypeRef::Instance(sym("empl"))),
+                    ],
+                },
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inheritance_resolves() {
+        let s = person_empl();
+        let methods: Vec<&str> = s
+            .resolved_methods(sym("empl"))
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        assert!(methods.contains(&"sal"));
+        assert!(methods.contains(&"name")); // inherited
+        let anc: Vec<Symbol> = s.ancestors(sym("empl")).collect();
+        assert!(anc.contains(&sym("person")));
+        assert!(anc.contains(&sym("empl")));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let err = Schema::builder()
+            .class("a", ClassDef { parents: vec![sym("ghost")], methods: vec![] })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownParent { .. }));
+    }
+
+    #[test]
+    fn cyclic_hierarchy_rejected() {
+        let err = Schema::builder()
+            .class("a", ClassDef { parents: vec![sym("b")], methods: vec![] })
+            .class("b", ClassDef { parents: vec![sym("a")], methods: vec![] })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::CyclicHierarchy(_)));
+    }
+
+    #[test]
+    fn conflicting_inherited_signatures_rejected() {
+        let err = Schema::builder()
+            .class("a", ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Int)] })
+            .class("b", ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Sym)] })
+            .class(
+                "c",
+                ClassDef { parents: vec![sym("a"), sym("b")], methods: vec![] },
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::ConflictingSignature { .. }));
+    }
+
+    #[test]
+    fn own_declaration_overrides_inherited() {
+        // Diamond with an override at the bottom is fine: the class's
+        // own signature shadows both parents'.
+        let s = Schema::builder()
+            .class("top", ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Any)] })
+            .class(
+                "bottom",
+                ClassDef {
+                    parents: vec![sym("top")],
+                    methods: vec![MethodSig::new("m", TypeRef::Int)],
+                },
+            )
+            .build()
+            .unwrap();
+        let m = s
+            .resolved_methods(sym("bottom"))
+            .into_iter()
+            .find(|m| m.name == sym("m"))
+            .unwrap();
+        assert_eq!(m.result, TypeRef::Int);
+    }
+
+    #[test]
+    fn type_admission() {
+        use ruvo_term::{int, num, oid};
+        let mut membership: FastHashMap<Const, FastHashSet<Symbol>> = FastHashMap::default();
+        membership.entry(oid("phil")).or_default().insert(sym("empl"));
+        assert!(TypeRef::Int.admits(int(5), &membership));
+        assert!(!TypeRef::Int.admits(num(5.5), &membership));
+        assert!(TypeRef::Num.admits(num(5.5), &membership));
+        assert!(TypeRef::Sym.admits(oid("x"), &membership));
+        assert!(TypeRef::Instance(sym("empl")).admits(oid("phil"), &membership));
+        assert!(!TypeRef::Instance(sym("hpe")).admits(oid("phil"), &membership));
+        assert!(TypeRef::Any.admits(int(1), &membership));
+    }
+}

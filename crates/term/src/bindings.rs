@@ -1,0 +1,293 @@
+//! Variable bindings (substitutions) for rule evaluation.
+//!
+//! Variables are rule-local and identified by dense indices ([`VarId`]),
+//! assigned by the parser/safety layer. A [`Bindings`] is a flat slot
+//! array with an undo trail, so the nested-loop join in the evaluator
+//! can backtrack without allocation.
+//!
+//! §2.1: "Rules are considered to be ∀-quantified; the domain of
+//! quantification is the set `O`, i.e. the set of all OIDs." A binding
+//! therefore maps an ordinary variable to a [`Const`] (an OID), never to
+//! a version identity. The §6 extension ("quantify over VIDs in
+//! addition to OIDs") adds a *separate* namespace of VID variables
+//! ([`VidVarId`], surface syntax `$V`) whose slots hold ground
+//! [`Vid`]s; they are body-only, so they never influence which versions
+//! an update-program can create.
+
+use std::fmt;
+
+use crate::{Const, Vid};
+
+/// A rule-local variable, identified by its dense index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A rule-local VID-quantified variable (§6 extension; `$V`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VidVarId(pub u32);
+
+impl VidVarId {
+    /// The slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VidVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+/// One undone-able entry on the trail.
+#[derive(Clone, Copy, Debug)]
+enum TrailSlot {
+    Oid(VarId),
+    Vid(VidVarId),
+}
+
+/// A substitution from rule variables to OIDs (and VID variables to
+/// VIDs), with an undo trail.
+#[derive(Clone, Debug)]
+pub struct Bindings {
+    slots: Vec<Option<Const>>,
+    vid_slots: Vec<Option<Vid>>,
+    trail: Vec<TrailSlot>,
+}
+
+/// A checkpoint into a [`Bindings`] trail; see [`Bindings::mark`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mark(usize);
+
+impl Bindings {
+    /// A substitution over `num_vars` variables, all unbound.
+    pub fn new(num_vars: usize) -> Bindings {
+        Bindings::with_vid_vars(num_vars, 0)
+    }
+
+    /// A substitution with both ordinary and VID variable slots.
+    pub fn with_vid_vars(num_vars: usize, num_vid_vars: usize) -> Bindings {
+        Bindings {
+            slots: vec![None; num_vars],
+            vid_slots: vec![None; num_vid_vars],
+            trail: Vec::with_capacity(num_vars + num_vid_vars),
+        }
+    }
+
+    /// Number of variable slots.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current value of `var`, if bound.
+    #[inline]
+    pub fn get(&self, var: VarId) -> Option<Const> {
+        self.slots[var.index()]
+    }
+
+    /// True if `var` is bound.
+    #[inline]
+    pub fn is_bound(&self, var: VarId) -> bool {
+        self.slots[var.index()].is_some()
+    }
+
+    /// Bind an *unbound* variable, recording the binding on the trail.
+    ///
+    /// # Panics
+    /// Panics (debug) if `var` is already bound; the evaluator must use
+    /// [`Bindings::unify_var`] when the state is unknown.
+    #[inline]
+    pub fn bind(&mut self, var: VarId, value: Const) {
+        debug_assert!(
+            self.slots[var.index()].is_none(),
+            "bind() on already-bound variable {var:?}"
+        );
+        self.slots[var.index()] = Some(value);
+        self.trail.push(TrailSlot::Oid(var));
+    }
+
+    /// Bind-or-check: bind `var` to `value` if unbound, otherwise test
+    /// that the existing binding equals `value` (strict OID equality).
+    #[inline]
+    pub fn unify_var(&mut self, var: VarId, value: Const) -> bool {
+        match self.slots[var.index()] {
+            Some(existing) => existing == value,
+            None => {
+                self.bind(var, value);
+                true
+            }
+        }
+    }
+
+    /// Number of VID variable slots.
+    #[inline]
+    pub fn num_vid_vars(&self) -> usize {
+        self.vid_slots.len()
+    }
+
+    /// Current value of a VID variable, if bound.
+    #[inline]
+    pub fn get_vid(&self, var: VidVarId) -> Option<Vid> {
+        self.vid_slots[var.index()]
+    }
+
+    /// True if a VID variable is bound.
+    #[inline]
+    pub fn is_vid_bound(&self, var: VidVarId) -> bool {
+        self.vid_slots[var.index()].is_some()
+    }
+
+    /// Bind an *unbound* VID variable, recording it on the trail.
+    ///
+    /// # Panics
+    /// Panics (debug) if `var` is already bound.
+    #[inline]
+    pub fn bind_vid(&mut self, var: VidVarId, value: Vid) {
+        debug_assert!(
+            self.vid_slots[var.index()].is_none(),
+            "bind_vid() on already-bound VID variable {var:?}"
+        );
+        self.vid_slots[var.index()] = Some(value);
+        self.trail.push(TrailSlot::Vid(var));
+    }
+
+    /// Bind-or-check for VID variables.
+    #[inline]
+    pub fn unify_vid_var(&mut self, var: VidVarId, value: Vid) -> bool {
+        match self.vid_slots[var.index()] {
+            Some(existing) => existing == value,
+            None => {
+                self.bind_vid(var, value);
+                true
+            }
+        }
+    }
+
+    /// Checkpoint the trail; bindings made after this can be undone
+    /// with [`Bindings::undo_to`].
+    #[inline]
+    pub fn mark(&self) -> Mark {
+        Mark(self.trail.len())
+    }
+
+    /// Undo all bindings made since `mark`.
+    #[inline]
+    pub fn undo_to(&mut self, mark: Mark) {
+        while self.trail.len() > mark.0 {
+            match self.trail.pop().expect("trail shrank below mark") {
+                TrailSlot::Oid(var) => self.slots[var.index()] = None,
+                TrailSlot::Vid(var) => self.vid_slots[var.index()] = None,
+            }
+        }
+    }
+
+    /// Clear every binding.
+    pub fn clear(&mut self) {
+        for entry in self.trail.drain(..) {
+            match entry {
+                TrailSlot::Oid(var) => self.slots[var.index()] = None,
+                TrailSlot::Vid(var) => self.vid_slots[var.index()] = None,
+            }
+        }
+    }
+
+    /// Snapshot the current substitution as a dense vector (for traces).
+    pub fn snapshot(&self) -> Vec<Option<Const>> {
+        self.slots.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{int, oid};
+
+    #[test]
+    fn bind_get_roundtrip() {
+        let mut b = Bindings::new(3);
+        assert!(!b.is_bound(VarId(0)));
+        b.bind(VarId(0), oid("henry"));
+        assert_eq!(b.get(VarId(0)), Some(oid("henry")));
+        assert_eq!(b.get(VarId(1)), None);
+    }
+
+    #[test]
+    fn unify_var_checks_existing() {
+        let mut b = Bindings::new(2);
+        assert!(b.unify_var(VarId(0), int(1)));
+        assert!(b.unify_var(VarId(0), int(1)));
+        assert!(!b.unify_var(VarId(0), int(2)));
+    }
+
+    #[test]
+    fn undo_restores_state() {
+        let mut b = Bindings::new(3);
+        b.bind(VarId(0), int(1));
+        let m = b.mark();
+        b.bind(VarId(1), int(2));
+        b.bind(VarId(2), int(3));
+        b.undo_to(m);
+        assert!(b.is_bound(VarId(0)));
+        assert!(!b.is_bound(VarId(1)));
+        assert!(!b.is_bound(VarId(2)));
+    }
+
+    #[test]
+    fn nested_marks_unwind_in_order() {
+        let mut b = Bindings::new(4);
+        let m0 = b.mark();
+        b.bind(VarId(0), int(0));
+        let m1 = b.mark();
+        b.bind(VarId(1), int(1));
+        b.undo_to(m1);
+        b.bind(VarId(2), int(2));
+        b.undo_to(m0);
+        assert!((0..4).all(|i| !b.is_bound(VarId(i))));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = Bindings::new(2);
+        b.bind(VarId(0), int(1));
+        b.bind(VarId(1), int(2));
+        b.clear();
+        assert!(!b.is_bound(VarId(0)));
+        assert!(!b.is_bound(VarId(1)));
+        assert_eq!(b.mark(), Mark(0));
+    }
+
+    #[test]
+    fn vid_bindings_share_the_trail() {
+        let v = Vid::object(oid("o")).apply(crate::UpdateKind::Mod).unwrap();
+        let mut b = Bindings::with_vid_vars(1, 2);
+        b.bind(VarId(0), int(1));
+        let m = b.mark();
+        b.bind_vid(VidVarId(0), v);
+        assert_eq!(b.get_vid(VidVarId(0)), Some(v));
+        assert!(b.unify_vid_var(VidVarId(0), v));
+        assert!(!b.unify_vid_var(VidVarId(0), Vid::object(oid("o"))));
+        b.undo_to(m);
+        assert!(!b.is_vid_bound(VidVarId(0)));
+        assert!(b.is_bound(VarId(0)));
+        b.bind_vid(VidVarId(1), v);
+        b.clear();
+        assert!(!b.is_vid_bound(VidVarId(1)));
+        assert!(!b.is_bound(VarId(0)));
+    }
+}

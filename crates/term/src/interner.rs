@@ -1,0 +1,167 @@
+//! String interning for method names and symbolic OIDs.
+//!
+//! Every identifier appearing in programs and object bases (method names
+//! like `sal`, symbolic OIDs like `henry`) is interned once and referred
+//! to by a 4-byte [`Symbol`]. Interning makes equality, hashing and
+//! copies of the hot term types trivial.
+//!
+//! A process-wide interner ([`Interner::global`]) is provided because
+//! terms flow freely between crates (parser → engine → reports) and a
+//! per-engine interner would force symbol translation at every boundary.
+//! The table only ever grows; for the program/object-base sizes this
+//! system targets that is the right trade-off.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::FastHashMap;
+
+/// An interned string; cheap to copy, hash and compare.
+///
+/// Symbols from different [`Interner`]s must not be mixed; in practice
+/// everything uses [`Interner::global`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Resolve against the global interner.
+    pub fn as_str(self) -> &'static str {
+        Interner::global().resolve(self)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({}: {:?})", self.0, self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: FastHashMap<&'static str, Symbol>,
+    // Leaked strings; 'static by construction. The interner lives for
+    // the whole process so this is not a leak in practice.
+    strings: Vec<&'static str>,
+}
+
+/// A grow-only string interner.
+pub struct Interner {
+    inner: RwLock<Inner>,
+}
+
+static GLOBAL: OnceLock<Interner> = OnceLock::new();
+
+impl Interner {
+    /// Create a fresh, empty interner (used by tests; production code
+    /// uses [`Interner::global`]).
+    pub fn new() -> Self {
+        Interner { inner: RwLock::new(Inner::default()) }
+    }
+
+    /// The process-wide interner.
+    pub fn global() -> &'static Interner {
+        GLOBAL.get_or_init(Interner::new)
+    }
+
+    /// Intern `name`, returning its symbol. Idempotent.
+    pub fn intern(&self, name: &str) -> Symbol {
+        if let Some(&sym) = self.inner.read().map.get(name) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        // Re-check: another thread may have interned between the locks.
+        if let Some(&sym) = inner.map.get(name) {
+            return sym;
+        }
+        let id = u32::try_from(inner.strings.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        inner.strings.push(leaked);
+        inner.map.insert(leaked, Symbol(id));
+        Symbol(id)
+    }
+
+    /// Resolve a symbol to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &'static str {
+        self.inner.read().strings[sym.0 as usize]
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("sal");
+        let b = i.intern("sal");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let i = Interner::new();
+        let a = i.intern("sal");
+        let b = i.intern("boss");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "sal");
+        assert_eq!(i.resolve(b), "boss");
+    }
+
+    #[test]
+    fn global_interner_is_shared() {
+        let a = crate::sym("global_interner_test");
+        let b = crate::sym("global_interner_test");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "global_interner_test");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let i = std::sync::Arc::new(Interner::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let i = i.clone();
+                std::thread::spawn(move || (0..100).map(|k| i.intern(&format!("s{k}"))).collect::<Vec<_>>())
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(i.len(), 100);
+    }
+}

@@ -1,0 +1,69 @@
+//! # ruvo-term — term algebra for the VLDB'92 update language
+//!
+//! This crate implements the syntactic and semantic ground layer of the
+//! update language of Kramer, Lausen and Saake, *"Updates in a Rule-Based
+//! Language for Objects"* (VLDB 1992):
+//!
+//! * [`Symbol`] / [`Interner`] — cheap interned names for methods and
+//!   symbolic object identities,
+//! * [`Const`] — ground object identities (OIDs). Following the paper,
+//!   values (integers, numbers) *are* OIDs: "we consider values as
+//!   specific OIDs in `O`",
+//! * [`UpdateKind`] / [`Chain`] — the function symbols
+//!   `F = {ins, del, mod}` and packed application chains
+//!   `φk(...φ1(·))`,
+//! * [`Vid`] — ground version identities: an OID with an update chain,
+//! * [`BaseTerm`], [`VidTerm`], [`ArgTerm`] — the non-ground term layer
+//!   (variables range over OIDs **only**, per §2.1 of the paper),
+//! * [`Bindings`] — substitutions used by the rule matcher,
+//! * [`unifiable`](VidTerm::unifiable) and the subterm lattice used by the
+//!   stratification conditions (a)–(d) of §4.
+//!
+//! ## Representation note
+//!
+//! Version identities are *not* heap term graphs. Since every VID is a
+//! linear chain of unary functors over a single OID, we pack the chain
+//! into a `u64` (2 bits per update kind, max [`Chain::MAX_LEN`] levels)
+//! and keep the base OID inline. A [`Vid`] is a small `Copy` value and
+//! the subterm test of §5 ("v is a subterm of v'") is an O(1) bit-prefix
+//! check. This deliberately sidesteps `Rc`-cycle / arena lifetimes for
+//! term graphs and keeps the evaluator's join loops allocation-free.
+
+pub mod bindings;
+pub mod chain;
+pub mod fasthash;
+pub mod interner;
+pub mod pattern;
+pub mod value;
+pub mod vid;
+
+pub use bindings::{Bindings, VarId, VidVarId};
+pub use chain::{Chain, ChainOverflow, UpdateKind};
+pub use fasthash::{FastHashMap, FastHashSet, FastHasher};
+pub use interner::{Interner, Symbol};
+pub use pattern::{ArgTerm, BaseTerm, VidRef, VidTerm};
+pub use value::{Const, OrderedF64};
+pub use vid::Vid;
+
+/// Convenience: intern a string in the global interner.
+pub fn sym(name: &str) -> Symbol {
+    Interner::global().intern(name)
+}
+
+/// Convenience: a symbolic OID constant.
+pub fn oid(name: &str) -> Const {
+    Const::Sym(sym(name))
+}
+
+/// Convenience: an integer OID constant (values are OIDs in the paper).
+pub fn int(v: i64) -> Const {
+    Const::Int(v)
+}
+
+/// Convenience: a numeric (floating) OID constant.
+///
+/// # Panics
+/// Panics if `v` is NaN; the OID domain is totally ordered.
+pub fn num(v: f64) -> Const {
+    Const::Num(OrderedF64::new(v).expect("NaN is not a valid OID"))
+}

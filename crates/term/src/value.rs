@@ -1,0 +1,244 @@
+//! Ground object identities (OIDs).
+//!
+//! §2.1 of the paper: "For formal simplicity, we do not introduce types
+//! for values — we consider values as specific OIDs in `O`." The OID
+//! domain therefore contains symbolic identities (`henry`, `empl`),
+//! 64-bit integers and finite 64-bit floats. The domain is totally
+//! ordered so the arithmetic built-ins (`<`, `>`, …) are decidable on
+//! all of it.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{sym, Symbol};
+
+/// A 64-bit float that is guaranteed finite-or-infinite but never NaN,
+/// giving it a total order and a consistent `Eq`/`Hash`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wrap a float; `None` if it is NaN.
+    #[inline]
+    pub fn new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            // Normalize -0.0 to 0.0 so Eq and Hash agree.
+            Some(OrderedF64(if v == 0.0 { 0.0 } else { v }))
+        }
+    }
+
+    /// The wrapped float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN excluded by construction.
+        self.0.partial_cmp(&other.0).expect("OrderedF64 is never NaN")
+    }
+}
+
+impl std::hash::Hash for OrderedF64 {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.fract() == 0.0 && self.0.abs() < 1e15 {
+            // Print `4500.0` rather than `4500` so re-parsing keeps the type.
+            write!(f, "{:.1}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A ground OID: symbolic identity, integer value, or numeric value.
+///
+/// `Const` is the paper's `O`. It appears as the base of every version
+/// identity, as method arguments and as method results.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    /// Symbolic object identity (`henry`, `empl`, `mgr`, …).
+    Sym(Symbol),
+    /// Integer value-OID.
+    Int(i64),
+    /// Numeric (floating) value-OID.
+    Num(OrderedF64),
+}
+
+impl Const {
+    /// Numeric view, for arithmetic built-ins. Symbols have none.
+    #[inline]
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Const::Sym(_) => None,
+            Const::Int(i) => Some(i as f64),
+            Const::Num(n) => Some(n.get()),
+        }
+    }
+
+    /// True if this OID denotes a number (int or float).
+    #[inline]
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, Const::Sym(_))
+    }
+
+    /// The symbol, if this is a symbolic OID.
+    #[inline]
+    pub fn as_sym(self) -> Option<Symbol> {
+        match self {
+            Const::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Build a numeric constant, collapsing integral floats to `Int`.
+    ///
+    /// Arithmetic is performed in `f64`; results that are exactly
+    /// integral are stored as `Int` so that `100 * 1.1 + 200` compares
+    /// equal to an integer salary found in the object base when it
+    /// happens to be integral.
+    pub fn from_f64_normalized(v: f64) -> Option<Const> {
+        if v.is_nan() {
+            return None;
+        }
+        if v.fract() == 0.0 && v.abs() <= (i64::MAX as f64) && v.is_finite() {
+            Some(Const::Int(v as i64))
+        } else {
+            OrderedF64::new(v).map(Const::Num)
+        }
+    }
+
+    /// Compare two OIDs numerically if both are numeric, otherwise fall
+    /// back to the total order on `Const`.
+    ///
+    /// The numeric comparison makes `Int(3) = Num(3.0)` for built-ins,
+    /// matching the paper's untyped value domain.
+    pub fn compare(self, other: Const) -> Ordering {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b).expect("no NaN in Const"),
+            _ => self.cmp(&other),
+        }
+    }
+
+    /// Equality under [`Const::compare`] (numeric coercion).
+    #[inline]
+    pub fn sem_eq(self, other: Const) -> bool {
+        self.compare(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Sym(s) => write!(f, "{s}"),
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<i64> for Const {
+    fn from(v: i64) -> Self {
+        Const::Int(v)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(v: &str) -> Self {
+        Const::Sym(sym(v))
+    }
+}
+
+impl From<Symbol> for Const {
+    fn from(v: Symbol) -> Self {
+        Const::Sym(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{int, num, oid};
+
+    #[test]
+    fn ordered_f64_rejects_nan() {
+        assert!(OrderedF64::new(f64::NAN).is_none());
+        assert!(OrderedF64::new(1.5).is_some());
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let a = OrderedF64::new(0.0).unwrap();
+        let b = OrderedF64::new(-0.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+    }
+
+    #[test]
+    fn numeric_coercion_in_compare() {
+        assert!(int(3).sem_eq(num(3.0)));
+        assert_eq!(int(2).compare(num(2.5)), Ordering::Less);
+        assert_eq!(num(10.0).compare(int(4)), Ordering::Greater);
+    }
+
+    #[test]
+    fn symbols_are_not_numeric() {
+        assert!(!oid("henry").is_numeric());
+        assert_eq!(oid("henry").as_f64(), None);
+    }
+
+    #[test]
+    fn strict_eq_differs_from_sem_eq() {
+        // Strict Eq (used for set membership in the object base)
+        // distinguishes Int(3) from Num(3.0)…
+        assert_ne!(int(3), num(3.0));
+        // …but from_f64_normalized collapses integral floats, so
+        // arithmetic results unify with integer storage.
+        assert_eq!(Const::from_f64_normalized(3.0), Some(int(3)));
+        assert_eq!(Const::from_f64_normalized(3.5), Some(num(3.5)));
+        assert_eq!(Const::from_f64_normalized(f64::NAN), None);
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        assert_eq!(oid("henry").to_string(), "henry");
+        assert_eq!(int(250).to_string(), "250");
+        assert_eq!(num(4500.0).to_string(), "4500.0");
+        assert_eq!(num(1.1).to_string(), "1.1");
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        let mut v = vec![int(5), oid("a"), num(2.5), int(1)];
+        v.sort();
+        let v2 = v.clone();
+        v.sort();
+        assert_eq!(v, v2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the pattern layer: unification soundness and
+//! match/ground coherence.
+
+use proptest::prelude::*;
+use ruvo_term::{
+    oid, BaseTerm, Bindings, Chain, Const, UpdateKind, VarId, Vid, VidTerm,
+};
+
+fn arb_kind() -> impl Strategy<Value = UpdateKind> {
+    prop_oneof![Just(UpdateKind::Ins), Just(UpdateKind::Del), Just(UpdateKind::Mod)]
+}
+
+fn arb_chain() -> impl Strategy<Value = Chain> {
+    proptest::collection::vec(arb_kind(), 0..6)
+        .prop_map(|ks| Chain::from_kinds(&ks).unwrap())
+}
+
+fn arb_const() -> impl Strategy<Value = Const> {
+    prop_oneof![
+        (0u8..5).prop_map(|i| oid(&format!("c{i}"))),
+        (-3i64..20).prop_map(Const::Int),
+    ]
+}
+
+/// Base terms over a two-variable vocabulary.
+fn arb_base() -> impl Strategy<Value = BaseTerm> {
+    prop_oneof![
+        (0u32..2).prop_map(|v| BaseTerm::Var(VarId(v))),
+        arb_const().prop_map(BaseTerm::Const),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = VidTerm> {
+    (arb_base(), arb_chain()).prop_map(|(base, chain)| VidTerm { base, chain })
+}
+
+proptest! {
+    /// Soundness: if two terms (standardized apart) unify, some ground
+    /// instantiation makes them literally equal.
+    #[test]
+    fn unifiable_terms_have_common_instance(a in arb_term(), b in arb_term()) {
+        // Standardize apart: b's variables get ids offset by 2.
+        let b = VidTerm {
+            base: match b.base {
+                BaseTerm::Var(v) => BaseTerm::Var(VarId(v.0 + 2)),
+                c => c,
+            },
+            chain: b.chain,
+        };
+        let witness = oid("witness");
+        let ground = |t: VidTerm| -> Vid {
+            match t.base {
+                BaseTerm::Const(c) => Vid::new(c, t.chain),
+                BaseTerm::Var(_) => Vid::new(witness, t.chain),
+            }
+        };
+        if a.unifiable(b) {
+            // Bind every variable to the other side's constant (or the
+            // shared witness when both are variables).
+            let inst_a = match (a.base, b.base) {
+                (BaseTerm::Var(_), BaseTerm::Const(c)) => Vid::new(c, a.chain),
+                _ => ground(a),
+            };
+            let inst_b = match (b.base, a.base) {
+                (BaseTerm::Var(_), BaseTerm::Const(c)) => Vid::new(c, b.chain),
+                _ => ground(b),
+            };
+            prop_assert_eq!(inst_a, inst_b, "unifiable but no common instance: {} ~ {}", a, b);
+        } else {
+            // Completeness for the ground-ground case: non-unifiable
+            // ground terms must differ.
+            if a.is_ground() && b.is_ground() {
+                let empty = Bindings::new(0);
+                prop_assert_ne!(a.ground(&empty).unwrap(), b.ground(&empty).unwrap());
+            }
+        }
+    }
+
+    /// Matching a pattern against a ground VID binds the base so that
+    /// grounding the pattern reproduces the VID exactly.
+    #[test]
+    fn match_then_ground_is_identity(t in arb_term(), c in arb_const()) {
+        let target = Vid::new(c, t.chain);
+        let mut b = Bindings::new(4);
+        if t.matches(target, &mut b) {
+            prop_assert_eq!(t.ground(&b), Some(target));
+        } else {
+            // Only a constant-base mismatch can fail (chains equal here).
+            match t.base {
+                BaseTerm::Const(k) => prop_assert_ne!(k, c),
+                BaseTerm::Var(_) => prop_assert!(false, "variable match cannot fail"),
+            }
+        }
+    }
+
+    /// subterm_unifies(a, b) agrees with the naive definition:
+    /// ∃ s ∈ subterms(a) with s.unifiable(b).
+    #[test]
+    fn subterm_unifies_agrees_with_enumeration(a in arb_term(), b in arb_term()) {
+        let fast = a.subterm_unifies(b);
+        let slow = a.subterm_terms().any(|s| s.unifiable(b));
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,174 @@
+//! The family domain of §2.3's recursive-ancestors example.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ruvo_obase::{Args, ObjectBase};
+use ruvo_term::{oid, sym, Const, FastHashSet, Vid};
+
+/// Parameters for [`Family::generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct FamilyConfig {
+    /// Number of generations (≥ 1).
+    pub generations: usize,
+    /// Persons per generation.
+    pub per_generation: usize,
+    /// Parents drawn per person from the previous generation (methods
+    /// are set-valued, as in the paper).
+    pub parents_per_person: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FamilyConfig {
+    fn default() -> Self {
+        FamilyConfig { generations: 4, per_generation: 10, parents_per_person: 2, seed: 0xFA_417 }
+    }
+}
+
+/// A generated family database.
+#[derive(Clone, Debug)]
+pub struct Family {
+    /// The object base (`p.isa -> person`, `p.parents -> q`).
+    pub ob: ObjectBase,
+    /// Person OIDs by generation (index 0 = oldest).
+    pub generations: Vec<Vec<Const>>,
+    /// Parent edges `(child, parent)`.
+    pub edges: Vec<(Const, Const)>,
+}
+
+impl Family {
+    /// Generate `generations × per_generation` persons; everyone in
+    /// generation `g ≥ 1` has `parents_per_person` distinct parents in
+    /// generation `g − 1`.
+    pub fn generate(config: FamilyConfig) -> Family {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let (isa, person, parents_m) = (sym("isa"), oid("person"), sym("parents"));
+        let mut ob = ObjectBase::new();
+        let mut generations: Vec<Vec<Const>> = Vec::with_capacity(config.generations);
+        let mut edges = Vec::new();
+        for g in 0..config.generations {
+            let mut gen = Vec::with_capacity(config.per_generation);
+            for i in 0..config.per_generation {
+                let p = oid(&format!("p{g}_{i}"));
+                ob.insert(Vid::object(p), isa, Args::empty(), person);
+                if g > 0 {
+                    let prev = &generations[g - 1];
+                    let k = config.parents_per_person.min(prev.len());
+                    let mut chosen: FastHashSet<usize> = FastHashSet::default();
+                    while chosen.len() < k {
+                        chosen.insert(rng.gen_range(0..prev.len()));
+                    }
+                    for idx in chosen {
+                        ob.insert(Vid::object(p), parents_m, Args::empty(), prev[idx]);
+                        edges.push((p, prev[idx]));
+                    }
+                }
+                gen.push(p);
+            }
+            generations.push(gen);
+        }
+        Family { ob, generations, edges }
+    }
+
+    /// Ground-truth ancestor sets (transitive closure of the parent
+    /// edges), for correctness assertions.
+    pub fn expected_ancestors(&self) -> ruvo_term::FastHashMap<Const, FastHashSet<Const>> {
+        let mut parents: ruvo_term::FastHashMap<Const, Vec<Const>> =
+            ruvo_term::FastHashMap::default();
+        for &(c, p) in &self.edges {
+            parents.entry(c).or_default().push(p);
+        }
+        let mut anc: ruvo_term::FastHashMap<Const, FastHashSet<Const>> =
+            ruvo_term::FastHashMap::default();
+        // Generations are topologically ordered oldest-first.
+        for gen in &self.generations {
+            for &p in gen {
+                let mut set: FastHashSet<Const> = FastHashSet::default();
+                if let Some(ps) = parents.get(&p) {
+                    for &q in ps {
+                        set.insert(q);
+                        if let Some(qa) = anc.get(&q) {
+                            set.extend(qa.iter().copied());
+                        }
+                    }
+                }
+                anc.insert(p, set);
+            }
+        }
+        anc
+    }
+
+    /// The same data as a Datalog database: `person(p)`,
+    /// `parents(p, q)`.
+    pub fn as_datalog(&self) -> ruvo_datalog::Database {
+        let mut db = ruvo_datalog::Database::new();
+        let (person, parents) = (sym("person"), sym("parents"));
+        for gen in &self.generations {
+            for &p in gen {
+                db.insert(person, vec![p]);
+            }
+        }
+        for &(c, p) in &self.edges {
+            db.insert(parents, vec![c, p]);
+        }
+        db
+    }
+
+    /// Total number of persons.
+    pub fn population(&self) -> usize {
+        self.generations.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_layered() {
+        let a = Family::generate(FamilyConfig::default());
+        let b = Family::generate(FamilyConfig::default());
+        assert_eq!(a.ob, b.ob);
+        assert_eq!(a.population(), 40);
+        // Oldest generation has no parents.
+        for &p in &a.generations[0] {
+            assert!(a.ob.lookup1(p, "parents").is_empty());
+        }
+        // Later generations have exactly parents_per_person parents.
+        for &p in &a.generations[2] {
+            assert_eq!(a.ob.lookup1(p, "parents").len(), 2);
+        }
+    }
+
+    #[test]
+    fn expected_ancestors_closure() {
+        let f = Family::generate(FamilyConfig {
+            generations: 3,
+            per_generation: 2,
+            parents_per_person: 1,
+            seed: 1,
+        });
+        let anc = f.expected_ancestors();
+        // A youngest person has its parent and grandparent.
+        let youngest = f.generations[2][0];
+        let set = &anc[&youngest];
+        assert_eq!(set.len(), 2);
+        // An oldest person has no ancestors.
+        assert!(anc[&f.generations[0][0]].is_empty());
+    }
+
+    #[test]
+    fn datalog_translation_counts() {
+        let f = Family::generate(FamilyConfig::default());
+        let db = f.as_datalog();
+        assert_eq!(db.arity_count(sym("person")), f.population());
+        assert_eq!(db.arity_count(sym("parents")), f.edges.len());
+    }
+
+    #[test]
+    fn single_generation() {
+        let f = Family::generate(FamilyConfig { generations: 1, ..Default::default() });
+        assert!(f.edges.is_empty());
+        assert_eq!(f.population(), 10);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ruvo-workload — deterministic synthetic workloads
+//!
+//! The paper evaluates its language on worked examples over an
+//! enterprise object base (employees, managers, bosses, salaries) and
+//! a family database (persons, parents). This crate generates
+//! parameterized, seeded versions of those domains so the benchmark
+//! suite can run scaling sweeps, plus the paper's example programs and
+//! the Figure-1 chain workloads.
+//!
+//! Every generator is deterministic given its config (seeded
+//! [`rand::rngs::SmallRng`]), so benchmark runs and property tests are
+//! reproducible.
+
+pub mod enterprise;
+pub mod family;
+pub mod programs;
+pub mod random;
+
+pub use enterprise::{Enterprise, EnterpriseConfig};
+pub use family::{Family, FamilyConfig};
+pub use programs::{
+    ancestors_program, chain_object_base, chain_program, enterprise_baseline_datalog,
+    enterprise_program, hypothetical_program, salary_raise_program, PAPER_ENTERPRISE_OB,
+};
+pub use random::{random_insert_program, random_object_base, RandomConfig};

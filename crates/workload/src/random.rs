@@ -1,0 +1,136 @@
+//! Randomized object bases and insert-only programs for stress tests
+//! and property-based testing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ruvo_lang::Program;
+use ruvo_obase::{Args, ObjectBase};
+use ruvo_term::{int, oid, Vid};
+
+/// Shape parameters for the random generators.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomConfig {
+    /// Number of objects.
+    pub objects: usize,
+    /// Number of distinct method names (`m0..`).
+    pub methods: usize,
+    /// Facts to generate.
+    pub facts: usize,
+    /// Rules to generate (for [`random_insert_program`]).
+    pub rules: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig { objects: 20, methods: 5, facts: 60, rules: 8, seed: 42 }
+    }
+}
+
+/// A random flat object base: `facts` version-terms over `objects`
+/// objects and `methods` methods, with small-integer or object results.
+pub fn random_object_base(config: RandomConfig) -> ObjectBase {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut ob = ObjectBase::new();
+    for _ in 0..config.facts {
+        let obj = oid(&format!("o{}", rng.gen_range(0..config.objects.max(1))));
+        let method = ruvo_term::sym(&format!("m{}", rng.gen_range(0..config.methods.max(1))));
+        let result = if rng.gen_bool(0.5) {
+            int(rng.gen_range(0..100))
+        } else {
+            oid(&format!("o{}", rng.gen_range(0..config.objects.max(1))))
+        };
+        ob.insert(Vid::object(obj), method, Args::empty(), result);
+    }
+    ob
+}
+
+/// A random *insert-only* program over the same vocabulary: rules of
+/// the shape
+///
+/// ```text
+/// ins[X].mH -> R <= X.mA -> R [& R.mB -> S]
+/// ```
+///
+/// Insert-only programs are monotone, so they are the fixture for the
+/// overwrite-equals-union property test and for determinism checks.
+pub fn random_insert_program(config: RandomConfig) -> Program {
+    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9));
+    let mut src = String::new();
+    for i in 0..config.rules {
+        let m_head = rng.gen_range(0..config.methods.max(1));
+        let m_a = rng.gen_range(0..config.methods.max(1));
+        if rng.gen_bool(0.4) {
+            let m_b = rng.gen_range(0..config.methods.max(1));
+            src.push_str(&format!(
+                "r{i}: ins[X].m{m_head} -> S <= X.m{m_a} -> R & R.m{m_b} -> S.\n"
+            ));
+        } else {
+            src.push_str(&format!("r{i}: ins[X].m{m_head} -> R <= X.m{m_a} -> R.\n"));
+        }
+    }
+    Program::parse(&src).expect("generated insert program parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_core::{EngineConfig, UpdateEngine};
+
+    #[test]
+    fn random_ob_is_deterministic() {
+        let a = random_object_base(RandomConfig::default());
+        let b = random_object_base(RandomConfig::default());
+        assert_eq!(a, b);
+        assert!(a.len() <= 60);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn random_programs_run_clean() {
+        for seed in 0..10 {
+            let config = RandomConfig { seed, ..Default::default() };
+            let ob = random_object_base(config);
+            let program = random_insert_program(config);
+            let outcome = UpdateEngine::new(program)
+                .run(&ob)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            outcome.result().check_invariants();
+            outcome.new_object_base().check_invariants();
+        }
+    }
+
+    #[test]
+    fn insert_only_monotone_over_input() {
+        // Every original fact survives into the new object base.
+        let config = RandomConfig { seed: 3, ..Default::default() };
+        let ob = random_object_base(config);
+        let outcome = UpdateEngine::new(random_insert_program(config)).run(&ob).unwrap();
+        let ob2 = outcome.new_object_base();
+        for fact in ob.iter() {
+            assert!(
+                ob2.contains(fact.vid, fact.method, fact.args.as_slice(), fact.result),
+                "lost fact {fact}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_filtering_agrees_on_random_workloads() {
+        for seed in 0..6 {
+            let config = RandomConfig { seed, rules: 6, ..Default::default() };
+            let ob = random_object_base(config);
+            let p1 = random_insert_program(config);
+            let p2 = p1.clone();
+            let fast = UpdateEngine::new(p1).run(&ob).unwrap();
+            let slow = UpdateEngine::with_config(
+                p2,
+                EngineConfig { delta_filtering: false, ..Default::default() },
+            )
+            .run(&ob)
+            .unwrap();
+            assert_eq!(fast.result(), slow.result(), "seed {seed}");
+        }
+    }
+}

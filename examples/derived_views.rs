@@ -1,0 +1,59 @@
+//! Derived methods as Datalog views over the updated object base —
+//! the §6 "derived objects" direction, kept outside the update
+//! fixpoint (see `ruvo::datalog::bridge`).
+//!
+//! ```sh
+//! cargo run --example derived_views
+//! ```
+//!
+//! Workflow: run the §2.3 enterprise update on the base methods, then
+//! evaluate derived methods (`grandboss`, `peer`) as views over `ob′`,
+//! and finally bridge a view back into an object base to seed a second
+//! update program.
+
+use ruvo::datalog::{db_to_ob, evaluate, ob_to_db, parse_program, Semantics};
+use ruvo::prelude::*;
+use ruvo::workload::enterprise_program;
+
+fn main() {
+    let ob = ObjectBase::parse(
+        "phil.isa -> empl.  phil.pos -> mgr.   phil.sal -> 4000.
+         bob.isa -> empl.   bob.boss -> phil.  bob.sal -> 3600.
+         eve.isa -> empl.   eve.boss -> bob.   eve.sal -> 3000.
+         tom.isa -> empl.   tom.boss -> bob.   tom.sal -> 2900.",
+    )
+    .expect("object base parses");
+
+    // 1. Base-method update (the paper's machinery).
+    let outcome = UpdateEngine::new(enterprise_program()).run(&ob).expect("runs");
+    let ob2 = outcome.new_object_base();
+    println!("updated object base:\n{ob2}");
+
+    // 2. Derived methods as views (outside the update fixpoint, so the
+    //    termination/stratification story of the paper is untouched).
+    let mut db = ob_to_db(&ob2).expect("ob2 is flat");
+    let views = parse_program(
+        "grandboss(E, B2) <= boss(E, B) & boss(B, B2).
+         peer(E, F) <= boss(E, B) & boss(F, B) & E != F.",
+    )
+    .expect("views parse");
+    evaluate(&mut db, &views, Semantics::Modules, 1_000);
+
+    assert!(db.contains(sym("grandboss"), &[oid("eve"), oid("phil")]));
+    assert!(db.contains(sym("peer"), &[oid("eve"), oid("tom")]));
+    println!("derived: eve's grandboss is phil; eve and tom are peers ✓");
+
+    // 3. Bridge a view back and run a second update seeded by it.
+    let derived = db_to_ob(&db, &[sym("grandboss")]).expect("arity ≥ 2");
+    let mut seeded = ob2.clone();
+    for f in derived.iter() {
+        seeded.insert(f.vid, f.method, f.args.clone(), f.result);
+    }
+    let bonus = Program::parse(
+        "skip_level: ins[E].mentor -> G <= E.grandboss -> G.",
+    )
+    .expect("parses");
+    let final_ob = UpdateEngine::new(bonus).run(&seeded).expect("runs").new_object_base();
+    assert_eq!(final_ob.lookup1(oid("eve"), "mentor"), vec![oid("phil")]);
+    println!("second update consumed the derived view: eve.mentor -> phil ✓");
+}

@@ -1,0 +1,94 @@
+//! Schema evolution driven by an update-program (§2.4 / SZ87).
+//!
+//! ```sh
+//! cargo run --example schema_evolution
+//! ```
+//!
+//! The paper's update language is untyped; §2.4 observes that in a
+//! strongly typed environment, inserts and deletes "would require
+//! changes of corresponding class-definitions … because methods become
+//! undefined, respectively defined". This example puts a class schema
+//! next to the §2.3 enterprise update and shows the full loop:
+//!
+//! 1. the initial object base conforms to the schema,
+//! 2. the update-program runs (salary raise, firing, hpe grouping),
+//! 3. the updated base *violates* the schema (a class `hpe` appeared),
+//! 4. the implied schema delta is inferred and applied,
+//! 5. the evolved schema accepts the updated base.
+
+use ruvo::prelude::*;
+use ruvo::schema::{check, diff, ClassDef, MethodSig, Schema, TypeRef};
+use ruvo::term::sym;
+
+fn main() {
+    // A typed view of the enterprise domain.
+    let schema = Schema::builder()
+        .class(
+            "empl",
+            ClassDef {
+                parents: vec![],
+                methods: vec![
+                    MethodSig::new("sal", TypeRef::Num).required(),
+                    MethodSig::new("boss", TypeRef::Instance(sym("empl"))),
+                    MethodSig::new("pos", TypeRef::Sym),
+                ],
+            },
+        )
+        .build()
+        .expect("schema is coherent");
+
+    let ob = ObjectBase::parse(
+        "phil.isa -> empl / pos -> mgr / sal -> 4000.
+         bob.isa -> empl / boss -> phil / sal -> 4200.",
+    )
+    .expect("object base parses");
+
+    println!("violations before update: {:?}", check(&schema, &ob));
+    assert!(check(&schema, &ob).is_empty());
+
+    // The paper's §2.3 enterprise update.
+    let program = Program::parse(
+        "rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+         rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+         rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+         rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.",
+    )
+    .expect("program parses");
+    let ob2 = UpdateEngine::new(program).run(&ob).expect("runs").new_object_base();
+    println!("\nupdated object base:\n{ob2}");
+
+    // The untyped update left the typed world behind: phil now claims
+    // membership in a class the schema never heard of.
+    let violations = check(&schema, &ob2);
+    println!("violations after update:");
+    for v in &violations {
+        println!("  {v}");
+    }
+    assert!(!violations.is_empty());
+
+    // Infer the schema delta the program implied...
+    let delta = diff(&schema, &ob, &ob2);
+    println!("\ninferred schema delta:");
+    for (class, sigs) in &delta.new_classes {
+        let names: Vec<&str> = sigs.iter().map(|s| s.name.as_str()).collect();
+        println!("  new class {class} with methods {names:?}");
+    }
+    for (class, sig) in &delta.added_methods {
+        println!("  class {class}: method {} became defined ({})", sig.name, sig.result);
+    }
+    for (class, method) in &delta.removed_methods {
+        println!("  class {class}: method {method} became undefined");
+    }
+    for class in &delta.emptied_classes {
+        println!("  class {class} lost its last member");
+    }
+    assert!(delta.new_classes.iter().any(|(c, _)| *c == sym("hpe")));
+    // bob (the only boss-haver) was fired.
+    assert!(delta.removed_methods.contains(&(sym("empl"), sym("boss"))));
+
+    // ...and evolve. The updated base now typechecks.
+    let evolved = schema.evolve(&delta).expect("delta applies cleanly");
+    assert!(evolved.has_class(sym("hpe")));
+    assert!(check(&evolved, &ob2).is_empty());
+    println!("\nevolved schema accepts the updated object base ✓");
+}

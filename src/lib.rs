@@ -1,0 +1,62 @@
+//! # ruvo — Rule-based Updates with Versioned Objects
+//!
+//! A faithful, executable reproduction of
+//! *Kramer, Lausen, Saake: "Updates in a Rule-Based Language for
+//! Objects", VLDB 1992* — a deductive object-base update language in
+//! which bottom-up evaluation is controlled through **version
+//! identities** (`ins(v)`, `del(v)`, `mod(v)`).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`term`] — OIDs, update chains, version identities, unification,
+//! * [`obase`] — the versioned object-base store,
+//! * [`lang`] — parser / AST / safety analysis for the update language,
+//! * [`core`] — the `T_P` operator, stratification and fixpoint
+//!   evaluation (the paper's contribution),
+//! * [`datalog`] — the Logres-style baseline engine,
+//! * [`workload`] — deterministic synthetic workload generators,
+//! * [`schema`] — classes, conformance and update-driven schema
+//!   evolution (the §2.4 direction).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ruvo::prelude::*;
+//!
+//! // §2.1 of the paper: give every employee a 10% raise — exactly once,
+//! // because the rule only matches *initial* (not-yet-updated) versions.
+//! let ob = ObjectBase::parse(
+//!     "henry.isa -> empl. henry.sal -> 250.
+//!      mary.isa -> empl.  mary.sal -> 300.",
+//! ).unwrap();
+//! let program = Program::parse(
+//!     "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
+//! ).unwrap();
+//!
+//! let outcome = UpdateEngine::new(program).run(&ob).unwrap();
+//! let ob2 = outcome.new_object_base();
+//! assert_eq!(ob2.lookup1(oid("henry"), "sal"), vec![int(275)]);
+//! assert_eq!(ob2.lookup1(oid("mary"), "sal"), vec![int(330)]);
+//! ```
+
+pub mod paper;
+
+pub use ruvo_core as core;
+pub use ruvo_datalog as datalog;
+pub use ruvo_lang as lang;
+pub use ruvo_obase as obase;
+pub use ruvo_schema as schema;
+pub use ruvo_term as term;
+pub use ruvo_workload as workload;
+
+/// Everything needed for typical use, in one import.
+pub mod prelude {
+    pub use ruvo_core::{
+        EngineConfig, EvalError, Outcome, Stratification, UpdateEngine,
+    };
+    pub use ruvo_lang::{Program, Rule};
+    pub use ruvo_obase::{MethodApp, ObjectBase};
+    pub use ruvo_term::{
+        int, num, oid, sym, Chain, Const, Symbol, UpdateKind, Vid,
+    };
+}

@@ -1,0 +1,222 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use ruvo::obase::{check_all_linear, LinearityTracker};
+use ruvo::prelude::*;
+use ruvo::workload::{random_insert_program, random_object_base, RandomConfig};
+
+// ----- term layer ----------------------------------------------------
+
+fn arb_kind() -> impl Strategy<Value = UpdateKind> {
+    prop_oneof![
+        Just(UpdateKind::Ins),
+        Just(UpdateKind::Del),
+        Just(UpdateKind::Mod),
+    ]
+}
+
+fn arb_chain() -> impl Strategy<Value = Chain> {
+    proptest::collection::vec(arb_kind(), 0..=Chain::MAX_LEN)
+        .prop_map(|kinds| Chain::from_kinds(&kinds).unwrap())
+}
+
+proptest! {
+    /// push/pop round-trips the full kind sequence.
+    #[test]
+    fn chain_pack_unpack_roundtrip(kinds in proptest::collection::vec(arb_kind(), 0..=32)) {
+        let chain = Chain::from_kinds(&kinds).unwrap();
+        prop_assert_eq!(chain.len(), kinds.len());
+        let back: Vec<UpdateKind> = chain.iter().collect();
+        prop_assert_eq!(back, kinds);
+    }
+
+    /// The subterm relation is a partial order.
+    #[test]
+    fn subterm_is_partial_order(a in arb_chain(), b in arb_chain(), c in arb_chain()) {
+        // Reflexive.
+        prop_assert!(a.is_prefix_of(a));
+        // Antisymmetric.
+        if a.is_prefix_of(b) && b.is_prefix_of(a) {
+            prop_assert_eq!(a, b);
+        }
+        // Transitive.
+        if a.is_prefix_of(b) && b.is_prefix_of(c) {
+            prop_assert!(a.is_prefix_of(c));
+        }
+    }
+
+    /// Prefix enumeration is consistent with the prefix test.
+    #[test]
+    fn prefixes_are_exactly_the_subterm_chains(a in arb_chain(), b in arb_chain()) {
+        let is_listed = a.prefixes().any(|p| p == b);
+        prop_assert_eq!(is_listed, b.is_prefix_of(a));
+    }
+
+    /// Chain Ord is a total order consistent with equality.
+    #[test]
+    fn chain_order_total(a in arb_chain(), b in arb_chain()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Equal => prop_assert_eq!(a, b),
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+    }
+
+    /// The incremental linearity tracker agrees with the quadratic
+    /// reference check on arbitrary version sets.
+    #[test]
+    fn linearity_tracker_matches_brute_force(
+        chains in proptest::collection::vec((0u8..4, arb_chain()), 0..24),
+    ) {
+        let vids: Vec<Vid> = chains
+            .iter()
+            .map(|(obj, chain)| Vid::new(oid(&format!("obj{obj}")), *chain))
+            .collect();
+        let brute = check_all_linear(vids.iter().copied()).is_ok();
+        let mut tracker = LinearityTracker::new();
+        let incremental = vids.iter().try_for_each(|&v| tracker.record(v)).is_ok();
+        // The incremental check can only fail on genuinely non-linear
+        // sets, and always fails on them eventually.
+        prop_assert_eq!(incremental, brute);
+    }
+}
+
+// ----- language layer -------------------------------------------------
+
+/// Source fragments that exercise every syntactic construct; proptest
+/// recombines them into programs and round-trips the pretty-printer.
+const RULE_POOL: &[&str] = &[
+    "ins[X].anc -> P <= X.isa -> person / parents -> P.",
+    "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1 + 200.",
+    "del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).sal -> SB & SE > SB.",
+    "ins[mod(E)].isa -> hpe <= mod(E).sal -> S & S > 4500 & not del[mod(E)].isa -> empl.",
+    "ins[a].p @ x, 3 -> -7.",
+    "del[b].q -> 1 <= b.q -> 1 & not b.r -> 2.",
+    "mod[mod(E)].sal -> (S2, S) <= mod(E).sal -> S2 & E.sal -> S.",
+    "ins[x].'quoted name' -> 'Value X' <= x.k -> 0.5.",
+    "ins[E].half -> H <= E.v -> V & H = V / 2 & H >= 1.",
+    "ins[ins(mod(mod(peter)))].richest -> yes <= not ins(mod(mod(peter))).richest -> no.",
+    "ins[E].seen -> yes <= E.p -> _ & E.q -> _.",
+    "ins[audit].flagged -> O <= $V.sal -> S & $V.exists -> O & S > 1000.",
+    "ins[hit].both -> S <= $V.p -> S & $V.q -> 2 & not $V.r -> 0.",
+];
+
+proptest! {
+    /// parse ∘ pretty = id on programs assembled from the pool.
+    #[test]
+    fn pretty_print_roundtrip(indices in proptest::collection::vec(0..RULE_POOL.len(), 1..8)) {
+        let src: String = indices.iter().map(|&i| RULE_POOL[i]).collect::<Vec<_>>().join("\n");
+        let p1 = Program::parse(&src).unwrap();
+        let printed = p1.to_string();
+        let p2 = Program::parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\nprinted:\n{printed}"));
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// Object-base text round-trips.
+    #[test]
+    fn object_base_text_roundtrip(seed in 0u64..5000) {
+        let ob = random_object_base(RandomConfig { seed, ..Default::default() });
+        let text = ob.to_string();
+        let back = ObjectBase::parse(&text).unwrap();
+        prop_assert_eq!(ob, back);
+    }
+}
+
+// ----- engine layer ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Evaluation is deterministic and rule-order independent: shuffling
+    /// the rules of an insert-only program yields the identical result.
+    #[test]
+    fn evaluation_rule_order_independent(seed in 0u64..500, rot in 1usize..5) {
+        let config = RandomConfig { seed, ..Default::default() };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config);
+        let mut rotated = program.clone();
+        let shift = rot % rotated.rules.len().max(1);
+        rotated.rules.rotate_left(shift);
+        let a = UpdateEngine::new(program).run(&ob).unwrap();
+        let b = UpdateEngine::new(rotated).run(&ob).unwrap();
+        prop_assert_eq!(a.result(), b.result());
+    }
+
+    /// Frame property: objects not touched by any update keep their
+    /// state verbatim in the new object base.
+    #[test]
+    fn frame_property_untouched_objects(seed in 0u64..500) {
+        let config = RandomConfig { seed, ..Default::default() };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config);
+        let outcome = UpdateEngine::new(program).run(&ob).unwrap();
+        let finals = outcome.final_versions().unwrap();
+        let ob2 = outcome.new_object_base();
+        for (&base, &fv) in &finals {
+            if fv.is_object() {
+                // Untouched object: identical method-applications.
+                let before = ob.version(Vid::object(base));
+                let after = ob2.version(Vid::object(base));
+                prop_assert_eq!(before, after, "object {}", base);
+            }
+        }
+    }
+
+    /// Insert-only programs are monotone: every input fact survives.
+    #[test]
+    fn insert_only_is_monotone(seed in 0u64..500) {
+        let config = RandomConfig { seed, ..Default::default() };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config);
+        let ob2 = UpdateEngine::new(program).run(&ob).unwrap().new_object_base();
+        for fact in ob.iter() {
+            prop_assert!(
+                ob2.contains(fact.vid, fact.method, fact.args.as_slice(), fact.result),
+                "lost {}", fact
+            );
+        }
+    }
+
+    /// Delta filtering and parallel evaluation agree with the naive
+    /// reference on random workloads.
+    #[test]
+    fn engine_configs_agree(seed in 0u64..200) {
+        use ruvo::core::EngineConfig;
+        let config = RandomConfig { seed, rules: 6, ..Default::default() };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config);
+        let reference = UpdateEngine::with_config(
+            program.clone(),
+            EngineConfig { delta_filtering: false, ..Default::default() },
+        )
+        .run(&ob)
+        .unwrap();
+        let filtered = UpdateEngine::new(program.clone()).run(&ob).unwrap();
+        prop_assert_eq!(reference.result(), filtered.result());
+        let parallel = UpdateEngine::with_config(
+            program,
+            EngineConfig { parallel: true, ..Default::default() },
+        )
+        .run(&ob)
+        .unwrap();
+        prop_assert_eq!(reference.result(), parallel.result());
+    }
+
+    /// result(P) always contains the input versions unchanged (updates
+    /// create new versions; they never mutate old ones).
+    #[test]
+    fn old_versions_are_immutable(seed in 0u64..500) {
+        let config = RandomConfig { seed, ..Default::default() };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config);
+        let outcome = UpdateEngine::new(program).run(&ob).unwrap();
+        for fact in ob.iter() {
+            prop_assert!(
+                outcome.result().contains(fact.vid, fact.method, fact.args.as_slice(), fact.result),
+                "input fact {} missing from result(P)", fact
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The §6 VID-quantification extension (`$V` variables), end to end.
+//!
+//! "More expressive power can be gained by allowing to quantify over
+//! VIDs in addition to OIDs. However, such an extension must be done
+//! carefully not to destroy the termination properties of the
+//! evaluation process." — the implementation restricts VID variables
+//! to *body version-terms*: they can read any version ever created,
+//! but never name the target of an update, so the set of creatable
+//! versions stays exactly as in the base language.
+
+use ruvo::core::{reference, CyclePolicy, EngineConfig, EvalError, UpdateEngine};
+use ruvo::lang::Program;
+use ruvo::obase::ObjectBase;
+use ruvo::prelude::*;
+
+#[test]
+fn parses_and_pretty_prints() {
+    let src = "ins[audit].flagged -> O <= $V.sal -> S & $V.exists -> O & S > 1000.";
+    let p1 = Program::parse(src).unwrap();
+    assert_eq!(p1.rules[0].vid_vars.len(), 1);
+    assert_eq!(p1.rules[0].vars.len(), 2);
+    let printed = p1.to_string();
+    assert!(printed.contains("$V"), "printed: {printed}");
+    let p2 = Program::parse(&printed).unwrap();
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn rejected_everywhere_but_body_version_terms() {
+    // Head target.
+    assert!(Program::parse("ins[$V].m -> 1 <= $V.p -> 1.").is_err());
+    // Update-term target in a body.
+    assert!(Program::parse("ins[x].m -> 1 <= del[$V].p -> 1.").is_err());
+    // Result position.
+    assert!(Program::parse("ins[x].m -> $V <= x.p -> 1.").is_err());
+    // Argument position.
+    assert!(Program::parse("ins[x].m @ $V -> 1 <= x.p -> 1.").is_err());
+    // Ground facts.
+    assert!(ObjectBase::parse("$V.m -> 1.").is_err());
+}
+
+#[test]
+fn negated_vid_var_must_be_bound() {
+    // $V appears only under negation: unsafe.
+    let err = Program::parse("ins[x].m -> 1 <= x.p -> 1 & not $V.q -> 1.").unwrap_err();
+    assert!(err.to_string().contains("$V"), "got: {err}");
+    // Bound by a positive atom first: fine.
+    assert!(Program::parse("ins[x].m -> 1 <= $V.p -> 1 & not $V.q -> 1.").is_ok());
+}
+
+/// The motivating use case: audit every version any object ever had.
+/// `$V` sees pre- and post-update salaries alike.
+#[test]
+fn audit_example_sees_all_versions() {
+    let ob = ObjectBase::parse(
+        "henry.isa -> empl. henry.sal -> 600.
+         mary.isa -> empl.  mary.sal -> 1200.",
+    )
+    .unwrap();
+    let program = Program::parse(
+        "raise: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 2.
+         audit: ins[audit].flagged -> O <= $V.sal -> S & $V.exists -> O & S > 1000.",
+    )
+    .unwrap();
+    let outcome = UpdateEngine::new(program.clone()).run(&ob).unwrap();
+    // The wildcard forces `audit` strictly above the mod-rule.
+    assert_eq!(outcome.stratification().strata.len(), 2);
+    let ob2 = outcome.new_object_base();
+    let mut flagged = ob2.lookup1(oid("audit"), "flagged");
+    flagged.sort();
+    // mary's initial 1200, mod(henry)'s 1200 and mod(mary)'s 2400 all
+    // exceed 1000 — henry is flagged only thanks to $V seeing the
+    // post-update version.
+    assert_eq!(flagged, vec![oid("henry"), oid("mary")]);
+
+    // The reference interpreter agrees.
+    let r = reference::evaluate(&program, &ob).unwrap();
+    assert_eq!(outcome.result(), &r.result);
+    assert_eq!(ob2, r.new_object_base().unwrap());
+}
+
+#[test]
+fn termination_is_preserved() {
+    // Without the body-only restriction, `ins[$V]...` would create
+    // ever-deeper versions. The closest legal program creates exactly
+    // one ins-version per *object* and terminates.
+    let ob = ObjectBase::parse("a.p -> 1. b.p -> 2.").unwrap();
+    let program =
+        Program::parse("ins[O].seen -> 1 <= $V.exists -> O.").unwrap();
+    let outcome = UpdateEngine::new(program).run(&ob).unwrap();
+    let ob2 = outcome.new_object_base();
+    assert_eq!(ob2.lookup1(oid("a"), "seen"), vec![int(1)]);
+    assert_eq!(ob2.lookup1(oid("b"), "seen"), vec![int(1)]);
+}
+
+#[test]
+fn wildcard_in_del_rule_needs_dynamic_mode() {
+    // A del-head rule reading $V gets a strict (d) self-edge: the
+    // version $V denotes might be the one the rule is still shrinking.
+    // Statically rejected; stable at runtime on this base.
+    let ob = ObjectBase::parse("o.m -> 1.").unwrap();
+    let program =
+        Program::parse("del[X].m -> R <= $V.m -> R & $V.exists -> X.").unwrap();
+    let err = UpdateEngine::new(program.clone()).run(&ob).unwrap_err();
+    assert!(matches!(err, EvalError::NotStratifiable(_)));
+
+    let config = EngineConfig { cycles: CyclePolicy::RuntimeStability, ..Default::default() };
+    let outcome = UpdateEngine::with_config(program, config).run(&ob).unwrap();
+    let ob2 = outcome.new_object_base();
+    assert_eq!(ob2.lookup1(oid("o"), "m"), vec![]);
+}
+
+#[test]
+fn repeated_vid_var_selects_one_version() {
+    // Both atoms constrain the same $V: the version must carry both
+    // methods. Only mod(o) does (o itself lacks q).
+    let ob = ObjectBase::parse("o.p -> 1. x.trigger -> 1.").unwrap();
+    let program = Program::parse(
+        "setup: ins[o].q -> 2 <= o.p -> 1.
+         find: ins[hit].both -> S <= $V.p -> S & $V.q -> 2.",
+    )
+    .unwrap();
+    let outcome = UpdateEngine::new(program.clone()).run(&ob).unwrap();
+    let ob2 = outcome.new_object_base();
+    assert_eq!(ob2.lookup1(oid("hit"), "both"), vec![int(1)]);
+    let r = reference::evaluate(&program, &ob).unwrap();
+    assert_eq!(outcome.result(), &r.result);
+}
+
+#[test]
+fn delta_filtering_and_parallel_agree_with_wildcards() {
+    let ob = ObjectBase::parse(
+        "a.isa -> t. a.v -> 1. b.isa -> t. b.v -> 5. c.isa -> t. c.v -> 9.",
+    )
+    .unwrap();
+    let prog = "
+        grow: ins[X].v2 -> W <= X.isa -> t & X.v -> V & W = V * 10.
+        scan: ins[collect].seen -> O <= $V.v2 -> W & $V.exists -> O & W > 40.
+    ";
+    let base = UpdateEngine::new(Program::parse(prog).unwrap()).run(&ob).unwrap();
+    for (delta, parallel) in [(false, false), (true, true), (false, true)] {
+        let cfg = EngineConfig {
+            delta_filtering: delta,
+            parallel,
+            ..EngineConfig::default()
+        };
+        let v = UpdateEngine::with_config(Program::parse(prog).unwrap(), cfg)
+            .run(&ob)
+            .unwrap();
+        assert_eq!(base.result(), v.result(), "delta={delta} parallel={parallel}");
+    }
+    let r = reference::evaluate(&Program::parse(prog).unwrap(), &ob).unwrap();
+    assert_eq!(base.result(), &r.result);
+}
