@@ -17,10 +17,7 @@ fn bench(c: &mut Criterion) {
             "dynamic-policy",
             EngineConfig { cycles: CyclePolicy::RuntimeStability, ..Default::default() },
         ),
-        (
-            "verify-stability",
-            EngineConfig { verify_stability: true, ..Default::default() },
-        ),
+        ("verify-stability", EngineConfig { verify_stability: true, ..Default::default() }),
     ];
     for (name, cfg) in configs {
         group.bench_function(BenchmarkId::new("enterprise", name), |b| {

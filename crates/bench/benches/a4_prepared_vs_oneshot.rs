@@ -1,0 +1,74 @@
+//! A4 — amortized compilation: one-shot parse+stratify+run per
+//! application vs. `Database::prepare` once + `apply` many times.
+//!
+//! Two workloads: the §2.1 salary-raise rule (1 rule, cheap to
+//! compile) and the §2.3 enterprise update (4 rules, 3 strata — the
+//! stratification is real work). The base size sweeps from "compile
+//! cost dominates" (10 employees) to "evaluation dominates" (1000).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use ruvo_core::Database;
+use ruvo_lang::Program;
+use ruvo_obase::ObjectBase;
+use ruvo_workload::{salary_raise_program, Enterprise, EnterpriseConfig};
+
+const RAISE: &str = "raise: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.";
+
+const ENTERPRISE: &str = "
+    rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+    rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+    rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+    rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.
+";
+
+fn base(n: usize) -> ObjectBase {
+    Enterprise::generate(EnterpriseConfig { employees: n, ..Default::default() }).ob
+}
+
+/// Apply `src` `reps` times by re-parsing and re-stratifying each
+/// time — the old `UpdateEngine::new(Program::parse(..)).run(..)` shape.
+fn oneshot(src: &str, ob: &ObjectBase, reps: usize) -> usize {
+    let mut db = Database::open(ob.clone());
+    let mut total = 0;
+    for _ in 0..reps {
+        let program = Program::parse(src).expect("parses");
+        let txn = db.apply_program(program).expect("applies");
+        total += txn.facts_after;
+    }
+    total
+}
+
+/// Compile once, apply `reps` times.
+fn prepared(src: &str, ob: &ObjectBase, reps: usize) -> usize {
+    let mut db = Database::open(ob.clone());
+    let prep = db.prepare(src).expect("compiles");
+    let mut total = 0;
+    for _ in 0..reps {
+        total += db.apply(&prep).expect("applies").facts_after;
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    // Sanity: the workload crate's program is the same §2.1 rule.
+    assert_eq!(salary_raise_program().len(), 1);
+    const REPS: usize = 20;
+    for (name, src) in [("raise", RAISE), ("enterprise", ENTERPRISE)] {
+        let mut group = c.benchmark_group(format!("a4_prepared_vs_oneshot/{name}"));
+        group.sample_size(10);
+        for n in [10usize, 100, 1_000] {
+            let ob = base(n);
+            group.throughput(Throughput::Elements((n * REPS) as u64));
+            group.bench_with_input(BenchmarkId::new("oneshot", n), &ob, |b, ob| {
+                b.iter_batched(|| ob.clone(), |ob| oneshot(src, &ob, REPS), BatchSize::SmallInput);
+            });
+            group.bench_with_input(BenchmarkId::new("prepared", n), &ob, |b, ob| {
+                b.iter_batched(|| ob.clone(), |ob| prepared(src, &ob, REPS), BatchSize::SmallInput);
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

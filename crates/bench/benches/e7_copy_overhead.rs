@@ -22,10 +22,9 @@ fn make_base(n: usize, hot: usize) -> ObjectBase {
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_copy_overhead");
     group.sample_size(10);
-    let program = Program::parse(
-        "touch: mod[E].v -> (X, X2) <= E.hot -> 1 & E.v -> X & X2 = X + 1.",
-    )
-    .unwrap();
+    let program =
+        Program::parse("touch: mod[E].v -> (X, X2) <= E.hot -> 1 & E.v -> X & X2 = X + 1.")
+            .unwrap();
     for n in [1_000usize, 10_000, 50_000] {
         let ob = make_base(n, 100);
         group.bench_with_input(BenchmarkId::from_parameter(n), &ob, |b, ob| {

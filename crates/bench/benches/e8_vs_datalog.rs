@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ruvo_datalog::{evaluate, Semantics};
-use ruvo_workload::{enterprise_baseline_datalog, enterprise_program, Enterprise, EnterpriseConfig};
+use ruvo_workload::{
+    enterprise_baseline_datalog, enterprise_program, Enterprise, EnterpriseConfig,
+};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_vs_datalog");

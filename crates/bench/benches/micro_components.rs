@@ -16,9 +16,8 @@ rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not 
 fn bench_lang(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_lang");
     group.throughput(Throughput::Bytes(ENTERPRISE_SRC.len() as u64));
-    group.bench_function("parse_enterprise", |b| {
-        b.iter(|| Program::parse(ENTERPRISE_SRC).unwrap())
-    });
+    group
+        .bench_function("parse_enterprise", |b| b.iter(|| Program::parse(ENTERPRISE_SRC).unwrap()));
     let program = enterprise_program();
     group.bench_function("pretty_print", |b| b.iter(|| program.to_string()));
     group.bench_function("stratify_enterprise", |b| {
@@ -32,7 +31,14 @@ fn bench_obase(c: &mut Criterion) {
     let e = Enterprise::generate(EnterpriseConfig { employees: 5_000, ..Default::default() });
     group.bench_function("clone_5k", |b| b.iter(|| e.ob.clone()));
     group.bench_function("ensure_exists_5k", |b| {
-        b.iter_batched(|| e.ob.clone(), |mut ob| { ob.ensure_exists(); ob }, BatchSize::SmallInput)
+        b.iter_batched(
+            || e.ob.clone(),
+            |mut ob| {
+                ob.ensure_exists();
+                ob
+            },
+            BatchSize::SmallInput,
+        )
     });
     let text = e.ob.to_string();
     group.throughput(Throughput::Bytes(text.len() as u64));

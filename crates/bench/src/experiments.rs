@@ -45,7 +45,11 @@ const REPS: usize = 5;
 
 /// One timing sample in quick mode (tests), median-of-5 otherwise.
 fn reps(quick: bool) -> usize {
-    if quick { 1 } else { REPS }
+    if quick {
+        1
+    } else {
+        REPS
+    }
 }
 
 fn enterprise_sizes(quick: bool) -> Vec<usize> {
@@ -185,11 +189,8 @@ pub fn e3_hypothetical(quick: bool) -> String {
 /// E4 — recursive ancestors: versioned formulation vs the semi-naive
 /// Datalog baseline; identical pair counts, comparable round counts.
 pub fn e4_ancestors(quick: bool) -> String {
-    let configs: Vec<(usize, usize)> = if quick {
-        vec![(3, 8), (4, 8)]
-    } else {
-        vec![(3, 10), (5, 20), (7, 30), (9, 40)]
-    };
+    let configs: Vec<(usize, usize)> =
+        if quick { vec![(3, 8), (4, 8)] } else { vec![(3, 10), (5, 20), (7, 30), (9, 40)] };
     let mut t = Table::new(&[
         "generations × width",
         "persons",
@@ -254,10 +255,7 @@ pub fn e5_stratify(quick: bool) -> String {
         ("ancestors (2 rules)", ancestors_program()),
         ("chain k=12 (12 rules)", chain_program(12, true)),
         ("chain k=28 (28 rules)", chain_program(28, false)),
-        (
-            "wide independent",
-            Program::parse(&wide).unwrap(),
-        ),
+        ("wide independent", Program::parse(&wide).unwrap()),
     ];
     let mut t = Table::new(&["program", "rules", "constraints", "strata", "time (ms)"]);
     for (name, program) in named {
@@ -338,15 +336,11 @@ pub fn e6_linearity(quick: bool) -> String {
 /// the unavoidable overhead low." Fixed update count, growing base.
 pub fn e7_copy_overhead(quick: bool) -> String {
     let hot = 100usize;
-    let sizes: Vec<usize> = if quick {
-        vec![500, 2_000]
-    } else {
-        vec![1_000, 10_000, 50_000, 100_000]
-    };
-    let program = Program::parse(
-        "touch: mod[E].v -> (X, X2) <= E.hot -> 1 & E.v -> X & X2 = X + 1.",
-    )
-    .unwrap();
+    let sizes: Vec<usize> =
+        if quick { vec![500, 2_000] } else { vec![1_000, 10_000, 50_000, 100_000] };
+    let program =
+        Program::parse("touch: mod[E].v -> (X, X2) <= E.hot -> 1 & E.v -> X & X2 = X + 1.")
+            .unwrap();
     let mut t = Table::new(&[
         "objects (5 facts each)",
         "hot objects",
@@ -426,13 +420,7 @@ pub fn e8_vs_datalog(quick: bool) -> String {
     let bob_sal = ob2.lookup1(oid("bob"), "sal");
     let bob_hpe = ob2.lookup1(oid("bob"), "isa").contains(&oid("hpe"));
     assert!(bob_in && bob_hpe && bob_sal == vec![int(4510)]);
-    t.row(&[
-        "ruvo (VIDs)".into(),
-        "yes".into(),
-        "4510".into(),
-        "yes".into(),
-        "correct ✓".into(),
-    ]);
+    t.row(&["ruvo (VIDs)".into(), "yes".into(), "4510".into(), "yes".into(), "correct ✓".into()]);
 
     // Plain stratified Datalog¬ (automatic predicate stratification)
     // cannot even accept the program: `sal` is read and deleted through
@@ -502,8 +490,7 @@ pub fn e8_vs_datalog(quick: bool) -> String {
 /// F1 — k consecutive update groups on one object: the engine produces
 /// exactly k strata and a depth-k version chain.
 pub fn f1_chain_depth(quick: bool) -> String {
-    let ks: Vec<usize> =
-        if quick { vec![1, 4, 8] } else { vec![1, 2, 4, 8, 12, 16, 22, 28] };
+    let ks: Vec<usize> = if quick { vec![1, 4, 8] } else { vec![1, 2, 4, 8, 12, 16, 22, 28] };
     let mut t = Table::new(&["k", "kinds", "strata", "final VID depth", "time (ms)"]);
     for &k in &ks {
         for mixed in [false, true] {
@@ -600,7 +587,6 @@ pub fn a1_delta_filter(quick: bool) -> String {
     out
 }
 
-
 /// E9 — §6 VID variables: the version-audit workload, once with a
 /// `$V` wildcard (scans every version) and once as the equivalent
 /// chain-indexed two-rule formulation. After the salary raise the only
@@ -621,13 +607,7 @@ pub fn e9_vid_vars(quick: bool) -> String {
     let indexed = Program::parse(&indexed_src).unwrap();
 
     let mut out = String::new();
-    let mut t = Table::new(&[
-        "employees",
-        "wildcard (ms)",
-        "indexed (ms)",
-        "slowdown",
-        "flagged",
-    ]);
+    let mut t = Table::new(&["employees", "wildcard (ms)", "indexed (ms)", "slowdown", "flagged"]);
     let sizes = if quick { vec![50, 200] } else { vec![500, 2_000, 8_000] };
     for n in sizes {
         let ent = Enterprise::generate(EnterpriseConfig { employees: n, ..Default::default() });

@@ -19,7 +19,7 @@ mod repl;
 
 use std::process::ExitCode;
 
-use ruvo_core::{CyclePolicy, EngineConfig, TraceLevel, UpdateEngine};
+use ruvo_core::{CyclePolicy, Database, Prepared, TraceLevel};
 use ruvo_lang::Program;
 use ruvo_obase::ObjectBase;
 
@@ -58,9 +58,11 @@ fn main() -> ExitCode {
                 Ok(p) => p,
                 Err(code) => return code,
             };
-            match UpdateEngine::new(program.clone()).stratify() {
-                Ok(strat) => {
-                    println!("{} rules, {} strata", program.len(), strat.len());
+            let rules = program.len();
+            match Prepared::compile(program, CyclePolicy::Reject) {
+                Ok(prepared) => {
+                    let strat = prepared.stratification();
+                    println!("{} rules, {} strata", rules, strat.len());
                     println!("stratification: {strat}");
                     ExitCode::SUCCESS
                 }
@@ -76,8 +78,9 @@ fn main() -> ExitCode {
                 Ok(p) => p,
                 Err(code) => return code,
             };
-            match UpdateEngine::new(program).stratify() {
-                Ok(strat) => {
+            match Prepared::compile(program, CyclePolicy::Reject) {
+                Ok(prepared) => {
+                    let strat = prepared.stratification();
                     println!("stratification: {strat}");
                     println!("constraints:");
                     for e in &strat.edges {
@@ -141,28 +144,47 @@ fn main() -> ExitCode {
                 },
                 Err(code) => return code,
             };
-            let config = EngineConfig {
-                check_linearity: !flags.contains(&"--no-linearity"),
-                delta_filtering: !flags.contains(&"--naive"),
-                parallel: flags.contains(&"--parallel"),
-                trace: if flags.contains(&"--trace") {
+            let mut db = Database::builder()
+                .check_linearity(!flags.contains(&"--no-linearity"))
+                .delta_filtering(!flags.contains(&"--naive"))
+                .parallel(flags.contains(&"--parallel"))
+                .trace(if flags.contains(&"--trace") {
                     TraceLevel::Rounds
                 } else {
                     TraceLevel::Strata
-                },
-                cycles: if flags.contains(&"--dynamic") {
+                })
+                .cycle_policy(if flags.contains(&"--dynamic") {
                     CyclePolicy::RuntimeStability
                 } else {
                     CyclePolicy::Reject
-                },
-                ..Default::default()
-            };
-            let engine = UpdateEngine::with_config(program, config);
-            let outcome = match engine.run(&ob) {
-                Ok(o) => o,
+                })
+                .open(ob);
+            let prepared = match db.prepare_program(program) {
+                Ok(p) => p,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
+                }
+            };
+            // --result inspects result(P) without extracting ob′, so it
+            // must not hit the commit gate: a dry-run `evaluate` keeps
+            // non-version-linear results printable (--no-linearity).
+            let show_result = flags.contains(&"--result");
+            let outcome = if show_result {
+                match db.evaluate(&prepared) {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match db.apply(&prepared) {
+                    Ok(txn) => txn.outcome.clone(),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             if flags.contains(&"--trace") {
@@ -171,16 +193,10 @@ fn main() -> ExitCode {
                     eprintln!("  {st}");
                 }
             }
-            if flags.contains(&"--result") {
+            if show_result {
                 print!("{}", outcome.result());
             } else {
-                match outcome.try_new_object_base() {
-                    Ok(ob2) => print!("{ob2}"),
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                print!("{}", db.current());
             }
             if flags.contains(&"--stats") {
                 eprintln!("stats: {}", outcome.stats());

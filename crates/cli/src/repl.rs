@@ -1,12 +1,12 @@
 //! Interactive session mode: `ruvo repl [base-file]`.
 //!
 //! Update-rules typed at the prompt are collected until a line ends
-//! with `.`, then applied as one transactional update-program (see
-//! [`ruvo_core::Session`]). Meta-commands start with `:`.
+//! with `.`, then applied as one transactional update-program through
+//! a [`ruvo_core::Database`] handle. Meta-commands start with `:`.
 
 use std::io::{BufRead, Write};
 
-use ruvo_core::{history, Session};
+use ruvo_core::{history, Database};
 use ruvo_lang::Program;
 use ruvo_obase::{snapshot, ObjectBase};
 use ruvo_term::oid;
@@ -35,7 +35,7 @@ pub fn run(
     out: &mut impl Write,
     initial: Option<ObjectBase>,
 ) -> std::io::Result<()> {
-    let mut session = Session::new(initial.unwrap_or_default());
+    let mut db = Database::open(initial.unwrap_or_default());
     let mut savepoints: Vec<ruvo_core::SavepointId> = Vec::new();
     let mut pending = String::new();
 
@@ -57,11 +57,11 @@ pub fn run(
             match (verb, arg) {
                 ("quit" | "q" | "exit", _) => break,
                 ("help" | "h", _) => writeln!(out, "{HELP}")?,
-                ("show", None) => write!(out, "{}", session.current())?,
+                ("show", None) => write!(out, "{}", db.current())?,
                 ("show", Some(name)) => {
                     let base = oid(name);
                     let mut any = false;
-                    for fact in session.current().facts_sorted() {
+                    for fact in db.current().facts_sorted() {
                         if fact.vid.base() == base {
                             writeln!(out, "{fact}")?;
                             any = true;
@@ -71,12 +71,12 @@ pub fn run(
                         writeln!(out, "! no facts for {name}")?;
                     }
                 }
-                ("stats", _) => writeln!(out, "{}", session.current().stats())?,
+                ("stats", _) => writeln!(out, "{}", db.current().stats())?,
                 ("log", _) => {
-                    if session.is_empty() {
+                    if db.is_empty() {
                         writeln!(out, "(no transactions)")?;
                     }
-                    for txn in session.log() {
+                    for txn in db.log() {
                         writeln!(
                             out,
                             "#{}: {} — {} facts after",
@@ -86,7 +86,7 @@ pub fn run(
                         )?;
                     }
                 }
-                ("history", Some(name)) => match session.log().last() {
+                ("history", Some(name)) => match db.log().last() {
                     None => writeln!(out, "! no transactions yet")?,
                     Some(txn) => match history(txn.outcome.result(), oid(name)) {
                         None => writeln!(out, "! no history for {name} in the last transaction")?,
@@ -117,18 +117,18 @@ pub fn run(
                 ("load", Some(path)) => match load_base(path) {
                     Ok(ob) => {
                         writeln!(out, "loaded {} ({})", path, ob.stats())?;
-                        session = Session::new(ob);
+                        db = Database::open(ob);
                         savepoints.clear();
                     }
                     Err(e) => writeln!(out, "! {e}")?,
                 },
-                ("save", Some(path)) => match save_base(session.current(), path) {
+                ("save", Some(path)) => match save_base(db.current(), path) {
                     Ok(()) => writeln!(out, "saved {path}")?,
                     Err(e) => writeln!(out, "! {e}")?,
                 },
                 ("run", Some(path)) => match std::fs::read_to_string(path) {
                     Err(e) => writeln!(out, "! cannot read {path}: {e}")?,
-                    Ok(src) => apply(&mut session, &src, out)?,
+                    Ok(src) => apply(&mut db, &src, out)?,
                 },
                 ("strata", Some(path)) => match std::fs::read_to_string(path) {
                     Err(e) => writeln!(out, "! cannot read {path}: {e}")?,
@@ -141,7 +141,7 @@ pub fn run(
                     },
                 },
                 ("savepoint", _) => {
-                    let id = session.savepoint();
+                    let id = db.savepoint();
                     savepoints.push(id);
                     writeln!(out, "savepoint {}", savepoints.len() - 1)?;
                 }
@@ -153,7 +153,7 @@ pub fn run(
                     };
                     match target {
                         None => writeln!(out, "! no such savepoint")?,
-                        Some(sp) => match session.rollback_to(sp) {
+                        Some(sp) => match db.rollback_to(sp) {
                             Ok(()) => writeln!(out, "rolled back")?,
                             Err(e) => writeln!(out, "! {e}")?,
                         },
@@ -169,14 +169,14 @@ pub fn run(
         pending.push('\n');
         if trimmed.ends_with('.') {
             let src = std::mem::take(&mut pending);
-            apply(&mut session, &src, out)?;
+            apply(&mut db, &src, out)?;
         }
     }
     Ok(())
 }
 
-fn apply(session: &mut Session, src: &str, out: &mut impl Write) -> std::io::Result<()> {
-    match session.apply_src(src) {
+fn apply(db: &mut Database, src: &str, out: &mut impl Write) -> std::io::Result<()> {
+    match db.apply_src(src) {
         Ok(txn) => writeln!(
             out,
             "ok: txn #{} — {} ({} facts now)",

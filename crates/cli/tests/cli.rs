@@ -108,8 +108,7 @@ fn parse_errors_are_reported() {
 fn non_stratifiable_is_rejected() {
     let dir = std::env::temp_dir().join("ruvo-cli-strat");
     std::fs::create_dir_all(&dir).unwrap();
-    let prog =
-        write_file(&dir, "p.ruvo", "r: ins[X].p -> 1 <= X.q -> 1 & not ins(X).p -> 1.");
+    let prog = write_file(&dir, "p.ruvo", "r: ins[X].p -> 1 <= X.q -> 1 & not ins(X).p -> 1.");
     let out = ruvo(&["check", prog.to_str().unwrap()]);
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).unwrap();
@@ -120,16 +119,27 @@ fn non_stratifiable_is_rejected() {
 fn linearity_violation_is_reported() {
     let dir = std::env::temp_dir().join("ruvo-cli-lin");
     std::fs::create_dir_all(&dir).unwrap();
-    let prog = write_file(
-        &dir,
-        "p.ruvo",
-        "mod[o].m -> (a, b) <= o.m -> a. del[o].m -> a <= o.m -> a.",
-    );
+    let prog =
+        write_file(&dir, "p.ruvo", "mod[o].m -> (a, b) <= o.m -> a. del[o].m -> a <= o.m -> a.");
     let base = write_file(&dir, "b.ob", "o.m -> a.");
     let out = ruvo(&["run", prog.to_str().unwrap(), base.to_str().unwrap()]);
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("version-linearity"), "got: {stderr}");
+
+    // With the §5 check disabled, --result must still let the user
+    // inspect the raw (non-linear) result(P).
+    let out = ruvo(&[
+        "run",
+        prog.to_str().unwrap(),
+        base.to_str().unwrap(),
+        "--no-linearity",
+        "--result",
+    ]);
+    assert!(out.status.success(), "got: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("mod(o).m -> b"), "got: {stdout}");
+    assert!(stdout.contains("del(o).exists -> o"), "got: {stdout}");
 }
 
 #[test]
@@ -221,15 +231,11 @@ fn convert_roundtrips_through_snapshot() {
     let base = write_file(&dir, "b.ob", "a.p -> 1. b.q @ x -> 2.5.");
     let snap = dir.join("b.snap");
     let back = dir.join("b2.ob");
-    assert!(ruvo(&["convert", base.to_str().unwrap(), snap.to_str().unwrap()])
-        .status
-        .success());
+    assert!(ruvo(&["convert", base.to_str().unwrap(), snap.to_str().unwrap()]).status.success());
     // Snapshot starts with the magic.
     let raw = std::fs::read(&snap).unwrap();
     assert_eq!(&raw[..4], b"RUVO");
-    assert!(ruvo(&["convert", snap.to_str().unwrap(), back.to_str().unwrap()])
-        .status
-        .success());
+    assert!(ruvo(&["convert", snap.to_str().unwrap(), back.to_str().unwrap()]).status.success());
     let text = std::fs::read_to_string(&back).unwrap();
     assert!(text.contains("a.p -> 1"), "got: {text}");
     assert!(text.contains("b.q @ x -> 2.5"), "got: {text}");
@@ -240,10 +246,7 @@ fn repl_loads_and_saves_snapshots() {
     let dir = std::env::temp_dir().join("ruvo-cli-repl-snap");
     std::fs::create_dir_all(&dir).unwrap();
     let snap = dir.join("state.snap");
-    let script = format!(
-        "ins[a].p -> 7.\n:save {}\n:quit\n",
-        snap.display()
-    );
+    let script = format!("ins[a].p -> 7.\n:save {}\n:quit\n", snap.display());
     let out = ruvo_stdin(&["repl"], &script);
     assert!(String::from_utf8(out.stdout).unwrap().contains("saved"), "save failed");
     // Reload it in a second repl.

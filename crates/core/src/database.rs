@@ -1,0 +1,738 @@
+//! The `Database` facade: a persistent handle over an evolving object
+//! base, with prepared (compile-once, apply-many) update-programs,
+//! O(1) copy-on-write snapshots, closure-scoped transactions, and one
+//! unified error type.
+//!
+//! §2.2 of the paper models an update-program as *a mapping from an
+//! (old) object-base into a (new) object-base*. The one-shot shape —
+//! `UpdateEngine::new(program).run(&ob)` — re-validates and
+//! re-stratifies the program on every call. A [`Database`] separates
+//! the two halves of that mapping:
+//!
+//! * [`Database::prepare`] parses, safety-checks and stratifies
+//!   **once**, returning a reusable [`Prepared`] handle;
+//! * [`Database::apply`] runs a prepared program against the current
+//!   base with the all-or-nothing [`Session`] semantics, amortizing
+//!   compilation across applications.
+//!
+//! Readers call [`Database::snapshot`] for an O(1) point-in-time view
+//! that stays stable while the database keeps committing (commits
+//! install a fresh `Arc`; version states are shared copy-on-write, so
+//! neither side ever deep-copies the store).
+//!
+//! ```
+//! use ruvo_core::Database;
+//!
+//! let mut db = Database::open_src(
+//!     "henry.isa -> empl. henry.sal -> 250.",
+//! ).unwrap();
+//! let raise = db.prepare(
+//!     "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
+//! ).unwrap();
+//!
+//! let before = db.snapshot();           // O(1) read view
+//! db.apply(&raise).unwrap();            // compiled once, run now
+//! assert_eq!(db.current().lookup1(ruvo_term::oid("henry"), "sal"), vec![ruvo_term::int(275)]);
+//! assert_eq!(before.lookup1(ruvo_term::oid("henry"), "sal"), vec![ruvo_term::int(250)]);
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use ruvo_lang::{LangError, ParseError, Program, SafetyError, ValidateError};
+use ruvo_obase::{LinearityViolation, ObjectBase, Snapshot, SnapshotError};
+
+use crate::engine::{CompiledProgram, CyclePolicy, EngineConfig, Outcome, TraceLevel};
+use crate::error::EvalError;
+use crate::session::{SavepointId, Session, SessionError, Txn};
+use crate::stratify::{Stratification, StratifyError};
+
+// ----- unified error -------------------------------------------------
+
+/// Stable, coarse classification of [`Error`]s — match on this when
+/// the reaction matters more than the details.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Program or object-base text did not lex/parse.
+    Parse,
+    /// A rule violates the structural restrictions of §2.1/§3.
+    Validate,
+    /// A rule is unsafe (not range-restricted).
+    Safety,
+    /// No stratification satisfying §4 (a)–(d) exists.
+    Stratify,
+    /// §5's version-linearity check rejected the result.
+    Linearity,
+    /// A fixpoint loop exceeded the configured round budget.
+    RoundLimit,
+    /// Runtime stability checking found an order-dependent result.
+    Unstable,
+    /// A rollback target does not exist (or was invalidated).
+    UnknownSavepoint,
+    /// A binary snapshot could not be decoded.
+    Snapshot,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Validate => "validate",
+            ErrorKind::Safety => "safety",
+            ErrorKind::Stratify => "stratify",
+            ErrorKind::Linearity => "linearity",
+            ErrorKind::RoundLimit => "round-limit",
+            ErrorKind::Unstable => "unstable",
+            ErrorKind::UnknownSavepoint => "unknown-savepoint",
+            ErrorKind::Snapshot => "snapshot",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Any failure the `ruvo` facade can report, unifying the per-layer
+/// errors (`LangError`, `StratifyError`, `EvalError`, `SessionError`,
+/// `SnapshotError`) behind one type with a stable [`ErrorKind`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Structural validation failed.
+    Validate(ValidateError),
+    /// Safety analysis failed.
+    Safety(SafetyError),
+    /// Stratification failed (§4).
+    Stratify(StratifyError),
+    /// The result is not version-linear (§5).
+    Linearity(LinearityViolation),
+    /// A stratum exceeded the round budget.
+    RoundLimit {
+        /// Stratum index that overran.
+        stratum: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+    /// Runtime stability checking rejected the run.
+    Unstable {
+        /// Stratum in which the instability surfaced.
+        stratum: usize,
+        /// Round in which the update stopped firing.
+        round: usize,
+        /// Display form of the no-longer-fired update.
+        update: String,
+    },
+    /// Rollback target does not exist (or was invalidated).
+    UnknownSavepoint(SavepointId),
+    /// A binary snapshot could not be decoded.
+    Snapshot(SnapshotError),
+}
+
+impl Error {
+    /// The stable classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Parse(_) => ErrorKind::Parse,
+            Error::Validate(_) => ErrorKind::Validate,
+            Error::Safety(_) => ErrorKind::Safety,
+            Error::Stratify(_) => ErrorKind::Stratify,
+            Error::Linearity(_) => ErrorKind::Linearity,
+            Error::RoundLimit { .. } => ErrorKind::RoundLimit,
+            Error::Unstable { .. } => ErrorKind::Unstable,
+            Error::UnknownSavepoint(_) => ErrorKind::UnknownSavepoint,
+            Error::Snapshot(_) => ErrorKind::Snapshot,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => e.fmt(f),
+            Error::Validate(e) => e.fmt(f),
+            Error::Safety(e) => e.fmt(f),
+            Error::Stratify(e) => e.fmt(f),
+            Error::Linearity(e) => e.fmt(f),
+            Error::RoundLimit { .. } | Error::Unstable { .. } => self.as_eval().fmt(f),
+            Error::UnknownSavepoint(id) => SessionError::UnknownSavepoint(*id).fmt(f),
+            Error::Snapshot(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Reconstruct the equivalent [`EvalError`] for the evaluation
+    /// variants (used by `Display` to keep one message source).
+    fn as_eval(&self) -> EvalError {
+        match self {
+            Error::RoundLimit { stratum, limit } => {
+                EvalError::RoundLimit { stratum: *stratum, limit: *limit }
+            }
+            Error::Unstable { stratum, round, update } => {
+                EvalError::Unstable { stratum: *stratum, round: *round, update: update.clone() }
+            }
+            _ => unreachable!("as_eval is only called for evaluation variants"),
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+impl From<LangError> for Error {
+    fn from(e: LangError) -> Error {
+        match e {
+            LangError::Parse(e) => Error::Parse(e),
+            LangError::Validate(e) => Error::Validate(e),
+            LangError::Safety(e) => Error::Safety(e),
+        }
+    }
+}
+
+impl From<StratifyError> for Error {
+    fn from(e: StratifyError) -> Error {
+        Error::Stratify(e)
+    }
+}
+
+impl From<LinearityViolation> for Error {
+    fn from(e: LinearityViolation) -> Error {
+        Error::Linearity(e)
+    }
+}
+
+impl From<EvalError> for Error {
+    fn from(e: EvalError) -> Error {
+        match e {
+            EvalError::NotStratifiable(e) => Error::Stratify(e),
+            EvalError::Linearity(v) => Error::Linearity(v),
+            EvalError::RoundLimit { stratum, limit } => Error::RoundLimit { stratum, limit },
+            EvalError::Unstable { stratum, round, update } => {
+                Error::Unstable { stratum, round, update }
+            }
+        }
+    }
+}
+
+impl From<SessionError> for Error {
+    fn from(e: SessionError) -> Error {
+        match e {
+            SessionError::Lang(e) => e.into(),
+            SessionError::Eval(e) => e.into(),
+            SessionError::UnknownSavepoint(id) => Error::UnknownSavepoint(id),
+        }
+    }
+}
+
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Error {
+        Error::Snapshot(e)
+    }
+}
+
+// ----- prepared programs ---------------------------------------------
+
+/// A compiled update-program: parsed, validated, safety-checked and
+/// stratified exactly once, reusable across any number of
+/// [`Database::apply`] calls (and across databases — a `Prepared` is
+/// not tied to the handle that built it, only to the
+/// [`CyclePolicy`] it was compiled under).
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    compiled: Arc<CompiledProgram>,
+}
+
+impl Prepared {
+    /// Compile `program` under `cycles` (standalone entry point; most
+    /// callers use [`Database::prepare`]).
+    pub fn compile(program: Program, cycles: CyclePolicy) -> Result<Prepared, Error> {
+        let compiled = CompiledProgram::compile(program, cycles)?;
+        Ok(Prepared { compiled: Arc::new(compiled) })
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        self.compiled.program()
+    }
+
+    /// The stratification computed at compile time.
+    pub fn stratification(&self) -> &Stratification {
+        self.compiled.stratification()
+    }
+
+    /// The cycle policy the program was compiled under.
+    pub fn cycle_policy(&self) -> CyclePolicy {
+        self.compiled.cycle_policy()
+    }
+
+    pub(crate) fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+}
+
+// ----- builder -------------------------------------------------------
+
+/// Configures and opens a [`Database`] (see [`Database::builder`]).
+#[derive(Clone, Debug, Default)]
+pub struct DatabaseBuilder {
+    config: EngineConfig,
+}
+
+impl DatabaseBuilder {
+    /// Handling of statically non-stratifiable programs (also fixes
+    /// the policy [`Database::prepare`] compiles under).
+    pub fn cycle_policy(mut self, policy: CyclePolicy) -> Self {
+        self.config.cycles = policy;
+        self
+    }
+
+    /// Trace detail recorded per transaction.
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.config.trace = level;
+        self
+    }
+
+    /// §5 runtime version-linearity check (default on).
+    pub fn check_linearity(mut self, on: bool) -> Self {
+        self.config.check_linearity = on;
+        self
+    }
+
+    /// Rule-level delta filtering (default on).
+    pub fn delta_filtering(mut self, on: bool) -> Self {
+        self.config.delta_filtering = on;
+        self
+    }
+
+    /// Evaluate the rules of a round on multiple threads.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.config.parallel = on;
+        self
+    }
+
+    /// Safety valve for the per-stratum fixpoint loop.
+    pub fn max_rounds_per_stratum(mut self, limit: usize) -> Self {
+        self.config.max_rounds_per_stratum = limit;
+        self
+    }
+
+    /// Verify firing stability on every stratum (diagnostic).
+    pub fn verify_stability(mut self, on: bool) -> Self {
+        self.config.verify_stability = on;
+        self
+    }
+
+    /// Replace the whole configuration at once.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Open a database over `ob` with this configuration.
+    pub fn open(self, ob: ObjectBase) -> Database {
+        Database { session: Session::new(ob).with_config(self.config) }
+    }
+
+    /// Parse object-base text and open a database over it.
+    pub fn open_src(self, src: &str) -> Result<Database, Error> {
+        let ob = ObjectBase::parse(src)?;
+        Ok(self.open(ob))
+    }
+}
+
+// ----- database ------------------------------------------------------
+
+/// A persistent handle over an evolving object base.
+///
+/// See the [module docs](self) for the model. All mutating operations
+/// are transactional: on any error the committed state is untouched.
+#[derive(Clone, Debug)]
+pub struct Database {
+    session: Session,
+}
+
+impl Database {
+    /// Open a database over `ob` with the default configuration.
+    pub fn open(ob: ObjectBase) -> Database {
+        Database::builder().open(ob)
+    }
+
+    /// Parse object-base text and open a database over it.
+    pub fn open_src(src: &str) -> Result<Database, Error> {
+        Database::builder().open_src(src)
+    }
+
+    /// Load a database from a binary snapshot produced by
+    /// [`ruvo_obase::snapshot::write`] (or [`Snapshot::to_bytes`]).
+    pub fn open_bytes(data: &[u8]) -> Result<Database, Error> {
+        let ob = ruvo_obase::snapshot::read(data)?;
+        Ok(Database::open(ob))
+    }
+
+    /// Start configuring a database.
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::default()
+    }
+
+    /// The engine configuration transactions run under.
+    pub fn config(&self) -> &EngineConfig {
+        self.session.config()
+    }
+
+    // ----- preparing and applying programs ---------------------------
+
+    /// Parse, validate, safety-check and stratify program text
+    /// **once**, returning a handle that [`Database::apply`] can run
+    /// any number of times with none of that work repeated.
+    pub fn prepare(&self, src: &str) -> Result<Prepared, Error> {
+        let program = Program::parse(src)?;
+        self.prepare_program(program)
+    }
+
+    /// [`Database::prepare`] for an already-parsed program.
+    pub fn prepare_program(&self, program: Program) -> Result<Prepared, Error> {
+        Prepared::compile(program, self.config().cycles)
+    }
+
+    /// Run a prepared program as one transaction: on success the
+    /// committed base becomes the program's `ob′` and the transaction
+    /// is logged; on any error the database is untouched.
+    ///
+    /// The evaluation's working copy shares every version state with
+    /// the committed base (copy-on-write) and pays only for the states
+    /// the update process actually touches.
+    pub fn apply(&mut self, prepared: &Prepared) -> Result<&Txn, Error> {
+        Ok(self.session.apply_compiled(prepared.compiled())?)
+    }
+
+    /// Prepare and apply program text in one step (no compilation
+    /// reuse — prefer [`Database::prepare`] + [`Database::apply`] for
+    /// repeated application).
+    pub fn apply_src(&mut self, src: &str) -> Result<&Txn, Error> {
+        let prepared = self.prepare(src)?;
+        self.apply(&prepared)
+    }
+
+    /// [`Database::apply_src`] for an already-parsed program.
+    pub fn apply_program(&mut self, program: Program) -> Result<&Txn, Error> {
+        let prepared = self.prepare_program(program)?;
+        self.apply(&prepared)
+    }
+
+    /// Evaluate a prepared program against the committed base
+    /// **without committing**: a dry run. The full [`Outcome`]
+    /// (including `result(P)` with every version, traces and stats)
+    /// is returned and the database is unchanged — even for results
+    /// that would fail the §5 commit gate, which makes this the way
+    /// to inspect non-version-linear results under
+    /// [`DatabaseBuilder::check_linearity`]`(false)`.
+    pub fn evaluate(&self, prepared: &Prepared) -> Result<Outcome, Error> {
+        let mut work = self.session.current().clone();
+        work.ensure_exists();
+        Ok(crate::engine::run_compiled(prepared.compiled(), self.session.config(), work)?)
+    }
+
+    // ----- transactions ----------------------------------------------
+
+    /// Run several applications as one atomic unit: if `f` returns
+    /// `Ok`, everything it applied stays committed; if it returns
+    /// `Err`, the database rolls back to the state at entry.
+    ///
+    /// ```
+    /// use ruvo_core::Database;
+    ///
+    /// let mut db = Database::open_src("acct.balance -> 100.").unwrap();
+    /// let credit = db.prepare(
+    ///     "mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 50.",
+    /// ).unwrap();
+    /// let err = db.transact(|txn| {
+    ///     txn.apply(&credit)?;
+    ///     txn.apply_src("this does not parse")?;
+    ///     Ok(())
+    /// });
+    /// assert!(err.is_err());
+    /// // The successful credit was rolled back with the failure.
+    /// assert_eq!(
+    ///     db.current().lookup1(ruvo_term::oid("acct"), "balance"),
+    ///     vec![ruvo_term::int(100)],
+    /// );
+    /// ```
+    pub fn transact<T>(
+        &mut self,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<T, Error>,
+    ) -> Result<T, Error> {
+        let guard = self.session.savepoint();
+        let mut txn = Transaction { db: self };
+        match f(&mut txn) {
+            Ok(value) => {
+                self.session.release(guard);
+                Ok(value)
+            }
+            Err(e) => {
+                self.session.rollback_to(guard).expect("transact guard savepoint is always valid");
+                self.session.release(guard);
+                Err(e)
+            }
+        }
+    }
+
+    // ----- reads -----------------------------------------------------
+
+    /// The committed object base.
+    pub fn current(&self) -> &ObjectBase {
+        self.session.current()
+    }
+
+    /// An O(1) point-in-time read view of the committed state; stays
+    /// stable (and cheap) while this database keeps committing.
+    pub fn snapshot(&self) -> Snapshot {
+        self.session.snapshot()
+    }
+
+    /// Committed transactions, oldest first (each keeps its full
+    /// `result(P)` version history and statistics).
+    pub fn log(&self) -> &[Txn] {
+        self.session.log()
+    }
+
+    /// Number of committed transactions.
+    pub fn len(&self) -> usize {
+        self.session.len()
+    }
+
+    /// True if no transaction has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.session.is_empty()
+    }
+
+    /// The underlying session (log, savepoints and engine config).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    // ----- savepoints ------------------------------------------------
+
+    /// Record an O(1) rollback point capturing the committed state.
+    pub fn savepoint(&mut self) -> SavepointId {
+        self.session.savepoint()
+    }
+
+    /// Restore the committed state and transaction log to `savepoint`
+    /// (later savepoints are invalidated; the target stays valid).
+    pub fn rollback_to(&mut self, savepoint: SavepointId) -> Result<(), Error> {
+        Ok(self.session.rollback_to(savepoint)?)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::open(ObjectBase::new())
+    }
+}
+
+/// The handle [`Database::transact`] passes to its closure: the same
+/// apply surface, minus nested transactions and savepoint management.
+pub struct Transaction<'db> {
+    db: &'db mut Database,
+}
+
+impl Transaction<'_> {
+    /// Apply a prepared program (see [`Database::apply`]).
+    pub fn apply(&mut self, prepared: &Prepared) -> Result<(), Error> {
+        self.db.apply(prepared).map(|_| ())
+    }
+
+    /// Prepare and apply program text (see [`Database::apply_src`]).
+    pub fn apply_src(&mut self, src: &str) -> Result<(), Error> {
+        self.db.apply_src(src).map(|_| ())
+    }
+
+    /// Apply an already-parsed program.
+    pub fn apply_program(&mut self, program: Program) -> Result<(), Error> {
+        self.db.apply_program(program).map(|_| ())
+    }
+
+    /// The state as of the latest application inside this transaction.
+    pub fn current(&self) -> &ObjectBase {
+        self.db.current()
+    }
+
+    /// Transactions committed so far, including ones from this block.
+    pub fn log(&self) -> &[Txn] {
+        self.db.log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::{int, oid};
+
+    const BASE: &str = "henry.isa -> empl. henry.sal -> 250. mary.isa -> empl. mary.sal -> 300.";
+    const RAISE: &str = "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.";
+
+    #[test]
+    fn prepare_once_apply_many() {
+        let mut db = Database::open_src(BASE).unwrap();
+        let raise = db.prepare(RAISE).unwrap();
+        assert_eq!(raise.stratification().strata.len(), 1);
+        db.apply(&raise).unwrap();
+        assert_eq!(db.current().lookup1(oid("henry"), "sal"), vec![int(275)]);
+        // Same handle, next state: 275 * 1.1 = 302.5 — the committed
+        // base is flat, so the rule matches the initial version again.
+        db.apply(&raise).unwrap();
+        assert_eq!(db.current().lookup1(oid("henry"), "sal"), vec![ruvo_term::num(302.5)]);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn snapshots_are_stable_across_commits() {
+        let mut db = Database::open_src(BASE).unwrap();
+        let raise = db.prepare(RAISE).unwrap();
+        let before = db.snapshot();
+        db.apply(&raise).unwrap();
+        let after = db.snapshot();
+        assert_eq!(before.lookup1(oid("henry"), "sal"), vec![int(250)]);
+        assert_eq!(after.lookup1(oid("henry"), "sal"), vec![int(275)]);
+        db.apply(&raise).unwrap();
+        assert_eq!(before.lookup1(oid("henry"), "sal"), vec![int(250)]);
+        assert_eq!(after.lookup1(oid("henry"), "sal"), vec![int(275)]);
+    }
+
+    #[test]
+    fn failed_apply_leaves_database_untouched() {
+        let mut db = Database::open_src(BASE).unwrap();
+        let before = db.snapshot();
+        let err = db.apply_src("no parse").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+        assert_eq!(db.current(), before.object_base());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn transact_commits_all_or_nothing() {
+        let mut db = Database::open_src("acct.balance -> 100.").unwrap();
+        let credit =
+            db.prepare("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 50.").unwrap();
+        let total = db
+            .transact(|txn| {
+                txn.apply(&credit)?;
+                txn.apply(&credit)?;
+                Ok(txn.current().lookup1(oid("acct"), "balance"))
+            })
+            .unwrap();
+        assert_eq!(total, vec![int(200)]);
+        assert_eq!(db.len(), 2);
+
+        let err = db.transact(|txn| {
+            txn.apply(&credit)?;
+            txn.apply_src("exists is reserved: ins[x].exists -> x.")?;
+            Ok(())
+        });
+        assert!(err.is_err());
+        assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(200)]);
+        assert_eq!(db.len(), 2, "rolled-back applications must not be logged");
+    }
+
+    #[test]
+    fn savepoint_roundtrip_through_database() {
+        let mut db = Database::open_src(BASE).unwrap();
+        let sp = db.savepoint();
+        db.apply_src("del[henry].* .").unwrap();
+        assert!(db.current().lookup1(oid("henry"), "sal").is_empty());
+        db.rollback_to(sp).unwrap();
+        assert_eq!(db.current().lookup1(oid("henry"), "sal"), vec![int(250)]);
+        // Applying after a rollback works (the work cache rebuilds).
+        let raise = db.prepare(RAISE).unwrap();
+        db.apply(&raise).unwrap();
+        assert_eq!(db.current().lookup1(oid("henry"), "sal"), vec![int(275)]);
+    }
+
+    #[test]
+    fn error_kinds_are_stable() {
+        let db = Database::open(ObjectBase::new());
+        let cases: Vec<(Result<Prepared, Error>, ErrorKind)> = vec![
+            (db.prepare("not a program"), ErrorKind::Parse),
+            (db.prepare("ins[x].exists -> x."), ErrorKind::Validate),
+            (db.prepare("ins[X].p -> Y <= X.q -> 1."), ErrorKind::Safety),
+            (
+                // Condition (c) cycle: the rule negates an update-term
+                // its own head can derive.
+                db.prepare("ins[X].p -> 1 <= X.q -> 1 & not ins(X).p -> 1."),
+                ErrorKind::Stratify,
+            ),
+        ];
+        for (result, kind) in cases {
+            let err = result.unwrap_err();
+            assert_eq!(err.kind(), kind, "error: {err}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn builder_config_is_respected() {
+        let mut db = Database::builder()
+            .max_rounds_per_stratum(1)
+            .trace(TraceLevel::Rounds)
+            .open_src("a.p -> 1.")
+            .unwrap();
+        let err = db
+            .apply_src("r1: ins[a].x -> 1 <= a.p -> 1. r2: ins[a].y -> 1 <= ins(a).x -> 1.")
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::RoundLimit);
+
+        let mut dynamic = Database::builder()
+            .cycle_policy(CyclePolicy::RuntimeStability)
+            .open_src("a.m -> 1. a.trigger -> 1.")
+            .unwrap();
+        // Statically rejected under the default policy, accepted here.
+        let cyclic = "
+            r1: del[ins(X)].m -> 1 <= ins(X).m -> 1 & ins(X).go -> 1.
+            r2: ins[X].go -> 1 <= X.trigger -> 1 & not del[ins(X)].m -> 9.
+        ";
+        assert_eq!(
+            Database::open(ObjectBase::new()).prepare(cyclic).unwrap_err().kind(),
+            ErrorKind::Stratify
+        );
+        let prepared = dynamic.prepare(cyclic).unwrap();
+        dynamic.apply(&prepared).unwrap();
+        assert_eq!(dynamic.current().lookup1(oid("a"), "go"), vec![int(1)]);
+    }
+
+    #[test]
+    fn evaluate_is_a_dry_run() {
+        let db = Database::open_src(BASE).unwrap();
+        let raise = db.prepare(RAISE).unwrap();
+        let outcome = db.evaluate(&raise).unwrap();
+        // The full result is visible, the database unchanged.
+        assert_eq!(outcome.new_object_base().lookup1(oid("henry"), "sal"), vec![int(275)]);
+        assert_eq!(db.current().lookup1(oid("henry"), "sal"), vec![int(250)]);
+        assert!(db.is_empty());
+        // With the §5 check off, evaluate exposes non-linear results
+        // that apply would refuse to commit.
+        let mut loose = Database::builder().check_linearity(false).open_src("o.m -> a.").unwrap();
+        let branchy =
+            loose.prepare("mod[o].m -> (a, b) <= o.m -> a. del[o].m -> a <= o.m -> a.").unwrap();
+        let outcome = loose.evaluate(&branchy).unwrap();
+        assert!(outcome.try_new_object_base().is_err(), "result is non-linear");
+        assert!(!outcome.result().is_empty(), "result(P) is still inspectable");
+        assert_eq!(loose.apply(&branchy).unwrap_err().kind(), ErrorKind::Linearity);
+    }
+
+    #[test]
+    fn prepared_is_reusable_across_databases() {
+        let raise =
+            Prepared::compile(ruvo_lang::Program::parse(RAISE).unwrap(), CyclePolicy::Reject)
+                .unwrap();
+        for base in [BASE, "solo.isa -> empl. solo.sal -> 100."] {
+            let mut db = Database::open_src(base).unwrap();
+            db.apply(&raise).unwrap();
+        }
+    }
+}

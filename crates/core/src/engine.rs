@@ -105,6 +105,77 @@ impl Default for EngineConfig {
     }
 }
 
+/// A program with every run-independent analysis done once: the §4
+/// stratification (under a fixed [`CyclePolicy`]) and the per-rule
+/// delta-filter triggers.
+///
+/// This is the compiled artifact behind [`crate::Prepared`]: build it
+/// once with [`CompiledProgram::compile`], then evaluate it any number
+/// of times with [`run_compiled`] without re-parsing, re-validating or
+/// re-stratifying. [`UpdateEngine::run`] compiles on every call; the
+/// [`crate::Database`] facade amortizes compilation across
+/// applications.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    program: Program,
+    analysis: Analysis,
+    cycles: CyclePolicy,
+}
+
+/// The run-independent analysis of a program: stratification, per-
+/// stratum runtime-check flags, and per-rule delta-filter triggers.
+#[derive(Clone, Debug)]
+struct Analysis {
+    stratification: Stratification,
+    risky: Vec<bool>,
+    triggers: Vec<Option<FastHashSet<(Chain, Symbol)>>>,
+}
+
+impl Analysis {
+    fn of(program: &Program, cycles: CyclePolicy) -> Result<Analysis, StratifyError> {
+        let (stratification, risky) = match cycles {
+            CyclePolicy::Reject => {
+                let s = stratify(program)?;
+                let n = s.strata.len();
+                (s, vec![false; n])
+            }
+            CyclePolicy::RuntimeStability => {
+                let relaxed = stratify_relaxed(program);
+                (relaxed.stratification, relaxed.needs_runtime_check)
+            }
+        };
+        let triggers = program.rules.iter().map(rule_triggers).collect();
+        Ok(Analysis { stratification, risky, triggers })
+    }
+}
+
+impl CompiledProgram {
+    /// Stratify `program` under `cycles` and precompute the rule
+    /// triggers. Fails exactly when [`UpdateEngine::stratify`] would.
+    pub fn compile(
+        program: Program,
+        cycles: CyclePolicy,
+    ) -> Result<CompiledProgram, StratifyError> {
+        let analysis = Analysis::of(&program, cycles)?;
+        Ok(CompiledProgram { program, analysis, cycles })
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The stratification computed at compile time.
+    pub fn stratification(&self) -> &Stratification {
+        &self.analysis.stratification
+    }
+
+    /// The cycle policy the program was compiled under.
+    pub fn cycle_policy(&self) -> CyclePolicy {
+        self.cycles
+    }
+}
+
 /// The update-program interpreter.
 ///
 /// ```
@@ -172,180 +243,229 @@ impl UpdateEngine {
     /// carry its `exists` fact (see [`ObjectBase::ensure_exists`]).
     /// This is the zero-copy entry point for benchmarks that account
     /// for preparation separately.
+    ///
+    /// Analyzes (stratifies) the program on every call; use
+    /// [`CompiledProgram::compile`] + [`run_compiled`] (or the
+    /// [`crate::Database`] facade) to amortize that work.
     pub fn run_prepared(&self, work: ObjectBase) -> Result<Outcome, EvalError> {
-        let started = Instant::now();
-        let (stratification, risky) = match self.config.cycles {
-            CyclePolicy::Reject => {
-                let s = stratify(&self.program)?;
-                let n = s.strata.len();
-                (s, vec![false; n])
-            }
-            CyclePolicy::RuntimeStability => {
-                let relaxed = stratify_relaxed(&self.program);
-                (relaxed.stratification, relaxed.needs_runtime_check)
-            }
-        };
-        let mut work = work;
+        let analysis = Analysis::of(&self.program, self.config.cycles)?;
+        run_analyzed(&self.program, analysis, &self.config, work)
+    }
+}
 
-        let mut tracker = self.config.check_linearity.then(LinearityTracker::new);
-        let mut stats = EvalStats::default();
-        let mut stratum_traces = Vec::new();
-        let mut round_traces = Vec::new();
-        let triggers: Vec<Option<FastHashSet<(Chain, Symbol)>>> =
-            self.program.rules.iter().map(rule_triggers).collect();
+/// Evaluate a [`CompiledProgram`] on a prepared object base (every
+/// version must carry its `exists` fact; see
+/// [`ObjectBase::ensure_exists`]). Performs **no** parsing,
+/// validation or stratification — all of that happened at compile
+/// time. `config.cycles` is ignored in favor of the policy the
+/// program was compiled under.
+pub fn run_compiled(
+    compiled: &CompiledProgram,
+    config: &EngineConfig,
+    work: ObjectBase,
+) -> Result<Outcome, EvalError> {
+    // Only the (small) stratification is cloned per run, because the
+    // reusable CompiledProgram keeps its copy; the rule triggers are
+    // borrowed throughout.
+    run_loop(&compiled.program, &compiled.analysis, config, work)
+        .map(|parts| parts.into_outcome(compiled.analysis.stratification.clone()))
+}
 
-        for (si, stratum) in stratification.strata.iter().enumerate() {
-            // Flagged strata (and all strata under `verify_stability`)
-            // re-evaluate every rule each round and verify that fired
-            // updates keep firing.
-            let checked = self.config.verify_stability || risky[si];
-            let mut fired = FiredSet::new();
-            // Accumulated fired updates per created version: §3's step 3
-            // applies the *full* `T¹` to each relevant version's copy,
-            // so chained modifies on one version (`(a,b)` then `(b,c)`)
-            // keep every to-value regardless of firing round.
-            let mut by_version: FastHashMap<Vid, Vec<Fired>> = FastHashMap::default();
-            // `None` marks the first round: evaluate everything.
-            let mut changed: Option<FastHashSet<(Chain, Symbol)>> = None;
-            let mut round = 0usize;
-            loop {
-                round += 1;
-                if round > self.config.max_rounds_per_stratum {
-                    return Err(EvalError::RoundLimit {
-                        stratum: si,
-                        limit: self.config.max_rounds_per_stratum,
-                    });
-                }
-                let to_eval: Vec<usize> = stratum
-                    .iter()
-                    .copied()
-                    .filter(|&r| match &changed {
-                        None => true,
-                        Some(ch) => {
-                            checked
-                                || !self.config.delta_filtering
-                                || match &triggers[r] {
-                                    None => true,
-                                    Some(ts) => ts.iter().any(|t| ch.contains(t)),
-                                }
-                        }
-                    })
-                    .collect();
-                stats.rule_evaluations += to_eval.len();
-                stats.rule_evaluations_skipped += stratum.len() - to_eval.len();
+/// Like [`run_compiled`] for a freshly computed [`Analysis`] that can
+/// be consumed: the one-shot path, with no per-run clones at all.
+fn run_analyzed(
+    program: &Program,
+    analysis: Analysis,
+    config: &EngineConfig,
+    work: ObjectBase,
+) -> Result<Outcome, EvalError> {
+    run_loop(program, &analysis, config, work)
+        .map(|parts| parts.into_outcome(analysis.stratification))
+}
 
-                let new_fired = self.collect_round(&work, &to_eval);
-                if checked && round > 1 {
-                    // Stability: T¹ w.r.t. the current interpretation
-                    // must still contain every previously fired update.
-                    let current: FastHashSet<&Fired> = new_fired.iter().collect();
-                    if let Some(lost) = fired.iter().find(|f| !current.contains(f)) {
-                        return Err(EvalError::Unstable {
-                            stratum: si,
-                            round,
-                            update: lost.to_string(),
-                        });
-                    }
-                }
-                let delta: Vec<Fired> =
-                    new_fired.into_iter().filter(|f| fired.insert(f.clone())).collect();
+/// Everything [`run_loop`] produces except the stratification (which
+/// the callers own or clone as appropriate).
+struct OutcomeParts {
+    result: ObjectBase,
+    stats: EvalStats,
+    stratum_traces: Vec<StratumTrace>,
+    round_traces: Vec<RoundTrace>,
+    finals: Option<LinearityTracker>,
+}
 
-                if self.config.trace >= TraceLevel::Rounds {
-                    round_traces.push(RoundTrace {
-                        stratum: si,
-                        round,
-                        evaluated: to_eval.clone(),
-                        new_fired: delta.len(),
-                        touched: 0, // patched below if updates applied
-                    });
-                }
-                stats.rounds += 1;
-                if delta.is_empty() {
-                    break;
-                }
-                // Re-apply the full accumulated update set of every
-                // version the delta touches (idempotent for ins/del,
-                // required for mod chains; see module docs).
-                let mut affected: FastHashSet<Vid> = FastHashSet::default();
-                for f in delta {
-                    let created = f.created();
-                    affected.insert(created);
-                    by_version.entry(created).or_default().push(f);
-                }
-                let apply_list: Vec<Fired> = affected
-                    .iter()
-                    .flat_map(|v| by_version[v].iter().cloned())
-                    .collect();
-                let report = tp::apply_updates(&mut work, &apply_list);
-                if let Some(rt) = round_traces.last_mut() {
-                    rt.touched = report.touched.len();
-                }
-                stats.versions_created += report.created.len();
-                stats.facts_copied += report.facts_copied;
-                if let Some(tr) = &mut tracker {
-                    for &v in &report.touched {
-                        tr.record(v)?;
-                    }
-                }
-                changed = Some(report.changed);
-            }
-            stats.fired_updates += fired.len();
-            if self.config.trace >= TraceLevel::Strata {
-                stratum_traces.push(StratumTrace {
+impl OutcomeParts {
+    fn into_outcome(self, stratification: Stratification) -> Outcome {
+        Outcome {
+            result: self.result,
+            stratification,
+            stats: self.stats,
+            stratum_traces: self.stratum_traces,
+            round_traces: self.round_traces,
+            finals: self.finals,
+        }
+    }
+}
+
+/// The stratum-by-stratum fixpoint evaluation shared by every entry
+/// point.
+fn run_loop(
+    program: &Program,
+    analysis: &Analysis,
+    config: &EngineConfig,
+    mut work: ObjectBase,
+) -> Result<OutcomeParts, EvalError> {
+    let started = Instant::now();
+    let Analysis { stratification, risky, triggers } = analysis;
+
+    let mut tracker = config.check_linearity.then(LinearityTracker::new);
+    let mut stats = EvalStats::default();
+    let mut stratum_traces = Vec::new();
+    let mut round_traces = Vec::new();
+
+    for (si, stratum) in stratification.strata.iter().enumerate() {
+        // Flagged strata (and all strata under `verify_stability`)
+        // re-evaluate every rule each round and verify that fired
+        // updates keep firing.
+        let checked = config.verify_stability || risky[si];
+        let mut fired = FiredSet::new();
+        // Accumulated fired updates per created version: §3's step 3
+        // applies the *full* `T¹` to each relevant version's copy,
+        // so chained modifies on one version (`(a,b)` then `(b,c)`)
+        // keep every to-value regardless of firing round.
+        let mut by_version: FastHashMap<Vid, Vec<Fired>> = FastHashMap::default();
+        // `None` marks the first round: evaluate everything.
+        let mut changed: Option<FastHashSet<(Chain, Symbol)>> = None;
+        let mut round = 0usize;
+        loop {
+            round += 1;
+            if round > config.max_rounds_per_stratum {
+                return Err(EvalError::RoundLimit {
                     stratum: si,
-                    rules: stratum.clone(),
-                    rounds: round,
-                    fired: fired.len(),
+                    limit: config.max_rounds_per_stratum,
                 });
             }
-        }
-
-        stats.strata = stratification.strata.len();
-        stats.elapsed = started.elapsed();
-        Ok(Outcome {
-            result: work,
-            stratification,
-            stats,
-            stratum_traces,
-            round_traces,
-            finals: tracker,
-        })
-    }
-
-    /// Step 1 of `T_P` over a set of rules, optionally in parallel.
-    fn collect_round(&self, ob: &ObjectBase, to_eval: &[usize]) -> Vec<Fired> {
-        if !self.config.parallel || to_eval.len() < 2 {
-            let mut out = Vec::new();
-            for &r in to_eval {
-                tp::collect_rule(ob, &self.program.rules[r], &mut out);
-            }
-            return out;
-        }
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2)
-            .min(to_eval.len());
-        let chunks: Vec<&[usize]> = to_eval.chunks(to_eval.len().div_ceil(workers)).collect();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        let mut local = Vec::new();
-                        for &r in chunk {
-                            tp::collect_rule(ob, &self.program.rules[r], &mut local);
-                        }
-                        local
-                    })
+            let to_eval: Vec<usize> = stratum
+                .iter()
+                .copied()
+                .filter(|&r| match &changed {
+                    None => true,
+                    Some(ch) => {
+                        checked
+                            || !config.delta_filtering
+                            || match &triggers[r] {
+                                None => true,
+                                Some(ts) => ts.iter().any(|t| ch.contains(t)),
+                            }
+                    }
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("rule evaluation worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed")
+            stats.rule_evaluations += to_eval.len();
+            stats.rule_evaluations_skipped += stratum.len() - to_eval.len();
+
+            let new_fired = collect_round(program, config, &work, &to_eval);
+            if checked && round > 1 {
+                // Stability: T¹ w.r.t. the current interpretation
+                // must still contain every previously fired update.
+                let current: FastHashSet<&Fired> = new_fired.iter().collect();
+                if let Some(lost) = fired.iter().find(|f| !current.contains(f)) {
+                    return Err(EvalError::Unstable {
+                        stratum: si,
+                        round,
+                        update: lost.to_string(),
+                    });
+                }
+            }
+            let delta: Vec<Fired> =
+                new_fired.into_iter().filter(|f| fired.insert(f.clone())).collect();
+
+            if config.trace >= TraceLevel::Rounds {
+                round_traces.push(RoundTrace {
+                    stratum: si,
+                    round,
+                    evaluated: to_eval.clone(),
+                    new_fired: delta.len(),
+                    touched: 0, // patched below if updates applied
+                });
+            }
+            stats.rounds += 1;
+            if delta.is_empty() {
+                break;
+            }
+            // Re-apply the full accumulated update set of every
+            // version the delta touches (idempotent for ins/del,
+            // required for mod chains; see module docs).
+            let mut affected: FastHashSet<Vid> = FastHashSet::default();
+            for f in delta {
+                let created = f.created();
+                affected.insert(created);
+                by_version.entry(created).or_default().push(f);
+            }
+            let apply_list: Vec<Fired> =
+                affected.iter().flat_map(|v| by_version[v].iter().cloned()).collect();
+            let report = tp::apply_updates(&mut work, &apply_list);
+            if let Some(rt) = round_traces.last_mut() {
+                rt.touched = report.touched.len();
+            }
+            stats.versions_created += report.created.len();
+            stats.facts_copied += report.facts_copied;
+            if let Some(tr) = &mut tracker {
+                for &v in &report.touched {
+                    tr.record(v)?;
+                }
+            }
+            changed = Some(report.changed);
+        }
+        stats.fired_updates += fired.len();
+        if config.trace >= TraceLevel::Strata {
+            stratum_traces.push(StratumTrace {
+                stratum: si,
+                rules: stratum.clone(),
+                rounds: round,
+                fired: fired.len(),
+            });
+        }
     }
+
+    stats.strata = stratification.strata.len();
+    stats.elapsed = started.elapsed();
+    Ok(OutcomeParts { result: work, stats, stratum_traces, round_traces, finals: tracker })
+}
+
+/// Step 1 of `T_P` over a set of rules, optionally in parallel.
+fn collect_round(
+    program: &Program,
+    config: &EngineConfig,
+    ob: &ObjectBase,
+    to_eval: &[usize],
+) -> Vec<Fired> {
+    if !config.parallel || to_eval.len() < 2 {
+        let mut out = Vec::new();
+        for &r in to_eval {
+            tp::collect_rule(ob, &program.rules[r], &mut out);
+        }
+        return out;
+    }
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(to_eval.len());
+    let chunks: Vec<&[usize]> = to_eval.chunks(to_eval.len().div_ceil(workers)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for &r in chunk {
+                        tp::collect_rule(ob, &program.rules[r], &mut local);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rule evaluation worker panicked"))
+            .collect()
+    })
 }
 
 /// The `(chain, method)` relations a rule's positive body literals can
@@ -821,7 +941,10 @@ mod tests {
 
     #[test]
     fn new_object_creation() {
-        let outcome = run("founder.isa -> person.", "ins[child].parents -> founder <= founder.isa -> person.");
+        let outcome = run(
+            "founder.isa -> person.",
+            "ins[child].parents -> founder <= founder.isa -> person.",
+        );
         let ob2 = outcome.new_object_base();
         assert_eq!(ob2.lookup1(oid("child"), "parents"), vec![oid("founder")]);
     }
@@ -899,14 +1022,10 @@ mod tests {
                 verify_stability: verify,
                 ..Default::default()
             };
-            let relaxed = UpdateEngine::with_config(Program::parse(prog).unwrap(), config)
-                .run(&ob)
-                .unwrap();
+            let relaxed =
+                UpdateEngine::with_config(Program::parse(prog).unwrap(), config).run(&ob).unwrap();
             assert_eq!(strict.result(), relaxed.result(), "verify_stability = {verify}");
-            assert_eq!(
-                strict.stratification().strata,
-                relaxed.stratification().strata
-            );
+            assert_eq!(strict.stratification().strata, relaxed.stratification().strata);
         }
     }
 

@@ -43,10 +43,9 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::NotStratifiable(e) => write!(f, "{e}"),
             EvalError::Linearity(v) => write!(f, "{v}"),
-            EvalError::RoundLimit { stratum, limit } => write!(
-                f,
-                "stratum {stratum} did not reach a fixpoint within {limit} rounds"
-            ),
+            EvalError::RoundLimit { stratum, limit } => {
+                write!(f, "stratum {stratum} did not reach a fixpoint within {limit} rounds")
+            }
             EvalError::Unstable { stratum, round, update } => write!(
                 f,
                 "unstable evaluation: update {update} (fired in stratum {stratum}) no longer \

@@ -69,16 +69,8 @@ fn diff(
     };
     let p = collect(prev);
     let c = collect(cur);
-    let added = c
-        .iter()
-        .filter(|entry| !p.contains(entry))
-        .cloned()
-        .collect();
-    let removed = p
-        .iter()
-        .filter(|entry| !c.contains(entry))
-        .cloned()
-        .collect();
+    let added = c.iter().filter(|entry| !p.contains(entry)).cloned().collect();
+    let removed = p.iter().filter(|entry| !c.contains(entry)).cloned().collect();
     (added, removed)
 }
 
@@ -121,7 +113,8 @@ pub fn history(result: &ObjectBase, base: Const) -> Option<History> {
         let kind = if vid.depth() == 0 {
             None
         } else {
-            prev_vid.map(|_| vid.chain().outermost().expect("depth > 0"))
+            prev_vid
+                .map(|_| vid.chain().outermost().expect("depth > 0"))
                 .or_else(|| vid.chain().outermost())
         };
         steps.push(HistoryStep { vid, kind, added, removed });

@@ -24,6 +24,7 @@
 //! the set `T¹` grows monotonically and the iteration reaches a
 //! fixpoint; see [`engine`] for the mechanics.
 
+pub mod database;
 pub mod engine;
 pub mod error;
 pub mod history;
@@ -36,15 +37,15 @@ pub mod tp;
 pub mod trace;
 pub mod truth;
 
+pub use database::{Database, DatabaseBuilder, Error, ErrorKind, Prepared, Transaction};
 pub use engine::{
-    CyclePolicy, EngineConfig, FinalVersionPolicy, Outcome, TraceLevel, UpdateEngine,
+    run_compiled, CompiledProgram, CyclePolicy, EngineConfig, FinalVersionPolicy, Outcome,
+    TraceLevel, UpdateEngine,
 };
 pub use error::EvalError;
 pub use history::{history, History, HistoryStep};
 pub use session::{SavepointId, Session, SessionError, Txn};
-pub use stratify::{
-    Condition, EdgeInfo, RelaxedStratification, Stratification, StratifyError,
-};
+pub use stratify::{Condition, EdgeInfo, RelaxedStratification, Stratification, StratifyError};
 pub use temporal::{FactProp, Formula, Timeline};
 pub use tp::{Fired, FiredSet};
 pub use trace::{EvalStats, RoundTrace, StratumTrace};

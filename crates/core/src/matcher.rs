@@ -117,12 +117,20 @@ fn check_literal(ob: &ObjectBase, lit: &Literal, b: &Bindings) -> bool {
         Atom::Update(ua) => {
             let target = ground_vid(ua.target, b);
             match &ua.spec {
-                UpdateSpec::Ins { method, args, result } => {
-                    truth::ins_body(ob, target, *method, &ground_args(args, b), ground_arg(*result, b))
-                }
-                UpdateSpec::Del { method, args, result } => {
-                    truth::del_body(ob, target, *method, &ground_args(args, b), ground_arg(*result, b))
-                }
+                UpdateSpec::Ins { method, args, result } => truth::ins_body(
+                    ob,
+                    target,
+                    *method,
+                    &ground_args(args, b),
+                    ground_arg(*result, b),
+                ),
+                UpdateSpec::Del { method, args, result } => truth::del_body(
+                    ob,
+                    target,
+                    *method,
+                    &ground_args(args, b),
+                    ground_arg(*result, b),
+                ),
                 UpdateSpec::Mod { method, args, from, to } => truth::mod_body(
                     ob,
                     target,
@@ -355,8 +363,17 @@ fn scan_mod(
                 // Clause r = r': v*.m -> r ∈ I and mod(v).m -> r ∈ I.
                 if in_created {
                     match_pair_and_continue(
-                        ob, args, from, to, from_app.args.as_slice(), from_app.result,
-                        from_app.result, rule, step, b, sink,
+                        ob,
+                        args,
+                        from,
+                        to,
+                        from_app.args.as_slice(),
+                        from_app.result,
+                        from_app.result,
+                        rule,
+                        step,
+                        b,
+                        sink,
                     );
                     continue;
                 }
@@ -367,8 +384,17 @@ fn scan_mod(
                         continue;
                     }
                     match_pair_and_continue(
-                        ob, args, from, to, from_app.args.as_slice(), from_app.result,
-                        to_app.result, rule, step, b, sink,
+                        ob,
+                        args,
+                        from,
+                        to,
+                        from_app.args.as_slice(),
+                        from_app.result,
+                        to_app.result,
+                        rule,
+                        step,
+                        b,
+                        sink,
                     );
                 }
             }
@@ -444,10 +470,8 @@ mod tests {
     fn join_through_bound_base() {
         let ob = base();
         // bob's boss phil earns less than bob.
-        let m = matches(
-            &ob,
-            "ins[E].flag -> 1 <= E.boss -> B & B.sal -> SB & E.sal -> SE & SE > SB.",
-        );
+        let m =
+            matches(&ob, "ins[E].flag -> 1 <= E.boss -> B & B.sal -> SB & E.sal -> SE & SE > SB.");
         assert_eq!(m.len(), 1);
         // E = bob.
         let e_val = m[0][0];
@@ -520,7 +544,7 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert_eq!(m[0][0], Some(oid("bob")));
         assert_eq!(m[0][1], Some(oid("empl"))); // W = empl, the deleted value
-        // sal survived, so del[bob].sal -> 4200 is not true.
+                                                // sal survived, so del[bob].sal -> 4200 is not true.
         let m2 = matches(&ob, "ins[x].fired -> E <= del[E].sal -> S.");
         assert!(m2.is_empty());
     }
@@ -583,6 +607,13 @@ mod tests {
             seen.push((b.get(VarId(0)).unwrap(), b.get(VarId(1)).unwrap()));
         });
         seen.sort();
-        assert_eq!(seen, vec![(oid("phil"), int(4000)), (oid("bob"), int(4200))].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            seen,
+            vec![(oid("phil"), int(4000)), (oid("bob"), int(4200))]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -358,16 +358,14 @@ fn emit_if_head_true(ob: &ObjectBase, rule: &Rule, b: &Bindings, out: &mut Vec<R
     match &rule.head.spec {
         // "an ins[...] in a rule-head is always true".
         UpdateSpec::Ins { method, args, result } => {
-            let (Some(args), Some(result)) = (ground_args(args, b), ground_arg(*result, b))
-            else {
+            let (Some(args), Some(result)) = (ground_args(args, b), ground_arg(*result, b)) else {
                 return;
             };
             out.push(RefUpdate::Ins { target, method: *method, args, result });
         }
         // "a del[...] is true iff v*.m -> r ∈ I".
         UpdateSpec::Del { method, args, result } => {
-            let (Some(args), Some(result)) = (ground_args(args, b), ground_arg(*result, b))
-            else {
+            let (Some(args), Some(result)) = (ground_args(args, b), ground_arg(*result, b)) else {
                 return;
             };
             let holds = match v_star(ob, target) {
@@ -449,8 +447,7 @@ fn enumerable_vars(rule: &Rule) -> Vec<bool> {
             Atom::Update(ua) => {
                 mark(ua.target.base);
                 match &ua.spec {
-                    UpdateSpec::Ins { args, result, .. }
-                    | UpdateSpec::Del { args, result, .. } => {
+                    UpdateSpec::Ins { args, result, .. } | UpdateSpec::Del { args, result, .. } => {
                         for &a in args {
                             mark(a);
                         }
@@ -503,18 +500,16 @@ fn enumerate(
             if cmp.op != ruvo_lang::CmpOp::Eq {
                 continue;
             }
-            let try_assign = |var: Option<VarId>,
-                              other: &Expr,
-                              bindings: &mut Bindings|
-             -> Option<bool> {
-                let v = var?;
-                if bindings.is_bound(v) {
-                    return None;
-                }
-                let value = other.eval(bindings)?;
-                bindings.bind(v, value);
-                Some(true)
-            };
+            let try_assign =
+                |var: Option<VarId>, other: &Expr, bindings: &mut Bindings| -> Option<bool> {
+                    let v = var?;
+                    if bindings.is_bound(v) {
+                        return None;
+                    }
+                    let value = other.eval(bindings)?;
+                    bindings.bind(v, value);
+                    Some(true)
+                };
             if try_assign(cmp.lhs.as_single_var(), &cmp.rhs, bindings) == Some(true)
                 || try_assign(cmp.rhs.as_single_var(), &cmp.lhs, bindings) == Some(true)
             {
@@ -751,10 +746,7 @@ mod tests {
              ins[c].p -> 1 <= ins(b).p -> 1.",
         )
         .unwrap();
-        assert!(matches!(
-            evaluate_bounded(&program, &ob, 2),
-            Err(EvalError::RoundLimit { .. })
-        ));
+        assert!(matches!(evaluate_bounded(&program, &ob, 2), Err(EvalError::RoundLimit { .. })));
         assert!(evaluate(&program, &ob).is_ok());
     }
 

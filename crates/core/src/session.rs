@@ -13,11 +13,12 @@
 //! transactions remain inspectable through the kept [`Outcome`]s.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruvo_lang::{LangError, Program};
-use ruvo_obase::ObjectBase;
+use ruvo_obase::{ObjectBase, Snapshot};
 
-use crate::engine::{EngineConfig, Outcome, UpdateEngine};
+use crate::engine::{run_compiled, CompiledProgram, EngineConfig, Outcome, UpdateEngine};
 use crate::error::EvalError;
 
 /// Why a session operation failed. The object base is unchanged in
@@ -75,19 +76,23 @@ pub struct Txn {
 }
 
 /// A sequence of update-program applications over one object base.
+///
+/// The committed base is held behind an [`Arc`]: commits install a new
+/// shared state, so [`Session::snapshot`] read views and savepoints
+/// are O(1) and never block or copy the store.
 #[derive(Clone, Debug, Default)]
 pub struct Session {
-    ob: ObjectBase,
+    ob: Arc<ObjectBase>,
     log: Vec<Txn>,
     config: EngineConfig,
-    savepoints: Vec<(SavepointId, usize, ObjectBase)>,
+    savepoints: Vec<(SavepointId, usize, Arc<ObjectBase>)>,
     next_savepoint: u64,
 }
 
 impl Session {
     /// Start a session on `ob`.
     pub fn new(ob: ObjectBase) -> Session {
-        Session { ob, ..Default::default() }
+        Session { ob: Arc::new(ob), ..Default::default() }
     }
 
     /// Start from object-base text.
@@ -105,6 +110,18 @@ impl Session {
     /// The current object base.
     pub fn current(&self) -> &ObjectBase {
         &self.ob
+    }
+
+    /// An O(1) point-in-time read view of the committed state. The
+    /// view stays valid (and unchanged) across later commits and
+    /// rollbacks.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::new(Arc::clone(&self.ob))
+    }
+
+    /// The engine configuration used for transactions.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Committed transactions, oldest first.
@@ -128,15 +145,28 @@ impl Session {
     pub fn apply(&mut self, program: Program) -> Result<&Txn, SessionError> {
         let engine = UpdateEngine::with_config(program, self.config.clone());
         let outcome = engine.run(&self.ob)?;
+        self.commit(outcome)
+    }
+
+    /// Apply an already-compiled program transactionally, skipping all
+    /// per-run analysis (see [`CompiledProgram`]). The compiled cycle
+    /// policy wins over the session config's.
+    pub fn apply_compiled(&mut self, compiled: &CompiledProgram) -> Result<&Txn, SessionError> {
+        let mut work = (*self.ob).clone();
+        work.ensure_exists();
+        let outcome = run_compiled(compiled, &self.config, work)?;
+        self.commit(outcome)
+    }
+
+    /// Commit an evaluation outcome produced against the current base:
+    /// extract `ob′`, install it, and log the transaction. On error
+    /// (non-version-linear result) the session is untouched.
+    pub fn commit(&mut self, outcome: Outcome) -> Result<&Txn, SessionError> {
         // try_new_object_base cannot fail here when the linearity check
         // is on; with the check disabled this is the commit gate.
         let new_ob = outcome.try_new_object_base().map_err(EvalError::Linearity)?;
-        self.ob = new_ob;
-        self.log.push(Txn {
-            seq: self.log.len(),
-            outcome,
-            facts_after: self.ob.len(),
-        });
+        self.ob = Arc::new(new_ob);
+        self.log.push(Txn { seq: self.log.len(), outcome, facts_after: self.ob.len() });
         Ok(self.log.last().expect("just pushed"))
     }
 
@@ -147,11 +177,19 @@ impl Session {
     }
 
     /// Record a rollback point capturing the current object base.
+    /// O(1): the captured state is shared, not copied.
     pub fn savepoint(&mut self) -> SavepointId {
         let id = SavepointId(self.next_savepoint);
         self.next_savepoint += 1;
-        self.savepoints.push((id, self.log.len(), self.ob.clone()));
+        self.savepoints.push((id, self.log.len(), Arc::clone(&self.ob)));
         id
+    }
+
+    /// Discard a savepoint without rolling back (used by
+    /// [`crate::Database::transact`] to release its guard on commit).
+    /// Unknown ids are ignored.
+    pub fn release(&mut self, savepoint: SavepointId) {
+        self.savepoints.retain(|(id, ..)| *id != savepoint);
     }
 
     /// Restore the object base and transaction log to `savepoint`.
@@ -164,7 +202,7 @@ impl Session {
             .position(|(id, ..)| *id == savepoint)
             .ok_or(SessionError::UnknownSavepoint(savepoint))?;
         let (_, log_len, ob) = self.savepoints[idx].clone();
-        self.ob = ob;
+        self.ob = ob; // Arc clone: the captured state is re-shared.
         self.log.truncate(log_len);
         self.savepoints.truncate(idx + 1);
         Ok(())
@@ -183,9 +221,8 @@ mod tests {
     #[test]
     fn apply_commits_on_success() {
         let mut s = start();
-        let txn = s
-            .apply_src("t: mod[acct].balance -> (100, 150) <= acct.balance -> 100.")
-            .unwrap();
+        let txn =
+            s.apply_src("t: mod[acct].balance -> (100, 150) <= acct.balance -> 100.").unwrap();
         assert_eq!(txn.seq, 0);
         assert_eq!(s.current().lookup1(oid("acct"), "balance"), vec![int(150)]);
         assert_eq!(s.len(), 1);
@@ -225,9 +262,8 @@ mod tests {
         assert_eq!(s.len(), 2);
         // Each transaction's version history remains inspectable.
         let first = &s.log()[0];
-        let mod_acct = ruvo_term::Vid::object(oid("acct"))
-            .apply(ruvo_term::UpdateKind::Mod)
-            .unwrap();
+        let mod_acct =
+            ruvo_term::Vid::object(oid("acct")).apply(ruvo_term::UpdateKind::Mod).unwrap();
         assert!(first.outcome.result().contains(
             mod_acct,
             ruvo_term::sym("balance"),
@@ -264,10 +300,8 @@ mod tests {
 
     #[test]
     fn config_is_respected() {
-        let mut s = start().with_config(EngineConfig {
-            max_rounds_per_stratum: 1,
-            ..Default::default()
-        });
+        let mut s =
+            start().with_config(EngineConfig { max_rounds_per_stratum: 1, ..Default::default() });
         // Needs 2+ rounds → round limit error, session untouched.
         let err = s
             .apply_src(

@@ -95,10 +95,7 @@ pub struct Stratification {
 impl Stratification {
     /// The stratum index of a rule.
     pub fn stratum_of(&self, rule: usize) -> usize {
-        self.strata
-            .iter()
-            .position(|s| s.contains(&rule))
-            .expect("rule index out of range")
+        self.strata.iter().position(|s| s.contains(&rule)).expect("rule index out of range")
     }
 
     /// Number of strata.
@@ -431,10 +428,7 @@ mod tests {
     fn strata_names(src: &str) -> Vec<Vec<String>> {
         let p = Program::parse(src).unwrap();
         let s = stratify(&p).unwrap();
-        s.strata
-            .iter()
-            .map(|st| st.iter().map(|&r| s.rule_names[r].clone()).collect())
-            .collect()
+        s.strata.iter().map(|st| st.iter().map(|&r| s.rule_names[r].clone()).collect()).collect()
     }
 
     #[test]
@@ -488,8 +482,9 @@ mod tests {
 
     #[test]
     fn negative_self_dependency_rejected() {
-        let err = stratify(&Program::parse("ins[X].p -> 1 <= X.q -> 1 & not ins(X).p -> 1.").unwrap())
-            .unwrap_err();
+        let err =
+            stratify(&Program::parse("ins[X].p -> 1 <= X.q -> 1 & not ins(X).p -> 1.").unwrap())
+                .unwrap_err();
         assert_eq!(err.condition, Condition::C);
     }
 
@@ -535,10 +530,7 @@ mod tests {
         let s = stratify(&p).unwrap();
         assert_eq!(s.stratum_of(0), 0);
         assert_eq!(s.stratum_of(1), 1);
-        assert!(s
-            .edges
-            .iter()
-            .any(|e| e.condition == Condition::A && e.from == 0 && e.to == 1));
+        assert!(s.edges.iter().any(|e| e.condition == Condition::A && e.from == 0 && e.to == 1));
     }
 
     #[test]
@@ -582,9 +574,6 @@ mod tests {
         let s = stratify(&p).unwrap();
         // reader must be strictly above killer via (d)... and indeed:
         assert!(s.stratum_of(0) < s.stratum_of(1));
-        assert!(s
-            .edges
-            .iter()
-            .any(|e| e.condition == Condition::D && e.from == 0 && e.to == 1));
+        assert!(s.edges.iter().any(|e| e.condition == Condition::D && e.from == 0 && e.to == 1));
     }
 }

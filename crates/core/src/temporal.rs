@@ -289,12 +289,11 @@ impl Timeline {
             Formula::Eventually(f) => (step..self.states.len()).any(|k| self.eval(k, f)),
             Formula::Historically(f) => (0..=step).all(|k| self.eval(k, f)),
             Formula::Once(f) => (0..=step).any(|k| self.eval(k, f)),
-            Formula::Until(a, b) => (step..self.states.len()).any(|k| {
-                self.eval(k, b) && (step..k).all(|j| self.eval(j, a))
-            }),
-            Formula::Since(a, b) => (0..=step).rev().any(|k| {
-                self.eval(k, b) && (k + 1..=step).all(|j| self.eval(j, a))
-            }),
+            Formula::Until(a, b) => (step..self.states.len())
+                .any(|k| self.eval(k, b) && (step..k).all(|j| self.eval(j, a))),
+            Formula::Since(a, b) => {
+                (0..=step).rev().any(|k| self.eval(k, b) && (k + 1..=step).all(|j| self.eval(j, a)))
+            }
         }
     }
 

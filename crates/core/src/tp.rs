@@ -469,18 +469,8 @@ mod tests {
     fn apply_on_active_version_updates_in_place() {
         let mut ob = base();
         let target = Vid::object(oid("phil"));
-        let f1 = Fired::Ins {
-            target,
-            method: sym("isa"),
-            args: Args::empty(),
-            result: oid("hpe"),
-        };
-        let f2 = Fired::Ins {
-            target,
-            method: sym("isa"),
-            args: Args::empty(),
-            result: oid("vip"),
-        };
+        let f1 = Fired::Ins { target, method: sym("isa"), args: Args::empty(), result: oid("hpe") };
+        let f2 = Fired::Ins { target, method: sym("isa"), args: Args::empty(), result: oid("vip") };
         let r1 = apply_updates(&mut ob, std::slice::from_ref(&f1));
         assert_eq!(r1.created.len(), 1);
         // Second round: ins(phil) is now active; no copy, no creation.
@@ -507,10 +497,8 @@ mod tests {
             from: oid(from),
             to: oid(to),
         };
-        for pair in [
-            vec![fired("a", "b"), fired("b", "c")],
-            vec![fired("b", "c"), fired("a", "b")],
-        ] {
+        for pair in [vec![fired("a", "b"), fired("b", "c")], vec![fired("b", "c"), fired("a", "b")]]
+        {
             let mut ob = ObjectBase::parse("o.m -> a. o.m -> b.").unwrap();
             ob.ensure_exists();
             apply_updates(&mut ob, &pair);
@@ -580,10 +568,7 @@ mod tests {
         let mod_chain = fired[0].created().chain();
         // All copied methods became visible under the mod(·) chain.
         for m in ["sal", "isa", "pos", "exists"] {
-            assert!(
-                report.changed.contains(&(mod_chain, sym(m))),
-                "missing changed entry for {m}"
-            );
+            assert!(report.changed.contains(&(mod_chain, sym(m))), "missing changed entry for {m}");
         }
     }
 }

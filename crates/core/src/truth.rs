@@ -21,7 +21,13 @@ use ruvo_term::{Const, Symbol, UpdateKind, Vid};
 
 /// Case 1 — ground version-term: `v.m@args -> r ∈ I`.
 #[inline]
-pub fn version_term(ob: &ObjectBase, vid: Vid, method: Symbol, args: &[Const], result: Const) -> bool {
+pub fn version_term(
+    ob: &ObjectBase,
+    vid: Vid,
+    method: Symbol,
+    args: &[Const],
+    result: Const,
+) -> bool {
     ob.contains(vid, method, args, result)
 }
 
@@ -54,7 +60,13 @@ pub fn update_head(
 
 /// Case 3 — `ins[v].m -> r` in a rule body: true iff
 /// `ins(v).m -> r ∈ I`.
-pub fn ins_body(ob: &ObjectBase, target: Vid, method: Symbol, args: &[Const], result: Const) -> bool {
+pub fn ins_body(
+    ob: &ObjectBase,
+    target: Vid,
+    method: Symbol,
+    args: &[Const],
+    result: Const,
+) -> bool {
     match target.apply(UpdateKind::Ins) {
         Ok(created) => ob.contains(created, method, args, result),
         Err(_) => false,
@@ -64,7 +76,13 @@ pub fn ins_body(ob: &ObjectBase, target: Vid, method: Symbol, args: &[Const], re
 /// Case 3 — `del[v].m -> r` in a rule body: true iff
 /// `v*.m -> r ∈ I` and `del(v).exists -> o ∈ I` and
 /// `del(v).m -> r ∉ I`.
-pub fn del_body(ob: &ObjectBase, target: Vid, method: Symbol, args: &[Const], result: Const) -> bool {
+pub fn del_body(
+    ob: &ObjectBase,
+    target: Vid,
+    method: Symbol,
+    args: &[Const],
+    result: Const,
+) -> bool {
     let Ok(created) = target.apply(UpdateKind::Del) else { return false };
     if !ob.exists_fact(created) {
         return false;

@@ -90,10 +90,7 @@ mod tests {
 
     #[test]
     fn roundtrip_flat_base() {
-        let ob = ObjectBase::parse(
-            "a.p -> 1. a.q @ x -> 2. b.p -> 3.",
-        )
-        .unwrap();
+        let ob = ObjectBase::parse("a.p -> 1. a.q @ x -> 2. b.p -> 3.").unwrap();
         let db = ob_to_db(&ob).unwrap();
         assert!(db.contains(sym("p"), &[oid("a"), int(1)]));
         assert!(db.contains(sym("q"), &[oid("a"), oid("x"), int(2)]));
@@ -117,15 +114,9 @@ mod tests {
     #[test]
     fn derived_view_workflow() {
         // A derived method: grandboss = boss of boss.
-        let ob = ObjectBase::parse(
-            "e1.boss -> e2. e2.boss -> e3. e3.sal -> 9000.",
-        )
-        .unwrap();
+        let ob = ObjectBase::parse("e1.boss -> e2. e2.boss -> e3. e3.sal -> 9000.").unwrap();
         let mut db = ob_to_db(&ob).unwrap();
-        let views = parse_program(
-            "grandboss(E, B2) <= boss(E, B) & boss(B, B2).",
-        )
-        .unwrap();
+        let views = parse_program("grandboss(E, B2) <= boss(E, B) & boss(B, B2).").unwrap();
         evaluate(&mut db, &views, Semantics::Modules, 100);
         let derived = db_to_ob(&db, &[sym("grandboss")]).unwrap();
         assert_eq!(derived.lookup1(oid("e1"), "grandboss"), vec![oid("e3")]);

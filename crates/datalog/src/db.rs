@@ -61,10 +61,7 @@ impl Relation {
     /// All tuples (unordered).
     pub fn iter(&self) -> impl Iterator<Item = &Vec<Const>> {
         static EMPTY: Vec<Const> = Vec::new();
-        self.zero
-            .then_some(&EMPTY)
-            .into_iter()
-            .chain(self.by_first.values().flatten())
+        self.zero.then_some(&EMPTY).into_iter().chain(self.by_first.values().flatten())
     }
 
     /// Tuples whose first element is `first`.

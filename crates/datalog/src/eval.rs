@@ -93,9 +93,7 @@ pub fn evaluate_module(
     let plans: Vec<Vec<PlannedLiteral>> = module.rules.iter().map(plan_rule).collect();
     let positive_only = module.rules.iter().all(|r| {
         !r.head.is_delete()
-            && r.body
-                .iter()
-                .all(|l| !matches!(l, DlLiteral::Atom { positive: false, .. }))
+            && r.body.iter().all(|l| !matches!(l, DlLiteral::Atom { positive: false, .. }))
     });
     if positive_only && !inflationary {
         return semi_naive(db, module, &plans, max_rounds);
@@ -322,11 +320,8 @@ fn emit(
     del: &mut Vec<(Symbol, Vec<Const>)>,
 ) {
     let atom = rule.head.atom();
-    let tuple: Vec<Const> = atom
-        .terms
-        .iter()
-        .map(|t| t.ground(b).expect("plan guarantees head boundness"))
-        .collect();
+    let tuple: Vec<Const> =
+        atom.terms.iter().map(|t| t.ground(b).expect("plan guarantees head boundness")).collect();
     match rule.head {
         DlHead::Insert(_) => ins.push((atom.pred, tuple)),
         DlHead::Delete(_) => del.push((atom.pred, tuple)),
@@ -373,17 +368,18 @@ fn exec(
             let DlLiteral::Atom { atom, .. } = &rule.body[li] else {
                 unreachable!("Scan on builtin")
             };
-            let scan_tuple = |tuple: &Vec<Const>, b: &mut Bindings, sink: &mut dyn FnMut(&Bindings)| {
-                if tuple.len() != atom.terms.len() {
-                    return;
-                }
-                let mark = b.mark();
-                let ok = atom.terms.iter().zip(tuple).all(|(t, &v)| t.matches(v, b));
-                if ok {
-                    exec(db, rule, plan, step + 1, restrict, b, sink);
-                }
-                b.undo_to(mark);
-            };
+            let scan_tuple =
+                |tuple: &Vec<Const>, b: &mut Bindings, sink: &mut dyn FnMut(&Bindings)| {
+                    if tuple.len() != atom.terms.len() {
+                        return;
+                    }
+                    let mark = b.mark();
+                    let ok = atom.terms.iter().zip(tuple).all(|(t, &v)| t.matches(v, b));
+                    if ok {
+                        exec(db, rule, plan, step + 1, restrict, b, sink);
+                    }
+                    b.undo_to(mark);
+                };
             match restrict {
                 Some((rli, delta)) if rli == li => {
                     for tuple in delta {
@@ -477,11 +473,8 @@ mod tests {
 
     #[test]
     fn deletion_in_head() {
-        let (db, report) = run(
-            "empl(bob). empl(phil). rich(bob).",
-            "del empl(E) <= rich(E).",
-            Semantics::Modules,
-        );
+        let (db, report) =
+            run("empl(bob). empl(phil). rich(bob).", "del empl(E) <= rich(E).", Semantics::Modules);
         assert!(!db.contains(sym("empl"), &[oid("bob")]));
         assert!(db.contains(sym("empl"), &[oid("phil")]));
         assert_eq!(report.deleted, 1);
@@ -568,7 +561,8 @@ mod tests {
 
     #[test]
     fn builtin_assignment_binds() {
-        let (db, _) = run("sal(bob, 100).", "twice(E, T) <= sal(E, S) & T = S * 2.", Semantics::Modules);
+        let (db, _) =
+            run("sal(bob, 100).", "twice(E, T) <= sal(E, S) & T = S * 2.", Semantics::Modules);
         assert!(db.contains(sym("twice"), &[oid("bob"), int(200)]));
     }
 

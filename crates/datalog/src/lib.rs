@@ -39,5 +39,5 @@ pub use ast::{DlAtom, DlHead, DlLiteral, DlProgram, DlRule, DlTerm, Module};
 pub use bridge::{db_to_ob, ob_to_db, NotFlat};
 pub use db::{Database, Relation};
 pub use eval::{evaluate, evaluate_module, EvalReport, Semantics};
-pub use stratify::{auto_stratify, NotStratifiable};
 pub use parser::parse_program;
+pub use stratify::{auto_stratify, NotStratifiable};

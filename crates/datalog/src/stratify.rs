@@ -47,8 +47,7 @@ fn head_pred(rule: &DlRule) -> Symbol {
 /// boundaries) and return the program re-packaged as one module per
 /// stratum.
 pub fn auto_stratify(program: &DlProgram) -> Result<DlProgram, NotStratifiable> {
-    let rules: Vec<DlRule> =
-        program.modules.iter().flat_map(|m| m.rules.iter().cloned()).collect();
+    let rules: Vec<DlRule> = program.modules.iter().flat_map(|m| m.rules.iter().cloned()).collect();
 
     // Dependency edges between predicates: (from, to, strict).
     let mut preds: FastHashSet<Symbol> = FastHashSet::default();
@@ -73,8 +72,7 @@ pub fn auto_stratify(program: &DlProgram) -> Result<DlProgram, NotStratifiable> 
 
     // Stratum numbers via iterated relaxation (Datalog¬ textbook
     // algorithm); n·e iterations bound, failure = negative cycle.
-    let mut stratum: FastHashMap<Symbol, usize> =
-        preds.iter().map(|&p| (p, 0usize)).collect();
+    let mut stratum: FastHashMap<Symbol, usize> = preds.iter().map(|&p| (p, 0usize)).collect();
     let bound = preds.len().max(1);
     for _ in 0..=bound {
         let mut changed = false;
@@ -91,11 +89,8 @@ pub fn auto_stratify(program: &DlProgram) -> Result<DlProgram, NotStratifiable> 
         if stratum.values().any(|&s| s > bound) {
             // A strict edge on a cycle pumps strata beyond the bound;
             // report the predicates at the frontier.
-            let mut cycle: Vec<String> = stratum
-                .iter()
-                .filter(|(_, &s)| s > bound)
-                .map(|(p, _)| p.to_string())
-                .collect();
+            let mut cycle: Vec<String> =
+                stratum.iter().filter(|(_, &s)| s > bound).map(|(p, _)| p.to_string()).collect();
             cycle.sort();
             return Err(NotStratifiable { cycle });
         }
@@ -153,10 +148,7 @@ mod tests {
 
     #[test]
     fn negation_cycle_rejected() {
-        let p = parse_program(
-            "win(X) <= move(X, Y) & not win(Y).",
-        )
-        .unwrap();
+        let p = parse_program("win(X) <= move(X, Y) & not win(Y).").unwrap();
         let err = auto_stratify(&p).unwrap_err();
         assert!(err.cycle.contains(&"win".to_string()), "got: {err}");
     }

@@ -516,11 +516,8 @@ mod tests {
         );
         assert_eq!(e.eval(&b), None);
         // Division by zero.
-        let z = Expr::Binary(
-            Box::new(Expr::Const(int(1))),
-            BinOp::Div,
-            Box::new(Expr::Const(int(0))),
-        );
+        let z =
+            Expr::Binary(Box::new(Expr::Const(int(1))), BinOp::Div, Box::new(Expr::Const(int(0))));
         assert_eq!(z.eval(&b), None);
     }
 

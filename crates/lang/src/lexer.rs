@@ -110,9 +110,7 @@ impl<'a> Lexer<'a> {
             }
         }
         if matches!(self.peek(), Some(b'e') | Some(b'E'))
-            && self
-                .peek2()
-                .is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
+            && self.peek2().is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
         {
             is_float = true;
             self.bump(); // e
@@ -160,10 +158,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             b'$' => {
                 lx.bump();
                 if !lx.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
-                    return Err(ParseError::new(
-                        pos,
-                        "expected a VID variable name after `$`",
-                    ));
+                    return Err(ParseError::new(pos, "expected a VID variable name after `$`"));
                 }
                 Tok::VidVar(lx.ident())
             }
@@ -173,7 +168,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 lx.bump();
                 // Tight dot = accessor; anything else = terminator.
                 match lx.peek() {
-                    Some(ch) if ch.is_ascii_alphabetic() || ch == b'_' || ch == b'*' || ch == b'\'' => {
+                    Some(ch)
+                        if ch.is_ascii_alphabetic() || ch == b'_' || ch == b'*' || ch == b'\'' =>
+                    {
                         Tok::DotSep
                     }
                     _ => Tok::Period,
@@ -397,12 +394,7 @@ mod tests {
 
     #[test]
     fn negation_tokens() {
-        assert_eq!(toks("not !x !="), vec![
-            Tok::Not,
-            Tok::Bang,
-            Tok::Ident("x".into()),
-            Tok::Ne,
-        ]);
+        assert_eq!(toks("not !x !="), vec![Tok::Not, Tok::Bang, Tok::Ident("x".into()), Tok::Ne,]);
     }
 
     #[test]

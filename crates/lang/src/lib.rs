@@ -57,8 +57,8 @@ pub mod token;
 pub mod validate;
 
 pub use ast::{
-    Atom, BinOp, Builtin, CmpOp, Expr, Literal, Program, Rule, UpdateAtom, UpdateSpec,
-    VarTable, VersionAtom,
+    Atom, BinOp, Builtin, CmpOp, Expr, Literal, Program, Rule, UpdateAtom, UpdateSpec, VarTable,
+    VersionAtom,
 };
 pub use error::{LangError, ParseError, SafetyError, ValidateError};
 pub use facts::{parse_facts, GroundFact};

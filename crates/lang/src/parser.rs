@@ -13,8 +13,8 @@
 use ruvo_term::{num, ArgTerm, BaseTerm, Const, Symbol, UpdateKind, VidRef, VidTerm};
 
 use crate::ast::{
-    Atom, BinOp, Builtin, CmpOp, Expr, Literal, Program, Rule, UpdateAtom, UpdateSpec,
-    VarTable, VersionAtom,
+    Atom, BinOp, Builtin, CmpOp, Expr, Literal, Program, Rule, UpdateAtom, UpdateSpec, VarTable,
+    VersionAtom,
 };
 use crate::error::{ParseError, Pos};
 use crate::token::{Tok, Token};
@@ -46,10 +46,7 @@ impl<'t> Parser<'t> {
     }
 
     fn pos(&self) -> Pos {
-        self.toks
-            .get(self.i)
-            .map(|t| t.pos)
-            .unwrap_or(Pos { line: u32::MAX, col: 0 })
+        self.toks.get(self.i).map(|t| t.pos).unwrap_or(Pos { line: u32::MAX, col: 0 })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -161,9 +158,7 @@ impl<'t> Parser<'t> {
                 self.expect(Tok::LParen)?;
                 let inner = self.vid_term()?;
                 self.expect(Tok::RParen)?;
-                inner
-                    .apply(kind)
-                    .map_err(|_| self.err("version-id-term nests too deeply"))
+                inner.apply(kind).map_err(|_| self.err("version-id-term nests too deeply"))
             }
             _ => Ok(VidTerm::object(self.arg_term()?)),
         }
@@ -191,9 +186,9 @@ impl<'t> Parser<'t> {
         let vid = match self.peek().cloned() {
             Some(Tok::VidVar(name)) => {
                 if self.ground_only {
-                    return Err(self.err(format!(
-                        "VID variable `${name}` not allowed in ground facts"
-                    )));
+                    return Err(
+                        self.err(format!("VID variable `${name}` not allowed in ground facts"))
+                    );
                 }
                 self.bump();
                 VidRef::Var(ruvo_term::VidVarId(self.vid_vars.var(&name).0))
@@ -368,9 +363,10 @@ impl<'t> Parser<'t> {
             (Some(Tok::Ins) | Some(Tok::Del) | Some(Tok::Mod), Some(Tok::LParen)) => {
                 self.version_path()?.into_iter().map(Atom::Version).collect()
             }
-            (Some(Tok::Var(_)) | Some(Tok::Ident(_)) | Some(Tok::Int(_)) | Some(Tok::Float(_)), Some(Tok::DotSep)) => {
-                self.version_path()?.into_iter().map(Atom::Version).collect()
-            }
+            (
+                Some(Tok::Var(_)) | Some(Tok::Ident(_)) | Some(Tok::Int(_)) | Some(Tok::Float(_)),
+                Some(Tok::DotSep),
+            ) => self.version_path()?.into_iter().map(Atom::Version).collect(),
             (Some(Tok::VidVar(_)), Some(Tok::DotSep)) => {
                 self.version_path()?.into_iter().map(Atom::Version).collect()
             }

@@ -127,11 +127,7 @@ pub fn expr_str(e: &Expr, vars: &VarTable) -> String {
     s
 }
 
-fn method_app_str(
-    method: Symbol,
-    args: &[BaseTerm],
-    vars: &VarTable,
-) -> String {
+fn method_app_str(method: Symbol, args: &[BaseTerm], vars: &VarTable) -> String {
     let mut s = symbol_str(method);
     if !args.is_empty() {
         s.push_str(" @ ");

@@ -142,14 +142,8 @@ fn bound_positions(atom: &Atom, bound: &[bool]) -> usize {
             // A bound base is worth more: it selects a single version.
             // (A VID variable scores 0 when unbound — an open scan.)
             let mut n = match va.vid.as_term() {
-                Some(t) => {
-                    if is_bound(t.base) {
-                        2
-                    } else {
-                        0
-                    }
-                }
-                None => 0,
+                Some(t) if is_bound(t.base) => 2,
+                _ => 0,
             };
             n += va.args.iter().filter(|&&a| is_bound(a)).count();
             n += usize::from(is_bound(va.result));
@@ -183,9 +177,8 @@ pub fn analyze(rule: &Rule) -> Result<RulePlan, SafetyError> {
     let mut steps = Vec::with_capacity(rule.body.len());
 
     let all_bound = |vars: &[VarId], bound: &[bool]| vars.iter().all(|v| bound[v.index()]);
-    let vid_ok = |atom: &Atom, vid_bound: &[bool]| {
-        atom_vid_var(atom).is_none_or(|v| vid_bound[v.index()])
-    };
+    let vid_ok =
+        |atom: &Atom, vid_bound: &[bool]| atom_vid_var(atom).is_none_or(|v| vid_bound[v.index()]);
 
     while !remaining.is_empty() {
         let mut chosen: Option<(usize, PlannedLiteral, Vec<VarId>, Option<VidVarId>)> = None;
@@ -337,16 +330,10 @@ mod tests {
         let plan = plan_of("mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.");
         assert_eq!(plan.steps.len(), 3);
         // The assignment must come after the scan that binds S.
-        let assign_pos = plan
-            .steps
-            .iter()
-            .position(|s| matches!(s, PlannedLiteral::Assign { .. }))
-            .unwrap();
-        let scan_sal = plan
-            .steps
-            .iter()
-            .position(|s| matches!(s, PlannedLiteral::Scan(1)))
-            .unwrap();
+        let assign_pos =
+            plan.steps.iter().position(|s| matches!(s, PlannedLiteral::Assign { .. })).unwrap();
+        let scan_sal =
+            plan.steps.iter().position(|s| matches!(s, PlannedLiteral::Scan(1))).unwrap();
         assert!(assign_pos > scan_sal);
     }
 
@@ -360,11 +347,8 @@ mod tests {
         // The negated literal (body index 0) must be evaluated after E is
         // bound by a scan.
         let neg_pos = plan.steps.iter().position(|s| *s == PlannedLiteral::Check(0)).unwrap();
-        let first_scan = plan
-            .steps
-            .iter()
-            .position(|s| matches!(s, PlannedLiteral::Scan(_)))
-            .unwrap();
+        let first_scan =
+            plan.steps.iter().position(|s| matches!(s, PlannedLiteral::Scan(_))).unwrap();
         assert!(neg_pos > first_scan);
     }
 
@@ -405,10 +389,7 @@ mod tests {
         // expr = X binds X too.
         let p = Program::parse("ins[E].twice -> T <= E.v -> V & V * 2 = T.").unwrap();
         let plan = &p.rules[0].plan;
-        assert!(plan
-            .steps
-            .iter()
-            .any(|s| matches!(s, PlannedLiteral::Assign { lit: 1, .. })));
+        assert!(plan.steps.iter().any(|s| matches!(s, PlannedLiteral::Assign { lit: 1, .. })));
     }
 
     #[test]

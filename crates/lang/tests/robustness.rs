@@ -94,10 +94,9 @@ fn adversarial_inputs_error_cleanly() {
     for src in cases {
         match Program::parse(src) {
             // The empty program is the only legitimately parsing entry.
-            Ok(p) => assert!(
-                src.is_empty() && p.is_empty(),
-                "unexpectedly parsed {src:?} -> {p:?}"
-            ),
+            Ok(p) => {
+                assert!(src.is_empty() && p.is_empty(), "unexpectedly parsed {src:?} -> {p:?}")
+            }
             Err(e) => {
                 // Error messages must be non-empty and renderable.
                 assert!(!e.to_string().is_empty());

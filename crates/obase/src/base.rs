@@ -1,6 +1,7 @@
 //! The object base: a set of ground version-terms with join indexes.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruvo_lang::{parse_facts, ParseError};
 use ruvo_term::{Chain, Const, FastHashMap, FastHashSet, Symbol, Vid};
@@ -36,9 +37,19 @@ impl fmt::Display for Fact {
 /// See the crate docs for the index structure. All mutating operations
 /// keep the indexes consistent; `debug_assert`-level invariants are
 /// checked in the test suite via [`ObjectBase::check_invariants`].
+///
+/// ## Copy-on-write clones
+///
+/// Version states are reference-counted: [`Clone`] copies the index
+/// maps but *shares* every per-version fact set, and a subsequent
+/// mutation copies only the one state it touches
+/// ([`Arc::make_mut`]). Cloning is therefore O(#versions) regardless
+/// of how many facts the base holds, which is what makes engine runs
+/// (which evaluate on a working copy), session savepoints, and
+/// [`crate::Snapshot`] read views cheap.
 #[derive(Clone, Default)]
 pub struct ObjectBase {
-    versions: FastHashMap<Vid, VersionState>,
+    versions: FastHashMap<Vid, Arc<VersionState>>,
     /// `(chain, method) → bases`: which objects have a version with this
     /// chain defining this method.
     by_chain_method: FastHashMap<(Chain, Symbol), FastHashSet<Const>>,
@@ -76,16 +87,13 @@ impl ObjectBase {
         result: Const,
     ) -> bool {
         let app = MethodApp::new(args, result);
-        let state = self.versions.entry(vid).or_default();
+        let state = Arc::make_mut(self.versions.entry(vid).or_default());
         let was_empty_method = !state.has_method(method);
         let added = state.insert(method, app);
         if added {
             self.fact_count += 1;
             if was_empty_method {
-                self.by_chain_method
-                    .entry((vid.chain(), method))
-                    .or_default()
-                    .insert(vid.base());
+                self.by_chain_method.entry((vid.chain(), method)).or_default().insert(vid.base());
             }
             self.by_base.entry(vid.base()).or_default().insert(vid.chain());
         }
@@ -97,6 +105,11 @@ impl ObjectBase {
         let (removed, method_gone, version_gone) = {
             let Some(state) = self.versions.get_mut(&vid) else { return false };
             let app = MethodApp { args: args.clone(), result };
+            // Peek before copying: a miss must not CoW-copy the state.
+            if !state.contains(method, &app) {
+                return false;
+            }
+            let state = Arc::make_mut(state);
             let removed = state.remove(method, &app);
             (removed, removed && !state.has_method(method), removed && state.is_empty())
         };
@@ -112,8 +125,16 @@ impl ObjectBase {
         removed
     }
 
-    /// Remove a whole version and all its facts; returns the old state.
+    /// Remove a whole version and all its facts; returns the old state
+    /// (unsharing it first if a clone still references it).
     pub fn remove_version(&mut self, vid: Vid) -> Option<VersionState> {
+        let state = self.discard_version(vid)?;
+        Some(Arc::try_unwrap(state).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Remove a whole version, unindexing its facts, without forcing
+    /// the state out of its (possibly shared) allocation.
+    fn discard_version(&mut self, vid: Vid) -> Option<Arc<VersionState>> {
         let state = self.versions.remove(&vid)?;
         self.fact_count -= state.len();
         for method in state.methods() {
@@ -127,19 +148,16 @@ impl ObjectBase {
     /// whatever was there — the engine's per-stratum *overwrite* step
     /// (DESIGN.md D1). Empty states simply remove the version.
     pub fn replace_version(&mut self, vid: Vid, state: VersionState) {
-        self.remove_version(vid);
+        self.discard_version(vid);
         if state.is_empty() {
             return;
         }
         self.fact_count += state.len();
         for method in state.methods() {
-            self.by_chain_method
-                .entry((vid.chain(), method))
-                .or_default()
-                .insert(vid.base());
+            self.by_chain_method.entry((vid.chain(), method)).or_default().insert(vid.base());
         }
         self.by_base.entry(vid.base()).or_default().insert(vid.chain());
-        self.versions.insert(vid, state);
+        self.versions.insert(vid, Arc::new(state));
     }
 
     fn unindex_method(&mut self, vid: Vid, method: Symbol) {
@@ -181,14 +199,14 @@ impl ObjectBase {
 
     /// The state of a version, if it has any facts.
     pub fn version(&self, vid: Vid) -> Option<&VersionState> {
-        self.versions.get(&vid)
+        self.versions.get(&vid).map(Arc::as_ref)
     }
 
     /// Membership of one ground version-term.
     pub fn contains(&self, vid: Vid, method: Symbol, args: &[Const], result: Const) -> bool {
-        self.versions.get(&vid).is_some_and(|s| {
-            s.contains(method, &MethodApp { args: Args::from(args), result })
-        })
+        self.versions
+            .get(&vid)
+            .is_some_and(|s| s.contains(method, &MethodApp { args: Args::from(args), result }))
     }
 
     /// True if `vid.exists -> base(vid)` holds — the paper's criterion
@@ -238,11 +256,7 @@ impl ObjectBase {
 
     /// Every version of an object, as VIDs.
     pub fn versions_of(&self, base: Const) -> impl Iterator<Item = Vid> + '_ {
-        self.by_base
-            .get(&base)
-            .into_iter()
-            .flatten()
-            .map(move |&chain| Vid::new(base, chain))
+        self.by_base.get(&base).into_iter().flatten().map(move |&chain| Vid::new(base, chain))
     }
 
     /// Every object (base OID) with at least one version in the store.
@@ -271,8 +285,12 @@ impl ObjectBase {
     pub fn facts_sorted(&self) -> Vec<Fact> {
         let mut v: Vec<Fact> = self.iter().collect();
         v.sort_by(|a, b| {
-            (a.vid, a.method.as_str(), &a.args, a.result)
-                .cmp(&(b.vid, b.method.as_str(), &b.args, b.result))
+            (a.vid, a.method.as_str(), &a.args, a.result).cmp(&(
+                b.vid,
+                b.method.as_str(),
+                &b.args,
+                b.result,
+            ))
         });
         v
     }

@@ -27,15 +27,15 @@ pub mod args;
 pub mod base;
 pub mod linearity;
 pub mod snapshot;
-pub mod stats;
 pub mod state;
+pub mod stats;
 
 pub use args::Args;
 pub use base::{Fact, ObjectBase};
 pub use linearity::{check_all_linear, LinearityTracker, LinearityViolation};
-pub use snapshot::SnapshotError;
-pub use stats::ObStats;
+pub use snapshot::{Snapshot, SnapshotError};
 pub use state::{MethodApp, VersionState};
+pub use stats::ObStats;
 
 /// The name of the paper's system method: `o.exists -> o`.
 pub const EXISTS_METHOD: &str = "exists";

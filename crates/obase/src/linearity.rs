@@ -123,7 +123,10 @@ pub fn check_all_linear(vids: impl IntoIterator<Item = Vid>) -> Result<(), Linea
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ruvo_term::{oid, UpdateKind::{Del, Ins, Mod}};
+    use ruvo_term::{
+        oid,
+        UpdateKind::{Del, Ins, Mod},
+    };
 
     fn v(name: &str, kinds: &[ruvo_term::UpdateKind]) -> Vid {
         Vid::new(oid(name), Chain::from_kinds(kinds).unwrap())

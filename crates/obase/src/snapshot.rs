@@ -1,9 +1,21 @@
-//! Binary snapshots of object bases.
+//! Snapshots of object bases: in-memory read views and the binary
+//! storage format.
+//!
+//! ## Read views
+//!
+//! A [`Snapshot`] is a cheap, immutable view of an object base at a
+//! point in time: it holds an `Arc` to shared storage, so taking one
+//! is O(1) in the size of the base and never blocks or copies.
+//! Writers evolve the store copy-on-write (see [`ObjectBase`]'s clone
+//! semantics), so outstanding snapshots keep observing exactly the
+//! state they captured.
+//!
+//! ## Binary format
 //!
 //! The textual format ([`ObjectBase::parse`]/`Display`) is the
-//! interchange format; snapshots are the *storage* format — compact,
-//! checksummed, and fast to load because symbols are interned once per
-//! file instead of per occurrence.
+//! interchange format; binary snapshots are the *storage* format —
+//! compact, checksummed, and fast to load because symbols are interned
+//! once per file instead of per occurrence.
 //!
 //! ## Layout (little-endian)
 //!
@@ -26,15 +38,87 @@
 //! stable across processes with differently-populated interners.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ruvo_term::{
-    Chain, Const, FastHashMap, Interner, OrderedF64, Symbol, UpdateKind, Vid,
-};
+use ruvo_term::{Chain, Const, FastHashMap, Interner, OrderedF64, Symbol, UpdateKind, Vid};
 use std::hash::Hasher;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::{Args, ObjectBase};
 
 const MAGIC: &[u8; 4] = b"RUVO";
 const VERSION: u16 = 1;
+
+/// An immutable point-in-time view of an object base.
+///
+/// Taking a snapshot is O(1): it clones an `Arc`, never the store.
+/// The view dereferences to [`ObjectBase`], so every read-side query
+/// (`lookup1`, `version`, `iter`, …) works directly on it. Snapshots
+/// are `Send + Sync` and can be handed to reader threads while the
+/// owning database keeps committing transactions.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    inner: Arc<ObjectBase>,
+}
+
+impl Snapshot {
+    /// View an already-shared object base.
+    pub fn new(inner: Arc<ObjectBase>) -> Snapshot {
+        Snapshot { inner }
+    }
+
+    /// Take ownership of `ob` and view it.
+    pub fn from_object_base(ob: ObjectBase) -> Snapshot {
+        Snapshot { inner: Arc::new(ob) }
+    }
+
+    /// The underlying object base.
+    pub fn object_base(&self) -> &ObjectBase {
+        &self.inner
+    }
+
+    /// The shared handle (O(1) to clone further).
+    pub fn shared(&self) -> Arc<ObjectBase> {
+        Arc::clone(&self.inner)
+    }
+
+    /// A mutable copy of the viewed state. Cheap: version states stay
+    /// shared until written to (see [`ObjectBase`]'s clone docs).
+    pub fn to_object_base(&self) -> ObjectBase {
+        (*self.inner).clone()
+    }
+
+    /// Serialize the viewed state to the binary snapshot format.
+    pub fn to_bytes(&self) -> Bytes {
+        write(&self.inner)
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = ObjectBase;
+    fn deref(&self) -> &ObjectBase {
+        &self.inner
+    }
+}
+
+impl std::fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl Eq for Snapshot {}
+
+impl From<ObjectBase> for Snapshot {
+    fn from(ob: ObjectBase) -> Snapshot {
+        Snapshot::from_object_base(ob)
+    }
+}
 
 /// Why a snapshot could not be decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -309,6 +393,43 @@ mod tests {
             .unwrap();
         ob.insert(v, sym("sal"), Args::empty(), num(0.25));
         ob
+    }
+
+    #[test]
+    fn read_view_is_isolated_from_writers() {
+        let ob = sample();
+        let snap = Snapshot::from_object_base(ob.clone());
+        assert_eq!(snap.object_base(), &ob);
+        // A writer's CoW copy does not disturb the view.
+        let mut writer = snap.to_object_base();
+        let newbie = Vid::object(oid("newbie"));
+        writer.insert(newbie, sym("p"), Args::empty(), int(1));
+        writer.remove(Vid::object(oid("phil")), sym("sal"), &Args::empty(), int(4000));
+        assert!(snap.version(newbie).is_none());
+        assert_eq!(snap.lookup1(oid("phil"), "sal"), vec![int(4000)]);
+        assert!(writer.version(newbie).is_some());
+    }
+
+    #[test]
+    fn read_view_shares_untouched_states() {
+        let ob = sample();
+        let snap = Snapshot::from_object_base(ob);
+        let copy = snap.to_object_base();
+        let phil = Vid::object(oid("phil"));
+        // The copy's states alias the snapshot's until written to:
+        // cloning is O(#versions), not O(#facts).
+        assert!(std::ptr::eq(snap.version(phil).unwrap(), copy.version(phil).unwrap()));
+        let mut touched = copy.clone();
+        touched.insert(phil, sym("note"), Args::empty(), int(1));
+        assert!(!std::ptr::eq(snap.version(phil).unwrap(), touched.version(phil).unwrap()));
+    }
+
+    #[test]
+    fn snapshot_serializes_like_its_base() {
+        let ob = sample();
+        let snap = Snapshot::from_object_base(ob.clone());
+        assert_eq!(snap.to_bytes(), write(&ob));
+        assert_eq!(read(&snap.to_bytes()).unwrap(), ob);
     }
 
     #[test]

@@ -137,10 +137,7 @@ impl VersionState {
 
 impl fmt::Debug for VersionState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut entries: Vec<String> = self
-            .iter()
-            .map(|(m, a)| format!("{m} {a:?}"))
-            .collect();
+        let mut entries: Vec<String> = self.iter().map(|(m, a)| format!("{m} {a:?}")).collect();
         entries.sort();
         write!(f, "{{{}}}", entries.join("; "))
     }

@@ -5,8 +5,8 @@ use std::fmt;
 use ruvo_obase::ObjectBase;
 use ruvo_term::{Const, FastHashMap, FastHashSet, Symbol, Vid};
 
-use crate::types::{Schema, TypeRef};
 use crate::isa_sym;
+use crate::types::{Schema, TypeRef};
 
 /// What went wrong, object by object.
 #[derive(Clone, Debug, PartialEq)]
@@ -319,8 +319,9 @@ mod tests {
                 "g",
                 ClassDef {
                     parents: vec![],
-                    methods: vec![MethodSig::new("edge", TypeRef::Int)
-                        .with_args(vec![TypeRef::Sym])],
+                    methods: vec![
+                        MethodSig::new("edge", TypeRef::Int).with_args(vec![TypeRef::Sym])
+                    ],
                 },
             )
             .build()
@@ -334,19 +335,13 @@ mod tests {
             int(1),
         );
         let vs = check(&s, &ob);
-        assert!(vs.iter().any(|v| matches!(
-            v.kind,
-            ViolationKind::WrongArity { got: 2, expected: 1, .. }
-        )));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::WrongArity { got: 2, expected: 1, .. })));
         // Wrong argument type.
         let mut ob2 = ObjectBase::new();
         ob2.insert(Vid::object(oid("n")), sym("isa"), ruvo_obase::Args::empty(), oid("g"));
-        ob2.insert(
-            Vid::object(oid("n")),
-            sym("edge"),
-            ruvo_obase::Args::new(vec![int(7)]),
-            int(1),
-        );
+        ob2.insert(Vid::object(oid("n")), sym("edge"), ruvo_obase::Args::new(vec![int(7)]), int(1));
         let vs2 = check(&s, &ob2);
         assert!(vs2.iter().any(|v| matches!(v.kind, ViolationKind::WrongArgType { .. })));
     }

@@ -17,7 +17,7 @@ use ruvo_term::{Const, FastHashMap, FastHashSet, Symbol, Vid};
 
 use crate::check::membership;
 use crate::isa_sym;
-use crate::types::{ClassDef, MethodSig, Schema, SchemaError, TypeRef};
+use crate::types::{MethodSig, Schema, SchemaError, TypeRef};
 
 /// An inferred schema change.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -59,11 +59,14 @@ fn infer_type(values: &[Const]) -> TypeRef {
     }
 }
 
+/// Per-method observations: (arities, results, any member multi-valued).
+type MethodObservations = FastHashMap<Symbol, (FastHashSet<usize>, Vec<Const>, bool)>;
+
 /// The methods defined by at least one member of each class, with the
 /// observations needed for signature inference.
 struct ClassMethods {
-    /// class → method → (arities, results, any member multi-valued)
-    per_class: FastHashMap<Symbol, FastHashMap<Symbol, (FastHashSet<usize>, Vec<Const>, bool)>>,
+    /// class → method → observations
+    per_class: FastHashMap<Symbol, MethodObservations>,
     /// classes with at least one member
     inhabited: FastHashSet<Symbol>,
 }
@@ -72,10 +75,7 @@ fn class_methods(ob: &ObjectBase, schema: &Schema) -> ClassMethods {
     let isa = isa_sym();
     let exists = ruvo_obase::exists_sym();
     let member_of = membership(ob, schema);
-    let mut per_class: FastHashMap<
-        Symbol,
-        FastHashMap<Symbol, (FastHashSet<usize>, Vec<Const>, bool)>,
-    > = FastHashMap::default();
+    let mut per_class: FastHashMap<Symbol, MethodObservations> = FastHashMap::default();
     let mut inhabited: FastHashSet<Symbol> = FastHashSet::default();
     for base in ob.objects() {
         let Some(state) = ob.version(Vid::object(base)) else { continue };
@@ -200,11 +200,7 @@ impl Schema {
     /// type); they are reported for the DBA to decide.
     pub fn evolve(mut self, delta: &SchemaDelta) -> Result<Schema, SchemaError> {
         for (class, sigs) in &delta.new_classes {
-            self.classes_mut()
-                .entry(*class)
-                .or_insert_with(ClassDef::default)
-                .methods
-                .extend(sigs.iter().cloned());
+            self.classes_mut().entry(*class).or_default().methods.extend(sigs.iter().cloned());
         }
         for (class, sig) in &delta.added_methods {
             if let Some(def) = self.classes_mut().get_mut(class) {
@@ -226,6 +222,7 @@ impl Schema {
 mod tests {
     use super::*;
     use crate::check::check;
+    use crate::types::ClassDef;
     use ruvo_term::sym;
 
     fn empl_schema() -> Schema {
@@ -275,11 +272,8 @@ mod tests {
         let delta = diff(&schema, &ob, &ob2);
         // A brand-new class hpe appeared, populated by phil with his
         // empl methods.
-        let (class, sigs) = delta
-            .new_classes
-            .iter()
-            .find(|(c, _)| *c == sym("hpe"))
-            .expect("hpe inferred");
+        let (class, sigs) =
+            delta.new_classes.iter().find(|(c, _)| *c == sym("hpe")).expect("hpe inferred");
         assert_eq!(*class, sym("hpe"));
         assert!(sigs.iter().any(|s| s.name == sym("sal")));
         // bob was fired: boss became undefined for class empl (phil has
@@ -294,10 +288,8 @@ mod tests {
 
     #[test]
     fn added_method_on_existing_class() {
-        let (ob, ob2) = run(
-            "phil.isa -> empl. phil.sal -> 4000.",
-            "ins[E].badge -> 7 <= E.isa -> empl.",
-        );
+        let (ob, ob2) =
+            run("phil.isa -> empl. phil.sal -> 4000.", "ins[E].badge -> 7 <= E.isa -> empl.");
         let schema = empl_schema();
         let delta = diff(&schema, &ob, &ob2);
         let (class, sig) = delta
@@ -313,10 +305,7 @@ mod tests {
 
     #[test]
     fn emptied_class_reported_but_kept() {
-        let (ob, ob2) = run(
-            "solo.isa -> empl. solo.sal -> 1.",
-            "del[solo].* <= solo.sal -> 1.",
-        );
+        let (ob, ob2) = run("solo.isa -> empl. solo.sal -> 1.", "del[solo].* <= solo.sal -> 1.");
         let schema = empl_schema();
         let delta = diff(&schema, &ob, &ob2);
         assert_eq!(delta.emptied_classes, vec![sym("empl")]);
@@ -332,10 +321,13 @@ mod tests {
              ins[X].reach -> X <= X.isa -> node.",
         );
         let schema = Schema::builder()
-            .class("node", ClassDef {
-                parents: vec![],
-                methods: vec![MethodSig::new("next", TypeRef::Instance(sym("node")))],
-            })
+            .class(
+                "node",
+                ClassDef {
+                    parents: vec![],
+                    methods: vec![MethodSig::new("next", TypeRef::Instance(sym("node")))],
+                },
+            )
             .build()
             .unwrap();
         let delta = diff(&schema, &ob, &ob2);

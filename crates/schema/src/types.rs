@@ -311,8 +311,7 @@ impl Schema {
     /// Own + inherited method signatures of `class`, with shadowing
     /// resolved (coherence was checked at build time).
     pub fn resolved_methods(&self, class: Symbol) -> Vec<MethodSig> {
-        self.resolve(class)
-            .expect("schema was validated at construction; evolution revalidates")
+        self.resolve(class).expect("schema was validated at construction; evolution revalidates")
     }
 
     /// Mutable access used by evolution (crate-internal).
@@ -360,11 +359,8 @@ mod tests {
     #[test]
     fn inheritance_resolves() {
         let s = person_empl();
-        let methods: Vec<&str> = s
-            .resolved_methods(sym("empl"))
-            .iter()
-            .map(|m| m.name.as_str())
-            .collect();
+        let methods: Vec<&str> =
+            s.resolved_methods(sym("empl")).iter().map(|m| m.name.as_str()).collect();
         assert!(methods.contains(&"sal"));
         assert!(methods.contains(&"name")); // inherited
         let anc: Vec<Symbol> = s.ancestors(sym("empl")).collect();
@@ -394,12 +390,15 @@ mod tests {
     #[test]
     fn conflicting_inherited_signatures_rejected() {
         let err = Schema::builder()
-            .class("a", ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Int)] })
-            .class("b", ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Sym)] })
             .class(
-                "c",
-                ClassDef { parents: vec![sym("a"), sym("b")], methods: vec![] },
+                "a",
+                ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Int)] },
             )
+            .class(
+                "b",
+                ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Sym)] },
+            )
+            .class("c", ClassDef { parents: vec![sym("a"), sym("b")], methods: vec![] })
             .build()
             .unwrap_err();
         assert!(matches!(err, SchemaError::ConflictingSignature { .. }));
@@ -410,7 +409,10 @@ mod tests {
         // Diamond with an override at the bottom is fine: the class's
         // own signature shadows both parents'.
         let s = Schema::builder()
-            .class("top", ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Any)] })
+            .class(
+                "top",
+                ClassDef { parents: vec![], methods: vec![MethodSig::new("m", TypeRef::Any)] },
+            )
             .class(
                 "bottom",
                 ClassDef {
@@ -420,11 +422,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let m = s
-            .resolved_methods(sym("bottom"))
-            .into_iter()
-            .find(|m| m.name == sym("m"))
-            .unwrap();
+        let m = s.resolved_methods(sym("bottom")).into_iter().find(|m| m.name == sym("m")).unwrap();
         assert_eq!(m.result, TypeRef::Int);
     }
 

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the little-endian put/get surface the snapshot codec
+//! uses. `Bytes` is a plain owned buffer (no refcounted slicing — the
+//! workspace never splits buffers), `BytesMut` an appendable one.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    /// Copy the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.as_ref().clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::new(v))
+    }
+}
+
+/// A growable byte buffer with little-endian append methods.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write access to a byte buffer (the subset of `bytes::BufMut` the
+/// workspace uses; everything is little-endian or raw).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read access to a byte cursor (the subset of `bytes::Buf` the
+/// workspace uses). Implemented for `&[u8]`, advancing the slice.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume `n` bytes, returning nothing (position bookkeeping).
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte. Panics if empty (callers bounds-check first).
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+macro_rules! get_le {
+    ($self:ident, $ty:ty) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let (head, tail) = $self.split_at(N);
+        let v = <$ty>::from_le_bytes(head.try_into().expect("sized split"));
+        *$self = tail;
+        v
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        get_le!(self, u8)
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        get_le!(self, u16)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        get_le!(self, u32)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        get_le!(self, u64)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        get_le!(self, i64)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        get_le!(self, f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u16_le(300);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_i64_le(-5);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"xyz");
+        let frozen = buf.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_i64_le(), -5);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r, b"xyz");
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn bytes_index_and_slice() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b[0], 1);
+        assert_eq!(&b[..2], &[1, 2]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation — with a simple measured-median runner
+//! instead of criterion's statistical machinery. Each benchmark warms
+//! up briefly, then reports the median and min of a fixed sample count
+//! as one output line:
+//!
+//! ```text
+//! group/id ... median 1.234 ms  (min 1.198 ms, 10 samples)
+//! ```
+//!
+//! The `--test` flag (passed by `cargo test --benches`) switches to a
+//! single-iteration smoke run, mirroring upstream behavior.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting a
+/// computation (re-export shape of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batches are sized in [`Bencher::iter_batched`]; the shim treats
+/// all variants identically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state (the only variant the workspace uses).
+    #[default]
+    SmallInput,
+    /// Larger state; same behavior in the shim.
+    LargeInput,
+    /// Per-iteration state; same behavior in the shim.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark (printed, not analyzed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    smoke: bool,
+    /// Measured sample durations (one per sample, averaged over inner
+    /// iterations).
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, called many times per sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.smoke {
+            black_box(routine());
+            self.results.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up + pick an inner iteration count targeting ~20ms/sample.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let inner =
+            ((Duration::from_millis(20).as_nanos() / once.as_nanos()).max(1) as usize).min(10_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / inner as u32);
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        if self.smoke {
+            black_box(routine(setup()));
+            self.results.push(Duration::ZERO);
+            return;
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn report(label: &str, throughput: Option<Throughput>, mut samples: Vec<Duration>, smoke: bool) {
+    if smoke {
+        println!("{label} ... ok (smoke)");
+        return;
+    }
+    if samples.is_empty() {
+        println!("{label} ... no samples");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Throughput::Bytes(n) => {
+            format!("  {:.0} MiB/s", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+        }
+    });
+    println!(
+        "{label} ... median {}  (min {}, {} samples){}",
+        fmt_duration(median),
+        fmt_duration(min),
+        samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (upstream default is 100; the shim's is
+    /// [`Criterion::DEFAULT_SAMPLES`]).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f)
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input))
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher =
+            Bencher { samples: self.sample_size, smoke: self.criterion.smoke, results: Vec::new() };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.name);
+        report(&label, self.throughput, bencher.results, self.criterion.smoke);
+        self
+    }
+
+    /// End the group (no-op beyond matching upstream's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Criterion {
+    /// Samples per benchmark unless overridden by
+    /// [`BenchmarkGroup::sample_size`].
+    pub const DEFAULT_SAMPLES: usize = 20;
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: Self::DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (its own single-entry group).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group(name.to_string()).bench_function("run", f);
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` passes --test; run each routine once.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+/// Declare a group of benchmark functions (upstream-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { smoke: true };
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_function(BenchmarkId::from_parameter(1), |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("with", 2), &5u64, |b, &x| {
+                b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

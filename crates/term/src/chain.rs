@@ -104,10 +104,7 @@ impl Chain {
         if self.len() >= Self::MAX_LEN {
             return Err(ChainOverflow);
         }
-        Ok(Chain {
-            bits: self.bits | ((kind as u64) << (2 * self.len)),
-            len: self.len + 1,
-        })
+        Ok(Chain { bits: self.bits | ((kind as u64) << (2 * self.len)), len: self.len + 1 })
     }
 
     /// Remove the outermost update, returning the inner chain and the
@@ -120,10 +117,7 @@ impl Chain {
         let newlen = self.len - 1;
         let shift = 2 * newlen as u64;
         let kind = UpdateKind::from_bits((self.bits >> shift) & 0b11);
-        Some((
-            Chain { bits: self.bits & !(0b11 << shift), len: newlen },
-            kind,
-        ))
+        Some((Chain { bits: self.bits & !(0b11 << shift), len: newlen }, kind))
     }
 
     /// The update kind applied at position `i` (0 = innermost/first).

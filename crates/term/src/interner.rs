@@ -155,7 +155,9 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let i = i.clone();
-                std::thread::spawn(move || (0..100).map(|k| i.intern(&format!("s{k}"))).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..100).map(|k| i.intern(&format!("s{k}"))).collect::<Vec<_>>()
+                })
             })
             .collect();
         let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -324,7 +324,9 @@ mod tests {
         // del(mod(E)) vs mod(F): no.
         assert!(!vt(var(0), &[Mod, Del]).unifiable(vt(var(1), &[Mod])));
         // Constants must agree.
-        assert!(!vt(BaseTerm::Const(oid("a")), &[Ins]).unifiable(vt(BaseTerm::Const(oid("b")), &[Ins])));
+        assert!(
+            !vt(BaseTerm::Const(oid("a")), &[Ins]).unifiable(vt(BaseTerm::Const(oid("b")), &[Ins]))
+        );
     }
 
     #[test]
@@ -348,7 +350,7 @@ mod tests {
         // V = mod(E); rule4 head: ins(mod(E)) with V = mod(E).
         let head12 = vt(var(0), &[Mod]);
         let v3 = vt(var(1), &[Mod]); // the V of del[mod(E)]
-        // Condition (a): head12 unifies with a subterm of V3.
+                                     // Condition (a): head12 unifies with a subterm of V3.
         assert!(v3.subterm_unifies(head12));
         // rule3's full head VID does not unify with V4 = mod(E)'s subterms.
         let head3 = vt(var(1), &[Mod, Del]);

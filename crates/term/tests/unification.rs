@@ -2,24 +2,18 @@
 //! match/ground coherence.
 
 use proptest::prelude::*;
-use ruvo_term::{
-    oid, BaseTerm, Bindings, Chain, Const, UpdateKind, VarId, Vid, VidTerm,
-};
+use ruvo_term::{oid, BaseTerm, Bindings, Chain, Const, UpdateKind, VarId, Vid, VidTerm};
 
 fn arb_kind() -> impl Strategy<Value = UpdateKind> {
     prop_oneof![Just(UpdateKind::Ins), Just(UpdateKind::Del), Just(UpdateKind::Mod)]
 }
 
 fn arb_chain() -> impl Strategy<Value = Chain> {
-    proptest::collection::vec(arb_kind(), 0..6)
-        .prop_map(|ks| Chain::from_kinds(&ks).unwrap())
+    proptest::collection::vec(arb_kind(), 0..6).prop_map(|ks| Chain::from_kinds(&ks).unwrap())
 }
 
 fn arb_const() -> impl Strategy<Value = Const> {
-    prop_oneof![
-        (0u8..5).prop_map(|i| oid(&format!("c{i}"))),
-        (-3i64..20).prop_map(Const::Int),
-    ]
+    prop_oneof![(0u8..5).prop_map(|i| oid(&format!("c{i}"))), (-3i64..20).prop_map(Const::Int),]
 }
 
 /// Base terms over a two-variable vocabulary.

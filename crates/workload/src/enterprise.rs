@@ -185,10 +185,7 @@ mod tests {
         let db = e.as_datalog();
         assert_eq!(db.arity_count(sym("empl")), 20);
         assert_eq!(db.arity_count(sym("sal")), 20);
-        assert_eq!(
-            db.arity_count(sym("mgr")),
-            e.is_manager.iter().filter(|&&m| m).count()
-        );
+        assert_eq!(db.arity_count(sym("mgr")), e.is_manager.iter().filter(|&&m| m).count());
         assert_eq!(db.arity_count(sym("boss")), 19);
     }
 

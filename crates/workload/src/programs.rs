@@ -12,10 +12,8 @@ pub const PAPER_ENTERPRISE_OB: &str = "
 
 /// §2.1: every employee gets a 10% raise — exactly once.
 pub fn salary_raise_program() -> Program {
-    Program::parse(
-        "raise: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
-    )
-    .expect("static program parses")
+    Program::parse("raise: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.")
+        .expect("static program parses")
 }
 
 /// §2.3's 4-rule enterprise update: raise salaries (managers +$200),

@@ -93,9 +93,8 @@ mod tests {
             let config = RandomConfig { seed, ..Default::default() };
             let ob = random_object_base(config);
             let program = random_insert_program(config);
-            let outcome = UpdateEngine::new(program)
-                .run(&ob)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let outcome =
+                UpdateEngine::new(program).run(&ob).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             outcome.result().check_invariants();
             outcome.new_object_base().check_invariants();
         }

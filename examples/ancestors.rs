@@ -24,8 +24,11 @@ fn main() {
         family.edges.len()
     );
 
-    let outcome = UpdateEngine::new(ancestors_program()).run(&family.ob).expect("runs");
-    let ob2 = outcome.new_object_base();
+    let mut rdb = Database::open(family.ob.clone());
+    let closure = rdb.prepare_program(ancestors_program()).expect("stratifiable");
+    rdb.apply(&closure).expect("runs");
+    let outcome = &rdb.log().last().expect("committed").outcome;
+    let ob2 = rdb.current();
 
     // Check every person against the ground-truth closure.
     let expected = family.expected_ancestors();

@@ -16,7 +16,7 @@ use ruvo::prelude::*;
 use ruvo::workload::enterprise_program;
 
 fn main() {
-    let ob = ObjectBase::parse(
+    let mut rdb = Database::open_src(
         "phil.isa -> empl.  phil.pos -> mgr.   phil.sal -> 4000.
          bob.isa -> empl.   bob.boss -> phil.  bob.sal -> 3600.
          eve.isa -> empl.   eve.boss -> bob.   eve.sal -> 3000.
@@ -25,13 +25,13 @@ fn main() {
     .expect("object base parses");
 
     // 1. Base-method update (the paper's machinery).
-    let outcome = UpdateEngine::new(enterprise_program()).run(&ob).expect("runs");
-    let ob2 = outcome.new_object_base();
+    rdb.apply_program(enterprise_program()).expect("runs");
+    let ob2 = rdb.snapshot();
     println!("updated object base:\n{ob2}");
 
     // 2. Derived methods as views (outside the update fixpoint, so the
     //    termination/stratification story of the paper is untouched).
-    let mut db = ob_to_db(&ob2).expect("ob2 is flat");
+    let mut db = ob_to_db(ob2.object_base()).expect("ob2 is flat");
     let views = parse_program(
         "grandboss(E, B2) <= boss(E, B) & boss(B, B2).
          peer(E, F) <= boss(E, B) & boss(F, B) & E != F.",
@@ -45,15 +45,12 @@ fn main() {
 
     // 3. Bridge a view back and run a second update seeded by it.
     let derived = db_to_ob(&db, &[sym("grandboss")]).expect("arity ≥ 2");
-    let mut seeded = ob2.clone();
+    let mut seeded = ob2.to_object_base();
     for f in derived.iter() {
         seeded.insert(f.vid, f.method, f.args.clone(), f.result);
     }
-    let bonus = Program::parse(
-        "skip_level: ins[E].mentor -> G <= E.grandboss -> G.",
-    )
-    .expect("parses");
-    let final_ob = UpdateEngine::new(bonus).run(&seeded).expect("runs").new_object_base();
-    assert_eq!(final_ob.lookup1(oid("eve"), "mentor"), vec![oid("phil")]);
+    let mut seeded_db = Database::open(seeded);
+    seeded_db.apply_src("skip_level: ins[E].mentor -> G <= E.grandboss -> G.").expect("runs");
+    assert_eq!(seeded_db.current().lookup1(oid("eve"), "mentor"), vec![oid("phil")]);
     println!("second update consumed the derived view: eve.mentor -> phil ✓");
 }

@@ -16,15 +16,16 @@ use ruvo::prelude::*;
 use ruvo::workload::{enterprise_program, PAPER_ENTERPRISE_OB};
 
 fn main() {
-    let ob = ObjectBase::parse(PAPER_ENTERPRISE_OB).expect("object base parses");
-    println!("to-be-updated object base:\n{ob}");
+    let mut db = Database::open_src(PAPER_ENTERPRISE_OB).expect("object base parses");
+    println!("to-be-updated object base:\n{}", db.current());
 
-    let program = enterprise_program();
-    let engine = UpdateEngine::new(program);
-    let strat = engine.stratify().expect("stratifiable");
+    // Compiled once; reused below on the §2.4 variant base.
+    let update = db.prepare_program(enterprise_program()).expect("stratifiable");
+    let strat = update.stratification();
     println!("stratification (paper: {{rule1, rule2}} < {{rule3}} < {{rule4}}):\n  {strat}\n");
 
-    let outcome = engine.run(&ob).expect("evaluation succeeds");
+    db.apply(&update).expect("evaluation succeeds");
+    let outcome = &db.log().last().expect("committed").outcome;
 
     // Figure 2: the version history of each object.
     for name in ["phil", "bob"] {
@@ -33,17 +34,15 @@ fn main() {
         versions.sort_by_key(|v| v.depth());
         for v in versions {
             let state = outcome.result().version(v).expect("version has facts");
-            let mut apps: Vec<String> = state
-                .iter()
-                .map(|(m, app)| format!("{m} {app:?}"))
-                .collect();
+            let mut apps: Vec<String> =
+                state.iter().map(|(m, app)| format!("{m} {app:?}")).collect();
             apps.sort();
             println!("  {v}: {}", apps.join(", "));
         }
         println!();
     }
 
-    let ob2 = outcome.new_object_base();
+    let ob2 = db.current();
     println!("updated object base ob′:\n{ob2}");
 
     // The paper's stated outcome.
@@ -56,13 +55,14 @@ fn main() {
 
     // §2.4's control discussion: if bob earned only $4100, firing him
     // before the raise would have been wrong — the VIDs prevent that.
-    let ob_variant = ObjectBase::parse(
+    // The prepared program is database-independent: reuse it here.
+    let mut variant = Database::open_src(
         "phil.isa -> empl.  phil.pos -> mgr.    phil.sal -> 4000.
          bob.isa -> empl.   bob.boss -> phil.   bob.sal -> 4100.",
     )
     .expect("variant parses");
-    let outcome2 = UpdateEngine::new(enterprise_program()).run(&ob_variant).expect("runs");
-    let ob2 = outcome2.new_object_base();
+    variant.apply(&update).expect("runs");
+    let ob2 = variant.current();
     assert_eq!(
         ob2.lookup1(oid("bob"), "sal"),
         vec![int(4510)],

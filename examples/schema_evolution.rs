@@ -54,7 +54,9 @@ fn main() {
          rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.",
     )
     .expect("program parses");
-    let ob2 = UpdateEngine::new(program).run(&ob).expect("runs").new_object_base();
+    let mut rdb = Database::open(ob.clone());
+    rdb.apply_program(program).expect("runs");
+    let ob2 = rdb.current().clone();
     println!("\nupdated object base:\n{ob2}");
 
     // The untyped update left the typed world behind: phil now claims

@@ -12,11 +12,10 @@
 //! shows the §5 runtime check rejecting a non-version-linear program.
 
 use ruvo::core::temporal::{FactProp, Formula, Timeline};
-use ruvo::core::EvalError;
 use ruvo::prelude::*;
 
 fn main() {
-    let ob = ObjectBase::parse(
+    let mut db = Database::open_src(
         "acct1.owner -> alice.  acct1.balance -> 100.  acct1.status -> active.
          acct2.owner -> bob.    acct2.balance -> 70.   acct2.status -> dormant.",
     )
@@ -26,18 +25,18 @@ fn main() {
     // Stage 2 (del): drop the status flag of dormant accounts.
     // Stage 3 (ins): tag every account version that went through
     //                stage 1 or 2 with an audit note.
-    let program = Program::parse(
-        "interest: mod[A].balance -> (B, B2) <=
-             A.status -> active & A.balance -> B & B2 = B * 1.05.
-         cleanup: del[A].status -> dormant <= A.status -> dormant.
-         audit1: ins[mod(A)].audited -> interest <= mod[A].balance -> (B, B2).
-         audit2: ins[del(A)].audited -> cleanup <= del[A].status -> dormant.",
-    )
-    .expect("program parses");
-
-    let engine = UpdateEngine::new(program);
-    println!("stratification: {}\n", engine.stratify().expect("stratifiable"));
-    let outcome = engine.run(&ob).expect("runs");
+    let audit = db
+        .prepare(
+            "interest: mod[A].balance -> (B, B2) <=
+                 A.status -> active & A.balance -> B & B2 = B * 1.05.
+             cleanup: del[A].status -> dormant <= A.status -> dormant.
+             audit1: ins[mod(A)].audited -> interest <= mod[A].balance -> (B, B2).
+             audit2: ins[del(A)].audited -> cleanup <= del[A].status -> dormant.",
+        )
+        .expect("program compiles");
+    println!("stratification: {}\n", audit.stratification());
+    db.apply(&audit).expect("runs");
+    let outcome = &db.log().last().expect("committed").outcome;
 
     // Walk each object's linear version history.
     for base in ["acct1", "acct2"] {
@@ -82,7 +81,7 @@ fn main() {
     assert!(t2.eval(last, &Formula::Once(Box::new(dormant))));
     println!("temporal: acct2 went through {} update steps\n", last);
 
-    let ob2 = outcome.new_object_base();
+    let ob2 = db.current();
     println!("final object base:\n{ob2}");
     assert_eq!(ob2.lookup1(oid("acct1"), "balance"), vec![int(105)]);
     assert_eq!(ob2.lookup1(oid("acct1"), "audited"), vec![oid("interest")]);
@@ -90,19 +89,17 @@ fn main() {
     assert_eq!(ob2.lookup1(oid("acct2"), "audited"), vec![oid("cleanup")]);
 
     // §5: a program creating incomparable versions of one object is
-    // rejected at runtime.
-    let bad = Program::parse(
-        "mod[o].m -> (a, b) <= o.m -> a.
-         del[o].m -> a <= o.m -> a.",
-    )
-    .expect("parses fine — the problem is semantic");
-    let err = UpdateEngine::new(bad)
-        .run(&ObjectBase::parse("o.m -> a.").unwrap())
+    // rejected at runtime — surfaced through the unified error type,
+    // and the database is left exactly as it was.
+    let mut bad_db = Database::open_src("o.m -> a.").unwrap();
+    let before = bad_db.snapshot();
+    let err = bad_db
+        .apply_src(
+            "mod[o].m -> (a, b) <= o.m -> a.
+             del[o].m -> a <= o.m -> a.",
+        )
         .expect_err("must be rejected");
-    match err {
-        EvalError::Linearity(v) => {
-            println!("\n§5 runtime check fired as expected:\n  {v}");
-        }
-        other => panic!("expected a linearity violation, got {other}"),
-    }
+    assert_eq!(err.kind(), ErrorKind::Linearity);
+    assert_eq!(bad_db.current(), before.object_base());
+    println!("\n§5 runtime check fired as expected ({}):\n  {err}", err.kind());
 }

@@ -9,10 +9,12 @@
 //! This facade crate re-exports the public API of the workspace:
 //!
 //! * [`term`] — OIDs, update chains, version identities, unification,
-//! * [`obase`] — the versioned object-base store,
+//! * [`obase`] — the versioned object-base store (copy-on-write
+//!   clones, O(1) [`Snapshot`] read views, binary persistence),
 //! * [`lang`] — parser / AST / safety analysis for the update language,
 //! * [`core`] — the `T_P` operator, stratification and fixpoint
-//!   evaluation (the paper's contribution),
+//!   evaluation (the paper's contribution), plus the [`Database`]
+//!   facade,
 //! * [`datalog`] — the Logres-style baseline engine,
 //! * [`workload`] — deterministic synthetic workload generators,
 //! * [`schema`] — classes, conformance and update-driven schema
@@ -20,24 +22,48 @@
 //!
 //! ## Quickstart
 //!
+//! The central type is [`Database`]: a persistent handle over an
+//! evolving object base. Programs are **prepared once** (parse +
+//! safety check + stratification) and applied any number of times;
+//! every application is an all-or-nothing transaction, and
+//! [`Database::snapshot`] hands out O(1) copy-on-write read views
+//! that stay stable while the database keeps committing.
+//!
 //! ```
 //! use ruvo::prelude::*;
 //!
 //! // §2.1 of the paper: give every employee a 10% raise — exactly once,
 //! // because the rule only matches *initial* (not-yet-updated) versions.
-//! let ob = ObjectBase::parse(
+//! let mut db = Database::open_src(
 //!     "henry.isa -> empl. henry.sal -> 250.
 //!      mary.isa -> empl.  mary.sal -> 300.",
 //! ).unwrap();
-//! let program = Program::parse(
+//! let raise = db.prepare(
 //!     "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
 //! ).unwrap();
 //!
-//! let outcome = UpdateEngine::new(program).run(&ob).unwrap();
-//! let ob2 = outcome.new_object_base();
-//! assert_eq!(ob2.lookup1(oid("henry"), "sal"), vec![int(275)]);
-//! assert_eq!(ob2.lookup1(oid("mary"), "sal"), vec![int(330)]);
+//! let before = db.snapshot();          // O(1) read view
+//! db.apply(&raise).unwrap();           // compiled once, applied now
+//!
+//! assert_eq!(db.current().lookup1(oid("henry"), "sal"), vec![int(275)]);
+//! assert_eq!(db.current().lookup1(oid("mary"), "sal"), vec![int(330)]);
+//! // The snapshot still sees the pre-transaction state.
+//! assert_eq!(before.lookup1(oid("henry"), "sal"), vec![int(250)]);
+//!
+//! // The transaction log keeps every version the update created.
+//! let txn = db.log().last().unwrap();
+//! assert!(txn.outcome.result().contains(
+//!     Vid::object(oid("henry")).apply(UpdateKind::Mod).unwrap(),
+//!     sym("sal"), &[], int(275),
+//! ));
 //! ```
+//!
+//! ### Migrating from the pre-`Database` API
+//!
+//! The one-shot shape `UpdateEngine::new(program).run(&ob)` still
+//! works unchanged; `Database::open(ob)` + `prepare`/`apply` is the
+//! same semantics with compilation amortized and errors unified under
+//! [`Error`]/[`ErrorKind`].
 
 pub mod paper;
 
@@ -49,14 +75,16 @@ pub use ruvo_schema as schema;
 pub use ruvo_term as term;
 pub use ruvo_workload as workload;
 
+pub use ruvo_core::{Database, DatabaseBuilder, Error, ErrorKind, Prepared, Transaction};
+pub use ruvo_obase::Snapshot;
+
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use ruvo_core::{
-        EngineConfig, EvalError, Outcome, Stratification, UpdateEngine,
+        Database, DatabaseBuilder, EngineConfig, Error, ErrorKind, EvalError, Outcome, Prepared,
+        Session, Stratification, Transaction, UpdateEngine,
     };
     pub use ruvo_lang::{Program, Rule};
-    pub use ruvo_obase::{MethodApp, ObjectBase};
-    pub use ruvo_term::{
-        int, num, oid, sym, Chain, Const, Symbol, UpdateKind, Vid,
-    };
+    pub use ruvo_obase::{MethodApp, ObjectBase, Snapshot};
+    pub use ruvo_term::{int, num, oid, sym, Chain, Const, Symbol, UpdateKind, Vid};
 }

@@ -40,7 +40,11 @@
 //! "An update-program \[is\] a mapping from an (old) object-base into a
 //! (new) object-base" → [`crate::core::UpdateEngine::run`] produces an
 //! [`crate::core::Outcome`]; chained mappings with commit/rollback are
-//! [`crate::core::Session`].
+//! [`crate::core::Session`]. The production shape of the same idea is
+//! [`crate::Database`]: programs are compiled once
+//! ([`crate::Database::prepare`]) and applied repeatedly as
+//! transactions, with O(1) [`crate::Snapshot`] read views between
+//! them.
 //!
 //! ## §2.3 Examples
 //!

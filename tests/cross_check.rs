@@ -74,19 +74,13 @@ fn insert_only_programs_agree_with_datalog() {
         for method_id in 0..config.methods {
             let m = sym(&format!("m{method_id}"));
             let dm = sym(&format!("d_m{method_id}"));
-            let mut datalog_facts: Vec<(Const, Const)> = db
-                .tuples(m)
-                .chain(db.tuples(dm))
-                .map(|t| (t[0], t[1]))
-                .collect();
+            let mut datalog_facts: Vec<(Const, Const)> =
+                db.tuples(m).chain(db.tuples(dm)).map(|t| (t[0], t[1])).collect();
             datalog_facts.sort();
             datalog_facts.dedup();
 
-            let mut ruvo_facts: Vec<(Const, Const)> = ob2
-                .iter()
-                .filter(|f| f.method == m)
-                .map(|f| (f.vid.base(), f.result))
-                .collect();
+            let mut ruvo_facts: Vec<(Const, Const)> =
+                ob2.iter().filter(|f| f.method == m).map(|f| (f.vid.base(), f.result)).collect();
             ruvo_facts.sort();
 
             assert_eq!(ruvo_facts, datalog_facts, "seed {seed}, method m{method_id}");

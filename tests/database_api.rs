@@ -1,0 +1,248 @@
+//! Integration tests of the `ruvo::Database` facade: prepared
+//! programs, snapshot isolation, savepoints, transactions, and the
+//! unified error type — all through the public `ruvo` prelude.
+
+use ruvo::prelude::*;
+
+const ENTERPRISE: &str = "
+    phil.isa -> empl.  phil.pos -> mgr.    phil.sal -> 4000.
+    bob.isa -> empl.   bob.boss -> phil.   bob.sal -> 4200.
+";
+
+const RAISE: &str = "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.";
+
+#[test]
+fn prepare_once_apply_many_matches_oneshot() {
+    // The prepared path must agree exactly with the one-shot engine.
+    let ob = ObjectBase::parse(ENTERPRISE).unwrap();
+    let oneshot =
+        UpdateEngine::new(Program::parse(RAISE).unwrap()).run(&ob).unwrap().new_object_base();
+
+    let mut db = Database::open(ob.clone());
+    let raise = db.prepare(RAISE).unwrap();
+    db.apply(&raise).unwrap();
+    assert_eq!(db.current(), &oneshot);
+
+    // Reuse across ten applications: each sees the flat committed base.
+    let mut db = Database::open_src("acct.v -> 0.").unwrap();
+    let incr = db.prepare("mod[A].v -> (V, V2) <= A.v -> V & V2 = V + 1.").unwrap();
+    for expected in 1..=10i64 {
+        db.apply(&incr).unwrap();
+        assert_eq!(db.current().lookup1(oid("acct"), "v"), vec![int(expected)]);
+    }
+    assert_eq!(db.len(), 10);
+    // Every transaction kept its version history.
+    for txn in db.log() {
+        assert_eq!(txn.outcome.stats().fired_updates, 1);
+    }
+}
+
+#[test]
+fn prepared_stratification_is_computed_once_and_correct() {
+    let db = Database::open_src(ENTERPRISE).unwrap();
+    let program = db
+        .prepare(
+            "rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+             rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+             rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+             rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.",
+        )
+        .unwrap();
+    // The paper's §2.3 strata: {rule1, rule2} < {rule3} < {rule4}.
+    assert_eq!(program.stratification().strata.len(), 3);
+    assert_eq!(program.program().len(), 4);
+}
+
+#[test]
+fn snapshot_isolation_across_transactions() {
+    let mut db = Database::open_src(ENTERPRISE).unwrap();
+    let raise = db.prepare(RAISE).unwrap();
+
+    let s0 = db.snapshot();
+    db.apply(&raise).unwrap();
+    let s1 = db.snapshot();
+    db.apply(&raise).unwrap();
+
+    // Each reader keeps the exact state it captured.
+    assert_eq!(s0.lookup1(oid("bob"), "sal"), vec![int(4200)]);
+    assert_eq!(s1.lookup1(oid("bob"), "sal"), vec![int(4620)]);
+    // The committed head has moved past both snapshots: it equals one
+    // more application of the raise to s1's state.
+    let expected = UpdateEngine::new(Program::parse(RAISE).unwrap())
+        .run(s1.object_base())
+        .unwrap()
+        .new_object_base();
+    assert_eq!(db.current(), &expected);
+    assert_ne!(db.current(), s1.object_base());
+
+    // Snapshots survive the database itself.
+    drop(db);
+    assert_eq!(s0.lookup1(oid("phil"), "sal"), vec![int(4000)]);
+
+    // And they are usable from other threads.
+    let handle = std::thread::spawn(move || s1.lookup1(oid("phil"), "sal"));
+    assert_eq!(handle.join().unwrap(), vec![int(4400)]);
+}
+
+#[test]
+fn snapshot_is_constant_size_handle() {
+    // Taking a snapshot shares storage: the view's version states
+    // alias the committed base's allocations (no deep copy).
+    let mut src = String::new();
+    for i in 0..500 {
+        src.push_str(&format!("o{i}.isa -> empl. o{i}.sal -> {i}.\n"));
+    }
+    let db = Database::open_src(&src).unwrap();
+    let snap = db.snapshot();
+    let vid = Vid::object(oid("o123"));
+    assert!(std::ptr::eq(db.current().version(vid).unwrap(), snap.version(vid).unwrap(),));
+}
+
+#[test]
+fn savepoint_rollback_through_database() {
+    let mut db = Database::open_src(ENTERPRISE).unwrap();
+    let sp = db.savepoint();
+    db.apply_src("del[bob].* .").unwrap();
+    assert!(db.current().lookup1(oid("bob"), "sal").is_empty());
+    db.rollback_to(sp).unwrap();
+    assert_eq!(db.current().lookup1(oid("bob"), "sal"), vec![int(4200)]);
+    assert!(db.is_empty());
+
+    // The savepoint stays valid for repeated rollbacks.
+    db.apply_src("ins[bob].note -> 1 <= bob.isa -> empl.").unwrap();
+    db.rollback_to(sp).unwrap();
+    assert!(db.current().lookup1(oid("bob"), "note").is_empty());
+
+    // A dangling savepoint from a parallel history errors cleanly.
+    let mut other = Database::open_src(ENTERPRISE).unwrap();
+    let foreign = other.savepoint();
+    other.rollback_to(foreign).unwrap();
+    let sp2 = db.savepoint();
+    db.rollback_to(sp).unwrap(); // invalidates sp2
+    assert_eq!(db.rollback_to(sp2).unwrap_err().kind(), ErrorKind::UnknownSavepoint);
+}
+
+#[test]
+fn transact_rolls_back_partial_work() {
+    let mut db = Database::open_src("acct.balance -> 100.").unwrap();
+    let credit = db.prepare("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 25.").unwrap();
+
+    // Success path: both applications commit.
+    db.transact(|txn| {
+        txn.apply(&credit)?;
+        txn.apply(&credit)
+    })
+    .unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(150)]);
+
+    // Failure path: the first application is rolled back too.
+    let err = db
+        .transact(|txn| {
+            txn.apply(&credit)?;
+            txn.apply_src(
+                "mod[A].balance -> (B, 0) <= A.balance -> B.
+                           del[A].balance -> B <= A.balance -> B.",
+            )
+        })
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Linearity);
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(150)]);
+    assert_eq!(db.len(), 2);
+}
+
+#[test]
+fn error_kind_mapping() {
+    let mut db = Database::open_src("o.m -> a. o.n -> b.").unwrap();
+
+    // Parse failure.
+    let err = db.prepare("this is not an update-program").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Parse);
+
+    // Validation failure (the system method is unupdatable).
+    let err = db.prepare("ins[o].exists -> o.").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Validate);
+
+    // Safety failure (unbound head variable).
+    let err = db.prepare("ins[X].m -> Free <= X.m -> a.").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Safety);
+
+    // Non-stratifiable program (negation through the rule's own head).
+    let err = db.prepare("ins[X].p -> 1 <= X.m -> a & not ins(X).p -> 1.").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Stratify);
+
+    // Non-linear result (mod and del branch off the same version).
+    let err =
+        db.apply_src("mod[o].m -> (a, b) <= o.m -> a. del[o].n -> b <= o.n -> b.").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Linearity);
+
+    // Every kind renders a non-empty message and the database is
+    // untouched throughout.
+    assert!(db.is_empty());
+    assert_eq!(db.current().lookup1(oid("o"), "m"), vec![oid("a")]);
+}
+
+#[test]
+fn errors_unify_the_layer_types() {
+    use ruvo::core::{EvalError, SessionError};
+    use ruvo::lang::LangError;
+
+    // From<LangError>, From<EvalError>, From<SessionError> all land on
+    // the same unified type with the right kind.
+    let parse: LangError = Program::parse("nope").unwrap_err();
+    let e: Error = parse.into();
+    assert_eq!(e.kind(), ErrorKind::Parse);
+
+    let eval = EvalError::RoundLimit { stratum: 0, limit: 7 };
+    let e: Error = eval.into();
+    assert_eq!(e.kind(), ErrorKind::RoundLimit);
+    assert!(e.to_string().contains("7 rounds"));
+
+    let mut session = Session::new(ObjectBase::new());
+    let sp = {
+        let mut other = Session::new(ObjectBase::new());
+        other.savepoint()
+    };
+    let err = session.rollback_to(sp).unwrap_err();
+    let e: Error = err.into();
+    assert_eq!(e.kind(), ErrorKind::UnknownSavepoint);
+
+    let e: Error = SessionError::Lang(Program::parse("x").unwrap_err()).into();
+    assert_eq!(e.kind(), ErrorKind::Parse);
+}
+
+#[test]
+fn builder_knobs_flow_through() {
+    use ruvo::core::{CyclePolicy, TraceLevel};
+
+    let mut db =
+        Database::builder().trace(TraceLevel::Rounds).parallel(true).open_src(ENTERPRISE).unwrap();
+    let raise = db.prepare(RAISE).unwrap();
+    db.apply(&raise).unwrap();
+    let txn = db.log().last().unwrap();
+    assert!(!txn.outcome.round_traces().is_empty(), "round traces were requested");
+
+    // cycle_policy at build time changes what prepare accepts.
+    let strict = Database::open_src("a.m -> 1. a.trigger -> 1.").unwrap();
+    let dynamic = Database::builder()
+        .cycle_policy(CyclePolicy::RuntimeStability)
+        .open_src("a.m -> 1. a.trigger -> 1.")
+        .unwrap();
+    let cyclic = "r1: del[ins(X)].m -> 1 <= ins(X).m -> 1 & ins(X).go -> 1.
+                  r2: ins[X].go -> 1 <= X.trigger -> 1 & not del[ins(X)].m -> 9.";
+    assert_eq!(strict.prepare(cyclic).unwrap_err().kind(), ErrorKind::Stratify);
+    assert!(dynamic.prepare(cyclic).is_ok());
+}
+
+#[test]
+fn database_roundtrips_binary_snapshots() {
+    let mut db = Database::open_src(ENTERPRISE).unwrap();
+    let raise = db.prepare(RAISE).unwrap();
+    db.apply(&raise).unwrap();
+
+    let bytes = db.snapshot().to_bytes();
+    let restored = Database::open_bytes(&bytes).unwrap();
+    assert_eq!(restored.current(), db.current());
+
+    let err = Database::open_bytes(b"definitely not a snapshot").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Snapshot);
+}

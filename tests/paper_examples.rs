@@ -133,7 +133,8 @@ fn section_2_3_hypothetical_both_answers() {
 /// "performed and revised right away" claim of §2.3).
 #[test]
 fn hypothetical_mod_mod_equals_original() {
-    let ob = ObjectBase::parse("a.sal -> 500. a.factor -> 1.4. b.sal -> 900. b.factor -> 1.1.").unwrap();
+    let ob =
+        ObjectBase::parse("a.sal -> 500. a.factor -> 1.4. b.sal -> 900. b.factor -> 1.1.").unwrap();
     let outcome = UpdateEngine::new(hypothetical_program("a")).run(&ob).unwrap();
     for name in ["a", "b"] {
         let base = Vid::object(oid(name));

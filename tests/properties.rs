@@ -8,11 +8,7 @@ use ruvo::workload::{random_insert_program, random_object_base, RandomConfig};
 // ----- term layer ----------------------------------------------------
 
 fn arb_kind() -> impl Strategy<Value = UpdateKind> {
-    prop_oneof![
-        Just(UpdateKind::Ins),
-        Just(UpdateKind::Del),
-        Just(UpdateKind::Mod),
-    ]
+    prop_oneof![Just(UpdateKind::Ins), Just(UpdateKind::Del), Just(UpdateKind::Mod),]
 }
 
 fn arb_chain() -> impl Strategy<Value = Chain> {

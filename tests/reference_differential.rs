@@ -10,9 +10,11 @@
 //! exhibits it.
 //!
 //! For every generated case, engine and reference must agree on:
+//!
 //! * success vs failure, and the failure kind (linearity / round limit),
 //! * the full `result(P)` (every version state),
 //! * the extracted new object base,
+//!
 //! and all engine configurations (delta filtering on/off, parallel
 //! on/off) must produce that same result.
 
@@ -74,27 +76,26 @@ fn render(r: &TRule) -> String {
 }
 
 fn arb_rule() -> impl Strategy<Value = TRule> {
-    (0..NUM_TEMPLATES, 0usize..3, 0usize..3, 0usize..3, 0usize..4, 0i64..6).prop_map(
-        |(template, h, a, b, obj, k)| TRule { template, h, a, b, obj, k },
-    )
+    (0..NUM_TEMPLATES, 0usize..3, 0usize..3, 0usize..3, 0usize..4, 0i64..6)
+        .prop_map(|(template, h, a, b, obj, k)| TRule { template, h, a, b, obj, k })
 }
 
 /// A small object base: facts `o{i}.m{j} -> value` where value is an
 /// int or an object (so joins through results are possible).
 fn arb_base() -> impl Strategy<Value = String> {
     proptest::collection::vec(
-        (0usize..4, 0usize..3, prop_oneof![
-            (0i64..6).prop_map(|v| v.to_string()),
-            (0usize..4).prop_map(|o| format!("o{o}")),
-        ]),
+        (
+            0usize..4,
+            0usize..3,
+            prop_oneof![
+                (0i64..6).prop_map(|v| v.to_string()),
+                (0usize..4).prop_map(|o| format!("o{o}")),
+            ],
+        ),
         0..10,
     )
     .prop_map(|facts| {
-        facts
-            .iter()
-            .map(|(o, m, v)| format!("o{o}.m{m} -> {v}."))
-            .collect::<Vec<_>>()
-            .join(" ")
+        facts.iter().map(|(o, m, v)| format!("o{o}.m{m} -> {v}.")).collect::<Vec<_>>().join(" ")
     })
 }
 
@@ -240,11 +241,7 @@ fn fixed_seed_differential_sweep() {
                 checked += 1;
             }
             (Err(ee), Err(re)) => {
-                assert_eq!(
-                    error_kind(&ee),
-                    error_kind(&re),
-                    "seed {seed}\n{prog_src}\n{ob_src}"
-                );
+                assert_eq!(error_kind(&ee), error_kind(&re), "seed {seed}\n{prog_src}\n{ob_src}");
                 checked += 1;
             }
             (e, r) => panic!("seed {seed}: engine {e:?} vs reference {r:?}\n{prog_src}\n{ob_src}"),

@@ -142,10 +142,7 @@ fn late_delete_same_stratum() {
 /// allowed, if the to-be-deleted information indeed exists").
 #[test]
 fn delete_requires_existing_information() {
-    let outcome = run(
-        "a.p -> 1.",
-        "phantom: del[a].p -> 99 <= a.p -> 1.",
-    );
+    let outcome = run("a.p -> 1.", "phantom: del[a].p -> 99 <= a.p -> 1.");
     // The head is never true (a.p -> 99 does not exist): nothing fires,
     // not even a del(a) version.
     assert_eq!(outcome.stats().fired_updates, 0);

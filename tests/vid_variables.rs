@@ -85,8 +85,7 @@ fn termination_is_preserved() {
     // ever-deeper versions. The closest legal program creates exactly
     // one ins-version per *object* and terminates.
     let ob = ObjectBase::parse("a.p -> 1. b.p -> 2.").unwrap();
-    let program =
-        Program::parse("ins[O].seen -> 1 <= $V.exists -> O.").unwrap();
+    let program = Program::parse("ins[O].seen -> 1 <= $V.exists -> O.").unwrap();
     let outcome = UpdateEngine::new(program).run(&ob).unwrap();
     let ob2 = outcome.new_object_base();
     assert_eq!(ob2.lookup1(oid("a"), "seen"), vec![int(1)]);
@@ -99,8 +98,7 @@ fn wildcard_in_del_rule_needs_dynamic_mode() {
     // version $V denotes might be the one the rule is still shrinking.
     // Statically rejected; stable at runtime on this base.
     let ob = ObjectBase::parse("o.m -> 1.").unwrap();
-    let program =
-        Program::parse("del[X].m -> R <= $V.m -> R & $V.exists -> X.").unwrap();
+    let program = Program::parse("del[X].m -> R <= $V.m -> R & $V.exists -> X.").unwrap();
     let err = UpdateEngine::new(program.clone()).run(&ob).unwrap_err();
     assert!(matches!(err, EvalError::NotStratifiable(_)));
 
@@ -129,24 +127,16 @@ fn repeated_vid_var_selects_one_version() {
 
 #[test]
 fn delta_filtering_and_parallel_agree_with_wildcards() {
-    let ob = ObjectBase::parse(
-        "a.isa -> t. a.v -> 1. b.isa -> t. b.v -> 5. c.isa -> t. c.v -> 9.",
-    )
-    .unwrap();
+    let ob = ObjectBase::parse("a.isa -> t. a.v -> 1. b.isa -> t. b.v -> 5. c.isa -> t. c.v -> 9.")
+        .unwrap();
     let prog = "
         grow: ins[X].v2 -> W <= X.isa -> t & X.v -> V & W = V * 10.
         scan: ins[collect].seen -> O <= $V.v2 -> W & $V.exists -> O & W > 40.
     ";
     let base = UpdateEngine::new(Program::parse(prog).unwrap()).run(&ob).unwrap();
     for (delta, parallel) in [(false, false), (true, true), (false, true)] {
-        let cfg = EngineConfig {
-            delta_filtering: delta,
-            parallel,
-            ..EngineConfig::default()
-        };
-        let v = UpdateEngine::with_config(Program::parse(prog).unwrap(), cfg)
-            .run(&ob)
-            .unwrap();
+        let cfg = EngineConfig { delta_filtering: delta, parallel, ..EngineConfig::default() };
+        let v = UpdateEngine::with_config(Program::parse(prog).unwrap(), cfg).run(&ob).unwrap();
         assert_eq!(base.result(), v.result(), "delta={delta} parallel={parallel}");
     }
     let r = reference::evaluate(&Program::parse(prog).unwrap(), &ob).unwrap();

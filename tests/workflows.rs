@@ -30,9 +30,7 @@ fn payroll_quarter() {
     // What-if under a savepoint: fire everyone over 5000, then change
     // our mind.
     let sp = session.savepoint();
-    session
-        .apply_src("cut: del[E].* <= E.isa -> empl & E.sal -> S & S > 5000.")
-        .unwrap();
+    session.apply_src("cut: del[E].* <= E.isa -> empl & E.sal -> S & S > 5000.").unwrap();
     assert!(!session.current().objects().any(|o| o == oid("eva")));
     session.rollback_to(sp).unwrap();
     assert_eq!(session.current().lookup1(oid("eva"), "sal"), vec![int(5200)]);
@@ -49,10 +47,7 @@ fn payroll_quarter() {
     let txn = session.log().last().unwrap();
     let h = history(txn.outcome.result(), oid("eva")).unwrap();
     assert_eq!(h.updates(), 1);
-    assert!(h.steps[1]
-        .added
-        .iter()
-        .any(|(m, _, r)| *m == sym("band") && *r == oid("high")));
+    assert!(h.steps[1].added.iter().any(|(m, _, r)| *m == sym("band") && *r == oid("high")));
 
     // Persist, "restart", and continue in a fresh session.
     let bytes = snapshot::write(session.current());
@@ -67,10 +62,7 @@ fn payroll_quarter() {
 
     // Derived-view report over the final flat base.
     let mut db = ob_to_db(session2.current()).unwrap();
-    let views = parse_dl(
-        "dept_high(D, E) <= dept(E, D) & band(E, high).",
-    )
-    .unwrap();
+    let views = parse_dl("dept_high(D, E) <= dept(E, D) & band(E, high).").unwrap();
     evaluate(&mut db, &views, Semantics::Modules, 100);
     assert!(db.contains(sym("dept_high"), &[oid("sales"), oid("eva")]));
     assert_eq!(db.arity_count(sym("dept_high")), 1);
