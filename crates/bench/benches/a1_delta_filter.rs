@@ -16,15 +16,19 @@ fn bench(c: &mut Criterion) {
         seed: 3,
     });
     let ent = Enterprise::generate(EnterpriseConfig { employees: 3_000, ..Default::default() });
-    let naive = EngineConfig { delta_filtering: false, ..Default::default() };
+    // Both sides run the full-scan matcher (naive_eval) so this
+    // ablation isolates *rule-level filtering*; the indexed semi-naive
+    // machinery is ablated separately in a5_seminaive.
+    let filtered = EngineConfig::default().naive_eval(true);
+    let naive = EngineConfig { delta_filtering: false, ..Default::default() }.naive_eval(true);
     group.bench_function(BenchmarkId::new("ancestors", "filtered"), |b| {
-        b.iter(|| ruvo_bench::run(ancestors_program(), &fam.ob));
+        b.iter(|| ruvo_bench::run_with(ancestors_program(), &fam.ob, filtered.clone()));
     });
     group.bench_function(BenchmarkId::new("ancestors", "naive"), |b| {
         b.iter(|| ruvo_bench::run_with(ancestors_program(), &fam.ob, naive.clone()));
     });
     group.bench_function(BenchmarkId::new("enterprise", "filtered"), |b| {
-        b.iter(|| ruvo_bench::run(enterprise_program(), &ent.ob));
+        b.iter(|| ruvo_bench::run_with(enterprise_program(), &ent.ob, filtered.clone()));
     });
     group.bench_function(BenchmarkId::new("enterprise", "naive"), |b| {
         b.iter(|| ruvo_bench::run_with(enterprise_program(), &ent.ob, naive.clone()));

@@ -1,0 +1,86 @@
+//! A5 — ablation: indexed semi-naive evaluation vs the naive
+//! full-scan fixpoint, on a large enterprise base with sparse deltas.
+//!
+//! Two workloads over a 10k-employee (≥10k-version) enterprise:
+//!
+//! * `reachability` — a recursive propagation through the manager
+//!   hierarchy. Each fixpoint round flags a handful of managers, so
+//!   the naive path re-scans the full `boss` relation per flagged
+//!   version per round, while the semi-naive path joins from the
+//!   previous round's delta through the value-keyed `boss` index.
+//! * `targeted_raise` — a single-pass update touching only one
+//!   manager's direct reports. The bound result position
+//!   (`E.boss -> e0`) drives the scan through the key index instead
+//!   of enumerating all 10k employees.
+//!
+//! Besides the per-path medians, the bench prints the measured
+//! speedup ratios (the ISSUE-2 acceptance target is ≥5× on
+//! `reachability`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_core::EngineConfig;
+use ruvo_lang::Program;
+use ruvo_workload::{Enterprise, EnterpriseConfig};
+
+/// Recursive reachability through the manager hierarchy: e0 is the
+/// hierarchy root; a manager is reached once their boss is reached.
+const REACHABILITY: &str = "
+    seed: ins[e0].reach -> 1 <= e0.isa -> empl.
+    prop: ins[E].reach -> 1 <= ins(B).reach -> 1 & E.boss -> B & E.pos -> mgr.
+";
+
+/// A sparse single-pass update: raise only e0's direct reports.
+const TARGETED_RAISE: &str = "
+    mod[E].sal -> (S, S2) <= E.boss -> e0 & E.sal -> S & S2 = S * 1.1.
+";
+
+fn ten_k_enterprise() -> Enterprise {
+    Enterprise::generate(EnterpriseConfig {
+        employees: 10_000,
+        manager_ratio: 0.1,
+        ..Default::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a5_seminaive");
+    group.sample_size(10);
+    let ent = ten_k_enterprise();
+    let naive = EngineConfig::default().naive_eval(true);
+
+    let program = |src: &str| Program::parse(src).unwrap();
+    for (name, src) in [("reachability", REACHABILITY), ("targeted_raise", TARGETED_RAISE)] {
+        group.bench_function(BenchmarkId::new(name, "seminaive"), |b| {
+            b.iter(|| ruvo_bench::run(program(src), &ent.ob));
+        });
+        group.bench_function(BenchmarkId::new(name, "naive"), |b| {
+            b.iter(|| ruvo_bench::run_with(program(src), &ent.ob, naive.clone()));
+        });
+    }
+    group.finish();
+
+    // Headline ratio (median-of-5), printed for the report: both paths
+    // must agree on the result, and the semi-naive path must win.
+    for (name, src, samples) in
+        [("reachability", REACHABILITY, 5), ("targeted_raise", TARGETED_RAISE, 5)]
+    {
+        let fast_out = ruvo_bench::run(program(src), &ent.ob);
+        let slow_out = ruvo_bench::run_with(program(src), &ent.ob, naive.clone());
+        assert_eq!(fast_out.result(), slow_out.result(), "paths diverged on {name}");
+        let fast = ruvo_bench::median_time(samples, || {
+            ruvo_bench::run(program(src), &ent.ob);
+        });
+        let slow = ruvo_bench::median_time(samples, || {
+            ruvo_bench::run_with(program(src), &ent.ob, naive.clone());
+        });
+        println!(
+            "a5_seminaive/{name}: naive {} ms / seminaive {} ms  →  {:.1}× speedup",
+            ruvo_bench::ms(slow),
+            ruvo_bench::ms(fast),
+            slow.as_secs_f64() / fast.as_secs_f64(),
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -563,8 +563,12 @@ pub fn a1_delta_filter(quick: bool) -> String {
         ("wide (independent rules)", wide_program, &wide_ob),
     ];
     for (name, program, ob) in workloads {
-        let fast_cfg = EngineConfig::default();
-        let slow_cfg = EngineConfig { delta_filtering: false, ..Default::default() };
+        // Both sides run the full-scan matcher (naive_eval) so this
+        // ablation isolates *rule-level filtering*; the indexed
+        // semi-naive machinery has its own ablation (A5).
+        let fast_cfg = EngineConfig::default().naive_eval(true);
+        let slow_cfg =
+            EngineConfig { delta_filtering: false, ..Default::default() }.naive_eval(true);
         let d_fast = median_time(reps(quick), || {
             run_with(program.clone(), ob, fast_cfg.clone());
         });

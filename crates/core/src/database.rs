@@ -51,6 +51,20 @@ use crate::stratify::{Stratification, StratifyError};
 
 /// Stable, coarse classification of [`Error`]s — match on this when
 /// the reaction matters more than the details.
+///
+/// ```
+/// use ruvo_core::{Database, ErrorKind};
+///
+/// let db = Database::open_src("o.m -> a.").unwrap();
+/// let err = db.prepare("this is not a program").unwrap_err();
+/// match err.kind() {
+///     ErrorKind::Parse => { /* show the message, keep the session */ }
+///     ErrorKind::Stratify => { /* suggest CyclePolicy::RuntimeStability */ }
+///     _ => { /* ... */ }
+/// }
+/// assert_eq!(err.kind(), ErrorKind::Parse);
+/// assert_eq!(err.kind().to_string(), "parse");
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum ErrorKind {
@@ -310,6 +324,15 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Escape hatch: force the pre-index, full-scan evaluation path
+    /// (disables indexed scans *and* delta-seeded re-evaluation; see
+    /// [`EngineConfig::semi_naive`]). Results are identical either
+    /// way — this exists for differential testing and benchmarking.
+    pub fn naive_eval(mut self, on: bool) -> Self {
+        self.config.semi_naive = !on;
+        self
+    }
+
     /// Evaluate the rules of a round on multiple threads.
     pub fn parallel(mut self, on: bool) -> Self {
         self.config.parallel = on;
@@ -390,6 +413,43 @@ impl Database {
     /// Parse, validate, safety-check and stratify program text
     /// **once**, returning a handle that [`Database::apply`] can run
     /// any number of times with none of that work repeated.
+    ///
+    /// The compiled handle also carries the per-rule index plan, so
+    /// every application scans through the object base's value-keyed
+    /// method index and evaluates fixpoints semi-naively.
+    ///
+    /// # Quickstart
+    ///
+    /// The paper's §2.1 salary raise, end to end (the long-form
+    /// version lives in `examples/quickstart.rs`):
+    ///
+    /// ```
+    /// use ruvo_core::Database;
+    /// use ruvo_term::{int, num, oid};
+    ///
+    /// let mut db = Database::open_src(
+    ///     "henry.isa -> empl.  henry.sal -> 250.
+    ///      mary.isa -> empl.   mary.sal -> 300.
+    ///      rex.isa -> dog.     rex.sal -> 0.",
+    /// )?;
+    ///
+    /// // Compiled once: parse + validate + safety plan + strata + index plan.
+    /// let raise = db.prepare(
+    ///     "raise: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
+    /// )?;
+    ///
+    /// let before = db.snapshot();     // O(1) read view
+    /// db.apply(&raise)?;              // all-or-nothing transaction
+    ///
+    /// assert_eq!(db.current().lookup1(oid("henry"), "sal"), vec![int(275)]);
+    /// assert_eq!(db.current().lookup1(oid("rex"), "sal"), vec![int(0)]);
+    /// assert_eq!(before.lookup1(oid("henry"), "sal"), vec![int(250)]);
+    ///
+    /// // Reusable: apply again for another 10%.
+    /// db.apply(&raise)?;
+    /// assert_eq!(db.current().lookup1(oid("henry"), "sal"), vec![num(302.5)]);
+    /// # Ok::<(), ruvo_core::Error>(())
+    /// ```
     pub fn prepare(&self, src: &str) -> Result<Prepared, Error> {
         let program = Program::parse(src)?;
         self.prepare_program(program)

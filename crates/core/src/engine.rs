@@ -30,11 +30,12 @@
 
 use std::time::Instant;
 
-use ruvo_lang::{Atom, Program, Rule, UpdateSpec};
-use ruvo_obase::{exists_sym, LinearityTracker, LinearityViolation, ObjectBase};
-use ruvo_term::{Chain, Const, FastHashMap, FastHashSet, Symbol, UpdateKind, Vid};
+use ruvo_lang::{Program, Rule};
+use ruvo_obase::{exists_sym, ChangedSince, LinearityTracker, LinearityViolation, ObjectBase};
+use ruvo_term::{Chain, Const, FastHashMap, FastHashSet, Symbol, Vid};
 
 use crate::error::EvalError;
+use crate::plan::IndexPlan;
 use crate::stratify::{stratify, stratify_relaxed, Stratification, StratifyError};
 use crate::tp::{self, Fired, FiredSet};
 use crate::trace::{EvalStats, RoundTrace, StratumTrace};
@@ -67,6 +68,18 @@ pub enum CyclePolicy {
 }
 
 /// Engine tuning knobs.
+///
+/// ```
+/// use ruvo_core::EngineConfig;
+///
+/// // The default configuration evaluates semi-naively through the
+/// // value-keyed method index; `naive_eval(true)` forces the original
+/// // full-scan path for differential testing.
+/// let fast = EngineConfig::default();
+/// assert!(fast.semi_naive);
+/// let slow = EngineConfig::default().naive_eval(true);
+/// assert!(!slow.semi_naive);
+/// ```
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// §5 runtime version-linearity check (default on). Disabling it is
@@ -75,6 +88,17 @@ pub struct EngineConfig {
     pub check_linearity: bool,
     /// Rule-level delta filtering (default on; ablation A1).
     pub delta_filtering: bool,
+    /// Indexed, semi-naive evaluation (default on): scans with a bound
+    /// key go through the value-keyed method index, and from the second
+    /// round of a stratum on, rules are re-evaluated *seeded* — only
+    /// joins touching an object the previous round changed are
+    /// enumerated. Seeding refines the trigger machinery of
+    /// [`EngineConfig::delta_filtering`], so with filtering off (the
+    /// A1 ablation baseline) every round is a full re-evaluation and
+    /// only the indexed scans remain. Disable (via
+    /// [`EngineConfig::naive_eval`]) to force the original full-scan
+    /// path; all combinations compute identical results.
+    pub semi_naive: bool,
     /// Safety valve for the per-stratum fixpoint loop.
     pub max_rounds_per_stratum: usize,
     /// Trace detail.
@@ -96,6 +120,7 @@ impl Default for EngineConfig {
         EngineConfig {
             check_linearity: true,
             delta_filtering: true,
+            semi_naive: true,
             max_rounds_per_stratum: 1_000_000,
             trace: TraceLevel::Strata,
             parallel: false,
@@ -105,9 +130,21 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Escape hatch: force the pre-index, full-scan evaluation path
+    /// (`naive_eval(true)` sets [`EngineConfig::semi_naive`] to
+    /// `false`). Meant for differential testing and the A5 ablation
+    /// benchmark; results are identical either way.
+    pub fn naive_eval(mut self, on: bool) -> Self {
+        self.semi_naive = !on;
+        self
+    }
+}
+
 /// A program with every run-independent analysis done once: the §4
-/// stratification (under a fixed [`CyclePolicy`]) and the per-rule
-/// delta-filter triggers.
+/// stratification (under a fixed [`CyclePolicy`]), the per-rule
+/// delta-filter triggers, and the [`IndexPlan`] driving indexed,
+/// semi-naive evaluation.
 ///
 /// This is the compiled artifact behind [`crate::Prepared`]: build it
 /// once with [`CompiledProgram::compile`], then evaluate it any number
@@ -115,6 +152,25 @@ impl Default for EngineConfig {
 /// re-stratifying. [`UpdateEngine::run`] compiles on every call; the
 /// [`crate::Database`] facade amortizes compilation across
 /// applications.
+///
+/// ```
+/// use ruvo_core::{run_compiled, CompiledProgram, CyclePolicy, EngineConfig};
+/// use ruvo_lang::Program;
+/// use ruvo_obase::ObjectBase;
+/// use ruvo_term::{int, oid};
+///
+/// let program = Program::parse(
+///     "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S + 50.",
+/// ).unwrap();
+/// let compiled = CompiledProgram::compile(program, CyclePolicy::Reject).unwrap();
+/// assert_eq!(compiled.stratification().strata.len(), 1);
+///
+/// // Evaluate it on any prepared base, as often as needed.
+/// let mut ob = ObjectBase::parse("henry.isa -> empl. henry.sal -> 250.").unwrap();
+/// ob.ensure_exists();
+/// let outcome = run_compiled(&compiled, &EngineConfig::default(), ob).unwrap();
+/// assert_eq!(outcome.new_object_base().lookup1(oid("henry"), "sal"), vec![int(300)]);
+/// ```
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
     program: Program,
@@ -123,12 +179,14 @@ pub struct CompiledProgram {
 }
 
 /// The run-independent analysis of a program: stratification, per-
-/// stratum runtime-check flags, and per-rule delta-filter triggers.
+/// stratum runtime-check flags, per-rule delta-filter triggers, and
+/// the per-rule [`IndexPlan`] (scan hints + per-literal read sets).
 #[derive(Clone, Debug)]
 struct Analysis {
     stratification: Stratification,
     risky: Vec<bool>,
     triggers: Vec<Option<FastHashSet<(Chain, Symbol)>>>,
+    index_plan: IndexPlan,
 }
 
 impl Analysis {
@@ -145,7 +203,8 @@ impl Analysis {
             }
         };
         let triggers = program.rules.iter().map(rule_triggers).collect();
-        Ok(Analysis { stratification, risky, triggers })
+        let index_plan = IndexPlan::of(program);
+        Ok(Analysis { stratification, risky, triggers, index_plan })
     }
 }
 
@@ -291,6 +350,7 @@ struct OutcomeParts {
     stratum_traces: Vec<StratumTrace>,
     round_traces: Vec<RoundTrace>,
     finals: Option<LinearityTracker>,
+    changed: ChangedSince,
 }
 
 impl OutcomeParts {
@@ -302,8 +362,83 @@ impl OutcomeParts {
             stratum_traces: self.stratum_traces,
             round_traces: self.round_traces,
             finals: self.finals,
+            changed: self.changed,
         }
     }
+}
+
+/// One rule evaluation of a fixpoint round: the whole rule, or — for a
+/// semi-naive round — the rule with one scan step seeded from the
+/// previous round's delta.
+struct EvalTask {
+    rule: usize,
+    seed: Option<(usize, FastHashSet<Const>)>,
+}
+
+/// Decide what to evaluate this round. `changed` is `None` for the
+/// first round of a stratum (evaluate everything, unseeded); later
+/// rounds skip rules whose positive body literals read nothing the
+/// previous round changed and — under semi-naive evaluation — replace
+/// full re-evaluation with one delta-seeded pass per changed body
+/// literal.
+fn round_tasks(
+    stratum: &[usize],
+    changed: Option<&ChangedSince>,
+    checked: bool,
+    config: &EngineConfig,
+    triggers: &[Option<FastHashSet<(Chain, Symbol)>>],
+    index_plan: &IndexPlan,
+) -> Vec<EvalTask> {
+    let full = |r: usize| EvalTask { rule: r, seed: None };
+    let Some(ch) = changed else {
+        return stratum.iter().map(|&r| full(r)).collect();
+    };
+    let mut tasks = Vec::new();
+    for &r in stratum {
+        if checked || !config.delta_filtering {
+            tasks.push(full(r));
+            continue;
+        }
+        // A rule with no trigger set (VID-variable atom) can read any
+        // relation: always re-evaluate, never seed.
+        let Some(ts) = &triggers[r] else {
+            tasks.push(full(r));
+            continue;
+        };
+        if !ts.iter().any(|t| ch.contains(t)) {
+            continue; // delta-filtered out
+        }
+        if !config.semi_naive {
+            tasks.push(full(r));
+            continue;
+        }
+        // Semi-naive: one seeded pass per scan step whose literal reads
+        // a changed relation, seeded with the objects that changed it.
+        let before = tasks.len();
+        let mut fallback = false;
+        for (step, reads) in index_plan.rules[r].reads.iter().enumerate() {
+            let Some(keys) = reads else {
+                fallback = true;
+                break;
+            };
+            let mut seed: FastHashSet<Const> = FastHashSet::default();
+            for key in keys {
+                if let Some(bases) = ch.bases(key) {
+                    seed.extend(bases.iter().copied());
+                }
+            }
+            if !seed.is_empty() {
+                tasks.push(EvalTask { rule: r, seed: Some((step, seed)) });
+            }
+        }
+        if fallback || tasks.len() == before {
+            // Defensive: the trigger intersected, so some literal must
+            // be seedable; if not, fall back to a full evaluation.
+            tasks.truncate(before);
+            tasks.push(full(r));
+        }
+    }
+    tasks
 }
 
 /// The stratum-by-stratum fixpoint evaluation shared by every entry
@@ -315,12 +450,13 @@ fn run_loop(
     mut work: ObjectBase,
 ) -> Result<OutcomeParts, EvalError> {
     let started = Instant::now();
-    let Analysis { stratification, risky, triggers } = analysis;
+    let Analysis { stratification, risky, triggers, index_plan } = analysis;
 
     let mut tracker = config.check_linearity.then(LinearityTracker::new);
     let mut stats = EvalStats::default();
     let mut stratum_traces = Vec::new();
     let mut round_traces = Vec::new();
+    let mut total_changed = ChangedSince::new();
 
     for (si, stratum) in stratification.strata.iter().enumerate() {
         // Flagged strata (and all strata under `verify_stability`)
@@ -334,7 +470,7 @@ fn run_loop(
         // keep every to-value regardless of firing round.
         let mut by_version: FastHashMap<Vid, Vec<Fired>> = FastHashMap::default();
         // `None` marks the first round: evaluate everything.
-        let mut changed: Option<FastHashSet<(Chain, Symbol)>> = None;
+        let mut changed: Option<ChangedSince> = None;
         let mut round = 0usize;
         loop {
             round += 1;
@@ -344,25 +480,21 @@ fn run_loop(
                     limit: config.max_rounds_per_stratum,
                 });
             }
-            let to_eval: Vec<usize> = stratum
-                .iter()
-                .copied()
-                .filter(|&r| match &changed {
-                    None => true,
-                    Some(ch) => {
-                        checked
-                            || !config.delta_filtering
-                            || match &triggers[r] {
-                                None => true,
-                                Some(ts) => ts.iter().any(|t| ch.contains(t)),
-                            }
-                    }
-                })
-                .collect();
+            let tasks =
+                round_tasks(stratum, changed.as_ref(), checked, config, triggers, index_plan);
+            // Distinct rules touched this round (tasks per rule are
+            // contiguous, so checking the last entry suffices).
+            let mut to_eval: Vec<usize> = Vec::new();
+            for task in &tasks {
+                if to_eval.last() != Some(&task.rule) {
+                    to_eval.push(task.rule);
+                }
+            }
             stats.rule_evaluations += to_eval.len();
             stats.rule_evaluations_skipped += stratum.len() - to_eval.len();
+            stats.rule_evaluations_seeded += tasks.iter().filter(|t| t.seed.is_some()).count();
 
-            let new_fired = collect_round(program, config, &work, &to_eval);
+            let new_fired = collect_round(program, index_plan, config, &work, &tasks);
             if checked && round > 1 {
                 // Stability: T¹ w.r.t. the current interpretation
                 // must still contain every previously fired update.
@@ -382,7 +514,7 @@ fn run_loop(
                 round_traces.push(RoundTrace {
                     stratum: si,
                     round,
-                    evaluated: to_eval.clone(),
+                    evaluated: to_eval,
                     new_fired: delta.len(),
                     touched: 0, // patched below if updates applied
                 });
@@ -413,6 +545,7 @@ fn run_loop(
                     tr.record(v)?;
                 }
             }
+            total_changed.merge(&report.changed);
             changed = Some(report.changed);
         }
         stats.fired_updates += fired.len();
@@ -428,34 +561,58 @@ fn run_loop(
 
     stats.strata = stratification.strata.len();
     stats.elapsed = started.elapsed();
-    Ok(OutcomeParts { result: work, stats, stratum_traces, round_traces, finals: tracker })
+    Ok(OutcomeParts {
+        result: work,
+        stats,
+        stratum_traces,
+        round_traces,
+        finals: tracker,
+        changed: total_changed,
+    })
 }
 
-/// Step 1 of `T_P` over a set of rules, optionally in parallel.
+/// Step 1 of `T_P` over a round's evaluation tasks, optionally in
+/// parallel. Under [`EngineConfig::semi_naive`] scans follow the
+/// compiled index plan (and seeds, for seeded tasks); otherwise every
+/// task is a naive full-scan rule evaluation.
 fn collect_round(
     program: &Program,
+    plans: &IndexPlan,
     config: &EngineConfig,
     ob: &ObjectBase,
-    to_eval: &[usize],
+    tasks: &[EvalTask],
 ) -> Vec<Fired> {
-    if !config.parallel || to_eval.len() < 2 {
+    let run_task = |task: &EvalTask, out: &mut Vec<Fired>| {
+        let rule = &program.rules[task.rule];
+        if !config.semi_naive {
+            tp::collect_rule(ob, rule, out);
+            return;
+        }
+        let plan = &plans.rules[task.rule];
+        match &task.seed {
+            Some((step, seed)) => tp::collect_rule_seeded(ob, rule, plan, *step, seed, out),
+            None => tp::collect_rule_planned(ob, rule, plan, out),
+        }
+    };
+    if !config.parallel || tasks.len() < 2 {
         let mut out = Vec::new();
-        for &r in to_eval {
-            tp::collect_rule(ob, &program.rules[r], &mut out);
+        for task in tasks {
+            run_task(task, &mut out);
         }
         return out;
     }
     let workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(to_eval.len());
-    let chunks: Vec<&[usize]> = to_eval.chunks(to_eval.len().div_ceil(workers)).collect();
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(tasks.len());
+    let chunks: Vec<&[EvalTask]> = tasks.chunks(tasks.len().div_ceil(workers)).collect();
+    let run_task = &run_task;
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
                     let mut local = Vec::new();
-                    for &r in chunk {
-                        tp::collect_rule(ob, &program.rules[r], &mut local);
+                    for task in chunk {
+                        run_task(task, &mut local);
                     }
                     local
                 })
@@ -473,51 +630,17 @@ fn collect_round(
 /// unchanged (see the module docs for why negated literals and head
 /// reads need no triggers). `None` means the rule must be re-evaluated
 /// every round: a VID-variable atom (§6 extension) can read any
-/// version.
+/// version. This is the union of [`crate::plan::literal_reads`] over
+/// the positive body literals.
 fn rule_triggers(rule: &Rule) -> Option<FastHashSet<(Chain, Symbol)>> {
     let mut out: FastHashSet<(Chain, Symbol)> = FastHashSet::default();
-    let exists = exists_sym();
     for lit in &rule.body {
         if !lit.positive {
             continue;
         }
-        match &lit.atom {
-            Atom::Version(va) => match va.vid.as_term() {
-                Some(t) => {
-                    out.insert((t.chain, va.method));
-                }
-                None => return None,
-            },
-            Atom::Update(ua) => {
-                let chain = ua.target.chain;
-                match &ua.spec {
-                    UpdateSpec::Ins { method, .. } => {
-                        if let Ok(c) = chain.push(UpdateKind::Ins) {
-                            out.insert((c, *method));
-                        }
-                    }
-                    UpdateSpec::Del { method, .. } => {
-                        if let Ok(c) = chain.push(UpdateKind::Del) {
-                            out.insert((c, exists));
-                            out.insert((c, *method));
-                        }
-                        // del-body truth reads v*.method on any prefix.
-                        for p in chain.prefixes() {
-                            out.insert((p, *method));
-                        }
-                    }
-                    UpdateSpec::Mod { method, .. } => {
-                        if let Ok(c) = chain.push(UpdateKind::Mod) {
-                            out.insert((c, *method));
-                        }
-                        for p in chain.prefixes() {
-                            out.insert((p, *method));
-                        }
-                    }
-                    UpdateSpec::DelAll => unreachable!("del-all in a body is rejected"),
-                }
-            }
-            Atom::Cmp(_) => {}
+        match crate::plan::literal_reads(lit) {
+            Some(keys) => out.extend(keys),
+            None => return None,
         }
     }
     Some(out)
@@ -554,6 +677,7 @@ pub struct Outcome {
     stratum_traces: Vec<StratumTrace>,
     round_traces: Vec<RoundTrace>,
     finals: Option<LinearityTracker>,
+    changed: ChangedSince,
 }
 
 impl Outcome {
@@ -581,6 +705,12 @@ impl Outcome {
     /// Per-round traces (if `TraceLevel::Rounds`).
     pub fn round_traces(&self) -> &[RoundTrace] {
         &self.round_traces
+    }
+
+    /// The run's accumulated semantic delta: per `(chain, method)`
+    /// relation, the objects whose fact sets the evaluation changed.
+    pub fn changed(&self) -> &ChangedSince {
+        &self.changed
     }
 
     /// The final version of every object in `result(P)` (§5), validated
@@ -708,7 +838,7 @@ impl Outcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ruvo_term::{int, oid};
+    use ruvo_term::{int, oid, UpdateKind};
 
     fn run(ob_src: &str, program_src: &str) -> Outcome {
         let ob = ObjectBase::parse(ob_src).unwrap();
@@ -849,6 +979,101 @@ mod tests {
         .unwrap();
         assert_eq!(with.result(), without.result());
         assert_eq!(with.new_object_base(), without.new_object_base());
+    }
+
+    #[test]
+    fn seminaive_matches_naive_on_paper_program() {
+        // The paper's full enterprise program: three strata, negation,
+        // del/mod update atoms in bodies, and a del[..].* head.
+        let ob_src = "phil.isa -> empl / pos -> mgr / sal -> 4000.
+                      bob.isa -> empl / boss -> phil / sal -> 4200.
+                      sue.isa -> empl / boss -> phil / sal -> 4300.";
+        let prog = "
+            rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+            rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+            rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+            rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.
+        ";
+        let ob = ObjectBase::parse(ob_src).unwrap();
+        let fast = UpdateEngine::new(Program::parse(prog).unwrap()).run(&ob).unwrap();
+        let slow = UpdateEngine::with_config(
+            Program::parse(prog).unwrap(),
+            EngineConfig::default().naive_eval(true),
+        )
+        .run(&ob)
+        .unwrap();
+        assert_eq!(fast.result(), slow.result());
+        assert_eq!(fast.new_object_base(), slow.new_object_base());
+        assert_eq!(fast.stats().fired_updates, slow.stats().fired_updates);
+    }
+
+    #[test]
+    fn seminaive_matches_naive_on_recursion() {
+        // A multi-round recursion where seeding actually kicks in.
+        let ob_src = "ann.isa -> person. bea.isa -> person / parents -> ann.
+                      cid.isa -> person / parents -> bea. dan.isa -> person / parents -> cid.";
+        let prog = "ins[X].anc -> P <= X.isa -> person / parents -> P.
+             ins[X].anc -> P <= ins(X).isa -> person / anc -> A & A.isa -> person / parents -> P.";
+        let ob = ObjectBase::parse(ob_src).unwrap();
+        let fast = UpdateEngine::new(Program::parse(prog).unwrap()).run(&ob).unwrap();
+        assert!(fast.stats().rule_evaluations_seeded > 0, "recursion must be delta-seeded");
+        let slow = UpdateEngine::with_config(
+            Program::parse(prog).unwrap(),
+            EngineConfig::default().naive_eval(true),
+        )
+        .run(&ob)
+        .unwrap();
+        assert_eq!(slow.stats().rule_evaluations_seeded, 0, "naive path never seeds");
+        assert_eq!(fast.result(), slow.result());
+        // The run reports its accumulated semantic delta.
+        let ins_chain = Chain::EMPTY.push(UpdateKind::Ins).unwrap();
+        assert!(fast.changed().contains(&(ins_chain, ruvo_term::sym("anc"))));
+    }
+
+    #[test]
+    fn seminaive_seeds_del_and_mod_body_scans() {
+        // For statically stratified programs, conditions (a)/(d) pin
+        // every writer of a del/mod-body literal's reads strictly below
+        // the reader — *unless* the del/mod versions pre-exist in the
+        // loaded object base (no del/mod heads, no (a)/(d) edges). Then
+        // the whole program shares one stratum and an ins-rule firing
+        // in round 2 moves `v*`, creating new del/mod-body matches that
+        // only a seeded del/mod scan can find in round 3.
+        let ob = ObjectBase::parse(
+            "a.mark -> old.  a.tag -> 1.  a.late -> 1.
+             del(ins(a)).tag -> 1.
+             b.mark -> mold. b.late -> 1.
+             mod(ins(b)).mark -> mnew. mod(ins(b)).tag -> 1.
+             t.init -> 1.",
+        )
+        .unwrap();
+        let prog = "
+            w0: ins[t].go -> 1 <= t.init -> 1.
+            w1: ins[X].mark -> new <= X.late -> 1 & ins(t).go -> 1.
+            c1: ins[out1].got -> R <= del[ins(X)].mark -> R.
+            c2: ins[out2].from -> F <= mod[ins(X)].mark -> (F, T).
+        ";
+        let fast = UpdateEngine::new(Program::parse(prog).unwrap()).run(&ob).unwrap();
+        // One stratum, multiple rounds, and the consumers re-ran seeded.
+        assert_eq!(fast.stratification().strata.len(), 1);
+        assert!(fast.stats().rule_evaluations_seeded > 0);
+        let ins_out1 = Vid::object(oid("out1")).apply(UpdateKind::Ins).unwrap();
+        let ins_out2 = Vid::object(oid("out2")).apply(UpdateKind::Ins).unwrap();
+        // Round-1 matches (v* = the initial versions)...
+        assert!(fast.result().contains(ins_out1, ruvo_term::sym("got"), &[], oid("old")));
+        assert!(fast.result().contains(ins_out2, ruvo_term::sym("from"), &[], oid("mold")));
+        // ...and the round-3 matches found *through the seeded scans*
+        // after w1 moved v* to ins(a)/ins(b) in round 2.
+        assert!(fast.result().contains(ins_out1, ruvo_term::sym("got"), &[], oid("new")));
+        assert!(fast.result().contains(ins_out2, ruvo_term::sym("from"), &[], oid("new")));
+        // Differential: the naive path agrees exactly.
+        let slow = UpdateEngine::with_config(
+            Program::parse(prog).unwrap(),
+            EngineConfig::default().naive_eval(true),
+        )
+        .run(&ob)
+        .unwrap();
+        assert_eq!(fast.result(), slow.result());
     }
 
     #[test]

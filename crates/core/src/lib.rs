@@ -29,6 +29,7 @@ pub mod engine;
 pub mod error;
 pub mod history;
 pub mod matcher;
+pub mod plan;
 pub mod reference;
 pub mod session;
 pub mod stratify;
@@ -44,6 +45,7 @@ pub use engine::{
 };
 pub use error::EvalError;
 pub use history::{history, History, HistoryStep};
+pub use plan::{IndexPlan, RuleIndexPlan, ScanHint};
 pub use session::{SavepointId, Session, SessionError, Txn};
 pub use stratify::{Condition, EdgeInfo, RelaxedStratification, Stratification, StratifyError};
 pub use temporal::{FactProp, Formula, Timeline};

@@ -18,42 +18,118 @@
 //! body literal with unbound `V`-base enumerates versions `del(v)` whose
 //! `exists` fact is present, then reads the deleted applications from
 //! `v*`).
+//!
+//! ## Indexed and seeded scans
+//!
+//! Three entry points share the executor:
+//!
+//! * [`for_each_match`] — the naive path: every scan enumerates the
+//!   full `(chain, method)` relation.
+//! * [`for_each_match_planned`] — scans follow the compile-time
+//!   [`ScanHint`]s of a [`RuleIndexPlan`]: a scan whose result or first
+//!   argument is bound when it runs goes through the object base's
+//!   value-keyed method index instead of the full relation.
+//! * [`for_each_match_seeded`] — semi-naive evaluation: one chosen scan
+//!   step is restricted to a *seed* set of object bases (the objects a
+//!   previous fixpoint round changed) and is executed **first** (the
+//!   plan order is rotated), so every enumerated match joins from the
+//!   delta side. Rotating a scan to the front is always sound: scans
+//!   never require bound variables, and every other step runs with at
+//!   least the bindings it had under the original order.
 
 use ruvo_lang::{Atom, Literal, PlannedLiteral, Rule, UpdateSpec, VersionAtom};
 use ruvo_obase::{exists_sym, ObjectBase};
-use ruvo_term::{ArgTerm, Bindings, Const, UpdateKind, Vid, VidRef};
+use ruvo_term::{ArgTerm, Bindings, Const, FastHashSet, UpdateKind, Vid, VidRef, VidTerm};
 
+use crate::plan::{RuleIndexPlan, ScanHint};
 use crate::truth;
 
+/// The shared, read-only state of one rule evaluation.
+struct MatchCtx<'a> {
+    ob: &'a ObjectBase,
+    rule: &'a Rule,
+    /// Execution order: position → plan-step index.
+    order: &'a [usize],
+    /// Scan hints per plan step (empty ⇒ all [`ScanHint::Full`]).
+    hints: &'a [ScanHint],
+    /// Restrict the scan at plan step `.0` to target bases in `.1`.
+    seed: Option<(usize, &'a FastHashSet<Const>)>,
+}
+
 /// Enumerate every satisfying assignment of `rule`'s body over `ob`,
-/// invoking `sink` with the complete bindings for each.
+/// invoking `sink` with the complete bindings for each. Scans are
+/// unindexed full relation sweeps (the naive path).
 ///
 /// `sink` must read what it needs from the bindings immediately; they
 /// are reused (backtracked) after it returns.
 pub fn for_each_match(ob: &ObjectBase, rule: &Rule, sink: &mut dyn FnMut(&Bindings)) {
-    let mut bindings = Bindings::with_vid_vars(rule.vars.len(), rule.vid_vars.len());
-    exec(ob, rule, 0, &mut bindings, sink);
+    let order: Vec<usize> = (0..rule.plan.steps.len()).collect();
+    run(&MatchCtx { ob, rule, order: &order, hints: &[], seed: None }, sink);
+}
+
+/// [`for_each_match`] with compile-time [`ScanHint`]s: scans with a
+/// bound key position go through the value-keyed method index.
+pub fn for_each_match_planned(
+    ob: &ObjectBase,
+    rule: &Rule,
+    plan: &RuleIndexPlan,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    let order: Vec<usize> = (0..rule.plan.steps.len()).collect();
+    run(&MatchCtx { ob, rule, order: &order, hints: &plan.hints, seed: None }, sink);
+}
+
+/// Semi-naive evaluation: the scan at plan step `seed_step` enumerates
+/// only versions whose base is in `seed`, and runs before every other
+/// step. Matches that involve none of the seeded objects at that
+/// literal are *not* produced — the caller is responsible for covering
+/// each body literal that may have changed with its own seeded pass.
+pub fn for_each_match_seeded(
+    ob: &ObjectBase,
+    rule: &Rule,
+    plan: &RuleIndexPlan,
+    seed_step: usize,
+    seed: &FastHashSet<Const>,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    debug_assert!(seed_step < rule.plan.steps.len(), "seed step out of range");
+    let mut order: Vec<usize> = Vec::with_capacity(rule.plan.steps.len());
+    order.push(seed_step);
+    order.extend((0..rule.plan.steps.len()).filter(|&s| s != seed_step));
+    run(
+        &MatchCtx { ob, rule, order: &order, hints: &plan.hints, seed: Some((seed_step, seed)) },
+        sink,
+    );
+}
+
+fn run(ctx: &MatchCtx<'_>, sink: &mut dyn FnMut(&Bindings)) {
+    let mut bindings = Bindings::with_vid_vars(ctx.rule.vars.len(), ctx.rule.vid_vars.len());
+    // One grounding buffer for the whole evaluation: `Check` steps run
+    // once per candidate of every enclosing scan, so per-candidate
+    // argument grounding must not allocate.
+    let mut buf = Vec::new();
+    exec(ctx, 0, &mut bindings, &mut buf, sink);
 }
 
 fn exec(
-    ob: &ObjectBase,
-    rule: &Rule,
-    step: usize,
+    ctx: &MatchCtx<'_>,
+    pos: usize,
     b: &mut Bindings,
+    buf: &mut Vec<Const>,
     sink: &mut dyn FnMut(&Bindings),
 ) {
-    let Some(planned) = rule.plan.steps.get(step) else {
+    let Some(&si) = ctx.order.get(pos) else {
         sink(b);
         return;
     };
-    match *planned {
+    match ctx.rule.plan.steps[si] {
         PlannedLiteral::Check(li) => {
-            if check_literal(ob, &rule.body[li], b) {
-                exec(ob, rule, step + 1, b, sink);
+            if check_literal(ctx.ob, &ctx.rule.body[li], b, buf) {
+                exec(ctx, pos + 1, b, buf, sink);
             }
         }
         PlannedLiteral::Assign { lit, var } => {
-            let Atom::Cmp(builtin) = &rule.body[lit].atom else {
+            let Atom::Cmp(builtin) = &ctx.rule.body[lit].atom else {
                 unreachable!("Assign plan step on non-builtin literal");
             };
             // One side is the (unbound) variable, the other the value.
@@ -65,16 +141,21 @@ fn exec(
             if let Some(value) = value {
                 let mark = b.mark();
                 if b.unify_var(var, value) {
-                    exec(ob, rule, step + 1, b, sink);
+                    exec(ctx, pos + 1, b, buf, sink);
                 }
                 b.undo_to(mark);
             }
         }
         PlannedLiteral::Scan(li) => {
-            let lit = &rule.body[li];
+            let lit = &ctx.rule.body[li];
             debug_assert!(lit.positive, "Scan plan step on negated literal");
+            let hint = ctx.hints.get(si).copied().unwrap_or(ScanHint::Full);
+            let seed = match ctx.seed {
+                Some((s, set)) if s == si => Some(set),
+                _ => None,
+            };
             match &lit.atom {
-                Atom::Version(va) => scan_version(ob, va, rule, step, b, sink),
+                Atom::Version(va) => scan_version(ctx, va, hint, seed, pos, b, buf, sink),
                 Atom::Update(ua) => match &ua.spec {
                     UpdateSpec::Ins { method, args, result } => {
                         // ins[v].m -> r ⟺ ins(v).m -> r ∈ I: scan the
@@ -86,13 +167,15 @@ fn exec(
                             args: args.clone(),
                             result: *result,
                         };
-                        scan_version(ob, &va, rule, step, b, sink);
+                        scan_version(ctx, &va, hint, seed, pos, b, buf, sink);
                     }
                     UpdateSpec::Del { method, args, result } => {
-                        scan_del(ob, ua.target, *method, args, *result, rule, step, b, sink);
+                        scan_del(ctx, ua.target, *method, args, *result, seed, pos, b, buf, sink);
                     }
                     UpdateSpec::Mod { method, args, from, to } => {
-                        scan_mod(ob, ua.target, *method, args, *from, *to, rule, step, b, sink);
+                        scan_mod(
+                            ctx, ua.target, *method, args, *from, *to, seed, pos, b, buf, sink,
+                        );
                     }
                     UpdateSpec::DelAll => {
                         unreachable!("del-all in a body is rejected by validation")
@@ -105,40 +188,38 @@ fn exec(
 }
 
 /// Evaluate a fully-bound literal. Positive: §3 truth. Negated: "true
-/// w.r.t. I if [the atom] is not true w.r.t. I".
-fn check_literal(ob: &ObjectBase, lit: &Literal, b: &Bindings) -> bool {
+/// w.r.t. I if [the atom] is not true w.r.t. I". `buf` is a reusable
+/// scratch buffer for argument grounding.
+fn check_literal(ob: &ObjectBase, lit: &Literal, b: &Bindings, buf: &mut Vec<Const>) -> bool {
     let truth = match &lit.atom {
         Atom::Version(va) => {
             let vid = va.vid.ground(b).expect("plan guarantees boundness at Check steps");
-            let args = ground_args(&va.args, b);
+            ground_args_into(&va.args, b, buf);
             let result = ground_arg(va.result, b);
-            truth::version_term(ob, vid, va.method, &args, result)
+            truth::version_term(ob, vid, va.method, buf, result)
         }
         Atom::Update(ua) => {
             let target = ground_vid(ua.target, b);
             match &ua.spec {
-                UpdateSpec::Ins { method, args, result } => truth::ins_body(
-                    ob,
-                    target,
-                    *method,
-                    &ground_args(args, b),
-                    ground_arg(*result, b),
-                ),
-                UpdateSpec::Del { method, args, result } => truth::del_body(
-                    ob,
-                    target,
-                    *method,
-                    &ground_args(args, b),
-                    ground_arg(*result, b),
-                ),
-                UpdateSpec::Mod { method, args, from, to } => truth::mod_body(
-                    ob,
-                    target,
-                    *method,
-                    &ground_args(args, b),
-                    ground_arg(*from, b),
-                    ground_arg(*to, b),
-                ),
+                UpdateSpec::Ins { method, args, result } => {
+                    ground_args_into(args, b, buf);
+                    truth::ins_body(ob, target, *method, buf, ground_arg(*result, b))
+                }
+                UpdateSpec::Del { method, args, result } => {
+                    ground_args_into(args, b, buf);
+                    truth::del_body(ob, target, *method, buf, ground_arg(*result, b))
+                }
+                UpdateSpec::Mod { method, args, from, to } => {
+                    ground_args_into(args, b, buf);
+                    truth::mod_body(
+                        ob,
+                        target,
+                        *method,
+                        buf,
+                        ground_arg(*from, b),
+                        ground_arg(*to, b),
+                    )
+                }
                 UpdateSpec::DelAll => unreachable!("del-all in a body is rejected by validation"),
             }
         }
@@ -152,7 +233,7 @@ fn check_literal(ob: &ObjectBase, lit: &Literal, b: &Bindings) -> bool {
     truth == lit.positive
 }
 
-fn ground_vid(term: ruvo_term::VidTerm, b: &Bindings) -> Vid {
+fn ground_vid(term: VidTerm, b: &Bindings) -> Vid {
     term.ground(b).expect("plan guarantees boundness at Check steps")
 }
 
@@ -160,22 +241,25 @@ fn ground_arg(term: ArgTerm, b: &Bindings) -> Const {
     term.ground(b).expect("plan guarantees boundness at Check steps")
 }
 
-fn ground_args(args: &[ArgTerm], b: &Bindings) -> Vec<Const> {
-    args.iter().map(|&a| ground_arg(a, b)).collect()
+/// Ground `args` into the reusable buffer (hoisting the allocation out
+/// of the per-candidate loop).
+fn ground_args_into(args: &[ArgTerm], b: &Bindings, buf: &mut Vec<Const>) {
+    buf.clear();
+    buf.extend(args.iter().map(|&a| ground_arg(a, b)));
 }
 
 /// Try to match pattern args+result against ground values under `b`,
 /// then continue with the next plan step; undoes bindings afterwards.
 #[allow(clippy::too_many_arguments)]
 fn match_app_and_continue(
-    ob: &ObjectBase,
+    ctx: &MatchCtx<'_>,
     pattern_args: &[ArgTerm],
     pattern_result: ArgTerm,
     ground_args: &[Const],
     ground_result: Const,
-    rule: &Rule,
-    step: usize,
+    pos: usize,
     b: &mut Bindings,
+    buf: &mut Vec<Const>,
     sink: &mut dyn FnMut(&Bindings),
 ) {
     if pattern_args.len() != ground_args.len() {
@@ -190,79 +274,128 @@ fn match_app_and_continue(
         }
     }
     if ok && pattern_result.matches(ground_result, b) {
-        exec(ob, rule, step + 1, b, sink);
+        exec(ctx, pos + 1, b, buf, sink);
     }
     b.undo_to(mark);
 }
 
-/// Scan a version-term: enumerate versions (by index if the base is
-/// unbound), then their applications of the method. An unbound VID
-/// variable (`$V`, the §6 extension) scans *every* version carrying the
-/// method, regardless of chain.
-fn scan_version(
-    ob: &ObjectBase,
+/// Enumerate the applications of `va.method` on the concrete version
+/// `vid` and continue matching.
+#[allow(clippy::too_many_arguments)]
+fn scan_apps_of(
+    ctx: &MatchCtx<'_>,
+    vid: Vid,
     va: &VersionAtom,
-    rule: &Rule,
-    step: usize,
+    pos: usize,
     b: &mut Bindings,
+    buf: &mut Vec<Const>,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    for app in ctx.ob.apps(vid, va.method) {
+        match_app_and_continue(
+            ctx,
+            &va.args,
+            va.result,
+            app.args.as_slice(),
+            app.result,
+            pos,
+            b,
+            buf,
+            sink,
+        );
+    }
+}
+
+/// Match `t.base` against `vid`'s base (binding it if it is an unbound
+/// variable), then scan `vid`'s applications; undoes bindings.
+#[allow(clippy::too_many_arguments)]
+fn match_base_then_apps(
+    ctx: &MatchCtx<'_>,
+    t: VidTerm,
+    vid: Vid,
+    va: &VersionAtom,
+    pos: usize,
+    b: &mut Bindings,
+    buf: &mut Vec<Const>,
+    sink: &mut dyn FnMut(&Bindings),
+) {
+    let mark = b.mark();
+    if t.base.matches(vid.base(), b) {
+        scan_apps_of(ctx, vid, va, pos, b, buf, sink);
+    }
+    b.undo_to(mark);
+}
+
+/// Scan a version-term: enumerate versions, then their applications of
+/// the method. The candidate versions come from (in order of
+/// preference) the seed set, the value-keyed index when a key position
+/// is bound, or the full `(chain, method)` index. An unbound VID
+/// variable (`$V`, the §6 extension) scans *every* version carrying
+/// the method, regardless of chain.
+#[allow(clippy::too_many_arguments)]
+fn scan_version(
+    ctx: &MatchCtx<'_>,
+    va: &VersionAtom,
+    hint: ScanHint,
+    seed: Option<&FastHashSet<Const>>,
+    pos: usize,
+    b: &mut Bindings,
+    buf: &mut Vec<Const>,
     sink: &mut dyn FnMut(&Bindings),
 ) {
     match va.vid.ground(b) {
         Some(vid) => {
-            for app in ob.apps(vid, va.method) {
-                match_app_and_continue(
-                    ob,
-                    &va.args,
-                    va.result,
-                    app.args.as_slice(),
-                    app.result,
-                    rule,
-                    step,
-                    b,
-                    sink,
-                );
+            if seed.is_some_and(|s| !s.contains(&vid.base())) {
+                return;
             }
+            scan_apps_of(ctx, vid, va, pos, b, buf, sink);
         }
         None => match va.vid {
             VidRef::Term(t) => {
-                for vid in ob.versions_with(t.chain, va.method) {
-                    let mark = b.mark();
-                    if t.base.matches(vid.base(), b) {
-                        for app in ob.apps(vid, va.method) {
-                            match_app_and_continue(
-                                ob,
-                                &va.args,
-                                va.result,
-                                app.args.as_slice(),
-                                app.result,
-                                rule,
-                                step,
-                                b,
-                                sink,
-                            );
+                // Seeded: the delta names the candidate objects directly.
+                if let Some(seed) = seed {
+                    for &base in seed {
+                        let vid = Vid::new(base, t.chain);
+                        if ctx.ob.defines(vid, va.method) {
+                            match_base_then_apps(ctx, t, vid, va, pos, b, buf, sink);
                         }
                     }
-                    b.undo_to(mark);
+                    return;
+                }
+                // Indexed: a bound key position narrows the enumeration.
+                match hint {
+                    ScanHint::ResultKey => {
+                        if let Some(r) = va.result.ground(b) {
+                            for vid in ctx.ob.versions_with_result(t.chain, va.method, r) {
+                                match_base_then_apps(ctx, t, vid, va, pos, b, buf, sink);
+                            }
+                            return;
+                        }
+                    }
+                    ScanHint::Arg0Key => {
+                        if let Some(a0) = va.args.first().and_then(|a| a.ground(b)) {
+                            for vid in ctx.ob.versions_with_arg0(t.chain, va.method, a0) {
+                                match_base_then_apps(ctx, t, vid, va, pos, b, buf, sink);
+                            }
+                            return;
+                        }
+                    }
+                    ScanHint::Full => {}
+                }
+                // Full: every version of the chain defining the method.
+                for vid in ctx.ob.versions_with(t.chain, va.method) {
+                    match_base_then_apps(ctx, t, vid, va, pos, b, buf, sink);
                 }
             }
             VidRef::Var(vv) => {
-                let versions: Vec<Vid> = ob.versions().collect();
+                let versions: Vec<Vid> = ctx.ob.versions().collect();
                 for vid in versions {
+                    if seed.is_some_and(|s| !s.contains(&vid.base())) {
+                        continue;
+                    }
                     let mark = b.mark();
                     if b.unify_vid_var(vv, vid) {
-                        for app in ob.apps(vid, va.method) {
-                            match_app_and_continue(
-                                ob,
-                                &va.args,
-                                va.result,
-                                app.args.as_slice(),
-                                app.result,
-                                rule,
-                                step,
-                                b,
-                                sink,
-                            );
-                        }
+                        scan_apps_of(ctx, vid, va, pos, b, buf, sink);
                     }
                     b.undo_to(mark);
                 }
@@ -272,23 +405,35 @@ fn scan_version(
 }
 
 /// Candidate target versions for a del/mod body update-term scan:
-/// either the single ground target, or every base having the created
-/// version with `index_method` defined.
+/// the single ground target, the seed set's objects, or every base
+/// having the created version with `index_method` defined.
 fn target_candidates(
     ob: &ObjectBase,
-    target: ruvo_term::VidTerm,
+    target: VidTerm,
     kind: UpdateKind,
     index_method: ruvo_term::Symbol,
+    seed: Option<&FastHashSet<Const>>,
     b: &Bindings,
 ) -> Vec<Vid> {
     match target.ground(b) {
-        Some(vid) => vec![vid],
-        None => {
-            let Ok(created) = target.chain.push(kind) else { return vec![] };
-            ob.versions_with(created, index_method)
-                .map(|v| Vid::new(v.base(), target.chain))
-                .collect()
+        Some(vid) => {
+            if seed.is_some_and(|s| !s.contains(&vid.base())) {
+                Vec::new()
+            } else {
+                vec![vid]
+            }
         }
+        None => match seed {
+            // Seeded: candidate targets are the delta's objects; the
+            // exists/`v*` checks below weed out the irrelevant ones.
+            Some(s) => s.iter().map(|&base| Vid::new(base, target.chain)).collect(),
+            None => {
+                let Ok(created) = target.chain.push(kind) else { return Vec::new() };
+                ob.versions_with(created, index_method)
+                    .map(|v| Vid::new(v.base(), target.chain))
+                    .collect()
+            }
+        },
     }
 }
 
@@ -296,18 +441,20 @@ fn target_candidates(
 /// `v*.m -> r ∈ I ∧ del(v).exists -> o ∈ I ∧ del(v).m -> r ∉ I`.
 #[allow(clippy::too_many_arguments)]
 fn scan_del(
-    ob: &ObjectBase,
-    target: ruvo_term::VidTerm,
+    ctx: &MatchCtx<'_>,
+    target: VidTerm,
     method: ruvo_term::Symbol,
     args: &[ArgTerm],
     result: ArgTerm,
-    rule: &Rule,
-    step: usize,
+    seed: Option<&FastHashSet<Const>>,
+    pos: usize,
     b: &mut Bindings,
+    buf: &mut Vec<Const>,
     sink: &mut dyn FnMut(&Bindings),
 ) {
+    let ob = ctx.ob;
     // Candidates must have del(v).exists: enumerate via the exists index.
-    for tvid in target_candidates(ob, target, UpdateKind::Del, exists_sym(), b) {
+    for tvid in target_candidates(ob, target, UpdateKind::Del, exists_sym(), seed, b) {
         let Ok(created) = tvid.apply(UpdateKind::Del) else { continue };
         if !ob.exists_fact(created) {
             continue;
@@ -320,14 +467,14 @@ fn scan_del(
                     continue; // still present: not deleted
                 }
                 match_app_and_continue(
-                    ob,
+                    ctx,
                     args,
                     result,
                     app.args.as_slice(),
                     app.result,
-                    rule,
-                    step,
+                    pos,
                     b,
+                    buf,
                     sink,
                 );
             }
@@ -340,19 +487,21 @@ fn scan_del(
 /// (changed and unchanged result; DESIGN.md D5).
 #[allow(clippy::too_many_arguments)]
 fn scan_mod(
-    ob: &ObjectBase,
-    target: ruvo_term::VidTerm,
+    ctx: &MatchCtx<'_>,
+    target: VidTerm,
     method: ruvo_term::Symbol,
     args: &[ArgTerm],
     from: ArgTerm,
     to: ArgTerm,
-    rule: &Rule,
-    step: usize,
+    seed: Option<&FastHashSet<Const>>,
+    pos: usize,
     b: &mut Bindings,
+    buf: &mut Vec<Const>,
     sink: &mut dyn FnMut(&Bindings),
 ) {
+    let ob = ctx.ob;
     // Both clauses require mod(v).m defined; use it as candidate index.
-    for tvid in target_candidates(ob, target, UpdateKind::Mod, method, b) {
+    for tvid in target_candidates(ob, target, UpdateKind::Mod, method, seed, b) {
         let Ok(created) = tvid.apply(UpdateKind::Mod) else { continue };
         let Some(v_star) = ob.v_star(tvid) else { continue };
         let mark = b.mark();
@@ -363,16 +512,16 @@ fn scan_mod(
                 // Clause r = r': v*.m -> r ∈ I and mod(v).m -> r ∈ I.
                 if in_created {
                     match_pair_and_continue(
-                        ob,
+                        ctx,
                         args,
                         from,
                         to,
                         from_app.args.as_slice(),
                         from_app.result,
                         from_app.result,
-                        rule,
-                        step,
+                        pos,
                         b,
+                        buf,
                         sink,
                     );
                     continue;
@@ -384,16 +533,16 @@ fn scan_mod(
                         continue;
                     }
                     match_pair_and_continue(
-                        ob,
+                        ctx,
                         args,
                         from,
                         to,
                         from_app.args.as_slice(),
                         from_app.result,
                         to_app.result,
-                        rule,
-                        step,
+                        pos,
                         b,
+                        buf,
                         sink,
                     );
                 }
@@ -405,16 +554,16 @@ fn scan_mod(
 
 #[allow(clippy::too_many_arguments)]
 fn match_pair_and_continue(
-    ob: &ObjectBase,
+    ctx: &MatchCtx<'_>,
     pattern_args: &[ArgTerm],
     pattern_from: ArgTerm,
     pattern_to: ArgTerm,
     ground_args: &[Const],
     ground_from: Const,
     ground_to: Const,
-    rule: &Rule,
-    step: usize,
+    pos: usize,
     b: &mut Bindings,
+    buf: &mut Vec<Const>,
     sink: &mut dyn FnMut(&Bindings),
 ) {
     if pattern_args.len() != ground_args.len() {
@@ -429,7 +578,7 @@ fn match_pair_and_continue(
         }
     }
     if ok && pattern_from.matches(ground_from, b) && pattern_to.matches(ground_to, b) {
-        exec(ob, rule, step + 1, b, sink);
+        exec(ctx, pos + 1, b, buf, sink);
     }
     b.undo_to(mark);
 }
@@ -437,6 +586,7 @@ fn match_pair_and_continue(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::IndexPlan;
     use ruvo_lang::Program;
     use ruvo_obase::Args;
     use ruvo_term::{int, oid, sym, VarId};
@@ -445,6 +595,19 @@ mod tests {
         let program = Program::parse(rule_src).unwrap();
         let mut out = Vec::new();
         for_each_match(ob, &program.rules[0], &mut |b| out.push(b.snapshot()));
+        out.sort();
+        out
+    }
+
+    /// The planned (indexed) path must enumerate exactly the same
+    /// matches as the naive path.
+    fn matches_planned(ob: &ObjectBase, rule_src: &str) -> Vec<Vec<Option<Const>>> {
+        let program = Program::parse(rule_src).unwrap();
+        let plan = IndexPlan::of(&program);
+        let mut out = Vec::new();
+        for_each_match_planned(ob, &program.rules[0], &plan.rules[0], &mut |b| {
+            out.push(b.snapshot())
+        });
         out.sort();
         out
     }
@@ -615,5 +778,95 @@ mod tests {
                 .into_iter()
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn planned_path_agrees_with_naive() {
+        let ob = base();
+        for src in [
+            "ins[E].seen -> yes <= E.isa -> empl.",
+            "ins[E].flag -> 1 <= E.boss -> B & B.sal -> SB & E.sal -> SE & SE > SB.",
+            "ins[E].nm -> 1 <= E.isa -> empl & not E.pos -> mgr.",
+            "ins[E].m -> 1 <= E.pos -> P & P = mgr.",
+            "ins[E].boss_of -> B <= B.boss -> E.",
+            "ins[phil].ok -> 1 <= phil.sal -> 4000.",
+        ] {
+            assert_eq!(matches(&ob, src), matches_planned(&ob, src), "program: {src}");
+        }
+    }
+
+    #[test]
+    fn result_key_scan_narrows_enumeration() {
+        // E.pos -> mgr with ResultKey only visits phil.
+        let ob = base();
+        let m = matches_planned(&ob, "ins[E].m -> 1 <= E.pos -> mgr.");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0], Some(oid("phil")));
+        // A key with no entries matches nothing (and does not panic).
+        let m = matches_planned(&ob, "ins[E].m -> 1 <= E.pos -> ceo.");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn arg0_key_scan_narrows_enumeration() {
+        let mut ob = ObjectBase::new();
+        ob.insert(Vid::object(oid("g")), sym("edge"), Args::new(vec![oid("a")]), int(1));
+        ob.insert(Vid::object(oid("h")), sym("edge"), Args::new(vec![oid("b")]), int(2));
+        ob.ensure_exists();
+        let m = matches_planned(&ob, "ins[X].d -> W <= X.edge @ a -> W.");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0], Some(oid("g")));
+    }
+
+    #[test]
+    fn seeded_scan_restricts_and_rotates() {
+        let ob = base();
+        let program =
+            Program::parse("ins[E].flag -> 1 <= E.isa -> empl & E.sal -> S & S > 4100.").unwrap();
+        let plan = IndexPlan::of(&program);
+        let all_steps = program.rules[0].plan.steps.len();
+        // Seed = {bob}: only bob's matches are produced, whichever scan
+        // step is seeded.
+        let mut seed = FastHashSet::default();
+        seed.insert(oid("bob"));
+        for step in 0..all_steps {
+            if !matches!(program.rules[0].plan.steps[step], PlannedLiteral::Scan(_)) {
+                continue;
+            }
+            let mut out = Vec::new();
+            for_each_match_seeded(&ob, &program.rules[0], &plan.rules[0], step, &seed, &mut |b| {
+                out.push(b.snapshot())
+            });
+            assert_eq!(out.len(), 1, "seed step {step}");
+            assert_eq!(out[0][0], Some(oid("bob")), "seed step {step}");
+        }
+        // Seed = {phil}: phil fails the S > 4100 check — no matches.
+        let mut seed = FastHashSet::default();
+        seed.insert(oid("phil"));
+        let mut out = Vec::new();
+        for_each_match_seeded(&ob, &program.rules[0], &plan.rules[0], 0, &seed, &mut |b| {
+            out.push(b.snapshot())
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn seeded_del_scan_restricts_targets() {
+        let mut ob = base();
+        let del_bob = Vid::object(oid("bob")).apply(UpdateKind::Del).unwrap();
+        ob.insert(del_bob, sym("exists"), Args::empty(), oid("bob"));
+        ob.insert(del_bob, sym("sal"), Args::empty(), int(4200));
+        let program = Program::parse("ins[x].fired -> E <= del[E].isa -> W.").unwrap();
+        let plan = IndexPlan::of(&program);
+        let run_seeded = |bases: &[Const]| {
+            let seed: FastHashSet<Const> = bases.iter().copied().collect();
+            let mut out = Vec::new();
+            for_each_match_seeded(&ob, &program.rules[0], &plan.rules[0], 0, &seed, &mut |b| {
+                out.push(b.snapshot())
+            });
+            out
+        };
+        assert_eq!(run_seeded(&[oid("bob")]).len(), 1);
+        assert!(run_seeded(&[oid("phil")]).is_empty());
     }
 }

@@ -1,0 +1,300 @@
+//! Compile-time index planning: how each rule's `Scan` steps should
+//! enumerate candidates, and which relations each body literal reads.
+//!
+//! The safety analysis ([`ruvo_lang::safety`]) already orders body
+//! literals by bound-ness; this module replays that order once at
+//! compile time and records, per `Scan` step,
+//!
+//! * a [`ScanHint`] — whether a key position (the result or the first
+//!   argument) is guaranteed bound when the step runs, so the matcher
+//!   can drive the scan through the object base's value-keyed method
+//!   index instead of enumerating every version of the chain, and
+//! * the `(chain, method)` relations the literal reads — the
+//!   per-literal *trigger* set the semi-naive engine intersects with a
+//!   round's delta to decide which scan to seed from the delta side.
+//!
+//! An [`IndexPlan`] is computed once per program (inside
+//! [`crate::CompiledProgram`], so [`crate::Database::prepare`] pays for
+//! it exactly once) and borrowed by every evaluation.
+
+use ruvo_lang::{Atom, Literal, PlannedLiteral, Program, Rule, UpdateSpec};
+use ruvo_obase::exists_sym;
+use ruvo_term::{ArgTerm, BaseTerm, Chain, Symbol, UpdateKind, VidRef};
+
+/// How a `Scan` plan step enumerates candidate versions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanHint {
+    /// Enumerate every version of the literal's chain that defines the
+    /// method (the unindexed path; also used for ground-target scans,
+    /// which are already direct lookups).
+    #[default]
+    Full,
+    /// The result position is bound when the step runs: scan through
+    /// the `(chain, method, result)` key index.
+    ResultKey,
+    /// The first argument is bound when the step runs: scan through
+    /// the `(chain, method, first-arg)` key index.
+    Arg0Key,
+}
+
+/// The index plan of one rule; both vectors are parallel to
+/// `rule.plan.steps`.
+#[derive(Clone, Debug, Default)]
+pub struct RuleIndexPlan {
+    /// Enumeration strategy per plan step (meaningful for `Scan`s).
+    pub hints: Vec<ScanHint>,
+    /// Per plan step: the `(chain, method)` relations a `Scan` literal
+    /// reads, `None` for a VID-variable scan (which can read any
+    /// relation). Non-scan steps read nothing (`Some` of empty).
+    pub reads: Vec<Option<Vec<(Chain, Symbol)>>>,
+}
+
+/// The per-program index plan, computed once at compile time.
+#[derive(Clone, Debug, Default)]
+pub struct IndexPlan {
+    /// One entry per program rule, in rule order.
+    pub rules: Vec<RuleIndexPlan>,
+}
+
+impl IndexPlan {
+    /// Plan every rule of `program`.
+    pub fn of(program: &Program) -> IndexPlan {
+        IndexPlan { rules: program.rules.iter().map(rule_index_plan).collect() }
+    }
+}
+
+/// The `(chain, method)` relations a single body literal can read, or
+/// `None` for a VID-variable version atom (the §6 extension reads any
+/// version). This is the same accounting the engine's rule-level delta
+/// filter unions over all positive literals.
+pub fn literal_reads(lit: &Literal) -> Option<Vec<(Chain, Symbol)>> {
+    let exists = exists_sym();
+    let mut out = Vec::new();
+    match &lit.atom {
+        Atom::Version(va) => match va.vid.as_term() {
+            Some(t) => out.push((t.chain, va.method)),
+            None => return None,
+        },
+        Atom::Update(ua) => {
+            let chain = ua.target.chain;
+            match &ua.spec {
+                UpdateSpec::Ins { method, .. } => {
+                    if let Ok(c) = chain.push(UpdateKind::Ins) {
+                        out.push((c, *method));
+                    }
+                }
+                UpdateSpec::Del { method, .. } => {
+                    if let Ok(c) = chain.push(UpdateKind::Del) {
+                        out.push((c, exists));
+                        out.push((c, *method));
+                    }
+                    // del-body truth reads v*.method on any prefix.
+                    for p in chain.prefixes() {
+                        out.push((p, *method));
+                    }
+                }
+                UpdateSpec::Mod { method, .. } => {
+                    if let Ok(c) = chain.push(UpdateKind::Mod) {
+                        out.push((c, *method));
+                    }
+                    for p in chain.prefixes() {
+                        out.push((p, *method));
+                    }
+                }
+                UpdateSpec::DelAll => unreachable!("del-all in a body is rejected"),
+            }
+        }
+        Atom::Cmp(_) => {}
+    }
+    Some(out)
+}
+
+fn rule_index_plan(rule: &Rule) -> RuleIndexPlan {
+    let mut bound = vec![false; rule.vars.len()];
+    let mut hints = Vec::with_capacity(rule.plan.steps.len());
+    let mut reads = Vec::with_capacity(rule.plan.steps.len());
+    for step in &rule.plan.steps {
+        match *step {
+            PlannedLiteral::Check(_) => {
+                hints.push(ScanHint::Full);
+                reads.push(Some(Vec::new()));
+            }
+            PlannedLiteral::Assign { var, .. } => {
+                hints.push(ScanHint::Full);
+                reads.push(Some(Vec::new()));
+                bound[var.index()] = true;
+            }
+            PlannedLiteral::Scan(li) => {
+                let lit = &rule.body[li];
+                hints.push(scan_hint(&lit.atom, &bound));
+                reads.push(literal_reads(lit));
+                bind_atom_vars(&lit.atom, &mut bound);
+            }
+        }
+    }
+    RuleIndexPlan { hints, reads }
+}
+
+/// Pick the enumeration strategy for a scan, given which variables are
+/// already bound when it runs. A bound target base needs no index (the
+/// scan is a direct version lookup); otherwise a bound key position
+/// makes the keyed index applicable.
+fn scan_hint(atom: &Atom, bound: &[bool]) -> ScanHint {
+    let is_bound = |t: ArgTerm| match t {
+        BaseTerm::Const(_) => true,
+        BaseTerm::Var(v) => bound[v.index()],
+    };
+    let keyed = |base: ArgTerm, args: &[ArgTerm], result: ArgTerm| {
+        if is_bound(base) {
+            ScanHint::Full
+        } else if is_bound(result) {
+            ScanHint::ResultKey
+        } else if args.first().is_some_and(|&a| is_bound(a)) {
+            ScanHint::Arg0Key
+        } else {
+            ScanHint::Full
+        }
+    };
+    match atom {
+        Atom::Version(va) => match va.vid {
+            VidRef::Var(_) => ScanHint::Full,
+            VidRef::Term(t) => keyed(t.base, &va.args, va.result),
+        },
+        // An ins-body scans the created version like a version-term
+        // (see the matcher), so the same keying applies; del/mod body
+        // scans enumerate candidates via the exists/method chain index
+        // and gain nothing from value keys.
+        Atom::Update(ua) => match &ua.spec {
+            UpdateSpec::Ins { args, result, .. } => keyed(ua.target.base, args, *result),
+            _ => ScanHint::Full,
+        },
+        Atom::Cmp(_) => ScanHint::Full,
+    }
+}
+
+fn bind_term(t: ArgTerm, bound: &mut [bool]) {
+    if let BaseTerm::Var(v) = t {
+        bound[v.index()] = true;
+    }
+}
+
+fn bind_atom_vars(atom: &Atom, bound: &mut [bool]) {
+    match atom {
+        Atom::Version(va) => {
+            if let Some(t) = va.vid.as_term() {
+                bind_term(t.base, bound);
+            }
+            for &a in &va.args {
+                bind_term(a, bound);
+            }
+            bind_term(va.result, bound);
+        }
+        Atom::Update(ua) => {
+            bind_term(ua.target.base, bound);
+            match &ua.spec {
+                UpdateSpec::Ins { args, result, .. } | UpdateSpec::Del { args, result, .. } => {
+                    for &a in args {
+                        bind_term(a, bound);
+                    }
+                    bind_term(*result, bound);
+                }
+                UpdateSpec::Mod { args, from, to, .. } => {
+                    for &a in args {
+                        bind_term(a, bound);
+                    }
+                    bind_term(*from, bound);
+                    bind_term(*to, bound);
+                }
+                UpdateSpec::DelAll => {}
+            }
+        }
+        Atom::Cmp(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_lang::Program;
+    use ruvo_term::sym;
+
+    fn plan_of(src: &str) -> RuleIndexPlan {
+        let p = Program::parse(src).unwrap();
+        assert_eq!(p.rules.len(), 1);
+        rule_index_plan(&p.rules[0])
+    }
+
+    #[test]
+    fn bound_result_gets_result_key() {
+        // E.isa -> empl: base unbound, result constant.
+        let plan = plan_of("ins[E].tag -> 1 <= E.isa -> empl.");
+        assert_eq!(plan.hints, vec![ScanHint::ResultKey]);
+        assert_eq!(plan.reads[0].as_deref(), Some(&[(Chain::EMPTY, sym("isa"))][..]));
+    }
+
+    #[test]
+    fn join_variable_becomes_key_once_bound() {
+        // Scan order: E.boss -> B first (open), then B.sal -> S with a
+        // *bound base* (Full: direct lookup), and for result-joins the
+        // second occurrence of the bound variable keys the index.
+        let plan = plan_of("ins[E].flag -> 1 <= E.boss -> B & F.mark -> B.");
+        // One of the scans runs second and has B bound; whichever
+        // literal that is, its hint must exploit B.
+        assert!(
+            plan.hints.contains(&ScanHint::ResultKey),
+            "expected a ResultKey hint, got {:?}",
+            plan.hints
+        );
+    }
+
+    #[test]
+    fn open_scan_stays_full() {
+        let plan = plan_of("ins[X].copy -> R <= X.p -> R.");
+        assert_eq!(plan.hints, vec![ScanHint::Full]);
+    }
+
+    #[test]
+    fn bound_first_arg_gets_arg0_key() {
+        // dist@a -> W: first argument constant, result unbound.
+        let plan = plan_of("ins[X].d -> W <= X.dist @ a -> W.");
+        assert_eq!(plan.hints, vec![ScanHint::Arg0Key]);
+    }
+
+    #[test]
+    fn ground_base_scan_needs_no_key() {
+        let plan = plan_of("ins[x].ok -> 1 <= phil.sal -> 4000.");
+        assert_eq!(plan.hints, vec![ScanHint::Full]);
+    }
+
+    #[test]
+    fn vid_variable_scan_reads_anything() {
+        let plan = plan_of("ins[x].seen -> R <= $V.m -> R.");
+        assert_eq!(plan.hints, vec![ScanHint::Full]);
+        assert_eq!(plan.reads, vec![None]);
+    }
+
+    #[test]
+    fn del_body_reads_cover_created_and_prefix_chains() {
+        let p = Program::parse("ins[x].fired -> E <= del[E].sal -> S.").unwrap();
+        let reads = literal_reads(&p.rules[0].body[0]).unwrap();
+        let del_chain = Chain::EMPTY.push(UpdateKind::Del).unwrap();
+        assert!(reads.contains(&(del_chain, exists_sym())));
+        assert!(reads.contains(&(del_chain, sym("sal"))));
+        assert!(reads.contains(&(Chain::EMPTY, sym("sal"))));
+    }
+
+    #[test]
+    fn checks_and_assigns_read_nothing() {
+        let plan = plan_of("mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.");
+        assert_eq!(plan.hints.len(), 3);
+        assert_eq!(plan.reads.len(), 3);
+        // Every non-scan step reads Some(empty).
+        for (step, reads) in plan.reads.iter().enumerate() {
+            let r = reads.as_ref().expect("no VID vars here");
+            if r.is_empty() {
+                // must be the Assign step
+                assert_eq!(step, 2, "only the assignment reads nothing");
+            }
+        }
+    }
+}

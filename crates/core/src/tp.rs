@@ -24,11 +24,10 @@
 //! `A`, `((X \ R) ∪ A) \ R ∪ A = (X \ R) ∪ A`.
 
 use ruvo_lang::{Rule, UpdateSpec};
-use ruvo_obase::{exists_sym, Args, MethodApp, ObjectBase, VersionState};
-use ruvo_term::{
-    ArgTerm, Bindings, Chain, Const, FastHashMap, FastHashSet, Symbol, UpdateKind, Vid,
-};
+use ruvo_obase::{exists_sym, Args, ChangedSince, MethodApp, ObjectBase, VersionState};
+use ruvo_term::{ArgTerm, Bindings, Const, FastHashMap, FastHashSet, Symbol, UpdateKind, Vid};
 
+use crate::plan::RuleIndexPlan;
 use crate::{matcher, truth};
 
 /// A fired ground update-term (an element of `T¹`).
@@ -184,65 +183,95 @@ fn ground_args(args: &[ArgTerm], b: &Bindings) -> Args {
 }
 
 /// Step 1 for one rule: enumerate body matches, ground the head, check
-/// head truth, and emit fired updates into `out`.
+/// head truth, and emit fired updates into `out`. Scans are naive full
+/// relation sweeps; see [`collect_rule_planned`] for the indexed path.
 ///
 /// A `del[V].*` head expands into one `Del` per method-application of
 /// `v*` (excluding `exists`, which is not updatable) — "we write
 /// del[…]: to express the deletion of all method-applications of the
 /// respective version" (§2.3).
 pub fn collect_rule(ob: &ObjectBase, rule: &Rule, out: &mut Vec<Fired>) {
+    matcher::for_each_match(ob, rule, &mut |b| fire_head(ob, rule, b, out));
+}
+
+/// [`collect_rule`] with scans driven through the value-keyed method
+/// index per the rule's compile-time [`RuleIndexPlan`].
+pub fn collect_rule_planned(
+    ob: &ObjectBase,
+    rule: &Rule,
+    plan: &RuleIndexPlan,
+    out: &mut Vec<Fired>,
+) {
+    matcher::for_each_match_planned(ob, rule, plan, &mut |b| fire_head(ob, rule, b, out));
+}
+
+/// [`collect_rule_planned`] with the scan at plan step `seed_step`
+/// restricted to the objects in `seed` and executed first — the
+/// semi-naive delta join (matches not involving a seeded object at
+/// that literal are skipped; the engine issues one seeded pass per
+/// changed body literal).
+pub fn collect_rule_seeded(
+    ob: &ObjectBase,
+    rule: &Rule,
+    plan: &RuleIndexPlan,
+    seed_step: usize,
+    seed: &FastHashSet<Const>,
+    out: &mut Vec<Fired>,
+) {
+    matcher::for_each_match_seeded(ob, rule, plan, seed_step, seed, &mut |b| {
+        fire_head(ob, rule, b, out)
+    });
+}
+
+/// Ground the head under a complete body match, check §3 head truth,
+/// and emit the fired update(s).
+fn fire_head(ob: &ObjectBase, rule: &Rule, b: &Bindings, out: &mut Vec<Fired>) {
     let exists = exists_sym();
-    matcher::for_each_match(ob, rule, &mut |b| {
-        let target = rule
-            .head
-            .target
-            .ground(b)
-            .expect("safety analysis guarantees head variables are bound");
-        match &rule.head.spec {
-            UpdateSpec::Ins { method, args, result } => {
-                // §3: an ins head is always true.
-                out.push(Fired::Ins {
-                    target,
-                    method: *method,
-                    args: ground_args(args, b),
-                    result: ground_arg(*result, b),
-                });
+    let target =
+        rule.head.target.ground(b).expect("safety analysis guarantees head variables are bound");
+    match &rule.head.spec {
+        UpdateSpec::Ins { method, args, result } => {
+            // §3: an ins head is always true.
+            out.push(Fired::Ins {
+                target,
+                method: *method,
+                args: ground_args(args, b),
+                result: ground_arg(*result, b),
+            });
+        }
+        UpdateSpec::Del { method, args, result } => {
+            let args = ground_args(args, b);
+            let result = ground_arg(*result, b);
+            if truth::update_head(ob, UpdateKind::Del, target, *method, args.as_slice(), result) {
+                out.push(Fired::Del { target, method: *method, args, result });
             }
-            UpdateSpec::Del { method, args, result } => {
-                let args = ground_args(args, b);
-                let result = ground_arg(*result, b);
-                if truth::update_head(ob, UpdateKind::Del, target, *method, args.as_slice(), result)
-                {
-                    out.push(Fired::Del { target, method: *method, args, result });
-                }
-            }
-            UpdateSpec::DelAll => {
-                if let Some(v_star) = ob.v_star(target) {
-                    if let Some(state) = ob.version(v_star) {
-                        for (method, app) in state.iter() {
-                            if method == exists {
-                                continue;
-                            }
-                            out.push(Fired::Del {
-                                target,
-                                method,
-                                args: app.args.clone(),
-                                result: app.result,
-                            });
+        }
+        UpdateSpec::DelAll => {
+            if let Some(v_star) = ob.v_star(target) {
+                if let Some(state) = ob.version(v_star) {
+                    for (method, app) in state.iter() {
+                        if method == exists {
+                            continue;
                         }
+                        out.push(Fired::Del {
+                            target,
+                            method,
+                            args: app.args.clone(),
+                            result: app.result,
+                        });
                     }
                 }
             }
-            UpdateSpec::Mod { method, args, from, to } => {
-                let args = ground_args(args, b);
-                let from = ground_arg(*from, b);
-                let to = ground_arg(*to, b);
-                if truth::update_head(ob, UpdateKind::Mod, target, *method, args.as_slice(), from) {
-                    out.push(Fired::Mod { target, method: *method, args, from, to });
-                }
+        }
+        UpdateSpec::Mod { method, args, from, to } => {
+            let args = ground_args(args, b);
+            let from = ground_arg(*from, b);
+            let to = ground_arg(*to, b);
+            if truth::update_head(ob, UpdateKind::Mod, target, *method, args.as_slice(), from) {
+                out.push(Fired::Mod { target, method: *method, args, from, to });
             }
         }
-    });
+    }
 }
 
 /// Bookkeeping produced by [`apply_updates`], consumed by the engine.
@@ -252,9 +281,12 @@ pub struct ApplyReport {
     pub touched: Vec<Vid>,
     /// Versions that did not exist before this round.
     pub created: Vec<Vid>,
-    /// `(chain, method)` relations whose fact sets may have changed —
-    /// the trigger set for rule-level delta filtering.
-    pub changed: FastHashSet<(Chain, Symbol)>,
+    /// The round's semantic delta: per `(chain, method)` relation, the
+    /// objects whose fact sets actually changed (diffed by the tracked
+    /// state commit, so idempotent re-applications contribute nothing).
+    /// This both gates rule-level delta filtering and seeds the
+    /// semi-naive join.
+    pub changed: ChangedSince,
     /// Method-applications copied in step 2 (frame-copy volume).
     pub facts_copied: usize,
 }
@@ -297,7 +329,6 @@ pub fn apply_updates(ob: &mut ObjectBase, delta: &[Fired]) -> ApplyReport {
         // like (a,b),(b,c) order-dependent ({c} or {a,c} instead of
         // the paper's {b,c}).
         for fired in &updates {
-            report.changed.insert((created.chain(), fired.method()));
             match fired {
                 Fired::Del { method, args, result, .. } => {
                     state.remove(*method, &MethodApp::new(args.clone(), *result));
@@ -320,15 +351,10 @@ pub fn apply_updates(ob: &mut ObjectBase, delta: &[Fired]) -> ApplyReport {
             }
         }
 
-        // Freshly created versions make *every* method of their state
-        // newly visible under their chain.
-        if !active {
-            for method in state.methods() {
-                report.changed.insert((created.chain(), method));
-            }
-        }
-
-        ob.replace_version(created, state);
+        // The tracked commit diffs the new state against the old one:
+        // freshly created versions record every method of their state,
+        // re-applications record only what actually changed.
+        ob.replace_version_tracked(created, state, &mut report.changed);
         report.touched.push(created);
     }
     report

@@ -20,6 +20,10 @@ pub struct EvalStats {
     pub rule_evaluations: usize,
     /// (rule, round) evaluations skipped by delta filtering.
     pub rule_evaluations_skipped: usize,
+    /// Delta-seeded (semi-naive) rule passes: evaluations that joined
+    /// from the previous round's changed objects instead of the full
+    /// relations.
+    pub rule_evaluations_seeded: usize,
     /// Wall-clock time of the run (zero duration if not measured).
     pub elapsed: Duration,
 }
@@ -29,7 +33,7 @@ impl fmt::Display for EvalStats {
         write!(
             f,
             "{} strata, {} rounds, {} fired updates, {} versions created, {} facts copied, \
-             {} rule evaluations ({} skipped), {:?}",
+             {} rule evaluations ({} skipped, {} seeded), {:?}",
             self.strata,
             self.rounds,
             self.fired_updates,
@@ -37,6 +41,7 @@ impl fmt::Display for EvalStats {
             self.facts_copied,
             self.rule_evaluations,
             self.rule_evaluations_skipped,
+            self.rule_evaluations_seeded,
             self.elapsed
         )
     }

@@ -130,35 +130,50 @@ fn rule_name(rule: &Rule) -> String {
     rule.label.clone().unwrap_or_else(|| format!("<{}>", rule.head.target))
 }
 
-/// How many positions of a positive atom are bound — the scan-selection
-/// heuristic (higher = more selective).
+/// Selectivity score of a positive atom given the variables bound so
+/// far — the scan-selection heuristic (higher = more selective).
+///
+/// A bound base is worth the most: it selects a single version. Among
+/// argument/result positions, one bound through a *variable* is a join
+/// with an already-scanned literal and usually far more selective than
+/// a constant tag shared by many facts (`E.boss -> B` with `B` bound
+/// names one boss's reports; `E.isa -> empl` names every employee), so
+/// bound variables outscore constants. An unbound VID variable scores
+/// 0 — an open scan.
 fn bound_positions(atom: &Atom, bound: &[bool]) -> usize {
-    let is_bound = |t: ArgTerm| match t {
-        BaseTerm::Const(_) => true,
-        BaseTerm::Var(v) => bound[v.index()],
+    const BASE: usize = 8;
+    const JOIN_VAR: usize = 2;
+    const CONST: usize = 1;
+    let score = |t: ArgTerm| match t {
+        BaseTerm::Const(_) => CONST,
+        BaseTerm::Var(v) if bound[v.index()] => JOIN_VAR,
+        BaseTerm::Var(_) => 0,
+    };
+    let base_score = |t: ArgTerm| match t {
+        BaseTerm::Const(_) => BASE,
+        BaseTerm::Var(v) if bound[v.index()] => BASE,
+        BaseTerm::Var(_) => 0,
     };
     match atom {
         Atom::Version(va) => {
-            // A bound base is worth more: it selects a single version.
-            // (A VID variable scores 0 when unbound — an open scan.)
             let mut n = match va.vid.as_term() {
-                Some(t) if is_bound(t.base) => 2,
-                _ => 0,
+                Some(t) => base_score(t.base),
+                None => 0,
             };
-            n += va.args.iter().filter(|&&a| is_bound(a)).count();
-            n += usize::from(is_bound(va.result));
+            n += va.args.iter().map(|&a| score(a)).sum::<usize>();
+            n += score(va.result);
             n
         }
         Atom::Update(ua) => {
-            let mut n = if is_bound(ua.target.base) { 2 } else { 0 };
+            let mut n = base_score(ua.target.base);
             match &ua.spec {
                 UpdateSpec::Ins { args, result, .. } | UpdateSpec::Del { args, result, .. } => {
-                    n += args.iter().filter(|&&a| is_bound(a)).count();
-                    n += usize::from(is_bound(*result));
+                    n += args.iter().map(|&a| score(a)).sum::<usize>();
+                    n += score(*result);
                 }
                 UpdateSpec::Mod { args, from, to, .. } => {
-                    n += args.iter().filter(|&&a| is_bound(a)).count();
-                    n += usize::from(is_bound(*from)) + usize::from(is_bound(*to));
+                    n += args.iter().map(|&a| score(a)).sum::<usize>();
+                    n += score(*from) + score(*to);
                 }
                 UpdateSpec::DelAll => {}
             }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use ruvo_lang::{parse_facts, ParseError};
 use ruvo_term::{Chain, Const, FastHashMap, FastHashSet, Symbol, Vid};
 
-use crate::{exists_sym, Args, MethodApp, ObStats, VersionState};
+use crate::{exists_sym, Args, ChangedSince, MethodApp, ObStats, VersionState};
 
 /// One ground version-term `vid.m@args -> r`, as stored.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -29,6 +29,44 @@ impl fmt::Display for Fact {
             write!(f, " @ {}", self.args)?;
         }
         write!(f, " -> {} .", ruvo_lang::pretty::const_str(self.result))
+    }
+}
+
+/// The method index: `(chain, method, key) → {base → multiplicity}`,
+/// where `key` is a fact's result value or its first argument.
+///
+/// This is the scan accelerator behind
+/// [`ObjectBase::versions_with_result`] /
+/// [`ObjectBase::versions_with_arg0`]: a body literal like
+/// `E.isa -> empl` (base unbound, result bound) enumerates exactly the
+/// versions whose `isa` set contains `empl` instead of every version
+/// defining `isa`. Multiplicities are needed because several facts of
+/// one version can share a key (same result under different
+/// arguments, and vice versa).
+#[derive(Clone, Default)]
+struct KeyIndex {
+    map: FastHashMap<(Chain, Symbol, Const), FastHashMap<Const, u32>>,
+}
+
+impl KeyIndex {
+    fn add(&mut self, chain: Chain, method: Symbol, key: Const, base: Const) {
+        *self.map.entry((chain, method, key)).or_default().entry(base).or_insert(0) += 1;
+    }
+
+    fn remove(&mut self, chain: Chain, method: Symbol, key: Const, base: Const) {
+        let Some(bases) = self.map.get_mut(&(chain, method, key)) else { return };
+        let Some(count) = bases.get_mut(&base) else { return };
+        *count -= 1;
+        if *count == 0 {
+            bases.remove(&base);
+            if bases.is_empty() {
+                self.map.remove(&(chain, method, key));
+            }
+        }
+    }
+
+    fn bases(&self, chain: Chain, method: Symbol, key: Const) -> impl Iterator<Item = Const> + '_ {
+        self.map.get(&(chain, method, key)).into_iter().flatten().map(|(&b, _)| b)
     }
 }
 
@@ -55,6 +93,10 @@ pub struct ObjectBase {
     by_chain_method: FastHashMap<(Chain, Symbol), FastHashSet<Const>>,
     /// `base → chains`: every version of an object.
     by_base: FastHashMap<Const, FastHashSet<Chain>>,
+    /// `(chain, method, result) → bases`: the value-keyed scan index.
+    by_result: KeyIndex,
+    /// `(chain, method, first-arg) → bases`: ditto for argument keys.
+    by_arg0: KeyIndex,
     fact_count: usize,
 }
 
@@ -89,6 +131,7 @@ impl ObjectBase {
         let app = MethodApp::new(args, result);
         let state = Arc::make_mut(self.versions.entry(vid).or_default());
         let was_empty_method = !state.has_method(method);
+        let arg0 = app.args.as_slice().first().copied();
         let added = state.insert(method, app);
         if added {
             self.fact_count += 1;
@@ -96,6 +139,10 @@ impl ObjectBase {
                 self.by_chain_method.entry((vid.chain(), method)).or_default().insert(vid.base());
             }
             self.by_base.entry(vid.base()).or_default().insert(vid.chain());
+            self.by_result.add(vid.chain(), method, result, vid.base());
+            if let Some(a0) = arg0 {
+                self.by_arg0.add(vid.chain(), method, a0, vid.base());
+            }
         }
         added
     }
@@ -115,6 +162,10 @@ impl ObjectBase {
         };
         if removed {
             self.fact_count -= 1;
+            self.by_result.remove(vid.chain(), method, result, vid.base());
+            if let Some(&a0) = args.as_slice().first() {
+                self.by_arg0.remove(vid.chain(), method, a0, vid.base());
+            }
             if method_gone {
                 self.unindex_method(vid, method);
             }
@@ -140,6 +191,12 @@ impl ObjectBase {
         for method in state.methods() {
             self.unindex_method(vid, method);
         }
+        for (method, app) in state.iter() {
+            self.by_result.remove(vid.chain(), method, app.result, vid.base());
+            if let Some(&a0) = app.args.as_slice().first() {
+                self.by_arg0.remove(vid.chain(), method, a0, vid.base());
+            }
+        }
         self.unindex_version(vid);
         Some(state)
     }
@@ -156,8 +213,36 @@ impl ObjectBase {
         for method in state.methods() {
             self.by_chain_method.entry((vid.chain(), method)).or_default().insert(vid.base());
         }
+        for (method, app) in state.iter() {
+            self.by_result.add(vid.chain(), method, app.result, vid.base());
+            if let Some(&a0) = app.args.as_slice().first() {
+                self.by_arg0.add(vid.chain(), method, a0, vid.base());
+            }
+        }
         self.by_base.entry(vid.base()).or_default().insert(vid.chain());
         self.versions.insert(vid, Arc::new(state));
+    }
+
+    /// [`ObjectBase::replace_version`] that also records the commit's
+    /// semantic delta into `changed`: every method whose application
+    /// set differs between the old and the new state of `vid` (all of
+    /// the new state's methods when the version is new). Idempotent
+    /// re-commits therefore record nothing — the property the
+    /// semi-naive evaluator's seeding relies on.
+    pub fn replace_version_tracked(
+        &mut self,
+        vid: Vid,
+        state: VersionState,
+        changed: &mut ChangedSince,
+    ) {
+        let methods = match self.versions.get(&vid) {
+            Some(old) => old.changed_methods(&state),
+            None => state.methods().collect(),
+        };
+        for method in methods {
+            changed.record(vid.chain(), method, vid.base());
+        }
+        self.replace_version(vid, state);
     }
 
     fn unindex_method(&mut self, vid: Vid, method: Symbol) {
@@ -252,6 +337,37 @@ impl ObjectBase {
             .into_iter()
             .flatten()
             .map(move |&base| Vid::new(base, chain))
+    }
+
+    /// The versions with update-chain `chain` that have at least one
+    /// `method` application whose **result** is `result` — the indexed
+    /// scan for a body literal whose result position is bound (e.g.
+    /// `E.isa -> empl` with `E` unbound enumerates only the versions
+    /// that are `empl`s, not every version defining `isa`).
+    pub fn versions_with_result(
+        &self,
+        chain: Chain,
+        method: Symbol,
+        result: Const,
+    ) -> impl Iterator<Item = Vid> + '_ {
+        self.by_result.bases(chain, method, result).map(move |base| Vid::new(base, chain))
+    }
+
+    /// The versions with update-chain `chain` that have at least one
+    /// `method` application whose **first argument** is `arg0` (the
+    /// indexed scan for a bound first argument).
+    pub fn versions_with_arg0(
+        &self,
+        chain: Chain,
+        method: Symbol,
+        arg0: Const,
+    ) -> impl Iterator<Item = Vid> + '_ {
+        self.by_arg0.bases(chain, method, arg0).map(move |base| Vid::new(base, chain))
+    }
+
+    /// True if `vid` has at least one application of `method`.
+    pub fn defines(&self, vid: Vid, method: Symbol) -> bool {
+        self.versions.get(&vid).is_some_and(|s| s.has_method(method))
     }
 
     /// Every version of an object, as VIDs.
@@ -381,6 +497,29 @@ impl ObjectBase {
                 );
             }
         }
+        // The key indexes must agree exactly with the stored facts.
+        let mut expect_result: FastHashMap<(Chain, Symbol, Const), FastHashMap<Const, u32>> =
+            FastHashMap::default();
+        let mut expect_arg0: FastHashMap<(Chain, Symbol, Const), FastHashMap<Const, u32>> =
+            FastHashMap::default();
+        for (&vid, state) in &self.versions {
+            for (method, app) in state.iter() {
+                *expect_result
+                    .entry((vid.chain(), method, app.result))
+                    .or_default()
+                    .entry(vid.base())
+                    .or_insert(0) += 1;
+                if let Some(&a0) = app.args.as_slice().first() {
+                    *expect_arg0
+                        .entry((vid.chain(), method, a0))
+                        .or_default()
+                        .entry(vid.base())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        assert_eq!(self.by_result.map, expect_result, "by_result index out of sync");
+        assert_eq!(self.by_arg0.map, expect_arg0, "by_arg0 index out of sync");
     }
 }
 
@@ -542,6 +681,100 @@ mod tests {
         assert_eq!(st.facts, 7);
         assert_eq!(st.max_version_depth, 1);
         assert_eq!(st.distinct_methods, 4); // isa, pos, sal, boss
+    }
+
+    #[test]
+    fn keyed_index_finds_versions_by_result() {
+        let mut ob = mk();
+        let empls: Vec<Vid> =
+            ob.versions_with_result(Chain::EMPTY, sym("isa"), oid("empl")).collect();
+        assert_eq!(empls.len(), 2);
+        let mgrs: Vec<Vid> =
+            ob.versions_with_result(Chain::EMPTY, sym("pos"), oid("mgr")).collect();
+        assert_eq!(mgrs, vec![Vid::object(oid("phil"))]);
+        assert_eq!(ob.versions_with_result(Chain::EMPTY, sym("pos"), oid("ceo")).count(), 0);
+        // Removing the fact removes the entry; re-adding restores it.
+        ob.remove(Vid::object(oid("phil")), sym("pos"), &Args::empty(), oid("mgr"));
+        assert_eq!(ob.versions_with_result(Chain::EMPTY, sym("pos"), oid("mgr")).count(), 0);
+        ob.insert(Vid::object(oid("bob")), sym("pos"), Args::empty(), oid("mgr"));
+        assert_eq!(
+            ob.versions_with_result(Chain::EMPTY, sym("pos"), oid("mgr")).collect::<Vec<_>>(),
+            vec![Vid::object(oid("bob"))]
+        );
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn keyed_index_finds_versions_by_first_arg() {
+        let mut ob = ObjectBase::new();
+        let g = Vid::object(oid("g"));
+        ob.insert(g, sym("edge"), Args::new(vec![oid("a"), oid("b")]), int(1));
+        ob.insert(g, sym("edge"), Args::new(vec![oid("a"), oid("c")]), int(2));
+        ob.insert(Vid::object(oid("h")), sym("edge"), Args::new(vec![oid("b")]), int(3));
+        let from_a: Vec<Vid> = ob.versions_with_arg0(Chain::EMPTY, sym("edge"), oid("a")).collect();
+        assert_eq!(from_a, vec![g]);
+        // Multiplicity: removing one of g's two `a`-keyed facts keeps g.
+        ob.remove(g, sym("edge"), &Args::new(vec![oid("a"), oid("b")]), int(1));
+        assert_eq!(ob.versions_with_arg0(Chain::EMPTY, sym("edge"), oid("a")).count(), 1);
+        ob.remove(g, sym("edge"), &Args::new(vec![oid("a"), oid("c")]), int(2));
+        assert_eq!(ob.versions_with_arg0(Chain::EMPTY, sym("edge"), oid("a")).count(), 0);
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn keyed_index_survives_replace_version() {
+        let mut ob = mk();
+        let phil = Vid::object(oid("phil"));
+        let mut st = VersionState::new();
+        st.insert(sym("pos"), MethodApp::new(Args::empty(), oid("ceo")));
+        ob.replace_version(phil, st);
+        assert_eq!(ob.versions_with_result(Chain::EMPTY, sym("pos"), oid("mgr")).count(), 0);
+        assert_eq!(
+            ob.versions_with_result(Chain::EMPTY, sym("pos"), oid("ceo")).collect::<Vec<_>>(),
+            vec![phil]
+        );
+        assert_eq!(ob.versions_with_result(Chain::EMPTY, sym("isa"), oid("empl")).count(), 1);
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn tracked_replace_records_exact_method_diff() {
+        let mut ob = mk();
+        let phil = Vid::object(oid("phil"));
+        let mut changed = ChangedSince::new();
+
+        // Same state back: no delta recorded.
+        let same = ob.version(phil).unwrap().clone();
+        ob.replace_version_tracked(phil, same, &mut changed);
+        assert!(changed.is_empty(), "idempotent commit must record nothing");
+
+        // Change sal, drop pos, keep isa.
+        let mut st = ob.version(phil).unwrap().clone();
+        st.remove(sym("pos"), &MethodApp::new(Args::empty(), oid("mgr")));
+        st.remove(sym("sal"), &MethodApp::new(Args::empty(), int(4000)));
+        st.insert(sym("sal"), MethodApp::new(Args::empty(), int(4600)));
+        ob.replace_version_tracked(phil, st, &mut changed);
+        assert!(changed.contains(&(Chain::EMPTY, sym("sal"))));
+        assert!(changed.contains(&(Chain::EMPTY, sym("pos"))));
+        assert!(!changed.contains(&(Chain::EMPTY, sym("isa"))));
+        assert!(changed.bases(&(Chain::EMPTY, sym("sal"))).unwrap().contains(&oid("phil")));
+
+        // A brand-new version records all of its methods.
+        let mut changed = ChangedSince::new();
+        let mod_phil = phil.apply(ruvo_term::UpdateKind::Mod).unwrap();
+        let mut st = VersionState::new();
+        st.insert(sym("sal"), MethodApp::new(Args::empty(), int(5000)));
+        ob.replace_version_tracked(mod_phil, st, &mut changed);
+        assert!(changed.contains(&(mod_phil.chain(), sym("sal"))));
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn defines_checks_method_presence() {
+        let ob = mk();
+        assert!(ob.defines(Vid::object(oid("phil")), sym("pos")));
+        assert!(!ob.defines(Vid::object(oid("bob")), sym("pos")));
+        assert!(!ob.defines(Vid::object(oid("nobody")), sym("pos")));
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //! * a `(chain, method) → bases` index, so a rule literal like
 //!   `mod(E).sal -> S` enumerates exactly the `mod(·)`-versions that
 //!   define `sal`,
+//! * a value-keyed method index (`(chain, method, result/first-arg) →
+//!   bases`), so a literal with a bound key like `E.isa -> empl`
+//!   enumerates only the matching versions
+//!   ([`ObjectBase::versions_with_result`] /
+//!   [`ObjectBase::versions_with_arg0`]),
+//! * incremental delta sets ([`ChangedSince`]) recorded by
+//!   [`ObjectBase::replace_version_tracked`] commits, feeding the
+//!   engine's semi-naive evaluation,
 //! * a `base → chains` index enumerating every version of an object
 //!   (used for §5's final-version extraction),
 //! * the `exists` system method bookkeeping and the `v*` operator of §3,
@@ -25,6 +33,7 @@
 
 pub mod args;
 pub mod base;
+pub mod delta;
 pub mod linearity;
 pub mod snapshot;
 pub mod state;
@@ -32,6 +41,7 @@ pub mod stats;
 
 pub use args::Args;
 pub use base::{Fact, ObjectBase};
+pub use delta::ChangedSince;
 pub use linearity::{check_all_linear, LinearityTracker, LinearityViolation};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use state::{MethodApp, VersionState};

@@ -55,6 +55,24 @@ const VERSION: u16 = 1;
 /// (`lookup1`, `version`, `iter`, …) works directly on it. Snapshots
 /// are `Send + Sync` and can be handed to reader threads while the
 /// owning database keeps committing transactions.
+///
+/// ```
+/// use ruvo_obase::{ObjectBase, Snapshot};
+/// use ruvo_term::{int, oid};
+///
+/// let ob = ObjectBase::parse("henry.sal -> 250.").unwrap();
+/// let snap = Snapshot::from_object_base(ob);
+///
+/// // Deref gives the full read-side API; clones are O(1) handles.
+/// assert_eq!(snap.lookup1(oid("henry"), "sal"), vec![int(250)]);
+/// let reader = snap.clone();
+/// let join = std::thread::spawn(move || reader.len());
+/// assert_eq!(join.join().unwrap(), 1);
+///
+/// // Round-trip through the binary storage format.
+/// let restored = ruvo_obase::snapshot::read(&snap.to_bytes()).unwrap();
+/// assert_eq!(&restored, snap.object_base());
+/// ```
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     inner: Arc<ObjectBase>,

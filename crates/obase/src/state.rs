@@ -133,6 +133,26 @@ impl VersionState {
     pub fn is_empty_except(&self, method: Symbol) -> bool {
         self.methods.keys().all(|&m| m == method)
     }
+
+    /// The methods whose application sets differ between `self` and
+    /// `other` (symmetric difference over methods, set equality within
+    /// one method) — the per-commit delta the semi-naive evaluator
+    /// seeds from.
+    pub fn changed_methods(&self, other: &VersionState) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for (&m, set) in &self.methods {
+            match other.methods.get(&m) {
+                Some(o) if o == set => {}
+                _ => out.push(m),
+            }
+        }
+        for &m in other.methods.keys() {
+            if !self.methods.contains_key(&m) {
+                out.push(m);
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Debug for VersionState {
@@ -195,6 +215,21 @@ mod tests {
         assert_eq!(s.remove_method(sym("p")), 2);
         assert_eq!(s.len(), 1);
         assert_eq!(s.remove_method(sym("p")), 0);
+    }
+
+    #[test]
+    fn changed_methods_is_a_symmetric_method_diff() {
+        let mut a = VersionState::new();
+        a.insert(sym("sal"), app(int(250)));
+        a.insert(sym("isa"), app(oid("empl")));
+        let mut b = a.clone();
+        assert!(a.changed_methods(&b).is_empty(), "identical states have no diff");
+        b.insert(sym("sal"), app(int(275)));
+        b.insert(sym("pos"), app(oid("mgr")));
+        b.remove(sym("isa"), &app(oid("empl")));
+        let mut diff = a.changed_methods(&b);
+        diff.sort_by_key(|m| m.as_str().to_owned());
+        assert_eq!(diff, vec![sym("isa"), sym("pos"), sym("sal")]);
     }
 
     #[test]

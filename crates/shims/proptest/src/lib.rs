@@ -4,7 +4,7 @@
 //! [`Strategy`] trait with `prop_map`/`boxed`, range and tuple
 //! strategies, `collection::vec`, `option::of`, `prop_oneof!`, `Just`,
 //! the `proptest!` macro, `prop_assert*` / `prop_assume!`, and
-//! [`ProptestConfig`]. Differences from upstream:
+//! [`test_runner::ProptestConfig`]. Differences from upstream:
 //!
 //! * **No shrinking.** A failing case reports the generated inputs
 //!   verbatim instead of a minimized counterexample.

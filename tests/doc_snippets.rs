@@ -1,0 +1,103 @@
+//! Cross-checks for `docs/LANGUAGE.md`: every snippet the reference
+//! presents as accepted must parse (and behave as described), and
+//! every construct it presents as rejected must be rejected. Keep this
+//! file in sync with the document.
+
+use ruvo::prelude::*;
+
+fn parses(src: &str) {
+    Program::parse(src).unwrap_or_else(|e| panic!("doc snippet rejected: {e}\n{src}"));
+}
+
+fn rejected(src: &str) {
+    assert!(Program::parse(src).is_err(), "doc claims this is rejected:\n{src}");
+}
+
+#[test]
+fn object_base_snippets_parse() {
+    for src in [
+        "% comments run to end of line
+         phil.isa -> empl.   phil.pos -> mgr.    phil.sal -> 4000.
+         bob.isa -> empl.    bob.boss -> phil.   bob.sal -> 4200.",
+        "x.dist @ a, b -> 7.",
+        "bea.parents -> ann. bea.parents -> tom.",
+        "phil.isa -> empl / pos -> mgr / sal -> 4000.",
+        "mod(phil).sal -> 4600.",
+        "x.k -> 0.5. y.name -> 'Value X'.",
+    ] {
+        ObjectBase::parse(src).unwrap_or_else(|e| panic!("doc ob snippet rejected: {e}\n{src}"));
+    }
+    // Set-valued accumulation, as described.
+    let ob = ObjectBase::parse("bea.parents -> ann. bea.parents -> tom.").unwrap();
+    assert_eq!(ob.lookup1(oid("bea"), "parents").len(), 2);
+}
+
+#[test]
+fn rule_snippets_parse() {
+    for src in [
+        "ins[henry].isa -> empl.",
+        "rule1: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
+        "ins[child].parents -> founder <= founder.isa -> person.",
+        "ins[x].fired -> E <= del[E].sal -> S.",
+        "ins[x].raised -> E <= mod[E].sal -> (S, S2).",
+        "del[victim].* .",
+        "ins[E].nm -> 1 <= E.isa -> empl & not E.pos -> mgr.",
+        "ins[E].half -> H <= E.v -> V & H = V / 2 & H >= 1.",
+        "ins[X].tag -> 1 <= ins(mod(X)).tag -> 1.",
+        "ins[E].seen -> yes <= E.p -> _ & E.q -> _.",
+        "ins[audit].flagged -> O <= $V.sal -> S & $V.exists -> O & S > 1000.",
+        "ins[a].p @ x, 3 -> -7.",
+    ] {
+        parses(src);
+    }
+}
+
+#[test]
+fn enterprise_example_stratifies_as_documented() {
+    let src = "
+        rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+        rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+        rule3: del[mod(E)].* <= mod(E).isa -> empl / boss -> B / sal -> SE & mod(B).isa -> empl / sal -> SB & SE > SB.
+        rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.
+    ";
+    let db = Database::open(ObjectBase::new());
+    let prepared = db.prepare(src).unwrap();
+    // {rule1, rule2} < {rule3} < {rule4}, exactly as the doc claims.
+    assert_eq!(prepared.stratification().strata.len(), 3);
+}
+
+#[test]
+fn rejections_match_the_document() {
+    // exists cannot be updated.
+    rejected("ins[x].exists -> x.");
+    // del-all is head-only.
+    rejected("ins[E].a -> 1 <= E.isa -> empl & del[mod(E)].* .");
+    // Unsafe rules: unbound head var, unbound negated var, circular
+    // assignment.
+    rejected("ins[E].a -> R <= E.p -> 1.");
+    rejected("ins[e].a -> 1 <= not X.p -> 1.");
+    rejected("ins[e].a -> 1 <= X = Y + 1 & Y = X + 1.");
+    // Negated paths are not allowed.
+    rejected("ins[E].a -> b <= not E.x -> 1 / y -> 2.");
+    // Duplicate labels.
+    rejected("r: ins[a].p -> 1. r: ins[b].p -> 2.");
+}
+
+#[test]
+fn arithmetic_behaves_as_documented() {
+    // Integral results normalize to Int; Int and Num compare equal.
+    let out =
+        UpdateEngine::new(Program::parse("ins[x].v -> V <= x.base -> B & V = B * 1.5.").unwrap())
+            .run(&ObjectBase::parse("x.base -> 100.").unwrap())
+            .unwrap()
+            .new_object_base();
+    assert_eq!(out.lookup1(oid("x"), "v"), vec![int(150)]);
+
+    // Undefined arithmetic is false; its negation is true.
+    let out =
+        UpdateEngine::new(Program::parse("ins[E].m -> 1 <= E.pos -> P & not P + 1 > 0.").unwrap())
+            .run(&ObjectBase::parse("e.pos -> mgr.").unwrap())
+            .unwrap()
+            .new_object_base();
+    assert_eq!(out.lookup1(oid("e"), "m"), vec![int(1)]);
+}

@@ -175,6 +175,32 @@ proptest! {
         }
     }
 
+    /// The indexed, delta-seeded (semi-naive) evaluator and the
+    /// full-scan naive path produce identical object bases on random
+    /// programs of arbitrary shape.
+    #[test]
+    fn seminaive_matches_naive(
+        seed in 0u64..500,
+        objects in 4usize..40,
+        methods in 2usize..7,
+        rules in 1usize..10,
+    ) {
+        use ruvo::core::EngineConfig;
+        let config = RandomConfig { seed, objects, methods, facts: objects * 3, rules };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config);
+        let fast = UpdateEngine::new(program.clone()).run(&ob).unwrap();
+        let slow = UpdateEngine::with_config(
+            program,
+            EngineConfig::default().naive_eval(true),
+        )
+        .run(&ob)
+        .unwrap();
+        prop_assert_eq!(fast.result(), slow.result());
+        prop_assert_eq!(fast.new_object_base(), slow.new_object_base());
+        prop_assert_eq!(fast.stats().fired_updates, slow.stats().fired_updates);
+    }
+
     /// Delta filtering and parallel evaluation agree with the naive
     /// reference on random workloads.
     #[test]
