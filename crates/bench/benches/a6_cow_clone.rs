@@ -1,0 +1,58 @@
+//! A6 — copy-on-write clone and first-write micro-costs.
+//!
+//! `ObjectBase::clone` must be O(shards): 5 × 16 `Arc` bumps however
+//! many facts the base holds. Clone + one write additionally unshares
+//! at most one shard per affected index (plus the one touched version
+//! state), and `Database::snapshot` is a single `Arc` bump. The
+//! benchmark runs each operation at 1k → 50k facts; the times must
+//! stay flat for clone/snapshot and grow only with per-shard entry
+//! counts for the first write.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ruvo_core::Database;
+use ruvo_obase::{Args, ObjectBase};
+use ruvo_term::{int, oid, sym, Vid};
+
+fn make_base(facts: usize) -> ObjectBase {
+    // 5 data facts per object plus the `exists` fact added below.
+    let objects = (facts / 6).max(1);
+    let mut ob = ObjectBase::new();
+    for i in 0..objects {
+        let v = Vid::object(oid(&format!("x{i}")));
+        ob.insert(v, sym("v"), Args::empty(), int(i as i64));
+        for m in 0..3 {
+            ob.insert(v, sym(&format!("pad{m}")), Args::empty(), int((i * m) as i64));
+        }
+        ob.insert(v, sym("marker"), Args::empty(), int(1));
+    }
+    ob.ensure_exists();
+    ob
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a6_cow_clone");
+    for facts in [1_000usize, 10_000, 50_000] {
+        let ob = make_base(facts);
+        group.bench_with_input(BenchmarkId::new("clone", facts), &ob, |b, ob| {
+            b.iter(|| black_box(ob.clone()));
+        });
+        group.bench_with_input(BenchmarkId::new("clone_first_write", facts), &ob, |b, ob| {
+            b.iter_batched(
+                || ob.clone(),
+                |mut copy| {
+                    copy.insert(Vid::object(oid("fresh")), sym("w"), Args::empty(), int(7));
+                    black_box(copy)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        let db = Database::open(ob.clone());
+        group.bench_with_input(BenchmarkId::new("snapshot", facts), &db, |b, db| {
+            b.iter(|| black_box(db.snapshot()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,13 +4,28 @@
 //! cargo run --release -p ruvo-bench --bin experiments            # full sweep
 //! cargo run --release -p ruvo-bench --bin experiments -- --quick # small sizes
 //! cargo run --release -p ruvo-bench --bin experiments -- E4 E8   # selected
+//! cargo run --release -p ruvo-bench --bin experiments -- --json  # BENCH_pr3.json
 //! ```
+//!
+//! `--json[=PATH]` skips the Markdown report and instead writes the
+//! machine-readable E7 + A6 medians (the perf trajectory record) to
+//! `PATH`, default `BENCH_pr3.json`.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if let Some(json_arg) = args.iter().find(|a| *a == "--json" || a.starts_with("--json=")) {
+        let path = json_arg.strip_prefix("--json=").unwrap_or("BENCH_pr3.json");
+        let json = ruvo_bench::experiments::bench_json(quick);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote {path}");
+        return ExitCode::SUCCESS;
+    }
     let selected: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 

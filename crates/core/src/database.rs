@@ -492,9 +492,14 @@ impl Database {
     /// that would fail the §5 commit gate, which makes this the way
     /// to inspect non-version-linear results under
     /// [`DatabaseBuilder::check_linearity`]`(false)`.
+    ///
+    /// The working copy is an O(shards) copy-on-write clone of the
+    /// session's cached prepared base (see
+    /// [`Session::prepared_work`]), so a what-if loop — many
+    /// `evaluate` calls against one committed state — pays the §3
+    /// preparation once, not per call.
     pub fn evaluate(&self, prepared: &Prepared) -> Result<Outcome, Error> {
-        let mut work = self.session.current().clone();
-        work.ensure_exists();
+        let work = self.session.prepared_work();
         Ok(crate::engine::run_compiled(prepared.compiled(), self.session.config(), work)?)
     }
 

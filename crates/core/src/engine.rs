@@ -285,14 +285,21 @@ impl UpdateEngine {
     /// Run the update-program on `ob`, producing `result(P)` (all
     /// versions) and the machinery to extract the new object base.
     ///
-    /// `ob` itself is not modified; evaluation works on a prepared copy
-    /// with `exists` facts added (§3).
+    /// `ob` itself is not modified; evaluation works on a prepared
+    /// working copy with `exists` facts added (§3). The copy is an
+    /// O(shards) copy-on-write clone, so the pre-evaluation cost is
+    /// the `exists` materialization — O(#versions) the first time for
+    /// a given base, O(1) when `ob` is already prepared (see
+    /// [`ObjectBase::ensure_exists`]); after that, evaluation pays
+    /// only for the versions and index shards the update dirties.
     pub fn run(&self, ob: &ObjectBase) -> Result<Outcome, EvalError> {
         self.run_owned(ob.clone())
     }
 
-    /// Like [`UpdateEngine::run`], but consumes the object base,
-    /// avoiding the defensive copy.
+    /// Like [`UpdateEngine::run`], but consumes the object base. (With
+    /// O(shards) clones this is no longer a meaningful saving; it
+    /// remains for callers that already own a base they are done
+    /// with.)
     pub fn run_owned(&self, mut ob: ObjectBase) -> Result<Outcome, EvalError> {
         ob.ensure_exists();
         self.run_prepared(ob)

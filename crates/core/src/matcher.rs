@@ -388,8 +388,10 @@ fn scan_version(
                 }
             }
             VidRef::Var(vv) => {
-                let versions: Vec<Vid> = ctx.ob.versions().collect();
-                for vid in versions {
+                // The open §6 scan streams straight off the store's
+                // sharded version table — no snapshot allocation; the
+                // base is immutable for the whole evaluation.
+                for vid in ctx.ob.versions() {
                     if seed.is_some_and(|s| !s.contains(&vid.base())) {
                         continue;
                     }

@@ -87,6 +87,12 @@ pub struct Session {
     config: EngineConfig,
     savepoints: Vec<(SavepointId, usize, Arc<ObjectBase>)>,
     next_savepoint: u64,
+    /// The committed base with `exists` facts materialized (§3 prep),
+    /// built lazily on first use and shared until the next commit or
+    /// rollback. Working copies clone it copy-on-write, so repeated
+    /// applications and dry runs against one committed state pay the
+    /// O(#versions) preparation exactly once.
+    prepared: std::sync::OnceLock<Arc<ObjectBase>>,
 }
 
 impl Session {
@@ -152,10 +158,24 @@ impl Session {
     /// per-run analysis (see [`CompiledProgram`]). The compiled cycle
     /// policy wins over the session config's.
     pub fn apply_compiled(&mut self, compiled: &CompiledProgram) -> Result<&Txn, SessionError> {
-        let mut work = (*self.ob).clone();
-        work.ensure_exists();
+        let work = self.prepared_work();
         let outcome = run_compiled(compiled, &self.config, work)?;
         self.commit(outcome)
+    }
+
+    /// A working copy of the committed base with `exists` facts in
+    /// place (§3's preparation step), ready for the engine. The
+    /// prepared state is cached until the next commit or rollback, so
+    /// every call after the first is an O(shards) copy-on-write clone
+    /// — this is what makes repeated [`Session::apply_compiled`] and
+    /// hypothetical dry runs against one committed state cheap.
+    pub fn prepared_work(&self) -> ObjectBase {
+        let shared = self.prepared.get_or_init(|| {
+            let mut work = (*self.ob).clone();
+            work.ensure_exists();
+            Arc::new(work)
+        });
+        (**shared).clone()
     }
 
     /// Commit an evaluation outcome produced against the current base:
@@ -166,6 +186,7 @@ impl Session {
         // is on; with the check disabled this is the commit gate.
         let new_ob = outcome.try_new_object_base().map_err(EvalError::Linearity)?;
         self.ob = Arc::new(new_ob);
+        self.prepared = std::sync::OnceLock::new();
         self.log.push(Txn { seq: self.log.len(), outcome, facts_after: self.ob.len() });
         Ok(self.log.last().expect("just pushed"))
     }
@@ -203,6 +224,7 @@ impl Session {
             .ok_or(SessionError::UnknownSavepoint(savepoint))?;
         let (_, log_len, ob) = self.savepoints[idx].clone();
         self.ob = ob; // Arc clone: the captured state is re-shared.
+        self.prepared = std::sync::OnceLock::new();
         self.log.truncate(log_len);
         self.savepoints.truncate(idx + 1);
         Ok(())
@@ -226,6 +248,29 @@ mod tests {
         assert_eq!(txn.seq, 0);
         assert_eq!(s.current().lookup1(oid("acct"), "balance"), vec![int(150)]);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn prepared_work_is_cached_until_commit_or_rollback() {
+        let mut s = start();
+        // Two working copies off one committed state share every
+        // copy-on-write shard: the §3 prep ran once.
+        let w1 = s.prepared_work();
+        let w2 = s.prepared_work();
+        assert!(w1.cow_stats(&w2).fully_shared());
+        assert!(w1.exists_fact(ruvo_term::Vid::object(oid("acct"))));
+
+        // A commit invalidates the cache; the new prepared copy
+        // reflects the new state.
+        let sp = s.savepoint();
+        s.apply_src("t: mod[acct].balance -> (100, 150) <= acct.balance -> 100.").unwrap();
+        let w3 = s.prepared_work();
+        assert_eq!(w3.lookup1(oid("acct"), "balance"), vec![int(150)]);
+        assert!(!w1.cow_stats(&w3).fully_shared());
+
+        // So does a rollback.
+        s.rollback_to(sp).unwrap();
+        assert_eq!(s.prepared_work().lookup1(oid("acct"), "balance"), vec![int(100)]);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! Re-application is idempotent: for removal set `R` and insertion set
 //! `A`, `((X \ R) ∪ A) \ R ∪ A = (X \ R) ∪ A`.
 
+use std::sync::Arc;
+
 use ruvo_lang::{Rule, UpdateSpec};
 use ruvo_obase::{exists_sym, Args, ChangedSince, MethodApp, ObjectBase, VersionState};
 use ruvo_term::{ArgTerm, Bindings, Const, FastHashMap, FastHashSet, Symbol, UpdateKind, Vid};
@@ -304,22 +306,30 @@ pub fn apply_updates(ob: &mut ObjectBase, delta: &[Fired]) -> ApplyReport {
     let mut report = ApplyReport::default();
     for (created, updates) in by_version {
         let active = ob.exists_fact(created);
-        // Step 2: the copy.
-        let mut state: VersionState = if active {
-            ob.version(created).cloned().unwrap_or_default()
+        // Step 2: the copy — an `Arc` alias of the source state, not a
+        // deep copy. Step 3 unshares it on its first *effective* write
+        // (every removal/insertion peeks first), so a round that
+        // re-applies an already-applied update set touches nothing,
+        // and the tracked commit below recognizes the unchanged
+        // pointer and skips the diff and the re-indexing outright.
+        let mut state: Arc<VersionState> = if active {
+            ob.version_shared(created).cloned().unwrap_or_default()
         } else {
             let target = updates[0].target();
             let copied = match ob.v_star(target) {
-                Some(v_star) => ob.version(v_star).cloned().unwrap_or_default(),
+                Some(v_star) => ob.version_shared(v_star).cloned().unwrap_or_default(),
                 // Brand-new object: empty copy (DESIGN.md D3).
-                None => VersionState::new(),
+                None => Arc::new(VersionState::new()),
             };
             report.facts_copied += copied.len();
             report.created.push(created);
             copied
         };
         // Every version notes its own existence (survives deletion; §3).
-        state.insert(exists, MethodApp::new(Args::empty(), created.base()));
+        let exists_app = MethodApp::new(Args::empty(), created.base());
+        if !state.contains(exists, &exists_app) {
+            Arc::make_mut(&mut state).insert(exists, exists_app);
+        }
 
         // Step 3: apply. The paper defines this as set algebra — the
         // kept copies are those whose result is no del-result and no
@@ -329,32 +339,43 @@ pub fn apply_updates(ob: &mut ObjectBase, delta: &[Fired]) -> ApplyReport {
         // like (a,b),(b,c) order-dependent ({c} or {a,c} instead of
         // the paper's {b,c}).
         for fired in &updates {
-            match fired {
+            let removal = match fired {
                 Fired::Del { method, args, result, .. } => {
-                    state.remove(*method, &MethodApp::new(args.clone(), *result));
+                    Some((*method, MethodApp::new(args.clone(), *result)))
                 }
                 Fired::Mod { method, args, from, .. } => {
-                    state.remove(*method, &MethodApp::new(args.clone(), *from));
+                    Some((*method, MethodApp::new(args.clone(), *from)))
                 }
-                Fired::Ins { .. } => {}
+                Fired::Ins { .. } => None,
+            };
+            if let Some((method, app)) = removal {
+                if state.contains(method, &app) {
+                    Arc::make_mut(&mut state).remove(method, &app);
+                }
             }
         }
         for fired in updates {
-            match fired {
+            let insertion = match fired {
                 Fired::Ins { method, args, result, .. } => {
-                    state.insert(*method, MethodApp::new(args.clone(), *result));
+                    Some((*method, MethodApp::new(args.clone(), *result)))
                 }
                 Fired::Mod { method, args, to, .. } => {
-                    state.insert(*method, MethodApp::new(args.clone(), *to));
+                    Some((*method, MethodApp::new(args.clone(), *to)))
                 }
-                Fired::Del { .. } => {}
+                Fired::Del { .. } => None,
+            };
+            if let Some((method, app)) = insertion {
+                if !state.contains(method, &app) {
+                    Arc::make_mut(&mut state).insert(method, app);
+                }
             }
         }
 
         // The tracked commit diffs the new state against the old one:
         // freshly created versions record every method of their state,
-        // re-applications record only what actually changed.
-        ob.replace_version_tracked(created, state, &mut report.changed);
+        // re-applications record only what actually changed — and a
+        // pointer-identical recommit records (and re-indexes) nothing.
+        ob.replace_version_tracked_shared(created, state, &mut report.changed);
         report.touched.push(created);
     }
     report

@@ -6,7 +6,35 @@ use std::sync::Arc;
 use ruvo_lang::{parse_facts, ParseError};
 use ruvo_term::{Chain, Const, FastHashMap, FastHashSet, Symbol, Vid};
 
-use crate::{exists_sym, Args, ChangedSince, MethodApp, ObStats, VersionState};
+use crate::shard::{route, ShardKey, ShardedMap, SHARD_COUNT};
+use crate::{exists_sym, Args, ChangedSince, CowStats, MethodApp, ObStats, VersionState};
+
+// Shard routing for the index key types. The key indexes route by
+// their `(chain, method)` prefix so that one relation — the unit a
+// version-state commit dirties — stays within one shard per index.
+impl ShardKey for Vid {
+    fn shard(&self) -> usize {
+        route(self)
+    }
+}
+
+impl ShardKey for Const {
+    fn shard(&self) -> usize {
+        route(self)
+    }
+}
+
+impl ShardKey for (Chain, Symbol) {
+    fn shard(&self) -> usize {
+        route(self)
+    }
+}
+
+impl ShardKey for (Chain, Symbol, Const) {
+    fn shard(&self) -> usize {
+        route((self.0, self.1))
+    }
+}
 
 /// One ground version-term `vid.m@args -> r`, as stored.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -43,24 +71,37 @@ impl fmt::Display for Fact {
 /// defining `isa`. Multiplicities are needed because several facts of
 /// one version can share a key (same result under different
 /// arguments, and vice versa).
-#[derive(Clone, Default)]
+#[derive(Clone, Default, PartialEq)]
 struct KeyIndex {
-    map: FastHashMap<(Chain, Symbol, Const), FastHashMap<Const, u32>>,
+    map: ShardedMap<(Chain, Symbol, Const), FastHashMap<Const, u32>>,
 }
 
 impl KeyIndex {
     fn add(&mut self, chain: Chain, method: Symbol, key: Const, base: Const) {
-        *self.map.entry((chain, method, key)).or_default().entry(base).or_insert(0) += 1;
+        *self.map.get_or_default((chain, method, key)).entry(base).or_insert(0) += 1;
     }
 
     fn remove(&mut self, chain: Chain, method: Symbol, key: Const, base: Const) {
-        let Some(bases) = self.map.get_mut(&(chain, method, key)) else { return };
-        let Some(count) = bases.get_mut(&base) else { return };
+        let full = (chain, method, key);
+        // Peek through the shared shard first: in a consistent index
+        // the entry is always present, and a miss — an index bug —
+        // must not CoW-copy the shard on its way to doing nothing.
+        let present = self.map.get(&full).is_some_and(|bases| bases.contains_key(&base));
+        debug_assert!(
+            present,
+            "KeyIndex multiplicity underflow: removing absent entry \
+             chain={chain} method={method} key={key} base={base}"
+        );
+        if !present {
+            return;
+        }
+        let bases = self.map.get_mut(&full).expect("presence checked above");
+        let count = bases.get_mut(&base).expect("presence checked above");
         *count -= 1;
         if *count == 0 {
             bases.remove(&base);
             if bases.is_empty() {
-                self.map.remove(&(chain, method, key));
+                self.map.remove(&full);
             }
         }
     }
@@ -68,6 +109,19 @@ impl KeyIndex {
     fn bases(&self, chain: Chain, method: Symbol, key: Const) -> impl Iterator<Item = Const> + '_ {
         self.map.get(&(chain, method, key)).into_iter().flatten().map(|(&b, _)| b)
     }
+}
+
+/// Whether a fact's result participates in the value-keyed index.
+///
+/// Canonical `exists` facts (`v.exists -> base(v)`, §3) are excluded:
+/// the version is computable directly from the lookup key — see
+/// [`ObjectBase::versions_with_result`] — so indexing them would just
+/// mirror the whole version table into one `(chain, exists)` shard and
+/// make every preparation pass (`ensure_exists`) O(#versions) index
+/// work. Non-canonical `exists` facts (result ≠ base; only raw
+/// [`ObjectBase::insert`] can produce them) stay indexed.
+fn result_indexed(method: Symbol, result: Const, base: Const) -> bool {
+    method != exists_sym() || result != base
 }
 
 /// A set of ground version-terms, indexed for bottom-up evaluation.
@@ -78,26 +132,37 @@ impl KeyIndex {
 ///
 /// ## Copy-on-write clones
 ///
-/// Version states are reference-counted: [`Clone`] copies the index
-/// maps but *shares* every per-version fact set, and a subsequent
-/// mutation copies only the one state it touches
-/// ([`Arc::make_mut`]). Cloning is therefore O(#versions) regardless
-/// of how many facts the base holds, which is what makes engine runs
-/// (which evaluate on a working copy), session savepoints, and
-/// [`crate::Snapshot`] read views cheap.
+/// Sharing is structural at two levels. Every map — the version table
+/// and all four join indexes — is split into [`SHARD_COUNT`] fixed
+/// `Arc`-wrapped shards (see [`crate::shard`]), and every per-version
+/// fact set is an `Arc<VersionState>` of its own. [`Clone`] therefore
+/// bumps 5 × [`SHARD_COUNT`] reference counts — **O(shards), not
+/// O(facts) or O(versions)** — and a subsequent mutation unshares only
+/// the shards and the one state it actually dirties
+/// ([`Arc::make_mut`]). This is what makes engine runs (which evaluate
+/// on a working copy), session savepoints, hypothetical what-if
+/// transactions and [`crate::Snapshot`] read views pay for what they
+/// touch rather than for what the base holds; see
+/// [`ObjectBase::cow_stats`] for the sharing diagnostics.
 #[derive(Clone, Default)]
 pub struct ObjectBase {
-    versions: FastHashMap<Vid, Arc<VersionState>>,
+    versions: ShardedMap<Vid, Arc<VersionState>>,
     /// `(chain, method) → bases`: which objects have a version with this
     /// chain defining this method.
-    by_chain_method: FastHashMap<(Chain, Symbol), FastHashSet<Const>>,
+    by_chain_method: ShardedMap<(Chain, Symbol), FastHashSet<Const>>,
     /// `base → chains`: every version of an object.
-    by_base: FastHashMap<Const, FastHashSet<Chain>>,
+    by_base: ShardedMap<Const, FastHashSet<Chain>>,
     /// `(chain, method, result) → bases`: the value-keyed scan index.
     by_result: KeyIndex,
     /// `(chain, method, first-arg) → bases`: ditto for argument keys.
     by_arg0: KeyIndex,
     fact_count: usize,
+    /// Versions whose state carries the canonical `v.exists -> base(v)`
+    /// fact (§3). When this equals the version count the base is fully
+    /// *prepared* and [`ObjectBase::ensure_exists`] is O(1) — the
+    /// common case for working copies cloned from an already-prepared
+    /// base.
+    prepared_versions: usize,
 }
 
 impl ObjectBase {
@@ -129,51 +194,76 @@ impl ObjectBase {
         result: Const,
     ) -> bool {
         let app = MethodApp::new(args, result);
-        let state = Arc::make_mut(self.versions.entry(vid).or_default());
-        let was_empty_method = !state.has_method(method);
-        let arg0 = app.args.as_slice().first().copied();
-        let added = state.insert(method, app);
-        if added {
-            self.fact_count += 1;
-            if was_empty_method {
-                self.by_chain_method.entry((vid.chain(), method)).or_default().insert(vid.base());
-            }
-            self.by_base.entry(vid.base()).or_default().insert(vid.chain());
-            self.by_result.add(vid.chain(), method, result, vid.base());
-            if let Some(a0) = arg0 {
-                self.by_arg0.add(vid.chain(), method, a0, vid.base());
-            }
+        // Peek before copying: a duplicate insert must not CoW-copy
+        // anything (neither the versions shard nor the shared state).
+        // This is what keeps `ensure_exists` on an already-prepared
+        // working copy from deep-copying every state it visits.
+        if self.versions.get(&vid).is_some_and(|s| s.contains(method, &app)) {
+            return false;
         }
-        added
+        let arg0 = app.args.as_slice().first().copied();
+        if method == exists_sym() && result == vid.base() && app.args.is_empty() {
+            self.prepared_versions += 1;
+        }
+        let state = Arc::make_mut(self.versions.get_or_default(vid));
+        let was_empty_method = !state.has_method(method);
+        let added = state.insert(method, app);
+        debug_assert!(added, "presence peeked above");
+        self.fact_count += 1;
+        if was_empty_method {
+            self.by_chain_method.get_or_default((vid.chain(), method)).insert(vid.base());
+        }
+        self.index_version(vid);
+        if result_indexed(method, result, vid.base()) {
+            self.by_result.add(vid.chain(), method, result, vid.base());
+        }
+        if let Some(a0) = arg0 {
+            self.by_arg0.add(vid.chain(), method, a0, vid.base());
+        }
+        true
+    }
+
+    /// Record `vid` in the `base → chains` index. Peeks through the
+    /// shared shard first: adding a second fact to an already-indexed
+    /// version must not unshare anything.
+    fn index_version(&mut self, vid: Vid) {
+        if !self.by_base.get(&vid.base()).is_some_and(|chains| chains.contains(&vid.chain())) {
+            self.by_base.get_or_default(vid.base()).insert(vid.chain());
+        }
     }
 
     /// Remove one ground version-term. Returns true if it was present.
     pub fn remove(&mut self, vid: Vid, method: Symbol, args: &Args, result: Const) -> bool {
-        let (removed, method_gone, version_gone) = {
-            let Some(state) = self.versions.get_mut(&vid) else { return false };
-            let app = MethodApp { args: args.clone(), result };
-            // Peek before copying: a miss must not CoW-copy the state.
-            if !state.contains(method, &app) {
-                return false;
-            }
-            let state = Arc::make_mut(state);
-            let removed = state.remove(method, &app);
-            (removed, removed && !state.has_method(method), removed && state.is_empty())
-        };
-        if removed {
-            self.fact_count -= 1;
-            self.by_result.remove(vid.chain(), method, result, vid.base());
-            if let Some(&a0) = args.as_slice().first() {
-                self.by_arg0.remove(vid.chain(), method, a0, vid.base());
-            }
-            if method_gone {
-                self.unindex_method(vid, method);
-            }
-            if version_gone {
-                self.drop_version_entry(vid);
-            }
+        let app = MethodApp { args: args.clone(), result };
+        // Peek before copying: a miss must not CoW-copy the shard or
+        // the state.
+        if !self.versions.get(&vid).is_some_and(|s| s.contains(method, &app)) {
+            return false;
         }
-        removed
+        let (method_gone, version_gone) = {
+            let state_arc = self.versions.get_mut(&vid).expect("presence peeked above");
+            let state = Arc::make_mut(state_arc);
+            let removed = state.remove(method, &app);
+            debug_assert!(removed, "presence peeked above");
+            (!state.has_method(method), state.is_empty())
+        };
+        self.fact_count -= 1;
+        if method == exists_sym() && result == vid.base() && args.is_empty() {
+            self.prepared_versions -= 1;
+        }
+        if result_indexed(method, result, vid.base()) {
+            self.by_result.remove(vid.chain(), method, result, vid.base());
+        }
+        if let Some(&a0) = args.as_slice().first() {
+            self.by_arg0.remove(vid.chain(), method, a0, vid.base());
+        }
+        if method_gone {
+            self.unindex_method(vid, method);
+        }
+        if version_gone {
+            self.drop_version_entry(vid);
+        }
+        true
     }
 
     /// Remove a whole version and all its facts; returns the old state
@@ -188,11 +278,16 @@ impl ObjectBase {
     fn discard_version(&mut self, vid: Vid) -> Option<Arc<VersionState>> {
         let state = self.versions.remove(&vid)?;
         self.fact_count -= state.len();
+        if state.contains(exists_sym(), &MethodApp::new(Args::empty(), vid.base())) {
+            self.prepared_versions -= 1;
+        }
         for method in state.methods() {
             self.unindex_method(vid, method);
         }
         for (method, app) in state.iter() {
-            self.by_result.remove(vid.chain(), method, app.result, vid.base());
+            if result_indexed(method, app.result, vid.base()) {
+                self.by_result.remove(vid.chain(), method, app.result, vid.base());
+            }
             if let Some(&a0) = app.args.as_slice().first() {
                 self.by_arg0.remove(vid.chain(), method, a0, vid.base());
             }
@@ -205,22 +300,35 @@ impl ObjectBase {
     /// whatever was there — the engine's per-stratum *overwrite* step
     /// (DESIGN.md D1). Empty states simply remove the version.
     pub fn replace_version(&mut self, vid: Vid, state: VersionState) {
+        self.replace_version_shared(vid, Arc::new(state));
+    }
+
+    /// [`ObjectBase::replace_version`] for an already-shared state:
+    /// the store adopts the `Arc` as-is, so a state read out of one
+    /// version (or another base) can be installed without deep-copying
+    /// it — the commit-side half of the copy-on-write discipline.
+    pub fn replace_version_shared(&mut self, vid: Vid, state: Arc<VersionState>) {
         self.discard_version(vid);
         if state.is_empty() {
             return;
         }
         self.fact_count += state.len();
+        if state.contains(exists_sym(), &MethodApp::new(Args::empty(), vid.base())) {
+            self.prepared_versions += 1;
+        }
         for method in state.methods() {
-            self.by_chain_method.entry((vid.chain(), method)).or_default().insert(vid.base());
+            self.by_chain_method.get_or_default((vid.chain(), method)).insert(vid.base());
         }
         for (method, app) in state.iter() {
-            self.by_result.add(vid.chain(), method, app.result, vid.base());
+            if result_indexed(method, app.result, vid.base()) {
+                self.by_result.add(vid.chain(), method, app.result, vid.base());
+            }
             if let Some(&a0) = app.args.as_slice().first() {
                 self.by_arg0.add(vid.chain(), method, a0, vid.base());
             }
         }
-        self.by_base.entry(vid.base()).or_default().insert(vid.chain());
-        self.versions.insert(vid, Arc::new(state));
+        self.index_version(vid);
+        self.versions.insert(vid, state);
     }
 
     /// [`ObjectBase::replace_version`] that also records the commit's
@@ -235,14 +343,30 @@ impl ObjectBase {
         state: VersionState,
         changed: &mut ChangedSince,
     ) {
+        self.replace_version_tracked_shared(vid, Arc::new(state), changed);
+    }
+
+    /// [`ObjectBase::replace_version_tracked`] for an already-shared
+    /// state. Re-committing the very `Arc` the store already holds —
+    /// the shape an idempotent round of the fixpoint produces when it
+    /// re-applies an unchanged update set — is recognized by pointer
+    /// identity and returns immediately: no method-set diff, no
+    /// re-indexing, nothing recorded.
+    pub fn replace_version_tracked_shared(
+        &mut self,
+        vid: Vid,
+        state: Arc<VersionState>,
+        changed: &mut ChangedSince,
+    ) {
         let methods = match self.versions.get(&vid) {
+            Some(old) if Arc::ptr_eq(old, &state) => return,
             Some(old) => old.changed_methods(&state),
             None => state.methods().collect(),
         };
         for method in methods {
             changed.record(vid.chain(), method, vid.base());
         }
-        self.replace_version(vid, state);
+        self.replace_version_shared(vid, state);
     }
 
     fn unindex_method(&mut self, vid: Vid, method: Symbol) {
@@ -272,11 +396,45 @@ impl ObjectBase {
     /// (`v.exists -> base`). For a freshly loaded object base this is
     /// exactly the paper's "for each object o in the given object base
     /// ob there is defined a method exists: o.exists -> o".
+    ///
+    /// Runs as one bulk pass over the version shards: shards whose
+    /// states all carry their `exists` fact already are left *shared*
+    /// (a prepared working copy costs nothing to re-prepare), and the
+    /// per-chain `(chain, exists)` index entries are batched. Canonical
+    /// `exists` facts are not value-indexed (see
+    /// [`ObjectBase::versions_with_result`]).
     pub fn ensure_exists(&mut self) {
+        // Already prepared (the usual case for a working copy cloned
+        // from a prepared base): O(1), nothing scanned, nothing CoW'd.
+        if self.prepared_versions == self.versions.len() {
+            return;
+        }
         let exists = exists_sym();
-        let vids: Vec<Vid> = self.versions.keys().copied().collect();
-        for vid in vids {
-            self.insert(vid, exists, Args::empty(), vid.base());
+        let mut added_by_chain: FastHashMap<Chain, Vec<Const>> = FastHashMap::default();
+        let mut added = 0usize;
+        for i in 0..SHARD_COUNT {
+            let missing = |vid: &Vid, state: &VersionState| {
+                !state.contains(exists, &MethodApp::new(Args::empty(), vid.base()))
+            };
+            // Peek through the shared shard first: only unshare it if
+            // some state actually lacks its `exists` fact.
+            if !self.versions.shard_at(i).iter().any(|(vid, s)| missing(vid, s)) {
+                continue;
+            }
+            let shard = Arc::make_mut(self.versions.shard_slot(i));
+            for (vid, state_arc) in shard.iter_mut() {
+                if !missing(vid, state_arc) {
+                    continue;
+                }
+                Arc::make_mut(state_arc).insert(exists, MethodApp::new(Args::empty(), vid.base()));
+                added += 1;
+                added_by_chain.entry(vid.chain()).or_default().push(vid.base());
+            }
+        }
+        self.fact_count += added;
+        self.prepared_versions += added;
+        for (chain, bases) in added_by_chain {
+            self.by_chain_method.get_or_default((chain, exists)).extend(bases);
         }
     }
 
@@ -285,6 +443,31 @@ impl ObjectBase {
     /// The state of a version, if it has any facts.
     pub fn version(&self, vid: Vid) -> Option<&VersionState> {
         self.versions.get(&vid).map(Arc::as_ref)
+    }
+
+    /// The shared handle to a version's state. Cloning the `Arc` and
+    /// handing it back through
+    /// [`ObjectBase::replace_version_tracked_shared`] (possibly after
+    /// [`Arc::make_mut`] writes) is the allocation-free commit path
+    /// the engine's `T_P` step 2 uses.
+    pub fn version_shared(&self, vid: Vid) -> Option<&Arc<VersionState>> {
+        self.versions.get(&vid)
+    }
+
+    /// Copy-on-write sharing diagnostics against another base —
+    /// typically a clone of this one, before or after mutations. A
+    /// fresh clone shares everything; each write unshares at most one
+    /// shard per affected index.
+    pub fn cow_stats(&self, other: &ObjectBase) -> CowStats {
+        CowStats {
+            indexes: 5,
+            shards_per_index: SHARD_COUNT,
+            shared_shards: self.versions.shards_shared_with(&other.versions)
+                + self.by_chain_method.shards_shared_with(&other.by_chain_method)
+                + self.by_base.shards_shared_with(&other.by_base)
+                + self.by_result.map.shards_shared_with(&other.by_result.map)
+                + self.by_arg0.map.shards_shared_with(&other.by_arg0.map),
+        }
     }
 
     /// Membership of one ground version-term.
@@ -344,13 +527,26 @@ impl ObjectBase {
     /// scan for a body literal whose result position is bound (e.g.
     /// `E.isa -> empl` with `E` unbound enumerates only the versions
     /// that are `empl`s, not every version defining `isa`).
+    ///
+    /// For `exists` the canonical fact `v.exists -> base(v)` is
+    /// answered *directly* — the only candidate is `result@chain`, so
+    /// no index entry is kept for it; non-canonical `exists` facts
+    /// (result ≠ base) still come from the index.
     pub fn versions_with_result(
         &self,
         chain: Chain,
         method: Symbol,
         result: Const,
     ) -> impl Iterator<Item = Vid> + '_ {
-        self.by_result.bases(chain, method, result).map(move |base| Vid::new(base, chain))
+        let canonical = (method == exists_sym())
+            .then(|| {
+                let vid = Vid::new(result, chain);
+                self.apps(vid, method).any(|a| a.result == result).then_some(vid)
+            })
+            .flatten();
+        canonical.into_iter().chain(
+            self.by_result.bases(chain, method, result).map(move |base| Vid::new(base, chain)),
+        )
     }
 
     /// The versions with update-chain `chain` that have at least one
@@ -447,7 +643,7 @@ impl ObjectBase {
     pub fn stats(&self) -> ObStats {
         let mut methods: FastHashSet<Symbol> = FastHashSet::default();
         let mut max_depth = 0;
-        for (vid, state) in &self.versions {
+        for (vid, state) in self.versions.iter() {
             max_depth = max_depth.max(vid.depth());
             methods.extend(state.methods());
         }
@@ -463,7 +659,7 @@ impl ObjectBase {
     /// Exhaustive index consistency check (test helper; O(n)).
     pub fn check_invariants(&self) {
         let mut count = 0;
-        for (vid, state) in &self.versions {
+        for (vid, state) in self.versions.iter() {
             assert!(!state.is_empty(), "empty version state for {vid}");
             count += state.len();
             for method in state.methods() {
@@ -480,7 +676,13 @@ impl ObjectBase {
             );
         }
         assert_eq!(count, self.fact_count, "fact_count out of sync");
-        for (&(chain, method), bases) in &self.by_chain_method {
+        let prepared = self
+            .versions
+            .iter()
+            .filter(|(vid, s)| s.contains(exists_sym(), &MethodApp::new(Args::empty(), vid.base())))
+            .count();
+        assert_eq!(prepared, self.prepared_versions, "prepared_versions out of sync");
+        for (&(chain, method), bases) in self.by_chain_method.iter() {
             for base in bases {
                 let vid = Vid::new(*base, chain);
                 assert!(
@@ -489,7 +691,7 @@ impl ObjectBase {
                 );
             }
         }
-        for (&base, chains) in &self.by_base {
+        for (&base, chains) in self.by_base.iter() {
             for &chain in chains {
                 assert!(
                     self.versions.contains_key(&Vid::new(base, chain)),
@@ -502,13 +704,15 @@ impl ObjectBase {
             FastHashMap::default();
         let mut expect_arg0: FastHashMap<(Chain, Symbol, Const), FastHashMap<Const, u32>> =
             FastHashMap::default();
-        for (&vid, state) in &self.versions {
+        for (&vid, state) in self.versions.iter() {
             for (method, app) in state.iter() {
-                *expect_result
-                    .entry((vid.chain(), method, app.result))
-                    .or_default()
-                    .entry(vid.base())
-                    .or_insert(0) += 1;
+                if result_indexed(method, app.result, vid.base()) {
+                    *expect_result
+                        .entry((vid.chain(), method, app.result))
+                        .or_default()
+                        .entry(vid.base())
+                        .or_insert(0) += 1;
+                }
                 if let Some(&a0) = app.args.as_slice().first() {
                     *expect_arg0
                         .entry((vid.chain(), method, a0))
@@ -518,8 +722,19 @@ impl ObjectBase {
                 }
             }
         }
-        assert_eq!(self.by_result.map, expect_result, "by_result index out of sync");
-        assert_eq!(self.by_arg0.map, expect_arg0, "by_arg0 index out of sync");
+        let flatten =
+            |idx: &KeyIndex| -> FastHashMap<(Chain, Symbol, Const), FastHashMap<Const, u32>> {
+                idx.map.iter().map(|(k, v)| (*k, v.clone())).collect()
+            };
+        assert_eq!(flatten(&self.by_result), expect_result, "by_result index out of sync");
+        assert_eq!(flatten(&self.by_arg0), expect_arg0, "by_arg0 index out of sync");
+        // Every entry must live in the shard its key routes to —
+        // otherwise lookups would miss it while iteration still sees it.
+        self.versions.check_residency();
+        self.by_chain_method.check_residency();
+        self.by_base.check_residency();
+        self.by_result.map.check_residency();
+        self.by_arg0.map.check_residency();
     }
 }
 
@@ -782,5 +997,84 @@ mod tests {
         let a = ObjectBase::parse("x.p -> 1. x.q -> 2.").unwrap();
         let b = ObjectBase::parse("x.q -> 2. x.p -> 1.").unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "KeyIndex multiplicity underflow")]
+    fn key_index_remove_of_absent_entry_is_flagged() {
+        let mut idx = KeyIndex::default();
+        idx.add(Chain::EMPTY, sym("p"), int(1), oid("x"));
+        // Removing under a key that was never added is an
+        // index-consistency bug, not a silent no-op.
+        idx.remove(Chain::EMPTY, sym("p"), int(2), oid("x"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "KeyIndex multiplicity underflow")]
+    fn key_index_double_remove_is_flagged() {
+        let mut idx = KeyIndex::default();
+        idx.add(Chain::EMPTY, sym("p"), int(1), oid("x"));
+        idx.remove(Chain::EMPTY, sym("p"), int(1), oid("x"));
+        idx.remove(Chain::EMPTY, sym("p"), int(1), oid("x"));
+    }
+
+    #[test]
+    fn clone_is_fully_shared_until_written() {
+        let original = mk();
+        let mut copy = original.clone();
+        assert!(copy.cow_stats(&original).fully_shared());
+        assert_eq!(copy.cow_stats(&original).total(), 5 * SHARD_COUNT);
+        // A no-op mutation (duplicate insert, miss remove) must not
+        // unshare anything.
+        copy.insert(Vid::object(oid("phil")), sym("sal"), Args::empty(), int(4000));
+        assert!(!copy.remove(Vid::object(oid("phil")), sym("sal"), &Args::empty(), int(9)));
+        assert!(copy.cow_stats(&original).fully_shared());
+        // A real write dirties at most one shard per index.
+        copy.insert(Vid::object(oid("newbie")), sym("sal"), Args::empty(), int(1));
+        let stats = copy.cow_stats(&original);
+        assert!(!stats.fully_shared());
+        assert!(stats.unshared_shards() <= 4, "dirtied {} shards", stats.unshared_shards());
+        copy.check_invariants();
+        original.check_invariants();
+        assert_eq!(original, mk(), "original must be untouched");
+    }
+
+    #[test]
+    fn ensure_exists_on_prepared_clone_copies_nothing() {
+        let mut prepared = mk();
+        prepared.ensure_exists();
+        let mut copy = prepared.clone();
+        copy.ensure_exists();
+        assert!(copy.cow_stats(&prepared).fully_shared());
+    }
+
+    #[test]
+    fn tracked_shared_recommit_short_circuits_on_pointer_identity() {
+        let mut ob = mk();
+        ob.ensure_exists();
+        let phil = Vid::object(oid("phil"));
+        let shared = Arc::clone(ob.version_shared(phil).unwrap());
+        let mut changed = ChangedSince::new();
+        let snapshot = ob.clone();
+        ob.replace_version_tracked_shared(phil, shared, &mut changed);
+        assert!(changed.is_empty(), "pointer-identical recommit must record nothing");
+        assert!(ob.cow_stats(&snapshot).fully_shared(), "recommit must not reindex");
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn replace_version_shared_adopts_foreign_state() {
+        let mut ob = mk();
+        let phil = Vid::object(oid("phil"));
+        let bob = Vid::object(oid("bob"));
+        // Alias bob's state under a new version of phil.
+        let state = Arc::clone(ob.version_shared(bob).unwrap());
+        let mod_phil = phil.apply(UpdateKind::Mod).unwrap();
+        ob.replace_version_shared(mod_phil, state);
+        assert_eq!(ob.lookup1(oid("bob"), "boss"), vec![oid("phil")]);
+        assert!(ob.contains(mod_phil, sym("boss"), &[], oid("phil")));
+        ob.check_invariants();
     }
 }

@@ -21,6 +21,11 @@
 //!   engine's semi-naive evaluation,
 //! * a `base → chains` index enumerating every version of an object
 //!   (used for §5's final-version extraction),
+//! * copy-on-write structural sharing throughout: every index is
+//!   split into [`SHARD_COUNT`] `Arc`-wrapped shards and every
+//!   per-version state is `Arc`-shared, so cloning an [`ObjectBase`]
+//!   is O(shards) and mutation pays only for what it dirties (see
+//!   [`mod@shard`] and [`ObjectBase::cow_stats`]),
 //! * the `exists` system method bookkeeping and the `v*` operator of §3,
 //! * the §5 *version-linearity* tracker ([`LinearityTracker`]).
 //!
@@ -35,6 +40,7 @@ pub mod args;
 pub mod base;
 pub mod delta;
 pub mod linearity;
+pub mod shard;
 pub mod snapshot;
 pub mod state;
 pub mod stats;
@@ -43,14 +49,17 @@ pub use args::Args;
 pub use base::{Fact, ObjectBase};
 pub use delta::ChangedSince;
 pub use linearity::{check_all_linear, LinearityTracker, LinearityViolation};
+pub use shard::SHARD_COUNT;
 pub use snapshot::{Snapshot, SnapshotError};
 pub use state::{MethodApp, VersionState};
-pub use stats::ObStats;
+pub use stats::{CowStats, ObStats};
 
 /// The name of the paper's system method: `o.exists -> o`.
 pub const EXISTS_METHOD: &str = "exists";
 
-/// The interned `exists` symbol.
+/// The interned `exists` symbol (cached — this is called in the
+/// store's per-fact hot paths).
 pub fn exists_sym() -> ruvo_term::Symbol {
-    ruvo_term::sym(EXISTS_METHOD)
+    static CACHE: std::sync::OnceLock<ruvo_term::Symbol> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| ruvo_term::sym(EXISTS_METHOD))
 }

@@ -434,12 +434,31 @@ mod tests {
         let snap = Snapshot::from_object_base(ob);
         let copy = snap.to_object_base();
         let phil = Vid::object(oid("phil"));
-        // The copy's states alias the snapshot's until written to:
-        // cloning is O(#versions), not O(#facts).
+        // The copy's states (and index shards) alias the snapshot's
+        // until written to: cloning is O(shards), not O(#facts).
         assert!(std::ptr::eq(snap.version(phil).unwrap(), copy.version(phil).unwrap()));
+        assert!(copy.cow_stats(snap.object_base()).fully_shared());
         let mut touched = copy.clone();
         touched.insert(phil, sym("note"), Args::empty(), int(1));
         assert!(!std::ptr::eq(snap.version(phil).unwrap(), touched.version(phil).unwrap()));
+        assert!(!touched.cow_stats(snap.object_base()).fully_shared());
+    }
+
+    #[test]
+    fn serialization_is_independent_of_cow_sharing_state() {
+        let ob = sample();
+        let bytes = write(&ob);
+        // Mutating a copy leaves the original's bytes bit-identical...
+        let mut copy = ob.clone();
+        copy.insert(Vid::object(oid("extra")), sym("p"), Args::empty(), int(1));
+        copy.remove(Vid::object(oid("phil")), sym("sal"), &Args::empty(), int(4000));
+        assert_eq!(write(&ob), bytes);
+        // ...and undoing the mutations restores byte-identical output
+        // even though the copy's shards are now partially unshared.
+        copy.remove(Vid::object(oid("extra")), sym("p"), &Args::empty(), int(1));
+        copy.insert(Vid::object(oid("phil")), sym("sal"), Args::empty(), int(4000));
+        assert_eq!(write(&copy), bytes);
+        assert!(!copy.cow_stats(&ob).fully_shared());
     }
 
     #[test]

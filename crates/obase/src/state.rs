@@ -5,6 +5,7 @@
 //! from its version-terms in the respective object-base."
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruvo_term::{Const, FastHashMap, FastHashSet, Symbol};
 
@@ -38,9 +39,19 @@ impl fmt::Debug for MethodApp {
 }
 
 /// The state of one version: its method-applications, grouped by method.
+///
+/// Each method's application set is `Arc`-shared: cloning a state — the
+/// frame-copy step `T_P` performs per updated version, and what
+/// `ensure_exists` pays per version of a raw base — allocates one map
+/// and bumps one refcount per method instead of deep-copying every
+/// set, and a mutation unshares only the one method it touches. This
+/// is the innermost level of the store's copy-on-write stack (index
+/// shards → version states → method sets); it also lets
+/// [`VersionState::changed_methods`] skip still-shared sets by pointer
+/// identity.
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct VersionState {
-    methods: FastHashMap<Symbol, FastHashSet<MethodApp>>,
+    methods: FastHashMap<Symbol, Arc<FastHashSet<MethodApp>>>,
     fact_count: usize,
 }
 
@@ -52,24 +63,33 @@ impl VersionState {
 
     /// Add a method-application. Returns true if it was new.
     pub fn insert(&mut self, method: Symbol, app: MethodApp) -> bool {
-        let added = self.methods.entry(method).or_default().insert(app);
-        if added {
-            self.fact_count += 1;
+        // Peek before copying: a duplicate insert must not unshare the
+        // method's set.
+        if self.methods.get(&method).is_some_and(|s| s.contains(&app)) {
+            return false;
         }
-        added
+        Arc::make_mut(self.methods.entry(method).or_default()).insert(app);
+        self.fact_count += 1;
+        true
     }
 
     /// Remove a method-application. Returns true if it was present.
     pub fn remove(&mut self, method: Symbol, app: &MethodApp) -> bool {
+        // Peek before copying: a miss must not unshare the set.
         let Some(set) = self.methods.get_mut(&method) else { return false };
-        let removed = set.remove(app);
-        if removed {
-            self.fact_count -= 1;
-            if set.is_empty() {
-                self.methods.remove(&method);
-            }
+        if !set.contains(app) {
+            return false;
         }
-        removed
+        let remaining = {
+            let set = Arc::make_mut(set);
+            set.remove(app);
+            set.len()
+        };
+        self.fact_count -= 1;
+        if remaining == 0 {
+            self.methods.remove(&method);
+        }
+        true
     }
 
     /// Remove every application of `method`; returns how many were removed.
@@ -95,7 +115,7 @@ impl VersionState {
 
     /// All applications of one method.
     pub fn apps(&self, method: Symbol) -> impl Iterator<Item = &MethodApp> {
-        self.methods.get(&method).into_iter().flatten()
+        self.methods.get(&method).into_iter().flat_map(|s| s.iter())
     }
 
     /// Results of `method` applied to exactly `args`.
@@ -137,12 +157,14 @@ impl VersionState {
     /// The methods whose application sets differ between `self` and
     /// `other` (symmetric difference over methods, set equality within
     /// one method) — the per-commit delta the semi-naive evaluator
-    /// seeds from.
+    /// seeds from. Sets the two states still share by pointer (a
+    /// copy-on-write clone whose method was never written) compare in
+    /// O(1).
     pub fn changed_methods(&self, other: &VersionState) -> Vec<Symbol> {
         let mut out = Vec::new();
         for (&m, set) in &self.methods {
             match other.methods.get(&m) {
-                Some(o) if o == set => {}
+                Some(o) if Arc::ptr_eq(o, set) || o == set => {}
                 _ => out.push(m),
             }
         }

@@ -27,9 +27,68 @@ impl fmt::Display for ObStats {
     }
 }
 
+/// Copy-on-write sharing diagnostics between two object bases, as
+/// reported by [`crate::ObjectBase::cow_stats`]: of the
+/// `indexes × shards_per_index` index shards, how many are still the
+/// *same allocation* in both bases. A fresh clone shares all of them;
+/// every write unshares at most one shard per affected index, so
+/// `total() - shared_shards` bounds how much index data a working
+/// copy has actually duplicated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Sharded maps per object base (the version table + 4 indexes).
+    pub indexes: usize,
+    /// Copy-on-write shards per map ([`crate::SHARD_COUNT`]).
+    pub shards_per_index: usize,
+    /// Shards whose allocation both bases still share.
+    pub shared_shards: usize,
+}
+
+impl CowStats {
+    /// Total shards per base (`indexes × shards_per_index`).
+    pub fn total(&self) -> usize {
+        self.indexes * self.shards_per_index
+    }
+
+    /// Shards this base has unshared (deep-copied) relative to the
+    /// other.
+    pub fn unshared_shards(&self) -> usize {
+        self.total() - self.shared_shards
+    }
+
+    /// True if the two bases share every index shard (e.g. a clone
+    /// that has not been written to).
+    pub fn fully_shared(&self) -> bool {
+        self.shared_shards == self.total()
+    }
+}
+
+impl fmt::Display for CowStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} index shards shared ({} indexes × {} shards)",
+            self.shared_shards,
+            self.total(),
+            self.indexes,
+            self.shards_per_index
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cow_stats_arithmetic() {
+        let s = CowStats { indexes: 5, shards_per_index: 16, shared_shards: 76 };
+        assert_eq!(s.total(), 80);
+        assert_eq!(s.unshared_shards(), 4);
+        assert!(!s.fully_shared());
+        assert!(CowStats { shared_shards: 80, ..s }.fully_shared());
+        assert!(s.to_string().contains("76/80"));
+    }
 
     #[test]
     fn display_is_informative() {

@@ -78,6 +78,69 @@ proptest! {
     }
 }
 
+// ----- storage layer: copy-on-write independence ----------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `clone()` + an arbitrary mutation sequence on the copy leaves
+    /// the original bit-identical: same facts, same indexes (checked
+    /// exhaustively by `check_invariants`), same serialized bytes.
+    #[test]
+    fn cow_clone_leaves_original_bit_identical(
+        seed in 0u64..400,
+        ops in proptest::collection::vec((0u8..5, 0u8..12, 0u8..6, -3i64..6), 1..40),
+    ) {
+        use ruvo::obase::{snapshot, Args, MethodApp, VersionState};
+        let original = random_object_base(RandomConfig { seed, ..Default::default() });
+        let bytes_before = snapshot::write(&original);
+        let mut copy = original.clone();
+        for (kind, obj, meth, val) in ops {
+            let vid = Vid::object(oid(&format!("o{obj}")));
+            let method = sym(&format!("m{meth}"));
+            match kind {
+                0 => {
+                    copy.insert(vid, method, Args::empty(), int(val));
+                }
+                1 => {
+                    copy.remove(vid, method, &Args::empty(), int(val));
+                }
+                2 => {
+                    copy.remove_version(vid);
+                }
+                3 => {
+                    let mut state = VersionState::new();
+                    state.insert(method, MethodApp::new(Args::empty(), int(val)));
+                    copy.replace_version(vid, state);
+                }
+                _ => {
+                    copy.ensure_exists();
+                }
+            }
+        }
+        copy.check_invariants();
+        original.check_invariants();
+        prop_assert_eq!(snapshot::write(&original), bytes_before);
+    }
+}
+
+/// The deterministic single-shard case: one write on a clone unshares
+/// at most one shard per index, and the still-shared rest keeps
+/// serving the original's data.
+#[test]
+fn cow_clone_unshares_only_the_written_shards() {
+    use ruvo::obase::Args;
+    let original = random_object_base(RandomConfig::default());
+    let mut copy = original.clone();
+    assert!(copy.cow_stats(&original).fully_shared());
+    copy.insert(Vid::object(oid("one-new-object")), sym("m0"), Args::empty(), int(1));
+    let stats = copy.cow_stats(&original);
+    assert!(stats.unshared_shards() >= 1 && stats.unshared_shards() <= 4, "{stats}");
+    copy.check_invariants();
+    original.check_invariants();
+    assert_eq!(original, random_object_base(RandomConfig::default()));
+}
+
 // ----- language layer -------------------------------------------------
 
 /// Source fragments that exercise every syntactic construct; proptest
