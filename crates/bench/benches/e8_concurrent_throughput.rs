@@ -1,0 +1,52 @@
+//! E8C — concurrent serving throughput micro-costs.
+//!
+//! The experiment binary (`experiments E8C`) measures sustained
+//! reader/writer throughput over wall-clock windows; this bench pins
+//! the per-operation costs the serving layer promises: a snapshot off
+//! the head ring is a few atomic operations regardless of write
+//! traffic, and an uncontended group-commit apply adds only the
+//! queue/ticket overhead on top of the underlying transaction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruvo_core::ServingDatabase;
+use ruvo_workload::{serving_scenario, ServingConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_concurrent_throughput");
+    for objects in [100usize, 1_000] {
+        let scenario =
+            serving_scenario(ServingConfig { objects, writers: 1, ..Default::default() });
+        let db = ServingDatabase::open(scenario.ob.clone());
+        let credit = db
+            .prepare("w: mod[A].balance -> (B, B2) <= A.grp -> 0 & A.balance -> B & B2 = B + 1.")
+            .unwrap();
+
+        group.bench_with_input(BenchmarkId::new("snapshot", objects), &db, |b, db| {
+            b.iter(|| black_box(db.snapshot()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_lookup", objects),
+            &(&db, &scenario),
+            |b, (db, scenario)| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let snap = db.snapshot();
+                    let acct = scenario.read_objects[i % scenario.read_objects.len()];
+                    i += 1;
+                    black_box(snap.lookup1(acct, "balance"))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("apply_group_commit", objects),
+            &(&db, &credit),
+            |b, (db, credit)| {
+                b.iter(|| black_box(db.apply(credit).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

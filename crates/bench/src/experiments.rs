@@ -4,15 +4,15 @@
 //! the paper's stated outcomes, so running the experiments doubles as
 //! an acceptance test of the reproduction.
 
-use ruvo_core::{CyclePolicy, EngineConfig, EvalError, UpdateEngine};
+use ruvo_core::{CyclePolicy, Database, EngineConfig, EvalError, ServingDatabase, UpdateEngine};
 use ruvo_datalog::{evaluate, parse_program as parse_dl, Semantics};
 use ruvo_lang::Program;
 use ruvo_obase::{Args, ObjectBase};
 use ruvo_term::{int, oid, sym, Vid};
 use ruvo_workload::{
     ancestors_program, chain_object_base, chain_program, enterprise_baseline_datalog,
-    enterprise_program, hypothetical_program, salary_raise_program, Enterprise, EnterpriseConfig,
-    Family, FamilyConfig, PAPER_ENTERPRISE_OB,
+    enterprise_program, hypothetical_program, salary_raise_program, serving_scenario, Enterprise,
+    EnterpriseConfig, Family, FamilyConfig, ServingConfig, ServingScenario, PAPER_ENTERPRISE_OB,
 };
 
 use crate::table::Table;
@@ -34,6 +34,11 @@ pub fn all() -> Vec<Experiment> {
         ("E6", "§5 version-linearity runtime check (ablation A2)", e6_linearity),
         ("E7", "§3 frame-copy overhead", e7_copy_overhead),
         ("E8", "§2.4 comparison vs Logres-style baseline", e8_vs_datalog),
+        (
+            "E8C",
+            "concurrent serving — reader scaling × coarse-lock baseline",
+            e8_concurrent_throughput,
+        ),
         ("F1", "Figure 1 — k consecutive update groups", f1_chain_depth),
         ("A1", "ablation — rule-level delta filtering", a1_delta_filter),
         ("E9", "§6 VID variables — wildcard vs indexed audit", e9_vid_vars),
@@ -645,14 +650,364 @@ pub fn bench_json(quick: bool) -> String {
             )
         })
         .collect();
+    // The PR-4 axis: concurrent serving throughput. Reader scaling is
+    // hardware-dependent, so the visible CPU count is part of the
+    // record; the serving-vs-coarse-lock ratio is meaningful even on
+    // one core (it measures reader stalls behind commits, not
+    // parallelism).
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let serving_rows: Vec<E8cRow> =
+        e8c_reader_counts().into_iter().map(|r| e8c_measure_serving(quick, r, 1)).collect();
+    let locked = e8c_measure_locked(quick, 8, 1);
+    let scaling = serving_rows.last().expect("sweep").reads_per_sec
+        / serving_rows.first().expect("sweep").reads_per_sec;
+    let vs_locked = serving_rows.last().expect("sweep").reads_per_sec / locked.reads_per_sec;
+    let row_json = |r: &E8cRow| {
+        format!(
+            "{{\"readers\": {}, \"writers\": {}, \"reads_per_sec\": {:.0}, \
+             \"commits_per_sec\": {:.1}, \"read_batch_mean_us\": {:.1}, \
+             \"read_batch_max_us\": {:.0}}}",
+            r.readers,
+            r.writers,
+            r.reads_per_sec,
+            r.commits_per_sec,
+            r.mean_read_batch_us,
+            r.max_read_batch_us
+        )
+    };
+    let stall_ratio = locked.max_read_batch_us
+        / serving_rows.last().expect("sweep").max_read_batch_us.max(f64::EPSILON);
+    let serving_json: Vec<String> =
+        serving_rows.iter().map(|r| format!("    {}", row_json(r))).collect();
     format!(
-        "{{\n  \"pr\": 3,\n  \"quick\": {quick},\n  \"e7\": {{\n   \"hot\": {hot},\n   \
+        "{{\n  \"pr\": 4,\n  \"quick\": {quick},\n  \"cpus\": {cpus},\n  \
+         \"e8_concurrent_throughput\": {{\n   \"objects\": {},\n   \
+         \"reads_per_snapshot\": {E8C_READS_PER_SNAPSHOT},\n   \"serving\": [\n{}\n   ],\n   \
+         \"locked_8r_1w\": {},\n   \
+         \"reader_scaling_1_to_8\": {scaling:.2},\n   \
+         \"serving_vs_locked_8r\": {vs_locked:.2},\n   \
+         \"locked_vs_serving_max_read_stall\": {stall_ratio:.1}\n  }},\n  \
+         \"e7\": {{\n   \"hot\": {hot},\n   \
          \"sizes\": [\n{}\n   ],\n   \"ratio_objects\": {ratio_n},\n   \"ratio\": [\n{}\n   ]\n  \
          }},\n  \"a6\": [\n{}\n  ]\n}}\n",
+        e8c_objects(quick),
+        serving_json.join(",\n"),
+        row_json(&locked),
         sizes.join(",\n"),
         ratios.join(",\n"),
         a6.join(",\n")
     )
+}
+
+/// One E8C measurement cell: `readers` reader threads against
+/// `writers` writer threads for a fixed wall-clock window.
+pub struct E8cRow {
+    /// Reader threads.
+    pub readers: usize,
+    /// Writer threads.
+    pub writers: usize,
+    /// Aggregate snapshot-lookups per second across all readers.
+    pub reads_per_sec: f64,
+    /// Committed transactions per second across all writers.
+    pub commits_per_sec: f64,
+    /// Mean latency of one read batch (snapshot / lock acquisition +
+    /// 16 lookups), µs. For the coarse-lock baseline this includes
+    /// time queued behind commits; for serving it cannot.
+    pub mean_read_batch_us: f64,
+    /// Worst observed read-batch latency, µs (on a loaded host this
+    /// includes scheduler preemption for both designs; the coarse
+    /// lock additionally pays whole-commit waits).
+    pub max_read_batch_us: f64,
+}
+
+/// Per-reader latency accumulator for the E8C reader loops.
+#[derive(Default)]
+struct E8cReaderStats {
+    reads: u64,
+    batches: u64,
+    total_ns: u128,
+    max_ns: u128,
+}
+
+impl E8cReaderStats {
+    fn record(&mut self, batch_ns: u128) {
+        self.batches += 1;
+        self.reads += E8C_READS_PER_SNAPSHOT as u64;
+        self.total_ns += batch_ns;
+        self.max_ns = self.max_ns.max(batch_ns);
+    }
+
+    /// Fold per-reader stats into `(reads_total, mean_us, max_us)`.
+    fn aggregate(all: &[E8cReaderStats]) -> (u64, f64, f64) {
+        let reads: u64 = all.iter().map(|s| s.reads).sum();
+        let batches: u64 = all.iter().map(|s| s.batches).sum();
+        let total: u128 = all.iter().map(|s| s.total_ns).sum();
+        let max: u128 = all.iter().map(|s| s.max_ns).max().unwrap_or(0);
+        let mean_us = if batches == 0 { 0.0 } else { total as f64 / batches as f64 / 1_000.0 };
+        (reads, mean_us, max as f64 / 1_000.0)
+    }
+}
+
+/// Lookups a reader performs per snapshot before refreshing its view.
+const E8C_READS_PER_SNAPSHOT: usize = 16;
+
+fn e8c_window_ms(quick: bool) -> u64 {
+    if quick {
+        40
+    } else {
+        400
+    }
+}
+
+/// Accounts in the E8C workload (also what the report header and the
+/// JSON record cite — keep all three in agreement by construction).
+fn e8c_objects(quick: bool) -> usize {
+    if quick {
+        100
+    } else {
+        1_000
+    }
+}
+
+fn e8c_scenario(quick: bool) -> ServingScenario {
+    serving_scenario(ServingConfig {
+        objects: e8c_objects(quick),
+        writers: 2,
+        pad_methods: 3,
+        seed: 42,
+    })
+}
+
+/// Drive `readers` × `writers` threads against a [`ServingDatabase`]
+/// for one window; asserts the post-run balance sum matches the
+/// serialized writer history exactly (no lost or torn update).
+pub fn e8c_measure_serving(quick: bool, readers: usize, writers: usize) -> E8cRow {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    let scenario = e8c_scenario(quick);
+    let db = ServingDatabase::open(scenario.ob.clone());
+    let programs: Vec<_> = (0..writers)
+        .map(|g| {
+            ruvo_core::Prepared::compile(scenario.writer_programs[g].clone(), CyclePolicy::Reject)
+                .expect("writer program compiles")
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let window = std::time::Duration::from_millis(e8c_window_ms(quick));
+    let started = Instant::now();
+    let (reads, commits) = std::thread::scope(|s| {
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let db = db.clone();
+                let keys = &scenario.read_objects;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut stats = E8cReaderStats::default();
+                    let mut i = r * 17; // decorrelate thread walk order
+                    while !stop.load(Ordering::Relaxed) {
+                        let batch = Instant::now();
+                        let snap = db.snapshot();
+                        for _ in 0..E8C_READS_PER_SNAPSHOT {
+                            let acct = keys[i % keys.len()];
+                            std::hint::black_box(snap.lookup1(acct, "balance"));
+                            i += 1;
+                        }
+                        stats.record(batch.elapsed().as_nanos());
+                    }
+                    stats
+                })
+            })
+            .collect();
+        let writer_handles: Vec<_> = (0..writers)
+            .map(|g| {
+                let db = db.clone();
+                let prepared = programs[g].clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut commits = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        db.apply(&prepared).expect("writer program applies");
+                        commits += 1;
+                    }
+                    commits
+                })
+            })
+            .collect();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        let stats: Vec<E8cReaderStats> =
+            reader_handles.into_iter().map(|h| h.join().expect("reader")).collect();
+        let commits: Vec<usize> =
+            writer_handles.into_iter().map(|h| h.join().expect("writer")).collect();
+        (stats, commits)
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    // Serializability witness: the final sum is exactly the initial sum
+    // plus one credit per (commit, group member).
+    assert_eq!(
+        scenario.balance_sum(&db.current()),
+        scenario.expected_balance_sum(&commits),
+        "lost or torn update across {} commits",
+        commits.iter().sum::<usize>()
+    );
+    let (total_reads, mean_us, max_us) = E8cReaderStats::aggregate(&reads);
+    E8cRow {
+        readers,
+        writers,
+        reads_per_sec: total_reads as f64 / elapsed,
+        commits_per_sec: commits.iter().sum::<usize>() as f64 / elapsed,
+        mean_read_batch_us: mean_us,
+        max_read_batch_us: max_us,
+    }
+}
+
+/// The coarse-lock strawman: one `Mutex<Database>`, every read and
+/// every write behind it. What serving would look like without the
+/// swapped head — readers stall for every commit's full duration.
+pub fn e8c_measure_locked(quick: bool, readers: usize, writers: usize) -> E8cRow {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    let scenario = e8c_scenario(quick);
+    let db = Mutex::new(Database::open(scenario.ob.clone()));
+    let programs: Vec<_> = (0..writers)
+        .map(|g| {
+            ruvo_core::Prepared::compile(scenario.writer_programs[g].clone(), CyclePolicy::Reject)
+                .expect("writer program compiles")
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let window = std::time::Duration::from_millis(e8c_window_ms(quick));
+    let started = Instant::now();
+    let (reads, commits) = std::thread::scope(|s| {
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let db = &db;
+                let keys = &scenario.read_objects;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut stats = E8cReaderStats::default();
+                    let mut i = r * 17;
+                    while !stop.load(Ordering::Relaxed) {
+                        let batch = Instant::now();
+                        let guard = db.lock().expect("not poisoned");
+                        for _ in 0..E8C_READS_PER_SNAPSHOT {
+                            let acct = keys[i % keys.len()];
+                            std::hint::black_box(guard.current().lookup1(acct, "balance"));
+                            i += 1;
+                        }
+                        stats.record(batch.elapsed().as_nanos());
+                    }
+                    stats
+                })
+            })
+            .collect();
+        let writer_handles: Vec<_> = (0..writers)
+            .map(|g| {
+                let db = &db;
+                let prepared = programs[g].clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut commits = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        db.lock().expect("not poisoned").apply(&prepared).expect("applies");
+                        commits += 1;
+                    }
+                    commits
+                })
+            })
+            .collect();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        let stats: Vec<E8cReaderStats> =
+            reader_handles.into_iter().map(|h| h.join().expect("reader")).collect();
+        let commits: Vec<usize> =
+            writer_handles.into_iter().map(|h| h.join().expect("writer")).collect();
+        (stats, commits)
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let guard = db.lock().expect("not poisoned");
+    assert_eq!(scenario.balance_sum(guard.current()), scenario.expected_balance_sum(&commits));
+    let (total_reads, mean_us, max_us) = E8cReaderStats::aggregate(&reads);
+    E8cRow {
+        readers,
+        writers,
+        reads_per_sec: total_reads as f64 / elapsed,
+        commits_per_sec: commits.iter().sum::<usize>() as f64 / elapsed,
+        mean_read_batch_us: mean_us,
+        max_read_batch_us: max_us,
+    }
+}
+
+/// The reader-thread axis of the E8C sweep.
+pub fn e8c_reader_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// E8C — concurrent serving throughput: N snapshot readers against a
+/// continuously committing writer on a [`ServingDatabase`], versus a
+/// single `Mutex<Database>` where readers queue behind every commit.
+///
+/// Reader scaling with thread count needs hardware parallelism — the
+/// report records the visible CPU count next to the ratio so a 1-core
+/// CI runner's flat curve is not mistaken for contention. The
+/// serving-vs-locked ratio is meaningful on any core count: it
+/// measures time readers spend blocked behind commits, not
+/// parallelism.
+pub fn e8_concurrent_throughput(quick: bool) -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = format!(
+        "workload: {} accounts, {E8C_READS_PER_SNAPSHOT} lookups per snapshot, \
+         writer credits its group each commit; visible CPUs: {cpus}\n\n",
+        e8c_objects(quick)
+    );
+    let mut t = Table::new(&[
+        "configuration",
+        "readers",
+        "reads/s",
+        "commits/s",
+        "batch mean (µs)",
+        "batch max (µs)",
+    ]);
+    let push = |t: &mut Table, name: &str, row: &E8cRow| {
+        t.row(&[
+            name.into(),
+            row.readers.to_string(),
+            format!("{:.0}", row.reads_per_sec),
+            if row.writers == 0 { "-".into() } else { format!("{:.0}", row.commits_per_sec) },
+            format!("{:.1}", row.mean_read_batch_us),
+            format!("{:.0}", row.max_read_batch_us),
+        ]);
+    };
+    let baseline = e8c_measure_serving(quick, 1, 0);
+    push(&mut t, "serving, no writer", &baseline);
+    let mut serving: Vec<E8cRow> = Vec::new();
+    for readers in e8c_reader_counts() {
+        let row = e8c_measure_serving(quick, readers, 1);
+        push(&mut t, "serving, 1 writer", &row);
+        serving.push(row);
+    }
+    let locked = e8c_measure_locked(quick, 8, 1);
+    push(&mut t, "coarse lock, 1 writer", &locked);
+    out.push_str(&t.render());
+    let first = serving.first().expect("sweep ran");
+    let last = serving.last().expect("sweep ran");
+    let scaling = last.reads_per_sec / first.reads_per_sec;
+    let vs_locked = last.reads_per_sec / locked.reads_per_sec;
+    let stall = locked.max_read_batch_us / last.max_read_batch_us.max(f64::EPSILON);
+    out.push_str(&format!(
+        "\nreader scaling 1→{}: {scaling:.2}× (needs ≥{} CPUs to show; this host has {cpus})\n\
+         serving vs coarse lock at 8 readers: {vs_locked:.2}× throughput, \
+         {stall:.1}× smaller worst-case read stall\n",
+        last.readers, last.readers
+    ));
+    // Whatever the hardware, the writer must never stop the readers
+    // entirely, and every run must serialize (asserted inside the
+    // measurement helpers).
+    assert!(last.reads_per_sec > 0.0 && last.commits_per_sec > 0.0);
+    out
 }
 
 /// E8 — the §2.4 control comparison: ruvo vs the Logres-style baseline
@@ -1072,8 +1427,27 @@ mod tests {
         // No serde in the workspace: check shape structurally.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        for key in ["\"pr\": 3", "\"e7\"", "\"sizes\"", "\"ratio\"", "\"a6\"", "\"clone_us\""] {
+        for key in [
+            "\"pr\": 4",
+            "\"cpus\"",
+            "\"e8_concurrent_throughput\"",
+            "\"reads_per_sec\"",
+            "\"reader_scaling_1_to_8\"",
+            "\"serving_vs_locked_8r\"",
+            "\"e7\"",
+            "\"sizes\"",
+            "\"ratio\"",
+            "\"a6\"",
+            "\"clone_us\"",
+        ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn e8c_quick() {
+        let report = super::e8_concurrent_throughput(true);
+        assert!(report.contains("reads/s"), "got:\n{report}");
+        assert!(report.contains("serving vs coarse lock"), "got:\n{report}");
     }
 }

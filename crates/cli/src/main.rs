@@ -13,6 +13,9 @@
 //!     --parallel      evaluate rules on multiple threads
 //!     --dynamic       accept statically non-stratifiable programs
 //!                     under the runtime stability check (§6 extension)
+//! ruvo serve   <base.ob> <program.ruvo>       concurrent serving demo
+//!     --readers N     reader threads (default 4)
+//!     --commits K     writer transactions (default 50)
 //! ```
 
 mod repl;
@@ -28,6 +31,7 @@ fn usage() -> ExitCode {
         "usage:\n  ruvo check   <program.ruvo>\n  ruvo explain <program.ruvo>\n  \
          ruvo fmt     <program.ruvo>\n  ruvo run     <program.ruvo> <base.ob> \
          [--result] [--stats] [--trace] [--no-linearity] [--naive] [--parallel] [--dynamic]\n  \
+         ruvo serve   <base.ob> <program.ruvo> [--readers N] [--commits K]\n  \
          ruvo repl    [base]\n  ruvo convert <in> <out>   (text ↔ .snap snapshot)"
     );
     ExitCode::from(2)
@@ -236,6 +240,118 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "serve" => {
+            let (Some(obpath), Some(ppath)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let mut readers = 4usize;
+            let mut commits = 50usize;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                let value =
+                    |v: Option<&String>| v.and_then(|s| s.parse::<usize>().ok()).filter(|&n| n > 0);
+                match (flag.as_str(), value(rest.next())) {
+                    ("--readers", Some(n)) => readers = n,
+                    ("--commits", Some(n)) => commits = n,
+                    _ => {
+                        eprintln!("error: bad flag/value near {flag}");
+                        return usage();
+                    }
+                }
+            }
+            let program = match load_program(ppath) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            let ob = match repl::load_base(obpath) {
+                Ok(ob) => ob,
+                Err(e) => {
+                    eprintln!("error: {obpath}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serve_demo(ob, program, readers, commits) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => usage(),
     }
+}
+
+/// `ruvo serve`: the concurrent serving demo. One writer thread
+/// commits `program` `commits` times through a [`ServingDatabase`]
+/// while `readers` threads continuously snapshot and scan; reports
+/// aggregate throughput and the final head.
+fn serve_demo(
+    ob: ruvo_obase::ObjectBase,
+    program: Program,
+    readers: usize,
+    commits: usize,
+) -> Result<String, ruvo_core::Error> {
+    use ruvo_core::ServingDatabase;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    let db = Database::open(ob).into_serving();
+    let prepared = Prepared::compile(program, CyclePolicy::Reject)?;
+    let objects: Vec<ruvo_term::Const> = db.current().objects().collect();
+    let done = AtomicBool::new(false);
+    let started = Instant::now();
+    let (reads, write_result) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let db: ServingDatabase = db.clone();
+                let objects = &objects;
+                let done = &done;
+                s.spawn(move || {
+                    let mut reads = 0u64;
+                    let mut i = r;
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = db.snapshot();
+                        for _ in 0..16 {
+                            if let Some(&obj) = objects.get(i % objects.len().max(1)) {
+                                std::hint::black_box(snap.lookup1(obj, "sal"));
+                            }
+                            i += 1;
+                            reads += 1;
+                        }
+                    }
+                    reads
+                })
+            })
+            .collect();
+        let writer = {
+            let db = db.clone();
+            let prepared = &prepared;
+            s.spawn(move || {
+                for _ in 0..commits {
+                    db.apply(prepared)?;
+                }
+                Ok::<(), ruvo_core::Error>(())
+            })
+        };
+        let write_result = writer.join().expect("writer thread");
+        done.store(true, Ordering::Relaxed);
+        let reads: u64 = handles.into_iter().map(|h| h.join().expect("reader thread")).sum();
+        (reads, write_result)
+    });
+    write_result?;
+    let elapsed = started.elapsed().as_secs_f64();
+    Ok(format!(
+        "served {reads} snapshot reads across {readers} readers while committing \
+         {commits} transactions in {elapsed:.2}s\n\
+         ({:.0} reads/s, {:.0} commits/s, head epoch {})\n\
+         final head: {} facts\n",
+        reads as f64 / elapsed,
+        commits as f64 / elapsed,
+        db.epoch(),
+        db.current().len(),
+    ))
 }

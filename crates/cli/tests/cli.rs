@@ -296,3 +296,38 @@ fn dynamic_flag_reports_instability() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("unstable"), "got: {stderr}");
 }
+
+#[test]
+fn serve_runs_concurrent_demo() {
+    let dir = std::env::temp_dir().join("ruvo-cli-serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(
+        &dir,
+        "raise.ruvo",
+        "w: mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S + 1.",
+    );
+    let base = write_file(&dir, "b.ob", "henry.isa -> empl. henry.sal -> 250.");
+    let out = ruvo(&[
+        "serve",
+        base.to_str().unwrap(),
+        prog.to_str().unwrap(),
+        "--readers",
+        "2",
+        "--commits",
+        "10",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("committing 10 transactions"), "got: {stdout}");
+    assert!(stdout.contains("head epoch"), "got: {stdout}");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let dir = std::env::temp_dir().join("ruvo-cli-serve-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(&dir, "p.ruvo", "w: ins[a].x -> 1 <= a.m -> 1.");
+    let base = write_file(&dir, "b.ob", "a.m -> 1.");
+    let out = ruvo(&["serve", base.to_str().unwrap(), prog.to_str().unwrap(), "--readers", "zero"]);
+    assert!(!out.status.success());
+}

@@ -86,6 +86,9 @@ pub enum ErrorKind {
     UnknownSavepoint,
     /// A binary snapshot could not be decoded.
     Snapshot,
+    /// The serving layer's single writer was poisoned by a panic in an
+    /// earlier commit batch (see [`crate::ServingDatabase`]).
+    Poisoned,
 }
 
 impl fmt::Display for ErrorKind {
@@ -100,6 +103,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Unstable => "unstable",
             ErrorKind::UnknownSavepoint => "unknown-savepoint",
             ErrorKind::Snapshot => "snapshot",
+            ErrorKind::Poisoned => "poisoned",
         };
         f.write_str(name)
     }
@@ -141,6 +145,10 @@ pub enum Error {
     UnknownSavepoint(SavepointId),
     /// A binary snapshot could not be decoded.
     Snapshot(SnapshotError),
+    /// A thread panicked while holding the serving layer's writer
+    /// lock; reads keep working off the last published head, but the
+    /// writer must be reopened (see [`crate::ServingDatabase`]).
+    PoisonedWriter,
 }
 
 impl Error {
@@ -156,6 +164,7 @@ impl Error {
             Error::Unstable { .. } => ErrorKind::Unstable,
             Error::UnknownSavepoint(_) => ErrorKind::UnknownSavepoint,
             Error::Snapshot(_) => ErrorKind::Snapshot,
+            Error::PoisonedWriter => ErrorKind::Poisoned,
         }
     }
 }
@@ -171,6 +180,10 @@ impl fmt::Display for Error {
             Error::RoundLimit { .. } | Error::Unstable { .. } => self.as_eval().fmt(f),
             Error::UnknownSavepoint(id) => SessionError::UnknownSavepoint(*id).fmt(f),
             Error::Snapshot(e) => e.fmt(f),
+            Error::PoisonedWriter => f.write_str(
+                "serving writer poisoned by a panicked commit batch; \
+                 reads still serve the last published head",
+            ),
         }
     }
 }
@@ -579,6 +592,19 @@ impl Database {
     /// The underlying session (log, savepoints and engine config).
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// Mutable session access for the serving layer's group-commit
+    /// drain (the public mutation surface stays `apply`/`transact`).
+    pub(crate) fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Upgrade into the thread-safe serving handle
+    /// ([`crate::ServingDatabase`]): cloneable across threads,
+    /// lock-free snapshot reads, single-writer group commit.
+    pub fn into_serving(self) -> crate::ServingDatabase {
+        crate::ServingDatabase::new(self)
     }
 
     // ----- savepoints ------------------------------------------------

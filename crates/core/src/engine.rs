@@ -833,12 +833,28 @@ impl Outcome {
 
     /// Like [`Outcome::try_new_object_base`].
     ///
+    /// Library consumers running with
+    /// [`EngineConfig::check_linearity`]`: false` (or
+    /// [`crate::DatabaseBuilder::check_linearity`]`(false)`) should
+    /// call [`Outcome::try_new_object_base`] instead and surface the
+    /// violation as [`crate::ErrorKind::Linearity`] — this convenience
+    /// wrapper is for contexts where the result is known linear
+    /// (the check was on, so a non-linear result already failed the
+    /// run) and a violation would be a programming error.
+    ///
     /// # Panics
     /// Panics on a version-linearity violation — only possible when the
-    /// engine ran with `check_linearity: false`.
+    /// engine ran with `check_linearity: false`. The panic is
+    /// attributed to the caller (`#[track_caller]`) and names the
+    /// violating version pair.
+    #[track_caller]
     pub fn new_object_base(&self) -> ObjectBase {
-        self.try_new_object_base()
-            .expect("result(P) is not version-linear; see EngineConfig::check_linearity")
+        self.try_new_object_base().unwrap_or_else(|v| {
+            panic!(
+                "result(P) is not version-linear ({v}); \
+                 use Outcome::try_new_object_base to handle this as ErrorKind::Linearity"
+            )
+        })
     }
 }
 

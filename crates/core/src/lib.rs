@@ -31,6 +31,7 @@ pub mod history;
 pub mod matcher;
 pub mod plan;
 pub mod reference;
+pub mod serve;
 pub mod session;
 pub mod stratify;
 pub mod temporal;
@@ -46,6 +47,7 @@ pub use engine::{
 pub use error::EvalError;
 pub use history::{history, History, HistoryStep};
 pub use plan::{IndexPlan, RuleIndexPlan, ScanHint};
+pub use serve::{Applied, ServingDatabase};
 pub use session::{SavepointId, Session, SessionError, Txn};
 pub use stratify::{Condition, EdgeInfo, RelaxedStratification, Stratification, StratifyError};
 pub use temporal::{FactProp, Formula, Timeline};

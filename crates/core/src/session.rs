@@ -125,6 +125,37 @@ impl Session {
         Snapshot::new(Arc::clone(&self.ob))
     }
 
+    /// The committed base as its shared handle (what a commit installs
+    /// and what [`crate::ServingDatabase`] publishes as the head).
+    pub fn current_shared(&self) -> Arc<ObjectBase> {
+        Arc::clone(&self.ob)
+    }
+
+    /// Apply several compiled programs back to back, one transaction
+    /// each, returning per-program receipts of `(seq, facts_after,
+    /// state right after that member's commit)`.
+    ///
+    /// This is the group-commit batch path
+    /// ([`crate::ServingDatabase`] drains its write queue through
+    /// it): programs are **not** atomic as a unit — a failing program
+    /// leaves the session exactly as the previous one committed it,
+    /// and later programs still run. Consecutive applications reuse
+    /// the [`Session::prepared_work`] cache, so the §3 preparation is
+    /// paid once per committed state, not once per program.
+    pub fn apply_compiled_batch(
+        &mut self,
+        batch: &[&CompiledProgram],
+    ) -> Vec<Result<(usize, usize, Snapshot), SessionError>> {
+        batch
+            .iter()
+            .map(|compiled| {
+                let (seq, facts_after) =
+                    self.apply_compiled(compiled).map(|txn| (txn.seq, txn.facts_after))?;
+                Ok((seq, facts_after, self.snapshot()))
+            })
+            .collect()
+    }
+
     /// The engine configuration used for transactions.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -356,6 +387,43 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SessionError::Eval(EvalError::RoundLimit { .. })));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn apply_compiled_batch_isolates_member_failures() {
+        use crate::engine::{CompiledProgram, CyclePolicy};
+        let mut s = start();
+        let credit = CompiledProgram::compile(
+            Program::parse("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 50.").unwrap(),
+            CyclePolicy::Reject,
+        )
+        .unwrap();
+        // A program that needs more rounds than the config allows:
+        // r2 only fires in round 2, so quiescence needs round 3 —
+        // while the one-rule credit settles within the limit of 2.
+        let looping = CompiledProgram::compile(
+            Program::parse(
+                "r1: ins[acct].a -> 1 <= acct.balance -> 150.
+                 r2: ins[acct].b -> 1 <= ins(acct).a -> 1.",
+            )
+            .unwrap(),
+            CyclePolicy::Reject,
+        )
+        .unwrap();
+        s.config.max_rounds_per_stratum = 2;
+        let results = s.apply_compiled_batch(&[&credit, &looping, &credit]);
+        let (seq0, facts0, at0) = results[0].as_ref().unwrap();
+        assert_eq!((*seq0, *facts0), (0, 2));
+        // The per-member snapshot is that member's post-state, not
+        // the batch's final state.
+        assert_eq!(at0.lookup1(oid("acct"), "balance"), vec![int(150)]);
+        assert!(matches!(results[1], Err(SessionError::Eval(EvalError::RoundLimit { .. }))));
+        let (seq2, facts2, at2) = results[2].as_ref().unwrap();
+        assert_eq!((*seq2, *facts2), (1, 2));
+        assert_eq!(at2.lookup1(oid("acct"), "balance"), vec![int(200)]);
+        // The failing member committed nothing; both credits landed.
+        assert_eq!(s.current().lookup1(oid("acct"), "balance"), vec![int(200)]);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

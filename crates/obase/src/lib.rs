@@ -57,6 +57,20 @@ pub use stats::{CowStats, ObStats};
 /// The name of the paper's system method: `o.exists -> o`.
 pub const EXISTS_METHOD: &str = "exists";
 
+// The serving layer (ruvo-core's `ServingDatabase`) shares these
+// types across threads behind `Arc`s; losing `Send + Sync` — say by
+// introducing an `Rc` or `Cell` into a shard — would silently make
+// the whole concurrent read path impossible, so the bound is pinned
+// here at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ObjectBase>();
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<VersionState>();
+    assert_send_sync::<Fact>();
+    assert_send_sync::<ChangedSince>();
+};
+
 /// The interned `exists` symbol (cached — this is called in the
 /// store's per-fact hot paths).
 pub fn exists_sym() -> ruvo_term::Symbol {

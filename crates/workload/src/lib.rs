@@ -15,6 +15,7 @@ pub mod enterprise;
 pub mod family;
 pub mod programs;
 pub mod random;
+pub mod serving;
 
 pub use enterprise::{Enterprise, EnterpriseConfig};
 pub use family::{Family, FamilyConfig};
@@ -23,3 +24,4 @@ pub use programs::{
     enterprise_program, hypothetical_program, salary_raise_program, PAPER_ENTERPRISE_OB,
 };
 pub use random::{random_insert_program, random_object_base, RandomConfig};
+pub use serving::{serving_scenario, ServingConfig, ServingScenario};

@@ -75,14 +75,16 @@ pub use ruvo_schema as schema;
 pub use ruvo_term as term;
 pub use ruvo_workload as workload;
 
-pub use ruvo_core::{Database, DatabaseBuilder, Error, ErrorKind, Prepared, Transaction};
+pub use ruvo_core::{
+    Applied, Database, DatabaseBuilder, Error, ErrorKind, Prepared, ServingDatabase, Transaction,
+};
 pub use ruvo_obase::Snapshot;
 
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use ruvo_core::{
-        Database, DatabaseBuilder, EngineConfig, Error, ErrorKind, EvalError, Outcome, Prepared,
-        Session, Stratification, Transaction, UpdateEngine,
+        Applied, Database, DatabaseBuilder, EngineConfig, Error, ErrorKind, EvalError, Outcome,
+        Prepared, ServingDatabase, Session, Stratification, Transaction, UpdateEngine,
     };
     pub use ruvo_lang::{Program, Rule};
     pub use ruvo_obase::{MethodApp, ObjectBase, Snapshot};

@@ -289,3 +289,35 @@ fn database_roundtrips_binary_snapshots() {
     let err = Database::open_bytes(b"definitely not a snapshot").unwrap_err();
     assert_eq!(err.kind(), ErrorKind::Snapshot);
 }
+
+/// Panic-path audit for `check_linearity(false)` consumers: every
+/// library path that can encounter a non-version-linear result must
+/// surface `ErrorKind::Linearity` — the panicking
+/// `Outcome::new_object_base` is reserved for results the §5 check
+/// already validated.
+#[test]
+fn linearity_off_surfaces_errors_instead_of_panicking() {
+    const BRANCHY: &str = "
+        mod[o].m -> (a, b) <= o.m -> a.
+        del[o].m -> a <= o.m -> a.
+    ";
+    // Path 1: apply — the commit gate rejects the result.
+    let mut db = Database::builder().check_linearity(false).open_src("o.m -> a.").unwrap();
+    let branchy = db.prepare(BRANCHY).unwrap();
+    assert_eq!(db.apply(&branchy).unwrap_err().kind(), ErrorKind::Linearity);
+    assert!(db.is_empty(), "failed apply must not commit");
+
+    // Path 2: evaluate — the dry run succeeds, extraction reports.
+    let outcome = db.evaluate(&branchy).unwrap();
+    let violation = outcome.try_new_object_base().unwrap_err();
+    assert_eq!(Error::from(violation).kind(), ErrorKind::Linearity);
+
+    // Path 3: the serving layer — same gate, same error kind, and the
+    // published head never moves.
+    let serving =
+        Database::builder().check_linearity(false).open_src("o.m -> a.").unwrap().into_serving();
+    let branchy = serving.prepare(BRANCHY).unwrap();
+    assert_eq!(serving.apply(&branchy).unwrap_err().kind(), ErrorKind::Linearity);
+    assert_eq!(serving.epoch(), 0);
+    assert_eq!(serving.commits(), 0);
+}
