@@ -16,12 +16,20 @@
 //! ruvo serve   <base.ob> <program.ruvo>       concurrent serving demo
 //!     --readers N     reader threads (default 4)
 //!     --commits K     writer transactions (default 50)
+//!     --data-dir D    serve durably: WAL + checkpoints under D
+//!                     (recovers D if it already holds a database —
+//!                     the base file then only seeds a fresh D)
+//!     --ack-file F    append one line per acknowledged commit
+//!                     (crash-test hook)
+//! ruvo recover <data-dir>                      checkpoint/WAL stats +
+//!                                              dry-run recovery report
 //! ```
 
 mod repl;
 
 use std::process::ExitCode;
 
+use ruvo_core::store;
 use ruvo_core::{CyclePolicy, Database, Prepared, TraceLevel};
 use ruvo_lang::Program;
 use ruvo_obase::ObjectBase;
@@ -31,7 +39,9 @@ fn usage() -> ExitCode {
         "usage:\n  ruvo check   <program.ruvo>\n  ruvo explain <program.ruvo>\n  \
          ruvo fmt     <program.ruvo>\n  ruvo run     <program.ruvo> <base.ob> \
          [--result] [--stats] [--trace] [--no-linearity] [--naive] [--parallel] [--dynamic]\n  \
-         ruvo serve   <base.ob> <program.ruvo> [--readers N] [--commits K]\n  \
+         ruvo serve   <base.ob> <program.ruvo> [--readers N] [--commits K] \
+         [--data-dir D] [--ack-file F]\n  \
+         ruvo recover <data-dir>\n  \
          ruvo repl    [base]\n  ruvo convert <in> <out>   (text ↔ .snap snapshot)"
     );
     ExitCode::from(2)
@@ -246,17 +256,34 @@ fn main() -> ExitCode {
             };
             let mut readers = 4usize;
             let mut commits = 50usize;
+            let mut data_dir: Option<String> = None;
+            let mut ack_file: Option<String> = None;
             let mut rest = args[3..].iter();
             while let Some(flag) = rest.next() {
-                let value =
+                let count =
                     |v: Option<&String>| v.and_then(|s| s.parse::<usize>().ok()).filter(|&n| n > 0);
-                match (flag.as_str(), value(rest.next())) {
-                    ("--readers", Some(n)) => readers = n,
-                    ("--commits", Some(n)) => commits = n,
-                    _ => {
-                        eprintln!("error: bad flag/value near {flag}");
-                        return usage();
-                    }
+                let bad = |flag: &str| {
+                    eprintln!("error: bad flag/value near {flag}");
+                    usage()
+                };
+                match flag.as_str() {
+                    "--readers" => match count(rest.next()) {
+                        Some(n) => readers = n,
+                        None => return bad(flag),
+                    },
+                    "--commits" => match count(rest.next()) {
+                        Some(n) => commits = n,
+                        None => return bad(flag),
+                    },
+                    "--data-dir" => match rest.next() {
+                        Some(d) => data_dir = Some(d.clone()),
+                        None => return bad(flag),
+                    },
+                    "--ack-file" => match rest.next() {
+                        Some(f) => ack_file = Some(f.clone()),
+                        None => return bad(flag),
+                    },
+                    _ => return bad(flag),
                 }
             }
             let program = match load_program(ppath) {
@@ -270,7 +297,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match serve_demo(ob, program, readers, commits) {
+            // With --data-dir the base file only seeds a fresh
+            // directory; an existing directory recovers and wins.
+            let db = match &data_dir {
+                Some(dir) => match Database::builder().data_dir(dir).seed(ob).open_dir() {
+                    Ok(db) => {
+                        eprintln!("data dir {dir}: {} facts after recovery", db.current().len());
+                        db
+                    }
+                    Err(e) => {
+                        eprintln!("error: {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => Database::open(ob),
+            };
+            match serve_demo(db, program, readers, commits, ack_file.as_deref()) {
                 Ok(report) => {
                     print!("{report}");
                     ExitCode::SUCCESS
@@ -281,25 +323,112 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "recover" => {
+            let Some(dir) = args.get(1) else { return usage() };
+            match recover_report(std::path::Path::new(dir)) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {dir}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => usage(),
     }
+}
+
+/// `ruvo recover`: read-only checkpoint/WAL stats plus a dry-run
+/// recovery (checkpoint + tail replayed in memory; the directory is
+/// not modified).
+fn recover_report(dir: &std::path::Path) -> Result<String, ruvo_core::Error> {
+    use std::fmt::Write as _;
+
+    let state = store::read_state(dir)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "data dir: {}", dir.display());
+    match &state.checkpoint {
+        Some(ckpt) => {
+            let _ = writeln!(
+                out,
+                "checkpoint: seq {} / epoch {} / {} facts",
+                ckpt.seq,
+                ckpt.epoch,
+                ckpt.base.len()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "checkpoint: none");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "wal: {} records, {} programs, {} payload bytes",
+        state.stats.wal_records, state.stats.wal_programs, state.stats.wal_bytes
+    );
+    if state.stats.dropped_bytes > 0 {
+        let _ = writeln!(
+            out,
+            "wal tail: {} torn/corrupt bytes will be dropped on open",
+            state.stats.dropped_bytes
+        );
+    }
+    if state.stats.skipped_records > 0 {
+        let _ = writeln!(
+            out,
+            "wal: {} stale records already covered by the checkpoint",
+            state.stats.skipped_records
+        );
+    }
+
+    // Dry-run recovery: checkpoint + replay, all in memory, through
+    // the same replay path real recovery uses.
+    let ckpt_seq = state.checkpoint.as_ref().map_or(0, |c| c.seq);
+    let mut db = Database::open(state.checkpoint.map(|c| c.base).unwrap_or_default());
+    let replayed = db.replay_wal_records(&state.records)?;
+    let _ = writeln!(
+        out,
+        "recovery: {} programs replayed, head has {} facts across {} transactions",
+        replayed,
+        db.current().len(),
+        ckpt_seq + replayed
+    );
+    Ok(out)
 }
 
 /// `ruvo serve`: the concurrent serving demo. One writer thread
 /// commits `program` `commits` times through a [`ServingDatabase`]
 /// while `readers` threads continuously snapshot and scan; reports
-/// aggregate throughput and the final head.
+/// aggregate throughput and the final head. With `ack_file`, one line
+/// (`"<seq>"`) is appended and flushed per acknowledged commit — the
+/// crash-recovery test kills this process mid-stream and checks that
+/// every acknowledged seq survives recovery.
 fn serve_demo(
-    ob: ruvo_obase::ObjectBase,
+    db: Database,
     program: Program,
     readers: usize,
     commits: usize,
+    ack_file: Option<&str>,
 ) -> Result<String, ruvo_core::Error> {
     use ruvo_core::ServingDatabase;
+    use std::io::Write as _;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::time::Instant;
 
-    let db = Database::open(ob).into_serving();
+    let mut ack = match ack_file {
+        Some(path) => Some(std::fs::File::create(path).map_err(|e| {
+            ruvo_core::Error::from(store::StorageError::Io {
+                op: "create",
+                path: path.to_string(),
+                kind: e.kind(),
+                message: e.to_string(),
+            })
+        })?),
+        None => None,
+    };
+    let db = db.into_serving();
     let prepared = Prepared::compile(program, CyclePolicy::Reject)?;
     let objects: Vec<ruvo_term::Const> = db.current().objects().collect();
     let done = AtomicBool::new(false);
@@ -330,9 +459,18 @@ fn serve_demo(
         let writer = {
             let db = db.clone();
             let prepared = &prepared;
+            let ack = &mut ack;
             s.spawn(move || {
                 for _ in 0..commits {
-                    db.apply(prepared)?;
+                    let applied = db.apply(prepared)?;
+                    if let Some(f) = ack {
+                        // The commit is durable (WAL appended +
+                        // fsynced) by the time `apply` returns, so the
+                        // ack only needs to reach the OS: a SIGKILL
+                        // cannot take back completed writes.
+                        let _ = writeln!(f, "{}", applied.seq);
+                        let _ = f.flush();
+                    }
                 }
                 Ok::<(), ruvo_core::Error>(())
             })

@@ -14,7 +14,9 @@ use ruvo_term::oid;
 const HELP: &str = "\
 commands:
   :load <file>        load object base (text .ob or binary snapshot)
-  :save <file>        save object base (.snap/.ruvosnap → binary)
+  :save [--bin|--text] <file>
+                      save object base; without a flag the extension
+                      decides (.snap/.ruvosnap → binary, else text)
   :show [object]      print the object base (or one object)
   :history <object>   version history of <object> in the last transaction
   :run <file>         apply a program file as a transaction
@@ -122,10 +124,25 @@ pub fn run(
                     }
                     Err(e) => writeln!(out, "! {e}")?,
                 },
-                ("save", Some(path)) => match save_base(db.current(), path) {
-                    Ok(()) => writeln!(out, "saved {path}")?,
-                    Err(e) => writeln!(out, "! {e}")?,
-                },
+                ("save", Some(arg)) => {
+                    let (first, rest) = match arg.split_once(char::is_whitespace) {
+                        Some((first, rest)) => (first, rest.trim()),
+                        None => (arg, ""),
+                    };
+                    let (format, path) = match first {
+                        "--bin" => (Some(SaveFormat::Binary), rest),
+                        "--text" => (Some(SaveFormat::Text), rest),
+                        _ => (None, arg),
+                    };
+                    if path.is_empty() {
+                        writeln!(out, "! :save [--bin|--text] <file>")?;
+                    } else {
+                        match save_base_as(db.current(), path, format) {
+                            Ok(written) => writeln!(out, "saved {path} ({written})")?,
+                            Err(e) => writeln!(out, "! {e}")?,
+                        }
+                    }
+                }
                 ("run", Some(path)) => match std::fs::read_to_string(path) {
                     Err(e) => writeln!(out, "! cannot read {path}: {e}")?,
                     Ok(src) => apply(&mut db, &src, out)?,
@@ -192,18 +209,58 @@ fn apply(db: &mut Database, src: &str, out: &mut impl Write) -> std::io::Result<
 pub fn load_base(path: &str) -> Result<ObjectBase, String> {
     let data = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if data.starts_with(b"RUVO") {
-        return snapshot::read(&data).map_err(|e| e.to_string());
+        return snapshot::read(&data).map_err(|e| format!("snapshot {path}: {e}"));
     }
     let text = String::from_utf8(data).map_err(|_| format!("{path}: not UTF-8"))?;
     ObjectBase::parse(&text).map_err(|e| e.to_string())
 }
 
-/// Save as snapshot for `.snap`/`.ruvosnap` extensions, else text.
-pub fn save_base(ob: &ObjectBase, path: &str) -> Result<(), String> {
-    let is_snap = path.ends_with(".snap") || path.ends_with(".ruvosnap");
-    if is_snap {
-        snapshot::save_file(ob, path).map_err(|e| e.to_string())
-    } else {
-        std::fs::write(path, ob.to_string()).map_err(|e| e.to_string())
+/// The two on-disk representations `:save`/`convert` can write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SaveFormat {
+    /// Checksummed binary snapshot.
+    Binary,
+    /// The textual interchange format.
+    Text,
+}
+
+impl SaveFormat {
+    fn describe(self) -> &'static str {
+        match self {
+            SaveFormat::Binary => "binary snapshot",
+            SaveFormat::Text => "text",
+        }
     }
+}
+
+/// Save as snapshot for `.snap`/`.ruvosnap` extensions, else text
+/// (the extension-sniffing default; see [`save_base_as`] to force a
+/// format explicitly).
+pub fn save_base(ob: &ObjectBase, path: &str) -> Result<(), String> {
+    save_base_as(ob, path, None).map(|_| ())
+}
+
+/// Save `ob` to `path`. `format` forces the representation; `None`
+/// keeps the extension-sniffing default. Returns a human-readable
+/// name of the format actually written, so callers can say what
+/// happened instead of guessing.
+pub fn save_base_as(
+    ob: &ObjectBase,
+    path: &str,
+    format: Option<SaveFormat>,
+) -> Result<&'static str, String> {
+    let format = format.unwrap_or({
+        if path.ends_with(".snap") || path.ends_with(".ruvosnap") {
+            SaveFormat::Binary
+        } else {
+            SaveFormat::Text
+        }
+    });
+    match format {
+        SaveFormat::Binary => snapshot::save_file(ob, path).map_err(|e| e.to_string())?,
+        SaveFormat::Text => {
+            std::fs::write(path, ob.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+    }
+    Ok(format.describe())
 }

@@ -257,6 +257,93 @@ fn repl_loads_and_saves_snapshots() {
 }
 
 #[test]
+fn repl_save_reports_format_and_honors_flags() {
+    let dir = std::env::temp_dir().join("ruvo-cli-repl-save-fmt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sniffed_snap = dir.join("state.snap");
+    let sniffed_text = dir.join("state.ob");
+    let forced_bin = dir.join("forced.ob");
+    let forced_text = dir.join("forced.snap");
+    let script = format!(
+        "ins[a].p -> 7.\n:save {}\n:save {}\n:save --bin {}\n:save --text {}\n:save --bin\n:quit\n",
+        sniffed_snap.display(),
+        sniffed_text.display(),
+        forced_bin.display(),
+        forced_text.display(),
+    );
+    let out = ruvo_stdin(&["repl"], &script);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The repl says which format it wrote, so silent text-vs-binary
+    // surprises are impossible.
+    assert!(
+        stdout.contains(&format!("saved {} (binary snapshot)", sniffed_snap.display())),
+        "got: {stdout}"
+    );
+    assert!(stdout.contains(&format!("saved {} (text)", sniffed_text.display())), "got: {stdout}");
+    // Explicit flags override the extension sniffing both ways.
+    assert!(
+        stdout.contains(&format!("saved {} (binary snapshot)", forced_bin.display())),
+        "got: {stdout}"
+    );
+    assert!(stdout.contains(&format!("saved {} (text)", forced_text.display())), "got: {stdout}");
+    // A flag without a path is a usage error, not a file named --bin.
+    assert!(stdout.contains(":save [--bin|--text] <file>"), "got: {stdout}");
+
+    // The bytes on disk match what was reported.
+    assert!(std::fs::read(&forced_bin).unwrap().starts_with(b"RUVO"));
+    assert!(std::fs::read_to_string(&forced_text).unwrap().contains("a.p -> 7"));
+    assert!(std::fs::read(&sniffed_snap).unwrap().starts_with(b"RUVO"));
+}
+
+#[test]
+fn recover_reports_checkpoint_and_wal_stats() {
+    let dir = std::env::temp_dir().join("ruvo-cli-recover");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write_file(&dir, "b.ob", "acct.balance -> 0.");
+    let prog =
+        write_file(&dir, "bump.ruvo", "mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 1.");
+    let data = dir.join("data");
+    let out = ruvo(&[
+        "serve",
+        base.to_str().unwrap(),
+        prog.to_str().unwrap(),
+        "--readers",
+        "1",
+        "--commits",
+        "3",
+        "--data-dir",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = ruvo(&["recover", data.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("checkpoint:"), "got: {stdout}");
+    assert!(stdout.contains("3 records, 3 programs"), "got: {stdout}");
+    assert!(stdout.contains("3 programs replayed"), "got: {stdout}");
+
+    // A second serve run over the same directory recovers it (the
+    // seed is ignored) and extends the history.
+    let out = ruvo(&[
+        "serve",
+        base.to_str().unwrap(),
+        prog.to_str().unwrap(),
+        "--readers",
+        "1",
+        "--commits",
+        "2",
+        "--data-dir",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = ruvo(&["recover", data.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("5 programs replayed"), "got: {stdout}");
+}
+
+#[test]
 fn dynamic_flag_accepts_cyclic_stable_program() {
     let dir = std::env::temp_dir().join("ruvo-cli-dynamic");
     std::fs::create_dir_all(&dir).unwrap();

@@ -37,14 +37,16 @@
 //! ```
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use ruvo_lang::{LangError, ParseError, Program, SafetyError, ValidateError};
-use ruvo_obase::{LinearityViolation, ObjectBase, Snapshot, SnapshotError};
+use ruvo_obase::{LinearityViolation, ObjectBase, Snapshot, SnapshotError, SnapshotFileError};
 
 use crate::engine::{CompiledProgram, CyclePolicy, EngineConfig, Outcome, TraceLevel};
 use crate::error::EvalError;
 use crate::session::{SavepointId, Session, SessionError, Txn};
+use crate::store::{CheckpointPolicy, DurabilitySink, FsyncPolicy, StorageError, WalStore};
 use crate::stratify::{Stratification, StratifyError};
 
 // ----- unified error -------------------------------------------------
@@ -86,6 +88,10 @@ pub enum ErrorKind {
     UnknownSavepoint,
     /// A binary snapshot could not be decoded.
     Snapshot,
+    /// The durable storage engine failed: an I/O error, a corrupt
+    /// data directory, or a recovery replay failure (see
+    /// [`crate::store::StorageError`]).
+    Storage,
     /// The serving layer's single writer was poisoned by a panic in an
     /// earlier commit batch (see [`crate::ServingDatabase`]).
     Poisoned,
@@ -103,6 +109,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Unstable => "unstable",
             ErrorKind::UnknownSavepoint => "unknown-savepoint",
             ErrorKind::Snapshot => "snapshot",
+            ErrorKind::Storage => "storage",
             ErrorKind::Poisoned => "poisoned",
         };
         f.write_str(name)
@@ -145,6 +152,10 @@ pub enum Error {
     UnknownSavepoint(SavepointId),
     /// A binary snapshot could not be decoded.
     Snapshot(SnapshotError),
+    /// The durable storage engine failed. When surfaced from a
+    /// commit, the in-memory state was rolled back with it — what the
+    /// database shows always matches what the log acknowledges.
+    Storage(StorageError),
     /// A thread panicked while holding the serving layer's writer
     /// lock; reads keep working off the last published head, but the
     /// writer must be reopened (see [`crate::ServingDatabase`]).
@@ -164,6 +175,7 @@ impl Error {
             Error::Unstable { .. } => ErrorKind::Unstable,
             Error::UnknownSavepoint(_) => ErrorKind::UnknownSavepoint,
             Error::Snapshot(_) => ErrorKind::Snapshot,
+            Error::Storage(_) => ErrorKind::Storage,
             Error::PoisonedWriter => ErrorKind::Poisoned,
         }
     }
@@ -180,6 +192,7 @@ impl fmt::Display for Error {
             Error::RoundLimit { .. } | Error::Unstable { .. } => self.as_eval().fmt(f),
             Error::UnknownSavepoint(id) => SessionError::UnknownSavepoint(*id).fmt(f),
             Error::Snapshot(e) => e.fmt(f),
+            Error::Storage(e) => e.fmt(f),
             Error::PoisonedWriter => f.write_str(
                 "serving writer poisoned by a panicked commit batch; \
                  reads still serve the last published head",
@@ -253,6 +266,7 @@ impl From<SessionError> for Error {
             SessionError::Lang(e) => e.into(),
             SessionError::Eval(e) => e.into(),
             SessionError::UnknownSavepoint(id) => Error::UnknownSavepoint(id),
+            SessionError::Storage(e) => Error::Storage(e),
         }
     }
 }
@@ -260,6 +274,18 @@ impl From<SessionError> for Error {
 impl From<SnapshotError> for Error {
     fn from(e: SnapshotError) -> Error {
         Error::Snapshot(e)
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Error {
+        Error::Storage(e)
+    }
+}
+
+impl From<SnapshotFileError> for Error {
+    fn from(e: SnapshotFileError) -> Error {
+        Error::Storage(e.into())
     }
 }
 
@@ -309,6 +335,10 @@ impl Prepared {
 #[derive(Clone, Debug, Default)]
 pub struct DatabaseBuilder {
     config: EngineConfig,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    checkpoint: CheckpointPolicy,
+    seed: Option<ObjectBase>,
 }
 
 impl DatabaseBuilder {
@@ -370,7 +400,91 @@ impl DatabaseBuilder {
         self
     }
 
-    /// Open a database over `ob` with this configuration.
+    // ----- durability -------------------------------------------------
+
+    /// Persist the database under `path` (used by
+    /// [`DatabaseBuilder::open_dir`]): committed batches append to a
+    /// write-ahead log there, checkpoints snapshot the full state, and
+    /// reopening the same directory recovers everything acknowledged.
+    pub fn data_dir(mut self, path: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(path.into());
+        self
+    }
+
+    /// When WAL appends reach stable storage (default:
+    /// [`FsyncPolicy::Always`] — fsync per committed batch).
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// When the log is folded into a checkpoint (default: 1024
+    /// records or 8 MiB, whichever first).
+    pub fn checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// Initial state for a **fresh** data directory. Ignored when
+    /// [`DatabaseBuilder::open_dir`] finds existing durable state —
+    /// the recovered state wins, so `seed` makes "create or recover"
+    /// a one-liner.
+    pub fn seed(mut self, ob: ObjectBase) -> Self {
+        self.seed = Some(ob);
+        self
+    }
+
+    /// Parse object-base text as the [`DatabaseBuilder::seed`].
+    pub fn seed_src(self, src: &str) -> Result<Self, Error> {
+        let ob = ObjectBase::parse(src)?;
+        Ok(self.seed(ob))
+    }
+
+    /// Open the durable database under [`DatabaseBuilder::data_dir`]:
+    /// load the latest checkpoint, replay the valid WAL tail through
+    /// the engine (torn or corrupt tail records are detected by
+    /// checksum and cleanly dropped), and attach the store so every
+    /// further commit writes through it.
+    ///
+    /// A fresh directory starts from the [`DatabaseBuilder::seed`]
+    /// (or empty), which is checkpointed immediately so it is durable
+    /// before the first commit.
+    pub fn open_dir(self) -> Result<Database, Error> {
+        let Some(dir) = self.data_dir else {
+            return Err(StorageError::Misuse(
+                "open_dir needs a data directory: call data_dir(..) first",
+            )
+            .into());
+        };
+        let opened = WalStore::open(dir, self.fsync, self.checkpoint)?;
+        let fresh = opened.is_fresh();
+        let base = match opened.checkpoint {
+            Some(ckpt) => ckpt.base,
+            None => {
+                if fresh {
+                    self.seed.unwrap_or_default()
+                } else {
+                    ObjectBase::new()
+                }
+            }
+        };
+        // Replay the tail volatile (the sink attaches afterwards, so
+        // re-applied programs are not re-logged). Only successful
+        // transactions were ever logged: a replay failure means the
+        // directory was written under an incompatible configuration.
+        let mut db = Database { session: Session::new(base).with_config(self.config) };
+        db.replay_wal_records(&opened.records)?;
+        let mut store = opened.store;
+        if fresh && !db.current().is_empty() {
+            // Make the seed durable before acknowledging the open.
+            store.checkpoint(db.current())?;
+        }
+        db.session.set_sink(Box::new(store));
+        Ok(db)
+    }
+
+    /// Open a database over `ob` with this configuration (in-memory;
+    /// see [`DatabaseBuilder::open_dir`] for the durable variant).
     pub fn open(self, ob: ObjectBase) -> Database {
         Database { session: Session::new(ob).with_config(self.config) }
     }
@@ -409,6 +523,25 @@ impl Database {
     pub fn open_bytes(data: &[u8]) -> Result<Database, Error> {
         let ob = ruvo_obase::snapshot::read(data)?;
         Ok(Database::open(ob))
+    }
+
+    /// Open (or create) a **durable** database under `path`: recover
+    /// the latest checkpoint plus the valid WAL tail, then write every
+    /// further commit through the log before acknowledging it. See
+    /// [`DatabaseBuilder::open_dir`] for configuration (fsync policy,
+    /// checkpointing, seeding a fresh directory).
+    ///
+    /// ```no_run
+    /// use ruvo_core::Database;
+    ///
+    /// let mut db = Database::open_dir("/var/lib/myapp/ruvo")?;
+    /// db.apply_src("ins[order1].total -> 90.")?;
+    /// // Process dies here: the commit above was fsynced before
+    /// // `apply_src` returned, so reopening the directory recovers it.
+    /// # Ok::<(), ruvo_core::Error>(())
+    /// ```
+    pub fn open_dir(path: impl Into<PathBuf>) -> Result<Database, Error> {
+        Database::builder().data_dir(path).open_dir()
     }
 
     /// Start configuring a database.
@@ -541,19 +674,40 @@ impl Database {
     ///     vec![ruvo_term::int(100)],
     /// );
     /// ```
+    /// On a durable database the block's commits are buffered and
+    /// appended as **one** WAL record when the closure succeeds — an
+    /// aborted block leaves no trace in the log, and a crash inside
+    /// the block can never replay half a transaction.
     pub fn transact<T>(
         &mut self,
         f: impl FnOnce(&mut Transaction<'_>) -> Result<T, Error>,
     ) -> Result<T, Error> {
         let guard = self.session.savepoint();
+        let owns_buffer = self.session.begin_txn_buffer();
         let mut txn = Transaction { db: self };
         match f(&mut txn) {
             Ok(value) => {
+                if owns_buffer {
+                    if let Err(e) = self.session.flush_txn_buffer() {
+                        // Nothing was appended: a plain in-memory
+                        // rollback re-aligns with the durable image.
+                        self.session
+                            .rollback_to_unlogged(guard)
+                            .expect("transact guard savepoint is always valid");
+                        self.session.release(guard);
+                        return Err(e.into());
+                    }
+                }
                 self.session.release(guard);
                 Ok(value)
             }
             Err(e) => {
-                self.session.rollback_to(guard).expect("transact guard savepoint is always valid");
+                if owns_buffer {
+                    self.session.discard_txn_buffer();
+                }
+                self.session
+                    .rollback_to_unlogged(guard)
+                    .expect("transact guard savepoint is always valid");
                 self.session.release(guard);
                 Err(e)
             }
@@ -602,9 +756,82 @@ impl Database {
 
     /// Upgrade into the thread-safe serving handle
     /// ([`crate::ServingDatabase`]): cloneable across threads,
-    /// lock-free snapshot reads, single-writer group commit.
+    /// lock-free snapshot reads, single-writer group commit. A
+    /// database opened with [`Database::open_dir`] keeps its
+    /// durability: every drained group-commit batch is appended and
+    /// fsynced as one WAL record before the new head is published.
     pub fn into_serving(self) -> crate::ServingDatabase {
         crate::ServingDatabase::new(self)
+    }
+
+    /// Upgrade an **in-memory** database into a durable serving
+    /// handle: attach a fresh data directory at `path` (it must not
+    /// already contain a database — recovery goes through
+    /// [`Database::open_dir`]), checkpoint the current state so it is
+    /// durable immediately, then serve.
+    pub fn into_serving_durable(
+        mut self,
+        path: impl Into<PathBuf>,
+    ) -> Result<crate::ServingDatabase, Error> {
+        let dir = path.into();
+        if self.is_durable() {
+            return Err(
+                StorageError::Misuse("database is already durable; use into_serving()").into()
+            );
+        }
+        let opened = WalStore::open(&dir, FsyncPolicy::default(), CheckpointPolicy::default())?;
+        if !opened.is_fresh() {
+            return Err(StorageError::Exists { path: dir.display().to_string() }.into());
+        }
+        let mut store = opened.store;
+        store.checkpoint(self.current())?;
+        self.session.set_sink(Box::new(store));
+        Ok(self.into_serving())
+    }
+
+    /// True when commits are written through a durable store (the
+    /// database was opened via [`Database::open_dir`] or upgraded via
+    /// [`Database::into_serving_durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.session.is_durable()
+    }
+
+    /// Re-apply logged WAL records in order: the single source of
+    /// recovery-replay semantics, used by [`Database::open_dir`] and
+    /// by `ruvo recover`'s read-only dry run. Each program compiles
+    /// under its *recorded* cycle policy; any failure is reported as
+    /// [`ErrorKind::Storage`] with the failing transaction's sequence
+    /// number. Returns the number of programs replayed.
+    ///
+    /// Note: on a durable database the replayed commits are logged
+    /// again like any other commit — recovery itself replays through
+    /// a volatile session *before* attaching the store.
+    pub fn replay_wal_records(
+        &mut self,
+        records: &[crate::store::WalRecord],
+    ) -> Result<u64, Error> {
+        let mut replayed = 0u64;
+        for record in records {
+            for (i, logged) in record.programs.iter().enumerate() {
+                let seq = record.seq + i as u64;
+                let replay =
+                    |e: Error| Error::Storage(StorageError::Replay { seq, error: e.to_string() });
+                let program = Program::parse(&logged.source).map_err(|e| replay(e.into()))?;
+                let compiled = CompiledProgram::compile(program, logged.cycles)
+                    .map_err(|e| replay(e.into()))?;
+                self.session.apply_compiled(&compiled).map_err(|e| replay(e.into()))?;
+                replayed += 1;
+            }
+        }
+        Ok(replayed)
+    }
+
+    /// Force a checkpoint now: snapshot the committed state into the
+    /// data directory and truncate the WAL. A no-op without a data
+    /// directory. Recovery time is proportional to the log tail, so
+    /// checkpointing before shutdown makes the next open O(snapshot).
+    pub fn checkpoint(&mut self) -> Result<(), Error> {
+        Ok(self.session.checkpoint()?)
     }
 
     // ----- savepoints ------------------------------------------------

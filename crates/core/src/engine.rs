@@ -176,6 +176,11 @@ pub struct CompiledProgram {
     program: Program,
     analysis: Analysis,
     cycles: CyclePolicy,
+    /// The pretty-printed source, rendered lazily once per compiled
+    /// program: the durable commit path logs it on every application,
+    /// and re-rendering per commit would tax the writer's critical
+    /// section.
+    source: std::sync::OnceLock<std::sync::Arc<str>>,
 }
 
 /// The run-independent analysis of a program: stratification, per-
@@ -216,12 +221,20 @@ impl CompiledProgram {
         cycles: CyclePolicy,
     ) -> Result<CompiledProgram, StratifyError> {
         let analysis = Analysis::of(&program, cycles)?;
-        Ok(CompiledProgram { program, analysis, cycles })
+        Ok(CompiledProgram { program, analysis, cycles, source: std::sync::OnceLock::new() })
     }
 
     /// The compiled program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The program's re-parseable source text, rendered once and
+    /// cached (shared handle; cloning is O(1)).
+    pub fn source_text(&self) -> std::sync::Arc<str> {
+        std::sync::Arc::clone(
+            self.source.get_or_init(|| std::sync::Arc::from(self.program.to_string())),
+        )
     }
 
     /// The stratification computed at compile time.

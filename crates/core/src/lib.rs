@@ -33,6 +33,7 @@ pub mod plan;
 pub mod reference;
 pub mod serve;
 pub mod session;
+pub mod store;
 pub mod stratify;
 pub mod temporal;
 pub mod tp;
@@ -49,6 +50,9 @@ pub use history::{history, History, HistoryStep};
 pub use plan::{IndexPlan, RuleIndexPlan, ScanHint};
 pub use serve::{Applied, ServingDatabase};
 pub use session::{SavepointId, Session, SessionError, Txn};
+pub use store::{
+    CheckpointPolicy, DurabilitySink, FsyncPolicy, StorageError, Volatile, WalProgram, WalStore,
+};
 pub use stratify::{Condition, EdgeInfo, RelaxedStratification, Stratification, StratifyError};
 pub use temporal::{FactProp, Formula, Timeline};
 pub use tp::{Fired, FiredSet};

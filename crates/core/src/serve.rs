@@ -29,6 +29,16 @@
 //!   handle, never through the database, or the thread deadlocks;
 //!   see the method's deadlock note).
 //!
+//! * **Durability rides the same batch boundary.** Serving a database
+//!   opened with [`Database::open_dir`] (or upgraded via
+//!   [`Database::into_serving_durable`]), a drained batch is appended
+//!   and fsynced to the write-ahead log as **one** record — inside
+//!   [`crate::Session::apply_compiled_batch`], before the head is
+//!   published and before any ticket is acknowledged. Group commit
+//!   thus amortizes the fsync across every writer in the batch, and a
+//!   crash can never lose an acknowledged commit (see
+//!   [`crate::store`]).
+//!
 //! A thread that panics while holding the writer lock poisons it; the
 //! published head is unaffected (it only moves at batch end), reads
 //! keep serving, and later writes fail with
@@ -367,6 +377,16 @@ impl ServingDatabase {
         let result = writer.transact(f);
         self.publish(&writer);
         result
+    }
+
+    /// Force a durable checkpoint of the committed state (no-op on a
+    /// volatile database): queued writes are drained and published
+    /// first, then the head state is snapshotted into the data
+    /// directory and the WAL truncated. Takes the writer lock.
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        let mut writer = self.lock_writer()?;
+        self.drain(&mut writer);
+        writer.checkpoint()
     }
 
     /// Recent committed transactions, newest last: the final `n`

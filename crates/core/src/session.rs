@@ -11,6 +11,17 @@
 //! Between transactions the object base is the *flat* `ob′` of §5
 //! (final versions only); version histories of the individual
 //! transactions remain inspectable through the kept [`Outcome`]s.
+//!
+//! ## Durability
+//!
+//! A session owns a [`DurabilitySink`]; the default is volatile
+//! (no sink — commits live and die with the process). With a sink
+//! attached (see [`crate::Database::open_dir`]), every committed
+//! batch — a single program, a group-commit drain, or a whole
+//! `transact` block — is appended to the write-ahead log as **one**
+//! record *before* the caller is acknowledged; if the append fails,
+//! the in-memory commit is rolled back too, so memory and disk never
+//! disagree about what was acknowledged.
 
 use std::fmt;
 use std::sync::Arc;
@@ -20,6 +31,7 @@ use ruvo_obase::{ObjectBase, Snapshot};
 
 use crate::engine::{run_compiled, CompiledProgram, EngineConfig, Outcome, UpdateEngine};
 use crate::error::EvalError;
+use crate::store::{DurabilitySink, StorageError, WalProgram};
 
 /// Why a session operation failed. The object base is unchanged in
 /// every failure case.
@@ -31,6 +43,9 @@ pub enum SessionError {
     Eval(EvalError),
     /// Rollback target does not exist (or was invalidated).
     UnknownSavepoint(SavepointId),
+    /// The durability sink failed; the in-memory commit was rolled
+    /// back, so the session still matches the durable image.
+    Storage(StorageError),
 }
 
 impl fmt::Display for SessionError {
@@ -41,6 +56,7 @@ impl fmt::Display for SessionError {
             SessionError::UnknownSavepoint(id) => {
                 write!(f, "unknown or invalidated savepoint {}", id.0)
             }
+            SessionError::Storage(e) => e.fmt(f),
         }
     }
 }
@@ -80,7 +96,7 @@ pub struct Txn {
 /// The committed base is held behind an [`Arc`]: commits install a new
 /// shared state, so [`Session::snapshot`] read views and savepoints
 /// are O(1) and never block or copy the store.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Session {
     ob: Arc<ObjectBase>,
     log: Vec<Txn>,
@@ -93,6 +109,34 @@ pub struct Session {
     /// applications and dry runs against one committed state pay the
     /// O(#versions) preparation exactly once.
     prepared: std::sync::OnceLock<Arc<ObjectBase>>,
+    /// Where committed batches go; `None` is the volatile fast path
+    /// (no program-source rendering, no appends).
+    sink: Option<Box<dyn DurabilitySink>>,
+    /// While `Some`, commits buffer their log entries instead of
+    /// appending immediately; flushing writes them as one record.
+    /// Used by `transact` blocks and group-commit batches so a whole
+    /// logical batch costs one append + one fsync — and so an aborted
+    /// `transact` leaves no trace in the log at all.
+    buffered: Option<Vec<WalProgram>>,
+}
+
+impl Clone for Session {
+    /// Cloning forks the in-memory state only: the clone is
+    /// **volatile** (no durability sink), because two sessions
+    /// appending divergent histories to one log would corrupt it. The
+    /// original keeps the sink.
+    fn clone(&self) -> Session {
+        Session {
+            ob: Arc::clone(&self.ob),
+            log: self.log.clone(),
+            config: self.config.clone(),
+            savepoints: self.savepoints.clone(),
+            next_savepoint: self.next_savepoint,
+            prepared: self.prepared.clone(),
+            sink: None,
+            buffered: None,
+        }
+    }
 }
 
 impl Session {
@@ -111,6 +155,23 @@ impl Session {
     pub fn with_config(mut self, config: EngineConfig) -> Session {
         self.config = config;
         self
+    }
+
+    /// Write every subsequent commit through `sink` (see the
+    /// [module docs](self) on durability).
+    pub fn with_sink(mut self, sink: Box<dyn DurabilitySink>) -> Session {
+        self.set_sink(sink);
+        self
+    }
+
+    /// Attach a durability sink to an existing session.
+    pub fn set_sink(&mut self, sink: Box<dyn DurabilitySink>) {
+        self.sink = Some(sink);
+    }
+
+    /// True when commits are written through a durability sink.
+    pub fn is_durable(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// The current object base.
@@ -142,18 +203,38 @@ impl Session {
     /// and later programs still run. Consecutive applications reuse
     /// the [`Session::prepared_work`] cache, so the §3 preparation is
     /// paid once per committed state, not once per program.
+    ///
+    /// On a durable session the whole batch is appended and fsynced
+    /// as **one** WAL record (containing only the successful members)
+    /// before this returns — group commit amortizes the fsync. If the
+    /// append fails, every member is rolled back and reports the
+    /// storage error: nothing is acknowledged that is not durable.
     pub fn apply_compiled_batch(
         &mut self,
         batch: &[&CompiledProgram],
     ) -> Vec<Result<(usize, usize, Snapshot), SessionError>> {
-        batch
+        let owns_buffer = self.begin_txn_buffer();
+        let pre_ob = Arc::clone(&self.ob);
+        let pre_len = self.log.len();
+        let mut results: Vec<Result<(usize, usize, Snapshot), SessionError>> = batch
             .iter()
             .map(|compiled| {
                 let (seq, facts_after) =
                     self.apply_compiled(compiled).map(|txn| (txn.seq, txn.facts_after))?;
                 Ok((seq, facts_after, self.snapshot()))
             })
-            .collect()
+            .collect();
+        if owns_buffer {
+            if let Err(e) = self.flush_txn_buffer() {
+                self.restore(pre_ob, pre_len);
+                for r in &mut results {
+                    if r.is_ok() {
+                        *r = Err(e.clone());
+                    }
+                }
+            }
+        }
+        results
     }
 
     /// The engine configuration used for transactions.
@@ -182,7 +263,11 @@ impl Session {
     pub fn apply(&mut self, program: Program) -> Result<&Txn, SessionError> {
         let engine = UpdateEngine::with_config(program, self.config.clone());
         let outcome = engine.run(&self.ob)?;
-        self.commit(outcome)
+        let cycles = self.config.cycles;
+        self.commit_logged(outcome, || WalProgram {
+            cycles,
+            source: engine.program().to_string().into(),
+        })
     }
 
     /// Apply an already-compiled program transactionally, skipping all
@@ -191,7 +276,10 @@ impl Session {
     pub fn apply_compiled(&mut self, compiled: &CompiledProgram) -> Result<&Txn, SessionError> {
         let work = self.prepared_work();
         let outcome = run_compiled(compiled, &self.config, work)?;
-        self.commit(outcome)
+        self.commit_logged(outcome, || WalProgram {
+            cycles: compiled.cycle_policy(),
+            source: compiled.source_text(),
+        })
     }
 
     /// A working copy of the committed base with `exists` facts in
@@ -212,14 +300,119 @@ impl Session {
     /// Commit an evaluation outcome produced against the current base:
     /// extract `ob′`, install it, and log the transaction. On error
     /// (non-version-linear result) the session is untouched.
+    ///
+    /// On a durable session an outcome has no program source to log,
+    /// so this re-converges the durable image with a full checkpoint —
+    /// correct but heavy; prefer the `apply*` paths, which log the
+    /// program as one WAL record.
     pub fn commit(&mut self, outcome: Outcome) -> Result<&Txn, SessionError> {
+        let pre_ob = Arc::clone(&self.ob);
+        let pre_len = self.log.len();
+        self.commit_install(outcome)?;
+        if self.buffered.is_none() {
+            if let Some(sink) = &mut self.sink {
+                if let Err(e) = sink.checkpoint(&self.ob) {
+                    self.restore(pre_ob, pre_len);
+                    return Err(SessionError::Storage(e));
+                }
+            }
+        }
+        Ok(self.log.last().expect("just pushed"))
+    }
+
+    /// Install an outcome in memory only (the shared half of
+    /// [`Session::commit`] and [`Session::commit_logged`]).
+    fn commit_install(&mut self, outcome: Outcome) -> Result<(), SessionError> {
         // try_new_object_base cannot fail here when the linearity check
         // is on; with the check disabled this is the commit gate.
         let new_ob = outcome.try_new_object_base().map_err(EvalError::Linearity)?;
         self.ob = Arc::new(new_ob);
         self.prepared = std::sync::OnceLock::new();
         self.log.push(Txn { seq: self.log.len(), outcome, facts_after: self.ob.len() });
+        Ok(())
+    }
+
+    /// Commit an outcome whose producing program is known: install it,
+    /// then make it durable — immediately as a one-entry record, or
+    /// deferred into the active transaction buffer. `entry` is only
+    /// rendered on durable sessions, so the volatile path never pays
+    /// for program pretty-printing.
+    fn commit_logged(
+        &mut self,
+        outcome: Outcome,
+        entry: impl FnOnce() -> WalProgram,
+    ) -> Result<&Txn, SessionError> {
+        if self.sink.is_none() {
+            self.commit_install(outcome)?;
+            return Ok(self.log.last().expect("just pushed"));
+        }
+        let pre_ob = Arc::clone(&self.ob);
+        let pre_len = self.log.len();
+        self.commit_install(outcome)?;
+        let entry = entry();
+        if let Some(buffer) = &mut self.buffered {
+            buffer.push(entry);
+        } else {
+            let sink = self.sink.as_mut().expect("checked above");
+            if let Err(e) = sink.append_batch(&[entry], &self.ob) {
+                self.restore(pre_ob, pre_len);
+                return Err(SessionError::Storage(e));
+            }
+        }
         Ok(self.log.last().expect("just pushed"))
+    }
+
+    /// Roll the in-memory state back to a captured point (durability
+    /// failure paths; nothing about the rolled-back commits reached
+    /// the log).
+    fn restore(&mut self, ob: Arc<ObjectBase>, log_len: usize) {
+        self.ob = ob;
+        self.log.truncate(log_len);
+        self.prepared = std::sync::OnceLock::new();
+    }
+
+    /// Start deferring durable log entries into a buffer, so a whole
+    /// logical batch (a `transact` block, a group-commit drain) is
+    /// appended as **one** record by [`Session::flush_txn_buffer`].
+    /// Returns whether this call owns the buffer (false on volatile
+    /// sessions and when a buffer is already active — the owner
+    /// flushes, nested scopes must not).
+    pub(crate) fn begin_txn_buffer(&mut self) -> bool {
+        if self.sink.is_some() && self.buffered.is_none() {
+            self.buffered = Some(Vec::new());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Append everything buffered since [`Session::begin_txn_buffer`]
+    /// as one durable record. On failure the entries are gone from the
+    /// buffer but the in-memory commits are **not** undone — the
+    /// caller owns that rollback (it knows the pre-batch state).
+    pub(crate) fn flush_txn_buffer(&mut self) -> Result<(), SessionError> {
+        let Some(entries) = self.buffered.take() else { return Ok(()) };
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let sink = self.sink.as_mut().expect("buffer exists only with a sink");
+        sink.append_batch(&entries, &self.ob).map_err(SessionError::Storage)
+    }
+
+    /// Drop the active buffer without appending (the batch is being
+    /// rolled back; an aborted `transact` must leave no trace in the
+    /// log).
+    pub(crate) fn discard_txn_buffer(&mut self) {
+        self.buffered = None;
+    }
+
+    /// Force a durable checkpoint of the committed state (no-op on a
+    /// volatile session).
+    pub fn checkpoint(&mut self) -> Result<(), SessionError> {
+        if let Some(sink) = &mut self.sink {
+            sink.checkpoint(&self.ob).map_err(SessionError::Storage)?;
+        }
+        Ok(())
     }
 
     /// Parse and [`Session::apply`] program text.
@@ -247,7 +440,28 @@ impl Session {
     /// Restore the object base and transaction log to `savepoint`.
     /// Later savepoints are invalidated; the savepoint itself stays
     /// valid and can be rolled back to again.
+    ///
+    /// On a durable session the rolled-back transactions are already
+    /// in the WAL, so the sink *rewinds*: it checkpoints the restored
+    /// state and truncates the log, making the dead suffix
+    /// unreachable to recovery.
     pub fn rollback_to(&mut self, savepoint: SavepointId) -> Result<(), SessionError> {
+        self.rollback_to_unlogged(savepoint)?;
+        if self.buffered.is_none() {
+            if let Some(sink) = &mut self.sink {
+                sink.rewind(&self.ob).map_err(SessionError::Storage)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Session::rollback_to`] without touching the sink — for
+    /// rollbacks of commits that never reached the log (a `transact`
+    /// block whose entries were still buffered).
+    pub(crate) fn rollback_to_unlogged(
+        &mut self,
+        savepoint: SavepointId,
+    ) -> Result<(), SessionError> {
         let idx = self
             .savepoints
             .iter()

@@ -1,0 +1,1115 @@
+//! The durable storage engine: a write-ahead log of committed update
+//! batches plus binary-snapshot checkpoints.
+//!
+//! The paper models computation as *update sequences* applied to an
+//! object base — which makes logical logging the natural durability
+//! story: the on-disk log **is** an update sequence. Every committed
+//! batch is appended as one checksummed record carrying the program
+//! sources that produced it; recovery loads the latest checkpoint and
+//! re-applies the logged tail through the ordinary engine.
+//!
+//! ## Data directory layout
+//!
+//! ```text
+//! <dir>/checkpoint.ruvock   latest durable full state (atomic: tmp + rename)
+//! <dir>/wal.log             committed batches since that checkpoint
+//! ```
+//!
+//! **Checkpoint** (little-endian): `"RUVOCKPT"` magic, `u16` version,
+//! `u64` seq (transactions folded in), `u64` epoch, `u64` snapshot
+//! length + the embedded [`ruvo_obase::snapshot`] bytes, then a `u64`
+//! checksum over everything before it.
+//!
+//! **WAL**: `"RUVOWAL\0"` magic + `u16` version, then one
+//! [`codec frame`](ruvo_obase::codec::append_frame) per committed
+//! batch. Each frame's payload is `u64` seq (of the batch's first
+//! transaction), `u64` epoch (append counter), `u32` program count,
+//! then per program a `u8` cycle policy and a length-prefixed UTF-8
+//! source. A torn or bit-flipped tail record fails its checksum; the
+//! valid prefix is kept, the tail dropped and truncated away.
+//!
+//! ## Commit pipeline
+//!
+//! [`Session`](crate::Session) owns a [`DurabilitySink`]; the default
+//! ([`Volatile`]) is a no-op, [`WalStore`] is the durable
+//! implementation. A commit batch — one program, a group-commit drain,
+//! or a whole `transact` block — is appended and fsynced (per
+//! [`FsyncPolicy`]) as **one** record *before* the caller is
+//! acknowledged and before the serving layer publishes the new head:
+//! an acknowledged write is never lost, an unacknowledged torn tail is
+//! dropped cleanly. After an append the store checkpoints
+//! opportunistically when the log exceeds [`CheckpointPolicy`]
+//! (snapshot the current base, then truncate the log).
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ruvo_obase::codec::{self, DecodeError, Reader};
+use ruvo_obase::{snapshot, ObjectBase, SnapshotFileError};
+
+use crate::engine::CyclePolicy;
+
+/// File name of the write-ahead log inside a data directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the checkpoint inside a data directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.ruvock";
+
+const WAL_MAGIC: &[u8; 8] = b"RUVOWAL\0";
+const CKPT_MAGIC: &[u8; 8] = b"RUVOCKPT";
+const FORMAT_VERSION: u16 = 1;
+/// Magic + version.
+const WAL_HEADER_LEN: u64 = 10;
+
+// ----- errors --------------------------------------------------------
+
+/// Why a storage operation failed. Carried by
+/// [`Error::Storage`](crate::Error) under
+/// [`ErrorKind::Storage`](crate::ErrorKind).
+///
+/// I/O failures are captured as data (`kind` + message) rather than a
+/// live `std::io::Error`, so the unified error stays `Clone` and
+/// comparable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// An I/O operation failed.
+    Io {
+        /// What was being attempted (`"append"`, `"read"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// The `std::io::ErrorKind` of the failure.
+        kind: std::io::ErrorKind,
+        /// The underlying error message.
+        message: String,
+    },
+    /// A file's bytes could not be decoded (corruption, truncation,
+    /// or a format version from a newer ruvo).
+    Decode {
+        /// The file involved.
+        path: String,
+        /// The typed decode failure.
+        error: DecodeError,
+    },
+    /// A logged program failed to re-apply during recovery — the data
+    /// directory was written under an incompatible engine
+    /// configuration, or by a different program history.
+    Replay {
+        /// Sequence number of the transaction that failed.
+        seq: u64,
+        /// Display form of the underlying failure.
+        error: String,
+    },
+    /// The operation does not make sense as requested.
+    Misuse(&'static str),
+    /// The target directory already contains a database.
+    Exists {
+        /// The directory involved.
+        path: String,
+    },
+}
+
+impl StorageError {
+    pub(crate) fn io(op: &'static str, path: &Path, e: std::io::Error) -> StorageError {
+        StorageError::Io {
+            op,
+            path: path.display().to_string(),
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, path, message, .. } => {
+                write!(f, "cannot {op} {path}: {message}")
+            }
+            StorageError::Decode { path, error } => write!(f, "{path}: {error}"),
+            StorageError::Replay { seq, error } => {
+                write!(f, "recovery failed replaying transaction #{seq}: {error}")
+            }
+            StorageError::Misuse(what) => f.write_str(what),
+            StorageError::Exists { path } => {
+                write!(f, "{path} already contains a ruvo database")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<SnapshotFileError> for StorageError {
+    fn from(e: SnapshotFileError) -> StorageError {
+        match e {
+            SnapshotFileError::Io { op, path, source } => {
+                StorageError::io(if op == "read" { "read" } else { "write" }, &path, source)
+            }
+            SnapshotFileError::Decode { path, source } => {
+                StorageError::Decode { path: path.display().to_string(), error: source }
+            }
+        }
+    }
+}
+
+// ----- policies ------------------------------------------------------
+
+/// When the WAL is flushed to stable storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every appended record (default): an
+    /// acknowledged commit survives OS/machine crashes. Group commit
+    /// amortizes this — a drained batch pays one fsync, not one per
+    /// transaction.
+    #[default]
+    Always,
+    /// `fdatasync` every `n` appended records. Bounded loss window on
+    /// machine crash; still crash-safe against process kills (the OS
+    /// keeps completed `write`s).
+    EveryN(u32),
+    /// Never fsync appends (checkpoints still sync). Survives process
+    /// kills, not power loss — the fastest option for bulk loads.
+    Never,
+}
+
+/// When an append triggers an automatic checkpoint (snapshot the
+/// current base, truncate the log). Either threshold suffices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once the WAL holds this many records.
+    pub max_wal_records: u64,
+    /// Checkpoint once the WAL holds this many payload bytes.
+    pub max_wal_bytes: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy { max_wal_records: 1024, max_wal_bytes: 8 * 1024 * 1024 }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Never checkpoint automatically ([`WalStore::checkpoint`] and
+    /// rollback-driven rewinds still do).
+    pub fn never() -> Self {
+        CheckpointPolicy { max_wal_records: u64::MAX, max_wal_bytes: u64::MAX }
+    }
+}
+
+// ----- the sink trait ------------------------------------------------
+
+/// One logged program of a commit batch: the source text plus the
+/// cycle policy it was compiled under (recovery re-compiles under the
+/// same policy, so a program accepted via
+/// [`CyclePolicy::RuntimeStability`] replays even if the reopening
+/// configuration defaults to `Reject`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalProgram {
+    /// Cycle policy the program was compiled under.
+    pub cycles: CyclePolicy,
+    /// Re-parseable program source (the pretty-printed form).
+    /// A shared handle: committing a reused [`crate::CompiledProgram`]
+    /// clones the cached rendering instead of re-printing per commit.
+    pub source: std::sync::Arc<str>,
+}
+
+/// One decoded WAL record: a commit batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Sequence number of the batch's first transaction.
+    pub seq: u64,
+    /// Append epoch (monotone per record).
+    pub epoch: u64,
+    /// The committed programs, in commit order. Only *successful*
+    /// transactions are logged — a batch member that failed its own
+    /// commit gate never reaches the record.
+    pub programs: Vec<WalProgram>,
+}
+
+/// Where committed batches go. [`Session`](crate::Session) writes
+/// every commit through its sink; [`Volatile`] (the default) drops
+/// them, [`WalStore`] makes them durable.
+///
+/// Contract: when [`DurabilitySink::append_batch`] returns `Ok`, the
+/// batch is as durable as the configured policy promises — callers
+/// acknowledge commits (and publish new heads) only after it returns.
+pub trait DurabilitySink: fmt::Debug + Send {
+    /// Persist one commit batch as a single record. `current` is the
+    /// committed base *after* the batch (for opportunistic
+    /// checkpointing).
+    fn append_batch(
+        &mut self,
+        programs: &[WalProgram],
+        current: &ObjectBase,
+    ) -> Result<(), StorageError>;
+
+    /// Re-converge the durable image to `current` after an in-memory
+    /// rollback invalidated logged suffixes.
+    fn rewind(&mut self, current: &ObjectBase) -> Result<(), StorageError>;
+
+    /// Force a checkpoint of `current` now.
+    fn checkpoint(&mut self, current: &ObjectBase) -> Result<(), StorageError>;
+}
+
+/// The no-op sink: commits live and die with the process. This is the
+/// default for [`Database::open`](crate::Database::open) — durability
+/// is opt-in via [`Database::open_dir`](crate::Database::open_dir).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Volatile;
+
+impl DurabilitySink for Volatile {
+    fn append_batch(&mut self, _: &[WalProgram], _: &ObjectBase) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn rewind(&mut self, _: &ObjectBase) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, _: &ObjectBase) -> Result<(), StorageError> {
+        Ok(())
+    }
+}
+
+// ----- record encode/decode ------------------------------------------
+
+fn encode_cycles(c: CyclePolicy) -> u8 {
+    match c {
+        CyclePolicy::Reject => 0,
+        CyclePolicy::RuntimeStability => 1,
+    }
+}
+
+fn decode_cycles(b: u8) -> Result<CyclePolicy, DecodeError> {
+    match b {
+        0 => Ok(CyclePolicy::Reject),
+        1 => Ok(CyclePolicy::RuntimeStability),
+        _ => Err(DecodeError::Corrupt("cycle policy tag")),
+    }
+}
+
+fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut payload =
+        Vec::with_capacity(24 + rec.programs.iter().map(|p| p.source.len() + 5).sum::<usize>());
+    payload.extend_from_slice(&rec.seq.to_le_bytes());
+    payload.extend_from_slice(&rec.epoch.to_le_bytes());
+    payload.extend_from_slice(&(rec.programs.len() as u32).to_le_bytes());
+    for p in &rec.programs {
+        payload.push(encode_cycles(p.cycles));
+        payload.extend_from_slice(&(p.source.len() as u32).to_le_bytes());
+        payload.extend_from_slice(p.source.as_bytes());
+    }
+    payload
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord, DecodeError> {
+    let mut r = Reader::new(payload);
+    let seq = r.u64()?;
+    let epoch = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut programs = Vec::with_capacity(count.min(payload.len()));
+    for _ in 0..count {
+        let cycles = decode_cycles(r.u8()?)?;
+        let len = r.u32()? as usize;
+        let source: std::sync::Arc<str> = std::str::from_utf8(r.bytes(len)?)
+            .map_err(|_| DecodeError::Corrupt("program utf-8"))?
+            .into();
+        programs.push(WalProgram { cycles, source });
+    }
+    if !r.is_empty() {
+        return Err(DecodeError::Corrupt("trailing record bytes"));
+    }
+    Ok(WalRecord { seq, epoch, programs })
+}
+
+// ----- checkpoint encode/decode --------------------------------------
+
+/// A decoded checkpoint: the durable full state as of transaction
+/// `seq`.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Transactions folded into this state.
+    pub seq: u64,
+    /// Append epoch at checkpoint time.
+    pub epoch: u64,
+    /// The state itself.
+    pub base: ObjectBase,
+}
+
+fn encode_checkpoint(seq: u64, epoch: u64, base: &ObjectBase) -> Vec<u8> {
+    let snap = snapshot::write(base);
+    let mut out = Vec::with_capacity(snap.len() + 48);
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+    out.extend_from_slice(&snap);
+    let sum = codec::checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn decode_checkpoint(data: &[u8]) -> Result<Checkpoint, DecodeError> {
+    if data.len() < 8 + 2 + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let (payload, sum_bytes) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if codec::checksum(payload) != stored {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    let mut r = Reader::new(payload);
+    if r.bytes(8)? != CKPT_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let seq = r.u64()?;
+    let epoch = r.u64()?;
+    let len = r.u64()? as usize;
+    let base = snapshot::read(r.bytes(len)?)?;
+    if !r.is_empty() {
+        return Err(DecodeError::Corrupt("trailing checkpoint bytes"));
+    }
+    Ok(Checkpoint { seq, epoch, base })
+}
+
+// ----- reading a data directory --------------------------------------
+
+/// What a read of a data directory found (see [`read_state`]).
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    /// Valid WAL records (after the checkpoint's seq).
+    pub wal_records: u64,
+    /// Programs across those records.
+    pub wal_programs: u64,
+    /// WAL payload bytes past the file header.
+    pub wal_bytes: u64,
+    /// Bytes of torn/corrupt tail that will be dropped.
+    pub dropped_bytes: u64,
+    /// Valid records skipped because an existing checkpoint already
+    /// covers them (left behind by a crash between checkpoint rename
+    /// and log truncation).
+    pub skipped_records: u64,
+}
+
+/// The decoded durable state of a data directory.
+#[derive(Debug)]
+pub struct StoreState {
+    /// The checkpoint, if one exists.
+    pub checkpoint: Option<Checkpoint>,
+    /// Valid tail records to replay, in order.
+    pub records: Vec<WalRecord>,
+    /// Scan accounting.
+    pub stats: ScanStats,
+    /// Offset in `wal.log` just past the last valid record.
+    good_offset: u64,
+    /// Whether `wal.log` exists at all.
+    wal_exists: bool,
+}
+
+/// Read (without modifying) the durable state under `dir`: the
+/// checkpoint, the valid WAL tail, and what will be dropped. This is
+/// what `ruvo recover` prints and what [`WalStore::open`] builds on.
+///
+/// A corrupt *checkpoint* is a hard error — it is the recovery base
+/// and cannot be partially trusted. A corrupt WAL *tail* is expected
+/// after a crash and reported, not failed.
+pub fn read_state(dir: &Path) -> Result<StoreState, StorageError> {
+    let ckpt_path = dir.join(CHECKPOINT_FILE);
+    let checkpoint = if ckpt_path.exists() {
+        let data =
+            std::fs::read(&ckpt_path).map_err(|e| StorageError::io("read", &ckpt_path, e))?;
+        Some(decode_checkpoint(&data).map_err(|error| StorageError::Decode {
+            path: ckpt_path.display().to_string(),
+            error,
+        })?)
+    } else {
+        None
+    };
+    let base_seq = checkpoint.as_ref().map_or(0, |c| c.seq);
+
+    let wal_path = dir.join(WAL_FILE);
+    let mut stats = ScanStats::default();
+    let mut records = Vec::new();
+    let mut good_offset = WAL_HEADER_LEN;
+    let wal_exists = wal_path.exists();
+    if wal_exists {
+        let data = std::fs::read(&wal_path).map_err(|e| StorageError::io("read", &wal_path, e))?;
+        let mut full_header = [0u8; WAL_HEADER_LEN as usize];
+        full_header[..8].copy_from_slice(WAL_MAGIC);
+        full_header[8..].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        if data.len() < WAL_HEADER_LEN as usize {
+            // A header prefix is a torn first write (the header is
+            // not fsynced on creation): recoverable — the opener
+            // rewrites it. Anything else is not our file.
+            if !full_header.starts_with(&data) {
+                return Err(StorageError::Decode {
+                    path: wal_path.display().to_string(),
+                    error: DecodeError::BadMagic,
+                });
+            }
+        } else {
+            if &data[..8] != WAL_MAGIC {
+                return Err(StorageError::Decode {
+                    path: wal_path.display().to_string(),
+                    error: DecodeError::BadMagic,
+                });
+            }
+            let version = u16::from_le_bytes(data[8..10].try_into().expect("2 bytes"));
+            if version != FORMAT_VERSION {
+                return Err(StorageError::Decode {
+                    path: wal_path.display().to_string(),
+                    error: DecodeError::BadVersion(version),
+                });
+            }
+            let body = &data[WAL_HEADER_LEN as usize..];
+            let mut frames = codec::Frames::new(body);
+            let mut good = 0usize;
+            loop {
+                // `Frames` advances past a frame before we can decode
+                // its payload, so `good` only moves once a record
+                // fully decodes: a checksum-valid but undecodable
+                // frame must NOT end up inside the kept prefix
+                // (truncating past it would bury it in front of
+                // future appends, poisoning every later recovery).
+                match frames.next() {
+                    Some(Ok(payload)) => match decode_record(payload) {
+                        Ok(rec) if rec.seq < base_seq => {
+                            stats.skipped_records += 1;
+                            good = frames.good_offset();
+                        }
+                        Ok(rec) => {
+                            stats.wal_records += 1;
+                            stats.wal_programs += rec.programs.len() as u64;
+                            records.push(rec);
+                            good = frames.good_offset();
+                        }
+                        // Checksum-valid but undecodable: treat like a
+                        // torn tail — keep the prefix *before* this
+                        // frame, drop from here.
+                        Err(_) => break,
+                    },
+                    Some(Err(_)) => break,
+                    None => break,
+                }
+            }
+            good_offset = WAL_HEADER_LEN + good as u64;
+            stats.dropped_bytes = data.len() as u64 - good_offset;
+            stats.wal_bytes = good_offset - WAL_HEADER_LEN;
+        }
+    }
+    Ok(StoreState { checkpoint, records, stats, good_offset, wal_exists })
+}
+
+// ----- the WAL store -------------------------------------------------
+
+/// What [`WalStore::open`] recovered alongside the store handle.
+#[derive(Debug)]
+pub struct Opened {
+    /// The ready-to-append store.
+    pub store: WalStore,
+    /// The checkpoint state, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// The valid WAL tail to replay on top of it.
+    pub records: Vec<WalRecord>,
+    /// Scan accounting (dropped bytes, skipped records, …).
+    pub stats: ScanStats,
+}
+
+impl Opened {
+    /// True when the directory held no durable state at all.
+    pub fn is_fresh(&self) -> bool {
+        self.checkpoint.is_none() && self.records.is_empty()
+    }
+}
+
+/// The durable [`DurabilitySink`]: append-on-commit WAL plus
+/// checkpoints in a data directory. See the [module docs](self) for
+/// formats and the crash matrix.
+#[derive(Debug)]
+pub struct WalStore {
+    dir: PathBuf,
+    wal_path: PathBuf,
+    wal: File,
+    /// Next transaction sequence number (monotone across reopens).
+    seq: u64,
+    /// Append epoch of the most recent record/checkpoint.
+    epoch: u64,
+    wal_records: u64,
+    /// Bytes past the WAL header (i.e. the append offset is
+    /// `WAL_HEADER_LEN + wal_bytes`).
+    wal_bytes: u64,
+    unsynced_appends: u32,
+    fsync: FsyncPolicy,
+    policy: CheckpointPolicy,
+    /// Set when a failed append could not be rolled back: the file
+    /// tail is unknown, so further appends must refuse.
+    wedged: bool,
+}
+
+impl WalStore {
+    /// Open (or create) the store under `dir`, returning the decoded
+    /// durable state to replay. A torn or corrupt WAL tail is dropped
+    /// and truncated away so subsequent appends extend the valid
+    /// prefix.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        fsync: FsyncPolicy,
+        policy: CheckpointPolicy,
+    ) -> Result<Opened, StorageError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::io("create", &dir, e))?;
+        let state = read_state(&dir)?;
+
+        let wal_path = dir.join(WAL_FILE);
+        let mut wal = OpenOptions::new()
+            .create(true)
+            .truncate(false) // append-only: existing records must survive
+            .read(true)
+            .write(true)
+            .open(&wal_path)
+            .map_err(|e| StorageError::io("open", &wal_path, e))?;
+        let file_len = wal.metadata().map_err(|e| StorageError::io("stat", &wal_path, e))?.len();
+        if !state.wal_exists || file_len < WAL_HEADER_LEN {
+            // Fresh file, or a header torn by a crash before its first
+            // byte cycle completed (read_state verified the fragment
+            // is a prefix of our header): (re)write it whole.
+            wal.set_len(0).map_err(|e| StorageError::io("truncate", &wal_path, e))?;
+            wal.seek(SeekFrom::Start(0)).map_err(|e| StorageError::io("seek", &wal_path, e))?;
+            wal.write_all(WAL_MAGIC).map_err(|e| StorageError::io("write", &wal_path, e))?;
+            wal.write_all(&FORMAT_VERSION.to_le_bytes())
+                .map_err(|e| StorageError::io("write", &wal_path, e))?;
+        } else if file_len > state.good_offset {
+            // Drop the torn tail so the next append extends the valid
+            // prefix instead of burying records behind garbage.
+            wal.set_len(state.good_offset)
+                .map_err(|e| StorageError::io("truncate", &wal_path, e))?;
+        }
+        wal.seek(SeekFrom::End(0)).map_err(|e| StorageError::io("seek", &wal_path, e))?;
+
+        let ckpt_seq = state.checkpoint.as_ref().map_or(0, |c| c.seq);
+        let ckpt_epoch = state.checkpoint.as_ref().map_or(0, |c| c.epoch);
+        let seq = state
+            .records
+            .last()
+            .map_or(ckpt_seq, |r| r.seq + r.programs.len() as u64)
+            .max(ckpt_seq);
+        let epoch = state.records.last().map_or(ckpt_epoch, |r| r.epoch).max(ckpt_epoch);
+
+        let store = WalStore {
+            dir,
+            wal_path,
+            wal,
+            seq,
+            epoch,
+            wal_records: state.stats.wal_records + state.stats.skipped_records,
+            wal_bytes: state.good_offset - WAL_HEADER_LEN,
+            unsynced_appends: 0,
+            fsync,
+            policy,
+            wedged: false,
+        };
+        Ok(Opened {
+            store,
+            checkpoint: state.checkpoint,
+            records: state.records,
+            stats: state.stats,
+        })
+    }
+
+    /// The data directory this store writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Next transaction sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records currently in the WAL (since the last checkpoint).
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records
+    }
+
+    /// WAL payload bytes since the last checkpoint.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    fn sync_wal(&mut self) -> Result<(), StorageError> {
+        self.wal.sync_data().map_err(|e| StorageError::io("fsync", &self.wal_path, e))
+    }
+
+    fn append_sync(&mut self) -> Result<(), StorageError> {
+        match self.fsync {
+            FsyncPolicy::Always => self.sync_wal(),
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced_appends += 1;
+                if self.unsynced_appends >= n.max(1) {
+                    self.unsynced_appends = 0;
+                    self.sync_wal()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    fn write_checkpoint(&mut self, current: &ObjectBase) -> Result<(), StorageError> {
+        // Atomic replace: write + sync a temp file, rename over the
+        // final name, sync the directory. A crash at any point leaves
+        // either the old or the new checkpoint fully intact.
+        let bytes = encode_checkpoint(self.seq, self.epoch, current);
+        let final_path = self.dir.join(CHECKPOINT_FILE);
+        let tmp_path = self.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        {
+            let mut tmp =
+                File::create(&tmp_path).map_err(|e| StorageError::io("create", &tmp_path, e))?;
+            tmp.write_all(&bytes).map_err(|e| StorageError::io("write", &tmp_path, e))?;
+            tmp.sync_all().map_err(|e| StorageError::io("fsync", &tmp_path, e))?;
+        }
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| StorageError::io("rename", &tmp_path, e))?;
+        // Persist the rename itself before touching the log: if the
+        // directory fsync cannot be confirmed, truncating would open
+        // a loss window (power failure could resurrect the *old*
+        // checkpoint next to an already-emptied WAL).
+        let d = File::open(&self.dir).map_err(|e| StorageError::io("open", &self.dir, e))?;
+        d.sync_all().map_err(|e| StorageError::io("fsync", &self.dir, e))?;
+
+        // The new checkpoint is fully durable and covers everything
+        // in the log: truncate it.
+        self.wal
+            .set_len(WAL_HEADER_LEN)
+            .map_err(|e| StorageError::io("truncate", &self.wal_path, e))?;
+        self.wal
+            .seek(SeekFrom::Start(WAL_HEADER_LEN))
+            .map_err(|e| StorageError::io("seek", &self.wal_path, e))?;
+        self.sync_wal()?;
+        self.wal_records = 0;
+        self.wal_bytes = 0;
+        self.unsynced_appends = 0;
+        Ok(())
+    }
+}
+
+impl DurabilitySink for WalStore {
+    fn append_batch(
+        &mut self,
+        programs: &[WalProgram],
+        current: &ObjectBase,
+    ) -> Result<(), StorageError> {
+        if programs.is_empty() {
+            return Ok(());
+        }
+        if self.wedged {
+            return Err(StorageError::Misuse(
+                "wal wedged by an earlier unrecoverable append failure; reopen the database",
+            ));
+        }
+        let record =
+            WalRecord { seq: self.seq, epoch: self.epoch + 1, programs: programs.to_vec() };
+        let mut frame = Vec::new();
+        codec::append_frame(&mut frame, &encode_record(&record));
+
+        let offset_before = WAL_HEADER_LEN + self.wal_bytes;
+        if let Err(e) = self.wal.write_all(&frame) {
+            // A partial record may be on disk; cut it back off so the
+            // log stays a valid prefix. If even that fails, wedge.
+            if self.wal.set_len(offset_before).is_err()
+                || self.wal.seek(SeekFrom::Start(offset_before)).is_err()
+            {
+                self.wedged = true;
+            }
+            return Err(StorageError::io("append", &self.wal_path, e));
+        }
+        self.append_sync()?;
+
+        self.seq += programs.len() as u64;
+        self.epoch += 1;
+        self.wal_records += 1;
+        self.wal_bytes += frame.len() as u64;
+
+        if self.wal_records >= self.policy.max_wal_records
+            || self.wal_bytes >= self.policy.max_wal_bytes
+        {
+            // Best-effort: the record above is already durable, and a
+            // failed checkpoint leaves the log intact (truncation only
+            // happens after the new checkpoint is fully durable), so
+            // recovery stays correct either way. Failing the commit
+            // here would roll back memory while the record stays in
+            // the log — divergence on the next recovery — so the
+            // error is deferred: the counters stay over threshold, the
+            // checkpoint retries on the next append, and explicit
+            // `checkpoint()` calls still propagate failures.
+            let _ = self.write_checkpoint(current);
+        }
+        Ok(())
+    }
+
+    fn rewind(&mut self, current: &ObjectBase) -> Result<(), StorageError> {
+        // The in-memory state moved backwards (rollback): logged
+        // suffixes are dead. Re-base the durable image on a fresh
+        // checkpoint of the rolled-back state; seq stays monotone so
+        // any stale records still fail the `seq >= checkpoint.seq`
+        // replay filter.
+        self.write_checkpoint(current)
+    }
+
+    fn checkpoint(&mut self, current: &ObjectBase) -> Result<(), StorageError> {
+        self.write_checkpoint(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruvo_term::{int, oid, sym};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ruvo-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn base(n: i64) -> ObjectBase {
+        let mut ob = ObjectBase::new();
+        for i in 0..n {
+            ob.insert(
+                ruvo_term::Vid::object(oid(&format!("o{i}"))),
+                sym("m"),
+                ruvo_obase::Args::empty(),
+                int(i),
+            );
+        }
+        ob
+    }
+
+    fn prog(src: &str) -> WalProgram {
+        WalProgram { cycles: CyclePolicy::Reject, source: src.into() }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = WalRecord {
+            seq: 7,
+            epoch: 3,
+            programs: vec![
+                prog("ins[a].p -> 1 <= a.q -> 1."),
+                WalProgram {
+                    cycles: CyclePolicy::RuntimeStability,
+                    source: "del[a].p -> 1 <= a.p -> 1.".into(),
+                },
+            ],
+        };
+        assert_eq!(decode_record(&encode_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_corruption() {
+        let ob = base(20);
+        let bytes = encode_checkpoint(5, 2, &ob);
+        let ckpt = decode_checkpoint(&bytes).unwrap();
+        assert_eq!((ckpt.seq, ckpt.epoch), (5, 2));
+        assert_eq!(ckpt.base, ob);
+
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        for byte in (0..bytes.len()).step_by(7) {
+            let mut damaged = bytes.clone();
+            damaged[byte] ^= 0x10;
+            assert!(decode_checkpoint(&damaged).is_err(), "flip at {byte}");
+        }
+    }
+
+    #[test]
+    fn future_versions_are_rejected_with_a_clear_message() {
+        // Checkpoint from "ruvo v9".
+        let ob = base(3);
+        let mut bytes = encode_checkpoint(0, 0, &ob)[..0].to_vec();
+        bytes.extend_from_slice(CKPT_MAGIC);
+        bytes.extend_from_slice(&9u16.to_le_bytes());
+        bytes.extend_from_slice(&[0; 24]);
+        let sum = codec::checksum(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        let err = decode_checkpoint(&bytes).unwrap_err();
+        assert_eq!(err, DecodeError::BadVersion(9));
+        assert!(err.to_string().contains("newer ruvo"), "got: {err}");
+
+        // WAL header from "ruvo v9".
+        let dir = tmp_dir("future-wal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut wal = WAL_MAGIC.to_vec();
+        wal.extend_from_slice(&9u16.to_le_bytes());
+        std::fs::write(dir.join(WAL_FILE), &wal).unwrap();
+        let err = read_state(&dir).unwrap_err();
+        match err {
+            StorageError::Decode { error: DecodeError::BadVersion(9), .. } => {}
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_and_reopen_replays_tail() {
+        let dir = tmp_dir("append");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert!(opened.is_fresh());
+        let ob = base(2);
+        opened.store.append_batch(&[prog("p1."), prog("p2.")], &ob).unwrap();
+        opened.store.append_batch(&[prog("p3.")], &ob).unwrap();
+        assert_eq!(opened.store.seq(), 3);
+        assert_eq!(opened.store.wal_records(), 2);
+        drop(opened);
+
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert!(reopened.checkpoint.is_none());
+        assert_eq!(reopened.records.len(), 2);
+        assert_eq!(reopened.records[0].seq, 0);
+        assert_eq!(reopened.records[0].programs.len(), 2);
+        assert_eq!(reopened.records[1].seq, 2);
+        assert_eq!(reopened.store.seq(), 3);
+        assert_eq!(reopened.stats.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let dir = tmp_dir("torn");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        opened.store.append_batch(&[prog("good.")], &base(1)).unwrap();
+        drop(opened);
+
+        // Simulate a crash mid-append: garbage after the valid record.
+        let wal_path = dir.join(WAL_FILE);
+        let mut data = std::fs::read(&wal_path).unwrap();
+        let clean_len = data.len();
+        data.extend_from_slice(&[0x5A; 13]);
+        std::fs::write(&wal_path, &data).unwrap();
+
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(reopened.records.len(), 1, "valid prefix survives");
+        assert_eq!(reopened.stats.dropped_bytes, 13);
+        assert_eq!(
+            std::fs::metadata(&wal_path).unwrap().len(),
+            clean_len as u64,
+            "tail truncated on open"
+        );
+
+        // And appending continues cleanly after the truncation.
+        let mut store = reopened.store;
+        store.append_batch(&[prog("after.")], &base(1)).unwrap();
+        let third = WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(third.records.len(), 2);
+        assert_eq!(&*third.records[1].programs[0].source, "after.");
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_the_wal_never_panic() {
+        let dir = tmp_dir("flips");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        opened.store.append_batch(&[prog("ins[a].p -> 1 <= a.q -> 1.")], &base(1)).unwrap();
+        opened.store.append_batch(&[prog("ins[b].p -> 2 <= b.q -> 2.")], &base(1)).unwrap();
+        drop(opened);
+        let wal_path = dir.join(WAL_FILE);
+        let data = std::fs::read(&wal_path).unwrap();
+
+        for byte in 0..data.len() {
+            for bit in [0, 3, 7] {
+                let mut damaged = data.clone();
+                damaged[byte] ^= 1 << bit;
+                std::fs::write(&wal_path, &damaged).unwrap();
+                // Must never panic; header damage errors, record
+                // damage drops a suffix of the two records.
+                match read_state(&dir) {
+                    Ok(state) => assert!(state.records.len() <= 2),
+                    Err(StorageError::Decode { .. }) => {}
+                    Err(other) => panic!("unexpected error class: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_valid_but_undecodable_record_is_excluded_from_the_kept_prefix() {
+        let dir = tmp_dir("poison");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        opened.store.append_batch(&[prog("good.")], &base(1)).unwrap();
+        drop(opened);
+
+        // Hand-craft a frame whose checksum is valid but whose payload
+        // cannot decode (cycle-policy tag 7): the worst-case "poison"
+        // record.
+        let wal_path = dir.join(WAL_FILE);
+        let mut data = std::fs::read(&wal_path).unwrap();
+        let clean_len = data.len();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes()); // seq
+        payload.extend_from_slice(&2u64.to_le_bytes()); // epoch
+        payload.extend_from_slice(&1u32.to_le_bytes()); // count
+        payload.push(7); // invalid cycle tag
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        codec::append_frame(&mut data, &payload);
+        std::fs::write(&wal_path, &data).unwrap();
+
+        // The poison frame must be *outside* the kept prefix…
+        let state = read_state(&dir).unwrap();
+        assert_eq!(state.records.len(), 1);
+        assert_eq!(state.good_offset, clean_len as u64, "poison frame kept in prefix");
+
+        // …so reopening truncates it away, and records appended after
+        // the truncation survive the *next* reopen (the original bug:
+        // the poison frame stayed, and the second reopen chopped off
+        // every acknowledged record appended behind it).
+        let mut store =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap().store;
+        store.append_batch(&[prog("after-poison.")], &base(1)).unwrap();
+        drop(store);
+        let third = WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(third.records.len(), 2);
+        assert_eq!(&*third.records[1].programs[0].source, "after-poison.");
+    }
+
+    #[test]
+    fn torn_wal_header_is_recoverable_when_a_checkpoint_exists() {
+        let dir = tmp_dir("torn-header");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let ob = base(5);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        drop(opened);
+
+        // Crash window: the header write itself tore (the header is
+        // not fsynced on creation). Only 5 of 10 bytes persisted.
+        std::fs::write(dir.join(WAL_FILE), &WAL_MAGIC[..5]).unwrap();
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(reopened.checkpoint.expect("checkpoint survives").base, ob);
+        assert!(reopened.records.is_empty());
+        // The header was rewritten whole: appends and reopens work.
+        let mut store = reopened.store;
+        store.append_batch(&[prog("p2.")], &ob).unwrap();
+        drop(store);
+        let third = WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(third.records.len(), 1);
+
+        // A short file that is NOT a header prefix is foreign: hard
+        // error, never clobbered.
+        std::fs::write(dir.join(WAL_FILE), b"WRONG").unwrap();
+        match read_state(&dir) {
+            Err(StorageError::Decode { error: DecodeError::BadMagic, .. }) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives_reopen() {
+        let dir = tmp_dir("ckpt");
+        let mut opened = WalStore::open(
+            &dir,
+            FsyncPolicy::Always,
+            CheckpointPolicy { max_wal_records: 2, max_wal_bytes: u64::MAX },
+        )
+        .unwrap();
+        let ob = base(10);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        assert_eq!(opened.store.wal_records(), 1);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        // Threshold hit: checkpointed and truncated.
+        assert_eq!(opened.store.wal_records(), 0);
+        assert_eq!(opened.store.wal_bytes(), 0);
+        drop(opened);
+
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let ckpt = reopened.checkpoint.expect("checkpoint written");
+        assert_eq!(ckpt.seq, 2);
+        assert_eq!(ckpt.base, ob);
+        assert!(reopened.records.is_empty(), "wal was truncated");
+        assert_eq!(reopened.store.seq(), 2, "seq continues after the checkpoint");
+    }
+
+    #[test]
+    fn stale_records_behind_a_checkpoint_are_skipped() {
+        // Crash window: checkpoint renamed into place but the WAL
+        // truncation never happened. Recovery must not replay the
+        // already-folded records.
+        let dir = tmp_dir("stale");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let ob = base(4);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        let wal_before = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        drop(opened);
+        // Undo the truncation, as if the crash hit between rename and
+        // set_len.
+        std::fs::write(dir.join(WAL_FILE), &wal_before).unwrap();
+
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert!(reopened.records.is_empty(), "both records predate the checkpoint");
+        assert_eq!(reopened.stats.skipped_records, 2);
+        assert_eq!(reopened.store.seq(), 2);
+    }
+
+    #[test]
+    fn rewind_rebases_on_the_rolled_back_state() {
+        let dir = tmp_dir("rewind");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        opened.store.append_batch(&[prog("doomed.")], &base(9)).unwrap();
+        let rolled_back = base(3);
+        opened.store.rewind(&rolled_back).unwrap();
+        drop(opened);
+
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(reopened.checkpoint.expect("rewind checkpoints").base, rolled_back);
+        assert!(reopened.records.is_empty());
+    }
+
+    #[test]
+    fn fsync_policies_accept_appends() {
+        for (tag, policy) in [
+            ("always", FsyncPolicy::Always),
+            ("every4", FsyncPolicy::EveryN(4)),
+            ("never", FsyncPolicy::Never),
+        ] {
+            let dir = tmp_dir(&format!("fsync-{tag}"));
+            let mut opened = WalStore::open(&dir, policy, CheckpointPolicy::never()).unwrap();
+            for i in 0..10 {
+                opened.store.append_batch(&[prog(&format!("p{i}."))], &base(1)).unwrap();
+            }
+            drop(opened);
+            let reopened = WalStore::open(&dir, policy, CheckpointPolicy::never()).unwrap();
+            assert_eq!(reopened.records.len(), 10, "policy {tag}");
+        }
+    }
+
+    #[test]
+    fn empty_batches_append_nothing() {
+        let dir = tmp_dir("empty");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        opened.store.append_batch(&[], &base(1)).unwrap();
+        assert_eq!(opened.store.wal_records(), 0);
+        assert_eq!(opened.store.seq(), 0);
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod args;
 pub mod base;
+pub mod codec;
 pub mod delta;
 pub mod linearity;
 pub mod shard;
@@ -47,10 +48,11 @@ pub mod stats;
 
 pub use args::Args;
 pub use base::{Fact, ObjectBase};
+pub use codec::DecodeError;
 pub use delta::ChangedSince;
 pub use linearity::{check_all_linear, LinearityTracker, LinearityViolation};
 pub use shard::SHARD_COUNT;
-pub use snapshot::{Snapshot, SnapshotError};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotFileError};
 pub use state::{MethodApp, VersionState};
 pub use stats::{CowStats, ObStats};
 

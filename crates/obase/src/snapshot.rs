@@ -15,7 +15,10 @@
 //! The textual format ([`ObjectBase::parse`]/`Display`) is the
 //! interchange format; binary snapshots are the *storage* format —
 //! compact, checksummed, and fast to load because symbols are interned
-//! once per file instead of per occurrence.
+//! once per file instead of per occurrence. The encode/decode
+//! primitives (symbol table, tagged constants, length-checked reader,
+//! checksum) live in [`crate::codec`] and are shared with the
+//! write-ahead log (`ruvo_core::store`).
 //!
 //! ## Layout (little-endian)
 //!
@@ -37,12 +40,13 @@
 //! Symbol indices refer to the file-local table, so snapshots are
 //! stable across processes with differently-populated interners.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ruvo_term::{Chain, Const, FastHashMap, Interner, OrderedF64, Symbol, UpdateKind, Vid};
-use std::hash::Hasher;
+use bytes::{BufMut, Bytes, BytesMut};
+use ruvo_term::{Chain, Symbol, UpdateKind, Vid};
 use std::ops::Deref;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use crate::codec::{self, put_const, DecodeError, Reader, SymbolTable};
 use crate::{Args, ObjectBase};
 
 const MAGIC: &[u8; 4] = b"RUVO";
@@ -138,73 +142,61 @@ impl From<ObjectBase> for Snapshot {
     }
 }
 
-/// Why a snapshot could not be decoded.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SnapshotError {
-    /// Not a ruvo snapshot (bad magic).
-    BadMagic,
-    /// Snapshot version not supported by this build.
-    BadVersion(u16),
-    /// The byte stream ended prematurely.
-    Truncated,
-    /// A tag/length field had an invalid value.
-    Corrupt(&'static str),
-    /// Checksum mismatch: the file was damaged.
-    ChecksumMismatch,
+/// Why a snapshot could not be decoded (an alias of the shared
+/// [`DecodeError`] — snapshots and the WAL use the same primitives).
+pub type SnapshotError = DecodeError;
+
+/// Why a snapshot file operation failed: either the I/O itself, or
+/// decoding what was read. Unlike a stringly `io::Error`, both the
+/// operation context and the typed decode detail survive (the facade
+/// maps this into `ruvo::Error` under `ErrorKind::Storage`).
+#[derive(Debug)]
+pub enum SnapshotFileError {
+    /// Reading or writing the file failed.
+    Io {
+        /// What was being attempted (`"read"` / `"write"`).
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file's bytes are not a valid snapshot.
+    Decode {
+        /// The file involved.
+        path: PathBuf,
+        /// The typed decode failure.
+        source: SnapshotError,
+    },
 }
 
-impl std::fmt::Display for SnapshotError {
+impl SnapshotFileError {
+    /// The file the operation was about.
+    pub fn path(&self) -> &Path {
+        match self {
+            SnapshotFileError::Io { path, .. } | SnapshotFileError::Decode { path, .. } => path,
+        }
+    }
+}
+
+impl std::fmt::Display for SnapshotFileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SnapshotError::BadMagic => write!(f, "not a ruvo snapshot (bad magic)"),
-            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
-            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
-            SnapshotError::Corrupt(what) => write!(f, "snapshot is corrupt: {what}"),
-            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotFileError::Io { op, path, source } => {
+                write!(f, "cannot {op} snapshot {}: {source}", path.display())
+            }
+            SnapshotFileError::Decode { path, source } => {
+                write!(f, "snapshot {}: {source}", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for SnapshotError {}
-
-fn checksum(bytes: &[u8]) -> u64 {
-    let mut h = ruvo_term::FastHasher::default();
-    h.write(bytes);
-    h.finish()
-}
-
-struct SymbolTable {
-    indices: FastHashMap<Symbol, u32>,
-    ordered: Vec<Symbol>,
-}
-
-impl SymbolTable {
-    fn new() -> Self {
-        SymbolTable { indices: FastHashMap::default(), ordered: Vec::new() }
-    }
-
-    fn intern(&mut self, sym: Symbol) -> u32 {
-        *self.indices.entry(sym).or_insert_with(|| {
-            let idx = u32::try_from(self.ordered.len()).expect("symbol table overflow");
-            self.ordered.push(sym);
-            idx
-        })
-    }
-}
-
-fn put_const(buf: &mut BytesMut, c: Const, table: &mut SymbolTable) {
-    match c {
-        Const::Sym(s) => {
-            buf.put_u8(0);
-            buf.put_u32_le(table.intern(s));
-        }
-        Const::Int(i) => {
-            buf.put_u8(1);
-            buf.put_i64_le(i);
-        }
-        Const::Num(n) => {
-            buf.put_u8(2);
-            buf.put_f64_le(n.get());
+impl std::error::Error for SnapshotFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotFileError::Io { source, .. } => Some(source),
+            SnapshotFileError::Decode { source, .. } => Some(source),
         }
     }
 }
@@ -237,83 +229,11 @@ pub fn write(ob: &ObjectBase) -> Bytes {
     let mut out = BytesMut::with_capacity(body.len() + 256);
     out.put_slice(MAGIC);
     out.put_u16_le(VERSION);
-    out.put_u32_le(table.ordered.len() as u32);
-    for &sym in &table.ordered {
-        let text = sym.as_str().as_bytes();
-        out.put_u32_le(text.len() as u32);
-        out.put_slice(text);
-    }
+    table.encode_into(&mut out);
     out.put_slice(&body);
-    let sum = checksum(&out);
+    let sum = codec::checksum(&out);
     out.put_u64_le(sum);
     out.freeze()
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    fn need(&self, n: usize) -> Result<(), SnapshotError> {
-        if self.buf.remaining() < n {
-            Err(SnapshotError::Truncated)
-        } else {
-            Ok(())
-        }
-    }
-
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
-        self.need(1)?;
-        Ok(self.buf.get_u8())
-    }
-
-    fn u16(&mut self) -> Result<u16, SnapshotError> {
-        self.need(2)?;
-        Ok(self.buf.get_u16_le())
-    }
-
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
-        self.need(4)?;
-        Ok(self.buf.get_u32_le())
-    }
-
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
-        self.need(8)?;
-        Ok(self.buf.get_u64_le())
-    }
-
-    fn i64(&mut self) -> Result<i64, SnapshotError> {
-        self.need(8)?;
-        Ok(self.buf.get_i64_le())
-    }
-
-    fn f64(&mut self) -> Result<f64, SnapshotError> {
-        self.need(8)?;
-        Ok(self.buf.get_f64_le())
-    }
-
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        self.need(n)?;
-        let (head, tail) = self.buf.split_at(n);
-        self.buf = tail;
-        Ok(head)
-    }
-
-    fn constant(&mut self, symbols: &[Symbol]) -> Result<Const, SnapshotError> {
-        match self.u8()? {
-            0 => {
-                let idx = self.u32()? as usize;
-                let sym =
-                    symbols.get(idx).copied().ok_or(SnapshotError::Corrupt("symbol index"))?;
-                Ok(Const::Sym(sym))
-            }
-            1 => Ok(Const::Int(self.i64()?)),
-            2 => OrderedF64::new(self.f64()?)
-                .map(Const::Num)
-                .ok_or(SnapshotError::Corrupt("NaN constant")),
-            _ => Err(SnapshotError::Corrupt("constant tag")),
-        }
-    }
 }
 
 /// Deserialize a snapshot produced by [`fn@write`].
@@ -324,11 +244,11 @@ pub fn read(data: &[u8]) -> Result<ObjectBase, SnapshotError> {
     }
     let (payload, sum_bytes) = data.split_at(data.len() - 8);
     let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
-    if checksum(payload) != stored {
+    if codec::checksum(payload) != stored {
         return Err(SnapshotError::ChecksumMismatch);
     }
 
-    let mut r = Reader { buf: payload };
+    let mut r = Reader::new(payload);
     if r.bytes(4)? != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
@@ -337,15 +257,7 @@ pub fn read(data: &[u8]) -> Result<ObjectBase, SnapshotError> {
         return Err(SnapshotError::BadVersion(version));
     }
 
-    let nsyms = r.u32()? as usize;
-    let interner = Interner::global();
-    let mut symbols = Vec::with_capacity(nsyms);
-    for _ in 0..nsyms {
-        let len = r.u32()? as usize;
-        let text = std::str::from_utf8(r.bytes(len)?)
-            .map_err(|_| SnapshotError::Corrupt("symbol utf-8"))?;
-        symbols.push(interner.intern(text));
-    }
+    let symbols = codec::read_symbol_table(&mut r)?;
 
     let nfacts = r.u64()? as usize;
     let mut ob = ObjectBase::new();
@@ -366,8 +278,7 @@ pub fn read(data: &[u8]) -> Result<ObjectBase, SnapshotError> {
             };
             chain = chain.push(kind).expect("len checked above");
         }
-        let method =
-            *symbols.get(r.u32()? as usize).ok_or(SnapshotError::Corrupt("method index"))?;
+        let method = read_symbol(&mut r, &symbols)?;
         let nargs = r.u8()? as usize;
         let mut args = Vec::with_capacity(nargs);
         for _ in 0..nargs {
@@ -376,21 +287,35 @@ pub fn read(data: &[u8]) -> Result<ObjectBase, SnapshotError> {
         let result = r.constant(&symbols)?;
         ob.insert(Vid::new(base, chain), method, Args::new(args), result);
     }
-    if !r.buf.is_empty() {
+    if !r.is_empty() {
         return Err(SnapshotError::Corrupt("trailing bytes"));
     }
     Ok(ob)
 }
 
+fn read_symbol(r: &mut Reader<'_>, symbols: &[Symbol]) -> Result<Symbol, SnapshotError> {
+    symbols.get(r.u32()? as usize).copied().ok_or(SnapshotError::Corrupt("method index"))
+}
+
 /// Write a snapshot to a file.
-pub fn save_file(ob: &ObjectBase, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-    std::fs::write(path, write(ob))
+pub fn save_file(ob: &ObjectBase, path: impl AsRef<Path>) -> Result<(), SnapshotFileError> {
+    let path = path.as_ref();
+    std::fs::write(path, write(ob)).map_err(|source| SnapshotFileError::Io {
+        op: "write",
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 /// Load a snapshot from a file.
-pub fn load_file(path: impl AsRef<std::path::Path>) -> std::io::Result<ObjectBase> {
-    let data = std::fs::read(path)?;
-    read(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+pub fn load_file(path: impl AsRef<Path>) -> Result<ObjectBase, SnapshotFileError> {
+    let path = path.as_ref();
+    let data = std::fs::read(path).map_err(|source| SnapshotFileError::Io {
+        op: "read",
+        path: path.to_path_buf(),
+        source,
+    })?;
+    read(&data).map_err(|source| SnapshotFileError::Decode { path: path.to_path_buf(), source })
 }
 
 #[cfg(test)]
@@ -517,7 +442,7 @@ mod tests {
         // Rebuild with a bumped version and a valid checksum.
         let mut bumped = bytes[..bytes.len() - 8].to_vec();
         bumped[4] = 9;
-        let sum = checksum(&bumped);
+        let sum = codec::checksum(&bumped);
         bumped.extend_from_slice(&sum.to_le_bytes());
         assert_eq!(read(&bumped).unwrap_err(), SnapshotError::BadVersion(9));
     }
@@ -531,6 +456,41 @@ mod tests {
         save_file(&ob, &path).unwrap();
         let back = load_file(&path).unwrap();
         assert_eq!(ob, back);
+    }
+
+    #[test]
+    fn file_errors_are_typed_not_stringly() {
+        let dir = std::env::temp_dir().join("ruvo-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file: the I/O context (op + path) survives.
+        let missing = dir.join("does-not-exist.snap");
+        let err = load_file(&missing).unwrap_err();
+        match &err {
+            SnapshotFileError::Io { op, path, source } => {
+                assert_eq!(*op, "read");
+                assert_eq!(path, &missing);
+                assert_eq!(source.kind(), std::io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("does-not-exist.snap"));
+
+        // Damaged file: the typed decode detail survives.
+        let damaged = dir.join("damaged.snap");
+        let mut bytes = write(&sample()).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&damaged, &bytes).unwrap();
+        let err = load_file(&damaged).unwrap_err();
+        match &err {
+            SnapshotFileError::Decode { path, source } => {
+                assert_eq!(path, &damaged);
+                assert_eq!(*source, SnapshotError::ChecksumMismatch);
+            }
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Deterministic commit streams for durability testing: a seeded
+//! sequence of insert/modify/delete programs over an account base,
+//! with a directly-computable expected final state.
+//!
+//! Crash-recovery tests apply a prefix of the stream through a
+//! durable database, kill it, recover, and compare against
+//! [`DurabilityWorkload::state_after`] — the reference state obtained
+//! by applying the same prefix to a plain in-memory database. The
+//! stream mixes all three update kinds and object churn (accounts are
+//! created and destroyed), so recovery is exercised on more than a
+//! monotone counter.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configures [`durability_workload`].
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityConfig {
+    /// Accounts in the seed base.
+    pub accounts: usize,
+    /// Programs (= commits) in the stream.
+    pub commits: usize,
+    /// RNG seed; equal configs generate equal streams.
+    pub seed: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig { accounts: 8, commits: 64, seed: 0xD1CE }
+    }
+}
+
+/// A generated commit stream (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct DurabilityWorkload {
+    /// Object-base text of the seed state.
+    pub base_src: String,
+    /// Program sources to commit, in order. Every program succeeds
+    /// against the state produced by its predecessors.
+    pub programs: Vec<String>,
+}
+
+impl DurabilityWorkload {
+    /// The reference state after committing the first `n` programs:
+    /// the seed base with each program applied through an in-memory
+    /// database. Panics on evaluation errors (the generated stream is
+    /// known-good).
+    pub fn state_after(&self, n: usize) -> ruvo_obase::ObjectBase {
+        let mut db = ruvo_core::Database::open_src(&self.base_src).expect("generated base parses");
+        for src in &self.programs[..n] {
+            db.apply_src(src).expect("generated program applies");
+        }
+        db.current().clone()
+    }
+}
+
+/// Generate a deterministic durability stream for `config`.
+pub fn durability_workload(config: DurabilityConfig) -> DurabilityWorkload {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut base_src = String::new();
+    for a in 0..config.accounts {
+        let balance = 100 * (a as i64 + 1);
+        base_src.push_str(&format!("acct{a}.balance -> {balance}. acct{a}.kind -> live.\n"));
+    }
+
+    let mut programs = Vec::with_capacity(config.commits);
+    // Track which accounts currently exist so generated programs
+    // always fire (deterministic given the seed).
+    let mut live: Vec<usize> = (0..config.accounts).collect();
+    let mut next_fresh = config.accounts;
+    for _ in 0..config.commits {
+        let choice = rng.gen_range(0..10u32);
+        let program = if choice < 5 && !live.is_empty() {
+            // Credit one live account (modify).
+            let a = live[rng.gen_range(0..live.len())];
+            let delta = rng.gen_range(1..50i64);
+            format!(
+                "mod[A].balance -> (B, B2) <= A.kind -> live & \
+                 A.tag -> t{a} & A.balance -> B & B2 = B + {delta}."
+            )
+        } else if choice < 7 {
+            // Open a fresh account (insert on a new object).
+            let a = next_fresh;
+            next_fresh += 1;
+            live.push(a);
+            format!(
+                "ins[acct{a}].balance -> {}. ins[acct{a}].kind -> live. \
+                 ins[acct{a}].tag -> t{a}.",
+                rng.gen_range(10..500i64)
+            )
+        } else if choice < 8 && live.len() > 2 {
+            // Close an account (delete all its methods).
+            let idx = rng.gen_range(0..live.len());
+            let a = live.swap_remove(idx);
+            format!("del[A].* <= A.tag -> t{a}.")
+        } else if !live.is_empty() {
+            // Flag one account (insert on an existing object).
+            let a = live[rng.gen_range(0..live.len())];
+            format!("ins[A].flagged -> 1 <= A.tag -> t{a} & not A.flagged -> 1.")
+        } else {
+            // Degenerate fallback: open account 0 again.
+            let a = next_fresh;
+            next_fresh += 1;
+            live.push(a);
+            format!(
+                "ins[acct{a}].balance -> 1. ins[acct{a}].kind -> live. ins[acct{a}].tag -> t{a}."
+            )
+        };
+        programs.push(program);
+    }
+
+    // Seed accounts need tags for the generated rules to target them.
+    let mut tagged = String::new();
+    for a in 0..config.accounts {
+        tagged.push_str(&format!("acct{a}.tag -> t{a}.\n"));
+    }
+    base_src.push_str(&tagged);
+
+    DurabilityWorkload { base_src, programs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_applies_cleanly() {
+        let config = DurabilityConfig { accounts: 4, commits: 24, seed: 7 };
+        let w1 = durability_workload(config);
+        let w2 = durability_workload(config);
+        assert_eq!(w1.programs, w2.programs);
+        assert_eq!(w1.base_src, w2.base_src);
+        // Every prefix state is computable (programs are known-good).
+        let full = w1.state_after(w1.programs.len());
+        let half = w1.state_after(w1.programs.len() / 2);
+        assert_ne!(full, half, "the stream must actually change state");
+    }
+
+    #[test]
+    fn default_config_generates_all_update_kinds() {
+        let w = durability_workload(DurabilityConfig::default());
+        assert!(w.programs.iter().any(|p| p.starts_with("mod[")));
+        assert!(w.programs.iter().any(|p| p.starts_with("ins[")));
+        assert!(w.programs.iter().any(|p| p.starts_with("del[")));
+    }
+}

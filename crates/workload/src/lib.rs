@@ -11,12 +11,14 @@
 //! [`rand::rngs::SmallRng`]), so benchmark runs and property tests are
 //! reproducible.
 
+pub mod durability;
 pub mod enterprise;
 pub mod family;
 pub mod programs;
 pub mod random;
 pub mod serving;
 
+pub use durability::{durability_workload, DurabilityConfig, DurabilityWorkload};
 pub use enterprise::{Enterprise, EnterpriseConfig};
 pub use family::{Family, FamilyConfig};
 pub use programs::{

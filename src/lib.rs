@@ -58,6 +58,14 @@
 //! ));
 //! ```
 //!
+//! ### Durability
+//!
+//! [`Database::open_dir`] opens a database that survives the process:
+//! commits append to a checksummed write-ahead log (fsynced before
+//! the caller is acknowledged), checkpoints bound recovery time, and
+//! reopening the directory replays exactly the acknowledged history —
+//! see `ruvo::core::store` for the engine and the crash matrix.
+//!
 //! ### Migrating from the pre-`Database` API
 //!
 //! The one-shot shape `UpdateEngine::new(program).run(&ob)` still
@@ -76,15 +84,17 @@ pub use ruvo_term as term;
 pub use ruvo_workload as workload;
 
 pub use ruvo_core::{
-    Applied, Database, DatabaseBuilder, Error, ErrorKind, Prepared, ServingDatabase, Transaction,
+    Applied, CheckpointPolicy, Database, DatabaseBuilder, Error, ErrorKind, FsyncPolicy, Prepared,
+    ServingDatabase, Transaction,
 };
 pub use ruvo_obase::Snapshot;
 
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use ruvo_core::{
-        Applied, Database, DatabaseBuilder, EngineConfig, Error, ErrorKind, EvalError, Outcome,
-        Prepared, ServingDatabase, Session, Stratification, Transaction, UpdateEngine,
+        Applied, CheckpointPolicy, Database, DatabaseBuilder, EngineConfig, Error, ErrorKind,
+        EvalError, FsyncPolicy, Outcome, Prepared, ServingDatabase, Session, Stratification,
+        Transaction, UpdateEngine,
     };
     pub use ruvo_lang::{Program, Rule};
     pub use ruvo_obase::{MethodApp, ObjectBase, Snapshot};

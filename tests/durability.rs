@@ -1,0 +1,413 @@
+//! End-to-end durability: WAL + checkpoints behind the commit
+//! pipeline. Everything here goes through the public facade —
+//! `Database::open_dir`, `into_serving_durable`, `DatabaseBuilder`
+//! knobs — and asserts the crash contract: acknowledged commits are
+//! never lost, torn tails are dropped cleanly, aborted transactions
+//! leave no trace.
+
+use ruvo::core::store::{self, CheckpointPolicy, FsyncPolicy};
+use ruvo::prelude::*;
+use ruvo::workload::{durability_workload, DurabilityConfig};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruvo-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const CREDIT: &str = "mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 50.";
+
+#[test]
+fn open_dir_recovers_acknowledged_commits() {
+    let dir = tmp_dir("basic");
+    {
+        let mut db = Database::builder()
+            .data_dir(&dir)
+            .seed_src("acct.balance -> 100.")
+            .unwrap()
+            .open_dir()
+            .unwrap();
+        assert!(db.is_durable());
+        let credit = db.prepare(CREDIT).unwrap();
+        db.apply(&credit).unwrap();
+        db.apply(&credit).unwrap();
+        // Dropped without any shutdown hook: everything acknowledged
+        // must already be on disk.
+    }
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(200)]);
+    // And the recovered database keeps committing durably.
+    let mut db = db;
+    db.apply_src(CREDIT).unwrap();
+    drop(db);
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(250)]);
+}
+
+#[test]
+fn seed_applies_only_to_a_fresh_directory() {
+    let dir = tmp_dir("seed");
+    {
+        let mut db =
+            Database::builder().data_dir(&dir).seed_src("a.p -> 1.").unwrap().open_dir().unwrap();
+        db.apply_src("ins[a].q -> 2.").unwrap();
+    }
+    // Reopening with a different seed must NOT reset the state.
+    let db =
+        Database::builder().data_dir(&dir).seed_src("other.p -> 9.").unwrap().open_dir().unwrap();
+    assert_eq!(db.current().lookup1(oid("a"), "q"), vec![int(2)]);
+    assert!(db.current().lookup1(oid("other"), "p").is_empty());
+}
+
+#[test]
+fn recovered_state_equals_reference_for_a_mixed_stream() {
+    // The seeded workload mixes ins/mod/del with object churn; the
+    // recovered state must be exactly the reference (in-memory)
+    // result of the same prefix.
+    let workload = durability_workload(DurabilityConfig { accounts: 5, commits: 40, seed: 42 });
+    let dir = tmp_dir("mixed-stream");
+    {
+        let mut db = Database::builder()
+            .data_dir(&dir)
+            .seed(ruvo::obase::ObjectBase::parse(&workload.base_src).unwrap())
+            .open_dir()
+            .unwrap();
+        for src in &workload.programs {
+            db.apply_src(src).unwrap();
+        }
+    }
+    let recovered = Database::open_dir(&dir).unwrap();
+    assert_eq!(recovered.current(), &workload.state_after(workload.programs.len()));
+}
+
+#[test]
+fn torn_wal_tail_is_dropped_cleanly() {
+    let dir = tmp_dir("torn-tail");
+    {
+        let mut db = Database::builder()
+            .data_dir(&dir)
+            .seed_src("acct.balance -> 100.")
+            .unwrap()
+            .open_dir()
+            .unwrap();
+        db.apply_src(CREDIT).unwrap();
+        db.apply_src(CREDIT).unwrap();
+    }
+    // Simulate a crash mid-append: garbage bytes after the last
+    // durable record.
+    let wal = dir.join(store::WAL_FILE);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0x77; 21]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(200)]);
+}
+
+#[test]
+fn bit_flip_in_the_wal_loses_only_a_suffix_and_never_panics() {
+    let dir = tmp_dir("bit-flip");
+    {
+        let mut db = Database::builder()
+            .data_dir(&dir)
+            .seed_src("acct.balance -> 0.")
+            .unwrap()
+            .open_dir()
+            .unwrap();
+        let bump = db.prepare("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 1.").unwrap();
+        for _ in 0..4 {
+            db.apply(&bump).unwrap();
+        }
+    }
+    let wal = dir.join(store::WAL_FILE);
+    let pristine = std::fs::read(&wal).unwrap();
+    // Flip one bit at a sample of positions across the whole file.
+    for byte in (10..pristine.len()).step_by(11) {
+        let mut damaged = pristine.clone();
+        damaged[byte] ^= 0x04;
+        std::fs::write(&wal, &damaged).unwrap();
+        match Database::open_dir(&dir) {
+            Ok(db) => {
+                // Some valid prefix of the four commits.
+                let bal = db.current().lookup1(oid("acct"), "balance");
+                assert_eq!(bal.len(), 1, "flip at {byte}: torn state");
+                match bal[0] {
+                    Const::Int(v) => assert!((0..=4).contains(&v), "flip at {byte}: balance {v}"),
+                    other => panic!("flip at {byte}: non-integer balance {other}"),
+                }
+            }
+            // Header damage is a typed error, never a panic.
+            Err(e) => assert_eq!(e.kind(), ErrorKind::Storage, "flip at {byte}"),
+        }
+    }
+    // NB: Database::open_dir truncates damaged tails, so restore the
+    // pristine WAL last to leave the fixture consistent.
+    std::fs::write(&wal, &pristine).unwrap();
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(4)]);
+}
+
+#[test]
+fn future_format_versions_are_rejected_with_a_clear_message() {
+    let dir = tmp_dir("future");
+    {
+        let mut db =
+            Database::builder().data_dir(&dir).seed_src("a.p -> 1.").unwrap().open_dir().unwrap();
+        db.apply_src("ins[a].q -> 1.").unwrap();
+    }
+    let wal = dir.join(store::WAL_FILE);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes[8] = 0xEE; // version u16 at offset 8
+    std::fs::write(&wal, &bytes).unwrap();
+    let err = Database::open_dir(&dir).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Storage);
+    let msg = err.to_string();
+    assert!(msg.contains("version") && msg.contains("newer ruvo"), "got: {msg}");
+}
+
+#[test]
+fn checkpoint_policy_folds_the_log() {
+    let dir = tmp_dir("ckpt-policy");
+    {
+        let mut db = Database::builder()
+            .data_dir(&dir)
+            .checkpoint_policy(CheckpointPolicy { max_wal_records: 3, max_wal_bytes: u64::MAX })
+            .seed_src("acct.balance -> 0.")
+            .unwrap()
+            .open_dir()
+            .unwrap();
+        let bump = db.prepare("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 1.").unwrap();
+        for _ in 0..7 {
+            db.apply(&bump).unwrap();
+        }
+    }
+    // 7 commits with a 3-record threshold: two checkpoints happened,
+    // one record remains in the log.
+    let state = store::read_state(dir.as_path()).unwrap();
+    let ckpt = state.checkpoint.expect("checkpoint written by policy");
+    assert_eq!(ckpt.seq, 6);
+    assert_eq!(state.records.len(), 1);
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(7)]);
+}
+
+#[test]
+fn explicit_checkpoint_empties_the_wal() {
+    let dir = tmp_dir("ckpt-explicit");
+    let mut db = Database::builder()
+        .data_dir(&dir)
+        .seed_src("acct.balance -> 100.")
+        .unwrap()
+        .open_dir()
+        .unwrap();
+    db.apply_src(CREDIT).unwrap();
+    db.checkpoint().unwrap();
+    let state = store::read_state(dir.as_path()).unwrap();
+    assert!(state.records.is_empty(), "wal folded into the checkpoint");
+    assert_eq!(
+        state.checkpoint.expect("exists").base.lookup1(oid("acct"), "balance"),
+        vec![int(150)]
+    );
+    drop(db);
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(150)]);
+}
+
+#[test]
+fn transact_is_one_wal_record_and_aborts_leave_no_trace() {
+    let dir = tmp_dir("transact");
+    let mut db = Database::builder()
+        .data_dir(&dir)
+        .seed_src("acct.balance -> 100.")
+        .unwrap()
+        .open_dir()
+        .unwrap();
+    let credit = db.prepare(CREDIT).unwrap();
+    db.transact(|txn| {
+        txn.apply(&credit)?;
+        txn.apply(&credit)?;
+        Ok(())
+    })
+    .unwrap();
+    let state = store::read_state(dir.as_path()).unwrap();
+    assert_eq!(state.records.len(), 1, "whole transact block = one record");
+    assert_eq!(state.records[0].programs.len(), 2);
+
+    // An aborted block must leave the log untouched.
+    let err = db.transact(|txn| {
+        txn.apply(&credit)?;
+        txn.apply_src("this does not parse")?;
+        Ok(())
+    });
+    assert!(err.is_err());
+    let state = store::read_state(dir.as_path()).unwrap();
+    assert_eq!(state.records.len(), 1, "aborted transact appended nothing");
+    drop(db);
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(200)]);
+}
+
+#[test]
+fn rollback_rewinds_the_durable_image() {
+    let dir = tmp_dir("rollback");
+    let mut db = Database::builder()
+        .data_dir(&dir)
+        .seed_src("acct.balance -> 100.")
+        .unwrap()
+        .open_dir()
+        .unwrap();
+    let sp = db.savepoint();
+    db.apply_src(CREDIT).unwrap();
+    db.apply_src(CREDIT).unwrap();
+    db.rollback_to(sp).unwrap();
+    db.apply_src(CREDIT).unwrap();
+    drop(db);
+    // Recovery must see 100 + 50, not 100 + 150: the rolled-back
+    // commits are unreachable behind the rewind checkpoint.
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(150)]);
+}
+
+#[test]
+fn serving_database_group_commit_is_durable() {
+    let dir = tmp_dir("serving");
+    let db = Database::open_src("acct.balance -> 0.").unwrap().into_serving_durable(&dir).unwrap();
+    let bump = db.prepare("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 1.").unwrap();
+    const THREADS: usize = 4;
+    const EACH: usize = 5;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let handle = db.clone();
+            let bump = bump.clone();
+            s.spawn(move || {
+                for _ in 0..EACH {
+                    handle.apply(&bump).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(db.commits(), THREADS * EACH);
+    // Group commit folded concurrent writers into fewer records than
+    // transactions (at minimum it cannot exceed one record per commit).
+    let state = store::read_state(dir.as_path()).unwrap();
+    let programs: usize = state.records.iter().map(|r| r.programs.len()).sum();
+    assert_eq!(programs as u64 + state.checkpoint.map_or(0, |c| c.seq), (THREADS * EACH) as u64);
+    drop(db);
+
+    let recovered = Database::open_dir(&dir).unwrap();
+    assert_eq!(
+        recovered.current().lookup1(oid("acct"), "balance"),
+        vec![int((THREADS * EACH) as i64)]
+    );
+}
+
+#[test]
+fn serving_transact_and_checkpoint_are_durable() {
+    let dir = tmp_dir("serving-transact");
+    let db =
+        Database::open_src("acct.balance -> 100.").unwrap().into_serving_durable(&dir).unwrap();
+    let credit = db.prepare(CREDIT).unwrap();
+    db.transact(|txn| {
+        txn.apply(&credit)?;
+        txn.apply(&credit)?;
+        Ok(())
+    })
+    .unwrap();
+    db.checkpoint().unwrap();
+    let state = store::read_state(dir.as_path()).unwrap();
+    assert!(state.records.is_empty());
+    drop(db);
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(200)]);
+}
+
+#[test]
+fn into_serving_durable_refuses_an_existing_directory() {
+    let dir = tmp_dir("refuse-existing");
+    {
+        let mut db =
+            Database::builder().data_dir(&dir).seed_src("a.p -> 1.").unwrap().open_dir().unwrap();
+        db.apply_src("ins[a].q -> 1.").unwrap();
+    }
+    let err = Database::open_src("b.p -> 2.").unwrap().into_serving_durable(&dir).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Storage);
+    assert!(err.to_string().contains("already contains"), "got: {err}");
+}
+
+#[test]
+fn cloning_a_durable_database_forks_volatile() {
+    let dir = tmp_dir("clone-volatile");
+    let mut db = Database::builder()
+        .data_dir(&dir)
+        .seed_src("acct.balance -> 100.")
+        .unwrap()
+        .open_dir()
+        .unwrap();
+    let mut fork = db.clone();
+    assert!(!fork.is_durable(), "clones must not share the WAL");
+    fork.apply_src(CREDIT).unwrap();
+    db.apply_src(CREDIT).unwrap();
+    drop((db, fork));
+    // Only the original's commit recovered.
+    let db = Database::open_dir(&dir).unwrap();
+    assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(150)]);
+}
+
+#[test]
+fn runtime_stability_programs_replay_under_their_compiled_policy() {
+    // A program accepted only under CyclePolicy::RuntimeStability must
+    // recover even though the reopening config defaults to Reject: the
+    // WAL records the policy per program.
+    let dir = tmp_dir("cycle-policy");
+    let cyclic = "
+        r1: del[ins(X)].m -> 1 <= ins(X).m -> 1 & ins(X).go -> 1.
+        r2: ins[X].go -> 1 <= X.trigger -> 1 & not del[ins(X)].m -> 9.
+    ";
+    {
+        let mut db = Database::builder()
+            .cycle_policy(ruvo::core::CyclePolicy::RuntimeStability)
+            .data_dir(&dir)
+            .seed_src("a.m -> 1. a.trigger -> 1.")
+            .unwrap()
+            .open_dir()
+            .unwrap();
+        let prepared = db.prepare(cyclic).unwrap();
+        db.apply(&prepared).unwrap();
+    }
+    let db = Database::open_dir(&dir).unwrap(); // default policy: Reject
+    assert_eq!(db.current().lookup1(oid("a"), "go"), vec![int(1)]);
+    assert!(db.current().lookup1(oid("a"), "m").is_empty());
+}
+
+#[test]
+fn fsync_policies_all_recover_after_clean_drop() {
+    for (tag, policy) in [
+        ("always", FsyncPolicy::Always),
+        ("every4", FsyncPolicy::EveryN(4)),
+        ("never", FsyncPolicy::Never),
+    ] {
+        let dir = tmp_dir(&format!("fsync-{tag}"));
+        {
+            let mut db = Database::builder()
+                .data_dir(&dir)
+                .fsync(policy)
+                .seed_src("acct.balance -> 100.")
+                .unwrap()
+                .open_dir()
+                .unwrap();
+            for _ in 0..6 {
+                db.apply_src(CREDIT).unwrap();
+            }
+        }
+        let db = Database::open_dir(&dir).unwrap();
+        assert_eq!(db.current().lookup1(oid("acct"), "balance"), vec![int(400)], "policy {tag}");
+    }
+}
+
+#[test]
+fn open_dir_without_data_dir_is_a_typed_misuse() {
+    let err = Database::builder().open_dir().unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Storage);
+    assert!(err.to_string().contains("data_dir"), "got: {err}");
+}

@@ -436,3 +436,114 @@ fn head_swap_vs_snapshot_deterministic_interleaving() {
     assert_eq!(db.snapshot().lookup1(oid("acct"), "balance"), vec![int(150)]);
     assert_eq!(db.epoch(), 1);
 }
+
+// ----- storage layer -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Binary snapshots round-trip bit-identically: decode recovers
+    /// the exact base, and re-encoding the decoded base reproduces
+    /// the exact bytes (facts are serialized in canonical order, so
+    /// the encoding is independent of insertion history and of
+    /// copy-on-write sharing).
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical(seed in 0u64..5000, facts in 0usize..120) {
+        let ob = random_object_base(RandomConfig { seed, facts, ..Default::default() });
+        let bytes = ruvo::obase::snapshot::write(&ob);
+        let back = ruvo::obase::snapshot::read(&bytes).unwrap();
+        prop_assert_eq!(&back, &ob);
+        prop_assert_eq!(ruvo::obase::snapshot::write(&back), bytes);
+    }
+
+    /// Truncating a snapshot anywhere yields a typed error — never a
+    /// panic, never a silently partial base.
+    #[test]
+    fn snapshot_truncation_always_errors(seed in 0u64..5000, cut_permille in 0usize..1000) {
+        let ob = random_object_base(RandomConfig { seed, facts: 40, ..Default::default() });
+        let bytes = ruvo::obase::snapshot::write(&ob);
+        let cut = (bytes.len() - 1) * cut_permille / 1000;
+        prop_assert!(ruvo::obase::snapshot::read(&bytes[..cut]).is_err());
+    }
+
+    /// A single bit flip anywhere in a snapshot is detected.
+    #[test]
+    fn snapshot_bit_flip_always_errors(
+        seed in 0u64..5000,
+        pos_permille in 0usize..1000,
+        bit in 0u8..8,
+    ) {
+        let ob = random_object_base(RandomConfig { seed, facts: 40, ..Default::default() });
+        let mut bytes = ruvo::obase::snapshot::write(&ob).to_vec();
+        let pos = (bytes.len() - 1) * pos_permille / 1000;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(ruvo::obase::snapshot::read(&bytes).is_err());
+    }
+
+    /// WAL-style record frames round-trip arbitrary payload sequences,
+    /// and any truncation of the stream yields the longest valid
+    /// prefix plus a typed error — never a panic.
+    #[test]
+    fn record_frames_roundtrip_and_truncate_cleanly(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..64), 0..8),
+        cut_permille in 0usize..1000,
+    ) {
+        use ruvo::obase::codec::{append_frame, Frames};
+        let mut stream = Vec::new();
+        for p in &payloads {
+            append_frame(&mut stream, p);
+        }
+        let decoded: Vec<Vec<u8>> =
+            Frames::new(&stream).map(|f| f.unwrap().to_vec()).collect();
+        prop_assert_eq!(&decoded, &payloads);
+
+        let cut = stream.len() * cut_permille / 1000;
+        let mut frames = Frames::new(&stream[..cut]);
+        let mut valid = 0usize;
+        for frame in &mut frames {
+            match frame {
+                Ok(_) => valid += 1,
+                Err(_) => break,
+            }
+        }
+        prop_assert!(valid <= payloads.len());
+        prop_assert!(frames.good_offset() <= cut);
+    }
+}
+
+/// A durable database recovers the workload stream's exact reference
+/// state for every prefix length (the WAL is a faithful update
+/// sequence in the paper's sense).
+#[test]
+fn recovery_matches_reference_at_every_checkpoint_policy() {
+    use ruvo::core::store::CheckpointPolicy;
+    use ruvo::workload::{durability_workload, DurabilityConfig};
+
+    let workload = durability_workload(DurabilityConfig { accounts: 4, commits: 18, seed: 9 });
+    for max_records in [1u64, 4, u64::MAX] {
+        let dir = std::env::temp_dir()
+            .join(format!("ruvo-prop-recovery-{max_records}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = Database::builder()
+                .data_dir(&dir)
+                .checkpoint_policy(CheckpointPolicy {
+                    max_wal_records: max_records,
+                    max_wal_bytes: u64::MAX,
+                })
+                .seed(ObjectBase::parse(&workload.base_src).unwrap())
+                .open_dir()
+                .unwrap();
+            for src in &workload.programs {
+                db.apply_src(src).unwrap();
+            }
+        }
+        let recovered = Database::open_dir(&dir).unwrap();
+        assert_eq!(
+            recovered.current(),
+            &workload.state_after(workload.programs.len()),
+            "checkpoint policy max_records={max_records}"
+        );
+    }
+}
