@@ -1,7 +1,9 @@
 //! `ruvo` — command-line driver for update-programs.
 //!
 //! ```text
-//! ruvo check   <program.ruvo>                 validate + stratify
+//! ruvo check   <program.ruvo> [--json]        static analysis: validate,
+//!                                              stratify, lint (conflicts,
+//!                                              dead rules, cycle policy)
 //! ruvo explain <program.ruvo>                 stratification constraints
 //! ruvo fmt     <program.ruvo>                 pretty-print
 //! ruvo run     <program.ruvo> <base.ob>       evaluate and print ob′
@@ -36,7 +38,7 @@ use ruvo_obase::ObjectBase;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ruvo check   <program.ruvo>\n  ruvo explain <program.ruvo>\n  \
+        "usage:\n  ruvo check   <program.ruvo> [--json]\n  ruvo explain <program.ruvo>\n  \
          ruvo fmt     <program.ruvo>\n  ruvo run     <program.ruvo> <base.ob> \
          [--result] [--stats] [--trace] [--no-linearity] [--naive] [--parallel] [--dynamic]\n  \
          ruvo serve   <base.ob> <program.ruvo> [--readers N] [--commits K] \
@@ -67,24 +69,24 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else { return usage() };
     match command.as_str() {
         "check" => {
-            let Some(path) = args.get(1) else { return usage() };
-            let program = match load_program(path) {
-                Ok(p) => p,
-                Err(code) => return code,
-            };
-            let rules = program.len();
-            match Prepared::compile(program, CyclePolicy::Reject) {
-                Ok(prepared) => {
-                    let strat = prepared.stratification();
-                    println!("{} rules, {} strata", rules, strat.len());
-                    println!("stratification: {strat}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
+            let mut json = false;
+            let mut path = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    p if path.is_none() && !p.starts_with("--") => path = Some(p),
+                    other => {
+                        eprintln!("error: unknown argument {other}");
+                        return usage();
+                    }
                 }
             }
+            let Some(path) = path else { return usage() };
+            let src = match read(path) {
+                Ok(src) => src,
+                Err(code) => return code,
+            };
+            check_command(path, &src, json)
         }
         "explain" => {
             let Some(path) = args.get(1) else { return usage() };
@@ -337,6 +339,73 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `ruvo check`: run the full static-analysis pass over one program
+/// and print rustc-style diagnostics (or a JSON report with `--json`).
+/// Exits with failure exactly when an error-severity diagnostic —
+/// syntax, validation, safety, or a denied lint — rejects the program.
+fn check_command(path: &str, src: &str, json: bool) -> ExitCode {
+    use ruvo_core::check;
+    use ruvo_lang::analysis;
+
+    let report = check::check_source(src, CyclePolicy::Reject);
+    let (errors, warnings) = report.diagnostics.iter().fold((0usize, 0usize), |(e, w), d| {
+        if d.is_error() {
+            (e + 1, w)
+        } else {
+            (e, w + 1)
+        }
+    });
+
+    if json {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"file\":\"{}\",", analysis::json_escape(path)));
+        match &report.compiled {
+            Some(compiled) => {
+                let strat = compiled.stratification();
+                out.push_str(&format!(
+                    "\"rules\":{},\"strata\":{},\"all_commute\":{},",
+                    compiled.program().len(),
+                    strat.len(),
+                    compiled.commutativity().all_commute()
+                ));
+            }
+            None => out.push_str("\"rules\":null,\"strata\":null,\"all_commute\":null,"),
+        }
+        out.push_str(&format!(
+            "\"errors\":{errors},\"warnings\":{warnings},\"diagnostics\":{}}}",
+            analysis::json_array(&report.diagnostics)
+        ));
+        println!("{out}");
+    } else {
+        if let Some(compiled) = &report.compiled {
+            let strat = compiled.stratification();
+            println!("{path}: {} rules, {} strata", compiled.program().len(), strat.len());
+            println!("stratification: {strat}");
+            let matrix = compiled.commutativity();
+            if matrix.all_commute() {
+                println!("commutativity: all same-stratum pairs commute");
+            } else {
+                let conflicts = matrix.pairs_with(check::Commutativity::Conflicts).len();
+                let unknown = matrix.pairs_with(check::Commutativity::Unknown).len();
+                println!("commutativity: {conflicts} conflicting, {unknown} undecided pair(s)");
+            }
+        }
+        let rendered = analysis::render_all(&report.diagnostics, Some(src), Some(path));
+        if !rendered.is_empty() {
+            eprint!("{rendered}");
+        }
+        match (errors, warnings) {
+            (0, 0) => println!("ok: no diagnostics"),
+            (e, w) => eprintln!("{e} error(s), {w} warning(s)"),
+        }
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -21,6 +21,7 @@ commands:
   :history <object>   version history of <object> in the last transaction
   :run <file>         apply a program file as a transaction
   :strata <file>      show the stratification of a program file
+  :check <file>       static analysis: lints, conflicts, dead rules
   :savepoint          create a savepoint
   :rollback <n>       roll back to savepoint n
   :log                list committed transactions
@@ -156,6 +157,36 @@ pub fn run(
                             Ok(s) => writeln!(out, "{s}")?,
                         },
                     },
+                },
+                ("check", Some(path)) => match std::fs::read_to_string(path) {
+                    Err(e) => writeln!(out, "! cannot read {path}: {e}")?,
+                    Ok(src) => {
+                        let report =
+                            ruvo_core::check::check_source(&src, ruvo_core::CyclePolicy::Reject);
+                        if let Some(compiled) = &report.compiled {
+                            writeln!(
+                                out,
+                                "{} rules, {} strata; commutativity: {}",
+                                compiled.program().len(),
+                                compiled.stratification().len(),
+                                if compiled.commutativity().all_commute() {
+                                    "all same-stratum pairs commute"
+                                } else {
+                                    "some pairs conflict or are undecided"
+                                }
+                            )?;
+                        }
+                        if report.diagnostics.is_empty() {
+                            writeln!(out, "ok: no diagnostics")?;
+                        } else {
+                            let rendered = ruvo_lang::analysis::render_all(
+                                &report.diagnostics,
+                                Some(&src),
+                                Some(path),
+                            );
+                            write!(out, "{rendered}")?;
+                        }
+                    }
                 },
                 ("savepoint", _) => {
                     let id = db.savepoint();

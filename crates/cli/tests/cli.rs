@@ -39,6 +39,45 @@ fn check_reports_strata() {
 }
 
 #[test]
+fn check_flags_write_write_conflict_with_span() {
+    let dir = std::env::temp_dir().join("ruvo-cli-check-ww");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(
+        &dir,
+        "ww.ruvo",
+        "r1: mod[X].price -> (P, 1) <= X.price -> P.\n\
+         r2: mod[X].price -> (P, 2) <= X.price -> P.\n",
+    );
+    // Warning severity: the check still succeeds, but reports the pair.
+    let out = ruvo(&["check", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("warning[write-write-conflict]"), "got: {stderr}");
+    assert!(stderr.contains("ww.ruvo:2:1"), "diagnostic must be spanned, got: {stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 conflicting"), "got: {stdout}");
+}
+
+#[test]
+fn check_json_is_machine_readable() {
+    let dir = std::env::temp_dir().join("ruvo-cli-check-json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = write_file(&dir, "p.ruvo", ENTERPRISE);
+    let out = ruvo(&["check", "--json", clean.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"rules\":4,\"strata\":3,\"all_commute\":true"), "got: {stdout}");
+    assert!(stdout.contains("\"diagnostics\":[]"), "got: {stdout}");
+
+    let bad = write_file(&dir, "bad.ruvo", "ins[x].exists -> x.");
+    let out = ruvo(&["check", "--json", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"lint\":\"exists-update\""), "got: {stdout}");
+    assert!(stdout.contains("\"severity\":\"error\""), "got: {stdout}");
+}
+
+#[test]
 fn run_produces_new_object_base() {
     let dir = std::env::temp_dir().join("ruvo-cli-run");
     std::fs::create_dir_all(&dir).unwrap();
@@ -101,7 +140,8 @@ fn parse_errors_are_reported() {
     let out = ruvo(&["check", prog.to_str().unwrap()]);
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("parse error"), "got: {stderr}");
+    assert!(stderr.contains("error[syntax]"), "got: {stderr}");
+    assert!(stderr.contains("bad.ruvo:1:13"), "diagnostic must carry a span, got: {stderr}");
 }
 
 #[test]
@@ -205,6 +245,24 @@ ins[x].p -> 1.
     assert!(stdout.contains("! parse error"), "got: {stdout}");
     assert!(stdout.contains("! unknown command"), "got: {stdout}");
     assert!(stdout.contains("ok: txn #0"), "got: {stdout}");
+}
+
+#[test]
+fn repl_check_command() {
+    let dir = std::env::temp_dir().join("ruvo-cli-repl-check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(
+        &dir,
+        "ww.ruvo",
+        "r1: mod[X].price -> (P, 1) <= X.price -> P.\n\
+         r2: mod[X].price -> (P, 2) <= X.price -> P.\n",
+    );
+    let script = format!(":check {}\n:quit\n", prog.display());
+    let out = ruvo_stdin(&["repl"], &script);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 rules, 1 strata"), "got: {stdout}");
+    assert!(stdout.contains("warning[write-write-conflict]"), "got: {stdout}");
 }
 
 #[test]

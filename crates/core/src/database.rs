@@ -40,7 +40,7 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use ruvo_lang::{LangError, ParseError, Program, SafetyError, ValidateError};
+use ruvo_lang::{Diagnostic, LangError, Lint, ParseError, Program, SafetyError, ValidateError};
 use ruvo_obase::{LinearityViolation, ObjectBase, Snapshot, SnapshotError, SnapshotFileError};
 
 use crate::engine::{CompiledProgram, CyclePolicy, EngineConfig, Outcome, TraceLevel};
@@ -95,6 +95,9 @@ pub enum ErrorKind {
     /// The serving layer's single writer was poisoned by a panic in an
     /// earlier commit batch (see [`crate::ServingDatabase`]).
     Poisoned,
+    /// A lint denied via [`DatabaseBuilder::deny_lints`] fired during
+    /// [`Database::prepare`].
+    Lint,
 }
 
 impl fmt::Display for ErrorKind {
@@ -111,6 +114,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Snapshot => "snapshot",
             ErrorKind::Storage => "storage",
             ErrorKind::Poisoned => "poisoned",
+            ErrorKind::Lint => "lint",
         };
         f.write_str(name)
     }
@@ -160,6 +164,12 @@ pub enum Error {
     /// lock; reads keep working off the last published head, but the
     /// writer must be reopened (see [`crate::ServingDatabase`]).
     PoisonedWriter,
+    /// Lints denied via [`DatabaseBuilder::deny_lints`] fired during
+    /// [`Database::prepare`]; every denied finding is included.
+    DeniedLint {
+        /// The denied diagnostics, severity upgraded to error.
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl Error {
@@ -177,6 +187,7 @@ impl Error {
             Error::Snapshot(_) => ErrorKind::Snapshot,
             Error::Storage(_) => ErrorKind::Storage,
             Error::PoisonedWriter => ErrorKind::Poisoned,
+            Error::DeniedLint { .. } => ErrorKind::Lint,
         }
     }
 }
@@ -197,6 +208,13 @@ impl fmt::Display for Error {
                 "serving writer poisoned by a panicked commit batch; \
                  reads still serve the last published head",
             ),
+            Error::DeniedLint { diagnostics } => {
+                write!(f, "denied lint")?;
+                for (i, d) in diagnostics.iter().enumerate() {
+                    write!(f, "{} {d}", if i == 0 { ":" } else { ";" })?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -299,14 +317,20 @@ impl From<SnapshotFileError> for Error {
 #[derive(Clone, Debug)]
 pub struct Prepared {
     compiled: Arc<CompiledProgram>,
+    /// The static-analysis report computed alongside compilation
+    /// (see [`crate::check`]); shared so cloning stays O(1).
+    report: Arc<crate::check::CheckReport>,
 }
 
 impl Prepared {
     /// Compile `program` under `cycles` (standalone entry point; most
-    /// callers use [`Database::prepare`]).
+    /// callers use [`Database::prepare`]). The full static analysis
+    /// runs once here; its findings are attached as
+    /// [`Prepared::warnings`].
     pub fn compile(program: Program, cycles: CyclePolicy) -> Result<Prepared, Error> {
         let compiled = CompiledProgram::compile(program, cycles)?;
-        Ok(Prepared { compiled: Arc::new(compiled) })
+        let report = Arc::new(crate::check::check(&compiled));
+        Ok(Prepared { compiled: Arc::new(compiled), report })
     }
 
     /// The underlying program.
@@ -324,6 +348,20 @@ impl Prepared {
         self.compiled.cycle_policy()
     }
 
+    /// Advisory findings from the static analysis (`ruvo check`'s
+    /// report): write-write conflicts, dead rules, arity mismatches,
+    /// duplicate rules, cycle-policy advisories.
+    /// [`DatabaseBuilder::deny_lints`] turns selected ones into
+    /// [`Database::prepare`] errors.
+    pub fn warnings(&self) -> &[Diagnostic] {
+        &self.report.diagnostics
+    }
+
+    /// The rule×rule commutativity matrix (see [`crate::check`]).
+    pub fn commutativity(&self) -> &crate::check::CommutativityMatrix {
+        &self.report.commutativity
+    }
+
     pub(crate) fn compiled(&self) -> &CompiledProgram {
         &self.compiled
     }
@@ -339,6 +377,7 @@ pub struct DatabaseBuilder {
     fsync: FsyncPolicy,
     checkpoint: CheckpointPolicy,
     seed: Option<ObjectBase>,
+    deny: Vec<Lint>,
 }
 
 impl DatabaseBuilder {
@@ -347,6 +386,34 @@ impl DatabaseBuilder {
     pub fn cycle_policy(mut self, policy: CyclePolicy) -> Self {
         self.config.cycles = policy;
         self
+    }
+
+    /// Promote static-analysis lints to [`Database::prepare`] errors:
+    /// a program triggering any of them fails with
+    /// [`ErrorKind::Lint`] instead of carrying warnings.
+    ///
+    /// ```
+    /// use ruvo_core::Database;
+    /// use ruvo_lang::Lint;
+    ///
+    /// let db = Database::builder()
+    ///     .deny_lints([Lint::WriteWriteConflict, Lint::DeadRule])
+    ///     .open_src("o.m -> a.")
+    ///     .unwrap();
+    /// let err = db.prepare(
+    ///     "r1: mod[X].m -> (V, 1) <= X.m -> V.
+    ///      r2: mod[X].m -> (V, 2) <= X.m -> V.",
+    /// ).unwrap_err();
+    /// assert_eq!(err.kind(), ruvo_core::ErrorKind::Lint);
+    /// ```
+    pub fn deny_lints(mut self, lints: impl IntoIterator<Item = Lint>) -> Self {
+        self.deny.extend(lints);
+        self
+    }
+
+    /// [`DatabaseBuilder::deny_lints`] for a single lint.
+    pub fn deny_lint(self, lint: Lint) -> Self {
+        self.deny_lints([lint])
     }
 
     /// Trace detail recorded per transaction.
@@ -472,7 +539,10 @@ impl DatabaseBuilder {
         // re-applied programs are not re-logged). Only successful
         // transactions were ever logged: a replay failure means the
         // directory was written under an incompatible configuration.
-        let mut db = Database { session: Session::new(base).with_config(self.config) };
+        let mut db = Database {
+            session: Session::new(base).with_config(self.config),
+            deny_lints: self.deny,
+        };
         db.replay_wal_records(&opened.records)?;
         let mut store = opened.store;
         if fresh && !db.current().is_empty() {
@@ -486,7 +556,7 @@ impl DatabaseBuilder {
     /// Open a database over `ob` with this configuration (in-memory;
     /// see [`DatabaseBuilder::open_dir`] for the durable variant).
     pub fn open(self, ob: ObjectBase) -> Database {
-        Database { session: Session::new(ob).with_config(self.config) }
+        Database { session: Session::new(ob).with_config(self.config), deny_lints: self.deny }
     }
 
     /// Parse object-base text and open a database over it.
@@ -505,6 +575,9 @@ impl DatabaseBuilder {
 #[derive(Clone, Debug)]
 pub struct Database {
     session: Session,
+    /// Lints promoted to prepare-time errors
+    /// ([`DatabaseBuilder::deny_lints`]).
+    deny_lints: Vec<Lint>,
 }
 
 impl Database {
@@ -603,7 +676,23 @@ impl Database {
 
     /// [`Database::prepare`] for an already-parsed program.
     pub fn prepare_program(&self, program: Program) -> Result<Prepared, Error> {
-        Prepared::compile(program, self.config().cycles)
+        let prepared = Prepared::compile(program, self.config().cycles)?;
+        if !self.deny_lints.is_empty() {
+            let diagnostics: Vec<Diagnostic> = prepared
+                .warnings()
+                .iter()
+                .filter(|d| self.deny_lints.contains(&d.lint))
+                .map(|d| {
+                    let mut d = d.clone();
+                    d.severity = ruvo_lang::Severity::Error;
+                    d
+                })
+                .collect();
+            if !diagnostics.is_empty() {
+                return Err(Error::DeniedLint { diagnostics });
+            }
+        }
+        Ok(prepared)
     }
 
     /// Run a prepared program as one transaction: on success the
@@ -991,6 +1080,37 @@ mod tests {
             assert_eq!(err.kind(), kind, "error: {err}");
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn deny_lints_promotes_warnings_to_errors() {
+        const CONFLICT: &str = "r1: mod[X].price -> (P, 1) <= X.price -> P.\n\
+                                r2: mod[X].price -> (P, 2) <= X.price -> P.";
+        // Without a deny list the program prepares, with warnings attached.
+        let lenient = Database::open_src("item.price -> 7.").unwrap();
+        let prepared = lenient.prepare(CONFLICT).unwrap();
+        assert!(prepared.warnings().iter().any(|d| d.lint == Lint::WriteWriteConflict));
+        assert!(!prepared.commutativity().all_commute());
+
+        // With the lint denied, prepare fails with ErrorKind::Lint and the
+        // diagnostics are re-severitied to errors.
+        let strict = Database::builder()
+            .deny_lint(Lint::WriteWriteConflict)
+            .open_src("item.price -> 7.")
+            .unwrap();
+        let err = strict.prepare(CONFLICT).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Lint);
+        match &err {
+            Error::DeniedLint { diagnostics } => {
+                assert!(diagnostics.iter().all(|d| d.is_error()));
+                assert!(diagnostics.iter().all(|d| d.lint == Lint::WriteWriteConflict));
+            }
+            other => panic!("expected DeniedLint, got {other}"),
+        }
+        // Denying an unrelated lint leaves the program preparable.
+        let unrelated =
+            Database::builder().deny_lint(Lint::DeadRule).open_src("item.price -> 7.").unwrap();
+        assert!(unrelated.prepare(CONFLICT).is_ok());
     }
 
     #[test]

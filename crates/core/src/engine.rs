@@ -246,6 +246,14 @@ impl CompiledProgram {
     pub fn cycle_policy(&self) -> CyclePolicy {
         self.cycles
     }
+
+    /// The rule×rule commutativity matrix under this compilation's
+    /// stratification — see [`crate::check`] for the semantics. An
+    /// all-commuting stratum may evaluate its rules in any order (the
+    /// precondition for parallel fixpoint evaluation).
+    pub fn commutativity(&self) -> crate::check::CommutativityMatrix {
+        crate::check::commutativity(&self.program, &self.analysis.stratification)
+    }
 }
 
 /// The update-program interpreter.

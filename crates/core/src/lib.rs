@@ -24,6 +24,7 @@
 //! the set `T¹` grows monotonically and the iteration reaches a
 //! fixpoint; see [`engine`] for the mechanics.
 
+pub mod check;
 pub mod database;
 pub mod engine;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod tp;
 pub mod trace;
 pub mod truth;
 
+pub use check::{CheckReport, Commutativity, CommutativityMatrix, SourceCheck};
 pub use database::{Database, DatabaseBuilder, Error, ErrorKind, Prepared, Transaction};
 pub use engine::{
     run_compiled, CompiledProgram, CyclePolicy, EngineConfig, FinalVersionPolicy, Outcome,

@@ -102,30 +102,32 @@ pub fn for_each_match_seeded(
     );
 }
 
-fn run(ctx: &MatchCtx<'_>, sink: &mut dyn FnMut(&Bindings)) {
-    let mut bindings = Bindings::with_vid_vars(ctx.rule.vars.len(), ctx.rule.vid_vars.len());
-    // One grounding buffer for the whole evaluation: `Check` steps run
-    // once per candidate of every enclosing scan, so per-candidate
-    // argument grounding must not allocate.
-    let mut buf = Vec::new();
-    exec(ctx, 0, &mut bindings, &mut buf, sink);
+/// The mutable traversal state of one rule evaluation, threaded
+/// through every scan/match helper: the single backtracking
+/// [`Bindings`], the reusable grounding buffer (`Check` steps run once
+/// per candidate of every enclosing scan, so per-candidate argument
+/// grounding must not allocate), and the match sink.
+struct Cursor<'a> {
+    b: &'a mut Bindings,
+    buf: &'a mut Vec<Const>,
+    sink: &'a mut dyn FnMut(&Bindings),
 }
 
-fn exec(
-    ctx: &MatchCtx<'_>,
-    pos: usize,
-    b: &mut Bindings,
-    buf: &mut Vec<Const>,
-    sink: &mut dyn FnMut(&Bindings),
-) {
+fn run(ctx: &MatchCtx<'_>, sink: &mut dyn FnMut(&Bindings)) {
+    let mut bindings = Bindings::with_vid_vars(ctx.rule.vars.len(), ctx.rule.vid_vars.len());
+    let mut buf = Vec::new();
+    exec(ctx, 0, &mut Cursor { b: &mut bindings, buf: &mut buf, sink });
+}
+
+fn exec(ctx: &MatchCtx<'_>, pos: usize, cur: &mut Cursor<'_>) {
     let Some(&si) = ctx.order.get(pos) else {
-        sink(b);
+        (cur.sink)(cur.b);
         return;
     };
     match ctx.rule.plan.steps[si] {
         PlannedLiteral::Check(li) => {
-            if check_literal(ctx.ob, &ctx.rule.body[li], b, buf) {
-                exec(ctx, pos + 1, b, buf, sink);
+            if check_literal(ctx.ob, &ctx.rule.body[li], cur.b, cur.buf) {
+                exec(ctx, pos + 1, cur);
             }
         }
         PlannedLiteral::Assign { lit, var } => {
@@ -134,16 +136,16 @@ fn exec(
             };
             // One side is the (unbound) variable, the other the value.
             let value = if builtin.lhs.as_single_var() == Some(var) {
-                builtin.rhs.eval(b)
+                builtin.rhs.eval(cur.b)
             } else {
-                builtin.lhs.eval(b)
+                builtin.lhs.eval(cur.b)
             };
             if let Some(value) = value {
-                let mark = b.mark();
-                if b.unify_var(var, value) {
-                    exec(ctx, pos + 1, b, buf, sink);
+                let mark = cur.b.mark();
+                if cur.b.unify_var(var, value) {
+                    exec(ctx, pos + 1, cur);
                 }
-                b.undo_to(mark);
+                cur.b.undo_to(mark);
             }
         }
         PlannedLiteral::Scan(li) => {
@@ -155,7 +157,7 @@ fn exec(
                 _ => None,
             };
             match &lit.atom {
-                Atom::Version(va) => scan_version(ctx, va, hint, seed, pos, b, buf, sink),
+                Atom::Version(va) => scan_version(ctx, va, hint, seed, pos, cur),
                 Atom::Update(ua) => match &ua.spec {
                     UpdateSpec::Ins { method, args, result } => {
                         // ins[v].m -> r ⟺ ins(v).m -> r ∈ I: scan the
@@ -167,15 +169,13 @@ fn exec(
                             args: args.clone(),
                             result: *result,
                         };
-                        scan_version(ctx, &va, hint, seed, pos, b, buf, sink);
+                        scan_version(ctx, &va, hint, seed, pos, cur);
                     }
-                    UpdateSpec::Del { method, args, result } => {
-                        scan_del(ctx, ua.target, *method, args, *result, seed, pos, b, buf, sink);
+                    spec @ UpdateSpec::Del { .. } => {
+                        scan_del(ctx, ua.target, spec, seed, pos, cur);
                     }
-                    UpdateSpec::Mod { method, args, from, to } => {
-                        scan_mod(
-                            ctx, ua.target, *method, args, *from, *to, seed, pos, b, buf, sink,
-                        );
+                    spec @ UpdateSpec::Mod { .. } => {
+                        scan_mod(ctx, ua.target, spec, seed, pos, cur);
                     }
                     UpdateSpec::DelAll => {
                         unreachable!("del-all in a body is rejected by validation")
@@ -248,9 +248,9 @@ fn ground_args_into(args: &[ArgTerm], b: &Bindings, buf: &mut Vec<Const>) {
     buf.extend(args.iter().map(|&a| ground_arg(a, b)));
 }
 
-/// Try to match pattern args+result against ground values under `b`,
-/// then continue with the next plan step; undoes bindings afterwards.
-#[allow(clippy::too_many_arguments)]
+/// Try to match pattern args+result against ground values under the
+/// cursor's bindings, then continue with the next plan step; undoes
+/// bindings afterwards.
 fn match_app_and_continue(
     ctx: &MatchCtx<'_>,
     pattern_args: &[ArgTerm],
@@ -258,72 +258,48 @@ fn match_app_and_continue(
     ground_args: &[Const],
     ground_result: Const,
     pos: usize,
-    b: &mut Bindings,
-    buf: &mut Vec<Const>,
-    sink: &mut dyn FnMut(&Bindings),
+    cur: &mut Cursor<'_>,
 ) {
     if pattern_args.len() != ground_args.len() {
         return;
     }
-    let mark = b.mark();
+    let mark = cur.b.mark();
     let mut ok = true;
     for (&pat, &val) in pattern_args.iter().zip(ground_args) {
-        if !pat.matches(val, b) {
+        if !pat.matches(val, cur.b) {
             ok = false;
             break;
         }
     }
-    if ok && pattern_result.matches(ground_result, b) {
-        exec(ctx, pos + 1, b, buf, sink);
+    if ok && pattern_result.matches(ground_result, cur.b) {
+        exec(ctx, pos + 1, cur);
     }
-    b.undo_to(mark);
+    cur.b.undo_to(mark);
 }
 
 /// Enumerate the applications of `va.method` on the concrete version
 /// `vid` and continue matching.
-#[allow(clippy::too_many_arguments)]
-fn scan_apps_of(
-    ctx: &MatchCtx<'_>,
-    vid: Vid,
-    va: &VersionAtom,
-    pos: usize,
-    b: &mut Bindings,
-    buf: &mut Vec<Const>,
-    sink: &mut dyn FnMut(&Bindings),
-) {
+fn scan_apps_of(ctx: &MatchCtx<'_>, vid: Vid, va: &VersionAtom, pos: usize, cur: &mut Cursor<'_>) {
     for app in ctx.ob.apps(vid, va.method) {
-        match_app_and_continue(
-            ctx,
-            &va.args,
-            va.result,
-            app.args.as_slice(),
-            app.result,
-            pos,
-            b,
-            buf,
-            sink,
-        );
+        match_app_and_continue(ctx, &va.args, va.result, app.args.as_slice(), app.result, pos, cur);
     }
 }
 
 /// Match `t.base` against `vid`'s base (binding it if it is an unbound
 /// variable), then scan `vid`'s applications; undoes bindings.
-#[allow(clippy::too_many_arguments)]
 fn match_base_then_apps(
     ctx: &MatchCtx<'_>,
     t: VidTerm,
     vid: Vid,
     va: &VersionAtom,
     pos: usize,
-    b: &mut Bindings,
-    buf: &mut Vec<Const>,
-    sink: &mut dyn FnMut(&Bindings),
+    cur: &mut Cursor<'_>,
 ) {
-    let mark = b.mark();
-    if t.base.matches(vid.base(), b) {
-        scan_apps_of(ctx, vid, va, pos, b, buf, sink);
+    let mark = cur.b.mark();
+    if t.base.matches(vid.base(), cur.b) {
+        scan_apps_of(ctx, vid, va, pos, cur);
     }
-    b.undo_to(mark);
+    cur.b.undo_to(mark);
 }
 
 /// Scan a version-term: enumerate versions, then their applications of
@@ -332,23 +308,20 @@ fn match_base_then_apps(
 /// is bound, or the full `(chain, method)` index. An unbound VID
 /// variable (`$V`, the §6 extension) scans *every* version carrying
 /// the method, regardless of chain.
-#[allow(clippy::too_many_arguments)]
 fn scan_version(
     ctx: &MatchCtx<'_>,
     va: &VersionAtom,
     hint: ScanHint,
     seed: Option<&FastHashSet<Const>>,
     pos: usize,
-    b: &mut Bindings,
-    buf: &mut Vec<Const>,
-    sink: &mut dyn FnMut(&Bindings),
+    cur: &mut Cursor<'_>,
 ) {
-    match va.vid.ground(b) {
+    match va.vid.ground(cur.b) {
         Some(vid) => {
             if seed.is_some_and(|s| !s.contains(&vid.base())) {
                 return;
             }
-            scan_apps_of(ctx, vid, va, pos, b, buf, sink);
+            scan_apps_of(ctx, vid, va, pos, cur);
         }
         None => match va.vid {
             VidRef::Term(t) => {
@@ -357,7 +330,7 @@ fn scan_version(
                     for &base in seed {
                         let vid = Vid::new(base, t.chain);
                         if ctx.ob.defines(vid, va.method) {
-                            match_base_then_apps(ctx, t, vid, va, pos, b, buf, sink);
+                            match_base_then_apps(ctx, t, vid, va, pos, cur);
                         }
                     }
                     return;
@@ -365,17 +338,17 @@ fn scan_version(
                 // Indexed: a bound key position narrows the enumeration.
                 match hint {
                     ScanHint::ResultKey => {
-                        if let Some(r) = va.result.ground(b) {
+                        if let Some(r) = va.result.ground(cur.b) {
                             for vid in ctx.ob.versions_with_result(t.chain, va.method, r) {
-                                match_base_then_apps(ctx, t, vid, va, pos, b, buf, sink);
+                                match_base_then_apps(ctx, t, vid, va, pos, cur);
                             }
                             return;
                         }
                     }
                     ScanHint::Arg0Key => {
-                        if let Some(a0) = va.args.first().and_then(|a| a.ground(b)) {
+                        if let Some(a0) = va.args.first().and_then(|a| a.ground(cur.b)) {
                             for vid in ctx.ob.versions_with_arg0(t.chain, va.method, a0) {
-                                match_base_then_apps(ctx, t, vid, va, pos, b, buf, sink);
+                                match_base_then_apps(ctx, t, vid, va, pos, cur);
                             }
                             return;
                         }
@@ -384,7 +357,7 @@ fn scan_version(
                 }
                 // Full: every version of the chain defining the method.
                 for vid in ctx.ob.versions_with(t.chain, va.method) {
-                    match_base_then_apps(ctx, t, vid, va, pos, b, buf, sink);
+                    match_base_then_apps(ctx, t, vid, va, pos, cur);
                 }
             }
             VidRef::Var(vv) => {
@@ -395,11 +368,11 @@ fn scan_version(
                     if seed.is_some_and(|s| !s.contains(&vid.base())) {
                         continue;
                     }
-                    let mark = b.mark();
-                    if b.unify_vid_var(vv, vid) {
-                        scan_apps_of(ctx, vid, va, pos, b, buf, sink);
+                    let mark = cur.b.mark();
+                    if cur.b.unify_vid_var(vv, vid) {
+                        scan_apps_of(ctx, vid, va, pos, cur);
                     }
-                    b.undo_to(mark);
+                    cur.b.undo_to(mark);
                 }
             }
         },
@@ -441,29 +414,28 @@ fn target_candidates(
 
 /// Scan `del[V].m@args -> R` in a body: §3 requires
 /// `v*.m -> r ∈ I ∧ del(v).exists -> o ∈ I ∧ del(v).m -> r ∉ I`.
-#[allow(clippy::too_many_arguments)]
 fn scan_del(
     ctx: &MatchCtx<'_>,
     target: VidTerm,
-    method: ruvo_term::Symbol,
-    args: &[ArgTerm],
-    result: ArgTerm,
+    spec: &UpdateSpec,
     seed: Option<&FastHashSet<Const>>,
     pos: usize,
-    b: &mut Bindings,
-    buf: &mut Vec<Const>,
-    sink: &mut dyn FnMut(&Bindings),
+    cur: &mut Cursor<'_>,
 ) {
+    let UpdateSpec::Del { method, args, result } = spec else {
+        unreachable!("scan_del on a non-del spec");
+    };
+    let (method, result) = (*method, *result);
     let ob = ctx.ob;
     // Candidates must have del(v).exists: enumerate via the exists index.
-    for tvid in target_candidates(ob, target, UpdateKind::Del, exists_sym(), seed, b) {
+    for tvid in target_candidates(ob, target, UpdateKind::Del, exists_sym(), seed, cur.b) {
         let Ok(created) = tvid.apply(UpdateKind::Del) else { continue };
         if !ob.exists_fact(created) {
             continue;
         }
         let Some(v_star) = ob.v_star(tvid) else { continue };
-        let mark = b.mark();
-        if target.base.matches(tvid.base(), b) {
+        let mark = cur.b.mark();
+        if target.base.matches(tvid.base(), cur.b) {
             for app in ob.apps(v_star, method) {
                 if ob.contains(created, method, app.args.as_slice(), app.result) {
                     continue; // still present: not deleted
@@ -475,39 +447,35 @@ fn scan_del(
                     app.args.as_slice(),
                     app.result,
                     pos,
-                    b,
-                    buf,
-                    sink,
+                    cur,
                 );
             }
         }
-        b.undo_to(mark);
+        cur.b.undo_to(mark);
     }
 }
 
 /// Scan `mod[V].m@args -> (R, R2)` in a body, per the two §3 clauses
 /// (changed and unchanged result; DESIGN.md D5).
-#[allow(clippy::too_many_arguments)]
 fn scan_mod(
     ctx: &MatchCtx<'_>,
     target: VidTerm,
-    method: ruvo_term::Symbol,
-    args: &[ArgTerm],
-    from: ArgTerm,
-    to: ArgTerm,
+    spec: &UpdateSpec,
     seed: Option<&FastHashSet<Const>>,
     pos: usize,
-    b: &mut Bindings,
-    buf: &mut Vec<Const>,
-    sink: &mut dyn FnMut(&Bindings),
+    cur: &mut Cursor<'_>,
 ) {
+    let UpdateSpec::Mod { method, args, from, to } = spec else {
+        unreachable!("scan_mod on a non-mod spec");
+    };
+    let (method, pair) = (*method, PairPattern { args, from: *from, to: *to });
     let ob = ctx.ob;
     // Both clauses require mod(v).m defined; use it as candidate index.
-    for tvid in target_candidates(ob, target, UpdateKind::Mod, method, seed, b) {
+    for tvid in target_candidates(ob, target, UpdateKind::Mod, method, seed, cur.b) {
         let Ok(created) = tvid.apply(UpdateKind::Mod) else { continue };
         let Some(v_star) = ob.v_star(tvid) else { continue };
-        let mark = b.mark();
-        if target.base.matches(tvid.base(), b) {
+        let mark = cur.b.mark();
+        if target.base.matches(tvid.base(), cur.b) {
             for from_app in ob.apps(v_star, method) {
                 let in_created =
                     ob.contains(created, method, from_app.args.as_slice(), from_app.result);
@@ -515,16 +483,11 @@ fn scan_mod(
                 if in_created {
                     match_pair_and_continue(
                         ctx,
-                        args,
-                        from,
-                        to,
+                        &pair,
                         from_app.args.as_slice(),
-                        from_app.result,
-                        from_app.result,
+                        (from_app.result, from_app.result),
                         pos,
-                        b,
-                        buf,
-                        sink,
+                        cur,
                     );
                     continue;
                 }
@@ -536,53 +499,52 @@ fn scan_mod(
                     }
                     match_pair_and_continue(
                         ctx,
-                        args,
-                        from,
-                        to,
+                        &pair,
                         from_app.args.as_slice(),
-                        from_app.result,
-                        to_app.result,
+                        (from_app.result, to_app.result),
                         pos,
-                        b,
-                        buf,
-                        sink,
+                        cur,
                     );
                 }
             }
         }
-        b.undo_to(mark);
+        cur.b.undo_to(mark);
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// The pattern side of a body `mod` literal: `@args -> (from, to)`.
+struct PairPattern<'a> {
+    args: &'a [ArgTerm],
+    from: ArgTerm,
+    to: ArgTerm,
+}
+
+/// Match a [`PairPattern`] against ground args and a ground
+/// `(from, to)` result pair, then continue; undoes bindings.
 fn match_pair_and_continue(
     ctx: &MatchCtx<'_>,
-    pattern_args: &[ArgTerm],
-    pattern_from: ArgTerm,
-    pattern_to: ArgTerm,
+    pattern: &PairPattern<'_>,
     ground_args: &[Const],
-    ground_from: Const,
-    ground_to: Const,
+    ground_pair: (Const, Const),
     pos: usize,
-    b: &mut Bindings,
-    buf: &mut Vec<Const>,
-    sink: &mut dyn FnMut(&Bindings),
+    cur: &mut Cursor<'_>,
 ) {
-    if pattern_args.len() != ground_args.len() {
+    if pattern.args.len() != ground_args.len() {
         return;
     }
-    let mark = b.mark();
+    let mark = cur.b.mark();
     let mut ok = true;
-    for (&pat, &val) in pattern_args.iter().zip(ground_args) {
-        if !pat.matches(val, b) {
+    for (&pat, &val) in pattern.args.iter().zip(ground_args) {
+        if !pat.matches(val, cur.b) {
             ok = false;
             break;
         }
     }
-    if ok && pattern_from.matches(ground_from, b) && pattern_to.matches(ground_to, b) {
-        exec(ctx, pos + 1, b, buf, sink);
+    if ok && pattern.from.matches(ground_pair.0, cur.b) && pattern.to.matches(ground_pair.1, cur.b)
+    {
+        exec(ctx, pos + 1, cur);
     }
-    b.undo_to(mark);
+    cur.b.undo_to(mark);
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! store — the same data [`mod@crate::history`] diffs, but with full
 //! per-step states so point queries are O(1) set lookups.
 
-use ruvo_obase::{exists_sym, Args, MethodApp, ObjectBase, VersionState};
+use ruvo_obase::{exists_sym, Args, ObjectBase, VersionState};
 use ruvo_term::{Const, FastHashSet, Symbol, UpdateKind, Vid};
 
 /// A ground method-application as a temporal proposition.
@@ -76,12 +76,6 @@ impl Formula {
     /// Convenience: a no-argument fact proposition.
     pub fn fact(method: Symbol, result: Const) -> Formula {
         Formula::Fact(FactProp::new(method, result))
-    }
-
-    /// `¬self`.
-    #[allow(clippy::should_implement_trait)]
-    pub fn not(self) -> Formula {
-        Formula::Not(Box::new(self))
     }
 
     /// `self ∧ rhs`.
@@ -304,15 +298,20 @@ impl Timeline {
     }
 }
 
+/// `¬self` via the `!` operator (also usable as `formula.not()` with
+/// `std::ops::Not` in scope).
+impl std::ops::Not for Formula {
+    type Output = Formula;
+
+    fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+}
+
 /// Build a [`FactProp`] from parts (convenience for callers outside
 /// the crate).
 pub fn prop(method: Symbol, args: Vec<Const>, result: Const) -> FactProp {
     FactProp { method, args: Args::new(args), result }
-}
-
-#[allow(dead_code)]
-fn _assert_send_sync(t: Timeline) -> impl Send + Sync {
-    t
 }
 
 /// Internal helper re-exported for tests: the propositions of a raw
@@ -325,9 +324,6 @@ pub fn props_of(state: &VersionState, exists: Symbol) -> Vec<FactProp> {
         .map(|(m, app)| FactProp { method: m, args: app.args.clone(), result: app.result })
         .collect()
 }
-
-#[allow(unused_imports)]
-use MethodApp as _MethodAppUsedInDocs;
 
 #[cfg(test)]
 mod tests {
@@ -398,7 +394,7 @@ mod tests {
         assert!(!t.check(&raised.clone().until(never)));
         // Next in the last state is false.
         assert!(!t.eval(2, &Formula::Next(Box::new(Formula::True))));
-        assert!(t.eval(1, &Formula::Next(Box::new(empl.clone().not()))));
+        assert!(t.eval(1, &Formula::Next(Box::new(!empl.clone()))));
     }
 
     #[test]
@@ -408,7 +404,7 @@ mod tests {
         let sal_old = Formula::fact(sym("sal"), int(4200));
         // At the final state, bob was once an employee but is not now.
         assert!(t.eval(2, &Formula::Once(Box::new(empl.clone()))));
-        assert!(t.eval(2, &empl.clone().not()));
+        assert!(t.eval(2, &!empl.clone()));
         // Historically an employee holds at state 1, not at state 2.
         assert!(t.eval(1, &Formula::Historically(Box::new(empl.clone()))));
         assert!(!t.eval(2, &Formula::Historically(Box::new(empl.clone()))));
@@ -433,7 +429,7 @@ mod tests {
                 let u = Formula::True.until(target.clone());
                 assert_eq!(t.eval(step, &f), t.eval(step, &u), "step {step}");
                 let g = Formula::Always(Box::new(target.clone()));
-                let gn = Formula::Eventually(Box::new(target.clone().not())).not();
+                let gn = !Formula::Eventually(Box::new(!target.clone()));
                 assert_eq!(t.eval(step, &g), t.eval(step, &gn), "step {step}");
             }
         }

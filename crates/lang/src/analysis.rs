@@ -1,0 +1,750 @@
+//! Structured diagnostics and front-end static analysis.
+//!
+//! [`crate::validate`] and [`crate::safety`] enforce the paper's hard
+//! side conditions by failing fast; this module is the *advisory*
+//! layer on top: every finding — hard or soft — becomes a
+//! [`Diagnostic`] carrying a [`Lint`] identity, a [`Severity`], an
+//! optional source [`Span`], and free-form notes, so tooling
+//! (`ruvo check`, the REPL's `:check`, CI) can render rustc-style
+//! reports or machine-readable JSON instead of stopping at the first
+//! error.
+//!
+//! The front-end analyses here cover everything decidable without
+//! stratification: structural violations (§2.1/§3), *all* duplicate
+//! labels, duplicate (shadowing) rules, method-arity consistency, and
+//! safety (range restriction). The stratification-dependent analyses —
+//! write-write conflicts, commutativity, dead rules, cycle-policy
+//! advisories — live in `ruvo-core`'s `check` module, which reuses
+//! these types.
+
+use std::fmt;
+
+use ruvo_term::Symbol;
+
+use crate::ast::{Atom, Program, UpdateSpec};
+use crate::error::Span;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: the program runs, but something is suspicious.
+    Warning,
+    /// The program is rejected (by `Program::parse`, or because the
+    /// lint was denied via `DatabaseBuilder::deny_lints`).
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in rendered output (`warning`/`error`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The reporting level of a lint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Suppressed entirely.
+    Allow,
+    /// Reported as a [`Severity::Warning`].
+    Warn,
+    /// Reported as a [`Severity::Error`].
+    Deny,
+}
+
+impl Level {
+    /// The severity a diagnostic reported at this level carries
+    /// (`Allow` produces no diagnostic at all).
+    pub fn severity(self) -> Severity {
+        match self {
+            Level::Deny => Severity::Error,
+            Level::Allow | Level::Warn => Severity::Warning,
+        }
+    }
+}
+
+/// Every static-analysis finding the toolchain can report.
+///
+/// Deny-by-default lints are the paper's hard side conditions (a
+/// program triggering one is rejected by [`Program::parse`]);
+/// warn-by-default lints are advisory and surface through
+/// `Database::prepare` warnings and `ruvo check`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// The source text does not lex/parse.
+    Syntax,
+    /// Two rules carry the same label (§2.1 rules are named uniquely).
+    DuplicateLabel,
+    /// An update-term on the system method `exists` (§3 forbids both
+    /// updating it in heads and asking update-terms about it).
+    ExistsUpdate,
+    /// `del[V].*` used in a rule body (§2.3: heads only).
+    DelAllInBody,
+    /// The rule is not range-restricted (§2.1 safety, cf. \[Ull88\]).
+    UnsafeRule,
+    /// A method is used with two different argument counts.
+    ArityMismatch,
+    /// Two same-stratum rules may write the same `(version, method)`
+    /// with conflicting results — firing order becomes observable.
+    WriteWriteConflict,
+    /// A rule's body requires a version or update that no rule can
+    /// produce; it can only fire if the initial base already holds it.
+    DeadRule,
+    /// Two rules have identical heads and bodies; the later one is
+    /// shadowed (it can never contribute a new instance).
+    DuplicateRule,
+    /// The program is statically stratifiable but was compiled under
+    /// `CyclePolicy::RuntimeStability` — the paranoid policy buys
+    /// nothing and costs a runtime stability check.
+    NeedlessDynamicPolicy,
+    /// The program is rejected by strict stratification but accepted
+    /// under the relaxed policy with a runtime stability check.
+    DynamicPolicyRequired,
+}
+
+impl Lint {
+    /// Every known lint, in registry order.
+    pub const ALL: [Lint; 11] = [
+        Lint::Syntax,
+        Lint::DuplicateLabel,
+        Lint::ExistsUpdate,
+        Lint::DelAllInBody,
+        Lint::UnsafeRule,
+        Lint::ArityMismatch,
+        Lint::WriteWriteConflict,
+        Lint::DeadRule,
+        Lint::DuplicateRule,
+        Lint::NeedlessDynamicPolicy,
+        Lint::DynamicPolicyRequired,
+    ];
+
+    /// Stable kebab-case name (the `[...]` tag in rendered output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Syntax => "syntax",
+            Lint::DuplicateLabel => "duplicate-label",
+            Lint::ExistsUpdate => "exists-update",
+            Lint::DelAllInBody => "del-all-in-body",
+            Lint::UnsafeRule => "unsafe-rule",
+            Lint::ArityMismatch => "arity-mismatch",
+            Lint::WriteWriteConflict => "write-write-conflict",
+            Lint::DeadRule => "dead-rule",
+            Lint::DuplicateRule => "duplicate-rule",
+            Lint::NeedlessDynamicPolicy => "needless-dynamic-policy",
+            Lint::DynamicPolicyRequired => "dynamic-policy-required",
+        }
+    }
+
+    /// Resolve a lint by its [`Lint::name`].
+    pub fn from_name(name: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.name() == name)
+    }
+
+    /// The default reporting level.
+    pub fn default_level(self) -> Level {
+        match self {
+            Lint::Syntax
+            | Lint::DuplicateLabel
+            | Lint::ExistsUpdate
+            | Lint::DelAllInBody
+            | Lint::UnsafeRule
+            | Lint::DynamicPolicyRequired => Level::Deny,
+            Lint::ArityMismatch
+            | Lint::WriteWriteConflict
+            | Lint::DeadRule
+            | Lint::DuplicateRule
+            | Lint::NeedlessDynamicPolicy => Level::Warn,
+        }
+    }
+
+    /// One-line description for `ruvo check --lints` style listings.
+    pub fn description(self) -> &'static str {
+        match self {
+            Lint::Syntax => "the source text does not lex or parse",
+            Lint::DuplicateLabel => "two rules carry the same label",
+            Lint::ExistsUpdate => "an update-term on the system method `exists`",
+            Lint::DelAllInBody => "`del[V].*` used in a rule body",
+            Lint::UnsafeRule => "the rule is not range-restricted (unsafe)",
+            Lint::ArityMismatch => "a method is used with differing argument counts",
+            Lint::WriteWriteConflict => {
+                "two same-stratum rules may write conflicting results to one (version, method)"
+            }
+            Lint::DeadRule => "the rule depends on versions or updates no rule produces",
+            Lint::DuplicateRule => "two rules are identical; the later one is shadowed",
+            Lint::NeedlessDynamicPolicy => {
+                "statically stratifiable program run under the relaxed cycle policy"
+            }
+            Lint::DynamicPolicyRequired => {
+                "program needs CyclePolicy::RuntimeStability to be accepted"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One static-analysis finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// How it is reported (derived from the lint's level).
+    pub severity: Severity,
+    /// Where in the source, when known.
+    pub span: Option<Span>,
+    /// The primary message.
+    pub message: String,
+    /// Secondary `= note:` lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the lint's default level.
+    pub fn new(lint: Lint, span: Option<Span>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            lint,
+            severity: lint.default_level().severity(),
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a `= note:` line (builder style).
+    pub fn note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// True if this diagnostic rejects the program.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Render rustc-style. With `source`, the offending line is quoted
+    /// and underlined; with `file`, locations are `file:line:col`.
+    ///
+    /// ```text
+    /// warning[write-write-conflict]: rules `r1` and `r2` ...
+    ///  --> conflict.rv:2:1
+    ///   |
+    /// 2 | r2: mod[x].p -> (V, 2) <= x.p -> V.
+    ///   | ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+    ///   = note: ...
+    /// ```
+    pub fn render(&self, source: Option<&str>, file: Option<&str>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}[{}]: {}", self.severity.label(), self.lint.name(), self.message);
+        let mut w = 1; // gutter width (digits of the quoted line number)
+        if let Some(span) = self.span {
+            let num = span.start.line.to_string();
+            w = num.len();
+            match file {
+                Some(f) => {
+                    let _ = writeln!(out, "{:>w$}--> {f}:{}", "", span.start);
+                }
+                None => {
+                    let _ = writeln!(out, "{:>w$}--> {}", "", span.start);
+                }
+            }
+            let line = source.and_then(|s| s.lines().nth(span.start.line as usize - 1));
+            if let Some(line) = line {
+                let start = (span.start.col as usize).saturating_sub(1);
+                let width = if span.end.line == span.start.line && span.end.col >= span.start.col {
+                    (span.end.col - span.start.col) as usize + 1
+                } else {
+                    line.chars().count().saturating_sub(start)
+                }
+                .max(1);
+                let _ = writeln!(out, "{:>w$} |", "");
+                let _ = writeln!(out, "{num} | {line}");
+                let _ = writeln!(out, "{:>w$} | {:start$}{}", "", "", "^".repeat(width));
+            }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "{:>w$} = note: {note}", "");
+        }
+        out
+    }
+
+    /// One JSON object (hand-rolled; the build environment has no
+    /// serde). Stable field order: lint, severity, span, message, notes.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"lint\":\"{}\",\"severity\":\"{}\",",
+            self.lint.name(),
+            self.severity.label()
+        );
+        match self.span {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "\"span\":{{\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{}}},",
+                    s.start.line, s.start.col, s.end.line, s.end.col
+                );
+            }
+            None => out.push_str("\"span\":null,"),
+        }
+        let _ = write!(out, "\"message\":\"{}\",\"notes\":[", json_escape(&self.message));
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(n));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity.label(), self.lint.name(), self.message)
+    }
+}
+
+/// Render a batch of diagnostics, blank-line separated.
+pub fn render_all(diags: &[Diagnostic], source: Option<&str>, file: Option<&str>) -> String {
+    let mut out = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&d.render(source, file));
+    }
+    out
+}
+
+/// Serialize a batch of diagnostics as a JSON array.
+pub fn json_array(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-database lint-level overrides (`DatabaseBuilder::deny_lints`
+/// hands these to `Database::prepare`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LintLevels {
+    overrides: Vec<(Lint, Level)>,
+}
+
+impl LintLevels {
+    /// Defaults only.
+    pub fn new() -> LintLevels {
+        LintLevels::default()
+    }
+
+    /// Set a lint's level (later overrides win).
+    pub fn set(&mut self, lint: Lint, level: Level) {
+        self.overrides.push((lint, level));
+    }
+
+    /// The effective level of a lint.
+    pub fn level(&self, lint: Lint) -> Level {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(l, _)| *l == lint)
+            .map(|(_, lv)| *lv)
+            .unwrap_or_else(|| lint.default_level())
+    }
+
+    /// Re-level a batch of diagnostics: `Allow` drops, `Warn`/`Deny`
+    /// adjust the severity.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter_map(|mut d| match self.level(d.lint) {
+                Level::Allow => None,
+                lv => {
+                    d.severity = lv.severity();
+                    Some(d)
+                }
+            })
+            .collect()
+    }
+}
+
+fn rule_name(program: &Program, i: usize) -> String {
+    program.rule_name(i)
+}
+
+/// Structural diagnostics of one rule (mirrors
+/// [`crate::validate::validate_rule`], but collects instead of
+/// stopping at the first violation).
+fn rule_structural(program: &Program, i: usize, out: &mut Vec<Diagnostic>) {
+    let rule = &program.rules[i];
+    let exists = ruvo_term::sym("exists");
+    let name = rule_name(program, i);
+    if rule.head.spec.method() == Some(exists) {
+        out.push(
+            Diagnostic::new(
+                Lint::ExistsUpdate,
+                rule.span,
+                format!("rule `{name}`: the system method `exists` cannot be updated"),
+            )
+            .note("§3 reserves `exists`: `o.exists -> o` is maintained by the engine"),
+        );
+    }
+    for (j, lit) in rule.body.iter().enumerate() {
+        if let Atom::Update(ua) = &lit.atom {
+            if matches!(ua.spec, UpdateSpec::DelAll) {
+                out.push(
+                    Diagnostic::new(
+                        Lint::DelAllInBody,
+                        rule.span,
+                        format!(
+                            "rule `{name}`, body literal {}: `del[...].*` (delete all) \
+                             is only meaningful in rule heads",
+                            j + 1
+                        ),
+                    )
+                    .note("ask `del[V].m -> r` about a specific deletion instead"),
+                );
+            }
+            if ua.spec.method() == Some(exists) {
+                out.push(Diagnostic::new(
+                    Lint::ExistsUpdate,
+                    rule.span,
+                    format!(
+                        "rule `{name}`, body literal {}: update-terms on the system \
+                         method `exists` are not allowed",
+                        j + 1
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// All duplicate-label diagnostics — one per *extra* occurrence, so a
+/// label used three times yields two diagnostics.
+pub fn duplicate_labels(program: &Program) -> Vec<Diagnostic> {
+    let mut first: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        let Some(label) = rule.label.as_deref() else { continue };
+        match first.get(label) {
+            None => {
+                first.insert(label, i);
+            }
+            Some(&orig) => {
+                let mut d = Diagnostic::new(
+                    Lint::DuplicateLabel,
+                    rule.span,
+                    format!("duplicate rule label `{label}` (first used by rule {})", orig + 1),
+                );
+                if let Some(span) = program.rules[orig].span {
+                    d = d.note(format!("first definition at {}", span.start));
+                }
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+/// Duplicate (shadowed) rules: identical head and body up to variable
+/// naming. The later rule can never contribute an instance the earlier
+/// one does not.
+fn duplicate_rules(program: &Program, out: &mut Vec<Diagnostic>) {
+    for j in 1..program.rules.len() {
+        let rj = &program.rules[j];
+        for i in 0..j {
+            let ri = &program.rules[i];
+            // Variable ids are assigned by first occurrence, so
+            // alpha-equivalent rules compare equal on head + body.
+            if ri.head == rj.head && ri.body == rj.body {
+                out.push(
+                    Diagnostic::new(
+                        Lint::DuplicateRule,
+                        rj.span,
+                        format!(
+                            "rule `{}` duplicates rule `{}` (identical head and body)",
+                            rule_name(program, j),
+                            rule_name(program, i)
+                        ),
+                    )
+                    .note(
+                        "both rules fire on exactly the same instances; \
+                         the later one is shadowed",
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Method-arity consistency: every use of a method (version-terms and
+/// update-terms, heads and bodies) should agree on the argument count.
+fn arity_mismatches(program: &Program, out: &mut Vec<Diagnostic>) {
+    // method -> (arity, rule index of first sighting)
+    let mut seen: std::collections::HashMap<Symbol, (usize, usize)> =
+        std::collections::HashMap::new();
+    let mut flagged: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        let mut uses: Vec<(Symbol, usize)> = Vec::new();
+        if let Some(m) = rule.head.spec.method() {
+            uses.push((m, spec_arity(&rule.head.spec)));
+        }
+        for lit in &rule.body {
+            match &lit.atom {
+                Atom::Version(va) => uses.push((va.method, va.args.len())),
+                Atom::Update(ua) => {
+                    if let Some(m) = ua.spec.method() {
+                        uses.push((m, spec_arity(&ua.spec)));
+                    }
+                }
+                Atom::Cmp(_) => {}
+            }
+        }
+        for (m, arity) in uses {
+            match seen.get(&m) {
+                None => {
+                    seen.insert(m, (arity, i));
+                }
+                Some(&(prev, orig)) if prev != arity && flagged.insert(m) => {
+                    out.push(
+                        Diagnostic::new(
+                            Lint::ArityMismatch,
+                            rule.span,
+                            format!(
+                                "method `{m}` is used with {arity} argument(s) in rule `{}` \
+                                 but with {prev} argument(s) in rule `{}`",
+                                rule_name(program, i),
+                                rule_name(program, orig)
+                            ),
+                        )
+                        .note(
+                            "method-applications with different argument counts never match \
+                             each other; this is usually a typo",
+                        ),
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn spec_arity(spec: &UpdateSpec) -> usize {
+    match spec {
+        UpdateSpec::Ins { args, .. }
+        | UpdateSpec::Del { args, .. }
+        | UpdateSpec::Mod { args, .. } => args.len(),
+        UpdateSpec::DelAll => 0,
+    }
+}
+
+/// Every front-end diagnostic of an already-parsed program: structural
+/// violations, all duplicate labels, safety failures, duplicate rules,
+/// arity mismatches. Does *not* require rule plans to be filled in.
+pub fn program_diagnostics(program: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..program.rules.len() {
+        rule_structural(program, i, &mut out);
+    }
+    out.extend(duplicate_labels(program));
+    for (i, rule) in program.rules.iter().enumerate() {
+        if let Err(e) = crate::safety::analyze(rule) {
+            out.push(
+                Diagnostic::new(
+                    Lint::UnsafeRule,
+                    rule.span,
+                    format!("unsafe rule {}: {}", rule_name(program, i), e.message),
+                )
+                .note("§2.1 requires rules to be safe (range-restricted, cf. [Ull88])"),
+            );
+        }
+    }
+    duplicate_rules(program, &mut out);
+    arity_mismatches(program, &mut out);
+    out
+}
+
+/// Parse and analyze `src`, collecting every front-end diagnostic
+/// instead of stopping at the first failure.
+///
+/// Returns the parsed program (with safety plans filled in) when no
+/// error-severity diagnostic was found; lex/parse failures surface as
+/// a single [`Lint::Syntax`] diagnostic.
+pub fn check_source(src: &str) -> (Option<Program>, Vec<Diagnostic>) {
+    let toks = match crate::lexer::lex(src) {
+        Ok(t) => t,
+        Err(e) => return (None, vec![syntax_diagnostic(&e)]),
+    };
+    let mut program = match crate::parser::parse_program(&toks) {
+        Ok(p) => p,
+        Err(e) => return (None, vec![syntax_diagnostic(&e)]),
+    };
+    let diags = program_diagnostics(&program);
+    if diags.iter().any(Diagnostic::is_error) {
+        return (None, diags);
+    }
+    for rule in &mut program.rules {
+        match crate::safety::analyze(rule) {
+            Ok(plan) => rule.plan = plan,
+            Err(_) => unreachable!("unsafe rules produce error diagnostics above"),
+        }
+    }
+    (Some(program), diags)
+}
+
+fn syntax_diagnostic(e: &crate::error::ParseError) -> Diagnostic {
+    let span = (e.pos.line != u32::MAX).then_some(Span { start: e.pos, end: e.pos });
+    Diagnostic::new(Lint::Syntax, span, e.message.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_names_round_trip() {
+        for lint in Lint::ALL {
+            assert_eq!(Lint::from_name(lint.name()), Some(lint), "{lint:?}");
+            assert!(!lint.description().is_empty());
+        }
+        assert_eq!(Lint::from_name("no-such-lint"), None);
+    }
+
+    #[test]
+    fn all_duplicate_labels_reported() {
+        let (_, diags) = check_source("r: ins[a].p -> 1. r: ins[b].p -> 2. r: ins[c].p -> 3.");
+        let dups: Vec<_> = diags.iter().filter(|d| d.lint == Lint::DuplicateLabel).collect();
+        assert_eq!(dups.len(), 2, "{diags:?}");
+        assert!(dups.iter().all(|d| d.is_error()));
+        assert!(dups[0].message.contains("duplicate rule label `r`"));
+    }
+
+    #[test]
+    fn check_source_collects_multiple_errors() {
+        // exists-update AND del-all-in-body in one pass.
+        let (program, diags) = check_source(
+            "ins[E].exists -> E <= E.isa -> empl.\n\
+             ins[E].a -> 1 <= E.isa -> empl & del[mod(E)].* .",
+        );
+        assert!(program.is_none());
+        assert!(diags.iter().any(|d| d.lint == Lint::ExistsUpdate));
+        assert!(diags.iter().any(|d| d.lint == Lint::DelAllInBody));
+    }
+
+    #[test]
+    fn arity_mismatch_warns_once_per_method() {
+        let (program, diags) = check_source(
+            "ins[E].likes @ a -> 1 <= E.isa -> empl.\n\
+             ins[E].likes -> 2 <= E.isa -> empl.\n\
+             ins[E].likes -> 3 <= E.isa -> mgr.",
+        );
+        assert!(program.is_some(), "warnings must not reject: {diags:?}");
+        let hits: Vec<_> = diags.iter().filter(|d| d.lint == Lint::ArityMismatch).collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("`likes`"));
+    }
+
+    #[test]
+    fn duplicate_rule_detected_up_to_variable_names() {
+        let (program, diags) = check_source(
+            "ins[X].p -> 1 <= X.isa -> empl.\n\
+             ins[Y].p -> 1 <= Y.isa -> empl.",
+        );
+        assert!(program.is_some());
+        assert!(diags.iter().any(|d| d.lint == Lint::DuplicateRule), "{diags:?}");
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_rule() {
+        let (_, diags) = check_source("r: ins[a].p -> 1.\nr: ins[b].p -> 2.");
+        let dup = diags.iter().find(|d| d.lint == Lint::DuplicateLabel).unwrap();
+        let span = dup.span.expect("parsed rules carry spans");
+        assert_eq!((span.start.line, span.start.col), (2, 1));
+        assert_eq!((span.end.line, span.end.col), (2, 17));
+    }
+
+    #[test]
+    fn render_quotes_and_underlines() {
+        let src = "r: ins[a].p -> 1.\nr: ins[b].p -> 2.";
+        let (_, diags) = check_source(src);
+        let dup = diags.iter().find(|d| d.lint == Lint::DuplicateLabel).unwrap();
+        let rendered = dup.render(Some(src), Some("dup.rv"));
+        assert!(rendered.contains("error[duplicate-label]:"), "{rendered}");
+        assert!(rendered.contains("--> dup.rv:2:1"), "{rendered}");
+        assert!(rendered.contains("2 | r: ins[b].p -> 2."), "{rendered}");
+        assert!(rendered.contains("^^^^^^^^^^^^^^^^^"), "{rendered}");
+        assert!(rendered.contains("= note: first definition at 1:1"), "{rendered}");
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_stable() {
+        let d = Diagnostic::new(Lint::Syntax, None, "expected `\"` \\ here").note("a\nb");
+        assert_eq!(
+            d.to_json(),
+            "{\"lint\":\"syntax\",\"severity\":\"error\",\"span\":null,\
+             \"message\":\"expected `\\\"` \\\\ here\",\"notes\":[\"a\\nb\"]}"
+        );
+        assert_eq!(json_array(&[]), "[]");
+    }
+
+    #[test]
+    fn lint_levels_override_and_drop() {
+        let mut levels = LintLevels::new();
+        levels.set(Lint::DeadRule, Level::Deny);
+        levels.set(Lint::DuplicateRule, Level::Allow);
+        assert_eq!(levels.level(Lint::DeadRule), Level::Deny);
+        assert_eq!(levels.level(Lint::ArityMismatch), Level::Warn);
+        let diags = vec![
+            Diagnostic::new(Lint::DeadRule, None, "a"),
+            Diagnostic::new(Lint::DuplicateRule, None, "b"),
+        ];
+        let out = levels.apply(diags);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, Lint::DeadRule);
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unsafe_rule_becomes_diagnostic() {
+        let (program, diags) = check_source("ins[E].p -> X <= E.isa -> empl.");
+        assert!(program.is_none());
+        let unsafe_d = diags.iter().find(|d| d.lint == Lint::UnsafeRule).unwrap();
+        assert!(unsafe_d.message.contains("unsafe rule"), "{}", unsafe_d.message);
+    }
+}

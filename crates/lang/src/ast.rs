@@ -332,7 +332,7 @@ impl VarTable {
 }
 
 /// An update-rule `H <= B1 & ... & Bk .` (an update-fact when `k = 0`).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Rule {
     /// The head update-term.
     pub head: UpdateAtom,
@@ -347,6 +347,24 @@ pub struct Rule {
     /// The safety plan (literal evaluation order), filled in by
     /// [`crate::safety::analyze`].
     pub plan: RulePlan,
+    /// Source span of the whole rule, when it was parsed from text
+    /// (`None` for programmatically constructed rules). Used by the
+    /// diagnostics of [`crate::analysis`].
+    pub span: Option<crate::error::Span>,
+}
+
+// Spans are diagnostic metadata, not part of a rule's identity: the
+// same rule pretty-printed and re-parsed must compare equal even
+// though its source coordinates moved.
+impl PartialEq for Rule {
+    fn eq(&self, other: &Rule) -> bool {
+        self.head == other.head
+            && self.body == other.body
+            && self.vars == other.vars
+            && self.vid_vars == other.vid_vars
+            && self.label == other.label
+            && self.plan == other.plan
+    }
 }
 
 impl Rule {
@@ -368,7 +386,8 @@ impl Rule {
         vid_vars: VarTable,
         label: Option<String>,
     ) -> Result<Rule, LangError> {
-        let mut rule = Rule { head, body, vars, vid_vars, label, plan: RulePlan::default() };
+        let mut rule =
+            Rule { head, body, vars, vid_vars, label, plan: RulePlan::default(), span: None };
         crate::validate::validate_rule(&rule)?;
         rule.plan = crate::safety::analyze(&rule)?;
         Ok(rule)

@@ -17,6 +17,25 @@ impl fmt::Display for Pos {
     }
 }
 
+/// A contiguous region of source text, from the first token of a
+/// construct to (the start of) its last token, both inclusive.
+///
+/// Spans exist for diagnostics only — they never influence semantics,
+/// and programmatically constructed AST nodes simply have none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Position of the first token.
+    pub start: Pos,
+    /// Position of the last token (its first character).
+    pub end: Pos,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
 /// A lexing or parsing failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {

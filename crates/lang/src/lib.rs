@@ -46,6 +46,7 @@
 //! * [`safety::analyze`] — the range-restriction / literal-ordering
 //!   analysis (run automatically by [`Program::parse`]).
 
+pub mod analysis;
 pub mod ast;
 pub mod error;
 pub mod facts;
@@ -56,10 +57,11 @@ pub mod safety;
 pub mod token;
 pub mod validate;
 
+pub use analysis::{Diagnostic, Level, Lint, LintLevels, Severity};
 pub use ast::{
     Atom, BinOp, Builtin, CmpOp, Expr, Literal, Program, Rule, UpdateAtom, UpdateSpec, VarTable,
     VersionAtom,
 };
-pub use error::{LangError, ParseError, SafetyError, ValidateError};
+pub use error::{LangError, ParseError, Pos, SafetyError, Span, ValidateError};
 pub use facts::{parse_facts, GroundFact};
 pub use safety::{analyze, PlannedLiteral, RulePlan};

@@ -16,7 +16,7 @@ use crate::ast::{
     Atom, BinOp, Builtin, CmpOp, Expr, Literal, Program, Rule, UpdateAtom, UpdateSpec, VarTable,
     VersionAtom,
 };
-use crate::error::{ParseError, Pos};
+use crate::error::{ParseError, Pos, Span};
 use crate::token::{Tok, Token};
 
 pub(crate) struct Parser<'t> {
@@ -386,6 +386,7 @@ impl<'t> Parser<'t> {
         self.vars = VarTable::new();
         self.vid_vars = VarTable::new();
         self.anon = 0;
+        let start = self.pos();
         // Optional `label:` prefix.
         let label = match (self.peek(), self.peek2()) {
             (Some(Tok::Ident(name)), Some(Tok::Colon)) => {
@@ -398,6 +399,8 @@ impl<'t> Parser<'t> {
         };
         let head = self.update_term()?;
         let mut body = Vec::new();
+        // `end` is the position of the terminating period.
+        let end;
         match self.peek() {
             Some(Tok::Implies) => {
                 self.bump();
@@ -406,9 +409,11 @@ impl<'t> Parser<'t> {
                     self.bump();
                     body.extend(self.literal()?);
                 }
+                end = self.pos();
                 self.expect(Tok::Period)?;
             }
             Some(Tok::Period) => {
+                end = self.pos();
                 self.bump();
             }
             Some(t) => return Err(self.err(format!("expected `<=` or `.`, found `{t}`"))),
@@ -421,6 +426,7 @@ impl<'t> Parser<'t> {
             vid_vars: std::mem::take(&mut self.vid_vars),
             label,
             plan: crate::safety::RulePlan::default(),
+            span: Some(Span { start, end }),
         })
     }
 }

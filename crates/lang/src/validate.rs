@@ -54,18 +54,29 @@ fn validate_rule_at(rule: &Rule, idx: Option<usize>) -> Result<(), ValidateError
 }
 
 /// Validate a whole program: every rule, plus label uniqueness.
+///
+/// Label duplicates are gathered through [`crate::analysis`], which
+/// reports *every* duplicate occurrence; the error summarizes them all
+/// instead of stopping at the first (tooling that wants the individual
+/// findings uses [`crate::analysis::duplicate_labels`] directly).
 pub fn validate_program(program: &Program) -> Result<(), ValidateError> {
-    let mut seen = std::collections::HashSet::new();
     for (i, rule) in program.rules.iter().enumerate() {
         validate_rule_at(rule, Some(i))?;
-        if let Some(label) = &rule.label {
-            if !seen.insert(label.clone()) {
-                return Err(ValidateError {
-                    rule: label.clone(),
-                    message: "duplicate rule label".into(),
-                });
-            }
+    }
+    let dups = crate::analysis::duplicate_labels(program);
+    if let Some(first) = dups.first() {
+        let mut message = String::from("duplicate rule label");
+        if dups.len() > 1 {
+            message = format!("{} duplicate rule labels", dups.len());
         }
+        for d in &dups {
+            message.push_str("; ");
+            message.push_str(&d.message);
+        }
+        // The offending label is quoted inside the first diagnostic's
+        // message; recover it for the error's `rule` field.
+        let label = first.message.split('`').nth(1).unwrap_or("<unlabeled>").to_owned();
+        return Err(ValidateError { rule: label, message });
     }
     Ok(())
 }
@@ -97,6 +108,17 @@ mod tests {
     fn duplicate_labels_rejected() {
         let err = Program::parse("r: ins[a].p -> 1. r: ins[b].p -> 2.").unwrap_err();
         assert!(err.to_string().contains("duplicate"), "got: {err}");
+    }
+
+    #[test]
+    fn all_duplicate_labels_reported_in_one_error() {
+        let err = Program::parse(
+            "r: ins[a].p -> 1. r: ins[b].p -> 2. s: ins[c].p -> 3. s: ins[d].p -> 4.",
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2 duplicate rule labels"), "got: {msg}");
+        assert!(msg.contains("`r`") && msg.contains("`s`"), "got: {msg}");
     }
 
     #[test]

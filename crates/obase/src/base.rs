@@ -87,7 +87,7 @@ impl KeyIndex {
         // the entry is always present, and a miss — an index bug —
         // must not CoW-copy the shard on its way to doing nothing.
         let present = self.map.get(&full).is_some_and(|bases| bases.contains_key(&base));
-        debug_assert!(
+        crate::invariant_assert!(
             present,
             "KeyIndex multiplicity underflow: removing absent entry \
              chain={chain} method={method} key={key} base={base}"
@@ -127,8 +127,10 @@ fn result_indexed(method: Symbol, result: Const, base: Const) -> bool {
 /// A set of ground version-terms, indexed for bottom-up evaluation.
 ///
 /// See the crate docs for the index structure. All mutating operations
-/// keep the indexes consistent; `debug_assert`-level invariants are
-/// checked in the test suite via [`ObjectBase::check_invariants`].
+/// keep the indexes consistent; inline invariants go through
+/// [`invariant_assert!`](crate::invariant_assert) (armed in debug *and*
+/// `cfg(test)` release builds) and the test suite cross-checks whole
+/// bases via [`ObjectBase::check_invariants`].
 ///
 /// ## Copy-on-write clones
 ///
@@ -208,7 +210,7 @@ impl ObjectBase {
         let state = Arc::make_mut(self.versions.get_or_default(vid));
         let was_empty_method = !state.has_method(method);
         let added = state.insert(method, app);
-        debug_assert!(added, "presence peeked above");
+        crate::invariant_assert!(added, "presence peeked above");
         self.fact_count += 1;
         if was_empty_method {
             self.by_chain_method.get_or_default((vid.chain(), method)).insert(vid.base());
@@ -244,7 +246,7 @@ impl ObjectBase {
             let state_arc = self.versions.get_mut(&vid).expect("presence peeked above");
             let state = Arc::make_mut(state_arc);
             let removed = state.remove(method, &app);
-            debug_assert!(removed, "presence peeked above");
+            crate::invariant_assert!(removed, "presence peeked above");
             (!state.has_method(method), state.is_empty())
         };
         self.fact_count -= 1;
@@ -999,8 +1001,9 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    // Armed even in `--release` test runs: `invariant_assert!` checks
+    // `cfg!(test)` as well as `cfg!(debug_assertions)`.
     #[test]
-    #[cfg(debug_assertions)]
     #[should_panic(expected = "KeyIndex multiplicity underflow")]
     fn key_index_remove_of_absent_entry_is_flagged() {
         let mut idx = KeyIndex::default();
@@ -1011,7 +1014,6 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
     #[should_panic(expected = "KeyIndex multiplicity underflow")]
     fn key_index_double_remove_is_flagged() {
         let mut idx = KeyIndex::default();

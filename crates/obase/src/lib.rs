@@ -59,6 +59,23 @@ pub use stats::{CowStats, ObStats};
 /// The name of the paper's system method: `o.exists -> o`.
 pub const EXISTS_METHOD: &str = "exists";
 
+/// Assert an internal index invariant.
+///
+/// Like `debug_assert!`, but also armed when the enclosing crate is
+/// compiled for its test harness (`cfg(test)`), so `cargo test
+/// --release` still catches index-consistency bugs the optimizer
+/// would otherwise let slide silently. In ordinary release builds the
+/// whole expansion is a constant-false branch and the condition is
+/// never evaluated.
+#[macro_export]
+macro_rules! invariant_assert {
+    ($($arg:tt)*) => {
+        if cfg!(debug_assertions) || cfg!(test) {
+            assert!($($arg)*);
+        }
+    };
+}
+
 // The serving layer (ruvo-core's `ServingDatabase`) shares these
 // types across threads behind `Arc`s; losing `Send + Sync` — say by
 // introducing an `Rc` or `Cell` into a shard — would silently make

@@ -77,7 +77,7 @@ fn main() {
     let dormant = Formula::fact(sym("status"), oid("dormant"));
     // At the end of acct2's trace the flag is gone but was once there.
     let last = t2.len() - 1;
-    assert!(t2.eval(last, &dormant.clone().not()));
+    assert!(t2.eval(last, &!dormant.clone()));
     assert!(t2.eval(last, &Formula::Once(Box::new(dormant))));
     println!("temporal: acct2 went through {} update steps\n", last);
 

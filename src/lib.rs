@@ -14,7 +14,8 @@
 //! * [`lang`] — parser / AST / safety analysis for the update language,
 //! * [`core`] — the `T_P` operator, stratification and fixpoint
 //!   evaluation (the paper's contribution), plus the [`Database`]
-//!   facade,
+//!   facade and the `ruvo check` static analyses (`core::check`:
+//!   write-write conflicts, commutativity, dead rules),
 //! * [`datalog`] — the Logres-style baseline engine,
 //! * [`workload`] — deterministic synthetic workload generators,
 //! * [`schema`] — classes, conformance and update-driven schema
@@ -84,19 +85,21 @@ pub use ruvo_term as term;
 pub use ruvo_workload as workload;
 
 pub use ruvo_core::{
-    Applied, CheckpointPolicy, Database, DatabaseBuilder, Error, ErrorKind, FsyncPolicy, Prepared,
-    ServingDatabase, Transaction,
+    Applied, CheckReport, CheckpointPolicy, Commutativity, CommutativityMatrix, Database,
+    DatabaseBuilder, Error, ErrorKind, FsyncPolicy, Prepared, ServingDatabase, SourceCheck,
+    Transaction,
 };
+pub use ruvo_lang::{Diagnostic, Level, Lint, LintLevels, Severity, Span};
 pub use ruvo_obase::Snapshot;
 
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use ruvo_core::{
-        Applied, CheckpointPolicy, Database, DatabaseBuilder, EngineConfig, Error, ErrorKind,
-        EvalError, FsyncPolicy, Outcome, Prepared, ServingDatabase, Session, Stratification,
-        Transaction, UpdateEngine,
+        Applied, CheckReport, CheckpointPolicy, Commutativity, CommutativityMatrix, Database,
+        DatabaseBuilder, EngineConfig, Error, ErrorKind, EvalError, FsyncPolicy, Outcome, Prepared,
+        ServingDatabase, Session, SourceCheck, Stratification, Transaction, UpdateEngine,
     };
-    pub use ruvo_lang::{Program, Rule};
+    pub use ruvo_lang::{Diagnostic, Lint, Program, Rule, Severity};
     pub use ruvo_obase::{MethodApp, ObjectBase, Snapshot};
     pub use ruvo_term::{int, num, oid, sym, Chain, Const, Symbol, UpdateKind, Vid};
 }

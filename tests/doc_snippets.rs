@@ -84,6 +84,66 @@ fn rejections_match_the_document() {
 }
 
 #[test]
+fn lint_appendix_examples_are_minimal_and_triggering() {
+    use ruvo::core::check::check_source;
+    use ruvo::core::CyclePolicy;
+
+    let doc = include_str!("../docs/LANGUAGE.md");
+    // (lint name, doc example, policy to check under). Each example
+    // must appear verbatim in Appendix A and must trigger exactly the
+    // lint the appendix files it under.
+    let appendix: [(&str, &str, CyclePolicy); 11] = [
+        ("syntax", "ins[X].p -> ??? .", CyclePolicy::Reject),
+        ("duplicate-label", "r: ins[a].p -> 1.\nr: ins[b].p -> 2.", CyclePolicy::Reject),
+        ("exists-update", "ins[x].exists -> x.", CyclePolicy::Reject),
+        ("del-all-in-body", "ins[X].p -> 1 <= del[X].* .", CyclePolicy::Reject),
+        ("unsafe-rule", "ins[X].p -> Y <= X.q -> 1.", CyclePolicy::Reject),
+        (
+            "dynamic-policy-required",
+            "ins[X].p -> 1 <= X.q -> 1 & not ins(X).p -> 1.",
+            CyclePolicy::Reject,
+        ),
+        ("arity-mismatch", "a: ins[x].m @ 1 -> 2.\nb: ins[y].m -> 3.", CyclePolicy::Reject),
+        (
+            "write-write-conflict",
+            "r1: mod[X].price -> (P, 1) <= X.price -> P.\nr2: mod[X].price -> (P, 2) <= X.price -> P.",
+            CyclePolicy::Reject,
+        ),
+        ("dead-rule", "r1: ins[x].p -> 1 <= ins(y).q -> 1.", CyclePolicy::Reject),
+        (
+            "duplicate-rule",
+            "r1: ins[X].p -> 1 <= X.q -> 1.\nr2: ins[Y].p -> 1 <= Y.q -> 1.",
+            CyclePolicy::Reject,
+        ),
+        // The advisory only fires when the *relaxed* policy was asked
+        // for, as `ruvo run --dynamic` does.
+        ("needless-dynamic-policy", "ins[x].p -> 1.", CyclePolicy::RuntimeStability),
+    ];
+    let mut documented: Vec<&str> = Vec::new();
+    for (name, example, policy) in appendix {
+        assert!(
+            doc.contains(&format!("### `{name}`")),
+            "LANGUAGE.md appendix is missing a section for lint `{name}`"
+        );
+        assert!(
+            doc.contains(example),
+            "LANGUAGE.md appendix does not show this example for `{name}`:\n{example}"
+        );
+        let report = check_source(example, policy);
+        assert!(
+            report.diagnostics.iter().any(|d| d.lint.name() == name),
+            "appendix example for `{name}` does not trigger it; got: {:?}",
+            report.diagnostics
+        );
+        documented.push(name);
+    }
+    // The appendix is complete: every registered lint is documented.
+    for lint in Lint::ALL {
+        assert!(documented.contains(&lint.name()), "lint `{}` has no appendix entry", lint.name());
+    }
+}
+
+#[test]
 fn arithmetic_behaves_as_documented() {
     // Integral results normalize to Int; Int and Num compare equal.
     let out =
