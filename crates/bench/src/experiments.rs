@@ -4,15 +4,18 @@
 //! the paper's stated outcomes, so running the experiments doubles as
 //! an acceptance test of the reproduction.
 
-use ruvo_core::{CyclePolicy, Database, EngineConfig, EvalError, ServingDatabase, UpdateEngine};
+use ruvo_core::{
+    CyclePolicy, Database, EngineConfig, EvalError, QueryMode, ServingDatabase, UpdateEngine,
+};
 use ruvo_datalog::{evaluate, parse_program as parse_dl, Semantics};
-use ruvo_lang::Program;
+use ruvo_lang::{Goal, Program};
 use ruvo_obase::{Args, ObjectBase};
 use ruvo_term::{int, oid, sym, Vid};
 use ruvo_workload::{
     ancestors_program, chain_object_base, chain_program, enterprise_baseline_datalog,
-    enterprise_program, hypothetical_program, salary_raise_program, serving_scenario, Enterprise,
-    EnterpriseConfig, Family, FamilyConfig, ServingConfig, ServingScenario, PAPER_ENTERPRISE_OB,
+    enterprise_program, hypothetical_program, query_workload, salary_raise_program,
+    serving_scenario, Enterprise, EnterpriseConfig, Family, FamilyConfig, QueryConfig,
+    ServingConfig, ServingScenario, PAPER_ENTERPRISE_OB,
 };
 
 use crate::table::Table;
@@ -45,6 +48,7 @@ pub fn all() -> Vec<Experiment> {
         ("A3", "ablation — §6 runtime stability checking", a3_runtime_checks),
         ("A6", "ablation — copy-on-write clone and snapshot micro-costs", a6_cow_clone),
         ("E10", "durable storage — append vs fsync, recovery, checkpoint cost", e10_durability),
+        ("E11", "demand-driven queries — magic-set point query vs full evaluation", e11_demand),
     ]
 }
 
@@ -719,8 +723,23 @@ pub fn bench_json(quick: bool) -> String {
         })
         .collect();
 
+    // The PR-7 axis: demand-driven queries (magic-set point query vs
+    // the full-evaluation escape hatch).
+    let e11_rows: Vec<String> = e11_sizes(quick)
+        .into_iter()
+        .map(|n| {
+            let r = e11_measure(quick, n);
+            format!(
+                "    {{\"employees\": {}, \"facts\": {}, \"full_ms\": {:.3}, \
+                 \"demand_ms\": {:.3}, \"speedup\": {:.1}}}",
+                r.employees, r.facts, r.full_ms, r.demand_ms, r.speedup
+            )
+        })
+        .collect();
+
     format!(
-        "{{\n  \"pr\": 5,\n  \"quick\": {quick},\n  \"cpus\": {cpus},\n  \
+        "{{\n  \"pr\": 7,\n  \"quick\": {quick},\n  \"cpus\": {cpus},\n  \
+         \"e11_demand_queries\": [\n{}\n  ],\n  \
          \"e10_durability\": {{\n   \"fsync\": [\n{}\n   ],\n   \
          \"recovery\": [\n{}\n   ],\n   \"checkpoint\": [\n{}\n   ]\n  }},\n  \
          \"e8_concurrent_throughput\": {{\n   \"objects\": {},\n   \
@@ -732,6 +751,7 @@ pub fn bench_json(quick: bool) -> String {
          \"e7\": {{\n   \"hot\": {hot},\n   \
          \"sizes\": [\n{}\n   ],\n   \"ratio_objects\": {ratio_n},\n   \"ratio\": [\n{}\n   ]\n  \
          }},\n  \"a6\": [\n{}\n  ]\n}}\n",
+        e11_rows.join(",\n"),
         fsync_rows.join(",\n"),
         recovery_rows.join(",\n"),
         checkpoint_rows.join(",\n"),
@@ -1613,6 +1633,103 @@ pub fn e10_durability(quick: bool) -> String {
     out
 }
 
+// ----- E11: demand-driven queries ------------------------------------
+
+/// One E11 cell: a selective point query at one enterprise size.
+pub struct E11Row {
+    /// Employees in the underlying enterprise.
+    pub employees: usize,
+    /// Facts in the raw base (≈ 3.2 per employee).
+    pub facts: usize,
+    /// Answer via the `demand(false)` escape hatch (full evaluation +
+    /// goal match), ms.
+    pub full_ms: f64,
+    /// Answer via the magic-set demand path, ms.
+    pub demand_ms: f64,
+    /// `full_ms / demand_ms`.
+    pub speedup: f64,
+}
+
+/// The E11 size axis, in employees (31k ≈ a 100k-fact base).
+pub fn e11_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![500, 2_000]
+    } else {
+        vec![1_000, 10_000, 31_000]
+    }
+}
+
+/// Measure one E11 size (shared by the report and [`bench_json`]).
+/// Asserts the plan is seeded and the answers match the workload's
+/// independently computed reference boss chain.
+pub fn e11_measure(quick: bool, employees: usize) -> E11Row {
+    let w = query_workload(QueryConfig { employees, queries: 1, seed: 0x51EED });
+    let q = &w.queries[0]; // q0 is the point shape: `?- ins(eK).chief -> C.`
+    let goal = Goal::parse(&q.goal).unwrap();
+    let db = Database::open(w.enterprise.ob.clone());
+    let prepared = db.prepare(w.program).unwrap();
+    let plan = prepared.query_plan(goal.clone());
+    assert_eq!(plan.mode(), QueryMode::Seeded, "a point goal must seed: {}", plan.describe());
+    let slow_db = Database::builder().demand(false).open(w.enterprise.ob.clone());
+    let slow_prepared = slow_db.prepare(w.program).unwrap();
+    let demand = median_time(reps(quick), || {
+        std::hint::black_box(db.query(&prepared, goal.clone()).unwrap());
+    });
+    let full = median_time(reps(quick), || {
+        std::hint::black_box(slow_db.query(&slow_prepared, goal.clone()).unwrap());
+    });
+    let fast_answers = db.query(&prepared, goal.clone()).unwrap();
+    let slow_answers = slow_db.query(&slow_prepared, goal).unwrap();
+    assert_eq!(fast_answers.rows, q.expected, "goal {}", q.goal);
+    assert_eq!(slow_answers.rows, q.expected, "goal {}", q.goal);
+    E11Row {
+        employees,
+        facts: w.enterprise.ob.len(),
+        full_ms: full.as_secs_f64() * 1e3,
+        demand_ms: demand.as_secs_f64() * 1e3,
+        speedup: full.as_secs_f64() / demand.as_secs_f64().max(f64::EPSILON),
+    }
+}
+
+/// E11 — demand-driven queries: a selective point query
+/// (`?- ins(eK).chief -> C.`) against the boss-chain closure, answered
+/// through the magic-set demand path vs the full-evaluation escape
+/// hatch. Full evaluation derives every employee's chief closure; the
+/// demand plan seeds exactly one object, so the gap grows with the
+/// base. Acceptance (full mode): ≥ 10× at the ~100k-fact size.
+pub fn e11_demand(quick: bool) -> String {
+    let mut t =
+        Table::new(&["employees", "base facts", "full eval (ms)", "demand (ms)", "speedup"]);
+    let mut last = None;
+    for n in e11_sizes(quick) {
+        let row = e11_measure(quick, n);
+        t.row(&[
+            row.employees.to_string(),
+            row.facts.to_string(),
+            format!("{:.3}", row.full_ms),
+            format!("{:.3}", row.demand_ms),
+            format!("{:.1}×", row.speedup),
+        ]);
+        last = Some(row);
+    }
+    let last = last.expect("sweep ran");
+    let mut out = t.render();
+    out.push_str(
+        "\nanswers verified against the workload's reference boss chains at every size;\n\
+         both paths return identical rows (the differential battery asserts this on\n\
+         random programs and goals — `tests/query_differential.rs`).\n",
+    );
+    assert!(last.speedup > 1.0, "demand path slower than full evaluation: {:.2}×", last.speedup);
+    if !quick {
+        assert!(
+            last.speedup >= 10.0,
+            "acceptance: ≥10× on the ~100k-fact base, got {:.1}×",
+            last.speedup
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     //! Every experiment must run clean in quick mode — this is the
@@ -1706,7 +1823,10 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"pr\": 5",
+            "\"pr\": 7",
+            "\"e11_demand_queries\"",
+            "\"demand_ms\"",
+            "\"speedup\"",
             "\"cpus\"",
             "\"e10_durability\"",
             "\"fsync\"",
@@ -1733,6 +1853,12 @@ mod tests {
         let report = super::e8_concurrent_throughput(true);
         assert!(report.contains("reads/s"), "got:\n{report}");
         assert!(report.contains("serving vs coarse lock"), "got:\n{report}");
+    }
+
+    #[test]
+    fn e11_quick() {
+        let report = super::e11_demand(true);
+        assert!(report.contains("speedup"), "got:\n{report}");
     }
 
     #[test]

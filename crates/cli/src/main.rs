@@ -500,16 +500,27 @@ fn serve_demo(
     let db = db.into_serving();
     let prepared = Prepared::compile(program, CyclePolicy::Reject)?;
     let objects: Vec<ruvo_term::Const> = db.current().objects().collect();
+    // Demand-driven point queries for a handful of objects: each reader
+    // interleaves these with its raw snapshot scans. The plans are
+    // built once (the magic-set rewrite is per-goal, not per-ask).
+    let query_plans: Vec<ruvo_core::QueryPlan> = objects
+        .iter()
+        .take(8)
+        .filter_map(|obj| ruvo_lang::Goal::parse(&format!("?- {obj}.sal -> S.")).ok())
+        .map(|goal| prepared.query_plan(goal))
+        .collect();
     let done = AtomicBool::new(false);
     let started = Instant::now();
-    let (reads, write_result) = std::thread::scope(|s| {
+    let (reads, queries, write_result) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..readers)
             .map(|r| {
                 let db: ServingDatabase = db.clone();
                 let objects = &objects;
+                let query_plans = &query_plans;
                 let done = &done;
                 s.spawn(move || {
                     let mut reads = 0u64;
+                    let mut queries = 0u64;
                     let mut i = r;
                     while !done.load(Ordering::Relaxed) {
                         let snap = db.snapshot();
@@ -520,8 +531,12 @@ fn serve_demo(
                             i += 1;
                             reads += 1;
                         }
+                        if let Some(plan) = query_plans.get(i % query_plans.len().max(1)) {
+                            std::hint::black_box(db.run_query_plan(plan).ok());
+                            queries += 1;
+                        }
                     }
-                    reads
+                    (reads, queries)
                 })
             })
             .collect();
@@ -546,14 +561,17 @@ fn serve_demo(
         };
         let write_result = writer.join().expect("writer thread");
         done.store(true, Ordering::Relaxed);
-        let reads: u64 = handles.into_iter().map(|h| h.join().expect("reader thread")).sum();
-        (reads, write_result)
+        let (reads, queries) = handles.into_iter().fold((0u64, 0u64), |(r, q), h| {
+            let (reads, queries) = h.join().expect("reader thread");
+            (r + reads, q + queries)
+        });
+        (reads, queries, write_result)
     });
     write_result?;
     let elapsed = started.elapsed().as_secs_f64();
     Ok(format!(
-        "served {reads} snapshot reads across {readers} readers while committing \
-         {commits} transactions in {elapsed:.2}s\n\
+        "served {reads} snapshot reads and {queries} demand queries across {readers} readers \
+         while committing {commits} transactions in {elapsed:.2}s\n\
          ({:.0} reads/s, {:.0} commits/s, head epoch {})\n\
          final head: {} facts\n",
         reads as f64 / elapsed,

@@ -28,6 +28,8 @@ commands:
   :stats              object base statistics
   :help               this help
   :quit               leave
+?- B1 & ... & Bk .    query goal, answered against the current base
+                      (demand-driven; never commits)
 anything else: update-rules, applied as one transaction once a line
 ends with `.`";
 
@@ -212,15 +214,33 @@ pub fn run(
             continue;
         }
 
-        // Rule input: accumulate until a line ends the statement.
+        // Rule or goal input: accumulate until a line ends the
+        // statement.
         pending.push_str(trimmed);
         pending.push('\n');
         if trimmed.ends_with('.') {
             let src = std::mem::take(&mut pending);
-            apply(&mut db, &src, out)?;
+            if src.trim_start().starts_with("?-") {
+                query(&db, &src, out)?;
+            } else {
+                apply(&mut db, &src, out)?;
+            }
         }
     }
     Ok(())
+}
+
+fn query(db: &Database, src: &str, out: &mut impl Write) -> std::io::Result<()> {
+    let goal = match ruvo_lang::Goal::parse(src) {
+        Ok(g) => g,
+        Err(e) => return writeln!(out, "! {e}"),
+    };
+    // A goal over the empty update-program asks the committed base
+    // itself (the demand rewrite degenerates to a direct match).
+    match db.prepare("").and_then(|empty| db.query(&empty, goal)) {
+        Ok(answers) => writeln!(out, "{answers}"),
+        Err(e) => writeln!(out, "! {e}"),
+    }
 }
 
 fn apply(db: &mut Database, src: &str, out: &mut impl Write) -> std::io::Result<()> {

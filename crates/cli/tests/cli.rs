@@ -231,6 +231,30 @@ mod[acct].balance -> (100, 150) <= acct.balance -> 100.
 }
 
 #[test]
+fn repl_answers_query_goals() {
+    let dir = std::env::temp_dir().join("ruvo-cli-repl-query");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write_file(&dir, "b.ob", "henry.isa -> empl. henry.sal -> 250. rex.isa -> dog.");
+    let script = "\
+?- henry.sal -> S.
+?- X.isa -> empl & X.sal -> S.
+?- rex.isa -> empl.
+?- not a goal.
+:log
+:quit
+";
+    let out = ruvo_stdin(&["repl", base.to_str().unwrap()], script);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("S = 250"), "got: {stdout}");
+    assert!(stdout.contains("X = henry, S = 250"), "got: {stdout}");
+    assert!(stdout.contains("\nno\n"), "got: {stdout}");
+    assert!(stdout.contains("! parse error"), "got: {stdout}");
+    // Queries never commit.
+    assert!(stdout.contains("(no transactions)"), "got: {stdout}");
+}
+
+#[test]
 fn repl_reports_errors_without_dying() {
     let script = "\
 not a rule at all .

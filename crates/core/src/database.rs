@@ -40,11 +40,14 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use ruvo_lang::{Diagnostic, LangError, Lint, ParseError, Program, SafetyError, ValidateError};
+use ruvo_lang::{
+    Diagnostic, Goal, LangError, Lint, ParseError, Program, SafetyError, ValidateError,
+};
 use ruvo_obase::{LinearityViolation, ObjectBase, Snapshot, SnapshotError, SnapshotFileError};
 
 use crate::engine::{CompiledProgram, CyclePolicy, EngineConfig, Outcome, TraceLevel};
 use crate::error::EvalError;
+use crate::query::{QueryAnswers, QueryPlan};
 use crate::session::{SavepointId, Session, SessionError, Txn};
 use crate::store::{CheckpointPolicy, DurabilitySink, FsyncPolicy, StorageError, WalStore};
 use crate::stratify::{Stratification, StratifyError};
@@ -362,6 +365,17 @@ impl Prepared {
         &self.report.commutativity
     }
 
+    /// Build the demand-driven query plan for `goal` against this
+    /// program: prune rules that cannot contribute to the goal's
+    /// chains, then (when a seeding strategy exists) guard the
+    /// remaining rules with a magic demand predicate so evaluation
+    /// touches only the demanded slice of the object base. The plan is
+    /// a pure rewrite — build it once, run it against any base via
+    /// [`Database::query`] (see [`crate::plan_query`]).
+    pub fn query_plan(&self, goal: Goal) -> QueryPlan {
+        crate::query::plan_query(&self.compiled, goal)
+    }
+
     pub(crate) fn compiled(&self) -> &CompiledProgram {
         &self.compiled
     }
@@ -440,6 +454,16 @@ impl DatabaseBuilder {
     /// way — this exists for differential testing and benchmarking.
     pub fn naive_eval(mut self, on: bool) -> Self {
         self.config.semi_naive = !on;
+        self
+    }
+
+    /// Escape hatch: answer [`Database::query`] by evaluating the
+    /// **full** program and matching the goal against the complete
+    /// result, skipping the magic-set rewrite (default on → rewrite).
+    /// Answers are identical either way — this exists for
+    /// differential testing and benchmarking.
+    pub fn demand(mut self, on: bool) -> Self {
+        self.config.demand = on;
         self
     }
 
@@ -736,6 +760,58 @@ impl Database {
     pub fn evaluate(&self, prepared: &Prepared) -> Result<Outcome, Error> {
         let work = self.session.prepared_work();
         Ok(crate::engine::run_compiled(prepared.compiled(), self.session.config(), work)?)
+    }
+
+    // ----- queries ---------------------------------------------------
+
+    /// Ask `goal` against the result of evaluating `prepared` on the
+    /// committed base, **without committing** — the demand-driven read
+    /// path. The goal is magic-set rewritten against the program
+    /// ([`Prepared::query_plan`]) so that, for selective goals, only
+    /// the demanded slice of the object base is evaluated; the answers
+    /// are exactly the goal's matches against the full evaluation's
+    /// `result(P)`.
+    ///
+    /// Under [`DatabaseBuilder::demand`]`(false)` the rewrite is
+    /// skipped and the goal is matched against a complete
+    /// [`Database::evaluate`] — the slow reference semantics.
+    ///
+    /// ```
+    /// use ruvo_core::Database;
+    /// use ruvo_lang::Goal;
+    ///
+    /// let db = Database::open_src(
+    ///     "henry.isa -> empl. henry.sal -> 250.
+    ///      mary.isa -> empl.  mary.sal -> 300.",
+    /// )?;
+    /// let raise = db.prepare(
+    ///     "mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.",
+    /// )?;
+    /// let answers = db.query(&raise, Goal::parse("?- mod(henry).sal -> S.")?)?;
+    /// assert_eq!(answers.rows, vec![vec![ruvo_term::int(275)]]);
+    /// assert!(db.is_empty(), "queries never commit");
+    /// # Ok::<(), ruvo_core::Error>(())
+    /// ```
+    pub fn query(&self, prepared: &Prepared, goal: Goal) -> Result<QueryAnswers, Error> {
+        if !self.config().demand {
+            let outcome = self.evaluate(prepared)?;
+            return Ok(crate::query::match_goal(outcome.result(), &goal));
+        }
+        let plan = prepared.query_plan(goal);
+        self.run_query_plan(&plan)
+    }
+
+    /// [`Database::query`] for goal text (`?- B1 & ... & Bk .`).
+    pub fn query_src(&self, prepared: &Prepared, goal: &str) -> Result<QueryAnswers, Error> {
+        self.query(prepared, Goal::parse(goal)?)
+    }
+
+    /// Run an already-built [`QueryPlan`] against the committed base
+    /// (build one via [`Prepared::query_plan`] to amortize the rewrite
+    /// across repeated asks of the same goal).
+    pub fn run_query_plan(&self, plan: &QueryPlan) -> Result<QueryAnswers, Error> {
+        let work = self.session.prepared_work();
+        Ok(crate::query::run_query(plan, self.session.config(), work)?)
     }
 
     // ----- transactions ----------------------------------------------
@@ -1161,6 +1237,23 @@ mod tests {
         assert!(outcome.try_new_object_base().is_err(), "result is non-linear");
         assert!(!outcome.result().is_empty(), "result(P) is still inspectable");
         assert_eq!(loose.apply(&branchy).unwrap_err().kind(), ErrorKind::Linearity);
+    }
+
+    #[test]
+    fn query_is_demand_driven_and_matches_escape_hatch() {
+        let db = Database::open_src(BASE).unwrap();
+        let raise = db.prepare(RAISE).unwrap();
+        let plan = raise.query_plan(Goal::parse("?- mod(henry).sal -> S.").unwrap());
+        assert_eq!(plan.mode(), crate::query::QueryMode::Seeded);
+        let fast = db.query_src(&raise, "?- mod(henry).sal -> S.").unwrap();
+        assert_eq!(fast.rows, vec![vec![int(275)]]);
+        assert!(db.is_empty(), "queries never commit");
+        // The demand(false) escape hatch evaluates everything and must
+        // agree exactly.
+        let slow_db = Database::builder().demand(false).open_src(BASE).unwrap();
+        let slow = slow_db.query_src(&raise, "?- mod(henry).sal -> S.").unwrap();
+        assert_eq!(fast.vars, slow.vars);
+        assert_eq!(fast.rows, slow.rows);
     }
 
     #[test]

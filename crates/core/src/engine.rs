@@ -113,6 +113,13 @@ pub struct EngineConfig {
     /// tests validate that theorem empirically. Forces full rule
     /// re-evaluation per round (disables delta filtering benefits).
     pub verify_stability: bool,
+    /// Demand-driven query evaluation (default on): `Database::query`
+    /// rewrites the program against the goal's bound arguments (see
+    /// [`crate::query`]) so only the demanded slice of the object base
+    /// is computed. With `demand: false` every query runs the full
+    /// fixpoint and filters — the escape hatch, and the oracle the
+    /// differential query tests compare against.
+    pub demand: bool,
 }
 
 impl Default for EngineConfig {
@@ -126,6 +133,7 @@ impl Default for EngineConfig {
             parallel: false,
             cycles: CyclePolicy::Reject,
             verify_stability: false,
+            demand: true,
         }
     }
 }
@@ -137,6 +145,14 @@ impl EngineConfig {
     /// benchmark; results are identical either way.
     pub fn naive_eval(mut self, on: bool) -> Self {
         self.semi_naive = !on;
+        self
+    }
+
+    /// Toggle demand-driven query evaluation (see
+    /// [`EngineConfig::demand`]); `demand(false)` forces every query
+    /// through the full-evaluation path.
+    pub fn demand(mut self, on: bool) -> Self {
+        self.demand = on;
         self
     }
 }

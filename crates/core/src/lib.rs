@@ -31,6 +31,7 @@ pub mod error;
 pub mod history;
 pub mod matcher;
 pub mod plan;
+pub mod query;
 pub mod reference;
 pub mod serve;
 pub mod session;
@@ -50,6 +51,7 @@ pub use engine::{
 pub use error::EvalError;
 pub use history::{history, History, HistoryStep};
 pub use plan::{IndexPlan, RuleIndexPlan, ScanHint};
+pub use query::{match_goal, plan_query, run_query, QueryAnswers, QueryMode, QueryPlan};
 pub use serve::{Applied, ServingDatabase};
 pub use session::{SavepointId, Session, SessionError, Txn};
 pub use store::{

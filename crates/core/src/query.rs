@@ -1,0 +1,968 @@
+//! Demand-driven query evaluation: a magic-set rewrite over the
+//! seeded matcher.
+//!
+//! A [`Goal`] asks for the bindings of a body-only conjunction in
+//! `result(P)` — the interpretation the update-program `P` evaluates
+//! to over an object base. The naive way to answer it is to run `P`
+//! to completion and filter; for a selective goal (`?- mod(phil).sal
+//! -> S.`) that derives updates for *every* object when the goal only
+//! ever observes one. This module adapts the classic magic-set /
+//! demand transformation of deductive databases to the paper's
+//! object-version semantics:
+//!
+//! 1. **Relevance pruning (chain granularity).** A rule is *relevant*
+//!    iff the version chain it creates is (transitively) read by the
+//!    goal. Irrelevant rules are dropped: their writes are
+//!    unobservable, and facts are never removed by pruning, so every
+//!    kept rule sees exactly the base facts it would under full
+//!    evaluation.
+//! 2. **Object-level magic seeding.** Every kept rule with a variable
+//!    head target `X` gets a *guard* literal `X.'?demand' -> 1`
+//!    prepended: it fires only for objects in the demanded set. The
+//!    demanded set starts from the goal's constant targets and grows
+//!    by sideways information passing (SIP): for each kept rule whose
+//!    body reads a *derived* relation of some other object `V`, a
+//!    demand rule derives `V`'s demand from the rule's base-complete
+//!    literals. Because rules only ever write versions of their own
+//!    head object, the demand fixpoint closes over exactly the
+//!    objects whose derivations the goal can observe.
+//! 3. **Evaluation.** The demanded objects are materialized as magic
+//!    `ε`-facts on a fresh method name, the guarded program runs
+//!    through the ordinary compiled pipeline
+//!    ([`crate::run_compiled`], index plans, semi-naive seeding), and
+//!    the goal is matched against the outcome with
+//!    [`crate::matcher::for_each_match_planned`].
+//!
+//! When a step of the analysis cannot be justified the planner falls
+//! back — [`QueryMode::Seeded`] → [`QueryMode::Pruned`] (relevant
+//! rules only, unguarded) → [`QueryMode::Full`] (the original
+//! program) — and records why; answers are identical in every mode
+//! (the differential test battery in `tests/query_differential.rs`
+//! holds the rewrite to that).
+//!
+//! The magic guard reads a fresh method on the *empty* chain, which
+//! no rule writes, so guarding never adds stratification edges: the
+//! guarded program stratifies exactly like the pruned one.
+
+use std::fmt;
+
+use ruvo_lang::pretty::{const_str, literal_str};
+use ruvo_lang::{Atom, Goal, Literal, Program, Rule, UpdateSpec, VersionAtom};
+use ruvo_obase::{Args, ObjectBase};
+use ruvo_term::{
+    int, sym, BaseTerm, Chain, Const, FastHashSet, Symbol, VarId, Vid, VidRef, VidTerm,
+};
+
+use crate::engine::{run_compiled, CompiledProgram, EngineConfig};
+use crate::error::EvalError;
+use crate::matcher::for_each_match_planned;
+use crate::plan::{literal_reads, IndexPlan, RuleIndexPlan};
+
+/// The base name of the magic (demand) method; uniquified against the
+/// program's and goal's method vocabulary before use.
+const MAGIC_METHOD: &str = "?demand";
+
+/// How a query plan evaluates relative to full evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Irrelevant rules dropped *and* the remaining variable-headed
+    /// rules guarded by magic demand facts: only the demanded slice
+    /// of the object base is derived.
+    Seeded,
+    /// Irrelevant rules dropped, but the demand analysis could not
+    /// justify guards; the kept rules run over the whole base.
+    Pruned,
+    /// The original program, unchanged (the escape hatch, and the
+    /// fallback when even pruning is unjustified).
+    Full,
+}
+
+impl fmt::Display for QueryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QueryMode::Seeded => "seeded",
+            QueryMode::Pruned => "pruned",
+            QueryMode::Full => "full",
+        })
+    }
+}
+
+/// A demand-propagation rule: when the original rule could fire, its
+/// base-complete body literals hold over the input base, so
+/// evaluating just those over the base enumerates every object the
+/// rule can pull a derived relation from.
+struct DemandRule {
+    /// The base-complete prerequisite conjunction, packaged as a
+    /// (ground-headed) goal so it reuses validation and the safety
+    /// plan.
+    body: Goal,
+    /// Index plan for [`DemandRule::body`]'s single rule.
+    plan: RuleIndexPlan,
+    /// The variable whose bindings become demanded.
+    v: VarId,
+    /// When `Some`, demand `v` only for firings whose head object `x`
+    /// is itself demanded (the SIP edge); `None` demands
+    /// unconditionally (goal sweeps, constant-headed rules, and rules
+    /// whose head variable does not occur in the base-complete part).
+    x: Option<VarId>,
+}
+
+/// The seeding half of a [`QueryPlan`] (present in
+/// [`QueryMode::Seeded`] only).
+struct SeedPlan {
+    /// The fresh magic method the guards read.
+    magic: Symbol,
+    /// Statically demanded objects: the constant targets of derived
+    /// literals in the goal and in kept rules.
+    seeds: Vec<Const>,
+    /// Demand-propagation rules, evaluated over the input base.
+    demands: Vec<DemandRule>,
+}
+
+/// A compiled query: the goal, the rewritten program, and the demand
+/// seeding analysis. Built once per (program, goal) pair by
+/// [`plan_query`] and reusable across object bases via [`run_query`].
+pub struct QueryPlan {
+    goal: Goal,
+    goal_plan: RuleIndexPlan,
+    mode: QueryMode,
+    reason: Option<String>,
+    kept: Vec<usize>,
+    total_rules: usize,
+    exec: CompiledProgram,
+    seeding: Option<SeedPlan>,
+}
+
+/// The answers to a query: one row of constants per named goal
+/// variable assignment satisfying the goal in `result(P)`, deduplicated
+/// and sorted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAnswers {
+    /// Column names: the goal's named variables in first-occurrence
+    /// order.
+    pub vars: Vec<String>,
+    /// Answer rows, parallel to `vars`; deduplicated, sorted.
+    pub rows: Vec<Vec<Const>>,
+}
+
+impl QueryAnswers {
+    /// True if the goal has at least one satisfying assignment.
+    pub fn holds(&self) -> bool {
+        !self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for QueryAnswers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rows.is_empty() {
+            return f.write_str("no");
+        }
+        if self.vars.is_empty() {
+            return f.write_str("yes");
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            let cells: Vec<String> = self
+                .vars
+                .iter()
+                .zip(row)
+                .map(|(name, &value)| format!("{name} = {}", const_str(value)))
+                .collect();
+            write!(f, "{}", cells.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl QueryPlan {
+    /// The goal this plan answers.
+    pub fn goal(&self) -> &Goal {
+        &self.goal
+    }
+
+    /// The evaluation mode the analysis settled on.
+    pub fn mode(&self) -> QueryMode {
+        self.mode
+    }
+
+    /// Why the plan fell back from a stronger mode (`None` for
+    /// [`QueryMode::Seeded`]).
+    pub fn reason(&self) -> Option<&str> {
+        self.reason.as_deref()
+    }
+
+    /// The program the plan actually runs (guarded, pruned, or the
+    /// original, per [`QueryPlan::mode`]).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.exec
+    }
+
+    /// Indices (into the original program) of the rules the plan kept.
+    pub fn kept_rules(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// A deterministic, human-readable rendering of the whole rewrite
+    /// — the golden-test surface: goal, adornment, mode (with
+    /// fallback reason), kept rules, the rewritten program text, and
+    /// the demand seeding.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "goal: {}", self.goal);
+        let _ = writeln!(s, "adornment: {}", self.goal.adornment());
+        match &self.reason {
+            Some(reason) => {
+                let _ = writeln!(s, "mode: {} ({reason})", self.mode);
+            }
+            None => {
+                let _ = writeln!(s, "mode: {}", self.mode);
+            }
+        }
+        let _ = writeln!(s, "rules kept: {} of {}", self.kept.len(), self.total_rules);
+        let _ = writeln!(s, "rewritten program:");
+        for rule in &self.exec.program().rules {
+            let _ = writeln!(s, "  {rule}");
+        }
+        if let Some(seeding) = &self.seeding {
+            let _ = writeln!(s, "magic method: {}", ruvo_lang::pretty::symbol_str(seeding.magic));
+            let rendered: Vec<String> = seeding.seeds.iter().map(|&c| const_str(c)).collect();
+            let _ = writeln!(s, "seeds: [{}]", rendered.join(", "));
+            for d in &seeding.demands {
+                let vars = d.body.vars();
+                let lits: Vec<String> = d
+                    .body
+                    .body()
+                    .iter()
+                    .map(|lit| literal_str(lit, vars, &ruvo_lang::VarTable::new()))
+                    .collect();
+                let when = match d.x {
+                    Some(x) => format!(" when {} demanded", vars.name(x)),
+                    None => String::new(),
+                };
+                let _ = writeln!(s, "demand {}{when}: {}", vars.name(d.v), lits.join(" & "));
+            }
+        }
+        s
+    }
+}
+
+/// Build the demand plan for `goal` against `compiled`. Infallible:
+/// every analysis obstacle degrades the [`QueryMode`] instead of
+/// erroring, and the recorded reason says what blocked the stronger
+/// mode.
+pub fn plan_query(compiled: &CompiledProgram, goal: Goal) -> QueryPlan {
+    let program = compiled.program();
+    let goal_plan = goal_index_plan(&goal);
+    let rel = match relevance(program, &goal) {
+        Ok(rel) => rel,
+        Err(reason) => return full_plan(compiled, goal, goal_plan, Some(reason)),
+    };
+    if rel.vid_rule {
+        let reason =
+            "a relevant rule reads through a VID variable ($V), which can touch any version"
+                .to_owned();
+        return full_plan(compiled, goal, goal_plan, Some(reason));
+    }
+    let created: FastHashSet<Chain> = rel
+        .kept
+        .iter()
+        .filter_map(|&i| program.rules[i].head.created_term().ok())
+        .map(|t| t.chain)
+        .collect();
+    match seeding(program, &goal, &rel.kept, &created) {
+        Ok(seeding) => {
+            match guarded_program(program, &rel.kept, seeding.magic)
+                .and_then(|p| compile_like(p, compiled))
+            {
+                Ok(exec) => QueryPlan {
+                    goal,
+                    goal_plan,
+                    mode: QueryMode::Seeded,
+                    reason: None,
+                    kept: rel.kept,
+                    total_rules: program.rules.len(),
+                    exec,
+                    seeding: Some(seeding),
+                },
+                Err(reason) => pruned_plan(compiled, goal, goal_plan, rel.kept, reason),
+            }
+        }
+        Err(reason) => pruned_plan(compiled, goal, goal_plan, rel.kept, reason),
+    }
+}
+
+/// Run a query plan over `work`, which may be unprepared (`exists`
+/// facts are materialized first — before the magic facts go in, so a
+/// demanded-but-nonexistent object stays nonexistent for `exists`
+/// reads, exactly as under full evaluation).
+pub fn run_query(
+    plan: &QueryPlan,
+    config: &EngineConfig,
+    mut work: ObjectBase,
+) -> Result<QueryAnswers, EvalError> {
+    work.ensure_exists();
+    if let Some(seeding) = &plan.seeding {
+        for c in demand_fixpoint(seeding, &work) {
+            work.insert(Vid::object(c), seeding.magic, Args::empty(), int(1));
+        }
+    }
+    let outcome = run_compiled(&plan.exec, config, work)?;
+    Ok(match_goal_planned(outcome.result(), &plan.goal, &plan.goal_plan))
+}
+
+/// Match `goal` directly against an interpretation (no program run):
+/// the oracle the differential tests compare [`run_query`] against,
+/// and the full-evaluation escape hatch
+/// (`EngineConfig::demand(false)`).
+pub fn match_goal(ob: &ObjectBase, goal: &Goal) -> QueryAnswers {
+    let plan = goal_index_plan(goal);
+    match_goal_planned(ob, goal, &plan)
+}
+
+fn match_goal_planned(ob: &ObjectBase, goal: &Goal, plan: &RuleIndexPlan) -> QueryAnswers {
+    let named = goal.named_vars();
+    let vars: Vec<String> = named.iter().map(|&v| goal.vars().name(v).to_owned()).collect();
+    let mut seen: FastHashSet<Vec<Const>> = FastHashSet::default();
+    for_each_match_planned(ob, goal.as_rule(), plan, &mut |b| {
+        let row: Vec<Const> =
+            named.iter().map(|&v| b.get(v).expect("goal variables are bound by safety")).collect();
+        seen.insert(row);
+    });
+    let mut rows: Vec<Vec<Const>> = seen.into_iter().collect();
+    rows.sort();
+    QueryAnswers { vars, rows }
+}
+
+fn goal_index_plan(goal: &Goal) -> RuleIndexPlan {
+    let program = Program { rules: vec![goal.as_rule().clone()] };
+    IndexPlan::of(&program).rules.remove(0)
+}
+
+fn full_plan(
+    compiled: &CompiledProgram,
+    goal: Goal,
+    goal_plan: RuleIndexPlan,
+    reason: Option<String>,
+) -> QueryPlan {
+    let total = compiled.program().rules.len();
+    QueryPlan {
+        goal,
+        goal_plan,
+        mode: QueryMode::Full,
+        reason,
+        kept: (0..total).collect(),
+        total_rules: total,
+        exec: compiled.clone(),
+        seeding: None,
+    }
+}
+
+fn pruned_plan(
+    compiled: &CompiledProgram,
+    goal: Goal,
+    goal_plan: RuleIndexPlan,
+    kept: Vec<usize>,
+    reason: String,
+) -> QueryPlan {
+    let program = compiled.program();
+    if kept.len() == program.rules.len() {
+        return full_plan(compiled, goal, goal_plan, Some(reason));
+    }
+    let pruned = Program { rules: kept.iter().map(|&i| program.rules[i].clone()).collect() };
+    match compile_like(pruned, compiled) {
+        Ok(exec) => QueryPlan {
+            goal,
+            goal_plan,
+            mode: QueryMode::Pruned,
+            reason: Some(reason),
+            kept,
+            total_rules: program.rules.len(),
+            exec,
+            seeding: None,
+        },
+        // A rule subset keeps a subset of the stratification
+        // constraints, so this cannot fail in practice; degrade
+        // gracefully anyway.
+        Err(e) => full_plan(compiled, goal, goal_plan, Some(format!("{reason}; {e}"))),
+    }
+}
+
+/// Compile `program` under the same cycle policy as `like`.
+fn compile_like(program: Program, like: &CompiledProgram) -> Result<CompiledProgram, String> {
+    CompiledProgram::compile(program, like.cycle_policy())
+        .map_err(|e| format!("rewritten program failed to stratify: {e}"))
+}
+
+/// The result of the relevance closure.
+struct Relevance {
+    /// Indices of relevant rules, in original order.
+    kept: Vec<usize>,
+    /// A relevant rule reads through a VID variable.
+    vid_rule: bool,
+}
+
+/// Chain-granularity relevance: a rule is relevant iff the chain it
+/// creates is demanded; demanding a rule demands everything its body
+/// reads plus every prefix of its created chain (copy sources).
+fn relevance(program: &Program, goal: &Goal) -> Result<Relevance, String> {
+    let mut demanded: FastHashSet<Chain> = FastHashSet::default();
+    for lit in goal.body() {
+        let reads = literal_reads(lit).expect("goals reject VID variables");
+        demanded.extend(reads.into_iter().map(|(c, _)| c));
+    }
+    let mut kept = vec![false; program.rules.len()];
+    let mut vid_rule = false;
+    let mut all_chains = false;
+    loop {
+        let mut grew = false;
+        for (i, rule) in program.rules.iter().enumerate() {
+            if kept[i] {
+                continue;
+            }
+            let Ok(created) = rule.head.created_term() else {
+                return Err("a rule head overflows the version chain".to_owned());
+            };
+            if !all_chains && !demanded.contains(&created.chain) {
+                continue;
+            }
+            kept[i] = true;
+            grew = true;
+            for p in created.chain.prefixes() {
+                demanded.insert(p);
+            }
+            for lit in &rule.body {
+                match literal_reads(lit) {
+                    Some(reads) => demanded.extend(reads.into_iter().map(|(c, _)| c)),
+                    None => {
+                        // A $V atom reads every relation: from here on
+                        // every rule is relevant.
+                        vid_rule = true;
+                        all_chains = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let kept: Vec<usize> = (0..program.rules.len()).filter(|&i| kept[i]).collect();
+    Ok(Relevance { kept, vid_rule })
+}
+
+/// True iff the literal can read a relation some kept rule writes
+/// (directly or via copy — creating a version copies *all* methods,
+/// so derivedness is decided at chain granularity).
+fn is_derived(lit: &Literal, created: &FastHashSet<Chain>) -> bool {
+    match literal_reads(lit) {
+        Some(reads) => reads.iter().any(|(c, _)| created.contains(c)),
+        None => true,
+    }
+}
+
+/// The target object term of a body literal (`None` for built-ins and
+/// VID-variable atoms).
+fn target_base(atom: &Atom) -> Option<BaseTerm> {
+    match atom {
+        Atom::Version(va) => va.vid.as_term().map(|t| t.base),
+        Atom::Update(ua) => Some(ua.target.base),
+        Atom::Cmp(_) => None,
+    }
+}
+
+/// Variables occurring anywhere in an atom (target, arguments,
+/// results). Built-ins report none — they never appear in demand
+/// bodies.
+fn atom_vars(atom: &Atom, out: &mut FastHashSet<VarId>) {
+    let mut term = |t: BaseTerm| {
+        if let BaseTerm::Var(v) = t {
+            out.insert(v);
+        }
+    };
+    match atom {
+        Atom::Version(va) => {
+            if let Some(t) = va.vid.as_term() {
+                term(t.base);
+            }
+            for &a in &va.args {
+                term(a);
+            }
+            term(va.result);
+        }
+        Atom::Update(ua) => {
+            term(ua.target.base);
+            match &ua.spec {
+                UpdateSpec::Ins { args, result, .. } | UpdateSpec::Del { args, result, .. } => {
+                    for &a in args {
+                        term(a);
+                    }
+                    term(*result);
+                }
+                UpdateSpec::Mod { args, from, to, .. } => {
+                    for &a in args {
+                        term(a);
+                    }
+                    term(*from);
+                    term(*to);
+                }
+                UpdateSpec::DelAll => {}
+            }
+        }
+        Atom::Cmp(_) => {}
+    }
+}
+
+/// A fresh method name absent from the program's and goal's method
+/// vocabulary, so the guards read a relation nothing else reads or
+/// writes.
+fn fresh_magic(program: &Program, kept: &[usize], goal: &Goal) -> Symbol {
+    let mut vocab: FastHashSet<Symbol> = FastHashSet::default();
+    fn add_atom(vocab: &mut FastHashSet<Symbol>, atom: &Atom) {
+        match atom {
+            Atom::Version(va) => {
+                vocab.insert(va.method);
+            }
+            Atom::Update(ua) => {
+                if let Some(m) = ua.spec.method() {
+                    vocab.insert(m);
+                }
+            }
+            Atom::Cmp(_) => {}
+        }
+    }
+    for &i in kept {
+        let rule = &program.rules[i];
+        if let Some(m) = rule.head.spec.method() {
+            vocab.insert(m);
+        }
+        for lit in &rule.body {
+            add_atom(&mut vocab, &lit.atom);
+        }
+    }
+    for lit in goal.body() {
+        add_atom(&mut vocab, &lit.atom);
+    }
+    let mut name = MAGIC_METHOD.to_owned();
+    let mut k = 1;
+    while vocab.contains(&sym(&name)) {
+        k += 1;
+        name = format!("{MAGIC_METHOD}#{k}");
+    }
+    sym(&name)
+}
+
+/// The demand analysis: decide where every derived relation a kept
+/// rule (or the goal) reads gets its demanded objects from, or report
+/// the literal that blocks seeding.
+fn seeding(
+    program: &Program,
+    goal: &Goal,
+    kept: &[usize],
+    created: &FastHashSet<Chain>,
+) -> Result<SeedPlan, String> {
+    if !kept.iter().any(|&i| matches!(program.rules[i].head.target.base, BaseTerm::Var(_))) {
+        return Err("every relevant rule has a constant head target — nothing to guard".to_owned());
+    }
+    let magic = fresh_magic(program, kept, goal);
+    let mut seeds: FastHashSet<Const> = FastHashSet::default();
+    let mut demands: Vec<DemandRule> = Vec::new();
+
+    let mut analyze = |body: &[Literal],
+                       vars: &ruvo_lang::VarTable,
+                       head_var: Option<VarId>,
+                       what: &str|
+     -> Result<(), String> {
+        // The base-complete prerequisite: positive non-built-in
+        // literals reading only relations no kept rule writes. Their
+        // facts are immutable during evaluation, so they may be
+        // evaluated over the input base up front.
+        let base_lits: Vec<Literal> = body
+            .iter()
+            .filter(|lit| {
+                lit.positive && !matches!(lit.atom, Atom::Cmp(_)) && !is_derived(lit, created)
+            })
+            .cloned()
+            .collect();
+        let mut base_vars: FastHashSet<VarId> = FastHashSet::default();
+        for lit in &base_lits {
+            atom_vars(&lit.atom, &mut base_vars);
+        }
+        let mut demanded_vars: FastHashSet<VarId> = FastHashSet::default();
+        for lit in body {
+            if !is_derived(lit, created) {
+                continue;
+            }
+            let Some(target) = target_base(&lit.atom) else { continue };
+            match target {
+                BaseTerm::Const(c) => {
+                    seeds.insert(c);
+                }
+                BaseTerm::Var(v) if Some(v) == head_var => {
+                    // Self-read: covered by this rule's own guard.
+                }
+                BaseTerm::Var(v) if base_vars.contains(&v) => {
+                    if !demanded_vars.insert(v) {
+                        continue;
+                    }
+                    let body = Goal::from_body(base_lits.clone(), vars.clone())
+                        .map_err(|e| format!("demand rule for {what} is unplannable: {e}"))?;
+                    let plan = goal_index_plan(&body);
+                    let x = head_var.filter(|h| base_vars.contains(h));
+                    demands.push(DemandRule { body, plan, v, x });
+                }
+                BaseTerm::Var(v) => {
+                    return Err(format!(
+                        "in {what}, derived literal target {} is not bound by base-complete \
+                         literals",
+                        vars.name(v)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+
+    analyze(goal.body(), goal.vars(), None, "the goal")?;
+    for &i in kept {
+        let rule = &program.rules[i];
+        let head_var = rule.head.target.base.as_var();
+        let what = match &rule.label {
+            Some(l) => format!("rule {l}"),
+            None => format!("rule #{i}"),
+        };
+        analyze(&rule.body, &rule.vars, head_var, &what)?;
+    }
+
+    let mut seeds: Vec<Const> = seeds.into_iter().collect();
+    seeds.sort();
+    Ok(SeedPlan { magic, seeds, demands })
+}
+
+/// The kept rules with magic guards prepended to every variable-headed
+/// rule. Constant-headed rules run unguarded (they fire at most once
+/// per body match and write a statically known object).
+fn guarded_program(program: &Program, kept: &[usize], magic: Symbol) -> Result<Program, String> {
+    let mut rules = Vec::with_capacity(kept.len());
+    for &i in kept {
+        let rule = &program.rules[i];
+        match rule.head.target.base {
+            BaseTerm::Var(x) => {
+                let guard = Literal::pos(Atom::Version(VersionAtom {
+                    vid: VidRef::Term(VidTerm::object(BaseTerm::Var(x))),
+                    method: magic,
+                    args: Vec::new(),
+                    result: BaseTerm::Const(int(1)),
+                }));
+                let mut body = Vec::with_capacity(rule.body.len() + 1);
+                body.push(guard);
+                body.extend(rule.body.iter().cloned());
+                let guarded =
+                    Rule::new(rule.head.clone(), body, rule.vars.clone(), rule.label.clone())
+                        .map_err(|e| format!("guarding a rule broke its safety plan: {e}"))?;
+                rules.push(guarded);
+            }
+            BaseTerm::Const(_) => rules.push(rule.clone()),
+        }
+    }
+    Ok(Program { rules })
+}
+
+/// Close the demanded-object set over the demand rules, evaluated
+/// against the (prepared, magic-free) input base. Each demand rule is
+/// evaluated once — its base-complete body never changes — and the
+/// conditional (SIP) edges iterate to fixpoint.
+fn demand_fixpoint(seeding: &SeedPlan, base: &ObjectBase) -> FastHashSet<Const> {
+    let mut demanded: FastHashSet<Const> = seeding.seeds.iter().copied().collect();
+    let mut edges: Vec<(Const, Const)> = Vec::new();
+    for d in &seeding.demands {
+        for_each_match_planned(base, d.body.as_rule(), &d.plan, &mut |b| {
+            let v = b.get(d.v).expect("demand variable is bound by the demand body");
+            match d.x {
+                Some(x) => {
+                    let x = b.get(x).expect("conditioning variable is bound by the demand body");
+                    edges.push((x, v));
+                }
+                None => {
+                    demanded.insert(v);
+                }
+            }
+        });
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(x, v) in &edges {
+            if demanded.contains(&x) && demanded.insert(v) {
+                changed = true;
+            }
+        }
+    }
+    demanded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CyclePolicy;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        CompiledProgram::compile(Program::parse(src).unwrap(), CyclePolicy::Reject).unwrap()
+    }
+
+    fn prepared(src: &str) -> ObjectBase {
+        let mut ob = ObjectBase::parse(src).unwrap();
+        ob.ensure_exists();
+        ob
+    }
+
+    /// The full-evaluation oracle: run the original program, match the
+    /// goal against `result(P)`.
+    fn oracle(compiled: &CompiledProgram, ob: &ObjectBase, goal: &Goal) -> QueryAnswers {
+        let outcome = run_compiled(compiled, &EngineConfig::default(), ob.clone()).unwrap();
+        match_goal(outcome.result(), goal)
+    }
+
+    fn answers(compiled: &CompiledProgram, ob: &ObjectBase, goal_src: &str) -> QueryAnswers {
+        let plan = plan_query(compiled, Goal::parse(goal_src).unwrap());
+        run_query(&plan, &EngineConfig::default(), ob.clone()).unwrap()
+    }
+
+    const BOSS_CHAIN: &str = "chief: ins[X].chief -> B <= X.boss -> B.
+         step: ins[X].chief -> C <= ins(X).chief -> B & B.boss -> C.";
+
+    const BOSS_BASE: &str = "e0.isa -> empl.
+         e1.isa -> empl / boss -> e0.
+         e2.isa -> empl / boss -> e1.
+         e3.isa -> empl / boss -> e2.
+         e4.isa -> empl / boss -> e0.";
+
+    #[test]
+    fn point_query_is_seeded_and_matches_oracle() {
+        let c = compiled(BOSS_CHAIN);
+        let ob = prepared(BOSS_BASE);
+        let goal = Goal::parse("?- ins(e3).chief -> C.").unwrap();
+        let plan = plan_query(&c, goal.clone());
+        assert_eq!(plan.mode(), QueryMode::Seeded, "reason: {:?}", plan.reason());
+        let seeding = plan.seeding.as_ref().unwrap();
+        assert_eq!(seeding.seeds, vec![ruvo_term::oid("e3")]);
+        // The self-recursive step rule needs no SIP edges: its derived
+        // read targets its own head object, and B.boss is
+        // base-complete.
+        assert!(seeding.demands.is_empty(), "{}", plan.describe());
+        let got = run_query(&plan, &EngineConfig::default(), ob.clone()).unwrap();
+        assert_eq!(got, oracle(&c, &ob, &goal));
+        // e3's chiefs: e2, e1, e0.
+        assert_eq!(got.rows.len(), 3);
+    }
+
+    #[test]
+    fn seeded_run_does_not_derive_undemanded_objects() {
+        let c = compiled(BOSS_CHAIN);
+        let ob = prepared(BOSS_BASE);
+        let plan = plan_query(&c, Goal::parse("?- ins(e1).chief -> C.").unwrap());
+        assert_eq!(plan.mode(), QueryMode::Seeded);
+        let seeding = plan.seeding.as_ref().unwrap();
+        let demanded = demand_fixpoint(seeding, &ob);
+        assert_eq!(demanded.len(), 1, "only the queried object is demanded");
+        // And the guarded run must leave e2..e4 underived.
+        let mut work = ob.clone();
+        work.ensure_exists();
+        for c in demanded {
+            work.insert(Vid::object(c), seeding.magic, Args::empty(), int(1));
+        }
+        let outcome = run_compiled(plan.program(), &EngineConfig::default(), work).unwrap();
+        let ins_e3 = Vid::object(ruvo_term::oid("e3")).apply(ruvo_term::UpdateKind::Ins).unwrap();
+        assert!(
+            !outcome.result().defines(ins_e3, sym("chief")),
+            "undemanded e3 must not be derived"
+        );
+    }
+
+    #[test]
+    fn free_goal_over_derived_relation_falls_back_to_pruned() {
+        // The goal target is a variable not bound by base-complete
+        // literals: seeding is unjustified, pruning still applies.
+        // (`other` must write a different *chain* to be prunable:
+        // relevance is chain-granular, because creating a version
+        // copies every method of its source.)
+        let src = "chief: ins[X].chief -> B <= X.boss -> B.
+             other: ins[mod(X)].par -> P <= X.parent -> P.";
+        let c = compiled(src);
+        let ob = prepared(BOSS_BASE);
+        let goal = Goal::parse("?- ins(X).chief -> e0.").unwrap();
+        let plan = plan_query(&c, goal.clone());
+        assert_eq!(plan.mode(), QueryMode::Pruned, "{}", plan.describe());
+        // The unrelated `other` rule is pruned away.
+        assert_eq!(plan.kept_rules(), &[0]);
+        let got = run_query(&plan, &EngineConfig::default(), ob.clone()).unwrap();
+        assert_eq!(got, oracle(&c, &ob, &goal));
+    }
+
+    #[test]
+    fn free_goal_with_base_bound_target_sweeps() {
+        let c = compiled(BOSS_CHAIN);
+        let ob = prepared(BOSS_BASE);
+        // X is bound by the base-complete X.isa -> empl: a sweep
+        // demand rule enumerates every employee, keeping Seeded mode.
+        let goal = Goal::parse("?- X.isa -> empl & ins(X).chief -> e0.").unwrap();
+        let plan = plan_query(&c, goal.clone());
+        assert_eq!(plan.mode(), QueryMode::Seeded, "{}", plan.describe());
+        let got = run_query(&plan, &EngineConfig::default(), ob.clone()).unwrap();
+        assert_eq!(got, oracle(&c, &ob, &goal));
+        assert_eq!(got.rows.len(), 4, "e1..e4 all reach e0");
+    }
+
+    #[test]
+    fn vid_variable_program_falls_back_to_full() {
+        let c = compiled("audit: ins[log].saw -> O <= $V.exists -> O.");
+        let plan = plan_query(&c, Goal::parse("?- ins(log).saw -> O.").unwrap());
+        assert_eq!(plan.mode(), QueryMode::Full);
+        assert!(plan.reason().unwrap().contains("$V"), "{:?}", plan.reason());
+    }
+
+    #[test]
+    fn base_only_goal_prunes_everything() {
+        let c = compiled(BOSS_CHAIN);
+        let ob = prepared(BOSS_BASE);
+        // The goal reads only ε relations: no rule is relevant.
+        let goal = Goal::parse("?- e2.boss -> B.").unwrap();
+        let plan = plan_query(&c, goal.clone());
+        assert_eq!(plan.mode(), QueryMode::Pruned);
+        assert!(plan.kept_rules().is_empty());
+        let got = run_query(&plan, &EngineConfig::default(), ob.clone()).unwrap();
+        assert_eq!(got, oracle(&c, &ob, &goal));
+        assert_eq!(got.rows, vec![vec![ruvo_term::oid("e1")]]);
+    }
+
+    #[test]
+    fn ground_goal_answers_yes_no() {
+        let c = compiled(BOSS_CHAIN);
+        let ob = prepared(BOSS_BASE);
+        let yes = answers(&c, &ob, "?- ins(e2).chief -> e0.");
+        assert!(yes.holds());
+        assert_eq!(yes.to_string(), "yes");
+        let no = answers(&c, &ob, "?- ins(e2).chief -> e3.");
+        assert!(!no.holds());
+        assert_eq!(no.to_string(), "no");
+    }
+
+    #[test]
+    fn enterprise_point_query_matches_oracle() {
+        let src = "rule1: mod[E].sal -> (S, S2) <= E.isa -> empl / pos -> mgr / sal -> S & S2 = S * 1.1 + 200.
+             rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.";
+        let c = compiled(src);
+        let ob = prepared(
+            "phil.isa -> empl / pos -> mgr / sal -> 4000.
+             bob.isa -> empl / boss -> phil / sal -> 4200.",
+        );
+        for goal_src in ["?- mod(phil).sal -> S.", "?- mod[bob].sal -> (S, S2)."] {
+            let goal = Goal::parse(goal_src).unwrap();
+            let plan = plan_query(&c, goal.clone());
+            assert_eq!(plan.mode(), QueryMode::Seeded, "{}", plan.describe());
+            let got = run_query(&plan, &EngineConfig::default(), ob.clone()).unwrap();
+            assert_eq!(got, oracle(&c, &ob, &goal), "goal: {goal_src}");
+            assert!(got.holds(), "goal: {goal_src}");
+        }
+    }
+
+    #[test]
+    fn derived_bound_variable_falls_back() {
+        // rule3-style: the body reads another object's *derived*
+        // relation through B, and B is only bound by derived
+        // literals: seeding cannot be justified.
+        let src = "r1: ins[E].hot -> 1 <= ins(E).mark -> B & ins(B).mark -> x.
+             r2: ins[E].mark -> M <= E.src -> M.";
+        let c = compiled(src);
+        let plan = plan_query(&c, Goal::parse("?- ins(e1).hot -> 1.").unwrap());
+        // B is bound only by a derived literal: no seeding. Both
+        // rules are relevant, so pruning degenerates to Full.
+        assert_eq!(plan.mode(), QueryMode::Full, "{}", plan.describe());
+        assert!(plan.reason().unwrap().contains("not bound"), "{:?}", plan.reason());
+    }
+
+    #[test]
+    fn sip_edge_demands_other_object() {
+        // r reads B's derived relation, and B is bound by the
+        // base-complete E.boss -> B: a SIP edge demands B from E.
+        let src = "lift: ins[E].bosschief -> C <= E.boss -> B & ins(B).chief -> C.
+             chief: ins[X].chief -> B <= X.boss -> B.
+             step: ins[X].chief -> C <= ins(X).chief -> B & B.boss -> C.";
+        let c = compiled(src);
+        let ob = prepared(BOSS_BASE);
+        let goal = Goal::parse("?- ins(e3).bosschief -> C.").unwrap();
+        let plan = plan_query(&c, goal.clone());
+        assert_eq!(plan.mode(), QueryMode::Seeded, "{}", plan.describe());
+        let seeding = plan.seeding.as_ref().unwrap();
+        assert_eq!(seeding.demands.len(), 1);
+        assert!(seeding.demands[0].x.is_some(), "the demand edge is conditioned on E");
+        let demanded = demand_fixpoint(seeding, &ob);
+        assert!(demanded.contains(&ruvo_term::oid("e2")), "e3's boss is demanded");
+        assert!(!demanded.contains(&ruvo_term::oid("e4")), "unrelated e4 is not");
+        let got = run_query(&plan, &EngineConfig::default(), ob.clone()).unwrap();
+        assert_eq!(got, oracle(&c, &ob, &goal));
+        assert_eq!(got.rows.len(), 2, "e2's chiefs: e1, e0");
+    }
+
+    #[test]
+    fn guard_preserves_stratification_shape() {
+        let src = "rule2: mod[E].sal -> (S, S2) <= E.isa -> empl / sal -> S & not E.pos -> mgr & S2 = S * 1.1.
+             rule4: ins[mod(E)].isa -> hpe <= mod(E).isa -> empl / sal -> S & S > 4500 & not del[mod(E)].isa -> empl.";
+        let c = compiled(src);
+        let plan = plan_query(&c, Goal::parse("?- ins(mod(phil)).isa -> hpe.").unwrap());
+        assert_eq!(plan.mode(), QueryMode::Seeded, "{}", plan.describe());
+        assert_eq!(
+            plan.program().stratification().strata.len(),
+            c.stratification().strata.len(),
+            "magic guards must not add stratification edges"
+        );
+    }
+
+    #[test]
+    fn negated_derived_goal_literal_seeds_its_target() {
+        let c = compiled(BOSS_CHAIN);
+        let ob = prepared(BOSS_BASE);
+        let goal = Goal::parse("?- e4.boss -> B & not ins(e4).chief -> e1.").unwrap();
+        let plan = plan_query(&c, goal.clone());
+        assert_eq!(plan.mode(), QueryMode::Seeded, "{}", plan.describe());
+        let got = run_query(&plan, &EngineConfig::default(), ob.clone()).unwrap();
+        assert_eq!(got, oracle(&c, &ob, &goal));
+        assert!(got.holds(), "e4's chief chain is just e0, so the negation holds");
+    }
+
+    #[test]
+    fn magic_name_avoids_vocabulary_collisions() {
+        let src = "r: ins[X].'?demand' -> B <= X.boss -> B.";
+        let c = compiled(src);
+        let plan = plan_query(&c, Goal::parse("?- ins(e1).'?demand' -> B.").unwrap());
+        assert_eq!(plan.mode(), QueryMode::Seeded);
+        let magic = plan.seeding.as_ref().unwrap().magic;
+        assert_ne!(magic.as_str(), "?demand");
+        // And the rewritten program text still round-trips.
+        let text = plan.program().source_text();
+        let reparsed = Program::parse(&text).unwrap();
+        assert_eq!(&reparsed, plan.program().program());
+    }
+
+    #[test]
+    fn rewritten_program_roundtrips_through_source_text() {
+        let c = compiled(BOSS_CHAIN);
+        let plan = plan_query(&c, Goal::parse("?- ins(e3).chief -> C.").unwrap());
+        let text = plan.program().source_text();
+        let reparsed = Program::parse(&text)
+            .unwrap_or_else(|e| panic!("rewritten source failed to re-parse: {e}\n{text}"));
+        assert_eq!(&reparsed, plan.program().program());
+    }
+
+    #[test]
+    fn describe_names_mode_and_seeds() {
+        let c = compiled(BOSS_CHAIN);
+        let plan = plan_query(&c, Goal::parse("?- ins(e3).chief -> C.").unwrap());
+        let d = plan.describe();
+        assert!(d.contains("mode: seeded"), "{d}");
+        assert!(d.contains("seeds: [e3]"), "{d}");
+        assert!(d.contains("'?demand'"), "{d}");
+    }
+}

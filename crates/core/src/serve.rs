@@ -269,6 +269,48 @@ impl ServingDatabase {
         Prepared::compile(ruvo_lang::Program::parse(src)?, self.shared.config.cycles)
     }
 
+    /// Ask `goal` against the result of evaluating `prepared` on the
+    /// latest published head, without committing and **without the
+    /// writer lock** — the demand-driven read path of the serving
+    /// layer (see [`Database::query`]). The evaluation runs on a
+    /// copy-on-write clone of the head snapshot, so concurrent commits
+    /// neither block this read nor show up in its answers.
+    pub fn query(
+        &self,
+        prepared: &Prepared,
+        goal: ruvo_lang::Goal,
+    ) -> Result<crate::query::QueryAnswers, Error> {
+        if !self.shared.config.demand {
+            let mut work = (*self.shared.head.load()).clone();
+            work.ensure_exists();
+            let outcome =
+                crate::engine::run_compiled(prepared.compiled(), &self.shared.config, work)?;
+            return Ok(crate::query::match_goal(outcome.result(), &goal));
+        }
+        self.run_query_plan(&prepared.query_plan(goal))
+    }
+
+    /// [`ServingDatabase::query`] for goal text.
+    pub fn query_src(
+        &self,
+        prepared: &Prepared,
+        goal: &str,
+    ) -> Result<crate::query::QueryAnswers, Error> {
+        self.query(prepared, ruvo_lang::Goal::parse(goal)?)
+    }
+
+    /// Run a pre-built [`crate::QueryPlan`] against the latest
+    /// published head (build one via [`Prepared::query_plan`] so
+    /// repeated asks — a polling reader, a serving loop — pay the
+    /// rewrite once). Lock-free like every other read.
+    pub fn run_query_plan(
+        &self,
+        plan: &crate::query::QueryPlan,
+    ) -> Result<crate::query::QueryAnswers, Error> {
+        let work = (*self.shared.head.load()).clone();
+        Ok(crate::query::run_query(plan, &self.shared.config, work)?)
+    }
+
     // ----- writes (single writer, group commit) ----------------------
 
     /// Apply a prepared program as one all-or-nothing transaction.
@@ -656,6 +698,19 @@ mod tests {
         assert_eq!(db.snapshot().lookup1(oid("henry"), "sal"), vec![int(250)]);
         let err = db.transact(|_| Ok(())).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::Poisoned);
+    }
+
+    #[test]
+    fn query_reads_from_published_head_without_committing() {
+        let db = ServingDatabase::open_src(BASE).unwrap();
+        let raise = db.prepare(RAISE).unwrap();
+        let before = db.query_src(&raise, "?- mod(henry).sal -> S.").unwrap();
+        assert_eq!(before.rows, vec![vec![int(275)]]);
+        assert_eq!(db.commits(), 0, "queries never commit");
+        // After a commit the same query reads the new head.
+        db.apply(&raise).unwrap();
+        let after = db.query_src(&raise, "?- mod(henry).sal -> S.").unwrap();
+        assert_eq!(after.rows, vec![vec![ruvo_term::num(302.5)]]);
     }
 
     #[test]

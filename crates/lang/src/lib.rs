@@ -50,6 +50,7 @@ pub mod analysis;
 pub mod ast;
 pub mod error;
 pub mod facts;
+pub mod goal;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -64,4 +65,5 @@ pub use ast::{
 };
 pub use error::{LangError, ParseError, Pos, SafetyError, Span, ValidateError};
 pub use facts::{parse_facts, GroundFact};
+pub use goal::Goal;
 pub use safety::{analyze, PlannedLiteral, RulePlan};

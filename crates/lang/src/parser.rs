@@ -431,6 +431,29 @@ impl<'t> Parser<'t> {
     }
 }
 
+/// Parse a query-goal body: an optional `?-` prefix, `&`-separated
+/// body literals, and the terminating period. Returns the literals and
+/// the goal's variable tables (regular and VID).
+pub(crate) fn parse_goal_literals(
+    toks: &[Token],
+) -> Result<(Vec<Literal>, VarTable, VarTable), ParseError> {
+    let mut p = Parser::new(toks);
+    if p.peek() == Some(&Tok::Query) {
+        p.bump();
+    }
+    let mut body = Vec::new();
+    body.extend(p.literal()?);
+    while p.peek() == Some(&Tok::Amp) {
+        p.bump();
+        body.extend(p.literal()?);
+    }
+    p.expect(Tok::Period)?;
+    if !p.at_end() {
+        return Err(p.err("unexpected input after the goal's terminating `.`"));
+    }
+    Ok((body, p.vars, p.vid_vars))
+}
+
 /// Parse a whole program (without validation/safety; see
 /// [`Program::parse`] for the full pipeline).
 pub fn parse_program(toks: &[Token]) -> Result<Program, ParseError> {

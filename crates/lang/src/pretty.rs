@@ -24,11 +24,14 @@ pub fn needs_quotes(s: &str) -> bool {
     matches!(s, "ins" | "del" | "mod" | "not")
 }
 
-/// Render a symbol, quoting when necessary.
+/// Render a symbol, quoting when necessary. Quotes inside the symbol
+/// are escaped by doubling (`it's` → `'it''s'`), mirroring the lexer,
+/// so generated names — e.g. the magic-predicate names of the
+/// demand-driven query rewrite — re-parse to the same symbol.
 pub fn symbol_str(s: Symbol) -> String {
     let text = s.as_str();
     if needs_quotes(text) {
-        format!("'{text}'")
+        format!("'{}'", text.replace('\'', "''"))
     } else {
         text.to_owned()
     }
@@ -275,6 +278,31 @@ mod tests {
         roundtrip("ins[x].'weird name' -> 'Strange Value'.");
         // Reserved word as a symbol must be quoted.
         roundtrip("ins[x].kind -> 'mod'.");
+    }
+
+    #[test]
+    fn roundtrip_symbols_containing_quotes() {
+        // Regression: symbols with embedded quotes used to print as
+        // `'it's'`, which does not re-lex. The printer doubles them now.
+        roundtrip("ins[x].'it''s' -> 'a ''quoted'' value'.");
+        roundtrip("ins['?d[x]''s'].m -> 1.");
+    }
+
+    #[test]
+    fn generated_symbol_roundtrip() {
+        use ruvo_term::sym;
+        // Any generated symbol (magic predicates include `?`, brackets
+        // and quotes) must survive print → lex.
+        for name in ["?demand", "?demand[m#2]", "odd'name", "'", "a b", "mod"] {
+            let s = sym(name);
+            let printed = crate::pretty::symbol_str(s);
+            let toks = crate::lexer::lex(&printed).unwrap();
+            assert_eq!(toks.len(), 1, "{printed:?}");
+            match &toks[0].tok {
+                crate::token::Tok::Ident(t) => assert_eq!(t, name, "printed: {printed:?}"),
+                other => panic!("expected Ident, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -73,6 +73,8 @@ pub enum Tok {
     Ne,
     /// `:` (rule label separator)
     Colon,
+    /// `?-` (query-goal prefix)
+    Query,
 }
 
 impl fmt::Display for Tok {
@@ -110,6 +112,7 @@ impl fmt::Display for Tok {
             Tok::Eq => write!(f, "="),
             Tok::Ne => write!(f, "!="),
             Tok::Colon => write!(f, ":"),
+            Tok::Query => write!(f, "?-"),
         }
     }
 }

@@ -15,6 +15,7 @@ pub mod durability;
 pub mod enterprise;
 pub mod family;
 pub mod programs;
+pub mod query;
 pub mod random;
 pub mod serving;
 
@@ -25,5 +26,6 @@ pub use programs::{
     ancestors_program, chain_object_base, chain_program, enterprise_baseline_datalog,
     enterprise_program, hypothetical_program, salary_raise_program, PAPER_ENTERPRISE_OB,
 };
+pub use query::{query_workload, QueryConfig, QueryWorkload, RefQuery, CHIEF_PROGRAM};
 pub use random::{random_insert_program, random_object_base, RandomConfig};
 pub use serving::{serving_scenario, ServingConfig, ServingScenario};

@@ -86,10 +86,10 @@ pub use ruvo_workload as workload;
 
 pub use ruvo_core::{
     Applied, CheckReport, CheckpointPolicy, Commutativity, CommutativityMatrix, Database,
-    DatabaseBuilder, Error, ErrorKind, FsyncPolicy, Prepared, ServingDatabase, SourceCheck,
-    Transaction,
+    DatabaseBuilder, Error, ErrorKind, FsyncPolicy, Prepared, QueryAnswers, QueryMode, QueryPlan,
+    ServingDatabase, SourceCheck, Transaction,
 };
-pub use ruvo_lang::{Diagnostic, Level, Lint, LintLevels, Severity, Span};
+pub use ruvo_lang::{Diagnostic, Goal, Level, Lint, LintLevels, Severity, Span};
 pub use ruvo_obase::Snapshot;
 
 /// Everything needed for typical use, in one import.
@@ -97,9 +97,10 @@ pub mod prelude {
     pub use ruvo_core::{
         Applied, CheckReport, CheckpointPolicy, Commutativity, CommutativityMatrix, Database,
         DatabaseBuilder, EngineConfig, Error, ErrorKind, EvalError, FsyncPolicy, Outcome, Prepared,
-        ServingDatabase, Session, SourceCheck, Stratification, Transaction, UpdateEngine,
+        QueryAnswers, QueryMode, QueryPlan, ServingDatabase, Session, SourceCheck, Stratification,
+        Transaction, UpdateEngine,
     };
-    pub use ruvo_lang::{Diagnostic, Lint, Program, Rule, Severity};
+    pub use ruvo_lang::{Diagnostic, Goal, Lint, Program, Rule, Severity};
     pub use ruvo_obase::{MethodApp, ObjectBase, Snapshot};
     pub use ruvo_term::{int, num, oid, sym, Chain, Const, Symbol, UpdateKind, Vid};
 }

@@ -22,7 +22,7 @@ fn rendered(src: &str) -> String {
 fn golden_syntax_error() {
     assert_eq!(
         rendered("ins[X].p -> ??? .\n"),
-        "error[syntax]: unexpected character '?'\n \
+        "error[syntax]: unexpected character '?' (did you mean `?-`?)\n \
          --> prog.rv:1:13\n  \
          |\n\
          1 | ins[X].p -> ??? .\n  \

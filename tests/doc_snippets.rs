@@ -144,6 +144,36 @@ fn lint_appendix_examples_are_minimal_and_triggering() {
 }
 
 #[test]
+fn query_goal_snippets_behave_as_documented() {
+    // §8: accepted goal shapes.
+    for src in [
+        "?- ins(e17).chief -> C.",
+        "?- X.isa -> empl & X.sal -> S & not X.pos -> mgr & S > 100.",
+        "?- mod[bob].sal -> (S, S2).",
+        "?- del[mod(E)].sal -> S.",
+    ] {
+        Goal::parse(src).unwrap_or_else(|e| panic!("doc goal snippet rejected: {e}\n{src}"));
+    }
+    // The `?-` prefix is optional in the API.
+    assert_eq!(Goal::parse("?- x.m -> R.").unwrap(), Goal::parse("x.m -> R.").unwrap());
+    // §8: goal-rejected constructs.
+    assert!(Goal::parse("?- $V.sal -> S.").is_err(), "VID variables must be goal-rejected");
+    assert!(Goal::parse("?- del[mod(E)].* .").is_err(), "del-all must be goal-rejected");
+    assert!(Goal::parse("?- not X.p -> 1.").is_err(), "unsafe goals must be rejected");
+
+    // Ground goals answer yes/no; queries never commit.
+    let db = Database::open_src("henry.isa -> empl. henry.sal -> 250.").unwrap();
+    let raise =
+        db.prepare("mod[E].sal -> (S, S2) <= E.isa -> empl & E.sal -> S & S2 = S * 1.1.").unwrap();
+    assert_eq!(db.query_src(&raise, "?- mod(henry).sal -> 275.").unwrap().to_string(), "yes");
+    assert_eq!(db.query_src(&raise, "?- mod(henry).sal -> 999.").unwrap().to_string(), "no");
+    let answers = db.query_src(&raise, "?- mod(E).sal -> S.").unwrap();
+    assert_eq!(answers.vars, vec!["E".to_string(), "S".to_string()]);
+    assert_eq!(answers.rows, vec![vec![oid("henry"), int(275)]]);
+    assert!(db.log().is_empty(), "a query must not commit");
+}
+
+#[test]
 fn arithmetic_behaves_as_documented() {
     // Integral results normalize to Int; Int and Num compare equal.
     let out =

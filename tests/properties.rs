@@ -547,3 +547,49 @@ fn recovery_matches_reference_at_every_checkpoint_policy() {
         );
     }
 }
+
+// ----- demand-driven queries -----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Demand-driven queries are semantically invisible: on random
+    /// programs, `Database::query` returns exactly the goal's matches
+    /// against the full evaluation's `result(P)` — for bound and free
+    /// goals alike — and never commits a transaction.
+    #[test]
+    fn demand_queries_match_full_evaluation(
+        seed in 0u64..300,
+        a in 0usize..20,
+        i in 0usize..5,
+    ) {
+        let config = RandomConfig { seed, ..Default::default() };
+        let db = Database::open(random_object_base(config));
+        let prepared = db.prepare(&random_insert_program(config).to_string()).unwrap();
+        let full = db.evaluate(&prepared).unwrap();
+        for goal_src in [format!("?- ins(o{a}).m{i} -> R."), format!("?- ins(X).m{i} -> R.")] {
+            let goal = Goal::parse(&goal_src).unwrap();
+            let oracle = ruvo::core::match_goal(full.result(), &goal);
+            let fast = db.query(&prepared, goal).unwrap();
+            prop_assert_eq!(&fast.vars, &oracle.vars, "goal {}", &goal_src);
+            prop_assert_eq!(&fast.rows, &oracle.rows, "goal {}", &goal_src);
+        }
+        prop_assert!(db.log().is_empty(), "a query must not commit");
+    }
+
+    /// The `demand(false)` escape hatch answers through full
+    /// evaluation yet is observationally identical to the demand path.
+    #[test]
+    fn demand_escape_hatch_agrees(seed in 0u64..300, i in 0usize..5) {
+        let config = RandomConfig { seed, ..Default::default() };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config).to_string();
+        let goal = format!("?- ins(X).m{i} -> R.");
+        let fast_db = Database::open(ob.clone());
+        let slow_db = Database::builder().demand(false).open(ob);
+        let fast = fast_db.query_src(&fast_db.prepare(&program).unwrap(), &goal).unwrap();
+        let slow = slow_db.query_src(&slow_db.prepare(&program).unwrap(), &goal).unwrap();
+        prop_assert_eq!(fast.vars, slow.vars);
+        prop_assert_eq!(fast.rows, slow.rows);
+    }
+}
