@@ -13,9 +13,10 @@ use ruvo_obase::{Args, ObjectBase};
 use ruvo_term::{int, oid, sym, Vid};
 use ruvo_workload::{
     ancestors_program, chain_object_base, chain_program, enterprise_baseline_datalog,
-    enterprise_program, hypothetical_program, query_workload, salary_raise_program,
-    serving_scenario, Enterprise, EnterpriseConfig, Family, FamilyConfig, QueryConfig,
-    ServingConfig, ServingScenario, PAPER_ENTERPRISE_OB,
+    enterprise_program, hypothetical_program, query_workload, random_insert_program,
+    random_object_base, salary_raise_program, serving_scenario, Enterprise, EnterpriseConfig,
+    Family, FamilyConfig, QueryConfig, RandomConfig, ServingConfig, ServingScenario,
+    PAPER_ENTERPRISE_OB,
 };
 
 use crate::table::Table;
@@ -49,6 +50,7 @@ pub fn all() -> Vec<Experiment> {
         ("A6", "ablation — copy-on-write clone and snapshot micro-costs", a6_cow_clone),
         ("E10", "durable storage — append vs fsync, recovery, checkpoint cost", e10_durability),
         ("E11", "demand-driven queries — magic-set point query vs full evaluation", e11_demand),
+        ("E12", "shard-parallel fixpoint — thread sweep and scaling", e12_parallel),
     ]
 }
 
@@ -612,9 +614,10 @@ pub fn a6_cow_clone(quick: bool) -> String {
     out
 }
 
-/// Machine-readable medians for the perf trajectory: the E7 size and
-/// ratio sweeps plus the A6 micro-costs, as one JSON document (written
-/// to `BENCH_pr3.json` by `experiments --json`).
+/// Machine-readable medians for the perf trajectory: the E12 parallel
+/// thread sweep, the E11 / E10 / E8C axes, the E7 size and ratio
+/// sweeps, and the A6 micro-costs, as one JSON document (written to
+/// `BENCH_pr8.json` by `experiments --json`).
 pub fn bench_json(quick: bool) -> String {
     let hot = 100usize;
     let sizes: Vec<String> = e7_sizes(quick)
@@ -737,8 +740,58 @@ pub fn bench_json(quick: bool) -> String {
         })
         .collect();
 
+    // The PR-8 axis: shard-parallel fixpoint thread sweep. The
+    // bit-identity assertion runs on every host; the speedup gate only
+    // where it can mean anything (≥4 CPUs, full mode) — and the record
+    // says which happened.
+    let mut e12_delta_rows: Vec<String> = Vec::new();
+    let mut e12_bulk_rows: Vec<String> = Vec::new();
+    let mut e12_sp4 = 0.0f64;
+    for (name, (program, ob)) in e12_workloads(quick) {
+        let (serial, reference) = e12_measure(quick, &program, &ob, 0);
+        let delta_heavy = name.starts_with("delta-heavy");
+        let dest = if delta_heavy { &mut e12_delta_rows } else { &mut e12_bulk_rows };
+        dest.push(format!("     {{\"threads\": 0, \"wall_ms\": {:.3}}}", serial.wall_ms));
+        for threads in e12_threads(quick) {
+            let (row, ob2) = e12_measure(quick, &program, &ob, threads);
+            assert_eq!(ob2, reference, "{name}: parallel ob' diverged at {threads} threads");
+            let speedup = serial.wall_ms / row.wall_ms.max(f64::EPSILON);
+            if threads == 4 && delta_heavy {
+                e12_sp4 = speedup;
+            }
+            dest.push(format!(
+                "     {{\"threads\": {}, \"wall_ms\": {:.3}, \"scan_wall_ms\": {:.3}, \
+                 \"apply_wall_ms\": {:.3}, \"scan_subtasks\": {}, \"seed_splits\": {}, \
+                 \"speedup\": {speedup:.2}}}",
+                row.threads,
+                row.wall_ms,
+                row.scan_wall_ms,
+                row.apply_wall_ms,
+                row.scan_subtasks,
+                row.seed_splits
+            ));
+        }
+    }
+    let e12_gate = match e12_speedup_gate(quick, cpus) {
+        Ok(()) => {
+            assert!(e12_sp4 >= 2.0, "delta-heavy speedup at 4 threads below 2x: {e12_sp4:.2}");
+            "\"pass\"".to_string()
+        }
+        Err(why) => format!("\"skipped: {why}\""),
+    };
+    let e12_stall_serial = e8c_measure_serving_config(quick, 2, 1, None);
+    let e12_stall_parallel = e8c_measure_serving_config(quick, 2, 1, Some(e12_config(2)));
+
     format!(
-        "{{\n  \"pr\": 7,\n  \"quick\": {quick},\n  \"cpus\": {cpus},\n  \
+        "{{\n  \"pr\": 8,\n  \"quick\": {quick},\n  \"cpus\": {cpus},\n  \
+         \"e12_parallel_fixpoint\": {{\n   \
+         \"delta_heavy\": [\n{}\n   ],\n   \
+         \"bulk_load\": [\n{}\n   ],\n   \
+         \"identical_results\": true,\n   \
+         \"speedup_4t_delta_heavy\": {e12_sp4:.2},\n   \
+         \"speedup_gate\": {e12_gate},\n   \
+         \"read_stall_serial_writer\": {},\n   \
+         \"read_stall_parallel_writer\": {}\n  }},\n  \
          \"e11_demand_queries\": [\n{}\n  ],\n  \
          \"e10_durability\": {{\n   \"fsync\": [\n{}\n   ],\n   \
          \"recovery\": [\n{}\n   ],\n   \"checkpoint\": [\n{}\n   ]\n  }},\n  \
@@ -751,6 +804,10 @@ pub fn bench_json(quick: bool) -> String {
          \"e7\": {{\n   \"hot\": {hot},\n   \
          \"sizes\": [\n{}\n   ],\n   \"ratio_objects\": {ratio_n},\n   \"ratio\": [\n{}\n   ]\n  \
          }},\n  \"a6\": [\n{}\n  ]\n}}\n",
+        e12_delta_rows.join(",\n"),
+        e12_bulk_rows.join(",\n"),
+        row_json(&e12_stall_serial),
+        row_json(&e12_stall_parallel),
         e11_rows.join(",\n"),
         fsync_rows.join(",\n"),
         recovery_rows.join(",\n"),
@@ -847,11 +904,28 @@ fn e8c_scenario(quick: bool) -> ServingScenario {
 /// for one window; asserts the post-run balance sum matches the
 /// serialized writer history exactly (no lost or torn update).
 pub fn e8c_measure_serving(quick: bool, readers: usize, writers: usize) -> E8cRow {
+    e8c_measure_serving_config(quick, readers, writers, None)
+}
+
+/// [`e8c_measure_serving`] with the serving database opened under an
+/// explicit engine configuration — E12 uses it to measure read-stall
+/// tails behind a *parallel* group-commit writer.
+pub fn e8c_measure_serving_config(
+    quick: bool,
+    readers: usize,
+    writers: usize,
+    config: Option<EngineConfig>,
+) -> E8cRow {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::time::Instant;
 
     let scenario = e8c_scenario(quick);
-    let db = ServingDatabase::open(scenario.ob.clone());
+    let db = match config {
+        None => ServingDatabase::open(scenario.ob.clone()),
+        Some(cfg) => {
+            ServingDatabase::new(Database::builder().config(cfg).open(scenario.ob.clone()))
+        }
+    };
     let programs: Vec<_> = (0..writers)
         .map(|g| {
             ruvo_core::Prepared::compile(scenario.writer_programs[g].clone(), CyclePolicy::Reject)
@@ -1730,6 +1804,198 @@ pub fn e11_demand(quick: bool) -> String {
     out
 }
 
+// ----- E12: shard-parallel fixpoint ---------------------------------
+
+/// One E12 cell: a full fixpoint run at one worker setting
+/// (`threads == 0` is the serial baseline with parallel evaluation
+/// off entirely).
+pub struct E12Row {
+    /// Worker cap (0 = serial baseline).
+    pub threads: usize,
+    /// Median end-to-end wall time.
+    pub wall_ms: f64,
+    /// Summed step-1 scan region wall time (parallel runs only).
+    pub scan_wall_ms: f64,
+    /// Summed step-2+3 apply region wall time (parallel runs only).
+    pub apply_wall_ms: f64,
+    /// Scan sub-tasks after seed splitting.
+    pub scan_subtasks: usize,
+    /// Seeded tasks split into per-shard sub-tasks.
+    pub seed_splits: usize,
+}
+
+fn e12_threads(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+fn e12_config(threads: usize) -> EngineConfig {
+    if threads == 0 {
+        EngineConfig::default()
+    } else {
+        EngineConfig { parallel: true, threads, ..EngineConfig::default() }
+    }
+}
+
+/// Delta-heavy workload: transitive closure over one long `next`
+/// chain — hundreds of fixpoint rounds whose seeded scans span nearly
+/// every object, so step 1 dominates and per-shard seed splitting is
+/// what parallelism has to exploit.
+fn e12_delta_heavy(quick: bool) -> (Program, ObjectBase) {
+    let n = if quick { 80 } else { 360 };
+    let mut src = String::new();
+    for i in 0..n - 1 {
+        src.push_str(&format!("o{i}.next -> o{}.\n", i + 1));
+    }
+    let ob = ObjectBase::parse(&src).unwrap();
+    let program = Program::parse(
+        "tc1: ins[X].reach -> R <= X.next -> R.
+         tc2: ins[X].reach -> S <= ins(X).reach -> R & R.next -> S.",
+    )
+    .unwrap();
+    (program, ob)
+}
+
+/// Bulk-load workload: a wide random insert-program over a large flat
+/// base — few rounds with huge deltas, so steps 2+3 (state building
+/// and the sharded batch commit) carry the weight.
+fn e12_bulk_load(quick: bool) -> (Program, ObjectBase) {
+    let config = RandomConfig {
+        objects: if quick { 240 } else { 2_000 },
+        facts: if quick { 900 } else { 9_000 },
+        rules: 8,
+        methods: 5,
+        seed: 7,
+    };
+    (random_insert_program(config), random_object_base(config))
+}
+
+/// Measure one (workload, threads) cell; returns the row and `ob'`
+/// for the cross-configuration identity assertion.
+fn e12_measure(
+    quick: bool,
+    program: &Program,
+    ob: &ObjectBase,
+    threads: usize,
+) -> (E12Row, ObjectBase) {
+    let config = e12_config(threads);
+    let wall = median_time(reps(quick), || {
+        run_with(program.clone(), ob, config.clone());
+    });
+    let outcome = run_with(program.clone(), ob, config.clone());
+    let par = outcome.stats().parallel;
+    let row = E12Row {
+        threads,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        scan_wall_ms: par.scan_wall.as_secs_f64() * 1e3,
+        apply_wall_ms: par.apply_wall.as_secs_f64() * 1e3,
+        scan_subtasks: par.scan_subtasks,
+        seed_splits: par.seed_splits,
+    };
+    (row, outcome.new_object_base())
+}
+
+/// The two E12 workloads, named.
+fn e12_workloads(quick: bool) -> Vec<(&'static str, (Program, ObjectBase))> {
+    vec![
+        ("delta-heavy (chain closure)", e12_delta_heavy(quick)),
+        ("bulk-load (wide inserts)", e12_bulk_load(quick)),
+    ]
+}
+
+/// Whether this host qualifies for the wall-clock speedup gate.
+/// Scaling needs real cores; on smaller hosts the gate is skipped
+/// **and the skip is logged** — the bit-identity assertion still runs
+/// everywhere.
+fn e12_speedup_gate(quick: bool, cpus: usize) -> Result<(), String> {
+    if quick {
+        Err("quick mode".to_string())
+    } else if cpus < 4 {
+        Err(format!("host has {cpus} visible CPU(s), gate needs >= 4"))
+    } else {
+        Ok(())
+    }
+}
+
+/// E12 — shard-parallel fixpoint: thread sweep over a delta-heavy and
+/// a bulk-load workload. On every host, asserts the parallel `ob'` is
+/// **bit-identical** to serial at every width; on hosts with ≥4 CPUs
+/// (full mode), additionally asserts ≥2× speedup at 4 threads on the
+/// delta-heavy workload. Also records serving read-stall tails with a
+/// parallel-configured group-commit writer.
+pub fn e12_parallel(quick: bool) -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = format!("host: {cpus} visible CPU(s)\n\n");
+    let mut delta_heavy_sp4 = None;
+    for (name, (program, ob)) in e12_workloads(quick) {
+        let (serial, reference) = e12_measure(quick, &program, &ob, 0);
+        let mut t = Table::new(&[
+            "threads",
+            "wall (ms)",
+            "scan wall (ms)",
+            "apply wall (ms)",
+            "scan sub-tasks",
+            "seed splits",
+            "speedup",
+        ]);
+        t.row(&[
+            "serial".to_string(),
+            format!("{:.3}", serial.wall_ms),
+            "—".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+            "1.00×".to_string(),
+        ]);
+        for threads in e12_threads(quick) {
+            let (row, ob2) = e12_measure(quick, &program, &ob, threads);
+            assert_eq!(ob2, reference, "{name}: parallel ob' diverged at {threads} threads");
+            let speedup = serial.wall_ms / row.wall_ms.max(f64::EPSILON);
+            if threads == 4 && name.starts_with("delta-heavy") {
+                delta_heavy_sp4 = Some(speedup);
+            }
+            t.row(&[
+                threads.to_string(),
+                format!("{:.3}", row.wall_ms),
+                format!("{:.3}", row.scan_wall_ms),
+                format!("{:.3}", row.apply_wall_ms),
+                row.scan_subtasks.to_string(),
+                row.seed_splits.to_string(),
+                format!("{speedup:.2}×"),
+            ]);
+        }
+        out.push_str(&format!("### {name}\n\n"));
+        out.push_str(&t.render());
+        out.push_str("\nparallel ob' bit-identical to serial at every width ✓\n\n");
+    }
+    let sp4 = delta_heavy_sp4.expect("sweep includes 4 threads");
+    match e12_speedup_gate(quick, cpus) {
+        Ok(()) => {
+            assert!(sp4 >= 2.0, "delta-heavy speedup at 4 threads below 2x: {sp4:.2}");
+            out.push_str(&format!("speedup gate: {sp4:.2}× at 4 threads (≥2× required) ✓\n"));
+        }
+        Err(why) => out
+            .push_str(&format!("speedup gate: SKIPPED ({why}); measured {sp4:.2}× at 4 threads\n")),
+    }
+    // Read-stall tails behind a parallel group-commit writer: the
+    // writer computing fixpoints on a pool must not hold the published
+    // head longer than the serial writer does.
+    let stall_serial = e8c_measure_serving_config(quick, 2, 1, None);
+    let stall_parallel = e8c_measure_serving_config(quick, 2, 1, Some(e12_config(2)));
+    out.push_str(&format!(
+        "\nserving read stalls (2 readers / 1 writer): serial writer mean {:.1} µs, \
+         max {:.0} µs; parallel writer (2 threads) mean {:.1} µs, max {:.0} µs\n",
+        stall_serial.mean_read_batch_us,
+        stall_serial.max_read_batch_us,
+        stall_parallel.mean_read_batch_us,
+        stall_parallel.max_read_batch_us,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     //! Every experiment must run clean in quick mode — this is the
@@ -1823,7 +2089,13 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"pr\": 7",
+            "\"pr\": 8",
+            "\"e12_parallel_fixpoint\"",
+            "\"delta_heavy\"",
+            "\"bulk_load\"",
+            "\"identical_results\": true",
+            "\"speedup_gate\"",
+            "\"read_stall_parallel_writer\"",
             "\"e11_demand_queries\"",
             "\"demand_ms\"",
             "\"speedup\"",
@@ -1846,6 +2118,16 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn e12_quick() {
+        let report = super::e12_parallel(true);
+        assert!(report.contains("bit-identical to serial at every width ✓"), "got:\n{report}");
+        assert!(report.contains("speedup gate:"), "got:\n{report}");
+        assert!(report.contains("serving read stalls"), "got:\n{report}");
+        // Quick mode never enforces wall-clock scaling.
+        assert!(report.contains("SKIPPED"), "got:\n{report}");
     }
 
     #[test]

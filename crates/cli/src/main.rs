@@ -13,6 +13,7 @@
 //!     --no-linearity  disable the §5 runtime check
 //!     --naive         disable rule-level delta filtering
 //!     --parallel      evaluate rules on multiple threads
+//!     --threads N     cap parallel evaluation at N workers (0 = auto)
 //!     --dynamic       accept statically non-stratifiable programs
 //!                     under the runtime stability check (§6 extension)
 //! ruvo serve   <base.ob> <program.ruvo>       concurrent serving demo
@@ -40,7 +41,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ruvo check   <program.ruvo> [--json]\n  ruvo explain <program.ruvo>\n  \
          ruvo fmt     <program.ruvo>\n  ruvo run     <program.ruvo> <base.ob> \
-         [--result] [--stats] [--trace] [--no-linearity] [--naive] [--parallel] [--dynamic]\n  \
+         [--result] [--stats] [--trace] [--no-linearity] [--naive] [--parallel] [--threads N] \
+         [--dynamic]\n  \
          ruvo serve   <base.ob> <program.ruvo> [--readers N] [--commits K] \
          [--data-dir D] [--ack-file F]\n  \
          ruvo recover <data-dir>\n  \
@@ -130,21 +132,25 @@ fn main() -> ExitCode {
             let (Some(ppath), Some(obpath)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
-            let flags: Vec<&str> = args[3..].iter().map(String::as_str).collect();
-            if let Some(unknown) = flags.iter().find(|f| {
-                ![
-                    "--result",
-                    "--stats",
-                    "--trace",
-                    "--no-linearity",
-                    "--naive",
-                    "--parallel",
-                    "--dynamic",
-                ]
-                .contains(*f)
-            }) {
-                eprintln!("error: unknown flag {unknown}");
-                return usage();
+            let mut flags: Vec<&str> = Vec::new();
+            let mut threads: usize = 0;
+            let mut rest = args[3..].iter().map(String::as_str);
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--result" | "--stats" | "--trace" | "--no-linearity" | "--naive"
+                    | "--parallel" | "--dynamic" => flags.push(arg),
+                    "--threads" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => threads = n,
+                        None => {
+                            eprintln!("error: --threads needs a number");
+                            return usage();
+                        }
+                    },
+                    unknown => {
+                        eprintln!("error: unknown flag {unknown}");
+                        return usage();
+                    }
+                }
             }
             let program = match load_program(ppath) {
                 Ok(p) => p,
@@ -164,6 +170,7 @@ fn main() -> ExitCode {
                 .check_linearity(!flags.contains(&"--no-linearity"))
                 .delta_filtering(!flags.contains(&"--naive"))
                 .parallel(flags.contains(&"--parallel"))
+                .threads(threads)
                 .trace(if flags.contains(&"--trace") {
                     TraceLevel::Rounds
                 } else {

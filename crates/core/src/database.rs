@@ -473,6 +473,15 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Cap parallel evaluation at `n` worker threads (`0` = auto; see
+    /// [`EngineConfig::threads`]). Only takes effect together with
+    /// [`DatabaseBuilder::parallel`]; results are bit-identical for
+    /// every value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n;
+        self
+    }
+
     /// Safety valve for the per-stratum fixpoint loop.
     pub fn max_rounds_per_stratum(mut self, limit: usize) -> Self {
         self.config.max_rounds_per_stratum = limit;
@@ -649,6 +658,21 @@ impl Database {
     /// The engine configuration transactions run under.
     pub fn config(&self) -> &EngineConfig {
         self.session.config()
+    }
+
+    /// Switch parallel evaluation on/off for subsequent transactions
+    /// (the [`DatabaseBuilder::parallel`] knob, adjustable at
+    /// runtime — e.g. by the REPL's `:set` command). Results are
+    /// unaffected; only the execution strategy changes.
+    pub fn set_parallel(&mut self, on: bool) {
+        self.session.config_mut().parallel = on;
+    }
+
+    /// Cap parallel evaluation at `n` worker threads (`0` = auto) for
+    /// subsequent transactions; the runtime twin of
+    /// [`DatabaseBuilder::threads`].
+    pub fn set_threads(&mut self, n: usize) {
+        self.session.config_mut().threads = n;
     }
 
     // ----- preparing and applying programs ---------------------------

@@ -38,7 +38,7 @@ use crate::error::EvalError;
 use crate::plan::IndexPlan;
 use crate::stratify::{stratify, stratify_relaxed, Stratification, StratifyError};
 use crate::tp::{self, Fired, FiredSet};
-use crate::trace::{EvalStats, RoundTrace, StratumTrace};
+use crate::trace::{EvalStats, ParallelStats, RoundTrace, StratumTrace};
 
 /// How much trace detail [`UpdateEngine::run`] records.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
@@ -105,6 +105,13 @@ pub struct EngineConfig {
     pub trace: TraceLevel,
     /// Evaluate the rules of a round on multiple threads.
     pub parallel: bool,
+    /// Worker cap for parallel evaluation: the number of threads the
+    /// run's worker pool (`core::pool`) is created with. `0` (the
+    /// default) means "auto" — use the host's available parallelism.
+    /// Ignored unless [`EngineConfig::parallel`] is on. The computed
+    /// results are bit-identical for every value (see ARCHITECTURE.md
+    /// §"Parallel evaluation"); only wall-clock telemetry varies.
+    pub threads: usize,
     /// Handling of statically non-stratifiable programs (§6 extension).
     pub cycles: CyclePolicy,
     /// Run the stability check on *every* stratum, not just flagged
@@ -131,6 +138,7 @@ impl Default for EngineConfig {
             max_rounds_per_stratum: 1_000_000,
             trace: TraceLevel::Strata,
             parallel: false,
+            threads: 0,
             cycles: CyclePolicy::Reject,
             verify_stability: false,
             demand: true,
@@ -154,6 +162,27 @@ impl EngineConfig {
     pub fn demand(mut self, on: bool) -> Self {
         self.demand = on;
         self
+    }
+
+    /// Cap parallel evaluation at `n` worker threads (`0` = auto,
+    /// see [`EngineConfig::threads`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+}
+
+/// The worker count a run's pool is created with: 1 when parallel
+/// evaluation is off, else the configured cap or (for `threads: 0`)
+/// the host's available parallelism.
+fn effective_workers(config: &EngineConfig) -> usize {
+    if !config.parallel {
+        return 1;
+    }
+    if config.threads > 0 {
+        config.threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 }
 
@@ -498,6 +527,13 @@ fn run_loop(
 
     let mut tracker = config.check_linearity.then(LinearityTracker::new);
     let mut stats = EvalStats::default();
+    // One pool for the whole run; every round's parallel regions (the
+    // step-1 scans and the step-2+3 apply) borrow it. With parallel
+    // evaluation off this is a width-1 pool and nothing ever spawns.
+    let pool = crate::pool::WorkerPool::new(effective_workers(config));
+    if config.parallel {
+        stats.parallel.workers = pool.workers();
+    }
     let mut stratum_traces = Vec::new();
     let mut round_traces = Vec::new();
     let mut total_changed = ChangedSince::new();
@@ -538,7 +574,15 @@ fn run_loop(
             stats.rule_evaluations_skipped += stratum.len() - to_eval.len();
             stats.rule_evaluations_seeded += tasks.iter().filter(|t| t.seed.is_some()).count();
 
-            let new_fired = collect_round(program, index_plan, config, &work, &tasks);
+            let new_fired = collect_round(
+                program,
+                index_plan,
+                config,
+                &work,
+                &tasks,
+                &pool,
+                &mut stats.parallel,
+            );
             if checked && round > 1 {
                 // Stability: T¹ w.r.t. the current interpretation
                 // must still contain every previously fired update.
@@ -569,16 +613,26 @@ fn run_loop(
             }
             // Re-apply the full accumulated update set of every
             // version the delta touches (idempotent for ins/del,
-            // required for mod chains; see module docs).
-            let mut affected: FastHashSet<Vid> = FastHashSet::default();
+            // required for mod chains; see module docs). The affected
+            // versions are kept in delta first-appearance order so the
+            // apply order is canonical — identical for the serial and
+            // every parallel configuration.
+            let mut affected: Vec<Vid> = Vec::new();
+            let mut affected_set: FastHashSet<Vid> = FastHashSet::default();
             for f in delta {
                 let created = f.created();
-                affected.insert(created);
+                if affected_set.insert(created) {
+                    affected.push(created);
+                }
                 by_version.entry(created).or_default().push(f);
             }
             let apply_list: Vec<Fired> =
                 affected.iter().flat_map(|v| by_version[v].iter().cloned()).collect();
-            let report = tp::apply_updates(&mut work, &apply_list);
+            let report = if pool.workers() >= 2 {
+                tp::apply_updates_pooled(&mut work, &apply_list, &pool, &mut stats.parallel)
+            } else {
+                tp::apply_updates(&mut work, &apply_list)
+            };
             if let Some(rt) = round_traces.last_mut() {
                 rt.touched = report.touched.len();
             }
@@ -615,58 +669,97 @@ fn run_loop(
     })
 }
 
-/// Step 1 of `T_P` over a round's evaluation tasks, optionally in
-/// parallel. Under [`EngineConfig::semi_naive`] scans follow the
-/// compiled index plan (and seeds, for seeded tasks); otherwise every
-/// task is a naive full-scan rule evaluation.
+/// Minimum seed size at which a seeded task is split into per-shard
+/// sub-tasks. Splitting is conditioned only on
+/// [`EngineConfig::parallel`] and this constant — never on the worker
+/// count — so every parallel width sees the same sub-task list and
+/// produces the same merged delta sequence.
+const SEED_SPLIT_MIN: usize = 32;
+
+/// A unit of step-1 scan work after seed splitting: a round task as
+/// issued by [`round_tasks`], or one shard's slice of a split seed.
+enum ScanJob<'a> {
+    Whole(&'a EvalTask),
+    Split { rule: usize, step: usize, seed: FastHashSet<Const> },
+}
+
+/// Step 1 of `T_P` over a round's evaluation tasks. Under
+/// [`EngineConfig::semi_naive`] scans follow the compiled index plan
+/// (and seeds, for seeded tasks); otherwise every task is a naive
+/// full-scan rule evaluation.
+///
+/// With [`EngineConfig::parallel`] on, large seeded tasks are first
+/// split by shard route ([`ruvo_obase::base_shard`]) into per-shard
+/// sub-tasks — intra-rule parallelism, so a round dominated by one
+/// hot rule still spreads over the pool — and all sub-tasks run
+/// through the pool, whose results merge in sub-task order (see
+/// [`crate::pool`] for the determinism contract).
 fn collect_round(
     program: &Program,
     plans: &IndexPlan,
     config: &EngineConfig,
     ob: &ObjectBase,
     tasks: &[EvalTask],
+    pool: &crate::pool::WorkerPool,
+    par: &mut ParallelStats,
 ) -> Vec<Fired> {
-    let run_task = |task: &EvalTask, out: &mut Vec<Fired>| {
-        let rule = &program.rules[task.rule];
+    let run = |rule: usize, seed: Option<(usize, &FastHashSet<Const>)>, out: &mut Vec<Fired>| {
+        let r = &program.rules[rule];
         if !config.semi_naive {
-            tp::collect_rule(ob, rule, out);
+            tp::collect_rule(ob, r, out);
             return;
         }
-        let plan = &plans.rules[task.rule];
-        match &task.seed {
-            Some((step, seed)) => tp::collect_rule_seeded(ob, rule, plan, *step, seed, out),
-            None => tp::collect_rule_planned(ob, rule, plan, out),
+        let plan = &plans.rules[rule];
+        match seed {
+            Some((step, seed)) => tp::collect_rule_seeded(ob, r, plan, step, seed, out),
+            None => tp::collect_rule_planned(ob, r, plan, out),
         }
     };
-    if !config.parallel || tasks.len() < 2 {
+    if !config.parallel {
         let mut out = Vec::new();
         for task in tasks {
-            run_task(task, &mut out);
+            run(task.rule, task.seed.as_ref().map(|(s, set)| (*s, set)), &mut out);
         }
         return out;
     }
-    let workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(tasks.len());
-    let chunks: Vec<&[EvalTask]> = tasks.chunks(tasks.len().div_ceil(workers)).collect();
-    let run_task = &run_task;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    for task in chunk {
-                        run_task(task, &mut local);
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("rule evaluation worker panicked"))
-            .collect()
-    })
+    let mut jobs: Vec<ScanJob> = Vec::new();
+    for task in tasks {
+        match &task.seed {
+            Some((step, seed)) if seed.len() >= SEED_SPLIT_MIN => {
+                par.seed_splits += 1;
+                let mut buckets: Vec<FastHashSet<Const>> =
+                    std::iter::repeat_with(FastHashSet::default)
+                        .take(ruvo_obase::SHARD_COUNT)
+                        .collect();
+                for &c in seed {
+                    buckets[ruvo_obase::base_shard(c)].insert(c);
+                }
+                jobs.extend(
+                    buckets.into_iter().filter(|b| !b.is_empty()).map(|seed| ScanJob::Split {
+                        rule: task.rule,
+                        step: *step,
+                        seed,
+                    }),
+                );
+            }
+            _ => jobs.push(ScanJob::Whole(task)),
+        }
+    }
+    par.scan_subtasks += jobs.len();
+    let (outs, timing) = pool.run(jobs.len(), |i| {
+        let mut out = Vec::new();
+        match &jobs[i] {
+            ScanJob::Whole(task) => {
+                run(task.rule, task.seed.as_ref().map(|(s, set)| (*s, set)), &mut out)
+            }
+            ScanJob::Split { rule, step, seed } => run(*rule, Some((*step, seed)), &mut out),
+        }
+        out
+    });
+    par.scan_wall += timing.wall;
+    par.scan_busy_max += timing.busy_max;
+    par.scan_busy_total += timing.busy_total;
+    outs.into_iter().flatten().collect()
 }
 
 /// The `(chain, method)` relations a rule's positive body literals can

@@ -31,6 +31,7 @@ pub mod error;
 pub mod history;
 pub mod matcher;
 pub mod plan;
+pub(crate) mod pool;
 pub mod query;
 pub mod reference;
 pub mod serve;
@@ -60,4 +61,4 @@ pub use store::{
 pub use stratify::{Condition, EdgeInfo, RelaxedStratification, Stratification, StratifyError};
 pub use temporal::{FactProp, Formula, Timeline};
 pub use tp::{Fired, FiredSet};
-pub use trace::{EvalStats, RoundTrace, StratumTrace};
+pub use trace::{EvalStats, ParallelStats, RoundTrace, StratumTrace};

@@ -1,0 +1,136 @@
+//! The round-scoped worker pool behind parallel evaluation.
+//!
+//! One [`WorkerPool`] is created per engine run from
+//! [`crate::EngineConfig::threads`] and drives every parallel region
+//! of every fixpoint round — the seeded/full rule scans of step 1 and
+//! the state-preparation pass of step 2+3. A region hands the pool an
+//! indexed job list; workers pull jobs from a shared atomic cursor
+//! (so a skewed round self-balances) and deposit each result into the
+//! slot of its job index. The caller reads the slots back **in job
+//! order**, which is what makes the merged output independent of the
+//! worker count and of scheduling — the determinism contract
+//! documented in ARCHITECTURE.md §"Parallel evaluation".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-region execution telemetry, accumulated into
+/// [`crate::EvalStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionTiming {
+    /// Wall-clock time of the region.
+    pub wall: Duration,
+    /// Busy time of the slowest worker.
+    pub busy_max: Duration,
+    /// Summed busy time across workers (utilization =
+    /// `busy_total / (workers × wall)`; imbalance =
+    /// `busy_max × workers / busy_total`).
+    pub busy_total: Duration,
+}
+
+/// A fixed-width scoped worker pool with deterministic result order.
+///
+/// `workers == 1` degrades to a plain serial loop (no threads, no
+/// atomics), which is also the configuration the sequential
+/// differential oracle runs under.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize) -> WorkerPool {
+        WorkerPool { workers: workers.max(1) }
+    }
+
+    /// The configured worker cap.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `jobs` invocations of `f` (by job index) and return the
+    /// results in job-index order plus the region's timing. Work is
+    /// pulled, not chunked: each worker grabs the next unclaimed index
+    /// until none remain.
+    pub(crate) fn run<T, F>(&self, jobs: usize, f: F) -> (Vec<T>, RegionTiming)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let started = Instant::now();
+        if self.workers < 2 || jobs < 2 {
+            let out: Vec<T> = (0..jobs).map(&f).collect();
+            let wall = started.elapsed();
+            return (out, RegionTiming { wall, busy_max: wall, busy_total: wall });
+        }
+        let workers = self.workers.min(jobs);
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        let mut busy: Vec<Duration> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        (local, t0.elapsed())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (local, elapsed) = handle.join().expect("evaluation worker panicked");
+                busy.push(elapsed);
+                for (i, value) in local {
+                    slots[i] = Some(value);
+                }
+            }
+        });
+        let out: Vec<T> = slots.into_iter().map(|s| s.expect("every job index claimed")).collect();
+        let timing = RegionTiming {
+            wall: started.elapsed(),
+            busy_max: busy.iter().copied().max().unwrap_or_default(),
+            busy_total: busy.iter().sum(),
+        };
+        (out, timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order_for_any_width() {
+        for workers in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let (out, timing) = pool.run(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+            assert!(timing.wall >= timing.busy_max || workers == 1);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        let pool = WorkerPool::new(4);
+        let (out, _) = pool.run(0, |i| i);
+        assert!(out.is_empty());
+        let (out, _) = pool.run(1, |i| i + 10);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn workers_are_capped_at_one_minimum() {
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+        assert_eq!(WorkerPool::new(5).workers(), 5);
+    }
+}

@@ -293,84 +293,116 @@ pub struct ApplyReport {
     pub facts_copied: usize,
 }
 
+/// Group a round's delta by created version, in first-appearance
+/// order. This is the **canonical apply order**: every apply path —
+/// serial, pooled, any worker count — processes versions in exactly
+/// this sequence (or deposits results into slots indexed by it), so
+/// `touched`/`created` lists and the recorded delta are identical
+/// across configurations.
+fn group_by_created(delta: &[Fired]) -> Vec<(Vid, Vec<&Fired>)> {
+    let mut index: FastHashMap<Vid, usize> = FastHashMap::default();
+    let mut groups: Vec<(Vid, Vec<&Fired>)> = Vec::new();
+    for fired in delta {
+        let created = fired.created();
+        let i = *index.entry(created).or_insert_with(|| {
+            groups.push((created, Vec::new()));
+            groups.len() - 1
+        });
+        groups[i].1.push(fired);
+    }
+    groups
+}
+
+/// Steps 2 + 3 for one created version, **read-only** on `ob`: the
+/// copied source state with the group's updates applied. Returns the
+/// new state plus `(facts_copied, was_created)` bookkeeping. Being a
+/// pure function of `(ob, created, updates)`, any number of these can
+/// run concurrently over a shared `&ObjectBase`.
+fn build_state(
+    ob: &ObjectBase,
+    created: Vid,
+    updates: &[&Fired],
+) -> (Arc<VersionState>, usize, bool) {
+    let exists = exists_sym();
+    let active = ob.exists_fact(created);
+    let mut facts_copied = 0;
+    // Step 2: the copy — an `Arc` alias of the source state, not a
+    // deep copy. Step 3 unshares it on its first *effective* write
+    // (every removal/insertion peeks first), so a round that
+    // re-applies an already-applied update set touches nothing, and
+    // the tracked commit recognizes the unchanged pointer and skips
+    // the diff and the re-indexing outright.
+    let mut state: Arc<VersionState> = if active {
+        ob.version_shared(created).cloned().unwrap_or_default()
+    } else {
+        let target = updates[0].target();
+        let copied = match ob.v_star(target) {
+            Some(v_star) => ob.version_shared(v_star).cloned().unwrap_or_default(),
+            // Brand-new object: empty copy (DESIGN.md D3).
+            None => Arc::new(VersionState::new()),
+        };
+        facts_copied = copied.len();
+        copied
+    };
+    // Every version notes its own existence (survives deletion; §3).
+    let exists_app = MethodApp::new(Args::empty(), created.base());
+    if !state.contains(exists, &exists_app) {
+        Arc::make_mut(&mut state).insert(exists, exists_app);
+    }
+
+    // Step 3: apply. The paper defines this as set algebra — the kept
+    // copies are those whose result is no del-result and no
+    // mod-from-value, and every ins-result and mod-to-value is
+    // unioned in. Hence two phases: all removals first, then all
+    // insertions. Interleaving per update would make chained mods
+    // like (a,b),(b,c) order-dependent ({c} or {a,c} instead of the
+    // paper's {b,c}).
+    for fired in updates {
+        let removal = match fired {
+            Fired::Del { method, args, result, .. } => {
+                Some((*method, MethodApp::new(args.clone(), *result)))
+            }
+            Fired::Mod { method, args, from, .. } => {
+                Some((*method, MethodApp::new(args.clone(), *from)))
+            }
+            Fired::Ins { .. } => None,
+        };
+        if let Some((method, app)) = removal {
+            if state.contains(method, &app) {
+                Arc::make_mut(&mut state).remove(method, &app);
+            }
+        }
+    }
+    for fired in updates {
+        let insertion = match fired {
+            Fired::Ins { method, args, result, .. } => {
+                Some((*method, MethodApp::new(args.clone(), *result)))
+            }
+            Fired::Mod { method, args, to, .. } => {
+                Some((*method, MethodApp::new(args.clone(), *to)))
+            }
+            Fired::Del { .. } => None,
+        };
+        if let Some((method, app)) = insertion {
+            if !state.contains(method, &app) {
+                Arc::make_mut(&mut state).insert(method, app);
+            }
+        }
+    }
+    (state, facts_copied, !active)
+}
+
 /// Steps 2 + 3 for the newly fired updates of one round: group by
 /// created version, copy states for relevant VIDs, apply the updates,
 /// and overwrite the version states in `ob`.
 pub fn apply_updates(ob: &mut ObjectBase, delta: &[Fired]) -> ApplyReport {
-    let exists = exists_sym();
-    let mut by_version: FastHashMap<Vid, Vec<&Fired>> = FastHashMap::default();
-    for fired in delta {
-        by_version.entry(fired.created()).or_default().push(fired);
-    }
-
     let mut report = ApplyReport::default();
-    for (created, updates) in by_version {
-        let active = ob.exists_fact(created);
-        // Step 2: the copy — an `Arc` alias of the source state, not a
-        // deep copy. Step 3 unshares it on its first *effective* write
-        // (every removal/insertion peeks first), so a round that
-        // re-applies an already-applied update set touches nothing,
-        // and the tracked commit below recognizes the unchanged
-        // pointer and skips the diff and the re-indexing outright.
-        let mut state: Arc<VersionState> = if active {
-            ob.version_shared(created).cloned().unwrap_or_default()
-        } else {
-            let target = updates[0].target();
-            let copied = match ob.v_star(target) {
-                Some(v_star) => ob.version_shared(v_star).cloned().unwrap_or_default(),
-                // Brand-new object: empty copy (DESIGN.md D3).
-                None => Arc::new(VersionState::new()),
-            };
-            report.facts_copied += copied.len();
+    for (created, updates) in group_by_created(delta) {
+        let (state, facts_copied, was_created) = build_state(ob, created, &updates);
+        report.facts_copied += facts_copied;
+        if was_created {
             report.created.push(created);
-            copied
-        };
-        // Every version notes its own existence (survives deletion; §3).
-        let exists_app = MethodApp::new(Args::empty(), created.base());
-        if !state.contains(exists, &exists_app) {
-            Arc::make_mut(&mut state).insert(exists, exists_app);
         }
-
-        // Step 3: apply. The paper defines this as set algebra — the
-        // kept copies are those whose result is no del-result and no
-        // mod-from-value, and every ins-result and mod-to-value is
-        // unioned in. Hence two phases: all removals first, then all
-        // insertions. Interleaving per update would make chained mods
-        // like (a,b),(b,c) order-dependent ({c} or {a,c} instead of
-        // the paper's {b,c}).
-        for fired in &updates {
-            let removal = match fired {
-                Fired::Del { method, args, result, .. } => {
-                    Some((*method, MethodApp::new(args.clone(), *result)))
-                }
-                Fired::Mod { method, args, from, .. } => {
-                    Some((*method, MethodApp::new(args.clone(), *from)))
-                }
-                Fired::Ins { .. } => None,
-            };
-            if let Some((method, app)) = removal {
-                if state.contains(method, &app) {
-                    Arc::make_mut(&mut state).remove(method, &app);
-                }
-            }
-        }
-        for fired in updates {
-            let insertion = match fired {
-                Fired::Ins { method, args, result, .. } => {
-                    Some((*method, MethodApp::new(args.clone(), *result)))
-                }
-                Fired::Mod { method, args, to, .. } => {
-                    Some((*method, MethodApp::new(args.clone(), *to)))
-                }
-                Fired::Del { .. } => None,
-            };
-            if let Some((method, app)) = insertion {
-                if !state.contains(method, &app) {
-                    Arc::make_mut(&mut state).insert(method, app);
-                }
-            }
-        }
-
         // The tracked commit diffs the new state against the old one:
         // freshly created versions record every method of their state,
         // re-applications record only what actually changed — and a
@@ -378,6 +410,46 @@ pub fn apply_updates(ob: &mut ObjectBase, delta: &[Fired]) -> ApplyReport {
         ob.replace_version_tracked_shared(created, state, &mut report.changed);
         report.touched.push(created);
     }
+    report
+}
+
+/// [`apply_updates`] with the per-version work spread over a worker
+/// pool: the state of every touched version is built concurrently
+/// (read-only phase), then all states are committed at once through
+/// the object base's sharded batch commit
+/// (`ObjectBase::replace_versions_tracked_shared`), whose workers own
+/// disjoint index shards. Produces a report identical to the serial
+/// path for every pool width — see the module docs of
+/// [`crate::pool`].
+pub(crate) fn apply_updates_pooled(
+    ob: &mut ObjectBase,
+    delta: &[Fired],
+    pool: &crate::pool::WorkerPool,
+    par: &mut crate::trace::ParallelStats,
+) -> ApplyReport {
+    if pool.workers() < 2 {
+        return apply_updates(ob, delta);
+    }
+    let started = std::time::Instant::now();
+    let groups = group_by_created(delta);
+    let shared: &ObjectBase = ob;
+    let (built, timing) =
+        pool.run(groups.len(), |i| build_state(shared, groups[i].0, &groups[i].1));
+    par.apply_busy_max += timing.busy_max;
+    par.apply_busy_total += timing.busy_total;
+
+    let mut report = ApplyReport::default();
+    let mut edits: Vec<(Vid, Arc<VersionState>)> = Vec::with_capacity(groups.len());
+    for ((created, _), (state, facts_copied, was_created)) in groups.iter().zip(built) {
+        report.facts_copied += facts_copied;
+        if was_created {
+            report.created.push(*created);
+        }
+        report.touched.push(*created);
+        edits.push((*created, state));
+    }
+    ob.replace_versions_tracked_shared(&edits, pool.workers(), &mut report.changed);
+    par.apply_wall += started.elapsed();
     report
 }
 

@@ -26,6 +26,61 @@ pub struct EvalStats {
     pub rule_evaluations_seeded: usize,
     /// Wall-clock time of the run (zero duration if not measured).
     pub elapsed: Duration,
+    /// Parallel-execution observability (all zero for serial runs).
+    pub parallel: ParallelStats,
+}
+
+/// Observability counters for parallel evaluation: how the rounds'
+/// work was partitioned and how well the workers were utilized. All
+/// fields stay zero when [`crate::EngineConfig::parallel`] is off.
+///
+/// Wall/busy durations are *execution* telemetry: they vary run to
+/// run and are deliberately excluded from the determinism contract
+/// (which covers results, deltas and the logical counters of
+/// [`EvalStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Worker cap the run's pool was created with.
+    pub workers: usize,
+    /// Scan sub-tasks executed across all rounds (after seed
+    /// splitting; equals the task count when nothing was split).
+    pub scan_subtasks: usize,
+    /// Seeded tasks that were split into per-shard sub-tasks.
+    pub seed_splits: usize,
+    /// Wall-clock time summed over the rounds' scan regions (step 1).
+    pub scan_wall: Duration,
+    /// Busy time of the slowest scan worker, summed over rounds.
+    pub scan_busy_max: Duration,
+    /// Total scan worker busy time, summed over rounds.
+    pub scan_busy_total: Duration,
+    /// Wall-clock time summed over the rounds' apply regions (steps
+    /// 2+3: state preparation and the sharded commit).
+    pub apply_wall: Duration,
+    /// Busy time of the slowest apply worker, summed over rounds.
+    pub apply_busy_max: Duration,
+    /// Total apply worker busy time, summed over rounds.
+    pub apply_busy_total: Duration,
+}
+
+impl ParallelStats {
+    /// Scan-phase imbalance: slowest worker's busy share over the
+    /// perfectly-balanced share (1.0 = even, `workers` = one worker
+    /// did everything). `None` until a parallel scan region ran.
+    pub fn scan_imbalance(&self) -> Option<f64> {
+        imbalance(self.workers, self.scan_busy_max, self.scan_busy_total)
+    }
+
+    /// Apply-phase imbalance, same definition.
+    pub fn apply_imbalance(&self) -> Option<f64> {
+        imbalance(self.workers, self.apply_busy_max, self.apply_busy_total)
+    }
+}
+
+fn imbalance(workers: usize, busy_max: Duration, busy_total: Duration) -> Option<f64> {
+    if workers < 2 || busy_total.is_zero() {
+        return None;
+    }
+    Some(busy_max.as_secs_f64() * workers as f64 / busy_total.as_secs_f64())
 }
 
 impl fmt::Display for EvalStats {
@@ -43,7 +98,35 @@ impl fmt::Display for EvalStats {
             self.rule_evaluations_skipped,
             self.rule_evaluations_seeded,
             self.elapsed
+        )?;
+        if self.parallel.workers > 1 {
+            write!(f, "; {}", self.parallel)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ParallelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} workers, {} scan sub-tasks ({} seed splits), \
+             scan {:?} wall (imbalance {}), apply {:?} wall (imbalance {})",
+            self.workers,
+            self.scan_subtasks,
+            self.seed_splits,
+            self.scan_wall,
+            fmt_imbalance(self.scan_imbalance()),
+            self.apply_wall,
+            fmt_imbalance(self.apply_imbalance()),
         )
+    }
+}
+
+fn fmt_imbalance(x: Option<f64>) -> String {
+    match x {
+        Some(x) => format!("{x:.2}"),
+        None => "n/a".to_string(),
     }
 }
 
@@ -99,5 +182,35 @@ mod tests {
         assert!(text.contains("3 strata"));
         assert!(text.contains("5 rounds"));
         assert!(text.contains("7 fired"));
+        // Serial runs don't clutter the line with parallel telemetry.
+        assert!(!text.contains("workers"));
+    }
+
+    #[test]
+    fn stats_display_includes_parallel_telemetry_when_parallel() {
+        let s = EvalStats {
+            parallel: ParallelStats {
+                workers: 4,
+                scan_subtasks: 12,
+                seed_splits: 2,
+                scan_busy_max: Duration::from_millis(6),
+                scan_busy_total: Duration::from_millis(12),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("4 workers"));
+        assert!(text.contains("12 scan sub-tasks"));
+        assert!(text.contains("2 seed splits"));
+        // busy_max=6ms over total=12ms on 4 workers: 6*4/12 = 2.00.
+        assert!(text.contains("imbalance 2.00"), "{text}");
+    }
+
+    #[test]
+    fn imbalance_is_none_without_parallel_regions() {
+        let p = ParallelStats::default();
+        assert_eq!(p.scan_imbalance(), None);
+        assert_eq!(p.apply_imbalance(), None);
     }
 }

@@ -47,7 +47,7 @@ pub mod state;
 pub mod stats;
 
 pub use args::Args;
-pub use base::{Fact, ObjectBase};
+pub use base::{base_shard, Fact, ObjectBase};
 pub use codec::DecodeError;
 pub use delta::ChangedSince;
 pub use linearity::{check_all_linear, LinearityTracker, LinearityViolation};

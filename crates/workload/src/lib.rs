@@ -27,5 +27,5 @@ pub use programs::{
     enterprise_program, hypothetical_program, salary_raise_program, PAPER_ENTERPRISE_OB,
 };
 pub use query::{query_workload, QueryConfig, QueryWorkload, RefQuery, CHIEF_PROGRAM};
-pub use random::{random_insert_program, random_object_base, RandomConfig};
+pub use random::{random_insert_program, random_object_base, random_update_program, RandomConfig};
 pub use serving::{serving_scenario, ServingConfig, ServingScenario};

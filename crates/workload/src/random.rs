@@ -73,6 +73,101 @@ pub fn random_insert_program(config: RandomConfig) -> Program {
     Program::parse(&src).expect("generated insert program parses")
 }
 
+/// A random **layered** update-program exercising all three update
+/// kinds plus negation, built to be statically stratifiable and
+/// version-linear by construction:
+///
+/// * **Layer 0** — `ins[X].g* <= …` rules reading the base `m*`
+///   relations, some recursing through the `ins(X).g*` relations they
+///   build (monotone, so same-stratum recursion is fine).
+/// * **Layer 1** — `del[ins(X)]` *or* `mod[ins(X)]` rules (one kind
+///   per program, so every object's versions stay a chain) revising
+///   layer 0's `g*` relations.
+/// * **Layer 2** — `ins` rules one chain level deeper, writing `h*`
+///   relations and reading layer 0/1 with **negated** literals, which
+///   forces a strict stratum boundary below them.
+///
+/// The layers' written relations are disjoint (`g*` at distinct chain
+/// depths, then `h*`), so the read/write dependency graph is a DAG and
+/// static stratification always succeeds. This is the fixture for the
+/// parallel-vs-sequential differential battery: deletes, modifies and
+/// negation make evaluation order visible if the engine ever gets it
+/// wrong, where insert-only programs would mask it.
+pub fn random_update_program(config: RandomConfig) -> Program {
+    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_mul(0xC2B2_AE35));
+    let methods = config.methods.max(1);
+    let rules = config.rules.max(3);
+    let r0 = rules.div_ceil(2);
+    let r1 = ((rules - r0) / 2).max(1);
+    let r2 = rules.saturating_sub(r0 + r1).max(1);
+    // One revision kind for the whole program: mixing `del[ins(X)]`
+    // and `mod[ins(X)]` could create incomparable sibling versions of
+    // one object and trip the §5 linearity check.
+    let l1_del = rng.gen_bool(0.5);
+    let mut src = String::new();
+    for i in 0..r0 {
+        let ga = rng.gen_range(0..methods);
+        let mb = rng.gen_range(0..methods);
+        match rng.gen_range(0..3) {
+            0 => src.push_str(&format!("l0r{i}: ins[X].g{ga} -> R <= X.m{mb} -> R.\n")),
+            1 => {
+                let mc = rng.gen_range(0..methods);
+                src.push_str(&format!(
+                    "l0r{i}: ins[X].g{ga} -> S <= X.m{mb} -> R & R.m{mc} -> S.\n"
+                ));
+            }
+            _ => {
+                let gc = rng.gen_range(0..methods);
+                src.push_str(&format!(
+                    "l0r{i}: ins[X].g{ga} -> S <= ins(X).g{gc} -> R & R.m{mb} -> S.\n"
+                ));
+            }
+        }
+    }
+    for i in 0..r1 {
+        let ga = rng.gen_range(0..methods);
+        let mb = rng.gen_range(0..methods);
+        if l1_del {
+            if rng.gen_bool(0.25) {
+                // Wildcard delete: kills the whole `ins(X)` version.
+                src.push_str(&format!(
+                    "l1r{i}: del[ins(X)].* <= ins(X).g{ga} -> R & X.m{mb} -> R.\n"
+                ));
+            } else {
+                src.push_str(&format!(
+                    "l1r{i}: del[ins(X)].g{ga} -> R <= ins(X).g{ga} -> R & X.m{mb} -> C.\n"
+                ));
+            }
+        } else {
+            src.push_str(&format!(
+                "l1r{i}: mod[ins(X)].g{ga} -> (R, C) <= ins(X).g{ga} -> R & X.m{mb} -> C.\n"
+            ));
+        }
+    }
+    for i in 0..r2 {
+        let gb = rng.gen_range(0..methods);
+        let ha = rng.gen_range(0..methods);
+        if l1_del {
+            if rng.gen_bool(0.5) {
+                src.push_str(&format!(
+                    "l2r{i}: ins[del(ins(X))].h{ha} -> R <= ins(X).g{gb} -> R \
+                     & not del[ins(X)].g{gb} -> R.\n"
+                ));
+            } else {
+                src.push_str(&format!(
+                    "l2r{i}: ins[del(ins(X))].h{ha} -> C <= del(ins(X)).g{gb} -> C.\n"
+                ));
+            }
+        } else {
+            src.push_str(&format!(
+                "l2r{i}: ins[mod(ins(X))].h{ha} -> R <= ins(X).g{gb} -> R \
+                 & not mod(ins(X)).g{gb} -> R.\n"
+            ));
+        }
+    }
+    Program::parse(&src).expect("generated update program parses")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +208,23 @@ mod tests {
                 "lost fact {fact}"
             );
         }
+    }
+
+    #[test]
+    fn random_update_programs_stratify_and_run_clean() {
+        let mut fired_any = false;
+        for seed in 0..20 {
+            let config = RandomConfig { seed, rules: 9, ..Default::default() };
+            let ob = random_object_base(config);
+            let program = random_update_program(config);
+            let outcome =
+                UpdateEngine::new(program).run(&ob).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            outcome.new_object_base().check_invariants();
+            fired_any |= outcome.stats().fired_updates > 0;
+            // The negation layer forces at least two strata.
+            assert!(outcome.stratification().strata.len() >= 2, "seed {seed}");
+        }
+        assert!(fired_any, "no generated program fired anything");
     }
 
     #[test]

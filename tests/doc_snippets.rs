@@ -1,7 +1,9 @@
-//! Cross-checks for `docs/LANGUAGE.md`: every snippet the reference
-//! presents as accepted must parse (and behave as described), and
-//! every construct it presents as rejected must be rejected. Keep this
-//! file in sync with the document.
+//! Cross-checks for the documentation: every snippet
+//! `docs/LANGUAGE.md` presents as accepted must parse (and behave as
+//! described), every construct it presents as rejected must be
+//! rejected, and the performance claims `docs/ARCHITECTURE.md` and
+//! `README.md` make about parallel evaluation must hold. Keep this
+//! file in sync with the documents.
 
 use ruvo::prelude::*;
 
@@ -171,6 +173,33 @@ fn query_goal_snippets_behave_as_documented() {
     assert_eq!(answers.vars, vec!["E".to_string(), "S".to_string()]);
     assert_eq!(answers.rows, vec![vec![oid("henry"), int(275)]]);
     assert!(db.log().is_empty(), "a query must not commit");
+}
+
+#[test]
+fn parallel_evaluation_docs_match_behavior() {
+    // The documented section and knobs exist.
+    let arch = include_str!("../docs/ARCHITECTURE.md");
+    assert!(arch.contains("## Parallel evaluation"), "ARCHITECTURE.md lost its parallel section");
+    for claim in ["bit-identical", "SEED_SPLIT_MIN", "RUVO_TEST_THREADS", "BENCH_pr8.json"] {
+        assert!(arch.contains(claim), "ARCHITECTURE.md parallel section lost claim: {claim}");
+    }
+    let readme = include_str!("../README.md");
+    for claim in ["--threads", ":set threads", "experiment\nE12"] {
+        assert!(readme.contains(claim), "README.md lost parallel perf note: {claim}");
+    }
+
+    // The documented behavior: `threads(n)` caps the workers, and the
+    // parallel result is bit-identical to the serial one.
+    let src = "chief: ins[X].chief -> B <= X.boss -> B.
+               step:  ins[X].chief -> C <= ins(X).chief -> B & B.boss -> C.";
+    let ob = ObjectBase::parse("bob.boss -> phil. phil.boss -> mary.").unwrap();
+    let mut serial = Database::open(ob.clone());
+    serial.apply(&serial.prepare(src).unwrap()).unwrap();
+    let mut parallel = Database::builder().parallel(true).threads(3).open(ob);
+    let prepared = parallel.prepare(src).unwrap();
+    let workers = parallel.apply(&prepared).unwrap().outcome.stats().parallel.workers;
+    assert_eq!(workers, 3, "threads(3) must cap the worker pool at 3");
+    assert_eq!(*serial.current(), *parallel.current());
 }
 
 #[test]

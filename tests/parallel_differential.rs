@@ -1,0 +1,149 @@
+//! Parallel-vs-sequential differential battery.
+//!
+//! The engine's determinism contract (ARCHITECTURE.md §"Parallel
+//! evaluation") says parallel evaluation is **bit-identical** to
+//! serial for every thread count: same `result(P)`, same `ob'`, same
+//! change deltas, same logical counters, same traces. These tests
+//! enforce that over randomized update-programs — including deletes,
+//! modifies and negation strata, where an ordering bug would actually
+//! change answers — and over the workloads whose per-round deltas are
+//! large enough to trigger seed splitting.
+//!
+//! CI caps the sweep with `RUVO_TEST_THREADS` (it runs on small
+//! hosts); locally the full {1, 2, 4, 8} sweep runs by default.
+
+use proptest::prelude::*;
+use ruvo::core::{run_compiled, CompiledProgram, CyclePolicy, TraceLevel};
+use ruvo::prelude::*;
+use ruvo::workload::{
+    random_insert_program, random_object_base, random_update_program, RandomConfig,
+};
+
+/// Thread counts to sweep: {1, 2, 4, 8} capped by `RUVO_TEST_THREADS`.
+/// Width 1 stays in the list on purpose — it runs the full parallel
+/// machinery (seed splitting, pool, canonical merge) on the pool's
+/// serial fast path.
+fn thread_counts() -> Vec<usize> {
+    let cap = std::env::var("RUVO_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8)
+        .max(1);
+    [1, 2, 4, 8].into_iter().filter(|&n| n <= cap).collect()
+}
+
+/// Run `program` serially, then at every swept thread count, and
+/// assert every observable output is identical.
+fn assert_parallel_matches(program: &Program, ob: &ObjectBase, cycles: CyclePolicy) {
+    let compiled = CompiledProgram::compile(program.clone(), cycles).expect("program compiles");
+    let base_cfg = EngineConfig { cycles, trace: TraceLevel::Rounds, ..EngineConfig::default() };
+    let serial = run_compiled(&compiled, &base_cfg, ob.clone()).expect("serial run succeeds");
+    for n in thread_counts() {
+        let cfg = EngineConfig { parallel: true, threads: n, ..base_cfg.clone() };
+        let par = run_compiled(&compiled, &cfg, ob.clone())
+            .unwrap_or_else(|e| panic!("threads={n}: {e}"));
+        assert_eq!(par.result(), serial.result(), "result(P) diverged at threads={n}");
+        assert_eq!(par.changed(), serial.changed(), "change deltas diverged at threads={n}");
+        assert_eq!(par.new_object_base(), serial.new_object_base(), "ob' diverged at threads={n}");
+        assert_eq!(
+            par.round_traces(),
+            serial.round_traces(),
+            "round traces diverged at threads={n}"
+        );
+        assert_eq!(
+            par.stratum_traces(),
+            serial.stratum_traces(),
+            "stratum traces diverged at threads={n}"
+        );
+        let (p, s) = (par.stats(), serial.stats());
+        assert_eq!(
+            (p.strata, p.rounds, p.fired_updates, p.versions_created, p.facts_copied),
+            (s.strata, s.rounds, s.fired_updates, s.versions_created, s.facts_copied),
+            "evaluation counters diverged at threads={n}"
+        );
+        assert_eq!(
+            (p.rule_evaluations, p.rule_evaluations_skipped, p.rule_evaluations_seeded),
+            (s.rule_evaluations, s.rule_evaluations_skipped, s.rule_evaluations_seeded),
+            "rule-evaluation counters diverged at threads={n}"
+        );
+        par.result().check_invariants();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full battery: layered programs with ins/del/mod heads and
+    /// negation strata over random bases. An evaluation-order bug in
+    /// the parallel path changes answers here, not just timings.
+    #[test]
+    fn parallel_matches_sequential_on_update_programs(
+        seed in 0u64..10_000,
+        objects in 15usize..50,
+        facts in 60usize..160,
+        rules in 6usize..12,
+    ) {
+        let config = RandomConfig { objects, facts, rules, methods: 4, seed };
+        let ob = random_object_base(config);
+        let program = random_update_program(config);
+        assert_parallel_matches(&program, &ob, CyclePolicy::Reject);
+    }
+
+    /// Insert-only programs over wider bases: monotone growth keeps
+    /// per-round deltas large, which drives the seed-splitting path.
+    #[test]
+    fn parallel_matches_sequential_on_bulk_inserts(
+        seed in 0u64..10_000,
+        objects in 48usize..96,
+        facts in 160usize..320,
+    ) {
+        let config = RandomConfig { objects, facts, rules: 8, methods: 4, seed };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config);
+        assert_parallel_matches(&program, &ob, CyclePolicy::Reject);
+    }
+}
+
+/// Statically stratifiable programs must also run identically under
+/// the runtime-stability cycle policy (which forces full per-round
+/// re-evaluation — a different scan workload for the pool).
+#[test]
+fn parallel_matches_sequential_under_runtime_stability() {
+    for seed in 0..8 {
+        let config = RandomConfig { objects: 24, facts: 90, rules: 8, methods: 4, seed };
+        let ob = random_object_base(config);
+        let program = random_update_program(config);
+        assert_parallel_matches(&program, &ob, CyclePolicy::RuntimeStability);
+    }
+}
+
+/// A transitive-closure chain whose per-round delta spans ~all
+/// objects: large seeded scans must actually be *split* into
+/// per-shard sub-tasks, and the split output must stay identical.
+#[test]
+fn seed_splitting_triggers_and_stays_identical() {
+    let n = 96;
+    let mut src = String::new();
+    for i in 0..n - 1 {
+        src.push_str(&format!("o{i}.next -> o{}.\n", i + 1));
+    }
+    let ob = ObjectBase::parse(&src).unwrap();
+    let program = Program::parse(
+        "tc1: ins[X].reach -> R <= X.next -> R.
+         tc2: ins[X].reach -> S <= ins(X).reach -> R & R.next -> S.",
+    )
+    .unwrap();
+    assert_parallel_matches(&program, &ob, CyclePolicy::Reject);
+
+    // Observe the splitting itself through the parallel telemetry.
+    let compiled = CompiledProgram::compile(program, CyclePolicy::Reject).unwrap();
+    let cfg = EngineConfig { parallel: true, threads: 2, ..EngineConfig::default() };
+    let outcome = run_compiled(&compiled, &cfg, ob).unwrap();
+    let par = &outcome.stats().parallel;
+    assert_eq!(par.workers, 2);
+    assert!(par.seed_splits > 0, "chain workload must split seeded scans, got {par:?}");
+    assert!(
+        par.scan_subtasks > outcome.stats().rule_evaluations,
+        "splitting must yield more sub-tasks than rule evaluations: {par:?}"
+    );
+}
