@@ -51,6 +51,7 @@ pub fn all() -> Vec<Experiment> {
         ("E10", "durable storage — append vs fsync, recovery, checkpoint cost", e10_durability),
         ("E11", "demand-driven queries — magic-set point query vs full evaluation", e11_demand),
         ("E12", "shard-parallel fixpoint — thread sweep and scaling", e12_parallel),
+        ("E13", "rule-parallel fixpoint — dependency components and thread sweep", e13_parallel),
     ]
 }
 
@@ -614,10 +615,11 @@ pub fn a6_cow_clone(quick: bool) -> String {
     out
 }
 
-/// Machine-readable medians for the perf trajectory: the E12 parallel
-/// thread sweep, the E11 / E10 / E8C axes, the E7 size and ratio
-/// sweeps, and the A6 micro-costs, as one JSON document (written to
-/// `BENCH_pr8.json` by `experiments --json`).
+/// Machine-readable medians for the perf trajectory: the E13
+/// rule-parallel and E12 shard-parallel thread sweeps, the E11 / E10
+/// / E8C axes, the E7 size and ratio sweeps, and the A6 micro-costs,
+/// as one JSON document (written to `BENCH_pr9.json` by
+/// `experiments --json`).
 pub fn bench_json(quick: bool) -> String {
     let hot = 100usize;
     let sizes: Vec<String> = e7_sizes(quick)
@@ -782,8 +784,53 @@ pub fn bench_json(quick: bool) -> String {
     let e12_stall_serial = e8c_measure_serving_config(quick, 2, 1, None);
     let e12_stall_parallel = e8c_measure_serving_config(quick, 2, 1, Some(e12_config(2)));
 
+    // The PR-9 axis: rule-parallel fixpoint via dependency components.
+    let (e13_program, e13_ob) = e13_workload(quick);
+    let e13_compiled =
+        ruvo_core::CompiledProgram::compile(e13_program.clone(), CyclePolicy::Reject)
+            .expect("E13 workload compiles");
+    let e13_components = e13_compiled.deps().components().len();
+    let (e13_serial, e13_reference) = e12_measure(quick, &e13_program, &e13_ob, 0);
+    let mut e13_rows: Vec<String> =
+        vec![format!("     {{\"threads\": 0, \"wall_ms\": {:.3}}}", e13_serial.wall_ms)];
+    let mut e13_sp4 = 0.0f64;
+    let mut e13_component_jobs = 0usize;
+    for threads in e12_threads(quick) {
+        let (row, ob2) = e12_measure(quick, &e13_program, &e13_ob, threads);
+        assert_eq!(ob2, e13_reference, "E13: rule-parallel ob' diverged at {threads} threads");
+        let outcome = run_with(e13_program.clone(), &e13_ob, e12_config(threads));
+        let par = outcome.stats().parallel;
+        if threads == 2 {
+            e13_component_jobs = par.component_jobs;
+        }
+        let speedup = e13_serial.wall_ms / row.wall_ms.max(f64::EPSILON);
+        if threads == 4 {
+            e13_sp4 = speedup;
+        }
+        e13_rows.push(format!(
+            "     {{\"threads\": {}, \"wall_ms\": {:.3}, \"scan_wall_ms\": {:.3}, \
+             \"component_jobs\": {}, \"speedup\": {speedup:.2}}}",
+            row.threads, row.wall_ms, row.scan_wall_ms, par.component_jobs
+        ));
+    }
+    let e13_gate = match e12_speedup_gate(quick, cpus) {
+        Ok(()) => {
+            assert!(e13_sp4 >= 2.0, "rule-parallel speedup at 4 threads below 2x: {e13_sp4:.2}");
+            "\"pass\"".to_string()
+        }
+        Err(why) => format!("\"skipped: {why}\""),
+    };
+
     format!(
-        "{{\n  \"pr\": 8,\n  \"quick\": {quick},\n  \"cpus\": {cpus},\n  \
+        "{{\n  \"pr\": 9,\n  \"quick\": {quick},\n  \"cpus\": {cpus},\n  \
+         \"e13_rule_parallel\": {{\n   \
+         \"rules\": {},\n   \
+         \"components\": {e13_components},\n   \
+         \"component_jobs_2t\": {e13_component_jobs},\n   \
+         \"rows\": [\n{}\n   ],\n   \
+         \"identical_results\": true,\n   \
+         \"speedup_4t\": {e13_sp4:.2},\n   \
+         \"speedup_gate\": {e13_gate}\n  }},\n  \
          \"e12_parallel_fixpoint\": {{\n   \
          \"delta_heavy\": [\n{}\n   ],\n   \
          \"bulk_load\": [\n{}\n   ],\n   \
@@ -804,6 +851,8 @@ pub fn bench_json(quick: bool) -> String {
          \"e7\": {{\n   \"hot\": {hot},\n   \
          \"sizes\": [\n{}\n   ],\n   \"ratio_objects\": {ratio_n},\n   \"ratio\": [\n{}\n   ]\n  \
          }},\n  \"a6\": [\n{}\n  ]\n}}\n",
+        e13_program.len(),
+        e13_rows.join(",\n"),
         e12_delta_rows.join(",\n"),
         e12_bulk_rows.join(",\n"),
         row_json(&e12_stall_serial),
@@ -1996,6 +2045,122 @@ pub fn e12_parallel(quick: bool) -> String {
     out
 }
 
+// ----- E13: rule-parallel fixpoint ----------------------------------
+
+/// The E13 workload: eight *independent* triangle-join rules over
+/// disjoint edge namespaces (`e0`..`e7`) — each is its own dependency
+/// component, so their full scans parallelize rule-by-rule — plus one
+/// conflicting `mod` pair on a shared method, which the dependency
+/// analysis must bundle into a single serialized pool job.
+fn e13_workload(quick: bool) -> (Program, ObjectBase) {
+    let namespaces = 8usize;
+    let v = if quick { 30 } else { 360 }; // divisible by 3 for the seeded 3-cycles
+    let muls: &[usize] =
+        if quick { &[2, 3] } else { &[7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] };
+    let mut src = String::new();
+    for k in 0..namespaces {
+        for i in 0..v {
+            // Guaranteed triangles: partition into 3-cycles.
+            let group = i - i % 3;
+            let cycle_next = group + (i + 1 - group) % 3;
+            src.push_str(&format!("o{i}.e{k} -> o{cycle_next}.\n"));
+            // Join fan: affine pseudo-random extra edges.
+            for m in muls {
+                src.push_str(&format!("o{i}.e{k} -> o{}.\n", (i * m + k) % v));
+            }
+        }
+    }
+    // The mod pair runs over its own object population (`p*`): the
+    // triangle rules create ins(o*) versions and §5 version-linearity
+    // forbids mixing ins(o) and mod(o) on one object.
+    for i in 0..v {
+        src.push_str(&format!("p{i}.shared -> 0.\np{i}.link -> p{}.\n", (i + 1) % v));
+    }
+    let ob = ObjectBase::parse(&src).unwrap();
+
+    let mut rules = String::new();
+    for k in 0..namespaces {
+        rules.push_str(&format!(
+            "t{k}: ins[X].tri{k} -> 1 <= X.e{k} -> Y & Y.e{k} -> Z & Z.e{k} -> X.\n"
+        ));
+    }
+    // Same method, overlapping targets, different replacements: the
+    // commutativity matrix says Conflicts, so these two form one
+    // dependency component and run inside one pool job.
+    rules.push_str("m1: mod[X].shared -> (V, 1) <= X.shared -> V & X.link -> Y.\n");
+    rules.push_str("m2: mod[X].shared -> (V, 2) <= X.shared -> V & Y.link -> X.\n");
+    (Program::parse(&rules).unwrap(), ob)
+}
+
+/// E13 — rule-parallel fixpoint: the dependency-component scheduler
+/// (`core::deps`) runs independent same-stratum rules as separate
+/// pool jobs and serializes non-commuting ones inside a bundle. On
+/// every host, asserts ob' is bit-identical to serial at every width
+/// and that the conflicting pair actually bundles; on hosts with ≥4
+/// CPUs (full mode), additionally asserts ≥2× speedup at 4 threads.
+pub fn e13_parallel(quick: bool) -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (program, ob) = e13_workload(quick);
+
+    let compiled = ruvo_core::CompiledProgram::compile(program.clone(), CyclePolicy::Reject)
+        .expect("E13 workload compiles");
+    let deps = compiled.deps();
+    let components = deps.components().len();
+    let mut out = format!(
+        "host: {cpus} visible CPU(s)\nworkload: {} rules in {} dependency component(s) \
+         ({} edge(s); the m1/m2 write-write pair is one bundle)\n\n",
+        program.len(),
+        components,
+        deps.edges().len(),
+    );
+    assert_eq!(components, program.len() - 1, "exactly one two-rule bundle expected");
+
+    let (serial, reference) = e12_measure(quick, &program, &ob, 0);
+    let mut t =
+        Table::new(&["threads", "wall (ms)", "scan wall (ms)", "component jobs", "speedup"]);
+    t.row(&[
+        "serial".to_string(),
+        format!("{:.3}", serial.wall_ms),
+        "—".to_string(),
+        "—".to_string(),
+        "1.00×".to_string(),
+    ]);
+    let mut sp4 = None;
+    for threads in e12_threads(quick) {
+        let (row, ob2) = e12_measure(quick, &program, &ob, threads);
+        assert_eq!(ob2, reference, "rule-parallel ob' diverged at {threads} threads");
+        let outcome = run_with(program.clone(), &ob, e12_config(threads));
+        let par = outcome.stats().parallel;
+        assert!(
+            par.component_jobs > 0,
+            "the m1/m2 component must be bundled at {threads} threads: {par:?}"
+        );
+        let speedup = serial.wall_ms / row.wall_ms.max(f64::EPSILON);
+        if threads == 4 {
+            sp4 = Some(speedup);
+        }
+        t.row(&[
+            threads.to_string(),
+            format!("{:.3}", row.wall_ms),
+            format!("{:.3}", row.scan_wall_ms),
+            par.component_jobs.to_string(),
+            format!("{speedup:.2}×"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nrule-parallel ob' bit-identical to serial at every width ✓\n");
+    let sp4 = sp4.expect("sweep includes 4 threads");
+    match e12_speedup_gate(quick, cpus) {
+        Ok(()) => {
+            assert!(sp4 >= 2.0, "rule-parallel speedup at 4 threads below 2x: {sp4:.2}");
+            out.push_str(&format!("speedup gate: {sp4:.2}× at 4 threads (≥2× required) ✓\n"));
+        }
+        Err(why) => out
+            .push_str(&format!("speedup gate: SKIPPED ({why}); measured {sp4:.2}× at 4 threads\n")),
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     //! Every experiment must run clean in quick mode — this is the
@@ -2089,7 +2254,11 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"pr\": 8",
+            "\"pr\": 9",
+            "\"e13_rule_parallel\"",
+            "\"components\"",
+            "\"component_jobs_2t\"",
+            "\"speedup_4t\"",
             "\"e12_parallel_fixpoint\"",
             "\"delta_heavy\"",
             "\"bulk_load\"",
@@ -2126,6 +2295,16 @@ mod tests {
         assert!(report.contains("bit-identical to serial at every width ✓"), "got:\n{report}");
         assert!(report.contains("speedup gate:"), "got:\n{report}");
         assert!(report.contains("serving read stalls"), "got:\n{report}");
+        // Quick mode never enforces wall-clock scaling.
+        assert!(report.contains("SKIPPED"), "got:\n{report}");
+    }
+
+    #[test]
+    fn e13_quick() {
+        let report = super::e13_parallel(true);
+        assert!(report.contains("dependency component(s)"), "got:\n{report}");
+        assert!(report.contains("bit-identical to serial at every width ✓"), "got:\n{report}");
+        assert!(report.contains("speedup gate:"), "got:\n{report}");
         // Quick mode never enforces wall-clock scaling.
         assert!(report.contains("SKIPPED"), "got:\n{report}");
     }

@@ -4,6 +4,11 @@
 //! ruvo check   <program.ruvo> [--json]        static analysis: validate,
 //!                                              stratify, lint (conflicts,
 //!                                              dead rules, cycle policy)
+//!     --deps          rule dependency analysis: read/write sets,
+//!                     per-stratum components, advisory lints
+//!     --dot           with --deps: emit the dependency graph as DOT
+//!     --deny          exit non-zero on warnings too (CI parity with
+//!                     DatabaseBuilder::deny_lints)
 //! ruvo explain <program.ruvo>                 stratification constraints
 //! ruvo fmt     <program.ruvo>                 pretty-print
 //! ruvo run     <program.ruvo> <base.ob>       evaluate and print ob′
@@ -39,7 +44,8 @@ use ruvo_obase::ObjectBase;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ruvo check   <program.ruvo> [--json]\n  ruvo explain <program.ruvo>\n  \
+        "usage:\n  ruvo check   <program.ruvo> [--json] [--deps] [--dot] [--deny]\n  \
+         ruvo explain <program.ruvo>\n  \
          ruvo fmt     <program.ruvo>\n  ruvo run     <program.ruvo> <base.ob> \
          [--result] [--stats] [--trace] [--no-linearity] [--naive] [--parallel] [--threads N] \
          [--dynamic]\n  \
@@ -71,11 +77,19 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else { return usage() };
     match command.as_str() {
         "check" => {
-            let mut json = false;
+            let mut opts = CheckOpts::default();
             let mut path = None;
             for arg in &args[1..] {
                 match arg.as_str() {
-                    "--json" => json = true,
+                    "--json" => opts.json = true,
+                    "--deps" => opts.deps = true,
+                    "--dot" => {
+                        // DOT is a dependency-graph rendering, so
+                        // asking for it asks for the analysis too.
+                        opts.deps = true;
+                        opts.dot = true;
+                    }
+                    "--deny" => opts.deny = true,
                     p if path.is_none() && !p.starts_with("--") => path = Some(p),
                     other => {
                         eprintln!("error: unknown argument {other}");
@@ -88,7 +102,7 @@ fn main() -> ExitCode {
                 Ok(src) => src,
                 Err(code) => return code,
             };
-            check_command(path, &src, json)
+            check_command(path, &src, opts)
         }
         "explain" => {
             let Some(path) = args.get(1) else { return usage() };
@@ -349,11 +363,28 @@ fn main() -> ExitCode {
     }
 }
 
+/// Flags accepted by `ruvo check` (beyond the program path).
+#[derive(Clone, Copy, Default)]
+struct CheckOpts {
+    /// Emit one JSON object instead of rustc-style text.
+    json: bool,
+    /// Include the rule dependency analysis: read/write sets,
+    /// per-stratum components, and the advisory lints.
+    deps: bool,
+    /// With `deps`: print the dependency graph as Graphviz DOT on
+    /// stdout (text mode only; `--json` embeds the graph instead).
+    dot: bool,
+    /// Treat warnings as fatal for the exit code (the CLI analogue of
+    /// [`ruvo_core::DatabaseBuilder::deny_lints`]).
+    deny: bool,
+}
+
 /// `ruvo check`: run the full static-analysis pass over one program
 /// and print rustc-style diagnostics (or a JSON report with `--json`).
 /// Exits with failure exactly when an error-severity diagnostic —
-/// syntax, validation, safety, or a denied lint — rejects the program.
-fn check_command(path: &str, src: &str, json: bool) -> ExitCode {
+/// syntax, validation, safety, or a denied lint — rejects the program
+/// (with `--deny`, warnings reject it too).
+fn check_command(path: &str, src: &str, opts: CheckOpts) -> ExitCode {
     use ruvo_core::check;
     use ruvo_lang::analysis;
 
@@ -366,7 +397,7 @@ fn check_command(path: &str, src: &str, json: bool) -> ExitCode {
         }
     });
 
-    if json {
+    if opts.json {
         let mut out = String::from("{");
         out.push_str(&format!("\"file\":\"{}\",", analysis::json_escape(path)));
         match &report.compiled {
@@ -382,10 +413,35 @@ fn check_command(path: &str, src: &str, json: bool) -> ExitCode {
             None => out.push_str("\"rules\":null,\"strata\":null,\"all_commute\":null,"),
         }
         out.push_str(&format!(
-            "\"errors\":{errors},\"warnings\":{warnings},\"diagnostics\":{}}}",
+            "\"errors\":{errors},\"warnings\":{warnings},\"diagnostics\":{}",
             analysis::json_array(&report.diagnostics)
         ));
+        if opts.deps {
+            out.push_str(&format!(",\"advisories\":{}", analysis::json_array(&report.advisories)));
+            match &report.compiled {
+                Some(compiled) => out.push_str(&format!(
+                    ",\"deps\":{}",
+                    compiled.deps().to_json(compiled.program())
+                )),
+                None => out.push_str(",\"deps\":null"),
+            }
+        }
+        out.push('}');
         println!("{out}");
+    } else if opts.dot {
+        // DOT mode prints only the graph on stdout so it pipes
+        // straight into `dot -Tsvg`; diagnostics still go to stderr.
+        match &report.compiled {
+            Some(compiled) => print!("{}", compiled.deps().to_dot(compiled.program())),
+            None => eprintln!("error: {path}: program did not compile; no dependency graph"),
+        }
+        let rendered = analysis::render_all(&report.diagnostics, Some(src), Some(path));
+        if !rendered.is_empty() {
+            eprint!("{rendered}");
+        }
+        if report.compiled.is_none() {
+            return ExitCode::FAILURE;
+        }
     } else {
         if let Some(compiled) = &report.compiled {
             let strat = compiled.stratification();
@@ -399,9 +455,16 @@ fn check_command(path: &str, src: &str, json: bool) -> ExitCode {
                 let unknown = matrix.pairs_with(check::Commutativity::Unknown).len();
                 println!("commutativity: {conflicts} conflicting, {unknown} undecided pair(s)");
             }
+            if opts.deps {
+                print_deps_summary(compiled);
+            }
         }
         let rendered = analysis::render_all(&report.diagnostics, Some(src), Some(path));
         if !rendered.is_empty() {
+            eprint!("{rendered}");
+        }
+        if opts.deps && !report.advisories.is_empty() {
+            let rendered = analysis::render_all(&report.advisories, Some(src), Some(path));
             eprint!("{rendered}");
         }
         match (errors, warnings) {
@@ -409,10 +472,53 @@ fn check_command(path: &str, src: &str, json: bool) -> ExitCode {
             (e, w) => eprintln!("{e} error(s), {w} warning(s)"),
         }
     }
-    if errors > 0 {
+    if errors > 0 || (opts.deny && warnings > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// The `--deps` text report: per-rule read/write sets and the
+/// per-stratum dependency components the scheduler parallelizes over.
+fn print_deps_summary(compiled: &ruvo_core::CompiledProgram) {
+    let deps = compiled.deps();
+    let program = compiled.program();
+    println!("dependency graph: {} rule(s), {} edge(s)", deps.len(), deps.edges().len());
+    for r in 0..deps.len() {
+        let reads = deps.reads(r);
+        let mut read_parts: Vec<String> = reads
+            .keys
+            .iter()
+            .map(|&(c, m)| ruvo_core::deps::read_str(c, m))
+            .chain(
+                reads
+                    .negated
+                    .iter()
+                    .map(|&(c, m)| format!("not {}", ruvo_core::deps::read_str(c, m))),
+            )
+            .collect();
+        if reads.is_top() {
+            read_parts.push("⊤".to_string());
+        }
+        let marker = if deps.self_dependent(r) { " (self-dependent)" } else { "" };
+        println!(
+            "  {}: writes {}, reads {{{}}}{marker}",
+            program.rule_name(r),
+            deps.write_str(r),
+            read_parts.join(", "),
+        );
+    }
+    for si in 0..compiled.stratification().len() {
+        let comps = deps.stratum_components(si);
+        let listing: Vec<String> = comps
+            .iter()
+            .map(|comp| {
+                let names: Vec<String> = comp.iter().map(|&r| program.rule_name(r)).collect();
+                format!("{{{}}}", names.join(", "))
+            })
+            .collect();
+        println!("  stratum {si}: {} component(s): {}", comps.len(), listing.join(" "));
     }
 }
 

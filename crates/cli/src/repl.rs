@@ -22,6 +22,8 @@ commands:
   :run <file>         apply a program file as a transaction
   :strata <file>      show the stratification of a program file
   :check <file>       static analysis: lints, conflicts, dead rules
+  :deps <file>        rule dependency graph: read/write sets,
+                      per-stratum components, advisory lints
   :savepoint          create a savepoint
   :rollback <n>       roll back to savepoint n
   :log                list committed transactions
@@ -189,6 +191,68 @@ pub fn run(
                                 Some(path),
                             );
                             write!(out, "{rendered}")?;
+                        }
+                    }
+                },
+                ("deps", Some(path)) => match std::fs::read_to_string(path) {
+                    Err(e) => writeln!(out, "! cannot read {path}: {e}")?,
+                    Ok(src) => {
+                        let report =
+                            ruvo_core::check::check_source(&src, ruvo_core::CyclePolicy::Reject);
+                        match &report.compiled {
+                            None => {
+                                writeln!(out, "! program did not compile (:check for details)")?
+                            }
+                            Some(compiled) => {
+                                let deps = compiled.deps();
+                                let program = compiled.program();
+                                writeln!(
+                                    out,
+                                    "{} rule(s), {} dependency edge(s)",
+                                    deps.len(),
+                                    deps.edges().len()
+                                )?;
+                                for r in 0..deps.len() {
+                                    let marker = if deps.self_dependent(r) {
+                                        " (self-dependent)"
+                                    } else {
+                                        ""
+                                    };
+                                    writeln!(
+                                        out,
+                                        "  {}: writes {}{marker}",
+                                        program.rule_name(r),
+                                        deps.write_str(r)
+                                    )?;
+                                }
+                                for si in 0..compiled.stratification().len() {
+                                    let comps = deps.stratum_components(si);
+                                    let listing: Vec<String> = comps
+                                        .iter()
+                                        .map(|comp| {
+                                            let names: Vec<String> = comp
+                                                .iter()
+                                                .map(|&r| program.rule_name(r))
+                                                .collect();
+                                            format!("{{{}}}", names.join(", "))
+                                        })
+                                        .collect();
+                                    writeln!(
+                                        out,
+                                        "  stratum {si}: {} component(s): {}",
+                                        comps.len(),
+                                        listing.join(" ")
+                                    )?;
+                                }
+                                if !report.advisories.is_empty() {
+                                    let rendered = ruvo_lang::analysis::render_all(
+                                        &report.advisories,
+                                        Some(&src),
+                                        Some(path),
+                                    );
+                                    write!(out, "{rendered}")?;
+                                }
+                            }
                         }
                     }
                 },

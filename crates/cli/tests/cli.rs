@@ -78,6 +78,81 @@ fn check_json_is_machine_readable() {
 }
 
 #[test]
+fn check_deny_fails_on_warnings() {
+    let dir = std::env::temp_dir().join("ruvo-cli-check-deny");
+    std::fs::create_dir_all(&dir).unwrap();
+    let warny = write_file(
+        &dir,
+        "ww.ruvo",
+        "r1: mod[X].price -> (P, 1) <= X.price -> P.\n\
+         r2: mod[X].price -> (P, 2) <= X.price -> P.\n",
+    );
+    // Plain check: warnings do not fail the run.
+    assert!(ruvo(&["check", warny.to_str().unwrap()]).status.success());
+    // --deny: the same warnings become fatal (CI parity with
+    // DatabaseBuilder::deny_lints).
+    let out = ruvo(&["check", "--deny", warny.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("warning[write-write-conflict]"), "got: {stderr}");
+
+    // A clean program still passes under --deny; advisories (allow
+    // level) must not trip it.
+    let clean = write_file(&dir, "p.ruvo", ENTERPRISE);
+    assert!(ruvo(&["check", "--deny", clean.to_str().unwrap()]).status.success());
+    assert!(ruvo(&["check", "--deny", "--deps", clean.to_str().unwrap()]).status.success());
+}
+
+#[test]
+fn check_deps_reports_graph_and_components() {
+    let dir = std::env::temp_dir().join("ruvo-cli-check-deps");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(
+        &dir,
+        "indep.ruvo",
+        "a: ins[X].p -> 1 <= X.s -> 1.\n\
+         b: ins[X].q -> 2 <= X.t -> 2.\n",
+    );
+    let out = ruvo(&["check", "--deps", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("dependency graph: 2 rule(s)"), "got: {stdout}");
+    assert!(stdout.contains("stratum 0: 2 component(s): {a} {b}"), "got: {stdout}");
+    // The parallel-opportunity advisory is rendered with --deps.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("parallel-opportunity"), "got: {stderr}");
+
+    // JSON mode embeds the graph and the advisories.
+    let out = ruvo(&["check", "--deps", "--json", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"deps\":{"), "got: {stdout}");
+    assert!(stdout.contains("\"advisories\":["), "got: {stdout}");
+    assert!(stdout.contains("parallel-opportunity"), "got: {stdout}");
+}
+
+#[test]
+fn check_dot_emits_graphviz() {
+    let dir = std::env::temp_dir().join("ruvo-cli-check-dot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(&dir, "p.ruvo", ENTERPRISE);
+    let out = ruvo(&["check", "--deps", "--dot", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("graph ruvo_deps {"), "got: {stdout}");
+    assert!(stdout.trim_end().ends_with('}'), "got: {stdout}");
+    assert!(stdout.contains("subgraph cluster_s0"), "got: {stdout}");
+    // DOT goes to stdout alone so it can be piped into `dot`; the
+    // human-readable summary must not pollute it.
+    assert!(!stdout.contains("stratification:"), "got: {stdout}");
+
+    // A non-compiling program yields no graph and a failing exit.
+    let bad = write_file(&dir, "bad.ruvo", "ins[x].exists -> x.");
+    let out = ruvo(&["check", "--dot", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+#[test]
 fn run_produces_new_object_base() {
     let dir = std::env::temp_dir().join("ruvo-cli-run");
     std::fs::create_dir_all(&dir).unwrap();
@@ -332,6 +407,26 @@ fn repl_check_command() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("2 rules, 1 strata"), "got: {stdout}");
     assert!(stdout.contains("warning[write-write-conflict]"), "got: {stdout}");
+}
+
+#[test]
+fn repl_deps_command() {
+    let dir = std::env::temp_dir().join("ruvo-cli-repl-deps");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_file(
+        &dir,
+        "indep.ruvo",
+        "a: ins[X].p -> 1 <= X.s -> 1.\n\
+         b: ins[X].q -> 2 <= X.t -> 2.\n",
+    );
+    let script = format!(":deps {}\n:deps /no/such/file\n:quit\n", prog.display());
+    let out = ruvo_stdin(&["repl"], &script);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 rule(s), 0 dependency edge(s)"), "got: {stdout}");
+    assert!(stdout.contains("stratum 0: 2 component(s): {a} {b}"), "got: {stdout}");
+    assert!(stdout.contains("parallel-opportunity"), "got: {stdout}");
+    assert!(stdout.contains("! cannot read /no/such/file"), "got: {stdout}");
 }
 
 #[test]

@@ -54,6 +54,7 @@ use ruvo_lang::analysis::{self, Diagnostic, Lint};
 use ruvo_lang::{Atom, PlannedLiteral, Program, Rule, UpdateSpec, VersionAtom};
 use ruvo_term::{ArgTerm, BaseTerm, Bindings, Const, UpdateKind, VarId, VidTerm};
 
+use crate::deps::RuleDepGraph;
 use crate::engine::{CompiledProgram, CyclePolicy};
 use crate::stratify::{stratify, Stratification};
 
@@ -460,12 +461,163 @@ fn cycle_advisories(compiled: &CompiledProgram, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `order-sensitive-rules`: same-stratum pairs where one rule reads a
+/// relation chain the other writes, so an engine that fired rules
+/// sequentially (instead of the paper's simultaneous `T_P`) could
+/// observe the write. Uses the *precise* read sets of the
+/// [`RuleDepGraph`] — negated keys stay concrete here, unlike the
+/// scheduling view which widens negation to ⊤ — and exempts purely
+/// additive pairs (a positive read where both heads insert), which is
+/// the §4(b)-sanctioned ins-recursion pattern.
+fn order_sensitivity(program: &Program, deps: &RuleDepGraph, out: &mut Vec<Diagnostic>) {
+    let n = program.rules.len();
+    // Evidence that `reader`'s result can depend on `writer`'s firing.
+    let sensitive = |reader: usize, writer: usize| -> Option<String> {
+        let wc = deps.writes(writer).chain?;
+        let reads = deps.reads(reader);
+        if reads.is_top() {
+            return Some(format!(
+                "`{}` reads every version through a `$V` atom, including the \
+                 `{}` versions `{}` creates",
+                program.rule_name(reader),
+                crate::deps::chain_str(wc),
+                program.rule_name(writer),
+            ));
+        }
+        if let Some(&(c, m)) = reads.negated.iter().find(|&&(c, _)| c == wc) {
+            return Some(format!(
+                "`{}` negatively reads `{}`, which `{}` may write",
+                program.rule_name(reader),
+                crate::deps::read_str(c, m),
+                program.rule_name(writer),
+            ));
+        }
+        let additive = program.rules[reader].head.spec.kind() == UpdateKind::Ins
+            && program.rules[writer].head.spec.kind() == UpdateKind::Ins;
+        if additive {
+            return None; // §4(b) ins-recursion: monotone, order-free
+        }
+        reads.keys.iter().find(|&&(c, _)| c == wc).map(|&(c, m)| {
+            format!(
+                "`{}` reads `{}`, which `{}` may write",
+                program.rule_name(reader),
+                crate::deps::read_str(c, m),
+                program.rule_name(writer),
+            )
+        })
+    };
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if deps.stratum_of(a) != deps.stratum_of(b) {
+                continue;
+            }
+            let Some(why) = sensitive(a, b).or_else(|| sensitive(b, a)) else { continue };
+            out.push(
+                Diagnostic::new(
+                    Lint::OrderSensitiveRules,
+                    program.rules[b].span,
+                    format!(
+                        "rules `{}` and `{}` are in the same stratum and {why}",
+                        program.rule_name(a),
+                        program.rule_name(b),
+                    ),
+                )
+                .note(
+                    "T_P fires all rules of a stratum against the same pre-state; an \
+                     engine applying rules sequentially could produce different results",
+                ),
+            );
+        }
+    }
+}
+
+/// Advisory observations from the dependency graph: self-dependent
+/// rules and strata that split into parallel components. These are
+/// truthful statements about perfectly healthy programs, so they go
+/// into [`CheckReport::advisories`], never into warnings.
+fn deps_advisories(
+    program: &Program,
+    strat: &Stratification,
+    deps: &RuleDepGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    for r in 0..program.rules.len() {
+        if !deps.self_dependent(r) {
+            continue;
+        }
+        let reads = deps.reads(r);
+        let why = match deps.writes(r).chain {
+            Some(wc) if reads.is_top() => format!(
+                "reads every version through a `$V` atom, including the `{}` versions \
+                 its own head creates",
+                crate::deps::chain_str(wc),
+            ),
+            Some(wc) => {
+                let key = reads
+                    .keys
+                    .iter()
+                    .chain(&reads.negated)
+                    .find(|&&(c, _)| c == wc)
+                    .map(|&(c, m)| crate::deps::read_str(c, m))
+                    .unwrap_or_else(|| crate::deps::chain_str(wc));
+                format!("reads `{key}`, which its own head writes")
+            }
+            None => "has an unrepresentable head chain".to_owned(),
+        };
+        out.push(
+            Diagnostic::new(
+                Lint::SelfDependentRule,
+                program.rules[r].span,
+                format!("rule `{}` {why}", program.rule_name(r)),
+            )
+            .note(
+                "it can fire on results of its earlier firings and forms a \
+                 single-rule dependency component",
+            ),
+        );
+    }
+    for (si, rules) in strat.strata.iter().enumerate() {
+        if rules.len() < 2 {
+            continue;
+        }
+        let comps = deps.stratum_components(si);
+        if comps.len() < 2 {
+            continue;
+        }
+        let listing: Vec<String> = comps
+            .iter()
+            .map(|c| {
+                let names: Vec<String> = c.iter().map(|&r| program.rule_name(r)).collect();
+                format!("{{{}}}", names.join(", "))
+            })
+            .collect();
+        out.push(
+            Diagnostic::new(
+                Lint::ParallelOpportunity,
+                None,
+                format!(
+                    "stratum {si} ({} rules) splits into {} independent components; \
+                     their step-1 scans are scheduled in parallel",
+                    rules.len(),
+                    comps.len(),
+                ),
+            )
+            .note(format!("components: {}", listing.join(" / "))),
+        );
+    }
+}
+
 /// Everything `ruvo check` reports for one compiled program.
 #[derive(Clone, Debug)]
 pub struct CheckReport {
     /// All diagnostics: front-end (structure, labels, safety, arity,
     /// duplicates) plus the stratification-aware analyses above.
     pub diagnostics: Vec<Diagnostic>,
+    /// Advisory notes (allow-level lints): dependency observations
+    /// about healthy programs — self-dependent rules, parallelizable
+    /// strata. Never escalated by `deny_lints`, never in
+    /// `Prepared::warnings()`.
+    pub advisories: Vec<Diagnostic>,
     /// The rule×rule commutativity verdicts.
     pub commutativity: CommutativityMatrix,
 }
@@ -480,12 +632,16 @@ impl CheckReport {
 /// Run every static analysis over a compiled program.
 pub fn check(compiled: &CompiledProgram) -> CheckReport {
     let program = compiled.program();
+    let deps = compiled.deps();
     let mut diagnostics = analysis::program_diagnostics(program);
-    let matrix = commutativity(program, compiled.stratification());
+    let matrix = deps.commutativity().clone();
     write_write_conflicts(program, &matrix, &mut diagnostics);
     dead_rules(program, &mut diagnostics);
     cycle_advisories(compiled, &mut diagnostics);
-    CheckReport { diagnostics, commutativity: matrix }
+    order_sensitivity(program, deps, &mut diagnostics);
+    let mut advisories = Vec::new();
+    deps_advisories(program, compiled.stratification(), deps, &mut advisories);
+    CheckReport { diagnostics, advisories, commutativity: matrix }
 }
 
 /// The result of checking source text (the `ruvo check` entry point).
@@ -496,6 +652,8 @@ pub struct SourceCheck {
     pub compiled: Option<CompiledProgram>,
     /// Everything found, front-end and compiled-level.
     pub diagnostics: Vec<Diagnostic>,
+    /// Allow-level advisory notes (see [`CheckReport::advisories`]).
+    pub advisories: Vec<Diagnostic>,
 }
 
 impl SourceCheck {
@@ -513,12 +671,16 @@ impl SourceCheck {
 pub fn check_source(src: &str, cycles: CyclePolicy) -> SourceCheck {
     let (program, front) = analysis::check_source(src);
     let Some(program) = program else {
-        return SourceCheck { compiled: None, diagnostics: front };
+        return SourceCheck { compiled: None, diagnostics: front, advisories: Vec::new() };
     };
     match CompiledProgram::compile(program.clone(), cycles) {
         Ok(compiled) => {
-            let diagnostics = check(&compiled).diagnostics;
-            SourceCheck { compiled: Some(compiled), diagnostics }
+            let report = check(&compiled);
+            SourceCheck {
+                compiled: Some(compiled),
+                diagnostics: report.diagnostics,
+                advisories: report.advisories,
+            }
         }
         Err(e) => {
             let mut diagnostics =
@@ -528,10 +690,13 @@ pub fn check_source(src: &str, cycles: CyclePolicy) -> SourceCheck {
                 )];
             // The relaxed stratifier is total; reuse it so the report
             // still covers the other analyses.
+            let mut advisories = Vec::new();
             if let Ok(relaxed) = CompiledProgram::compile(program, CyclePolicy::RuntimeStability) {
-                diagnostics.extend(check(&relaxed).diagnostics);
+                let report = check(&relaxed);
+                diagnostics.extend(report.diagnostics);
+                advisories = report.advisories;
             }
-            SourceCheck { compiled: None, diagnostics }
+            SourceCheck { compiled: None, diagnostics, advisories }
         }
     }
 }
@@ -568,6 +733,87 @@ mod tests {
         let report = check(&c);
         assert!(!report.has_errors(), "{:?}", report.diagnostics);
         assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn enterprise_advisories_note_parallel_components() {
+        // rule1/rule2 share the first stratum; rule2's negation widens
+        // it to ⊤ for scheduling, so they form one component and no
+        // parallel-opportunity note fires — but no warning does either.
+        let report = check(&compiled(ENTERPRISE));
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert!(
+            !report.advisories.iter().any(|d| d.lint == Lint::ParallelOpportunity),
+            "{:?}",
+            report.advisories
+        );
+    }
+
+    #[test]
+    fn order_sensitive_rules_fire_on_negated_same_stratum_reads() {
+        // The cycle forces one (relaxed) stratum; `a` negatively reads
+        // `ins(·).q`, which `b` writes.
+        let src = "a: ins[X].p -> 1 <= X.s -> 1 & not ins(X).q -> 1.\n\
+                   b: ins[X].q -> 1 <= ins(X).p -> 1.";
+        let report = check_source(src, CyclePolicy::RuntimeStability);
+        let d =
+            report.diagnostics.iter().find(|d| d.lint == Lint::OrderSensitiveRules).unwrap_or_else(
+                || panic!("no order-sensitive diagnostic: {:?}", report.diagnostics),
+            );
+        assert!(d.message.contains("`a`") && d.message.contains("`b`"), "{}", d.message);
+        assert!(d.message.contains("ins(·).q"), "{}", d.message);
+    }
+
+    #[test]
+    fn additive_ins_recursion_is_not_order_sensitive() {
+        // §4(b) ins-recursion: both heads insert, the read is positive.
+        let report = check_source(
+            "base: ins[X].anc -> P <= X.parents -> P.\n\
+             step: ins[X].anc -> G <= ins(X).anc -> P & P.parents -> G.",
+            CyclePolicy::Reject,
+        );
+        assert!(
+            !report.diagnostics.iter().any(|d| d.lint == Lint::OrderSensitiveRules),
+            "{:?}",
+            report.diagnostics
+        );
+        // ... but `step` is truthfully advised as self-dependent.
+        let d = report
+            .advisories
+            .iter()
+            .find(|d| d.lint == Lint::SelfDependentRule)
+            .unwrap_or_else(|| panic!("no self-dependent advisory: {:?}", report.advisories));
+        assert!(d.message.contains("`step`"), "{}", d.message);
+        assert!(d.message.contains("ins(·).anc"), "{}", d.message);
+    }
+
+    #[test]
+    fn vid_variable_rule_is_self_dependent() {
+        let report = check_source(
+            "audit: ins[audit].flagged -> O <= $V.sal -> S & $V.exists -> O & S > 1000.",
+            CyclePolicy::Reject,
+        );
+        let d = report
+            .advisories
+            .iter()
+            .find(|d| d.lint == Lint::SelfDependentRule)
+            .unwrap_or_else(|| panic!("no self-dependent advisory: {:?}", report.advisories));
+        assert!(d.message.contains("$V"), "{}", d.message);
+    }
+
+    #[test]
+    fn independent_rules_note_a_parallel_opportunity() {
+        let report = check_source(
+            "a: ins[X].p -> 1 <= X.s -> 1.\nb: ins[X].q -> 2 <= X.t -> 2.",
+            CyclePolicy::Reject,
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        let d =
+            report.advisories.iter().find(|d| d.lint == Lint::ParallelOpportunity).unwrap_or_else(
+                || panic!("no parallel-opportunity advisory: {:?}", report.advisories),
+            );
+        assert!(d.message.contains("2 independent components"), "{}", d.message);
+        assert!(d.notes.iter().any(|n| n.contains("{a} / {b}")), "{:?}", d.notes);
     }
 
     #[test]

@@ -365,6 +365,21 @@ impl Prepared {
         &self.report.commutativity
     }
 
+    /// Allow-level advisory notes from the dependency analysis
+    /// (self-dependent rules, parallelizable strata). Informational
+    /// only: never escalated by [`DatabaseBuilder::deny_lints`] and
+    /// never part of [`Prepared::warnings`].
+    pub fn advisories(&self) -> &[Diagnostic] {
+        &self.report.advisories
+    }
+
+    /// The rule dependency graph computed once at prepare time: per-
+    /// rule read/write sets and the intra-stratum component partition
+    /// the parallel scheduler uses (see [`crate::deps`]).
+    pub fn deps(&self) -> &crate::deps::RuleDepGraph {
+        self.compiled.deps()
+    }
+
     /// Build the demand-driven query plan for `goal` against this
     /// program: prune rules that cannot contribute to the goal's
     /// chains, then (when a seeding strategy exists) guard the

@@ -1,0 +1,524 @@
+//! Prepare-time rule dependency analysis: per-rule read/write sets and
+//! the [`RuleDepGraph`] they induce within each stratum.
+//!
+//! The paper's `T_P` operator (§4) fires every rule of a stratum
+//! against the same pre-state, so two rules whose static read sets are
+//! disjoint from each other's write sets are provably independent —
+//! their step-1 matching can run concurrently and their relative order
+//! can never change the fired-update set. This module computes that
+//! independence once at compile time:
+//!
+//! * a conservative **read set** per rule — [`crate::plan::literal_reads`]
+//!   over *all* body literals (positive and negated, tracked
+//!   separately), with a `$V` VID-variable atom (§6) widening the rule
+//!   to ⊤ (it can read any relation);
+//! * a conservative **write set** per rule — the head's created chain
+//!   under §3 copy semantics: creating `φ(v)` copies *every* method of
+//!   `v*`, so the head conservatively writes all methods of the
+//!   created chain (the same created-chain reasoning
+//!   [`crate::check`]'s commutativity analysis uses);
+//! * a [`RuleDepGraph`] over same-stratum rule pairs with typed edges
+//!   ([`DepEdgeKind`]) and its connected-component partition. For the
+//!   *graph* (which drives scheduling), negation is widened to ⊤ like
+//!   `$V` — a negated read is sensitive to anything that could make
+//!   its relation grow. The lint layer in [`crate::check`] keeps the
+//!   precise negated keys instead, so diagnostics don't cry wolf on
+//!   negations whose relations no same-stratum rule writes.
+//!
+//! The graph is consumed twice: the engine schedules step-1 matching
+//! as one pool job per component ([`crate::engine`], composing with
+//! seeded-scan splitting), and `ruvo check --deps` / REPL `:deps`
+//! render it for humans (DOT and JSON, see [`RuleDepGraph::to_dot`]).
+//! Grouping only affects *which worker* scans a rule — every unit
+//! reads the immutable pre-state — so the component partition is a
+//! performance hint, never a correctness input; bit-identity across
+//! thread widths is enforced by the slot-ordered merge in the engine
+//! and checked by `tests/parallel_differential.rs`.
+
+use ruvo_lang::{Program, Rule};
+use ruvo_term::{Chain, Symbol};
+
+use crate::check::{Commutativity, CommutativityMatrix};
+use crate::stratify::Stratification;
+
+/// Why a rule's read set was widened to ⊤ (may read any relation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopCause {
+    /// A `$V` VID-variable atom (§6) ranges over every version.
+    VidVariable,
+}
+
+/// The conservative read set of one rule's body.
+#[derive(Clone, Debug, Default)]
+pub struct ReadSet {
+    /// `(chain, method)` relations read by *positive* literals,
+    /// sorted and deduplicated.
+    pub keys: Vec<(Chain, Symbol)>,
+    /// Relations read by *negated* literals, sorted and deduplicated.
+    /// Kept separate: a negated read is non-monotone, so overlap with
+    /// a same-stratum write is order-sensitive even for ins-heads.
+    pub negated: Vec<(Chain, Symbol)>,
+    /// `Some` when some literal widens the rule to ⊤.
+    pub top: Option<TopCause>,
+}
+
+impl ReadSet {
+    fn of(rule: &Rule) -> ReadSet {
+        let mut keys = Vec::new();
+        let mut negated = Vec::new();
+        let mut top = None;
+        for lit in &rule.body {
+            match crate::plan::literal_reads(lit) {
+                Some(ks) if lit.positive => keys.extend(ks),
+                Some(ks) => negated.extend(ks),
+                None => top = Some(TopCause::VidVariable),
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        negated.sort_unstable();
+        negated.dedup();
+        ReadSet { keys, negated, top }
+    }
+
+    /// True when the rule may read any relation (`$V` atom).
+    pub fn is_top(&self) -> bool {
+        self.top.is_some()
+    }
+
+    /// ⊤ for *scheduling*: `$V` atoms, plus negation widened to ⊤
+    /// (the conservative reading the dependency graph uses).
+    pub fn is_top_for_scheduling(&self) -> bool {
+        self.is_top() || !self.negated.is_empty()
+    }
+
+    /// Does any read key (positive or negated) target `chain`?
+    pub fn reads_chain(&self, chain: Chain) -> bool {
+        self.keys.iter().chain(&self.negated).any(|&(c, _)| c == chain)
+    }
+}
+
+/// The conservative write set of one rule's head: the single created
+/// chain, covering *every* method of that chain (§3 copies the whole
+/// of `v*` into the created version).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteSet {
+    /// The created chain, or `None` if the head's chain overflows the
+    /// chain encoding (treated as writes-everything).
+    pub chain: Option<Chain>,
+}
+
+impl WriteSet {
+    fn of(rule: &Rule) -> WriteSet {
+        WriteSet { chain: rule.head.created_term().ok().map(|t| t.chain) }
+    }
+}
+
+/// Why two same-stratum rules are linked in the dependency graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepEdgeKind {
+    /// One rule's read set overlaps the other's write set.
+    ReadWrite,
+    /// The [`CommutativityMatrix`] could not prove the pair's writes
+    /// commute (`Conflicts` or `Unknown`).
+    WriteWrite,
+    /// One side reads ⊤ under the scheduling widening (`$V` atom or a
+    /// negated literal), so it conservatively overlaps any writer.
+    TopConflict,
+}
+
+impl DepEdgeKind {
+    /// The short name used in the DOT/JSON renders.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepEdgeKind::ReadWrite => "rw",
+            DepEdgeKind::WriteWrite => "ww",
+            DepEdgeKind::TopConflict => "top",
+        }
+    }
+}
+
+/// One undirected edge between same-stratum rules `a < b`. When a pair
+/// qualifies for several kinds the strongest is kept:
+/// `WriteWrite` > `ReadWrite` > `TopConflict`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Lower rule index.
+    pub a: usize,
+    /// Higher rule index.
+    pub b: usize,
+    /// Why the rules depend on each other.
+    pub kind: DepEdgeKind,
+}
+
+/// The per-program rule dependency graph: read/write sets, typed
+/// same-stratum edges, and the connected-component partition that
+/// bounds intra-stratum rule parallelism.
+#[derive(Clone, Debug)]
+pub struct RuleDepGraph {
+    reads: Vec<ReadSet>,
+    writes: Vec<WriteSet>,
+    self_dependent: Vec<bool>,
+    edges: Vec<DepEdge>,
+    stratum_of: Vec<usize>,
+    component_of: Vec<usize>,
+    components: Vec<Vec<usize>>,
+    matrix: CommutativityMatrix,
+}
+
+impl RuleDepGraph {
+    /// Analyze `program` under `strat`. `matrix` must be the
+    /// commutativity matrix computed under the same stratification.
+    pub fn build(
+        program: &Program,
+        strat: &Stratification,
+        matrix: CommutativityMatrix,
+    ) -> RuleDepGraph {
+        let n = program.rules.len();
+        let reads: Vec<ReadSet> = program.rules.iter().map(ReadSet::of).collect();
+        let writes: Vec<WriteSet> = program.rules.iter().map(WriteSet::of).collect();
+        let self_dependent: Vec<bool> = (0..n)
+            .map(|r| match writes[r].chain {
+                Some(c) => reads[r].is_top() || reads[r].reads_chain(c),
+                None => true,
+            })
+            .collect();
+
+        // The scheduling view of "rule a's reads overlap rule b's
+        // writes": a chain-less write (overflow) overlaps everything.
+        let rw = |a: usize, b: usize| match writes[b].chain {
+            Some(c) => reads[a].reads_chain(c),
+            None => true,
+        };
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if strat.stratum_of(a) != strat.stratum_of(b) {
+                    continue;
+                }
+                let kind = if matrix.get(a, b) != Commutativity::Commutes {
+                    Some(DepEdgeKind::WriteWrite)
+                } else if rw(a, b) || rw(b, a) {
+                    Some(DepEdgeKind::ReadWrite)
+                } else if reads[a].is_top_for_scheduling() || reads[b].is_top_for_scheduling() {
+                    Some(DepEdgeKind::TopConflict)
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    edges.push(DepEdge { a, b, kind });
+                }
+            }
+        }
+
+        // Union-find over the edges. Edges never cross strata, so the
+        // partition refines the stratification by construction.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for e in &edges {
+            let (ra, rb) = (find(&mut parent, e.a), find(&mut parent, e.b));
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+        // Number components in order of their smallest rule index.
+        let mut component_of = vec![usize::MAX; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for r in 0..n {
+            let root = find(&mut parent, r);
+            if component_of[root] == usize::MAX {
+                component_of[root] = components.len();
+                components.push(Vec::new());
+            }
+            component_of[r] = component_of[root];
+            components[component_of[r]].push(r);
+        }
+
+        let stratum_of = (0..n).map(|r| strat.stratum_of(r)).collect();
+        RuleDepGraph {
+            reads,
+            writes,
+            self_dependent,
+            edges,
+            stratum_of,
+            component_of,
+            components,
+            matrix,
+        }
+    }
+
+    /// Number of rules analyzed.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// True for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Rule `r`'s conservative read set.
+    pub fn reads(&self, r: usize) -> &ReadSet {
+        &self.reads[r]
+    }
+
+    /// Rule `r`'s conservative write set.
+    pub fn writes(&self, r: usize) -> WriteSet {
+        self.writes[r]
+    }
+
+    /// True when rule `r`'s reads overlap its own write chain (e.g.
+    /// §4(b) ins-recursion, or a `$V` atom).
+    pub fn self_dependent(&self, r: usize) -> bool {
+        self.self_dependent[r]
+    }
+
+    /// All same-stratum dependency edges, `(a, b)` lexicographic.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// The component rule `r` belongs to.
+    pub fn component_of(&self, r: usize) -> usize {
+        self.component_of[r]
+    }
+
+    /// All components, numbered by smallest member rule index; each
+    /// component lists its rules in ascending order.
+    pub fn components(&self) -> &[Vec<usize>] {
+        &self.components
+    }
+
+    /// The stratum rule `r` evaluates in.
+    pub fn stratum_of(&self, r: usize) -> usize {
+        self.stratum_of[r]
+    }
+
+    /// The commutativity matrix the write-write edges came from.
+    pub fn commutativity(&self) -> &CommutativityMatrix {
+        &self.matrix
+    }
+
+    /// The components of one stratum's rules, in component order.
+    pub fn stratum_components(&self, stratum: usize) -> Vec<&[usize]> {
+        self.components
+            .iter()
+            .filter(|c| self.stratum_of[c[0]] == stratum)
+            .map(Vec::as_slice)
+            .collect()
+    }
+
+    /// Render the graph in Graphviz DOT: one cluster per stratum,
+    /// nodes labeled with the rule name and write chain, edges labeled
+    /// by [`DepEdgeKind::name`], self-dependent rules marked with a
+    /// dotted self-loop.
+    pub fn to_dot(&self, program: &Program) -> String {
+        let mut out = String::from("graph ruvo_deps {\n  rankdir=LR;\n  node [shape=box];\n");
+        let mut strata: Vec<Vec<usize>> = Vec::new();
+        for r in 0..self.len() {
+            let s = self.stratum_of[r];
+            if strata.len() <= s {
+                strata.resize(s + 1, Vec::new());
+            }
+            strata[s].push(r);
+        }
+        for (s, rules) in strata.iter().enumerate() {
+            out.push_str(&format!("  subgraph cluster_s{s} {{\n    label=\"stratum {s}\";\n"));
+            for &r in rules {
+                out.push_str(&format!(
+                    "    r{r} [label=\"{}\\nW: {}\"];\n",
+                    dot_escape(&program.rule_name(r)),
+                    dot_escape(&self.write_str(r)),
+                ));
+            }
+            out.push_str("  }\n");
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                DepEdgeKind::ReadWrite => "solid",
+                DepEdgeKind::WriteWrite => "bold",
+                DepEdgeKind::TopConflict => "dashed",
+            };
+            out.push_str(&format!(
+                "  r{} -- r{} [label=\"{}\", style={style}];\n",
+                e.a,
+                e.b,
+                e.kind.name()
+            ));
+        }
+        for r in 0..self.len() {
+            if self.self_dependent[r] {
+                out.push_str(&format!("  r{r} -- r{r} [label=\"self\", style=dotted];\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render the graph as JSON (hand-rolled like the diagnostic
+    /// renders; stable field order, 2-space indent).
+    pub fn to_json(&self, program: &Program) -> String {
+        use ruvo_lang::analysis::json_escape;
+        let mut out = String::from("{\n  \"rules\": [\n");
+        for r in 0..self.len() {
+            let reads = &self.reads[r];
+            let keys: Vec<String> = reads
+                .keys
+                .iter()
+                .map(|&(c, m)| format!("\"{}\"", json_escape(&read_str(c, m))))
+                .collect();
+            let negated: Vec<String> = reads
+                .negated
+                .iter()
+                .map(|&(c, m)| format!("\"{}\"", json_escape(&read_str(c, m))))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"index\": {r}, \"name\": \"{}\", \"stratum\": {}, \
+                 \"component\": {}, \"writes\": \"{}\", \"reads\": [{}], \
+                 \"negated_reads\": [{}], \"top\": {}, \"self_dependent\": {}}}{}\n",
+                json_escape(&program.rule_name(r)),
+                self.stratum_of[r],
+                self.component_of[r],
+                json_escape(&self.write_str(r)),
+                keys.join(", "),
+                negated.join(", "),
+                reads.is_top(),
+                self.self_dependent[r],
+                if r + 1 < self.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n  \"edges\": [\n");
+        for (i, e) in self.edges.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"a\": {}, \"b\": {}, \"kind\": \"{}\"}}{}\n",
+                e.a,
+                e.b,
+                e.kind.name(),
+                if i + 1 < self.edges.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n  \"components\": [");
+        let comps: Vec<String> = self
+            .components
+            .iter()
+            .map(|c| {
+                let rules: Vec<String> = c.iter().map(usize::to_string).collect();
+                format!("[{}]", rules.join(", "))
+            })
+            .collect();
+        out.push_str(&comps.join(", "));
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Human form of rule `r`'s write set, e.g. `ins(·).*`.
+    pub fn write_str(&self, r: usize) -> String {
+        match self.writes[r].chain {
+            Some(c) => format!("{}.*", chain_str(c)),
+            None => "⊤".to_owned(),
+        }
+    }
+}
+
+/// Human form of a chain as a version pattern: `·` for the initial
+/// version, wrapped by each update kind innermost-first (the same
+/// orientation as `check::vid_str`), e.g. `ins(mod(·))`.
+pub fn chain_str(chain: Chain) -> String {
+    let mut s = String::from("·");
+    for i in 0..chain.len() {
+        s = format!("{}({s})", chain.get(i));
+    }
+    s
+}
+
+/// Human form of one read key: `chain.method`.
+pub fn read_str(chain: Chain, method: Symbol) -> String {
+    format!("{}.{method}", chain_str(chain))
+}
+
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CompiledProgram, CyclePolicy};
+
+    fn graph(src: &str) -> (Program, RuleDepGraph) {
+        let program = Program::parse(src).unwrap();
+        let compiled = CompiledProgram::compile(program.clone(), CyclePolicy::Reject).unwrap();
+        (program, compiled.deps().clone())
+    }
+
+    #[test]
+    fn disjoint_rules_form_separate_components() {
+        let (_, g) = graph(
+            "a: ins[X].p -> 1 <= X.s -> 1.
+             b: ins[X].q -> 2 <= X.t -> 2.",
+        );
+        assert_eq!(g.len(), 2);
+        assert!(g.edges().is_empty(), "{:?}", g.edges());
+        assert_eq!(g.components().len(), 2);
+        assert_ne!(g.component_of(0), g.component_of(1));
+        assert!(!g.self_dependent(0) && !g.self_dependent(1));
+    }
+
+    #[test]
+    fn ins_recursion_is_self_dependent_but_additive() {
+        // §4(b) ins-recursion: `step` reads its own write chain.
+        let (_, g) = graph(
+            "base: ins[X].anc -> P <= X.parents -> P.
+             step: ins[X].anc -> G <= ins(X).anc -> P & P.parents -> G.",
+        );
+        assert!(g.self_dependent(1));
+        assert!(!g.self_dependent(0));
+        // Both write ins(·).*; `step` positively reads it, so if they
+        // share a stratum they share a component via a read-write edge.
+        if g.stratum_of(0) == g.stratum_of(1) {
+            assert_eq!(g.component_of(0), g.component_of(1));
+            assert!(g.edges().iter().any(|e| e.kind == DepEdgeKind::ReadWrite));
+        }
+    }
+
+    #[test]
+    fn vid_variable_reads_top() {
+        let (_, g) = graph("audit: ins[o1].seen -> O <= $V.exists -> O.");
+        assert!(g.reads(0).is_top());
+        assert!(g.reads(0).is_top_for_scheduling());
+        assert!(g.self_dependent(0), "⊤ reads overlap the own write chain");
+    }
+
+    #[test]
+    fn write_write_edges_follow_the_commutativity_matrix() {
+        let (_, g) = graph(
+            "up:   mod[X].price -> (P, P2) <= X.isa -> item & X.price -> P & P2 = P * 2.
+             down: mod[X].price -> (P, P2) <= X.isa -> item & X.price -> P & P2 = P / 2.",
+        );
+        assert_eq!(g.components().len(), 1);
+        assert!(g.edges().iter().any(|e| e.kind == DepEdgeKind::WriteWrite), "{:?}", g.edges());
+    }
+
+    #[test]
+    fn dot_and_json_renders_are_well_formed() {
+        let (p, g) = graph(
+            "a: ins[X].p -> 1 <= X.s -> 1.
+             b: ins[X].q -> 2 <= X.t -> 2.",
+        );
+        let dot = g.to_dot(&p);
+        assert!(dot.starts_with("graph ruvo_deps {"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        for r in 0..g.len() {
+            assert!(dot.contains(&format!("r{r} ")), "node r{r} missing:\n{dot}");
+        }
+        let json = g.to_json(&p);
+        assert!(json.contains("\"components\": [[0], [1]]"), "{json}");
+        assert!(json.contains("\"writes\": \"ins(·).*\""), "{json}");
+    }
+}

@@ -229,14 +229,17 @@ pub struct CompiledProgram {
 }
 
 /// The run-independent analysis of a program: stratification, per-
-/// stratum runtime-check flags, per-rule delta-filter triggers, and
-/// the per-rule [`IndexPlan`] (scan hints + per-literal read sets).
+/// stratum runtime-check flags, per-rule delta-filter triggers, the
+/// per-rule [`IndexPlan`] (scan hints + per-literal read sets), and
+/// the rule dependency graph (read/write sets, commutativity,
+/// intra-stratum components).
 #[derive(Clone, Debug)]
 struct Analysis {
     stratification: Stratification,
     risky: Vec<bool>,
     triggers: Vec<Option<FastHashSet<(Chain, Symbol)>>>,
     index_plan: IndexPlan,
+    deps: crate::deps::RuleDepGraph,
 }
 
 impl Analysis {
@@ -254,7 +257,9 @@ impl Analysis {
         };
         let triggers = program.rules.iter().map(rule_triggers).collect();
         let index_plan = IndexPlan::of(program);
-        Ok(Analysis { stratification, risky, triggers, index_plan })
+        let matrix = crate::check::commutativity(program, &stratification);
+        let deps = crate::deps::RuleDepGraph::build(program, &stratification, matrix);
+        Ok(Analysis { stratification, risky, triggers, index_plan, deps })
     }
 }
 
@@ -295,9 +300,17 @@ impl CompiledProgram {
     /// The rule×rule commutativity matrix under this compilation's
     /// stratification — see [`crate::check`] for the semantics. An
     /// all-commuting stratum may evaluate its rules in any order (the
-    /// precondition for parallel fixpoint evaluation).
+    /// precondition for parallel fixpoint evaluation). Computed once
+    /// at compile time as part of the dependency graph.
     pub fn commutativity(&self) -> crate::check::CommutativityMatrix {
-        crate::check::commutativity(&self.program, &self.analysis.stratification)
+        self.analysis.deps.commutativity().clone()
+    }
+
+    /// The rule dependency graph: per-rule read/write sets, typed
+    /// same-stratum edges, and the connected-component partition the
+    /// parallel scheduler groups step-1 scans by — see [`crate::deps`].
+    pub fn deps(&self) -> &crate::deps::RuleDepGraph {
+        &self.analysis.deps
     }
 }
 
@@ -523,7 +536,7 @@ fn run_loop(
     mut work: ObjectBase,
 ) -> Result<OutcomeParts, EvalError> {
     let started = Instant::now();
-    let Analysis { stratification, risky, triggers, index_plan } = analysis;
+    let Analysis { stratification, risky, triggers, index_plan, deps } = analysis;
 
     let mut tracker = config.check_linearity.then(LinearityTracker::new);
     let mut stats = EvalStats::default();
@@ -534,6 +547,7 @@ fn run_loop(
     if config.parallel {
         stats.parallel.workers = pool.workers();
     }
+    let ctx = RoundCtx { program, plans: index_plan, config, deps, pool: &pool };
     let mut stratum_traces = Vec::new();
     let mut round_traces = Vec::new();
     let mut total_changed = ChangedSince::new();
@@ -574,15 +588,7 @@ fn run_loop(
             stats.rule_evaluations_skipped += stratum.len() - to_eval.len();
             stats.rule_evaluations_seeded += tasks.iter().filter(|t| t.seed.is_some()).count();
 
-            let new_fired = collect_round(
-                program,
-                index_plan,
-                config,
-                &work,
-                &tasks,
-                &pool,
-                &mut stats.parallel,
-            );
+            let new_fired = collect_round(&ctx, &work, &tasks, &mut stats.parallel);
             if checked && round > 1 {
                 // Stability: T¹ w.r.t. the current interpretation
                 // must still contain every previously fired update.
@@ -683,26 +689,44 @@ enum ScanJob<'a> {
     Split { rule: usize, step: usize, seed: FastHashSet<Const> },
 }
 
+/// The run-constant inputs of [`collect_round`]: everything a round's
+/// scan phase reads that does not change between rounds or strata.
+#[derive(Clone, Copy)]
+struct RoundCtx<'a> {
+    program: &'a Program,
+    plans: &'a IndexPlan,
+    config: &'a EngineConfig,
+    deps: &'a crate::deps::RuleDepGraph,
+    pool: &'a crate::pool::WorkerPool,
+}
+
 /// Step 1 of `T_P` over a round's evaluation tasks. Under
 /// [`EngineConfig::semi_naive`] scans follow the compiled index plan
 /// (and seeds, for seeded tasks); otherwise every task is a naive
 /// full-scan rule evaluation.
 ///
-/// With [`EngineConfig::parallel`] on, large seeded tasks are first
+/// With [`EngineConfig::parallel`] on, the round's tasks are first
+/// expanded into scan *units* in task order — large seeded tasks are
 /// split by shard route ([`ruvo_obase::base_shard`]) into per-shard
-/// sub-tasks — intra-rule parallelism, so a round dominated by one
-/// hot rule still spreads over the pool — and all sub-tasks run
-/// through the pool, whose results merge in sub-task order (see
-/// [`crate::pool`] for the determinism contract).
+/// sub-units (intra-rule parallelism), everything else stays one
+/// unit. Units are then scheduled onto the pool one job per
+/// *dependency component* ([`crate::deps::RuleDepGraph`]): whole-rule
+/// units of dependent rules bundle into a single sequential job
+/// (their scans chase the same relations), while independent
+/// components — and every split sub-unit — spread across workers.
+///
+/// Both the unit list and the job grouping depend only on the tasks
+/// and the compiled program, never on the worker count, and each
+/// unit's output is merged back in *unit* order (slot-keyed), so the
+/// fired sequence is identical to the serial path at every thread
+/// width (see [`crate::pool`] for the determinism contract).
 fn collect_round(
-    program: &Program,
-    plans: &IndexPlan,
-    config: &EngineConfig,
+    ctx: &RoundCtx<'_>,
     ob: &ObjectBase,
     tasks: &[EvalTask],
-    pool: &crate::pool::WorkerPool,
     par: &mut ParallelStats,
 ) -> Vec<Fired> {
+    let RoundCtx { program, plans, config, deps, pool } = *ctx;
     let run = |rule: usize, seed: Option<(usize, &FastHashSet<Const>)>, out: &mut Vec<Fired>| {
         let r = &program.rules[rule];
         if !config.semi_naive {
@@ -722,7 +746,7 @@ fn collect_round(
         }
         return out;
     }
-    let mut jobs: Vec<ScanJob> = Vec::new();
+    let mut units: Vec<ScanJob> = Vec::new();
     for task in tasks {
         match &task.seed {
             Some((step, seed)) if seed.len() >= SEED_SPLIT_MIN => {
@@ -734,7 +758,7 @@ fn collect_round(
                 for &c in seed {
                     buckets[ruvo_obase::base_shard(c)].insert(c);
                 }
-                jobs.extend(
+                units.extend(
                     buckets.into_iter().filter(|b| !b.is_empty()).map(|seed| ScanJob::Split {
                         rule: task.rule,
                         step: *step,
@@ -742,24 +766,65 @@ fn collect_round(
                     }),
                 );
             }
-            _ => jobs.push(ScanJob::Whole(task)),
+            _ => units.push(ScanJob::Whole(task)),
         }
     }
-    par.scan_subtasks += jobs.len();
-    let (outs, timing) = pool.run(jobs.len(), |i| {
-        let mut out = Vec::new();
-        match &jobs[i] {
+    par.scan_subtasks += units.len();
+    // One pool job per dependency component (created at its first
+    // unit, so job order follows unit order); splits stay singletons.
+    let mut jobs: Vec<Vec<usize>> = Vec::new();
+    let mut job_of_component: FastHashMap<usize, usize> = FastHashMap::default();
+    for (u, unit) in units.iter().enumerate() {
+        match unit {
+            ScanJob::Split { .. } => jobs.push(vec![u]),
             ScanJob::Whole(task) => {
-                run(task.rule, task.seed.as_ref().map(|(s, set)| (*s, set)), &mut out)
+                let c = deps.component_of(task.rule);
+                match job_of_component.entry(c) {
+                    std::collections::hash_map::Entry::Occupied(e) => jobs[*e.get()].push(u),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(jobs.len());
+                        jobs.push(vec![u]);
+                    }
+                }
             }
-            ScanJob::Split { rule, step, seed } => run(*rule, Some((*step, seed)), &mut out),
         }
-        out
+    }
+    for job in &jobs {
+        if job.len() > 1 {
+            par.component_jobs += 1;
+            par.component_units += job.len();
+            par.component_units_max = par.component_units_max.max(job.len());
+        }
+    }
+    let (outs, timing) = pool.run(jobs.len(), |i| {
+        jobs[i]
+            .iter()
+            .map(|&u| {
+                let mut out = Vec::new();
+                match &units[u] {
+                    ScanJob::Whole(task) => {
+                        run(task.rule, task.seed.as_ref().map(|(s, set)| (*s, set)), &mut out)
+                    }
+                    ScanJob::Split { rule, step, seed } => {
+                        run(*rule, Some((*step, seed)), &mut out)
+                    }
+                }
+                (u, out)
+            })
+            .collect::<Vec<_>>()
     });
     par.scan_wall += timing.wall;
     par.scan_busy_max += timing.busy_max;
     par.scan_busy_total += timing.busy_total;
-    outs.into_iter().flatten().collect()
+    // Slot-keyed merge: each unit's output lands back at its unit
+    // index, so flattening reproduces the serial task order exactly.
+    let mut slots: Vec<Vec<Fired>> = (0..units.len()).map(|_| Vec::new()).collect();
+    for job in outs {
+        for (u, out) in job {
+            slots[u] = out;
+        }
+    }
+    slots.into_iter().flatten().collect()
 }
 
 /// The `(chain, method)` relations a rule's positive body literals can

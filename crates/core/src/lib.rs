@@ -26,6 +26,7 @@
 
 pub mod check;
 pub mod database;
+pub mod deps;
 pub mod engine;
 pub mod error;
 pub mod history;
@@ -45,6 +46,7 @@ pub mod truth;
 
 pub use check::{CheckReport, Commutativity, CommutativityMatrix, SourceCheck};
 pub use database::{Database, DatabaseBuilder, Error, ErrorKind, Prepared, Transaction};
+pub use deps::{DepEdge, DepEdgeKind, ReadSet, RuleDepGraph, TopCause, WriteSet};
 pub use engine::{
     run_compiled, CompiledProgram, CyclePolicy, EngineConfig, FinalVersionPolicy, Outcome,
     TraceLevel, UpdateEngine,

@@ -133,4 +133,49 @@ mod tests {
         assert_eq!(WorkerPool::new(0).workers(), 1);
         assert_eq!(WorkerPool::new(5).workers(), 5);
     }
+
+    /// The component-scheduling shape `collect_round` uses: each pool
+    /// job is a *bundle* of scan units returning `(unit_idx, output)`
+    /// pairs, and the caller scatters them into unit-indexed slots.
+    /// The flattened result must equal the canonical unit order no
+    /// matter how units were grouped into jobs or how many workers ran.
+    #[test]
+    fn component_bundles_merge_in_slot_order() {
+        // 9 units grouped into 4 jobs, deliberately non-contiguous —
+        // exactly what per-component grouping produces when a
+        // component's rules are interleaved with others.
+        let jobs: Vec<Vec<usize>> = vec![vec![0, 4, 7], vec![1], vec![2, 5], vec![3, 6, 8]];
+        let units = 9;
+        for workers in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let (outs, _) = pool.run(jobs.len(), |j| {
+                jobs[j].iter().map(|&u| (u, format!("out{u}"))).collect::<Vec<_>>()
+            });
+            let mut slots: Vec<Option<String>> = vec![None; units];
+            for bundle in outs {
+                for (u, out) in bundle {
+                    assert!(slots[u].is_none(), "unit {u} produced twice");
+                    slots[u] = Some(out);
+                }
+            }
+            let merged: Vec<String> = slots.into_iter().map(|s| s.unwrap()).collect();
+            let expected: Vec<String> = (0..units).map(|u| format!("out{u}")).collect();
+            assert_eq!(merged, expected, "workers={workers}");
+        }
+    }
+
+    /// A bundle larger than the worker count still completes and keeps
+    /// every result (the cursor hands whole jobs, never splits one).
+    #[test]
+    fn bundles_larger_than_worker_count_complete() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Vec<usize>> = (0..6).map(|j| (j * 10..j * 10 + 5).collect()).collect();
+        let (outs, _) =
+            pool.run(jobs.len(), |j| jobs[j].iter().map(|&u| (u, u * 2)).collect::<Vec<_>>());
+        let flat: Vec<(usize, usize)> = outs.into_iter().flatten().collect();
+        assert_eq!(flat.len(), 30);
+        for (u, v) in flat {
+            assert_eq!(v, u * 2);
+        }
+    }
 }

@@ -47,6 +47,14 @@ pub struct ParallelStats {
     pub scan_subtasks: usize,
     /// Seeded tasks that were split into per-shard sub-tasks.
     pub seed_splits: usize,
+    /// Pool jobs that bundled two or more scan units of one rule
+    /// dependency component (see [`crate::deps::RuleDepGraph`]);
+    /// singleton jobs are not counted.
+    pub component_jobs: usize,
+    /// Scan units carried inside those bundled component jobs.
+    pub component_units: usize,
+    /// Largest unit count of any single component job.
+    pub component_units_max: usize,
     /// Wall-clock time summed over the rounds' scan regions (step 1).
     pub scan_wall: Duration,
     /// Busy time of the slowest scan worker, summed over rounds.
@@ -73,6 +81,21 @@ impl ParallelStats {
     /// Apply-phase imbalance, same definition.
     pub fn apply_imbalance(&self) -> Option<f64> {
         imbalance(self.workers, self.apply_busy_max, self.apply_busy_total)
+    }
+
+    /// Rule-level bundling imbalance: the largest component job's unit
+    /// count over the mean bundled-job size (1.0 = every bundle equal;
+    /// large values mean one dependent-rule cluster dominates the
+    /// round and seed splitting is the only lever left). `None` until
+    /// a component job was scheduled.
+    pub fn rule_imbalance(&self) -> Option<f64> {
+        if self.component_jobs == 0 || self.component_units == 0 {
+            return None;
+        }
+        Some(
+            self.component_units_max as f64 * self.component_jobs as f64
+                / self.component_units as f64,
+        )
     }
 }
 
@@ -110,11 +133,14 @@ impl fmt::Display for ParallelStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} workers, {} scan sub-tasks ({} seed splits), \
-             scan {:?} wall (imbalance {}), apply {:?} wall (imbalance {})",
+            "{} workers, {} scan sub-tasks ({} seed splits, {} component jobs, \
+             rule imbalance {}), scan {:?} wall (imbalance {}), \
+             apply {:?} wall (imbalance {})",
             self.workers,
             self.scan_subtasks,
             self.seed_splits,
+            self.component_jobs,
+            fmt_imbalance(self.rule_imbalance()),
             self.scan_wall,
             fmt_imbalance(self.scan_imbalance()),
             self.apply_wall,
@@ -193,6 +219,9 @@ mod tests {
                 workers: 4,
                 scan_subtasks: 12,
                 seed_splits: 2,
+                component_jobs: 2,
+                component_units: 6,
+                component_units_max: 4,
                 scan_busy_max: Duration::from_millis(6),
                 scan_busy_total: Duration::from_millis(12),
                 ..Default::default()
@@ -203,6 +232,9 @@ mod tests {
         assert!(text.contains("4 workers"));
         assert!(text.contains("12 scan sub-tasks"));
         assert!(text.contains("2 seed splits"));
+        assert!(text.contains("2 component jobs"), "{text}");
+        // max=4 units over mean 6/2=3 units per bundle: 1.33.
+        assert!(text.contains("rule imbalance 1.33"), "{text}");
         // busy_max=6ms over total=12ms on 4 workers: 6*4/12 = 2.00.
         assert!(text.contains("imbalance 2.00"), "{text}");
     }
@@ -212,5 +244,6 @@ mod tests {
         let p = ParallelStats::default();
         assert_eq!(p.scan_imbalance(), None);
         assert_eq!(p.apply_imbalance(), None);
+        assert_eq!(p.rule_imbalance(), None);
     }
 }

@@ -103,11 +103,22 @@ pub enum Lint {
     /// The program is rejected by strict stratification but accepted
     /// under the relaxed policy with a runtime stability check.
     DynamicPolicyRequired,
+    /// Two same-stratum rules where one reads what the other writes —
+    /// an engine that fires rules in order (instead of the paper's
+    /// simultaneous `T_P`) could produce a different result set.
+    OrderSensitiveRules,
+    /// A rule whose body reads the relation chain its own head writes
+    /// (e.g. §4(b) ins-recursion, or a `$V` atom); it forms a
+    /// single-rule dependency component.
+    SelfDependentRule,
+    /// A stratum with two or more rules that split into independent
+    /// dependency components — intra-stratum rule parallelism applies.
+    ParallelOpportunity,
 }
 
 impl Lint {
     /// Every known lint, in registry order.
-    pub const ALL: [Lint; 11] = [
+    pub const ALL: [Lint; 14] = [
         Lint::Syntax,
         Lint::DuplicateLabel,
         Lint::ExistsUpdate,
@@ -119,6 +130,9 @@ impl Lint {
         Lint::DuplicateRule,
         Lint::NeedlessDynamicPolicy,
         Lint::DynamicPolicyRequired,
+        Lint::OrderSensitiveRules,
+        Lint::SelfDependentRule,
+        Lint::ParallelOpportunity,
     ];
 
     /// Stable kebab-case name (the `[...]` tag in rendered output).
@@ -135,6 +149,9 @@ impl Lint {
             Lint::DuplicateRule => "duplicate-rule",
             Lint::NeedlessDynamicPolicy => "needless-dynamic-policy",
             Lint::DynamicPolicyRequired => "dynamic-policy-required",
+            Lint::OrderSensitiveRules => "order-sensitive-rules",
+            Lint::SelfDependentRule => "self-dependent-rule",
+            Lint::ParallelOpportunity => "parallel-opportunity",
         }
     }
 
@@ -156,7 +173,13 @@ impl Lint {
             | Lint::WriteWriteConflict
             | Lint::DeadRule
             | Lint::DuplicateRule
-            | Lint::NeedlessDynamicPolicy => Level::Warn,
+            | Lint::NeedlessDynamicPolicy
+            | Lint::OrderSensitiveRules => Level::Warn,
+            // Advisory-only: truthful observations about healthy
+            // programs (sanctioned recursion, parallelism notes);
+            // reported through the `advisories` channel, never through
+            // `Prepared::warnings()`.
+            Lint::SelfDependentRule | Lint::ParallelOpportunity => Level::Allow,
         }
     }
 
@@ -179,6 +202,13 @@ impl Lint {
             }
             Lint::DynamicPolicyRequired => {
                 "program needs CyclePolicy::RuntimeStability to be accepted"
+            }
+            Lint::OrderSensitiveRules => {
+                "a same-stratum rule reads what another writes; rule order could matter"
+            }
+            Lint::SelfDependentRule => "the rule reads the relation chain its own head writes",
+            Lint::ParallelOpportunity => {
+                "a stratum splits into independent rule components that can evaluate in parallel"
             }
         }
     }
@@ -484,13 +514,28 @@ pub fn duplicate_labels(program: &Program) -> Vec<Diagnostic> {
 /// Duplicate (shadowed) rules: identical head and body up to variable
 /// naming. The later rule can never contribute an instance the earlier
 /// one does not.
+///
+/// Candidate pairs are found through a hash of the normalized rule
+/// (its head + body, which already compare alpha-equivalent because
+/// variable ids are assigned by first occurrence), so a clean
+/// 1k-rule generated program costs 1k hashes instead of ~500k
+/// pairwise comparisons; full equality is still confirmed per bucket
+/// in insertion order, preserving the first-match diagnostics.
 fn duplicate_rules(program: &Program, out: &mut Vec<Diagnostic>) {
-    for j in 1..program.rules.len() {
+    use std::hash::{Hash, Hasher};
+    // `Rule` derives PartialEq but not Hash (spans must not take part
+    // in equality); hash the Debug render of the semantic fields.
+    let rule_key = |r: &crate::ast::Rule| {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{:?}{:?}", r.head, r.body).hash(&mut h);
+        h.finish()
+    };
+    let mut buckets: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for j in 0..program.rules.len() {
         let rj = &program.rules[j];
-        for i in 0..j {
+        let bucket = buckets.entry(rule_key(rj)).or_default();
+        for &i in bucket.iter() {
             let ri = &program.rules[i];
-            // Variable ids are assigned by first occurrence, so
-            // alpha-equivalent rules compare equal on head + body.
             if ri.head == rj.head && ri.body == rj.body {
                 out.push(
                     Diagnostic::new(
@@ -510,6 +555,7 @@ fn duplicate_rules(program: &Program, out: &mut Vec<Diagnostic>) {
                 break;
             }
         }
+        bucket.push(j);
     }
 }
 
@@ -688,6 +734,35 @@ mod tests {
         );
         assert!(program.is_some());
         assert!(diags.iter().any(|d| d.lint == Lint::DuplicateRule), "{diags:?}");
+    }
+
+    /// Regression guard for the hash-bucketed duplicate scan: a large
+    /// generated program must stay far from the old all-pairs cost.
+    /// 4000 clean rules plus two seeded duplicates: ~4k hashes and two
+    /// in-bucket comparisons, versus ~8M pairwise comparisons before —
+    /// the time budget is generous for CI but a quadratic scan in a
+    /// debug build blows it by an order of magnitude.
+    #[test]
+    fn duplicate_scan_stays_linear_on_large_programs() {
+        let n = 4000;
+        let mut src = String::with_capacity(n * 48);
+        for i in 0..n {
+            src.push_str(&format!("r{i}: ins[X].m{i} -> {i} <= X.isa -> c{i}.\n"));
+        }
+        // Two exact duplicates of existing rules, alpha-renamed.
+        src.push_str("dup1: ins[Y].m7 -> 7 <= Y.isa -> c7.\n");
+        src.push_str("dup2: ins[Y].m42 -> 42 <= Y.isa -> c42.\n");
+        let program = Program::parse(&src).unwrap();
+        let started = std::time::Instant::now();
+        let mut out = Vec::new();
+        duplicate_rules(&program, &mut out);
+        let elapsed = started.elapsed();
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|d| d.lint == Lint::DuplicateRule));
+        assert!(
+            elapsed < std::time::Duration::from_secs(2),
+            "duplicate scan took {elapsed:?} on {n} rules — quadratic regression?"
+        );
     }
 
     #[test]

@@ -86,8 +86,9 @@ pub use ruvo_workload as workload;
 
 pub use ruvo_core::{
     Applied, CheckReport, CheckpointPolicy, Commutativity, CommutativityMatrix, Database,
-    DatabaseBuilder, Error, ErrorKind, FsyncPolicy, Prepared, QueryAnswers, QueryMode, QueryPlan,
-    ServingDatabase, SourceCheck, Transaction,
+    DatabaseBuilder, DepEdge, DepEdgeKind, Error, ErrorKind, FsyncPolicy, Prepared, QueryAnswers,
+    QueryMode, QueryPlan, ReadSet, RuleDepGraph, ServingDatabase, SourceCheck, TopCause,
+    Transaction, WriteSet,
 };
 pub use ruvo_lang::{Diagnostic, Goal, Level, Lint, LintLevels, Severity, Span};
 pub use ruvo_obase::Snapshot;

@@ -147,3 +147,46 @@ fn seed_splitting_triggers_and_stays_identical() {
         "splitting must yield more sub-tasks than rule evaluations: {par:?}"
     );
 }
+
+/// Component scheduling: a stratum mixing independent rules with a
+/// dependent (conflicting-write) pair plus a negation stratum. The
+/// dependent pair must be bundled into one pool job (observable via
+/// `ParallelStats::component_jobs`) and the outputs must stay
+/// bit-identical to serial at every width.
+#[test]
+fn component_scheduling_bundles_and_stays_identical() {
+    let mut src = String::new();
+    for i in 0..24 {
+        src.push_str(&format!("o{i}.s -> 1. o{i}.t -> 2. o{i}.price -> {i}.\n"));
+    }
+    let ob = ObjectBase::parse(&src).unwrap();
+    let program = Program::parse(
+        // Two independent rules (disjoint read/write namespaces),
+        // then a write-write conflicting pair the commutativity
+        // matrix cannot prove commutes (one dependency component),
+        // then a strictly-later negation stratum keeping the
+        // multi-stratum path hot. `e` negates `ins(X).q` so it lands
+        // above `a`..`d`; its ⊤-widened read must not leak edges into
+        // the earlier stratum.
+        "a: ins[X].p -> 1 <= X.s -> 1.
+         b: ins[X].q -> 2 <= X.t -> 2.
+         c: mod[X].price -> (P, 1) <= X.price -> P & X.s -> 1.
+         d: mod[X].price -> (P, 2) <= X.price -> P & X.t -> 2.
+         e: ins[ins(X)].flag -> 1 <= ins(X).p -> 1 & not ins(X).q -> 9.",
+    )
+    .unwrap();
+    assert_parallel_matches(&program, &ob, CyclePolicy::Reject);
+
+    let compiled = CompiledProgram::compile(program, CyclePolicy::Reject).unwrap();
+    let deps = compiled.deps();
+    // c and d share a component; a and b are singletons.
+    assert_eq!(deps.component_of(2), deps.component_of(3), "ww pair must share a component");
+    assert_ne!(deps.component_of(0), deps.component_of(1), "independent rules must not");
+
+    let cfg = EngineConfig { parallel: true, threads: 2, ..EngineConfig::default() };
+    let outcome = run_compiled(&compiled, &cfg, ob).unwrap();
+    let par = &outcome.stats().parallel;
+    assert!(par.component_jobs > 0, "the c/d component must be bundled into one job: {par:?}");
+    assert!(par.component_units >= 2 * par.component_jobs, "bundles hold >= 2 units: {par:?}");
+    assert!(par.rule_imbalance().is_some(), "bundles present => imbalance is measurable");
+}
