@@ -29,8 +29,12 @@
 //!                     the base file then only seeds a fresh D)
 //!     --ack-file F    append one line per acknowledged commit
 //!                     (crash-test hook)
+//!     (durable serves run incremental checkpoints on a background
+//!     thread and log each completion to stderr)
 //! ruvo recover <data-dir>                      checkpoint/WAL stats +
 //!                                              dry-run recovery report
+//!     --compact       then fold the checkpoint chain into one fresh
+//!                     full generation (modifies the directory)
 //! ```
 
 mod repl;
@@ -51,7 +55,7 @@ fn usage() -> ExitCode {
          [--dynamic]\n  \
          ruvo serve   <base.ob> <program.ruvo> [--readers N] [--commits K] \
          [--data-dir D] [--ack-file F]\n  \
-         ruvo recover <data-dir>\n  \
+         ruvo recover <data-dir> [--compact]\n  \
          ruvo repl    [base]\n  ruvo convert <in> <out>   (text ↔ .snap snapshot)"
     );
     ExitCode::from(2)
@@ -348,16 +352,38 @@ fn main() -> ExitCode {
         }
         "recover" => {
             let Some(dir) = args.get(1) else { return usage() };
-            match recover_report(std::path::Path::new(dir)) {
-                Ok(report) => {
-                    print!("{report}");
-                    ExitCode::SUCCESS
+            let compact = match args.get(2).map(String::as_str) {
+                None => false,
+                Some("--compact") => true,
+                Some(flag) => {
+                    eprintln!("error: bad flag {flag}");
+                    return usage();
                 }
+            };
+            match recover_report(std::path::Path::new(dir)) {
+                Ok(report) => print!("{report}"),
                 Err(e) => {
                     eprintln!("error: {dir}: {e}");
-                    ExitCode::FAILURE
+                    return ExitCode::FAILURE;
                 }
             }
+            if compact {
+                // Offline chain compaction: recover the directory for
+                // real, then rewrite the chain as one full generation.
+                match Database::builder().data_dir(dir).open_dir().and_then(|mut db| {
+                    let outcome = db.compact()?;
+                    Ok((outcome, db.len()))
+                }) {
+                    Ok((outcome, txns)) => {
+                        println!("compacted: {outcome} at {txns} transaction(s)");
+                    }
+                    Err(e) => {
+                        eprintln!("error: {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
         }
         _ => usage(),
     }
@@ -535,11 +561,27 @@ fn recover_report(dir: &std::path::Path) -> Result<String, ruvo_core::Error> {
         Some(ckpt) => {
             let _ = writeln!(
                 out,
-                "checkpoint: seq {} / epoch {} / {} facts",
+                "checkpoint: seq {} / epoch {} / {} facts / {} generation(s)",
                 ckpt.seq,
                 ckpt.epoch,
-                ckpt.base.len()
+                ckpt.base.len(),
+                ckpt.generations.len(),
             );
+            for (i, g) in ckpt.generations.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  generation #{i}: {} / seq {} / epoch {} / {} bytes / {} dirty shard(s)",
+                    g.kind, g.seq, g.epoch, g.bytes, g.dirty_shards
+                );
+            }
+            if ckpt.torn_bytes > 0 {
+                let _ = writeln!(
+                    out,
+                    "  chain tail: {} torn bytes (interrupted delta append; \
+                     the wal covers it) will be dropped on open",
+                    ckpt.torn_bytes
+                );
+            }
         }
         None => {
             let _ = writeln!(out, "checkpoint: none");
@@ -658,7 +700,7 @@ fn serve_demo(
             let prepared = &prepared;
             let ack = &mut ack;
             s.spawn(move || {
-                for _ in 0..commits {
+                for i in 0..commits {
                     let applied = db.apply(prepared)?;
                     if let Some(f) = ack {
                         // The commit is durable (WAL appended +
@@ -667,6 +709,21 @@ fn serve_demo(
                         // cannot take back completed writes.
                         let _ = writeln!(f, "{}", applied.seq);
                         let _ = f.flush();
+                    }
+                    // Durable serves checkpoint incrementally in the
+                    // background: the writer path only pays the
+                    // O(shards) plan, the encode runs on its own
+                    // thread. A volatile database returns false and
+                    // this is a no-op.
+                    if (i + 1) % 16 == 0 && db.checkpoint_background()? {
+                        for done in db.take_checkpoint_completions() {
+                            eprintln!("background {done}");
+                        }
+                    }
+                }
+                if db.checkpoint_flush()?.is_some() {
+                    for done in db.take_checkpoint_completions() {
+                        eprintln!("background {done}");
                     }
                 }
                 Ok::<(), ruvo_core::Error>(())

@@ -571,7 +571,13 @@ impl DatabaseBuilder {
             )
             .into());
         };
-        let opened = WalStore::open(dir, self.fsync, self.checkpoint)?;
+        // Decode the checkpoint chain's base generation in parallel:
+        // reopen time is then driven by the WAL tail, not base size.
+        let workers = match self.config.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        let opened = WalStore::open_with_workers(dir, self.fsync, self.checkpoint, workers)?;
         let fresh = opened.is_fresh();
         let base = match opened.checkpoint {
             Some(ckpt) => ckpt.base,
@@ -1030,12 +1036,41 @@ impl Database {
         Ok(replayed)
     }
 
-    /// Force a checkpoint now: snapshot the committed state into the
+    /// Force a checkpoint now: persist the committed state into the
     /// data directory and truncate the WAL. A no-op without a data
-    /// directory. Recovery time is proportional to the log tail, so
-    /// checkpointing before shutdown makes the next open O(snapshot).
-    pub fn checkpoint(&mut self) -> Result<(), Error> {
+    /// directory. Incremental — once a chain exists, only the shards
+    /// dirtied since the last checkpoint are written (a delta
+    /// generation); recovery time is proportional to the log tail
+    /// plus the chain, so checkpointing before shutdown makes the
+    /// next open fast.
+    pub fn checkpoint(&mut self) -> Result<crate::store::CheckpointOutcome, Error> {
         Ok(self.session.checkpoint()?)
+    }
+
+    /// Compact the checkpoint chain into a single fresh full
+    /// generation now (what `ruvo recover --compact` runs). A no-op
+    /// without a data directory.
+    pub fn compact(&mut self) -> Result<crate::store::CheckpointOutcome, Error> {
+        Ok(self.session.checkpoint_full()?)
+    }
+
+    /// First half of a background checkpoint (see
+    /// [`crate::Session::plan_checkpoint`]): an O(shards) plan plus
+    /// the matching shared state handle, to be encoded off-thread.
+    pub fn plan_checkpoint(
+        &mut self,
+        mode: crate::store::CheckpointMode,
+    ) -> Option<(crate::store::CheckpointPlan, std::sync::Arc<ObjectBase>)> {
+        self.session.plan_checkpoint(mode)
+    }
+
+    /// Second half of a background checkpoint: install an encoded
+    /// generation produced by [`crate::store::encode_checkpoint_plan`].
+    pub fn install_checkpoint(
+        &mut self,
+        encoded: crate::store::EncodedCheckpoint,
+    ) -> Result<crate::store::CheckpointOutcome, Error> {
+        Ok(self.session.install_checkpoint(encoded)?)
     }
 
     // ----- savepoints ------------------------------------------------

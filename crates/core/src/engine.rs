@@ -682,6 +682,22 @@ fn run_loop(
 /// produces the same merged delta sequence.
 const SEED_SPLIT_MIN: usize = 32;
 
+/// Minimum object count at which a *full* (unseeded) scan — a round-1
+/// task, or a later round's unseedable fallback — is split by shard
+/// route as well. Like [`SEED_SPLIT_MIN`], a pure function of the
+/// state and the config, never of the worker count.
+const FULL_SPLIT_MIN: usize = 32;
+
+/// The first `Scan` step of a rule's compiled plan — the step a full
+/// evaluation can be split at. Seeding that step with a partition of
+/// the *entire* object set is an exact cover of the full scan: every
+/// match binds some version there, and its base routes the match to
+/// exactly one partition. `None` for fully-ground rules (no scan
+/// step), which are too cheap to split anyway.
+fn first_scan_step(rule: &Rule) -> Option<usize> {
+    rule.plan.steps.iter().position(|s| matches!(s, ruvo_lang::PlannedLiteral::Scan(_)))
+}
+
 /// A unit of step-1 scan work after seed splitting: a round task as
 /// issued by [`round_tasks`], or one shard's slice of a split seed.
 enum ScanJob<'a> {
@@ -746,22 +762,57 @@ fn collect_round(
         }
         return out;
     }
+    let shard_buckets = |objs: &mut dyn Iterator<Item = Const>| -> Vec<FastHashSet<Const>> {
+        let mut buckets: Vec<FastHashSet<Const>> =
+            std::iter::repeat_with(FastHashSet::default).take(ruvo_obase::SHARD_COUNT).collect();
+        for c in objs {
+            buckets[ruvo_obase::base_shard(c)].insert(c);
+        }
+        buckets
+    };
+    // The whole-object-set partition for full-scan splitting, shared
+    // across this round's full tasks; built (and the object set
+    // counted) at most once per round, and only on rounds that
+    // actually carry a full task.
+    let mut full_buckets: Option<Vec<FastHashSet<Const>>> = None;
+    let mut object_count: Option<usize> = None;
     let mut units: Vec<ScanJob> = Vec::new();
     for task in tasks {
         match &task.seed {
             Some((step, seed)) if seed.len() >= SEED_SPLIT_MIN => {
                 par.seed_splits += 1;
-                let mut buckets: Vec<FastHashSet<Const>> =
-                    std::iter::repeat_with(FastHashSet::default)
-                        .take(ruvo_obase::SHARD_COUNT)
-                        .collect();
-                for &c in seed {
-                    buckets[ruvo_obase::base_shard(c)].insert(c);
-                }
+                let buckets = shard_buckets(&mut seed.iter().copied());
                 units.extend(
                     buckets.into_iter().filter(|b| !b.is_empty()).map(|seed| ScanJob::Split {
                         rule: task.rule,
                         step: *step,
+                        seed,
+                    }),
+                );
+            }
+            None if config.semi_naive
+                && deps.components()[deps.component_of(task.rule)].len() == 1
+                && *object_count.get_or_insert_with(|| ob.objects().count()) >= FULL_SPLIT_MIN =>
+            {
+                // Round-1 full scans (and unseedable fallbacks) split
+                // too: seed the rule's first scan step with the whole
+                // object set, partitioned by shard route — an exact
+                // cover of the full scan (see [`first_scan_step`]).
+                // Only rules alone in their dependency component
+                // split; dependent rules keep the component bundling
+                // (their scans chase the same relations, so shard
+                // fan-out would just shred that locality).
+                let Some(step) = first_scan_step(&program.rules[task.rule]) else {
+                    units.push(ScanJob::Whole(task));
+                    continue;
+                };
+                par.full_splits += 1;
+                let buckets =
+                    full_buckets.get_or_insert_with(|| shard_buckets(&mut ob.objects())).clone();
+                units.extend(
+                    buckets.into_iter().filter(|b| !b.is_empty()).map(|seed| ScanJob::Split {
+                        rule: task.rule,
+                        step,
                         seed,
                     }),
                 );
@@ -1532,5 +1583,42 @@ mod tests {
         let plain = Program::parse("ins[a].p -> 1.").unwrap();
         let relaxed = crate::stratify::stratify_relaxed(&plain);
         assert_eq!(relaxed.needs_runtime_check, vec![false]);
+    }
+
+    /// A base above [`FULL_SPLIT_MIN`] objects and a singleton-component
+    /// rule: the round-1 full scan must split by shard route, and the
+    /// split run must match serial exactly.
+    #[test]
+    fn full_scans_split_above_the_object_gate() {
+        let mut src = String::new();
+        for i in 0..40 {
+            src.push_str(&format!("o{i}.val -> {i}.\n"));
+        }
+        let ob = ObjectBase::parse(&src).unwrap();
+        let program = Program::parse("ins[X].tag -> 1 <= X.val -> V & V > 5.").unwrap();
+        let serial = UpdateEngine::new(program.clone()).run(&ob).unwrap();
+        let parallel = UpdateEngine::with_config(
+            program.clone(),
+            EngineConfig { parallel: true, threads: 2, ..Default::default() },
+        )
+        .run(&ob)
+        .unwrap();
+        assert!(
+            parallel.stats().parallel.full_splits > 0,
+            "round-1 full scan did not split: {:?}",
+            parallel.stats().parallel
+        );
+        assert_eq!(serial.result(), parallel.result());
+        assert_eq!(serial.new_object_base(), parallel.new_object_base());
+
+        // Below the gate nothing splits.
+        let small = ObjectBase::parse("a.val -> 10. b.val -> 20.").unwrap();
+        let outcome = UpdateEngine::with_config(
+            program,
+            EngineConfig { parallel: true, threads: 2, ..Default::default() },
+        )
+        .run(&small)
+        .unwrap();
+        assert_eq!(outcome.stats().parallel.full_splits, 0);
     }
 }

@@ -58,7 +58,9 @@ pub use query::{match_goal, plan_query, run_query, QueryAnswers, QueryMode, Quer
 pub use serve::{Applied, ServingDatabase};
 pub use session::{SavepointId, Session, SessionError, Txn};
 pub use store::{
-    CheckpointPolicy, DurabilitySink, FsyncPolicy, StorageError, Volatile, WalProgram, WalStore,
+    encode_checkpoint_plan, Checkpoint, CheckpointMode, CheckpointOutcome, CheckpointPlan,
+    CheckpointPolicy, DurabilitySink, EncodedCheckpoint, FsyncPolicy, GenerationInfo,
+    GenerationKind, StorageError, Volatile, WalProgram, WalStore,
 };
 pub use stratify::{Condition, EdgeInfo, RelaxedStratification, Stratification, StratifyError};
 pub use temporal::{FactProp, Formula, Timeline};

@@ -76,6 +76,7 @@ use ruvo_obase::{ObjectBase, Snapshot};
 
 use crate::database::{Database, Error, Prepared, Transaction};
 use crate::engine::EngineConfig;
+use crate::store::{encode_checkpoint_plan, CheckpointMode, CheckpointOutcome};
 
 /// Slots in the head ring. The single writer reuses a slot only every
 /// `HEAD_SLOTS` commits, so a reader cloning the `Arc` out of the
@@ -182,6 +183,22 @@ struct Shared {
     /// Engine configuration, fixed at open (shared so
     /// [`ServingDatabase::prepare`] needs no lock).
     config: EngineConfig,
+    /// Background checkpoint worker: at most one encoder thread in
+    /// flight, plus the outcomes of completed runs for `ruvo serve`
+    /// to log. Lock ordering: `ckpt` before `writer` (the encoder
+    /// thread itself takes only `writer`).
+    ckpt: Mutex<BackgroundCheckpoint>,
+}
+
+/// State of the background checkpoint worker (see
+/// [`ServingDatabase::checkpoint_background`]).
+#[derive(Default)]
+struct BackgroundCheckpoint {
+    /// The in-flight encoder thread, if any.
+    handle: Option<std::thread::JoinHandle<Result<CheckpointOutcome, Error>>>,
+    /// Outcomes of finished background checkpoints, oldest first,
+    /// awaiting collection by [`ServingDatabase::take_checkpoint_completions`].
+    completed: Vec<CheckpointOutcome>,
 }
 
 /// A cloneable, thread-safe serving handle over one evolving object
@@ -217,6 +234,7 @@ impl ServingDatabase {
             queue: Mutex::new(Vec::new()),
             config: db.config().clone(),
             writer: Mutex::new(db),
+            ckpt: Mutex::new(BackgroundCheckpoint::default()),
         };
         ServingDatabase { shared: Arc::new(shared) }
     }
@@ -423,12 +441,82 @@ impl ServingDatabase {
 
     /// Force a durable checkpoint of the committed state (no-op on a
     /// volatile database): queued writes are drained and published
-    /// first, then the head state is snapshotted into the data
-    /// directory and the WAL truncated. Takes the writer lock.
-    pub fn checkpoint(&self) -> Result<(), Error> {
+    /// first, then the head state is written to the data directory
+    /// (a delta generation when the chain permits, a full rewrite
+    /// otherwise) and the WAL truncated. Synchronous — takes the
+    /// writer lock for the whole encode. Prefer
+    /// [`ServingDatabase::checkpoint_background`] on a serving path.
+    pub fn checkpoint(&self) -> Result<CheckpointOutcome, Error> {
         let mut writer = self.lock_writer()?;
         self.drain(&mut writer);
         writer.checkpoint()
+    }
+
+    /// Start a checkpoint of the committed state **without blocking
+    /// the writer for the encode**: the writer lock is held only for
+    /// an O(shards) plan (and to drain queued writes first); the
+    /// snapshot is then serialized on a background thread, which
+    /// re-takes the lock at the end only to install the finished
+    /// generation. Commits proceed concurrently; if they race the
+    /// install, the WAL simply keeps covering them (see
+    /// `core::store` for the exact truncation rule).
+    ///
+    /// At most one background checkpoint runs at a time: starting a
+    /// new one first joins the previous thread, surfacing its error
+    /// here rather than losing it. Returns `true` if an encoder was
+    /// started (`false` on a volatile database, which has nothing to
+    /// checkpoint). Use [`ServingDatabase::checkpoint_flush`] to wait
+    /// for completion.
+    pub fn checkpoint_background(&self) -> Result<bool, Error> {
+        let mut ckpt = self.ckpt_lock();
+        if let Some(handle) = ckpt.handle.take() {
+            let outcome = handle.join().map_err(|_| Error::PoisonedWriter)??;
+            ckpt.completed.push(outcome);
+        }
+        let plan = {
+            let mut writer = self.lock_writer()?;
+            self.drain(&mut writer);
+            writer.plan_checkpoint(CheckpointMode::Auto)
+        };
+        let Some((plan, at)) = plan else { return Ok(false) };
+        let shared = Arc::clone(&self.shared);
+        ckpt.handle = Some(std::thread::spawn(move || {
+            // Pure CPU: encode against the pinned snapshot, no locks.
+            let encoded = encode_checkpoint_plan(&plan, &at);
+            drop(at);
+            let mut writer = shared.writer.lock().map_err(|_| Error::PoisonedWriter)?;
+            writer.install_checkpoint(encoded)
+        }));
+        Ok(true)
+    }
+
+    /// Wait for the in-flight background checkpoint (if any) to
+    /// finish and return its outcome; `Ok(None)` when none was
+    /// running. Tests and shutdown paths call this to make
+    /// [`ServingDatabase::checkpoint_background`] durable-by-now.
+    pub fn checkpoint_flush(&self) -> Result<Option<CheckpointOutcome>, Error> {
+        let mut ckpt = self.ckpt_lock();
+        let Some(handle) = ckpt.handle.take() else { return Ok(None) };
+        let outcome = handle.join().map_err(|_| Error::PoisonedWriter)??;
+        ckpt.completed.push(outcome);
+        Ok(Some(outcome))
+    }
+
+    /// Drain the log of completed background checkpoints, oldest
+    /// first. `ruvo serve` polls this to report completions.
+    pub fn take_checkpoint_completions(&self) -> Vec<CheckpointOutcome> {
+        std::mem::take(&mut self.ckpt_lock().completed)
+    }
+
+    /// Compact the checkpoint chain into one fresh full generation,
+    /// synchronously, after draining queued writes. Joins any
+    /// in-flight background checkpoint first so the forced full
+    /// generation is the one that lands last.
+    pub fn compact(&self) -> Result<CheckpointOutcome, Error> {
+        self.checkpoint_flush()?;
+        let mut writer = self.lock_writer()?;
+        self.drain(&mut writer);
+        writer.compact()
     }
 
     /// Recent committed transactions, newest last: the final `n`
@@ -460,6 +548,13 @@ impl ServingDatabase {
 
     fn lock_writer(&self) -> Result<MutexGuard<'_, Database>, Error> {
         self.shared.writer.lock().map_err(|_| Error::PoisonedWriter)
+    }
+
+    fn ckpt_lock(&self) -> MutexGuard<'_, BackgroundCheckpoint> {
+        // The worker slot stays structurally sound across a panic in
+        // an unrelated holder; a panicked *encoder thread* is
+        // reported by join() on the handle, not via poisoning here.
+        self.shared.ckpt.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Commit everything currently queued as one batch (through
@@ -757,5 +852,105 @@ mod tests {
             assert_eq!(db.snapshot().lookup1(oid("acct"), "balance"), vec![int(i)]);
         }
         assert_eq!(db.epoch(), HEAD_SLOTS as u64 * 3);
+    }
+
+    fn serving_tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ruvo-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn background_checkpoint_on_a_volatile_database_is_a_noop() {
+        let db = ServingDatabase::open_src(BASE).unwrap();
+        assert!(!db.checkpoint_background().unwrap(), "nothing to checkpoint");
+        assert_eq!(db.checkpoint_flush().unwrap(), None);
+        assert!(db.take_checkpoint_completions().is_empty());
+        assert_eq!(db.checkpoint().unwrap(), CheckpointOutcome::Skipped);
+    }
+
+    #[test]
+    fn background_checkpoint_is_durable_after_flush() {
+        let dir = serving_tmp_dir("bg-ckpt");
+        let db = crate::Database::builder()
+            .data_dir(&dir)
+            .seed_src("acct.balance -> 100.")
+            .unwrap()
+            .open_dir()
+            .unwrap();
+        let db = ServingDatabase::new(db);
+        let credit =
+            db.prepare("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 50.").unwrap();
+        db.apply(&credit).unwrap();
+        assert!(db.checkpoint_background().unwrap(), "an encoder was started");
+        // Commits keep landing while the encoder runs; if they beat
+        // the install, the WAL covers them (exercised by timing, not
+        // asserted — both interleavings must recover identically).
+        db.apply(&credit).unwrap();
+        let outcome = db.checkpoint_flush().unwrap().expect("one encoder in flight");
+        assert_ne!(outcome, CheckpointOutcome::Skipped);
+        assert_eq!(db.take_checkpoint_completions(), vec![outcome]);
+        assert!(db.take_checkpoint_completions().is_empty(), "completions drain once");
+
+        let live = db.current();
+        drop(db);
+        let reopened = crate::Database::open_dir(&dir).unwrap();
+        assert_eq!(reopened.current(), &*live, "recovered state matches the live head");
+        assert_eq!(reopened.current().lookup1(oid("acct"), "balance"), vec![int(200)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_background_checkpoints_stack_deltas_and_recover() {
+        let dir = serving_tmp_dir("bg-chain");
+        let db = crate::Database::builder()
+            .data_dir(&dir)
+            .seed_src("acct.balance -> 0.")
+            .unwrap()
+            .open_dir()
+            .unwrap();
+        let db = ServingDatabase::new(db);
+        let credit =
+            db.prepare("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 1.").unwrap();
+        for _ in 0..4 {
+            db.apply(&credit).unwrap();
+            db.checkpoint_background().unwrap();
+        }
+        db.checkpoint_flush().unwrap();
+        // Starting each round joined the previous one: every outcome
+        // is on the completion log, none lost.
+        assert_eq!(db.take_checkpoint_completions().len(), 4);
+
+        let live = db.current();
+        drop(db);
+        let reopened = crate::Database::open_dir(&dir).unwrap();
+        assert_eq!(reopened.current(), &*live);
+        assert_eq!(reopened.current().lookup1(oid("acct"), "balance"), vec![int(4)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serving_compact_folds_the_chain() {
+        let dir = serving_tmp_dir("bg-compact");
+        let db = crate::Database::builder()
+            .data_dir(&dir)
+            .seed_src("acct.balance -> 0.")
+            .unwrap()
+            .open_dir()
+            .unwrap();
+        let db = ServingDatabase::new(db);
+        let credit =
+            db.prepare("mod[A].balance -> (B, B2) <= A.balance -> B & B2 = B + 1.").unwrap();
+        for _ in 0..3 {
+            db.apply(&credit).unwrap();
+            db.checkpoint_background().unwrap();
+        }
+        assert!(matches!(db.compact().unwrap(), CheckpointOutcome::Full { .. }));
+        drop(db);
+        let state = crate::store::read_state(dir.as_path()).unwrap();
+        let ckpt = state.checkpoint.expect("chain present");
+        assert_eq!(ckpt.generations.len(), 1, "compaction folded the chain");
+        assert_eq!(ckpt.base.lookup1(oid("acct"), "balance"), vec![int(3)]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -31,7 +31,10 @@ use ruvo_obase::{ObjectBase, Snapshot};
 
 use crate::engine::{run_compiled, CompiledProgram, EngineConfig, Outcome, UpdateEngine};
 use crate::error::EvalError;
-use crate::store::{DurabilitySink, StorageError, WalProgram};
+use crate::store::{
+    CheckpointMode, CheckpointOutcome, CheckpointPlan, DurabilitySink, EncodedCheckpoint,
+    StorageError, WalProgram,
+};
 
 /// Why a session operation failed. The object base is unchanged in
 /// every failure case.
@@ -333,7 +336,11 @@ impl Session {
     fn commit_install(&mut self, outcome: Outcome) -> Result<(), SessionError> {
         // try_new_object_base cannot fail here when the linearity check
         // is on; with the check disabled this is the commit gate.
-        let new_ob = outcome.try_new_object_base().map_err(EvalError::Linearity)?;
+        let mut new_ob = outcome.try_new_object_base().map_err(EvalError::Linearity)?;
+        // The extraction built a fresh base; re-anchor its shard
+        // generations onto the committed lineage so incremental
+        // checkpoints see exactly the shards this commit changed.
+        new_ob.rebase_generations(&self.ob);
         self.ob = Arc::new(new_ob);
         self.prepared = std::sync::OnceLock::new();
         self.log.push(Txn { seq: self.log.len(), outcome, facts_after: self.ob.len() });
@@ -414,13 +421,55 @@ impl Session {
         self.buffered = None;
     }
 
-    /// Force a durable checkpoint of the committed state (no-op on a
-    /// volatile session).
-    pub fn checkpoint(&mut self) -> Result<(), SessionError> {
-        if let Some(sink) = &mut self.sink {
-            sink.checkpoint(&self.ob).map_err(SessionError::Storage)?;
+    /// Force a durable checkpoint of the committed state now,
+    /// synchronously (no-op on a volatile session). With an attached
+    /// [`WalStore`](crate::WalStore) this is incremental: only the
+    /// shards dirtied since the last checkpoint are persisted, as a
+    /// delta generation appended to the chain.
+    pub fn checkpoint(&mut self) -> Result<CheckpointOutcome, SessionError> {
+        match &mut self.sink {
+            Some(sink) => sink.checkpoint(&self.ob).map_err(SessionError::Storage),
+            None => Ok(CheckpointOutcome::Skipped),
         }
-        Ok(())
+    }
+
+    /// Force a full (compacting) checkpoint of the committed state.
+    pub fn checkpoint_full(&mut self) -> Result<CheckpointOutcome, SessionError> {
+        let Some((plan, at)) = self.plan_checkpoint(CheckpointMode::ForceFull) else {
+            return Ok(CheckpointOutcome::Skipped);
+        };
+        let enc = crate::store::encode_checkpoint_plan(&plan, &at);
+        self.install_checkpoint(enc)
+    }
+
+    /// First half of a background checkpoint: capture what the next
+    /// checkpoint must persist, plus the matching shared state handle
+    /// — both O(shards). Encode the pair off-thread with
+    /// [`crate::store::encode_checkpoint_plan`], then hand the result
+    /// to [`Session::install_checkpoint`]. Returns `None` on volatile
+    /// sessions.
+    pub fn plan_checkpoint(
+        &mut self,
+        mode: CheckpointMode,
+    ) -> Option<(CheckpointPlan, Arc<ObjectBase>)> {
+        let sink = self.sink.as_mut()?;
+        let plan = sink.plan_checkpoint(&self.ob, mode)?;
+        Some((plan, Arc::clone(&self.ob)))
+    }
+
+    /// Second half of a background checkpoint: make an encoded
+    /// generation durable. Commits that landed between plan and
+    /// install are handled — the WAL keeps covering them, and a plan
+    /// the chain has outrun installs as
+    /// [`CheckpointOutcome::Skipped`].
+    pub fn install_checkpoint(
+        &mut self,
+        encoded: EncodedCheckpoint,
+    ) -> Result<CheckpointOutcome, SessionError> {
+        match &mut self.sink {
+            Some(sink) => sink.install_checkpoint(encoded).map_err(SessionError::Storage),
+            None => Ok(CheckpointOutcome::Skipped),
+        }
     }
 
     /// Parse and [`Session::apply`] program text.

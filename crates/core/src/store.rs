@@ -11,14 +11,28 @@
 //! ## Data directory layout
 //!
 //! ```text
-//! <dir>/checkpoint.ruvock   latest durable full state (atomic: tmp + rename)
-//! <dir>/wal.log             committed batches since that checkpoint
+//! <dir>/checkpoint.ruvock   the checkpoint *chain* (see below)
+//! <dir>/wal.log             committed batches since the chain's tip
 //! ```
 //!
-//! **Checkpoint** (little-endian): `"RUVOCKPT"` magic, `u16` version,
-//! `u64` seq (transactions folded in), `u64` epoch, `u64` snapshot
-//! length + the embedded [`ruvo_obase::snapshot`] bytes, then a `u64`
-//! checksum over everything before it.
+//! **Checkpoint chain** (little-endian): `"RUVOCKPT"` magic + `u16`
+//! version, then one [`codec frame`](ruvo_obase::codec::append_frame)
+//! per *generation*. A generation's payload is a `u8` kind (0 full /
+//! 1 delta), `u64` seq, `u64` epoch, then the body: a full
+//! [`ruvo_obase::snapshot`] for kind 0, a
+//! [shard delta](ruvo_obase::snapshot::write_delta) for kind 1.
+//! Generation 0 is always full; each delta names the `seq` of the
+//! generation it builds on. A **full** checkpoint atomically replaces
+//! the whole file (tmp + rename + dir sync); a **delta** is appended
+//! and fsynced in place — O(dirtied shards), not O(base). The chain
+//! is compacted back into a single full generation when the deltas
+//! outgrow [`CheckpointPolicy::compact_fraction`] of the base.
+//!
+//! Chain damage is asymmetric by design: a *torn tail* (crash during
+//! a delta append) is dropped — the WAL was not yet truncated, so the
+//! log still covers the lost suffix, which [`read_state`] verifies —
+//! while a *corrupt interior generation* (bit rot after durability)
+//! fails closed with an error naming the generation.
 //!
 //! **WAL**: `"RUVOWAL\0"` magic + `u16` version, then one
 //! [`codec frame`](ruvo_obase::codec::append_frame) per committed
@@ -47,20 +61,25 @@ use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use ruvo_obase::codec::{self, DecodeError, Reader};
-use ruvo_obase::{snapshot, ObjectBase, SnapshotFileError};
+use ruvo_obase::{snapshot, ObjectBase, SnapshotFileError, SHARD_COUNT};
 
 use crate::engine::CyclePolicy;
 
 /// File name of the write-ahead log inside a data directory.
 pub const WAL_FILE: &str = "wal.log";
-/// File name of the checkpoint inside a data directory.
+/// File name of the checkpoint chain inside a data directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.ruvock";
 
 const WAL_MAGIC: &[u8; 8] = b"RUVOWAL\0";
 const CKPT_MAGIC: &[u8; 8] = b"RUVOCKPT";
 const FORMAT_VERSION: u16 = 1;
+/// Chain-format version of `checkpoint.ruvock` (v1 was the single
+/// monolithic snapshot; v2 is the framed generation chain).
+const CKPT_VERSION: u16 = 2;
 /// Magic + version.
 const WAL_HEADER_LEN: u64 = 10;
+/// Magic + version of the checkpoint chain file.
+const CKPT_HEADER_LEN: u64 = 10;
 
 // ----- errors --------------------------------------------------------
 
@@ -90,6 +109,20 @@ pub enum StorageError {
     Decode {
         /// The file involved.
         path: String,
+        /// The typed decode failure.
+        error: DecodeError,
+    },
+    /// A generation inside the checkpoint chain is damaged *after*
+    /// having been made durable (bit rot, manual edits). Unlike a
+    /// torn tail this cannot be recovered around: everything stacked
+    /// on top of the generation is untrusted, so recovery fails
+    /// closed and names the culprit.
+    CorruptGeneration {
+        /// The chain file involved.
+        path: String,
+        /// Zero-based index of the damaged generation (0 = the full
+        /// base generation).
+        generation: u64,
         /// The typed decode failure.
         error: DecodeError,
     },
@@ -129,6 +162,9 @@ impl fmt::Display for StorageError {
                 write!(f, "cannot {op} {path}: {message}")
             }
             StorageError::Decode { path, error } => write!(f, "{path}: {error}"),
+            StorageError::CorruptGeneration { path, generation, error } => {
+                write!(f, "{path}: checkpoint chain generation #{generation} is corrupt: {error}")
+            }
             StorageError::Replay { seq, error } => {
                 write!(f, "recovery failed replaying transaction #{seq}: {error}")
             }
@@ -175,27 +211,47 @@ pub enum FsyncPolicy {
     Never,
 }
 
-/// When an append triggers an automatic checkpoint (snapshot the
-/// current base, truncate the log). Either threshold suffices.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// When an append triggers an automatic checkpoint (persist the
+/// current base, truncate the log), and when the checkpoint chain is
+/// compacted back into a single full generation. Either WAL threshold
+/// suffices to trigger; either compaction threshold suffices to force
+/// the next checkpoint full.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CheckpointPolicy {
     /// Checkpoint once the WAL holds this many records.
     pub max_wal_records: u64,
     /// Checkpoint once the WAL holds this many payload bytes.
     pub max_wal_bytes: u64,
+    /// Rewrite the chain into a fresh full checkpoint once the delta
+    /// generations' on-disk bytes exceed this fraction of the full
+    /// base generation's bytes. Reopen cost is bounded by roughly
+    /// `base · (1 + compact_fraction)` decoded bytes.
+    pub compact_fraction: f64,
+    /// Hard cap on delta generations per chain regardless of size
+    /// (bounds the frame count recovery must walk).
+    pub max_delta_generations: u64,
 }
 
 impl Default for CheckpointPolicy {
     fn default() -> Self {
-        CheckpointPolicy { max_wal_records: 1024, max_wal_bytes: 8 * 1024 * 1024 }
+        CheckpointPolicy {
+            max_wal_records: 1024,
+            max_wal_bytes: 8 * 1024 * 1024,
+            compact_fraction: 0.5,
+            max_delta_generations: 64,
+        }
     }
 }
 
 impl CheckpointPolicy {
     /// Never checkpoint automatically ([`WalStore::checkpoint`] and
-    /// rollback-driven rewinds still do).
+    /// rollback-driven rewinds still do, with default compaction).
     pub fn never() -> Self {
-        CheckpointPolicy { max_wal_records: u64::MAX, max_wal_bytes: u64::MAX }
+        CheckpointPolicy {
+            max_wal_records: u64::MAX,
+            max_wal_bytes: u64::MAX,
+            ..CheckpointPolicy::default()
+        }
     }
 }
 
@@ -250,8 +306,37 @@ pub trait DurabilitySink: fmt::Debug + Send {
     /// rollback invalidated logged suffixes.
     fn rewind(&mut self, current: &ObjectBase) -> Result<(), StorageError>;
 
-    /// Force a checkpoint of `current` now.
-    fn checkpoint(&mut self, current: &ObjectBase) -> Result<(), StorageError>;
+    /// Force a checkpoint of `current` now (plan + encode + install
+    /// in one synchronous call).
+    fn checkpoint(&mut self, current: &ObjectBase) -> Result<CheckpointOutcome, StorageError>;
+
+    /// Decide what the next checkpoint of `current` should persist —
+    /// cheap (O(shards)), safe to call under the writer lock. Returns
+    /// `None` when this sink does not checkpoint at all (the plan
+    /// would be meaningless). The returned plan is paired with a
+    /// snapshot of `current`; encode it off-thread with
+    /// [`encode_checkpoint_plan`] and hand the result back to
+    /// [`DurabilitySink::install_checkpoint`].
+    fn plan_checkpoint(
+        &mut self,
+        current: &ObjectBase,
+        mode: CheckpointMode,
+    ) -> Option<CheckpointPlan> {
+        let _ = (current, mode);
+        None
+    }
+
+    /// Make an encoded checkpoint durable. The sink re-validates the
+    /// plan against the chain (another checkpoint may have landed in
+    /// between) and reports [`CheckpointOutcome::Skipped`] instead of
+    /// installing a stale delta.
+    fn install_checkpoint(
+        &mut self,
+        encoded: EncodedCheckpoint,
+    ) -> Result<CheckpointOutcome, StorageError> {
+        let _ = encoded;
+        Ok(CheckpointOutcome::Skipped)
+    }
 }
 
 /// The no-op sink: commits live and die with the process. This is the
@@ -269,8 +354,8 @@ impl DurabilitySink for Volatile {
         Ok(())
     }
 
-    fn checkpoint(&mut self, _: &ObjectBase) -> Result<(), StorageError> {
-        Ok(())
+    fn checkpoint(&mut self, _: &ObjectBase) -> Result<CheckpointOutcome, StorageError> {
+        Ok(CheckpointOutcome::Skipped)
     }
 }
 
@@ -325,59 +410,331 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, DecodeError> {
     Ok(WalRecord { seq, epoch, programs })
 }
 
-// ----- checkpoint encode/decode --------------------------------------
+// ----- checkpoint chain encode/decode --------------------------------
 
-/// A decoded checkpoint: the durable full state as of transaction
-/// `seq`.
+/// Whether a chain generation carries the whole base or only the
+/// shards dirtied since the previous generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenerationKind {
+    /// A complete [`ruvo_obase::snapshot`] of the base.
+    Full,
+    /// A [shard delta](ruvo_obase::snapshot::write_delta) on top of
+    /// the previous generation.
+    Delta,
+}
+
+impl fmt::Display for GenerationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GenerationKind::Full => "full",
+            GenerationKind::Delta => "delta",
+        })
+    }
+}
+
+/// One generation of the checkpoint chain, as stored on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenerationInfo {
+    /// Full base or shard delta.
+    pub kind: GenerationKind,
+    /// Transactions folded into the chain up to this generation.
+    pub seq: u64,
+    /// Append epoch at generation write time.
+    pub epoch: u64,
+    /// Payload bytes on disk (generation header + body, excluding the
+    /// frame length/checksum overhead).
+    pub bytes: u64,
+    /// Version-table shards this generation carries
+    /// ([`SHARD_COUNT`] for a full generation).
+    pub dirty_shards: u32,
+}
+
+/// A decoded checkpoint chain: the durable state as of transaction
+/// `seq`, assembled from one full generation plus any deltas.
 #[derive(Clone, Debug)]
 pub struct Checkpoint {
     /// Transactions folded into this state.
     pub seq: u64,
     /// Append epoch at checkpoint time.
     pub epoch: u64,
-    /// The state itself.
+    /// The assembled state.
     pub base: ObjectBase,
+    /// The generations the state was assembled from, oldest first.
+    pub generations: Vec<GenerationInfo>,
+    /// Torn trailing bytes dropped from the chain file — a crash hit
+    /// mid-way through a delta append. Safe to drop: the WAL is only
+    /// truncated *after* a delta is durable, so the log still covers
+    /// the lost suffix (verified by [`read_state`]).
+    pub torn_bytes: u64,
 }
 
-fn encode_checkpoint(seq: u64, epoch: u64, base: &ObjectBase) -> Vec<u8> {
-    let snap = snapshot::write(base);
-    let mut out = Vec::with_capacity(snap.len() + 48);
+const GEN_FULL: u8 = 0;
+const GEN_DELTA: u8 = 1;
+/// kind byte + seq + epoch.
+const GEN_HEADER_LEN: usize = 17;
+
+fn encode_generation(kind: GenerationKind, seq: u64, epoch: u64, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(GEN_HEADER_LEN + body.len());
+    payload.push(match kind {
+        GenerationKind::Full => GEN_FULL,
+        GenerationKind::Delta => GEN_DELTA,
+    });
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&epoch.to_le_bytes());
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// A whole chain file holding exactly one full generation.
+fn encode_chain_file(seq: u64, epoch: u64, snapshot_body: &[u8]) -> Vec<u8> {
+    let payload = encode_generation(GenerationKind::Full, seq, epoch, snapshot_body);
+    let mut out = Vec::with_capacity(CKPT_HEADER_LEN as usize + payload.len() + 16);
     out.extend_from_slice(CKPT_MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&seq.to_le_bytes());
-    out.extend_from_slice(&epoch.to_le_bytes());
-    out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
-    out.extend_from_slice(&snap);
-    let sum = codec::checksum(&out);
-    out.extend_from_slice(&sum.to_le_bytes());
+    out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    codec::append_frame(&mut out, &payload);
     out
 }
 
-fn decode_checkpoint(data: &[u8]) -> Result<Checkpoint, DecodeError> {
-    if data.len() < 8 + 2 + 8 {
-        return Err(DecodeError::Truncated);
+/// Decode a chain file into the assembled state plus per-generation
+/// metadata. `workers > 1` parallelizes the full-generation snapshot
+/// decode across the version-table shards.
+fn decode_chain(data: &[u8], path: &Path, workers: usize) -> Result<Checkpoint, StorageError> {
+    let decode_err = |error| StorageError::Decode { path: path.display().to_string(), error };
+    let gen_err = |generation, error| StorageError::CorruptGeneration {
+        path: path.display().to_string(),
+        generation,
+        error,
+    };
+    if data.len() < CKPT_HEADER_LEN as usize {
+        return Err(decode_err(DecodeError::Truncated));
     }
-    let (payload, sum_bytes) = data.split_at(data.len() - 8);
-    let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
-    if codec::checksum(payload) != stored {
-        return Err(DecodeError::ChecksumMismatch);
+    if &data[..8] != CKPT_MAGIC {
+        return Err(decode_err(DecodeError::BadMagic));
     }
-    let mut r = Reader::new(payload);
-    if r.bytes(8)? != CKPT_MAGIC {
-        return Err(DecodeError::BadMagic);
+    let version = u16::from_le_bytes(data[8..10].try_into().expect("2 bytes"));
+    if version != CKPT_VERSION {
+        return Err(decode_err(DecodeError::BadVersion(version)));
     }
-    let version = r.u16()?;
-    if version != FORMAT_VERSION {
-        return Err(DecodeError::BadVersion(version));
+
+    let body = &data[CKPT_HEADER_LEN as usize..];
+    let mut frames = codec::Frames::new(body);
+    let mut base: Option<ObjectBase> = None;
+    let mut generations: Vec<GenerationInfo> = Vec::new();
+    let mut torn_bytes = 0u64;
+    loop {
+        let k = generations.len() as u64;
+        match frames.next() {
+            Some(Ok(payload)) => {
+                let mut r = Reader::new(payload);
+                let kind = r.u8().map_err(|e| gen_err(k, e))?;
+                let seq = r.u64().map_err(|e| gen_err(k, e))?;
+                let epoch = r.u64().map_err(|e| gen_err(k, e))?;
+                let gen_body = r.bytes(r.remaining()).expect("remaining bytes");
+                let prev = generations.last().copied();
+                if let Some(p) = prev {
+                    if seq < p.seq {
+                        return Err(gen_err(k, DecodeError::Corrupt("generation seq regressed")));
+                    }
+                }
+                let dirty_shards = match (kind, &mut base) {
+                    (GEN_FULL, None) => {
+                        base = Some(
+                            snapshot::read_with_workers(gen_body, workers)
+                                .map_err(|e| gen_err(k, e))?,
+                        );
+                        SHARD_COUNT as u32
+                    }
+                    (GEN_FULL, Some(_)) => {
+                        // The writer only produces a full generation as
+                        // frame 0 (compaction replaces the whole file).
+                        return Err(gen_err(k, DecodeError::Corrupt("full generation mid-chain")));
+                    }
+                    (GEN_DELTA, Some(ob)) => {
+                        let info =
+                            snapshot::apply_delta(ob, gen_body).map_err(|e| gen_err(k, e))?;
+                        let p = prev.expect("base implies a previous generation");
+                        if info.base_seq != p.seq {
+                            return Err(gen_err(
+                                k,
+                                DecodeError::Corrupt("delta base-seq does not match the chain"),
+                            ));
+                        }
+                        info.dirty_shards() as u32
+                    }
+                    (GEN_DELTA, None) => {
+                        return Err(gen_err(k, DecodeError::Corrupt("chain starts with a delta")));
+                    }
+                    _ => return Err(gen_err(k, DecodeError::Corrupt("generation kind tag"))),
+                };
+                generations.push(GenerationInfo {
+                    kind: if kind == GEN_FULL {
+                        GenerationKind::Full
+                    } else {
+                        GenerationKind::Delta
+                    },
+                    seq,
+                    epoch,
+                    bytes: payload.len() as u64,
+                    dirty_shards,
+                });
+            }
+            // An incomplete trailing frame is a torn delta append: the
+            // crash preceded WAL truncation, so the log still covers
+            // it — drop the tail. Generation 0 is written atomically
+            // (tmp + rename) and can only be short via rot: fail.
+            Some(Err(DecodeError::Truncated)) if !generations.is_empty() => {
+                torn_bytes = (body.len() - frames.good_offset()) as u64;
+                break;
+            }
+            // A *complete* frame that fails its checksum is bit rot of
+            // already-durable data: fail closed, naming the culprit.
+            Some(Err(error)) => return Err(gen_err(k, error)),
+            None => break,
+        }
     }
-    let seq = r.u64()?;
-    let epoch = r.u64()?;
-    let len = r.u64()? as usize;
-    let base = snapshot::read(r.bytes(len)?)?;
-    if !r.is_empty() {
-        return Err(DecodeError::Corrupt("trailing checkpoint bytes"));
+    let Some(base) = base else {
+        return Err(gen_err(0, DecodeError::Truncated));
+    };
+    let last = generations.last().expect("base implies a generation");
+    Ok(Checkpoint { seq: last.seq, epoch: last.epoch, base, generations, torn_bytes })
+}
+
+// ----- split-phase checkpoints ---------------------------------------
+
+/// How [`DurabilitySink::plan_checkpoint`] chooses the generation
+/// kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Delta when possible, full when required (no chain yet, unknown
+    /// dirty state, or compaction due per [`CheckpointPolicy`]).
+    Auto,
+    /// Always write a fresh full generation, compacting the chain.
+    ForceFull,
+}
+
+#[derive(Clone, Debug)]
+enum PlannedKind {
+    Full,
+    Delta {
+        dirty: [bool; SHARD_COUNT],
+        base_seq: u64,
+        /// The state the chain's tip generation holds (an O(shards)
+        /// structural-sharing clone) — the diff base for the delta's
+        /// removed-vid lists. See [`snapshot::write_delta`]. Boxed so
+        /// a `Full` plan is not sized for the delta machinery.
+        prev: Box<ObjectBase>,
+    },
+}
+
+/// What the next checkpoint will persist: captured under the writer
+/// lock in O(shards), encoded anywhere (a background thread, say)
+/// against the matching base snapshot, installed back under the lock.
+#[derive(Clone, Debug)]
+pub struct CheckpointPlan {
+    kind: PlannedKind,
+    seq: u64,
+    epoch: u64,
+    /// Version-table shard generations of the planned state; becomes
+    /// the store's dirty-tracking reference once installed.
+    gens: [u64; SHARD_COUNT],
+}
+
+impl CheckpointPlan {
+    /// True when the plan writes a full generation.
+    pub fn is_full(&self) -> bool {
+        matches!(self.kind, PlannedKind::Full)
     }
-    Ok(Checkpoint { seq, epoch, base })
+
+    /// Shards the plan persists ([`SHARD_COUNT`] for a full plan).
+    pub fn dirty_shards(&self) -> u32 {
+        match &self.kind {
+            PlannedKind::Full => SHARD_COUNT as u32,
+            PlannedKind::Delta { dirty, .. } => dirty.iter().filter(|d| **d).count() as u32,
+        }
+    }
+
+    /// Transactions the planned generation folds in.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// The CPU-heavy product of [`encode_checkpoint_plan`], ready for
+/// [`DurabilitySink::install_checkpoint`].
+#[derive(Clone, Debug)]
+pub struct EncodedCheckpoint {
+    plan: CheckpointPlan,
+    body: ruvo_obase::Bytes,
+    /// The encoded state itself (an O(shards) clone of the base the
+    /// plan was taken against): once installed it becomes the store's
+    /// diff reference for the *next* delta.
+    state: ObjectBase,
+}
+
+impl EncodedCheckpoint {
+    /// The plan this encoding realizes.
+    pub fn plan(&self) -> &CheckpointPlan {
+        &self.plan
+    }
+}
+
+/// Drop a value off the caller's critical path, on a detached thread.
+///
+/// A superseded diff-reference base can share little or nothing with
+/// the live state (the commit path extracts fresh bases), so its
+/// deallocation is O(facts) — tens of milliseconds at memory-resident
+/// sizes, which would otherwise land on every synchronous delta
+/// checkpoint. If the thread cannot be spawned the value is simply
+/// dropped inline.
+fn retire<T: Send + 'static>(value: T) {
+    let _ = std::thread::Builder::new().name("ruvo-retire".into()).spawn(move || drop(value));
+}
+
+/// Encode a planned generation's body — pure CPU, no store access, so
+/// it can run on a background thread while the writer keeps
+/// committing. `base` must be the same state (an `Arc`-cheap clone of
+/// it) that the plan was taken against.
+pub fn encode_checkpoint_plan(plan: &CheckpointPlan, base: &ObjectBase) -> EncodedCheckpoint {
+    let body = match &plan.kind {
+        PlannedKind::Full => snapshot::write(base),
+        PlannedKind::Delta { dirty, base_seq, prev } => {
+            snapshot::write_delta(base, prev, dirty, *base_seq)
+        }
+    };
+    EncodedCheckpoint { plan: plan.clone(), body, state: base.clone() }
+}
+
+/// What a checkpoint attempt actually wrote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointOutcome {
+    /// A full generation replaced the chain.
+    Full {
+        /// Payload bytes written.
+        bytes: u64,
+    },
+    /// A delta generation was appended to the chain.
+    Delta {
+        /// Payload bytes written.
+        bytes: u64,
+        /// Shards the delta carries.
+        dirty_shards: u32,
+    },
+    /// Nothing was written: the sink is volatile, the base was
+    /// entirely clean, or the chain advanced past the plan before it
+    /// could be installed.
+    Skipped,
+}
+
+impl fmt::Display for CheckpointOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointOutcome::Full { bytes } => write!(f, "full checkpoint ({bytes} bytes)"),
+            CheckpointOutcome::Delta { bytes, dirty_shards } => {
+                write!(f, "delta checkpoint ({bytes} bytes, {dirty_shards} dirty shard(s))")
+            }
+            CheckpointOutcome::Skipped => write!(f, "checkpoint skipped (nothing to write)"),
+        }
+    }
 }
 
 // ----- reading a data directory --------------------------------------
@@ -415,21 +772,27 @@ pub struct StoreState {
 }
 
 /// Read (without modifying) the durable state under `dir`: the
-/// checkpoint, the valid WAL tail, and what will be dropped. This is
-/// what `ruvo recover` prints and what [`WalStore::open`] builds on.
+/// checkpoint chain, the valid WAL tail, and what will be dropped.
+/// This is what `ruvo recover` prints and what [`WalStore::open`]
+/// builds on.
 ///
-/// A corrupt *checkpoint* is a hard error — it is the recovery base
-/// and cannot be partially trusted. A corrupt WAL *tail* is expected
-/// after a crash and reported, not failed.
+/// A corrupt *generation* in the chain is a hard error — it is part
+/// of the recovery base and cannot be partially trusted. A torn chain
+/// *tail* (crash during a delta append) is dropped, but only if the
+/// WAL still covers the suffix. A torn WAL tail is expected after a
+/// crash and reported, not failed.
 pub fn read_state(dir: &Path) -> Result<StoreState, StorageError> {
+    read_state_with_workers(dir, 1)
+}
+
+/// [`read_state`], decoding the full base generation with up to
+/// `workers` threads (one per version-table shard).
+pub fn read_state_with_workers(dir: &Path, workers: usize) -> Result<StoreState, StorageError> {
     let ckpt_path = dir.join(CHECKPOINT_FILE);
     let checkpoint = if ckpt_path.exists() {
         let data =
             std::fs::read(&ckpt_path).map_err(|e| StorageError::io("read", &ckpt_path, e))?;
-        Some(decode_checkpoint(&data).map_err(|error| StorageError::Decode {
-            path: ckpt_path.display().to_string(),
-            error,
-        })?)
+        Some(decode_chain(&data, &ckpt_path, workers)?)
     } else {
         None
     };
@@ -505,6 +868,20 @@ pub fn read_state(dir: &Path) -> Result<StoreState, StorageError> {
             stats.wal_bytes = good_offset - WAL_HEADER_LEN;
         }
     }
+    // Replay must pick up exactly where the chain ends. A gap means a
+    // chain suffix was lost *after* the WAL stopped covering it (bit
+    // rot tearing an already-truncated-behind generation) — dropping
+    // the torn tail would silently resurrect an older state, so fail
+    // closed instead.
+    if let Some(c) = &checkpoint {
+        if records.first().is_some_and(|r| r.seq > c.seq) {
+            return Err(StorageError::CorruptGeneration {
+                path: ckpt_path.display().to_string(),
+                generation: c.generations.len() as u64,
+                error: DecodeError::Corrupt("log does not reach the end of the chain"),
+            });
+        }
+    }
     Ok(StoreState { checkpoint, records, stats, good_offset, wal_exists })
 }
 
@@ -530,13 +907,33 @@ impl Opened {
     }
 }
 
-/// The durable [`DurabilitySink`]: append-on-commit WAL plus
-/// checkpoints in a data directory. See the [module docs](self) for
-/// formats and the crash matrix.
+/// In-memory accounting of the on-disk checkpoint chain.
+#[derive(Clone, Debug)]
+struct ChainState {
+    /// Generations on disk, oldest first (index 0 is the full base).
+    gens: Vec<GenerationInfo>,
+    /// Payload bytes of the full base generation.
+    base_bytes: u64,
+    /// Payload bytes across the delta generations.
+    delta_bytes: u64,
+    /// Valid file length — the append offset for the next delta.
+    file_len: u64,
+}
+
+impl ChainState {
+    fn seq(&self) -> u64 {
+        self.gens.last().expect("chains are never empty").seq
+    }
+}
+
+/// The durable [`DurabilitySink`]: append-on-commit WAL plus an
+/// incremental checkpoint chain in a data directory. See the
+/// [module docs](self) for formats and the crash matrix.
 #[derive(Debug)]
 pub struct WalStore {
     dir: PathBuf,
     wal_path: PathBuf,
+    ckpt_path: PathBuf,
     wal: File,
     /// Next transaction sequence number (monotone across reopens).
     seq: u64,
@@ -552,21 +949,47 @@ pub struct WalStore {
     /// Set when a failed append could not be rolled back: the file
     /// tail is unknown, so further appends must refuse.
     wedged: bool,
+    /// The checkpoint chain on disk (`None`: no chain yet, or its
+    /// tail state became unknown after a failed delta append — either
+    /// way the next checkpoint is a full rewrite).
+    chain: Option<ChainState>,
+    /// Version-table shard generations of the base as of the chain's
+    /// last installed generation (`None`: unknown → next checkpoint
+    /// must be full).
+    last_ckpt_gens: Option<[u64; SHARD_COUNT]>,
+    /// The state of the chain's last installed generation itself (an
+    /// O(shards) structural-sharing clone): the diff base a delta's
+    /// removed-vid lists are computed against. `None` whenever
+    /// `last_ckpt_gens` is.
+    last_ckpt_base: Option<ObjectBase>,
 }
 
 impl WalStore {
     /// Open (or create) the store under `dir`, returning the decoded
     /// durable state to replay. A torn or corrupt WAL tail is dropped
     /// and truncated away so subsequent appends extend the valid
-    /// prefix.
+    /// prefix; likewise a torn checkpoint-chain tail (the WAL is
+    /// verified to cover it).
     pub fn open(
         dir: impl Into<PathBuf>,
         fsync: FsyncPolicy,
         policy: CheckpointPolicy,
     ) -> Result<Opened, StorageError> {
+        WalStore::open_with_workers(dir, fsync, policy, 1)
+    }
+
+    /// [`WalStore::open`], decoding the chain's full base generation
+    /// with up to `workers` threads so reopen time is driven by the
+    /// WAL tail, not base size.
+    pub fn open_with_workers(
+        dir: impl Into<PathBuf>,
+        fsync: FsyncPolicy,
+        policy: CheckpointPolicy,
+        workers: usize,
+    ) -> Result<Opened, StorageError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| StorageError::io("create", &dir, e))?;
-        let state = read_state(&dir)?;
+        let state = read_state_with_workers(&dir, workers)?;
 
         let wal_path = dir.join(WAL_FILE);
         let mut wal = OpenOptions::new()
@@ -594,6 +1017,36 @@ impl WalStore {
         }
         wal.seek(SeekFrom::End(0)).map_err(|e| StorageError::io("seek", &wal_path, e))?;
 
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let chain = match &state.checkpoint {
+            Some(c) => {
+                let base_bytes = c.generations[0].bytes;
+                let delta_bytes = c.generations[1..].iter().map(|g| g.bytes).sum();
+                let file_len = CKPT_HEADER_LEN
+                    + c.generations
+                        .iter()
+                        .map(|g| g.bytes + codec::FRAME_OVERHEAD as u64)
+                        .sum::<u64>();
+                if c.torn_bytes > 0 {
+                    // Cut the torn delta append away so the next delta
+                    // extends the valid prefix.
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(&ckpt_path)
+                        .map_err(|e| StorageError::io("open", &ckpt_path, e))?;
+                    f.set_len(file_len).map_err(|e| StorageError::io("truncate", &ckpt_path, e))?;
+                }
+                Some(ChainState { gens: c.generations.clone(), base_bytes, delta_bytes, file_len })
+            }
+            None => None,
+        };
+        // The decoded base's shard generations are the dirty-tracking
+        // reference: the caller replays the WAL tail onto this very
+        // base, so any shard the replay (or later commits) touches
+        // diverges from these values.
+        let last_ckpt_gens = state.checkpoint.as_ref().map(|c| c.base.version_generations());
+        let last_ckpt_base = state.checkpoint.as_ref().map(|c| c.base.clone());
+
         let ckpt_seq = state.checkpoint.as_ref().map_or(0, |c| c.seq);
         let ckpt_epoch = state.checkpoint.as_ref().map_or(0, |c| c.epoch);
         let seq = state
@@ -606,6 +1059,7 @@ impl WalStore {
         let store = WalStore {
             dir,
             wal_path,
+            ckpt_path,
             wal,
             seq,
             epoch,
@@ -615,6 +1069,9 @@ impl WalStore {
             fsync,
             policy,
             wedged: false,
+            chain,
+            last_ckpt_gens,
+            last_ckpt_base,
         };
         Ok(Opened {
             store,
@@ -644,6 +1101,12 @@ impl WalStore {
         self.wal_bytes
     }
 
+    /// Metadata of the on-disk checkpoint chain, oldest generation
+    /// first (empty when no chain exists yet).
+    pub fn chain_generations(&self) -> &[GenerationInfo] {
+        self.chain.as_ref().map_or(&[], |c| &c.gens)
+    }
+
     fn sync_wal(&mut self) -> Result<(), StorageError> {
         self.wal.sync_data().map_err(|e| StorageError::io("fsync", &self.wal_path, e))
     }
@@ -664,30 +1127,40 @@ impl WalStore {
         }
     }
 
-    fn write_checkpoint(&mut self, current: &ObjectBase) -> Result<(), StorageError> {
-        // Atomic replace: write + sync a temp file, rename over the
-        // final name, sync the directory. A crash at any point leaves
-        // either the old or the new checkpoint fully intact.
-        let bytes = encode_checkpoint(self.seq, self.epoch, current);
-        let final_path = self.dir.join(CHECKPOINT_FILE);
-        let tmp_path = self.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
-        {
-            let mut tmp =
-                File::create(&tmp_path).map_err(|e| StorageError::io("create", &tmp_path, e))?;
-            tmp.write_all(&bytes).map_err(|e| StorageError::io("write", &tmp_path, e))?;
-            tmp.sync_all().map_err(|e| StorageError::io("fsync", &tmp_path, e))?;
-        }
-        std::fs::rename(&tmp_path, &final_path)
-            .map_err(|e| StorageError::io("rename", &tmp_path, e))?;
-        // Persist the rename itself before touching the log: if the
-        // directory fsync cannot be confirmed, truncating would open
-        // a loss window (power failure could resurrect the *old*
-        // checkpoint next to an already-emptied WAL).
-        let d = File::open(&self.dir).map_err(|e| StorageError::io("open", &self.dir, e))?;
-        d.sync_all().map_err(|e| StorageError::io("fsync", &self.dir, e))?;
+    fn compaction_due(&self) -> bool {
+        let Some(c) = &self.chain else { return false };
+        let deltas = c.gens.len().saturating_sub(1) as u64;
+        deltas >= self.policy.max_delta_generations
+            || (c.delta_bytes as f64) > (c.base_bytes as f64) * self.policy.compact_fraction
+    }
 
-        // The new checkpoint is fully durable and covers everything
-        // in the log: truncate it.
+    fn plan(&self, current: &ObjectBase, mode: CheckpointMode) -> CheckpointPlan {
+        let gens = current.version_generations();
+        let kind = match (&self.chain, self.last_ckpt_gens, &self.last_ckpt_base) {
+            (Some(chain), Some(last), Some(prev))
+                if mode == CheckpointMode::Auto && !self.compaction_due() =>
+            {
+                let mut dirty = [false; SHARD_COUNT];
+                for (d, (a, b)) in dirty.iter_mut().zip(gens.iter().zip(last.iter())) {
+                    *d = a != b;
+                }
+                PlannedKind::Delta { dirty, base_seq: chain.seq(), prev: Box::new(prev.clone()) }
+            }
+            _ => PlannedKind::Full,
+        };
+        CheckpointPlan { kind, seq: self.seq, epoch: self.epoch, gens }
+    }
+
+    /// Truncate the WAL after a generation covering `plan_seq` became
+    /// durable — but only if nothing was appended since the plan was
+    /// taken: a background install races ongoing commits, and those
+    /// records are NOT covered by the generation. Recovery's stale
+    /// filter (`rec.seq < chain.seq`) makes the untruncated leftovers
+    /// harmless; the next checkpoint reclaims the space.
+    fn maybe_truncate_wal(&mut self, plan_seq: u64) -> Result<(), StorageError> {
+        if self.seq != plan_seq {
+            return Ok(());
+        }
         self.wal
             .set_len(WAL_HEADER_LEN)
             .map_err(|e| StorageError::io("truncate", &self.wal_path, e))?;
@@ -699,6 +1172,138 @@ impl WalStore {
         self.wal_bytes = 0;
         self.unsynced_appends = 0;
         Ok(())
+    }
+
+    fn install_full(&mut self, enc: EncodedCheckpoint) -> Result<CheckpointOutcome, StorageError> {
+        let EncodedCheckpoint { plan, body, state } = enc;
+        // Atomic replace: write + sync a temp file, rename over the
+        // final name, sync the directory. A crash at any point leaves
+        // either the old chain or the new checkpoint fully intact
+        // (the tmp file is ignored — and clobbered — by recovery).
+        let bytes = encode_chain_file(plan.seq, plan.epoch, &body);
+        let payload_len = (bytes.len() as u64) - CKPT_HEADER_LEN - codec::FRAME_OVERHEAD as u64;
+        let tmp_path = self.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        {
+            let mut tmp =
+                File::create(&tmp_path).map_err(|e| StorageError::io("create", &tmp_path, e))?;
+            tmp.write_all(&bytes).map_err(|e| StorageError::io("write", &tmp_path, e))?;
+            tmp.sync_all().map_err(|e| StorageError::io("fsync", &tmp_path, e))?;
+        }
+        std::fs::rename(&tmp_path, &self.ckpt_path)
+            .map_err(|e| StorageError::io("rename", &tmp_path, e))?;
+        // Persist the rename itself before touching the log: if the
+        // directory fsync cannot be confirmed, truncating would open
+        // a loss window (power failure could resurrect the *old*
+        // chain next to an already-emptied WAL).
+        let d = File::open(&self.dir).map_err(|e| StorageError::io("open", &self.dir, e))?;
+        d.sync_all().map_err(|e| StorageError::io("fsync", &self.dir, e))?;
+
+        self.chain = Some(ChainState {
+            gens: vec![GenerationInfo {
+                kind: GenerationKind::Full,
+                seq: plan.seq,
+                epoch: plan.epoch,
+                bytes: payload_len,
+                dirty_shards: SHARD_COUNT as u32,
+            }],
+            base_bytes: payload_len,
+            delta_bytes: 0,
+            file_len: bytes.len() as u64,
+        });
+        let seq = plan.seq;
+        self.last_ckpt_gens = Some(plan.gens);
+        retire((self.last_ckpt_base.replace(state), plan));
+        self.maybe_truncate_wal(seq)?;
+        Ok(CheckpointOutcome::Full { bytes: payload_len })
+    }
+
+    fn install_delta(
+        &mut self,
+        enc: EncodedCheckpoint,
+        dirty_shards: u32,
+    ) -> Result<CheckpointOutcome, StorageError> {
+        let EncodedCheckpoint { plan, body, state } = enc;
+        let payload = encode_generation(GenerationKind::Delta, plan.seq, plan.epoch, &body);
+        let mut frame = Vec::with_capacity(payload.len() + codec::FRAME_OVERHEAD);
+        codec::append_frame(&mut frame, &payload);
+
+        let chain = self.chain.as_ref().expect("install_delta requires a chain");
+        let file_len = chain.file_len;
+        let append = (|| -> std::io::Result<()> {
+            let mut f = OpenOptions::new().write(true).open(&self.ckpt_path)?;
+            // Seek to the *known-valid* length rather than the end:
+            // if an earlier failed append left garbage, overwrite it.
+            f.seek(SeekFrom::Start(file_len))?;
+            f.write_all(&frame)?;
+            f.set_len(file_len + frame.len() as u64)?;
+            f.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = append {
+            // The chain tail is now unknown (a partial frame may or
+            // may not be on disk). Recovery handles it as a torn tail;
+            // in-process, forget the chain so the next checkpoint is
+            // a full atomic rewrite, which heals everything.
+            self.chain = None;
+            self.last_ckpt_gens = None;
+            retire((self.last_ckpt_base.take(), plan, state));
+            return Err(StorageError::io("append", &self.ckpt_path, e));
+        }
+
+        let chain = self.chain.as_mut().expect("checked above");
+        chain.gens.push(GenerationInfo {
+            kind: GenerationKind::Delta,
+            seq: plan.seq,
+            epoch: plan.epoch,
+            bytes: payload.len() as u64,
+            dirty_shards,
+        });
+        chain.delta_bytes += payload.len() as u64;
+        chain.file_len += frame.len() as u64;
+        let seq = plan.seq;
+        self.last_ckpt_gens = Some(plan.gens);
+        retire((self.last_ckpt_base.replace(state), plan));
+        self.maybe_truncate_wal(seq)?;
+        Ok(CheckpointOutcome::Delta { bytes: payload.len() as u64, dirty_shards })
+    }
+
+    fn install(&mut self, enc: EncodedCheckpoint) -> Result<CheckpointOutcome, StorageError> {
+        match &enc.plan.kind {
+            PlannedKind::Full => self.install_full(enc),
+            PlannedKind::Delta { dirty, base_seq, .. } => {
+                match &self.chain {
+                    // Another checkpoint moved the chain while this one
+                    // was encoding: the delta no longer stacks. The
+                    // competing generation covers at least as much.
+                    Some(c) if c.seq() != *base_seq => Ok(CheckpointOutcome::Skipped),
+                    None => Ok(CheckpointOutcome::Skipped),
+                    Some(c) => {
+                        let dirty_shards = dirty.iter().filter(|d| **d).count() as u32;
+                        if dirty_shards == 0 && enc.plan.seq == c.seq() {
+                            // Nothing changed since the last generation
+                            // at all — don't grow the chain.
+                            self.maybe_truncate_wal(enc.plan.seq)?;
+                            return Ok(CheckpointOutcome::Skipped);
+                        }
+                        self.install_delta(enc, dirty_shards)
+                    }
+                }
+            }
+        }
+    }
+
+    fn write_checkpoint(
+        &mut self,
+        current: &ObjectBase,
+    ) -> Result<CheckpointOutcome, StorageError> {
+        let plan = self.plan(current, CheckpointMode::Auto);
+        let enc = encode_checkpoint_plan(&plan, current);
+        let r = self.install(enc);
+        // The plan holds a reference to the previous diff base; if the
+        // install retired the store's own reference, this one is the
+        // last — don't pay its O(facts) drop here.
+        retire(plan);
+        r
     }
 }
 
@@ -759,14 +1364,33 @@ impl DurabilitySink for WalStore {
     fn rewind(&mut self, current: &ObjectBase) -> Result<(), StorageError> {
         // The in-memory state moved backwards (rollback): logged
         // suffixes are dead. Re-base the durable image on a fresh
-        // checkpoint of the rolled-back state; seq stays monotone so
-        // any stale records still fail the `seq >= checkpoint.seq`
-        // replay filter.
+        // generation of the rolled-back state; seq stays monotone so
+        // any stale records still fail the `seq >= chain.seq` replay
+        // filter. A delta is sound here too: the rolled-back state
+        // and the last generation sit on one linear history, so equal
+        // shard generations still imply equal contents — and the
+        // install resets the dirty-tracking reference to the
+        // rolled-back state.
+        self.write_checkpoint(current).map(|_| ())
+    }
+
+    fn checkpoint(&mut self, current: &ObjectBase) -> Result<CheckpointOutcome, StorageError> {
         self.write_checkpoint(current)
     }
 
-    fn checkpoint(&mut self, current: &ObjectBase) -> Result<(), StorageError> {
-        self.write_checkpoint(current)
+    fn plan_checkpoint(
+        &mut self,
+        current: &ObjectBase,
+        mode: CheckpointMode,
+    ) -> Option<CheckpointPlan> {
+        Some(self.plan(current, mode))
+    }
+
+    fn install_checkpoint(
+        &mut self,
+        encoded: EncodedCheckpoint,
+    ) -> Result<CheckpointOutcome, StorageError> {
+        self.install(encoded)
     }
 }
 
@@ -817,34 +1441,41 @@ mod tests {
     #[test]
     fn checkpoint_roundtrip_and_corruption() {
         let ob = base(20);
-        let bytes = encode_checkpoint(5, 2, &ob);
-        let ckpt = decode_checkpoint(&bytes).unwrap();
+        let bytes = encode_chain_file(5, 2, &snapshot::write(&ob));
+        let path = Path::new("test-chain");
+        let ckpt = decode_chain(&bytes, path, 1).unwrap();
         assert_eq!((ckpt.seq, ckpt.epoch), (5, 2));
         assert_eq!(ckpt.base, ob);
+        assert_eq!(ckpt.generations.len(), 1);
+        assert_eq!(ckpt.generations[0].kind, GenerationKind::Full);
+        assert_eq!(ckpt.generations[0].dirty_shards, SHARD_COUNT as u32);
+        assert_eq!(ckpt.torn_bytes, 0);
 
+        // A single-generation chain is written atomically: any damage
+        // to it — cuts or flips — is a hard error, never "torn".
         for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
-            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(decode_chain(&bytes[..cut], path, 1).is_err(), "cut at {cut}");
         }
         for byte in (0..bytes.len()).step_by(7) {
             let mut damaged = bytes.clone();
             damaged[byte] ^= 0x10;
-            assert!(decode_checkpoint(&damaged).is_err(), "flip at {byte}");
+            assert!(decode_chain(&damaged, path, 1).is_err(), "flip at {byte}");
         }
     }
 
     #[test]
     fn future_versions_are_rejected_with_a_clear_message() {
-        // Checkpoint from "ruvo v9".
-        let ob = base(3);
-        let mut bytes = encode_checkpoint(0, 0, &ob)[..0].to_vec();
-        bytes.extend_from_slice(CKPT_MAGIC);
+        // Chain file from "ruvo v9".
+        let mut bytes = CKPT_MAGIC.to_vec();
         bytes.extend_from_slice(&9u16.to_le_bytes());
         bytes.extend_from_slice(&[0; 24]);
-        let sum = codec::checksum(&bytes);
-        bytes.extend_from_slice(&sum.to_le_bytes());
-        let err = decode_checkpoint(&bytes).unwrap_err();
-        assert_eq!(err, DecodeError::BadVersion(9));
-        assert!(err.to_string().contains("newer ruvo"), "got: {err}");
+        match decode_chain(&bytes, Path::new("x"), 1).unwrap_err() {
+            StorageError::Decode { error, .. } => {
+                assert_eq!(error, DecodeError::BadVersion(9));
+                assert!(error.to_string().contains("newer ruvo"), "got: {error}");
+            }
+            other => panic!("expected Decode, got {other:?}"),
+        }
 
         // WAL header from "ruvo v9".
         let dir = tmp_dir("future-wal");
@@ -1023,7 +1654,7 @@ mod tests {
         let mut opened = WalStore::open(
             &dir,
             FsyncPolicy::Always,
-            CheckpointPolicy { max_wal_records: 2, max_wal_bytes: u64::MAX },
+            CheckpointPolicy { max_wal_records: 2, ..CheckpointPolicy::never() },
         )
         .unwrap();
         let ob = base(10);
@@ -1111,5 +1742,365 @@ mod tests {
         opened.store.append_batch(&[], &base(1)).unwrap();
         assert_eq!(opened.store.wal_records(), 0);
         assert_eq!(opened.store.seq(), 0);
+    }
+
+    // ----- chain-specific coverage -----------------------------------
+
+    /// Add `n` fresh facts to an *evolving* base (the sink contract:
+    /// every call sees the same linear history, so dirty tracking via
+    /// shard generations is meaningful).
+    fn grow(ob: &mut ObjectBase, tag: &str, n: i64) {
+        for i in 0..n {
+            ob.insert(
+                ruvo_term::Vid::object(oid(&format!("{tag}{i}"))),
+                sym("m"),
+                ruvo_obase::Args::empty(),
+                int(i),
+            );
+        }
+    }
+
+    #[test]
+    fn delta_checkpoints_stack_and_recover_bit_identical() {
+        let dir = tmp_dir("chain-stack");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 40);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        assert_eq!(
+            opened.store.checkpoint(&ob).unwrap(),
+            CheckpointOutcome::Full { bytes: opened.store.chain_generations()[0].bytes }
+        );
+
+        grow(&mut ob, "b", 1);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        match opened.store.checkpoint(&ob).unwrap() {
+            CheckpointOutcome::Delta { dirty_shards, .. } => {
+                assert!(dirty_shards >= 1 && dirty_shards < SHARD_COUNT as u32)
+            }
+            other => panic!("expected a delta, got {other:?}"),
+        }
+        grow(&mut ob, "c", 3);
+        opened.store.append_batch(&[prog("p3.")], &ob).unwrap();
+        assert!(matches!(opened.store.checkpoint(&ob).unwrap(), CheckpointOutcome::Delta { .. }));
+        let kinds: Vec<_> = opened.store.chain_generations().iter().map(|g| g.kind).collect();
+        assert_eq!(kinds, [GenerationKind::Full, GenerationKind::Delta, GenerationKind::Delta]);
+        drop(opened);
+
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let ckpt = reopened.checkpoint.expect("chain present");
+        assert_eq!(ckpt.generations.len(), 3);
+        assert_eq!(ckpt.seq, 3);
+        assert_eq!(ckpt.base, ob);
+        // Bit-identical, not just logically equal.
+        assert_eq!(snapshot::write(&ckpt.base), snapshot::write(&ob));
+        assert!(reopened.records.is_empty(), "each delta truncated the wal");
+    }
+
+    #[test]
+    fn unchanged_base_checkpoints_are_skipped_not_appended() {
+        let dir = tmp_dir("chain-noop");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 8);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        assert_eq!(opened.store.checkpoint(&ob).unwrap(), CheckpointOutcome::Skipped);
+        assert_eq!(opened.store.chain_generations().len(), 1, "no zero-dirty deltas");
+    }
+
+    #[test]
+    fn torn_delta_tail_is_dropped_when_the_wal_covers_it() {
+        let dir = tmp_dir("chain-torn");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        let full_len = std::fs::metadata(dir.join(CHECKPOINT_FILE)).unwrap().len();
+
+        grow(&mut ob, "b", 2);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        let wal_before = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        drop(opened);
+
+        // Crash mid-way through the delta append: half the frame is on
+        // disk, and the WAL truncation never happened.
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let torn_len = std::fs::metadata(&ckpt_path).unwrap().len();
+        let cut = full_len + (torn_len - full_len) / 2;
+        let mut data = std::fs::read(&ckpt_path).unwrap();
+        data.truncate(cut as usize);
+        std::fs::write(&ckpt_path, &data).unwrap();
+        std::fs::write(dir.join(WAL_FILE), &wal_before).unwrap();
+
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let ckpt = reopened.checkpoint.expect("full generation survives");
+        assert_eq!(ckpt.generations.len(), 1, "torn delta dropped");
+        assert_eq!(ckpt.seq, 1);
+        assert!(ckpt.torn_bytes > 0);
+        assert_eq!(reopened.records.len(), 1, "the wal still covers the dropped delta");
+        assert_eq!(reopened.records[0].seq, 1);
+        assert_eq!(
+            std::fs::metadata(&ckpt_path).unwrap().len(),
+            full_len,
+            "torn tail truncated on open"
+        );
+
+        // And the next delta stacks cleanly on the truncated chain.
+        let mut store = reopened.store;
+        store.checkpoint(&ob).unwrap();
+        drop(store);
+        let third = WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(third.checkpoint.expect("chain readable").base, ob);
+    }
+
+    #[test]
+    fn torn_chain_tail_without_wal_coverage_fails_closed() {
+        // Bit rot tearing a generation the WAL no longer covers must
+        // NOT silently resurrect the older state.
+        let dir = tmp_dir("chain-rot-tail");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        let full_len = std::fs::metadata(dir.join(CHECKPOINT_FILE)).unwrap().len();
+        grow(&mut ob, "b", 2);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap(); // delta durable, WAL truncated
+        opened.store.append_batch(&[prog("p3.")], &ob).unwrap(); // seq 2
+        drop(opened);
+
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let torn_len = std::fs::metadata(&ckpt_path).unwrap().len();
+        let mut data = std::fs::read(&ckpt_path).unwrap();
+        data.truncate((full_len + (torn_len - full_len) / 2) as usize);
+        std::fs::write(&ckpt_path, &data).unwrap();
+
+        match read_state(&dir) {
+            Err(StorageError::CorruptGeneration { .. }) => {}
+            other => panic!("expected CorruptGeneration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_middle_generation_fails_closed_naming_it() {
+        let dir = tmp_dir("chain-middle");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        grow(&mut ob, "b", 2);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        grow(&mut ob, "c", 2);
+        opened.store.append_batch(&[prog("p3.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        let gens: Vec<u64> = opened.store.chain_generations().iter().map(|g| g.bytes).collect();
+        assert_eq!(gens.len(), 3);
+        drop(opened);
+
+        // Flip a byte inside generation #1 (the first delta).
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let mut data = std::fs::read(&ckpt_path).unwrap();
+        let gen1_payload = CKPT_HEADER_LEN as usize
+            + codec::FRAME_OVERHEAD
+            + gens[0] as usize
+            + 4 // into gen 1, past its frame length prefix
+            + 3;
+        data[gen1_payload] ^= 0x40;
+        std::fs::write(&ckpt_path, &data).unwrap();
+
+        match read_state(&dir) {
+            Err(StorageError::CorruptGeneration { generation, .. }) => {
+                assert_eq!(generation, 1);
+            }
+            other => panic!("expected CorruptGeneration #1, got {other:?}"),
+        }
+        let msg = read_state(&dir).unwrap_err().to_string();
+        assert!(msg.contains("generation #1"), "got: {msg}");
+    }
+
+    #[test]
+    fn compaction_rewrites_the_chain_into_a_full_generation() {
+        let dir = tmp_dir("chain-compact");
+        let policy = CheckpointPolicy { max_delta_generations: 2, ..CheckpointPolicy::never() };
+        let mut opened = WalStore::open(&dir, FsyncPolicy::Always, policy).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        for tag in ["b", "c"] {
+            grow(&mut ob, tag, 2);
+            opened.store.append_batch(&[prog("p.")], &ob).unwrap();
+            assert!(matches!(
+                opened.store.checkpoint(&ob).unwrap(),
+                CheckpointOutcome::Delta { .. }
+            ));
+        }
+        // Two deltas hit the cap: the next checkpoint compacts.
+        grow(&mut ob, "d", 2);
+        opened.store.append_batch(&[prog("p.")], &ob).unwrap();
+        assert!(matches!(opened.store.checkpoint(&ob).unwrap(), CheckpointOutcome::Full { .. }));
+        assert_eq!(opened.store.chain_generations().len(), 1);
+        drop(opened);
+
+        let reopened = WalStore::open(&dir, FsyncPolicy::Always, policy).unwrap();
+        let ckpt = reopened.checkpoint.expect("compacted chain");
+        assert_eq!(ckpt.generations.len(), 1);
+        assert_eq!(ckpt.base, ob);
+    }
+
+    #[test]
+    fn compaction_byte_threshold_forces_a_full_rewrite() {
+        let dir = tmp_dir("chain-compact-bytes");
+        // Any delta at all exceeds 0.0 × base bytes.
+        let policy = CheckpointPolicy { compact_fraction: 0.0, ..CheckpointPolicy::never() };
+        let mut opened = WalStore::open(&dir, FsyncPolicy::Always, policy).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        grow(&mut ob, "b", 1);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        assert!(matches!(opened.store.checkpoint(&ob).unwrap(), CheckpointOutcome::Delta { .. }));
+        grow(&mut ob, "c", 1);
+        opened.store.append_batch(&[prog("p3.")], &ob).unwrap();
+        assert!(matches!(opened.store.checkpoint(&ob).unwrap(), CheckpointOutcome::Full { .. }));
+    }
+
+    #[test]
+    fn split_phase_install_skips_truncation_when_commits_raced_it() {
+        let dir = tmp_dir("chain-split");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+
+        grow(&mut ob, "b", 2);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        let plan =
+            opened.store.plan_checkpoint(&ob, CheckpointMode::Auto).expect("durable sink plans");
+        assert!(!plan.is_full());
+        // The writer's cheap head snapshot.
+        let planned_at = ob.clone();
+        // A commit lands while the encoder runs.
+        grow(&mut ob, "c", 2);
+        opened.store.append_batch(&[prog("p3.")], &ob).unwrap();
+        let enc = encode_checkpoint_plan(&plan, &planned_at);
+        assert!(matches!(
+            opened.store.install_checkpoint(enc).unwrap(),
+            CheckpointOutcome::Delta { .. }
+        ));
+        assert!(opened.store.wal_records() > 0, "raced wal must not be truncated");
+        drop(opened);
+
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let ckpt = reopened.checkpoint.expect("chain present");
+        assert_eq!(ckpt.seq, 2, "delta covers the planned prefix");
+        assert_eq!(ckpt.base, planned_at);
+        assert_eq!(reopened.stats.skipped_records, 1, "the chain-covered record is skipped");
+        assert_eq!(reopened.records.len(), 1, "the raced commit replays");
+        assert_eq!(reopened.records[0].seq, 2, "records carry their pre-batch seq");
+    }
+
+    #[test]
+    fn stale_delta_install_after_the_chain_moved_is_skipped() {
+        let dir = tmp_dir("chain-stale-install");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+
+        grow(&mut ob, "b", 2);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        let plan = opened.store.plan_checkpoint(&ob, CheckpointMode::Auto).unwrap();
+        let planned_at = ob.clone();
+        // A synchronous checkpoint lands before the install.
+        grow(&mut ob, "c", 2);
+        opened.store.append_batch(&[prog("p3.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        let gens_before = opened.store.chain_generations().len();
+        let enc = encode_checkpoint_plan(&plan, &planned_at);
+        assert_eq!(opened.store.install_checkpoint(enc).unwrap(), CheckpointOutcome::Skipped);
+        assert_eq!(opened.store.chain_generations().len(), gens_before);
+    }
+
+    #[test]
+    fn force_full_compacts_on_demand() {
+        let dir = tmp_dir("chain-force");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        grow(&mut ob, "b", 2);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        assert_eq!(opened.store.chain_generations().len(), 2);
+
+        let plan = opened.store.plan_checkpoint(&ob, CheckpointMode::ForceFull).unwrap();
+        assert!(plan.is_full());
+        let enc = encode_checkpoint_plan(&plan, &ob);
+        assert!(matches!(
+            opened.store.install_checkpoint(enc).unwrap(),
+            CheckpointOutcome::Full { .. }
+        ));
+        assert_eq!(opened.store.chain_generations().len(), 1);
+        drop(opened);
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(reopened.checkpoint.expect("compacted").base, ob);
+    }
+
+    #[test]
+    fn compaction_crash_leaves_old_chain_usable_and_tmp_ignored() {
+        let dir = tmp_dir("chain-tmp");
+        let mut opened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let mut ob = ObjectBase::new();
+        grow(&mut ob, "a", 20);
+        opened.store.append_batch(&[prog("p1.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        grow(&mut ob, "b", 2);
+        opened.store.append_batch(&[prog("p2.")], &ob).unwrap();
+        opened.store.checkpoint(&ob).unwrap();
+        drop(opened);
+
+        // Crash during compaction: the tmp file was written (possibly
+        // partially) but never renamed. The old chain must win.
+        std::fs::write(dir.join(format!("{CHECKPOINT_FILE}.tmp")), b"half a compaction").unwrap();
+        let reopened =
+            WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        let ckpt = reopened.checkpoint.expect("old chain intact");
+        assert_eq!(ckpt.generations.len(), 2);
+        assert_eq!(ckpt.base, ob);
+
+        // The next full checkpoint clobbers the leftover tmp file.
+        let mut store = reopened.store;
+        grow(&mut ob, "c", 2);
+        store.append_batch(&[prog("p3.")], &ob).unwrap();
+        let plan = store.plan_checkpoint(&ob, CheckpointMode::ForceFull).unwrap();
+        let enc = encode_checkpoint_plan(&plan, &ob);
+        store.install_checkpoint(enc).unwrap();
+        drop(store);
+        let third = WalStore::open(&dir, FsyncPolicy::Always, CheckpointPolicy::never()).unwrap();
+        assert_eq!(third.checkpoint.expect("fresh full chain").base, ob);
     }
 }

@@ -47,6 +47,9 @@ pub struct ParallelStats {
     pub scan_subtasks: usize,
     /// Seeded tasks that were split into per-shard sub-tasks.
     pub seed_splits: usize,
+    /// Full (unseeded) tasks — round-1 scans and unseedable fallbacks
+    /// — split into per-shard sub-tasks over the whole object set.
+    pub full_splits: usize,
     /// Pool jobs that bundled two or more scan units of one rule
     /// dependency component (see [`crate::deps::RuleDepGraph`]);
     /// singleton jobs are not counted.

@@ -133,6 +133,26 @@ pub fn base_shard(base: Const) -> usize {
     ShardKey::shard(&base)
 }
 
+/// The shard index a version routes to in the version table — the
+/// dirty-set unit of incremental checkpoints
+/// ([`ObjectBase::shard_facts_sorted`] /
+/// [`ObjectBase::version_generations`]). Distinct from [`base_shard`]:
+/// the version table routes by the full [`Vid`], not its base.
+pub fn vid_shard(vid: Vid) -> usize {
+    ShardKey::shard(&vid)
+}
+
+/// The deterministic fact order used by [`ObjectBase::facts_sorted`]
+/// and the binary snapshot/delta encodings.
+fn fact_cmp(a: &Fact, b: &Fact) -> std::cmp::Ordering {
+    (a.vid, a.method.as_str(), &a.args, a.result).cmp(&(
+        b.vid,
+        b.method.as_str(),
+        &b.args,
+        b.result,
+    ))
+}
+
 /// One net index mutation of a batch commit
 /// ([`ObjectBase::replace_versions_tracked_shared`]), bucketed by the
 /// `(chain, method)` shard route that `by_chain_method`, `by_result`
@@ -467,7 +487,7 @@ impl ObjectBase {
 
     /// Remove a whole version, unindexing its facts, without forcing
     /// the state out of its (possibly shared) allocation.
-    fn discard_version(&mut self, vid: Vid) -> Option<Arc<VersionState>> {
+    pub(crate) fn discard_version(&mut self, vid: Vid) -> Option<Arc<VersionState>> {
         let state = self.versions.remove(&vid)?;
         self.fact_count -= state.len();
         if state.contains(exists_sym(), &MethodApp::new(Args::empty(), vid.base())) {
@@ -552,7 +572,17 @@ impl ObjectBase {
     ) {
         let methods = match self.versions.get(&vid) {
             Some(old) if Arc::ptr_eq(old, &state) => return,
-            Some(old) => old.changed_methods(&state),
+            Some(old) => {
+                let diff = old.changed_methods(&state);
+                if diff.is_empty() {
+                    // Content-equal recommit under a fresh `Arc`: the
+                    // stored state already equals the new one, so keep
+                    // it — no re-indexing, nothing recorded, and (like
+                    // the pointer-equal case) no shard dirtied.
+                    return;
+                }
+                diff
+            }
             None => state.methods().collect(),
         };
         for method in methods {
@@ -631,6 +661,9 @@ impl ObjectBase {
                 Some(old) => old.changed_methods(new),
                 None => new.methods().collect(),
             };
+            if old_present && diff.is_empty() {
+                continue; // content-equal recommit: keep the stored state
+            }
             for &m in &diff {
                 changed.record(vid.chain(), m, vid.base());
             }
@@ -676,6 +709,13 @@ impl ObjectBase {
             }
         }
 
+        // `shard_slots_mut` bypasses the generation-tracked entry
+        // points, so record which slots the jobs below will actually
+        // write before the op buckets are moved into them.
+        let ver_dirty: Vec<bool> = ver_ops.iter().map(|ops| !ops.is_empty()).collect();
+        let rel_dirty: Vec<bool> = rel_ops.iter().map(|ops| !ops.is_empty()).collect();
+        let bas_dirty: Vec<bool> = base_ops.iter().map(|ops| !ops.is_empty()).collect();
+
         let mut jobs: Vec<CommitJob> = Vec::new();
         for ((_, slot), ops) in self.versions.shard_slots_mut().zip(ver_ops) {
             if !ops.is_empty() {
@@ -714,6 +754,19 @@ impl ObjectBase {
                 });
             }
         });
+        for i in 0..SHARD_COUNT {
+            if ver_dirty[i] {
+                self.versions.note_written(i);
+            }
+            if rel_dirty[i] {
+                self.by_chain_method.note_written(i);
+                self.by_result.map.note_written(i);
+                self.by_arg0.map.note_written(i);
+            }
+            if bas_dirty[i] {
+                self.by_base.note_written(i);
+            }
+        }
         self.fact_count = (self.fact_count as isize + fact_delta) as usize;
         self.prepared_versions = (self.prepared_versions as isize + prepared_delta) as usize;
     }
@@ -945,15 +998,92 @@ impl ObjectBase {
     /// All facts, sorted for deterministic output.
     pub fn facts_sorted(&self) -> Vec<Fact> {
         let mut v: Vec<Fact> = self.iter().collect();
-        v.sort_by(|a, b| {
-            (a.vid, a.method.as_str(), &a.args, a.result).cmp(&(
-                b.vid,
-                b.method.as_str(),
-                &b.args,
-                b.result,
-            ))
-        });
+        v.sort_by(fact_cmp);
         v
+    }
+
+    // ----- incremental-checkpoint surface ----------------------------
+
+    /// The per-shard write generations of the version table. Clones
+    /// inherit the counters, so comparing against generations captured
+    /// at the last checkpoint yields the set of shards that *may* hold
+    /// different versions — the dirty set a shard-delta checkpoint
+    /// writes. Only the version table matters here: every join index
+    /// is reconstructible from the facts, and the snapshot codec
+    /// encodes facts straight out of the version states.
+    pub fn version_generations(&self) -> [u64; SHARD_COUNT] {
+        self.versions.generations()
+    }
+
+    /// Re-anchor this base's version-table generations onto `prev`'s
+    /// lineage by *exact* per-shard content comparison: an equal
+    /// shard inherits `prev`'s counter, a differing one advances it.
+    /// Commit paths that extract a fresh base from an evaluation
+    /// result (instead of mutating a clone of the committed one) must
+    /// call this with the previously committed base, or generation
+    /// comparison across the commit would be meaningless — two
+    /// independently built tables can collide on counters. O(facts)
+    /// worst case, the same bound as the extraction itself.
+    pub fn rebase_generations(&mut self, prev: &ObjectBase) {
+        self.versions.rebase_generations(&prev.versions);
+    }
+
+    /// The facts of every version routed to version-table shard `i`,
+    /// in the same deterministic order [`ObjectBase::facts_sorted`]
+    /// uses — the unit of a shard-delta checkpoint.
+    pub fn shard_facts_sorted(&self, i: usize) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self
+            .versions
+            .shard_at(i)
+            .iter()
+            .flat_map(|(&vid, state)| {
+                state.iter().map(move |(method, app)| Fact {
+                    vid,
+                    method,
+                    args: app.args.clone(),
+                    result: app.result,
+                })
+            })
+            .collect();
+        v.sort_by(fact_cmp);
+        v
+    }
+
+    /// The version ids routed to version-table shard `i`, sorted.
+    /// With [`ObjectBase::shard_facts_sorted`] this is the writer-side
+    /// unit of a shard-delta: the encoder diffs a dirty shard's vid
+    /// set against the previously checkpointed state to find the
+    /// versions the delta must explicitly remove.
+    pub fn shard_vids_sorted(&self, i: usize) -> Vec<Vid> {
+        let mut v: Vec<Vid> = self.versions.shard_at(i).keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Remove every version routed to version-table shard `i`,
+    /// keeping all indexes consistent.
+    pub fn clear_versions_shard(&mut self, i: usize) {
+        let vids: Vec<Vid> = self.versions.shard_at(i).keys().copied().collect();
+        for vid in vids {
+            self.discard_version(vid);
+        }
+    }
+
+    /// Build a base from a decoded fact stream with the index
+    /// maintenance spread over up to `workers` threads — the parallel
+    /// reopen path. Equivalent to inserting every fact in order
+    /// (duplicates collapse, as [`ObjectBase::insert`] does).
+    pub fn from_facts(facts: Vec<Fact>, workers: usize) -> ObjectBase {
+        let mut states: FastHashMap<Vid, VersionState> = FastHashMap::default();
+        for f in facts {
+            states.entry(f.vid).or_default().insert(f.method, MethodApp::new(f.args, f.result));
+        }
+        let edits: Vec<(Vid, Arc<VersionState>)> =
+            states.into_iter().map(|(vid, s)| (vid, Arc::new(s))).collect();
+        let mut ob = ObjectBase::new();
+        let mut changed = ChangedSince::new();
+        ob.replace_versions_tracked_shared(&edits, workers, &mut changed);
+        ob
     }
 
     /// Number of facts.
@@ -1504,6 +1634,92 @@ mod tests {
         assert!(changed.is_empty(), "pointer-identical recommit must record nothing");
         assert!(ob.cow_stats(&snapshot).fully_shared(), "recommit must not reindex");
         ob.check_invariants();
+    }
+
+    #[test]
+    fn noop_commits_dirty_zero_version_shards() {
+        let (mut ob, _) = shard_commit_fixture();
+        let vids: Vec<Vid> = ob.versions().collect();
+        let before = ob.version_generations();
+        // Pointer-equal and content-equal recommits of every version,
+        // serial and batched: no shard generation may move.
+        for &vid in &vids {
+            let shared = Arc::clone(ob.version_shared(vid).unwrap());
+            let mut ch = ChangedSince::new();
+            ob.replace_version_tracked_shared(vid, shared, &mut ch);
+            let fresh = Arc::new((**ob.version_shared(vid).unwrap()).clone());
+            ob.replace_version_tracked_shared(vid, fresh, &mut ch);
+            assert!(ch.is_empty());
+        }
+        let edits: Vec<(Vid, Arc<VersionState>)> = vids
+            .iter()
+            .map(|&v| (v, Arc::new((**ob.version_shared(v).unwrap()).clone())))
+            .collect();
+        let mut ch = ChangedSince::new();
+        ob.replace_versions_tracked_shared(&edits, 4, &mut ch);
+        assert!(ch.is_empty());
+        assert_eq!(ob.version_generations(), before, "no-op commits must dirty zero shards");
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn real_commits_bump_only_routed_shards() {
+        let mut ob = mk();
+        let before = ob.version_generations();
+        let phil = Vid::object(oid("phil"));
+        ob.insert(phil, sym("note"), Args::empty(), int(1));
+        let after = ob.version_generations();
+        let s = vid_shard(phil);
+        assert!(after[s] > before[s]);
+        for i in 0..SHARD_COUNT {
+            if i != s {
+                assert_eq!(after[i], before[i], "unrelated shard {i} dirtied");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_facts_partition_the_base() {
+        let (ob, _) = shard_commit_fixture();
+        let mut all: Vec<Fact> = Vec::new();
+        for i in 0..SHARD_COUNT {
+            for f in ob.shard_facts_sorted(i) {
+                assert_eq!(vid_shard(f.vid), i, "fact reported under wrong shard");
+                all.push(f);
+            }
+        }
+        all.sort_by(super::fact_cmp);
+        assert_eq!(all, ob.facts_sorted());
+    }
+
+    #[test]
+    fn clear_versions_shard_is_index_consistent() {
+        let (mut ob, _) = shard_commit_fixture();
+        let victims = ob.versions.shard_at(3).len();
+        let before = ob.len();
+        ob.clear_versions_shard(3);
+        assert!(ob.shard_facts_sorted(3).is_empty());
+        assert!(ob.versions().all(|v| vid_shard(v) != 3));
+        assert!(victims == 0 || ob.len() < before);
+        ob.check_invariants();
+    }
+
+    #[test]
+    fn from_facts_matches_serial_inserts() {
+        let (ob, _) = shard_commit_fixture();
+        let facts = ob.facts_sorted();
+        for workers in [1, 4] {
+            let rebuilt = ObjectBase::from_facts(facts.clone(), workers);
+            assert_eq!(rebuilt, ob, "workers={workers}");
+            assert_eq!(rebuilt.len(), ob.len());
+            rebuilt.check_invariants();
+        }
+        // Duplicate facts collapse exactly like ObjectBase::insert.
+        let mut doubled = facts.clone();
+        doubled.extend(facts);
+        let rebuilt = ObjectBase::from_facts(doubled, 4);
+        assert_eq!(rebuilt, ob);
+        assert_eq!(rebuilt.len(), ob.len());
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub(crate) trait ShardKey {
 /// shared reference first.
 pub(crate) struct ShardedMap<K, V> {
     shards: [Arc<FastHashMap<K, V>>; SHARD_COUNT],
+    /// Per-shard write generations: bumped every time the shard is
+    /// unshared for writing (any mutating entry point that reaches
+    /// [`Arc::make_mut`]). Clones inherit the counters, so comparing a
+    /// map's generations against a snapshot of them taken earlier in
+    /// the same lineage tells exactly which shards *may* have changed
+    /// since — the dirty-set oracle behind incremental checkpoints.
+    /// Over-approximation is fine (a bumped-but-equal shard is merely
+    /// re-written); missing a write would be a correctness bug.
+    gens: [u64; SHARD_COUNT],
 }
 
 impl<K: std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug for ShardedMap<K, V> {
@@ -68,13 +77,16 @@ impl<K: std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug for ShardedMap<K, V
 
 impl<K, V> Clone for ShardedMap<K, V> {
     fn clone(&self) -> Self {
-        ShardedMap { shards: std::array::from_fn(|i| Arc::clone(&self.shards[i])) }
+        ShardedMap { shards: std::array::from_fn(|i| Arc::clone(&self.shards[i])), gens: self.gens }
     }
 }
 
 impl<K, V> Default for ShardedMap<K, V> {
     fn default() -> Self {
-        ShardedMap { shards: std::array::from_fn(|_| Arc::new(FastHashMap::default())) }
+        ShardedMap {
+            shards: std::array::from_fn(|_| Arc::new(FastHashMap::default())),
+            gens: [0; SHARD_COUNT],
+        }
     }
 }
 
@@ -114,9 +126,44 @@ where
         &self.shards[i]
     }
 
+    /// The current per-shard write generations (see the field docs).
+    pub(crate) fn generations(&self) -> [u64; SHARD_COUNT] {
+        self.gens
+    }
+
+    /// Record a write to shard `i` that bypassed the tracked entry
+    /// points — used by bulk passes that take `shard_slots_mut` and
+    /// know afterwards which slots they actually mutated.
+    pub(crate) fn note_written(&mut self, i: usize) {
+        self.gens[i] = self.gens[i].wrapping_add(1);
+    }
+
+    /// Re-anchor this map's write generations onto `prev`'s lineage:
+    /// a shard whose *contents* equal the corresponding shard of
+    /// `prev` inherits its generation, a differing shard advances it.
+    /// Commit paths that rebuild the map from scratch (rather than
+    /// mutating a clone) call this so that generation comparison
+    /// stays a valid dirty-shard oracle across them — and, because
+    /// the comparison is against actual contents, an *exact* one.
+    /// O(entries) worst case, but so is the rebuild that precedes it.
+    pub(crate) fn rebase_generations(&mut self, prev: &Self)
+    where
+        V: PartialEq,
+    {
+        for i in 0..SHARD_COUNT {
+            let same = Arc::ptr_eq(&self.shards[i], &prev.shards[i])
+                || self.shards[i].as_ref() == prev.shards[i].as_ref();
+            self.gens[i] = if same { prev.gens[i] } else { prev.gens[i].wrapping_add(1) };
+        }
+    }
+
     /// The `Arc` slot of one physical shard, for bulk passes that
     /// decide per shard whether to unshare ([`Arc::make_mut`]) at all.
+    /// Counts as a write for generation tracking — callers peek
+    /// through [`ShardedMap::shard_at`] first and only take the slot
+    /// when they intend to mutate.
     pub(crate) fn shard_slot(&mut self, i: usize) -> &mut Arc<FastHashMap<K, V>> {
+        self.gens[i] = self.gens[i].wrapping_add(1);
         &mut self.shards[i]
     }
 
@@ -154,11 +201,12 @@ where
     /// Mutable access to an entry's value. Unshares the shard — but
     /// only on a hit; a miss returns `None` without copying anything.
     pub(crate) fn get_mut(&mut self, key: &K) -> Option<&mut V> {
-        let slot = &mut self.shards[key.shard()];
-        if !slot.contains_key(key) {
+        let i = key.shard();
+        if !self.shards[i].contains_key(key) {
             return None;
         }
-        Arc::make_mut(slot).get_mut(key)
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        Arc::make_mut(&mut self.shards[i]).get_mut(key)
     }
 
     /// The value under `key`, inserting `V::default()` first if absent
@@ -168,20 +216,25 @@ where
     where
         V: Default,
     {
-        Arc::make_mut(&mut self.shards[key.shard()]).entry(key).or_default()
+        let i = key.shard();
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        Arc::make_mut(&mut self.shards[i]).entry(key).or_default()
     }
 
     pub(crate) fn insert(&mut self, key: K, value: V) -> Option<V> {
-        Arc::make_mut(&mut self.shards[key.shard()]).insert(key, value)
+        let i = key.shard();
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        Arc::make_mut(&mut self.shards[i]).insert(key, value)
     }
 
     /// Remove an entry. A miss does not unshare the shard.
     pub(crate) fn remove(&mut self, key: &K) -> Option<V> {
-        let slot = &mut self.shards[key.shard()];
-        if !slot.contains_key(key) {
+        let i = key.shard();
+        if !self.shards[i].contains_key(key) {
             return None;
         }
-        Arc::make_mut(slot).remove(key)
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        Arc::make_mut(&mut self.shards[i]).remove(key)
     }
 }
 
@@ -345,6 +398,45 @@ mod tests {
         assert_eq!(m.len(), 512);
         assert_eq!(m.get(&300), Some(&600));
         m.check_residency();
+    }
+
+    #[test]
+    fn generations_track_writes_not_reads() {
+        let mut m = filled(64);
+        let before = m.generations();
+        // Reads and misses never bump a generation.
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.get_mut(&99_999), None);
+        assert_eq!(m.remove(&99_999), None);
+        assert_eq!(m.iter().count(), 64);
+        assert_eq!(m.generations(), before);
+        // A hit through any mutating entry point bumps exactly the
+        // target shard's generation.
+        let s = 1u64.shard();
+        m.insert(1, 11);
+        let after = m.generations();
+        assert_eq!(after[s], before[s] + 1);
+        for i in 0..SHARD_COUNT {
+            if i != s {
+                assert_eq!(after[i], before[i], "shard {i} spuriously dirtied");
+            }
+        }
+        *m.get_mut(&1).unwrap() += 1;
+        m.remove(&1);
+        assert_eq!(m.generations()[s], before[s] + 3);
+    }
+
+    #[test]
+    fn clones_inherit_generations() {
+        let mut m = filled(32);
+        m.insert(7, 70);
+        let copy = m.clone();
+        assert_eq!(copy.generations(), m.generations());
+        // Divergence after the clone is per-lineage.
+        let mut copy = copy;
+        copy.insert(8, 80);
+        let s = 8u64.shard();
+        assert_eq!(copy.generations()[s], m.generations()[s] + 1);
     }
 
     #[test]

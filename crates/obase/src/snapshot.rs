@@ -47,9 +47,12 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::codec::{self, put_const, DecodeError, Reader, SymbolTable};
-use crate::{Args, ObjectBase};
+use crate::shard::SHARD_COUNT;
+use crate::{Args, Fact, ObjectBase};
 
 const MAGIC: &[u8; 4] = b"RUVO";
+/// Magic of a shard-delta payload (see [`write_delta`]).
+const DELTA_MAGIC: &[u8; 4] = b"RUVD";
 const VERSION: u16 = 1;
 
 /// An immutable point-in-time view of an object base.
@@ -201,6 +204,65 @@ impl std::error::Error for SnapshotFileError {
     }
 }
 
+/// Encode one version id (shared by facts and a delta's removed-vid
+/// lists).
+fn put_vid(body: &mut BytesMut, vid: Vid, table: &mut SymbolTable) {
+    put_const(body, vid.base(), table);
+    let chain = vid.chain();
+    let mut bits = 0u64;
+    for (i, kind) in chain.iter().enumerate() {
+        bits |= (kind as u64) << (2 * i);
+    }
+    body.put_u64_le(bits);
+    body.put_u8(chain.len() as u8);
+}
+
+/// Decode one version id written by [`put_vid`].
+fn read_vid(r: &mut Reader<'_>, symbols: &[Symbol]) -> Result<Vid, SnapshotError> {
+    let base = r.constant(symbols)?;
+    let bits = r.u64()?;
+    let len = r.u8()? as usize;
+    if len > Chain::MAX_LEN {
+        return Err(SnapshotError::Corrupt("chain length"));
+    }
+    let mut chain = Chain::EMPTY;
+    for i in 0..len {
+        let kind = match (bits >> (2 * i)) & 0b11 {
+            1 => UpdateKind::Ins,
+            2 => UpdateKind::Del,
+            3 => UpdateKind::Mod,
+            _ => return Err(SnapshotError::Corrupt("chain bits")),
+        };
+        chain = chain.push(kind).expect("len checked above");
+    }
+    Ok(Vid::new(base, chain))
+}
+
+/// Encode one fact (the unit both the full snapshot and the
+/// shard-delta format share).
+fn put_fact(body: &mut BytesMut, fact: &Fact, table: &mut SymbolTable) {
+    put_vid(body, fact.vid, table);
+    body.put_u32_le(table.intern(fact.method));
+    body.put_u8(u8::try_from(fact.args.len()).expect("arity fits in u8"));
+    for &a in fact.args.iter() {
+        put_const(body, a, table);
+    }
+    put_const(body, fact.result, table);
+}
+
+/// Decode one fact written by [`put_fact`].
+fn read_fact(r: &mut Reader<'_>, symbols: &[Symbol]) -> Result<Fact, SnapshotError> {
+    let vid = read_vid(r, symbols)?;
+    let method = read_symbol(r, symbols)?;
+    let nargs = r.u8()? as usize;
+    let mut args = Vec::with_capacity(nargs);
+    for _ in 0..nargs {
+        args.push(r.constant(symbols)?);
+    }
+    let result = r.constant(symbols)?;
+    Ok(Fact { vid, method, args: Args::new(args), result })
+}
+
 /// Serialize an object base to a checksummed snapshot.
 pub fn write(ob: &ObjectBase) -> Bytes {
     // Two passes: body first (which populates the symbol table), then
@@ -210,20 +272,7 @@ pub fn write(ob: &ObjectBase) -> Bytes {
     let facts = ob.facts_sorted();
     body.put_u64_le(facts.len() as u64);
     for fact in &facts {
-        put_const(&mut body, fact.vid.base(), &mut table);
-        let chain = fact.vid.chain();
-        let mut bits = 0u64;
-        for (i, kind) in chain.iter().enumerate() {
-            bits |= (kind as u64) << (2 * i);
-        }
-        body.put_u64_le(bits);
-        body.put_u8(chain.len() as u8);
-        body.put_u32_le(table.intern(fact.method));
-        body.put_u8(u8::try_from(fact.args.len()).expect("arity fits in u8"));
-        for &a in fact.args.iter() {
-            put_const(&mut body, a, &mut table);
-        }
-        put_const(&mut body, fact.result, &mut table);
+        put_fact(&mut body, fact, &mut table);
     }
 
     let mut out = BytesMut::with_capacity(body.len() + 256);
@@ -236,9 +285,9 @@ pub fn write(ob: &ObjectBase) -> Bytes {
     out.freeze()
 }
 
-/// Deserialize a snapshot produced by [`fn@write`].
-pub fn read(data: &[u8]) -> Result<ObjectBase, SnapshotError> {
-    // Verify the trailing checksum before parsing anything else.
+/// Split off and verify the trailing checksum, returning the covered
+/// payload.
+fn checked_payload(data: &[u8]) -> Result<&[u8], SnapshotError> {
     if data.len() < MAGIC.len() + 2 + 8 {
         return Err(SnapshotError::Truncated);
     }
@@ -247,7 +296,13 @@ pub fn read(data: &[u8]) -> Result<ObjectBase, SnapshotError> {
     if codec::checksum(payload) != stored {
         return Err(SnapshotError::ChecksumMismatch);
     }
+    Ok(payload)
+}
 
+/// Deserialize a snapshot produced by [`fn@write`] into its fact
+/// stream (checksum-verified; in encoding order).
+pub fn read_facts(data: &[u8]) -> Result<Vec<Fact>, SnapshotError> {
+    let payload = checked_payload(data)?;
     let mut r = Reader::new(payload);
     if r.bytes(4)? != MAGIC {
         return Err(SnapshotError::BadMagic);
@@ -260,41 +315,224 @@ pub fn read(data: &[u8]) -> Result<ObjectBase, SnapshotError> {
     let symbols = codec::read_symbol_table(&mut r)?;
 
     let nfacts = r.u64()? as usize;
-    let mut ob = ObjectBase::new();
+    let mut facts = Vec::with_capacity(nfacts.min(r.remaining() / 8));
     for _ in 0..nfacts {
-        let base = r.constant(&symbols)?;
-        let bits = r.u64()?;
-        let len = r.u8()? as usize;
-        if len > Chain::MAX_LEN {
-            return Err(SnapshotError::Corrupt("chain length"));
-        }
-        let mut chain = Chain::EMPTY;
-        for i in 0..len {
-            let kind = match (bits >> (2 * i)) & 0b11 {
-                1 => UpdateKind::Ins,
-                2 => UpdateKind::Del,
-                3 => UpdateKind::Mod,
-                _ => return Err(SnapshotError::Corrupt("chain bits")),
-            };
-            chain = chain.push(kind).expect("len checked above");
-        }
-        let method = read_symbol(&mut r, &symbols)?;
-        let nargs = r.u8()? as usize;
-        let mut args = Vec::with_capacity(nargs);
-        for _ in 0..nargs {
-            args.push(r.constant(&symbols)?);
-        }
-        let result = r.constant(&symbols)?;
-        ob.insert(Vid::new(base, chain), method, Args::new(args), result);
+        facts.push(read_fact(&mut r, &symbols)?);
     }
     if !r.is_empty() {
         return Err(SnapshotError::Corrupt("trailing bytes"));
     }
-    Ok(ob)
+    Ok(facts)
+}
+
+/// Deserialize a snapshot produced by [`fn@write`].
+pub fn read(data: &[u8]) -> Result<ObjectBase, SnapshotError> {
+    read_with_workers(data, 1)
+}
+
+/// [`read`], with the index rebuild spread over up to `workers`
+/// threads ([`ObjectBase::from_facts`]) — the reopen path, where
+/// decode time would otherwise scale with base size on one core.
+pub fn read_with_workers(data: &[u8], workers: usize) -> Result<ObjectBase, SnapshotError> {
+    Ok(ObjectBase::from_facts(read_facts(data)?, workers))
 }
 
 fn read_symbol(r: &mut Reader<'_>, symbols: &[Symbol]) -> Result<Symbol, SnapshotError> {
     symbols.get(r.u32()? as usize).copied().ok_or(SnapshotError::Corrupt("method index"))
+}
+
+// ----- shard deltas --------------------------------------------------
+
+/// What a decoded shard-delta says about itself (header only — see
+/// [`apply_delta`] for the application).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaInfo {
+    /// The `seq` of the chain generation this delta was computed
+    /// against; applying it to any other state is refused upstream.
+    pub base_seq: u64,
+    /// Bit `i` set ⇔ the *writer's* version-table shard `i`
+    /// contributed to this delta. Diagnostic only: symbol hashes (and
+    /// therefore shard routes) differ between processes, so replay
+    /// never trusts these indexes — see [`apply_delta`].
+    pub dirty_mask: u32,
+    /// Number of upserted facts carried (across all dirty shards).
+    pub facts: usize,
+    /// Number of explicitly removed versions carried.
+    pub removed: usize,
+}
+
+impl DeltaInfo {
+    /// Number of writer-side shards this delta was diffed from.
+    pub fn dirty_shards(&self) -> usize {
+        self.dirty_mask.count_ones() as usize
+    }
+}
+
+/// Serialize the dirtied shards of `ob` as a delta against `prev`,
+/// the state checkpointed at `base_seq`.
+///
+/// ## Layout (little-endian, after the shared header vocabulary)
+///
+/// ```text
+/// magic    "RUVD"          4 bytes
+/// version  u16             current: 1
+/// symbols  (as snapshots)
+/// base_seq u64             seq of the generation this builds on
+/// shards   u16             SHARD_COUNT of the writer (must match)
+/// mask     u32             bit i = shard i present
+/// per present shard, ascending:
+///   u64 removed-vid count, then vids (Const base + chain)
+///   u64 fact count, then facts
+/// checksum u64             (FxHash of everything before it)
+/// ```
+///
+/// The delta is **interning-portable**: shard routing hashes interned
+/// symbol ids, which are process-local, so a reader would bucket the
+/// same versions differently and wholesale shard replacement would
+/// delete the wrong facts. Instead each dirty shard carries explicit
+/// per-*version* operations — the complete current facts of every
+/// version still in the shard (an upsert replacing that version
+/// wholesale) plus the vids `prev` held there that are now gone (the
+/// removals a contents-only encoding cannot express). Replay applies
+/// them per vid and never consults the reader's routing.
+pub fn write_delta(
+    ob: &ObjectBase,
+    prev: &ObjectBase,
+    dirty: &[bool; SHARD_COUNT],
+    base_seq: u64,
+) -> Bytes {
+    let mut table = SymbolTable::new();
+    let mut body = BytesMut::new();
+    body.put_u64_le(base_seq);
+    body.put_u16_le(SHARD_COUNT as u16);
+    let mut mask = 0u32;
+    for (i, &d) in dirty.iter().enumerate() {
+        if d {
+            mask |= 1 << i;
+        }
+    }
+    body.put_u32_le(mask);
+    for (i, &d) in dirty.iter().enumerate() {
+        if !d {
+            continue;
+        }
+        let kept = ob.shard_vids_sorted(i);
+        let removed: Vec<Vid> = prev
+            .shard_vids_sorted(i)
+            .into_iter()
+            .filter(|v| kept.binary_search(v).is_err())
+            .collect();
+        body.put_u64_le(removed.len() as u64);
+        for &vid in &removed {
+            put_vid(&mut body, vid, &mut table);
+        }
+        let facts = ob.shard_facts_sorted(i);
+        body.put_u64_le(facts.len() as u64);
+        for fact in &facts {
+            put_fact(&mut body, fact, &mut table);
+        }
+    }
+
+    let mut out = BytesMut::with_capacity(body.len() + 256);
+    out.put_slice(DELTA_MAGIC);
+    out.put_u16_le(VERSION);
+    table.encode_into(&mut out);
+    out.put_slice(&body);
+    let sum = codec::checksum(&out);
+    out.put_u64_le(sum);
+    out.freeze()
+}
+
+/// True if `data` carries a shard-delta payload (vs a full snapshot).
+pub fn is_delta(data: &[u8]) -> bool {
+    data.get(..4) == Some(DELTA_MAGIC.as_slice())
+}
+
+/// One dirty shard's decoded operations.
+struct DeltaShard {
+    /// Versions `prev` held in this writer-shard that are now gone.
+    removed: Vec<Vid>,
+    /// Complete current facts of the shard, sorted by vid first.
+    facts: Vec<Fact>,
+}
+
+fn read_delta(data: &[u8]) -> Result<(DeltaInfo, Vec<DeltaShard>), SnapshotError> {
+    let payload = checked_payload(data)?;
+    let mut r = Reader::new(payload);
+    if r.bytes(4)? != DELTA_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let symbols = codec::read_symbol_table(&mut r)?;
+    let base_seq = r.u64()?;
+    if r.u16()? as usize != SHARD_COUNT {
+        return Err(SnapshotError::Corrupt("shard count"));
+    }
+    let mask = r.u32()?;
+    if mask >> SHARD_COUNT != 0 {
+        return Err(SnapshotError::Corrupt("dirty mask"));
+    }
+    let mut shards = Vec::with_capacity(mask.count_ones() as usize);
+    let mut total = 0usize;
+    let mut total_removed = 0usize;
+    for i in 0..SHARD_COUNT {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        let nremoved = r.u64()? as usize;
+        let mut removed = Vec::with_capacity(nremoved.min(r.remaining() / 8));
+        for _ in 0..nremoved {
+            removed.push(read_vid(&mut r, &symbols)?);
+        }
+        let nfacts = r.u64()? as usize;
+        let mut facts = Vec::with_capacity(nfacts.min(r.remaining() / 8));
+        for _ in 0..nfacts {
+            facts.push(read_fact(&mut r, &symbols)?);
+        }
+        total += facts.len();
+        total_removed += removed.len();
+        shards.push(DeltaShard { removed, facts });
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok((DeltaInfo { base_seq, dirty_mask: mask, facts: total, removed: total_removed }, shards))
+}
+
+/// Decode a delta's header without applying it (chain inspection).
+pub fn delta_info(data: &[u8]) -> Result<DeltaInfo, SnapshotError> {
+    read_delta(data).map(|(info, _)| info)
+}
+
+/// Replay a delta produced by [`write_delta`] onto `ob`: removed
+/// versions are dropped, and every version the delta carries facts
+/// for is replaced wholesale by those facts. All placement is per
+/// vid in `ob`'s own routing — the writer's shard indexes are never
+/// trusted, so a delta written by a process with a differently
+/// populated interner replays identically. The caller is responsible
+/// for checking [`DeltaInfo::base_seq`] against the chain before
+/// applying.
+pub fn apply_delta(ob: &mut ObjectBase, data: &[u8]) -> Result<DeltaInfo, SnapshotError> {
+    let (info, shards) = read_delta(data)?;
+    for shard in shards {
+        for vid in shard.removed {
+            ob.discard_version(vid);
+        }
+        // Facts arrive sorted by vid, so each version's run is
+        // contiguous: clear it once at the head of its run.
+        let mut current = None;
+        for fact in shard.facts {
+            if current != Some(fact.vid) {
+                ob.discard_version(fact.vid);
+                current = Some(fact.vid);
+            }
+            ob.insert(fact.vid, fact.method, fact.args, fact.result);
+        }
+    }
+    Ok(info)
 }
 
 /// Write a snapshot to a file.
@@ -491,6 +729,138 @@ mod tests {
             other => panic!("expected Decode error, got {other:?}"),
         }
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    fn broad_base(n: i64) -> ObjectBase {
+        let mut ob = ObjectBase::new();
+        for i in 0..n {
+            ob.insert(
+                Vid::object(oid(&format!("o{i}"))),
+                sym(&format!("m{}", i % 7)),
+                Args::new(vec![int(i)]),
+                int(i * 2),
+            );
+        }
+        ob
+    }
+
+    fn dirty_since(
+        live: &ObjectBase,
+        gens: &[u64; crate::SHARD_COUNT],
+    ) -> [bool; crate::SHARD_COUNT] {
+        let now = live.version_generations();
+        std::array::from_fn(|i| now[i] != gens[i])
+    }
+
+    #[test]
+    fn delta_roundtrip_is_bit_identical() {
+        let mut live = broad_base(300);
+        let prev = live.clone();
+        let full = write(&live);
+        let gens = live.version_generations();
+
+        // Mutate a handful of objects: updates, a delete of a whole
+        // version, a fact-level delete, a new object.
+        live.insert(Vid::object(oid("o3")), sym("extra"), Args::empty(), int(1));
+        live.remove(Vid::object(oid("o5")), sym("m5"), &Args::new(vec![int(5)]), int(10));
+        live.remove_version(Vid::object(oid("o7")));
+        live.insert(Vid::object(oid("brand-new")), sym("p"), Args::empty(), num(0.5));
+
+        let dirty = dirty_since(&live, &gens);
+        assert!(dirty.iter().any(|&d| d), "mutations must dirty at least one shard");
+        assert!(!dirty.iter().all(|&d| d), "a small edit must not dirty every shard");
+        let delta = write_delta(&live, &prev, &dirty, 42);
+        assert!(is_delta(&delta) && !is_delta(&full));
+
+        let mut recovered = read(&full).unwrap();
+        let info = apply_delta(&mut recovered, &delta).unwrap();
+        assert_eq!(info.base_seq, 42);
+        assert_eq!(info.dirty_shards(), dirty.iter().filter(|&&d| d).count());
+        assert!(info.removed >= 1, "the dropped version must be carried explicitly");
+        assert_eq!(recovered, live);
+        assert_eq!(write(&recovered), write(&live), "recovered state must be bit-identical");
+        recovered.check_invariants();
+        assert_eq!(delta_info(&delta).unwrap(), info);
+    }
+
+    #[test]
+    fn delta_replay_never_trusts_the_writers_shard_routing() {
+        // Shard routes hash interned symbol ids, which differ between
+        // processes. Simulate a foreign writer by replaying a delta
+        // whose dirty shards, by construction, cannot all agree with
+        // this process's routing: mark *every* shard dirty so each
+        // version's operations sit in some writer bucket, then check
+        // the replay lands every fact correctly anyway.
+        let mut live = broad_base(60);
+        let prev = live.clone();
+        live.remove_version(Vid::object(oid("o2")));
+        live.insert(Vid::object(oid("o4")), sym("q"), Args::empty(), int(8));
+        let delta = write_delta(&live, &prev, &[true; crate::SHARD_COUNT], 9);
+        let mut recovered = read(&write(&prev)).unwrap();
+        apply_delta(&mut recovered, &delta).unwrap();
+        assert_eq!(recovered, live);
+        recovered.check_invariants();
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let live = broad_base(50);
+        let delta = write_delta(&live, &live, &[false; crate::SHARD_COUNT], 7);
+        let mut ob = read(&write(&live)).unwrap();
+        let info = apply_delta(&mut ob, &delta).unwrap();
+        assert_eq!(info.dirty_shards(), 0);
+        assert_eq!(info.facts, 0);
+        assert_eq!(info.removed, 0);
+        assert_eq!(ob, live);
+    }
+
+    #[test]
+    fn delta_detects_every_flipped_byte() {
+        let mut live = broad_base(40);
+        let prev = live.clone();
+        let gens = live.version_generations();
+        live.insert(Vid::object(oid("o1")), sym("x"), Args::empty(), int(9));
+        let delta = write_delta(&live, &prev, &dirty_since(&live, &gens), 3);
+        for i in 0..delta.len() {
+            let mut corrupted = delta.to_vec();
+            corrupted[i] ^= 0xFF;
+            let mut ob = ObjectBase::new();
+            assert!(
+                apply_delta(&mut ob, &corrupted).is_err(),
+                "flip at byte {i} of {} went undetected",
+                delta.len()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_with_out_of_range_mask_bit_is_rejected() {
+        let live = broad_base(10);
+        let delta = write_delta(&live, &live, &[false; crate::SHARD_COUNT], 1).to_vec();
+        // The mask sits right after base_seq (u64) + shard count (u16)
+        // in the body; find it by scanning for the encoded zero mask
+        // preceded by the shard count — instead, rebuild: flip a high
+        // mask bit and restore the checksum.
+        let mut bytes = delta[..delta.len() - 8].to_vec();
+        let n = bytes.len();
+        // body tail is [.. base_seq(8) shards(2) mask(4)]; mask is the
+        // final 4 bytes of the payload for an all-clean delta.
+        bytes[n - 2] |= 0x20; // set bit 21 of the mask
+        let sum = codec::checksum(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        let mut ob = ObjectBase::new();
+        assert_eq!(apply_delta(&mut ob, &bytes).unwrap_err(), SnapshotError::Corrupt("dirty mask"));
+    }
+
+    #[test]
+    fn read_with_workers_matches_serial_read() {
+        let ob = broad_base(200);
+        let bytes = write(&ob);
+        for workers in [1, 4] {
+            let back = read_with_workers(&bytes, workers).unwrap();
+            assert_eq!(back, ob, "workers={workers}");
+            back.check_invariants();
+        }
     }
 
     #[test]

@@ -289,6 +289,42 @@ proptest! {
         prop_assert_eq!(reference.result(), parallel.result());
     }
 
+    /// Round-1 full-scan splitting (bases above the 32-object gate
+    /// fan every unseeded scan out across shard routes) is an exact
+    /// cover: the parallel result and extracted base are identical to
+    /// serial at every thread width, and the split actually engaged.
+    #[test]
+    fn full_scan_split_matches_serial(
+        seed in 0u64..150,
+        objects in 32usize..80,
+        rules in 1usize..8,
+    ) {
+        use ruvo::core::EngineConfig;
+        let config = RandomConfig {
+            seed, objects, facts: objects * 3, rules, ..Default::default()
+        };
+        let ob = random_object_base(config);
+        let program = random_insert_program(config);
+        let serial = UpdateEngine::new(program.clone()).run(&ob).unwrap();
+        for threads in [1usize, 2, 4] {
+            let parallel = UpdateEngine::with_config(
+                program.clone(),
+                EngineConfig { parallel: true, threads, ..Default::default() },
+            )
+            .run(&ob)
+            .unwrap();
+            prop_assert_eq!(serial.result(), parallel.result());
+            prop_assert_eq!(
+                serial.new_object_base(), parallel.new_object_base(),
+                "full-split ob' diverged at {} threads", threads
+            );
+            // Whether the split engages depends on the random rules'
+            // dependency components (bundled rules never split), so
+            // gate engagement is asserted by a deterministic unit
+            // test in core::engine, not here.
+        }
+    }
+
     /// result(P) always contains the input versions unchanged (updates
     /// create new versions; they never mutate old ones).
     #[test]
@@ -530,7 +566,7 @@ fn recovery_matches_reference_at_every_checkpoint_policy() {
                 .data_dir(&dir)
                 .checkpoint_policy(CheckpointPolicy {
                     max_wal_records: max_records,
-                    max_wal_bytes: u64::MAX,
+                    ..CheckpointPolicy::never()
                 })
                 .seed(ObjectBase::parse(&workload.base_src).unwrap())
                 .open_dir()
